@@ -1,0 +1,90 @@
+// Shared configuration for the table/figure reproduction benches.
+//
+// Environment knobs (all optional):
+//   NESSA_BENCH_EPOCHS  substrate training epochs per run   (default 30)
+//   NESSA_BENCH_SCALE   substrate size as a fraction of the
+//                       paper train-set size                (default 0.03)
+//   NESSA_BENCH_SEED    RNG seed                            (default 42)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "nessa/core/pipeline.hpp"
+#include "nessa/util/table.hpp"
+#include "nessa/util/units.hpp"
+
+namespace nessa::bench {
+
+inline std::size_t env_size_t(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) {
+    const double parsed = std::atof(v);
+    if (parsed > 0.0) return parsed;
+  }
+  return fallback;
+}
+
+struct BenchConfig {
+  std::size_t epochs = env_size_t("NESSA_BENCH_EPOCHS", 30);
+  double scale = env_double("NESSA_BENCH_SCALE", 0.03);
+  std::uint64_t seed = env_size_t("NESSA_BENCH_SEED", 42);
+};
+
+/// Build pipeline inputs for a paper dataset at bench scale.
+/// The dataset pointer in `inputs` is rebound via bind() so BenchCase stays
+/// safely movable.
+struct BenchCase {
+  data::Dataset dataset;
+  core::PipelineInputs inputs;
+
+  /// Point inputs.dataset at this case's dataset; call after any move.
+  core::PipelineInputs& bind() {
+    inputs.dataset = &dataset;
+    return inputs;
+  }
+};
+
+inline BenchCase make_case(const std::string& dataset_name,
+                           const BenchConfig& cfg) {
+  BenchCase c{data::make_substrate_dataset(data::dataset_info(dataset_name),
+                                           cfg.scale, 0, cfg.seed),
+              {}};
+  c.inputs.info = data::dataset_info(dataset_name);
+  c.inputs.model = nn::model_spec(c.inputs.info.paper_network);
+  c.inputs.train.epochs = cfg.epochs;
+  c.inputs.train.batch_size = 128;
+  c.inputs.train.seed = cfg.seed;
+  return c;
+}
+
+/// NessaConfig with the paper's cadences rescaled to the bench's epoch
+/// budget (the paper drops every 20 of 200 epochs with a 5-epoch loss
+/// window, and partitions with mini-batch-sized chunks at 50k-sample scale;
+/// the same fractions are applied here).
+inline core::NessaConfig scaled_nessa(double fraction,
+                                      const BenchConfig& cfg) {
+  core::NessaConfig nessa;
+  nessa.subset_fraction = fraction;
+  nessa.drop_interval_epochs = std::max<std::size_t>(3, cfg.epochs / 4);
+  nessa.loss_window_epochs = std::max<std::size_t>(2, cfg.epochs / 40);
+  nessa.partition_quota = 8;
+  return nessa;
+}
+
+inline void print_banner(const std::string& what, const BenchConfig& cfg) {
+  std::cout << "=== " << what << " ===\n"
+            << "(substrate scale " << cfg.scale << ", " << cfg.epochs
+            << " epochs, seed " << cfg.seed
+            << "; see EXPERIMENTS.md for paper-vs-measured discussion)\n\n";
+}
+
+}  // namespace nessa::bench

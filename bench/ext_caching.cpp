@@ -1,0 +1,60 @@
+// Extension: NeSSA vs host-cache systems (SHADE [22] / iCache [23] family).
+// The paper's §1 argument: intelligent caching trims the input pipeline,
+// but the gradient work and the first-epoch/miss traffic remain; near-
+// storage *selection* removes both. Compared on CIFAR-10 (fits in an 8 GB
+// cache — caching's best case) and ImageNet-100 (does not fit).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace nessa;
+
+int main() {
+  bench::BenchConfig cfg;
+  cfg.epochs = bench::env_size_t("NESSA_BENCH_EPOCHS", 12);
+  bench::print_banner("Extension: caching baselines vs NeSSA", cfg);
+
+  smartssd::HostCache cache;  // 8 GB of decoded-sample cache
+
+  for (const std::string name : {"CIFAR-10", "ImageNet-100"}) {
+    auto c = bench::make_case(name, cfg);
+    auto& inputs = c.bind();
+
+    smartssd::SmartSsdSystem s1, s2, s3;
+    auto full = core::run_full(inputs, s1);
+    auto cached = core::run_full_cached(inputs, cache, s2);
+    auto nessa = core::run_nessa(inputs, bench::scaled_nessa(0.30, cfg), s3);
+
+    const auto& info = inputs.info;
+    const double ds_gb = static_cast<double>(info.paper_train_size) *
+                         info.stored_bytes_per_sample / 1e9;
+    util::Table table(name + " (" + util::Table::num(ds_gb, 1) +
+                      " GB on disk; cache 8 GB)");
+    table.set_header({"system", "acc (%)", "epoch (s)",
+                      "interconnect (GB/run)", "vs full"});
+    auto add = [&](const std::string& system, const core::RunResult& r) {
+      table.add_row(
+          {system, util::Table::pct(r.final_accuracy),
+           util::Table::num(util::to_seconds(r.mean_epoch_time), 2),
+           util::Table::num(static_cast<double>(r.interconnect_bytes) / 1e9,
+                            2),
+           util::Table::num(static_cast<double>(full.mean_epoch_time) /
+                                static_cast<double>(r.mean_epoch_time),
+                            2) +
+               "x"});
+    };
+    add("All data, no cache", full);
+    add("All data + 8 GB cache", cached);
+    add("NeSSA", nessa);
+    table.print(std::cout);
+    std::cout << "\n";
+    std::cerr << "[caching] " << name << " done\n";
+  }
+  std::cout << "shape: caching shortens epochs only as far as the input "
+               "pipeline's share; NeSSA shortens the gradient work itself "
+               "and keeps winning even when the whole dataset is cached. "
+               "(NeSSA's FPGA scores records from a reduced-resolution "
+               "representation; see ext_multidevice for the full-fidelity "
+               "regime.)\n";
+  return 0;
+}

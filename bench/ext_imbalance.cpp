@@ -1,0 +1,146 @@
+// Extension: class-imbalanced data (real SVHN is heavily imbalanced; the
+// paper's datasets are treated as balanced). The paper's selection is
+// per-class, which guarantees every class a proportional budget; this bench
+// shows what that buys: a *global* facility-location selection (no class
+// structure) over-allocates to dense majority classes and starves the rare
+// tail at small budgets, which shows up in rare-class recall first.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nessa/util/stats.hpp"
+#include "nessa/core/train_utils.hpp"
+#include "nessa/data/synthetic.hpp"
+#include "nessa/nn/confusion.hpp"
+#include "nessa/nn/optimizer.hpp"
+#include "nessa/selection/baselines.hpp"
+#include "nessa/selection/drivers.hpp"
+#include "nessa/nn/embedding.hpp"
+
+using namespace nessa;
+
+namespace {
+
+struct Outcome {
+  double accuracy = 0.0;
+  double macro_recall = 0.0;
+  double rare_recall = 0.0;  ///< mean recall of the 3 rarest classes
+};
+
+enum class Policy { kFull, kRandom, kPerClassFl, kGlobalFl };
+
+Outcome train_and_score(const data::Dataset& ds, std::size_t epochs,
+                        double fraction, Policy policy,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto model = nn::Sequential::mlp(
+      {ds.feature_dim(), 32, ds.num_classes()}, rng);
+  nn::Sgd sgd({.learning_rate = 0.05f,
+               .momentum = 0.9f,
+               .nesterov = true,
+               .weight_decay = 5e-4f});
+  const std::size_t k = static_cast<std::size_t>(
+      fraction * static_cast<double>(ds.train_size()));
+  std::vector<std::int32_t> labels(ds.train().labels.begin(),
+                                   ds.train().labels.end());
+  const auto all = core::iota_indices(ds.train_size());
+
+  for (std::size_t e = 0; e < epochs; ++e) {
+    if (policy == Policy::kFull) {
+      core::train_one_epoch(model, sgd, ds.train(), all, {}, 64, rng);
+      continue;
+    }
+    if (policy == Policy::kRandom) {
+      auto subset = selection::random_subset(ds.train_size(), k, rng);
+      core::train_one_epoch(model, sgd, ds.train(), subset, {}, 64, rng);
+      continue;
+    }
+    auto emb = nn::compute_embeddings(model, ds.train().features,
+                                      ds.train().labels,
+                                      nn::EmbeddingKind::kLogitGrad);
+    selection::DriverConfig driver;
+    driver.per_class = policy == Policy::kPerClassFl;
+    driver.partition_quota = 8;
+    driver.seed = seed * 100 + e;
+    auto sel = selection::select_coreset(emb.embeddings, labels, {}, k,
+                                         driver);
+    std::vector<double> weights(sel.weights.begin(), sel.weights.end());
+    core::train_one_epoch(model, sgd, ds.train(), sel.indices, weights, 64,
+                          rng);
+  }
+
+  auto cm = nn::evaluate_confusion(model, ds.test().features,
+                                   ds.test().labels);
+  Outcome out;
+  out.accuracy = cm.accuracy();
+  out.macro_recall = cm.macro_recall();
+  double rare = 0.0;
+  const std::size_t classes = ds.num_classes();
+  for (std::size_t c = classes - 3; c < classes; ++c) {
+    rare += cm.recall(static_cast<nn::Label>(c));
+  }
+  out.rare_recall = rare / 3.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchConfig cfg;
+  cfg.epochs = bench::env_size_t("NESSA_BENCH_EPOCHS", 15);
+  bench::print_banner(
+      "Extension: class-imbalanced data (Zipf frequencies, SVHN-like)", cfg);
+
+  data::SyntheticConfig dcfg;
+  dcfg.num_classes = 10;
+  dcfg.train_size = 3000;
+  dcfg.test_size = 1000;
+  dcfg.feature_dim = 29;
+  dcfg.class_separation = 3.4;
+  dcfg.modes_per_class = 12;
+  dcfg.mode_radius = 3.4;
+  dcfg.core_spread = 0.25;
+  dcfg.hard_fraction = 0.12;
+  dcfg.duplicate_fraction = 0.35;
+  dcfg.label_noise = 0.02;
+  dcfg.class_imbalance = 1.2;  // class 0 ~16x class 9
+  dcfg.seed = cfg.seed;
+  auto ds = data::make_synthetic(dcfg);
+
+  auto hist = ds.train_class_histogram();
+  std::cout << "train class counts: ";
+  for (auto c : hist) std::cout << c << " ";
+  std::cout << "\n\n";
+
+  const std::size_t seeds = bench::env_size_t("NESSA_BENCH_SEEDS", 5);
+  util::Table table;
+  table.set_header({"training set", "accuracy (%)", "macro recall (%)",
+                    "rare-3 recall (%)"});
+  const double budget = 0.10;
+  auto add = [&](const std::string& name, Policy policy, double fraction) {
+    util::RunningStats acc, macro, rare;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      auto o = train_and_score(ds, cfg.epochs, fraction, policy, 7 + s);
+      acc.add(o.accuracy);
+      macro.add(o.macro_recall);
+      rare.add(o.rare_recall);
+    }
+    table.add_row({name, util::Table::pct(acc.mean()),
+                   util::Table::pct(macro.mean()),
+                   util::Table::pct(rare.mean()) + " +/- " +
+                       util::Table::pct(rare.stddev())});
+    std::cerr << "[imbalance] " << name << " done\n";
+  };
+  add("full dataset", Policy::kFull, 1.0);
+  add("per-class FL 10 % (paper)", Policy::kPerClassFl, budget);
+  add("global FL 10 % (no class structure)", Policy::kGlobalFl, budget);
+  add("random 10 %", Policy::kRandom, budget);
+  table.print(std::cout);
+
+  std::cout << "\nreading (mean of " << seeds
+            << " seeds): the paper's per-class structure guarantees every "
+               "class its proportional budget and keeps the most macro and "
+               "rare-class recall at a fixed 10 %% budget; dropping the "
+               "structure (global selection) gives some of it back, and "
+               "random sampling the most.\n";
+  return 0;
+}

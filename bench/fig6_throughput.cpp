@@ -1,0 +1,45 @@
+// Figure 6: effective data-transfer throughput between the FPGA and the
+// on-board SSD for batch-128 record reads, per dataset. Paper anchor
+// points: CIFAR-10 (3 KB records) 1.46 GB/s; ImageNet-100 (126 KB records)
+// 2.28 GB/s; the theoretical P2P ceiling is 3 GB/s and the host-mediated
+// path manages ~1.4 GB/s.
+#include <iostream>
+
+#include "nessa/data/registry.hpp"
+#include "nessa/smartssd/device.hpp"
+#include "nessa/util/table.hpp"
+
+using namespace nessa;
+
+int main() {
+  std::cout << "=== Figure 6: FPGA <-> on-board SSD transfer throughput "
+               "(batch = 128) ===\n\n";
+  smartssd::SmartSsdSystem sys;
+
+  util::Table table;
+  table.set_header({"dataset", "KB/image", "P2P (GB/s)", "host path (GB/s)",
+                    "P2P advantage"});
+  auto add = [&](const std::string& name) {
+    const auto& info = data::dataset_info(name);
+    const double p2p = sys.p2p_bps(128, info.stored_bytes_per_sample) / 1e9;
+    const double host =
+        sys.conventional_path_bps(128 * info.stored_bytes_per_sample) / 1e9;
+    table.add_row({name,
+                   util::Table::num(info.stored_bytes_per_sample / 1000.0, 1),
+                   util::Table::num(p2p), util::Table::num(host),
+                   util::Table::num(p2p / host) + "x"});
+  };
+  add("MNIST");
+  for (const auto& info : data::paper_datasets()) add(info.name);
+  table.print(std::cout);
+
+  std::cout << "\ntheoretical P2P ceiling: "
+            << sys.config().p2p_bw_bps / 1e9
+            << " GB/s; paper anchors: CIFAR-10 1.46 GB/s, ImageNet-100 "
+               "2.28 GB/s; host-mediated ~1.4 GB/s (2.14x theoretical "
+               "advantage).\n";
+  std::cout << "shape: bigger records amortize per-command overhead and "
+               "saturate the drive better — storage-assisted training pays "
+               "off more as images grow.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Google-benchmark microbenchmarks for the selection kernels and the
+// quantized forward path: the §3.1 complexity claims (lazy and stochastic
+// greedy vs naive), the §3.2.3 partitioning win, and the §3.2.1
+// quantization win.
+#include <benchmark/benchmark.h>
+
+#include "nessa/nn/model.hpp"
+#include "nessa/quant/qmodel.hpp"
+#include "nessa/selection/drivers.hpp"
+#include "nessa/selection/greedy.hpp"
+#include "nessa/selection/kcenter.hpp"
+#include "nessa/util/rng.hpp"
+
+using namespace nessa;
+
+namespace {
+
+tensor::Tensor random_embeddings(std::size_t n, std::size_t d,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor t({n, d});
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.gaussian());
+  }
+  return t;
+}
+
+void BM_FacilityLocationBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto emb = random_embeddings(n, 10, 1);
+  for (auto _ : state) {
+    auto fl = selection::FacilityLocation::from_embeddings(emb);
+    benchmark::DoNotOptimize(fl.ground_size());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_FacilityLocationBuild)->Range(64, 1024)->Complexity();
+
+void BM_NaiveGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto fl = selection::FacilityLocation::from_embeddings(
+      random_embeddings(n, 10, 2));
+  for (auto _ : state) {
+    auto result = selection::naive_greedy(fl, n / 10);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_NaiveGreedy)->Range(64, 512);
+
+void BM_LazyGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto fl = selection::FacilityLocation::from_embeddings(
+      random_embeddings(n, 10, 2));
+  for (auto _ : state) {
+    auto result = selection::lazy_greedy(fl, n / 10);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_LazyGreedy)->Range(64, 512);
+
+void BM_StochasticGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto fl = selection::FacilityLocation::from_embeddings(
+      random_embeddings(n, 10, 2));
+  util::Rng rng(3);
+  for (auto _ : state) {
+    auto result = selection::stochastic_greedy(fl, n / 10, rng);
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_StochasticGreedy)->Range(64, 512);
+
+void BM_KCenterGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto pts = random_embeddings(n, 10, 4);
+  for (auto _ : state) {
+    auto result = selection::kcenter_greedy(pts, n / 10);
+    benchmark::DoNotOptimize(result.max_radius);
+  }
+}
+BENCHMARK(BM_KCenterGreedy)->Range(64, 1024);
+
+/// §3.2.3: monolithic vs partition-chunked selection at equal budget.
+void BM_SelectMonolithic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto emb = random_embeddings(n, 10, 5);
+  std::vector<std::int32_t> labels(n, 0);
+  selection::DriverConfig cfg;
+  cfg.per_class = false;
+  cfg.partition_quota = 0;
+  for (auto _ : state) {
+    auto result = selection::select_coreset(emb, labels, {}, n / 5, cfg);
+    benchmark::DoNotOptimize(result.indices.data());
+  }
+}
+BENCHMARK(BM_SelectMonolithic)->Range(256, 2048);
+
+void BM_SelectPartitioned(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto emb = random_embeddings(n, 10, 5);
+  std::vector<std::int32_t> labels(n, 0);
+  selection::DriverConfig cfg;
+  cfg.per_class = false;
+  cfg.partition_quota = 64;
+  for (auto _ : state) {
+    auto result = selection::select_coreset(emb, labels, {}, n / 5, cfg);
+    benchmark::DoNotOptimize(result.indices.data());
+  }
+}
+BENCHMARK(BM_SelectPartitioned)->Range(256, 2048);
+
+/// §3.2.1: float vs int8 forward pass of the selection model.
+void BM_FloatForward(benchmark::State& state) {
+  util::Rng rng(6);
+  auto model = nn::Sequential::mlp({64, 256, 128, 10}, rng);
+  auto x = random_embeddings(128, 64, 7);
+  for (auto _ : state) {
+    auto y = model.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FloatForward);
+
+void BM_QuantizedForward(benchmark::State& state) {
+  util::Rng rng(6);
+  auto model = nn::Sequential::mlp({64, 256, 128, 10}, rng);
+  auto qmodel = quant::QuantizedMlp::from_model(model);
+  auto x = random_embeddings(128, 64, 7);
+  for (auto _ : state) {
+    auto y = qmodel.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_QuantizedForward);
+
+void BM_QuantizeRefresh(benchmark::State& state) {
+  util::Rng rng(8);
+  auto model = nn::Sequential::mlp({64, 256, 128, 10}, rng);
+  auto qmodel = quant::QuantizedMlp::from_model(model);
+  for (auto _ : state) {
+    qmodel.refresh_from(model);
+    benchmark::DoNotOptimize(qmodel.payload_bytes());
+  }
+}
+BENCHMARK(BM_QuantizeRefresh);
+
+}  // namespace

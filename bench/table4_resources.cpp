@@ -1,0 +1,61 @@
+// Table 4: FPGA resource utilization of the NeSSA selection kernel on the
+// SmartSSD's Kintex KU15P, from the analytic resource model (calibrated as
+// the Vitis implementation report substitute — see DESIGN.md).
+//
+// Paper: LUT 432k avail / 67.53 %, FF 919k / 23.14 %, BRAM 738 / 50.30 %,
+//        DSP 1962 / 42.67 %.
+#include <iostream>
+
+#include "nessa/smartssd/resource_model.hpp"
+#include "nessa/util/table.hpp"
+
+using namespace nessa;
+
+int main() {
+  std::cout << "=== Table 4: resource utilization (KU15P) ===\n\n";
+  const smartssd::FpgaBudget budget;
+  const smartssd::KernelConfig kernel;
+  const auto usage = smartssd::estimate_resources(kernel);
+
+  util::Table table;
+  table.set_header({"Resource", "Available", "Used", "Util (%)",
+                    "paper (%)"});
+  table.add_row({"LUT", util::Table::num(budget.lut),
+                 util::Table::num(usage.lut),
+                 util::Table::num(usage.lut_pct(budget)), "67.53"});
+  table.add_row({"FF", util::Table::num(budget.ff),
+                 util::Table::num(usage.ff),
+                 util::Table::num(usage.ff_pct(budget)), "23.14"});
+  table.add_row({"BRAM", util::Table::num(budget.bram36),
+                 util::Table::num(usage.bram36),
+                 util::Table::num(usage.bram_pct(budget)), "50.30"});
+  table.add_row({"DSP", util::Table::num(budget.dsp),
+                 util::Table::num(usage.dsp),
+                 util::Table::num(usage.dsp_pct(budget)), "42.67"});
+  table.print(std::cout);
+
+  std::cout << "\nkernel config: " << kernel.int8_mac_lanes
+            << " int8 MAC lanes, " << kernel.simd_lanes
+            << " similarity lanes, chunk capacity " << kernel.chunk_capacity
+            << " (buffer "
+            << smartssd::chunk_buffer_bytes(kernel.chunk_capacity) / 1024
+            << " KiB of " << smartssd::kOnChipBytes / 1000
+            << " KB on-chip)\n\n";
+
+  // Ablation: how utilization scales with the kernel's parallelism — the
+  // design-space sweep a Vitis user would run.
+  util::Table sweep("ablation: lanes vs utilization");
+  sweep.set_header({"MAC lanes", "SIMD lanes", "LUT %", "DSP %", "fits?"});
+  for (std::size_t mac : {256u, 512u, 1024u, 2048u, 4096u}) {
+    smartssd::KernelConfig k = kernel;
+    k.int8_mac_lanes = mac;
+    k.simd_lanes = mac / 4;
+    const auto u = smartssd::estimate_resources(k);
+    sweep.add_row({util::Table::num(mac), util::Table::num(k.simd_lanes),
+                   util::Table::num(u.lut_pct(budget)),
+                   util::Table::num(u.dsp_pct(budget)),
+                   u.fits(budget) ? "yes" : "no"});
+  }
+  sweep.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Multi-SmartSSD NeSSA: shard a large dataset across several computational
+// storage devices, select with distributed GreeDi, and watch the selection
+// phase stop being the bottleneck.
+//
+//   $ ./examples/multi_device [devices] [epochs]
+#include <cstdlib>
+#include <iostream>
+
+#include "nessa/core/pipeline.hpp"
+#include "nessa/util/table.hpp"
+
+using namespace nessa;
+
+int main(int argc, char** argv) {
+  const std::size_t devices =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  const std::size_t epochs =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 10;
+
+  const auto& info = data::dataset_info("ImageNet-100");
+  auto ds = data::make_substrate_dataset(info, 0.03);
+
+  core::PipelineInputs inputs;
+  inputs.dataset = &ds;
+  inputs.info = info;
+  inputs.model = nn::model_spec(info.paper_network);
+  inputs.train.epochs = epochs;
+  inputs.train.batch_size = 128;
+
+  core::NessaConfig cfg;
+  cfg.subset_fraction = 0.30;
+  cfg.partition_quota = 8;
+
+  std::cout << "multi-device NeSSA on " << info.name << " ("
+            << info.paper_train_size << " x "
+            << info.stored_bytes_per_sample / 1000 << " KB at paper scale; "
+            << ds.train_size() << " substrate samples)\n\n";
+
+  smartssd::SmartSsdSystem single_sys, multi_sys;
+  auto single =
+      core::run_nessa_multi(inputs, cfg, core::MultiDeviceConfig{1},
+                            single_sys);
+  auto multi = core::run_nessa_multi(
+      inputs, cfg, core::MultiDeviceConfig{devices}, multi_sys);
+
+  util::Table table("1 device vs " + std::to_string(devices) + " devices");
+  table.set_header({"metric", "1 device", std::to_string(devices) + " devices"});
+  auto phase = [](const core::RunResult& r, auto pick) {
+    util::SimTime total = 0;
+    for (const auto& e : r.epochs) total += pick(e.cost);
+    return util::to_seconds(total / static_cast<util::SimTime>(r.epochs.size()));
+  };
+  table.add_row({"final accuracy (%)", util::Table::pct(single.final_accuracy),
+                 util::Table::pct(multi.final_accuracy)});
+  table.add_row(
+      {"scan time / epoch (s)",
+       util::Table::num(phase(single, [](auto& c) { return c.storage_scan; }), 2),
+       util::Table::num(phase(multi, [](auto& c) { return c.storage_scan; }), 2)});
+  table.add_row(
+      {"selection time / epoch (s)",
+       util::Table::num(phase(single, [](auto& c) { return c.selection; }), 2),
+       util::Table::num(phase(multi, [](auto& c) { return c.selection; }), 2)});
+  table.add_row(
+      {"epoch time (s)",
+       util::Table::num(util::to_seconds(single.mean_epoch_time), 2),
+       util::Table::num(util::to_seconds(multi.mean_epoch_time), 2)});
+  table.print(std::cout);
+
+  std::cout << "\nGreeDi keeps the subsets near-centralized quality while "
+               "the scan parallelizes across drives (paper §5 future "
+               "work).\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Selection anatomy: use the traced generator's ground-truth provenance to
+// see *what kind of samples* each selection policy spends its budget on —
+// the mechanics behind Table 3's ordering.
+//
+//   $ ./examples/selection_anatomy
+#include <iostream>
+
+#include "nessa/data/synthetic.hpp"
+#include "nessa/nn/embedding.hpp"
+#include "nessa/nn/optimizer.hpp"
+#include "nessa/selection/baselines.hpp"
+#include "nessa/selection/drivers.hpp"
+#include "nessa/selection/kcenter.hpp"
+#include "nessa/util/table.hpp"
+
+using namespace nessa;
+
+int main() {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 8;
+  cfg.train_size = 2000;
+  cfg.test_size = 400;
+  cfg.feature_dim = 24;
+  cfg.modes_per_class = 12;
+  cfg.mode_radius = 3.0;
+  cfg.core_spread = 0.25;
+  cfg.hard_fraction = 0.15;
+  cfg.duplicate_fraction = 0.30;
+  cfg.label_noise = 0.05;
+  cfg.seed = 2024;
+  auto traced = data::make_synthetic_traced(cfg);
+  const auto& ds = traced.dataset;
+  const auto& prov = traced.provenance;
+
+  std::cout << "population (ground truth from the generator):\n"
+            << "  core " << prov.count(data::SampleKind::kCore)
+            << ", duplicates " << prov.count(data::SampleKind::kDuplicate)
+            << ", boundary " << prov.count(data::SampleKind::kHard)
+            << ", mislabeled outliers "
+            << prov.count(data::SampleKind::kOutlier) << " of "
+            << ds.train_size() << "\n\n";
+
+  // Briefly warmed model -> gradient embeddings + losses.
+  util::Rng rng(3);
+  auto model = nn::Sequential::mlp(
+      {cfg.feature_dim, 32, cfg.num_classes}, rng);
+  nn::Sgd sgd;
+  nn::SoftmaxCrossEntropy loss_fn;
+  for (int step = 0; step < 10; ++step) {
+    model.zero_grads();
+    auto loss = loss_fn.forward(model.forward(ds.train().features, true),
+                                ds.train().labels);
+    model.backward(loss_fn.backward(loss, ds.train().labels));
+    sgd.step(model.params());
+  }
+  auto emb = nn::compute_embeddings(model, ds.train().features,
+                                    ds.train().labels,
+                                    nn::EmbeddingKind::kLogitGrad);
+  std::vector<std::int32_t> labels(ds.train().labels.begin(),
+                                   ds.train().labels.end());
+
+  const std::size_t k = ds.train_size() / 5;
+  selection::DriverConfig driver;
+  driver.partition_quota = 16;
+  auto fl = selection::select_coreset(emb.embeddings, labels, {}, k, driver);
+  auto kc = selection::kcenter_greedy(ds.train().features, k);
+  auto topk = selection::loss_topk(emb.losses, k);
+  util::Rng sample_rng(17);
+  auto rnd = selection::random_subset(ds.train_size(), k, sample_rng);
+
+  util::Table table("budget composition per policy (selected fractions, %)");
+  table.set_header({"policy", "core", "duplicate", "boundary",
+                    "mislabeled outlier", "modes covered"});
+  auto add = [&](const std::string& name,
+                 const std::vector<std::size_t>& sel) {
+    table.add_row(
+        {name,
+         util::Table::pct(
+             prov.selected_fraction(sel, data::SampleKind::kCore)),
+         util::Table::pct(
+             prov.selected_fraction(sel, data::SampleKind::kDuplicate)),
+         util::Table::pct(
+             prov.selected_fraction(sel, data::SampleKind::kHard)),
+         util::Table::pct(
+             prov.selected_fraction(sel, data::SampleKind::kOutlier)),
+         util::Table::num(prov.modes_covered(sel))});
+  };
+  add("facility location (NeSSA)", fl.indices);
+  add("K-centers [17]", kc.selected);
+  add("loss top-k [19]", topk);
+  add("random", rnd);
+  table.print(std::cout);
+
+  std::cout << "\nreading: every informed policy shifts budget from "
+               "duplicates toward boundary samples (outlier base rate "
+            << util::Table::pct(
+                   static_cast<double>(
+                       prov.count(data::SampleKind::kOutlier)) /
+                   static_cast<double>(ds.train_size()))
+            << " %). K-centers does it by raw distance and spends the most "
+               "on boundary+outlier extremes; facility location keeps about "
+               "twice K-centers' coverage of representative cores while "
+               "halving random's duplicate share — the balance that makes "
+               "its subsets train well.\n";
+  return 0;
+}

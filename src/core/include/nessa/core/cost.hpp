@@ -1,0 +1,67 @@
+// Per-epoch and per-run cost accounting: simulated time per pipeline phase
+// and bytes per traffic class. These aggregates are what the Figure 4 /
+// §4.4 benches report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::core {
+
+using util::SimTime;
+
+struct EpochCost {
+  SimTime storage_scan = 0;   ///< flash -> selection engine (P2P or host)
+  SimTime selection = 0;      ///< forward passes + similarity + greedy
+  SimTime subset_transfer = 0;///< selected data -> GPU
+  SimTime gpu_compute = 0;    ///< training compute on the GPU
+  SimTime feedback = 0;       ///< quantized weights back to the FPGA
+  /// NeSSA pipelines the FPGA selection of epoch t+1 with the GPU training
+  /// of epoch t (both devices are independent), so its epoch critical path
+  /// is max(fpga phase, gpu phase). CPU-side baselines are serial.
+  bool selection_overlapped = false;
+
+  [[nodiscard]] SimTime fpga_phase() const noexcept {
+    return storage_scan + selection;
+  }
+  [[nodiscard]] SimTime gpu_phase() const noexcept {
+    return subset_transfer + gpu_compute + feedback;
+  }
+  [[nodiscard]] SimTime total() const noexcept {
+    if (selection_overlapped) {
+      return fpga_phase() > gpu_phase() ? fpga_phase() : gpu_phase();
+    }
+    return fpga_phase() + gpu_phase();
+  }
+};
+
+struct EpochReport {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;       ///< mean loss over trained batches
+  double test_accuracy = 0.0;
+  std::size_t subset_size = 0;   ///< substrate-scale samples trained on
+  std::size_t pool_size = 0;     ///< candidate pool after biasing drops
+  double subset_fraction = 0.0;  ///< subset / original train size
+  EpochCost cost;
+};
+
+struct RunResult {
+  std::vector<EpochReport> epochs;
+  double final_accuracy = 0.0;
+  double best_accuracy = 0.0;
+  /// Average trained fraction across epochs (Table 2's "Subset (%)").
+  double mean_subset_fraction = 0.0;
+  /// Simulated wall time aggregates at paper scale.
+  SimTime total_time = 0;
+  SimTime mean_epoch_time = 0;
+  /// Bytes that crossed the drive-host interconnect over the whole run.
+  std::uint64_t interconnect_bytes = 0;
+  /// Bytes moved on-board over P2P (NeSSA only).
+  std::uint64_t p2p_bytes = 0;
+
+  void finalize();
+};
+
+}  // namespace nessa::core

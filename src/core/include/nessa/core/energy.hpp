@@ -1,0 +1,42 @@
+// Energy accounting over a training run — the quantitative form of the
+// paper's §2.2 power argument: selection on the SmartSSD's 7.5 W FPGA
+// instead of a 45-250 W GPU or a ~150 W host CPU, and fewer GPU-hours
+// overall because epochs shrink.
+//
+// Phase-to-device attribution:
+//   storage_scan + selection -> the selection device (FPGA for NeSSA, host
+//                               CPU+GPU mix for CRAIG/K-centers, none for
+//                               full/random),
+//   subset_transfer          -> charged to the host CPU (DMA management),
+//   gpu_compute              -> the GPU at its TDP,
+//   feedback                 -> host CPU.
+#pragma once
+
+#include "nessa/core/cost.hpp"
+#include "nessa/smartssd/cpu_model.hpp"
+#include "nessa/smartssd/fpga.hpp"
+#include "nessa/smartssd/gpu_model.hpp"
+
+namespace nessa::core {
+
+/// Where a pipeline runs its selection phase.
+enum class SelectionSite { kNone, kFpga, kHostCpu };
+
+struct EnergyReport {
+  double selection_joules = 0.0;  ///< FPGA or CPU, per attribution above
+  double transfer_joules = 0.0;   ///< host CPU during transfers/feedback
+  double gpu_joules = 0.0;        ///< training compute
+
+  [[nodiscard]] double total() const noexcept {
+    return selection_joules + transfer_joules + gpu_joules;
+  }
+};
+
+/// Estimate the energy of a whole run from its per-epoch cost breakdown.
+EnergyReport estimate_energy(const RunResult& run,
+                             const smartssd::GpuSpec& gpu,
+                             SelectionSite site,
+                             const smartssd::FpgaConfig& fpga = {},
+                             const smartssd::CpuSpec& cpu = {});
+
+}  // namespace nessa::core

@@ -1,0 +1,90 @@
+// Common inputs for the training pipelines and the pipeline entry points.
+//
+// Every pipeline couples two scales (see config.hpp): real substrate
+// training for accuracy, analytic paper-scale costing for time and bytes.
+// All four of the paper's comparison systems are here:
+//   run_nessa    — the full SmartSSD+GPU system with §3.2 optimizations,
+//   run_full     — conventional training on all data (the "Goal"/"All Data"
+//                  column),
+//   run_craig    — CRAIG [20]: CPU-side per-epoch coreset selection,
+//   run_kcenter  — K-centers [17]: CPU-side farthest-first core-set,
+//   run_random   — uniform random subset (sanity baseline).
+#pragma once
+
+#include <functional>
+
+#include "nessa/core/config.hpp"
+#include "nessa/core/cost.hpp"
+#include "nessa/data/dataset.hpp"
+#include "nessa/data/registry.hpp"
+#include "nessa/nn/model.hpp"
+#include "nessa/smartssd/device.hpp"
+#include "nessa/smartssd/host_cache.hpp"
+
+namespace nessa::core {
+
+struct PipelineInputs {
+  const data::Dataset* dataset = nullptr;  ///< substrate data (required)
+  data::DatasetInfo info;                  ///< paper-scale metadata
+  nn::ModelSpec model;                     ///< target network spec
+  TrainConfig train;
+  /// Optional custom target architecture (e.g. a conv mini-ResNet). When
+  /// set, it replaces the spec's MLP; the paper-scale FLOP/parameter
+  /// numbers still come from `model`. NeSSA's selection kernel falls back
+  /// to the float variant automatically when the architecture cannot be
+  /// expressed by the int8 MLP kernel.
+  std::function<nn::Sequential(util::Rng&)> model_factory;
+};
+
+/// Conventional full-dataset training (paper "All Data" / Table 3 "Goal").
+RunResult run_full(const PipelineInputs& inputs,
+                   smartssd::SmartSsdSystem& system);
+
+/// NeSSA (§3): near-storage quantized selection + GPU subset training.
+RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
+                    smartssd::SmartSsdSystem& system);
+
+/// CRAIG [20]: float-model gradient embeddings + per-class facility
+/// location, selection on the host CPU each epoch, weighted subset SGD.
+RunResult run_craig(const PipelineInputs& inputs, double subset_fraction,
+                    smartssd::SmartSsdSystem& system);
+
+/// K-centers [17]: greedy k-center over penultimate features, selection on
+/// the host CPU each epoch, unweighted subset SGD.
+RunResult run_kcenter(const PipelineInputs& inputs, double subset_fraction,
+                      smartssd::SmartSsdSystem& system);
+
+/// Uniform random subset each epoch.
+RunResult run_random(const PipelineInputs& inputs, double subset_fraction,
+                     smartssd::SmartSsdSystem& system);
+
+/// Full-data training behind a SHADE/iCache-style host cache [22, 23]:
+/// same gradient work as run_full, but cache hits skip the storage read +
+/// decode path. The comparison the paper's intro makes: caching trims I/O
+/// time, NeSSA removes both the I/O *and* most of the gradient work.
+RunResult run_full_cached(const PipelineInputs& inputs,
+                          const smartssd::HostCache& cache,
+                          smartssd::SmartSsdSystem& system);
+
+/// "Biggest losers" baseline [19]: trains on the top-k highest-loss
+/// examples each epoch (host-side loss scan, no submodular structure).
+RunResult run_loss_topk(const PipelineInputs& inputs, double subset_fraction,
+                        smartssd::SmartSsdSystem& system);
+
+/// Multi-SmartSSD scaling (the paper's §5 future work): the dataset is
+/// sharded across `devices` identical SmartSSDs; each runs the quantized
+/// scan and a local GreeDi round over its shard in parallel, a merge device
+/// re-selects over the union, and the GPU trains on the final subset.
+struct MultiDeviceConfig {
+  std::size_t devices = 2;
+};
+
+/// `system` models ONE device (they are identical); per-device phases run
+/// in parallel so the simulated scan/forward time divides by the device
+/// count, while merge communication and feedback broadcast grow with it.
+RunResult run_nessa_multi(const PipelineInputs& inputs,
+                          const NessaConfig& config,
+                          const MultiDeviceConfig& multi,
+                          smartssd::SmartSsdSystem& system);
+
+}  // namespace nessa::core

@@ -1,0 +1,32 @@
+// Machine-readable run reports: serialize a RunResult (plus identifying
+// metadata) to JSON for downstream plotting/analysis. Hand-rolled writer —
+// the schema is flat and the library carries no JSON dependency.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nessa/core/cost.hpp"
+
+namespace nessa::core {
+
+struct RunMetadata {
+  std::string pipeline;  ///< e.g. "nessa", "full", "craig"
+  std::string dataset;
+  std::string network;
+  std::string gpu;
+  std::size_t devices = 1;
+  std::uint64_t seed = 0;
+};
+
+/// Write `{meta..., summary..., epochs:[...]}` as pretty-printed JSON.
+void write_json_report(const RunMetadata& meta, const RunResult& run,
+                       std::ostream& os);
+
+void write_json_report_file(const RunMetadata& meta, const RunResult& run,
+                            const std::string& path);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& text);
+
+}  // namespace nessa::core

@@ -1,0 +1,29 @@
+// Shared GPU-side (substrate) training helpers used by every pipeline.
+#pragma once
+
+#include <span>
+
+#include "nessa/data/dataset.hpp"
+#include "nessa/data/sampler.hpp"
+#include "nessa/nn/metrics.hpp"
+#include "nessa/nn/model.hpp"
+#include "nessa/nn/optimizer.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::core {
+
+/// One epoch of (optionally weighted) mini-batch SGD over the samples of
+/// `split` indexed by `indices`. `weights`, when non-empty, gives a per-
+/// sample gradient weight (CRAIG's medoid cluster sizes); weights are
+/// normalized per batch so the expected update magnitude matches unweighted
+/// SGD. Returns the mean training loss.
+double train_one_epoch(nn::Sequential& model, nn::Sgd& optimizer,
+                       const data::Split& split,
+                       std::span<const std::size_t> indices,
+                       std::span<const double> weights,
+                       std::size_t batch_size, util::Rng& rng);
+
+/// Identity permutation [0, n).
+std::vector<std::size_t> iota_indices(std::size_t n);
+
+}  // namespace nessa::core

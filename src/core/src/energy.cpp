@@ -1,0 +1,36 @@
+#include "nessa/core/energy.hpp"
+
+namespace nessa::core {
+
+EnergyReport estimate_energy(const RunResult& run,
+                             const smartssd::GpuSpec& gpu,
+                             SelectionSite site,
+                             const smartssd::FpgaConfig& fpga,
+                             const smartssd::CpuSpec& cpu) {
+  EnergyReport report;
+  double selection_watts = 0.0;
+  switch (site) {
+    case SelectionSite::kNone:
+      selection_watts = 0.0;
+      break;
+    case SelectionSite::kFpga:
+      selection_watts = fpga.power_watts;
+      break;
+    case SelectionSite::kHostCpu:
+      selection_watts = cpu.power_watts;
+      break;
+  }
+  for (const auto& epoch : run.epochs) {
+    const double select_s =
+        util::to_seconds(epoch.cost.storage_scan + epoch.cost.selection);
+    const double transfer_s =
+        util::to_seconds(epoch.cost.subset_transfer + epoch.cost.feedback);
+    const double gpu_s = util::to_seconds(epoch.cost.gpu_compute);
+    report.selection_joules += selection_watts * select_s;
+    report.transfer_joules += cpu.power_watts * transfer_s;
+    report.gpu_joules += gpu.power_watts * gpu_s;
+  }
+  return report;
+}
+
+}  // namespace nessa::core

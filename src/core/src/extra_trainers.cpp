@@ -1,0 +1,135 @@
+// Additional comparison pipelines:
+//  - run_full_cached: full-data training behind a SHADE/iCache-style host
+//    cache (the paper's §1 argument that caching alone cannot solve the
+//    training bottleneck — gradient work is untouched);
+//  - run_loss_topk: the "biggest losers" heuristic [19], which ranks by
+//    loss alone and therefore chases label noise and boundary points
+//    without any representativeness constraint.
+#include <algorithm>
+#include <cmath>
+
+#include "nessa/core/pipeline.hpp"
+#include "nessa/core/train_utils.hpp"
+#include "nessa/nn/embedding.hpp"
+#include "nessa/nn/metrics.hpp"
+#include "nessa/nn/optimizer.hpp"
+#include "nessa/selection/baselines.hpp"
+#include "pipeline_common.hpp"
+
+namespace nessa::core {
+
+RunResult run_full_cached(const PipelineInputs& inputs,
+                          const smartssd::HostCache& cache,
+                          smartssd::SmartSsdSystem& system) {
+  detail::check_inputs(inputs);
+  const data::Dataset& ds = *inputs.dataset;
+  util::Rng rng(inputs.train.seed);
+  auto model = detail::build_target_model(inputs, rng);
+  nn::Sgd sgd(inputs.train.sgd);
+  auto schedule = inputs.train.scale_lr_schedule
+                      ? nn::StepLrSchedule::paper_scaled(inputs.train.epochs)
+                      : nn::StepLrSchedule::paper_default();
+
+  const auto indices = iota_indices(ds.train_size());
+  const auto& gpu = system.gpu();
+  const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
+  const std::size_t paper_n = inputs.info.paper_train_size;
+
+  RunResult result;
+  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+    sgd.set_learning_rate(schedule.lr_at(epoch));
+    EpochReport report;
+    report.epoch = epoch;
+    report.subset_size = indices.size();
+    report.pool_size = indices.size();
+    report.subset_fraction = 1.0;
+
+    report.train_loss =
+        train_one_epoch(model, sgd, ds.train(), indices, {},
+                        inputs.train.batch_size, rng);
+    report.test_accuracy =
+        nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
+
+    // Identical gradient work; the cache only shortens the input pipeline
+    // and shrinks interconnect traffic to the miss set.
+    report.cost.subset_transfer =
+        cache.epoch_data_time(gpu, paper_n, sample_bytes);
+    report.cost.gpu_compute = smartssd::train_compute_time(
+        gpu, paper_n, inputs.model.paper_gflops_per_sample,
+        inputs.train.batch_size);
+    result.interconnect_bytes +=
+        cache.epoch_miss_bytes(paper_n, sample_bytes);
+
+    result.epochs.push_back(std::move(report));
+  }
+  (void)system;
+  result.finalize();
+  return result;
+}
+
+RunResult run_loss_topk(const PipelineInputs& inputs, double subset_fraction,
+                        smartssd::SmartSsdSystem& system) {
+  detail::check_inputs(inputs);
+  const data::Dataset& ds = *inputs.dataset;
+  const std::size_t n = ds.train_size();
+  util::Rng rng(inputs.train.seed);
+  auto model = detail::build_target_model(inputs, rng);
+  nn::Sgd sgd(inputs.train.sgd);
+  auto schedule = inputs.train.scale_lr_schedule
+                      ? nn::StepLrSchedule::paper_scaled(inputs.train.epochs)
+                      : nn::StepLrSchedule::paper_default();
+
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(subset_fraction *
+                                             static_cast<double>(n))));
+  const auto& gpu = system.gpu();
+  const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
+  const std::size_t paper_n = inputs.info.paper_train_size;
+  const std::size_t paper_k = detail::paper_count(inputs, subset_fraction);
+
+  RunResult result;
+  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+    sgd.set_learning_rate(schedule.lr_at(epoch));
+
+    // Loss scan over everything (GPU inference), then a trivial top-k.
+    auto emb = nn::compute_embeddings(model, ds.train().features,
+                                      ds.train().labels,
+                                      nn::EmbeddingKind::kLogitGrad);
+    auto subset = selection::loss_topk(emb.losses, k);
+
+    EpochReport report;
+    report.epoch = epoch;
+    report.subset_size = subset.size();
+    report.pool_size = n;
+    report.subset_fraction =
+        static_cast<double>(subset.size()) / static_cast<double>(n);
+    report.train_loss =
+        train_one_epoch(model, sgd, ds.train(), subset, {},
+                        inputs.train.batch_size, rng);
+    report.test_accuracy =
+        nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
+
+    const auto scan_link = system.flash_to_host(paper_n, sample_bytes);
+    const auto scan_decode =
+        smartssd::epoch_cost(gpu, paper_n, sample_bytes, 0.0,
+                             inputs.train.batch_size)
+            .data_time;
+    report.cost.storage_scan = std::max(scan_link, scan_decode);
+    result.interconnect_bytes +=
+        static_cast<std::uint64_t>(paper_n) * sample_bytes;
+    report.cost.selection = smartssd::inference_time(
+        gpu, paper_n, inputs.model.paper_gflops_per_sample,
+        inputs.train.batch_size);
+    report.cost.subset_transfer = system.host_to_gpu(
+        static_cast<std::uint64_t>(paper_k) * sample_bytes);
+    report.cost.gpu_compute = smartssd::train_compute_time(
+        gpu, paper_k, inputs.model.paper_gflops_per_sample,
+        inputs.train.batch_size);
+
+    result.epochs.push_back(std::move(report));
+  }
+  result.finalize();
+  return result;
+}
+
+}  // namespace nessa::core

@@ -1,0 +1,57 @@
+#include "nessa/core/pipeline.hpp"
+#include "nessa/core/train_utils.hpp"
+#include "nessa/nn/metrics.hpp"
+#include "nessa/nn/optimizer.hpp"
+#include "pipeline_common.hpp"
+
+namespace nessa::core {
+
+RunResult run_full(const PipelineInputs& inputs,
+                   smartssd::SmartSsdSystem& system) {
+  detail::check_inputs(inputs);
+  const data::Dataset& ds = *inputs.dataset;
+  util::Rng rng(inputs.train.seed);
+  auto model = detail::build_target_model(inputs, rng);
+  nn::Sgd sgd(inputs.train.sgd);
+  auto schedule = inputs.train.scale_lr_schedule
+                      ? nn::StepLrSchedule::paper_scaled(inputs.train.epochs)
+                      : nn::StepLrSchedule::paper_default();
+
+  const auto indices = iota_indices(ds.train_size());
+  const auto& gpu = system.gpu();
+  const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
+  const std::size_t paper_n = inputs.info.paper_train_size;
+
+  RunResult result;
+  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+    sgd.set_learning_rate(schedule.lr_at(epoch));
+    EpochReport report;
+    report.epoch = epoch;
+    report.subset_size = indices.size();
+    report.pool_size = indices.size();
+    report.subset_fraction = 1.0;
+
+    report.train_loss =
+        train_one_epoch(model, sgd, ds.train(), indices, {},
+                        inputs.train.batch_size, rng);
+    report.test_accuracy =
+        nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
+
+    // Paper-scale cost: the whole dataset streams SSD -> host -> GPU every
+    // epoch (at these scales training data is re-read and re-decoded per
+    // epoch; the GPU model's data_time covers the host input pipeline).
+    auto gpu_cost = smartssd::epoch_cost(gpu, paper_n, sample_bytes,
+                                         inputs.model.paper_gflops_per_sample,
+                                         inputs.train.batch_size);
+    report.cost.subset_transfer = gpu_cost.data_time;
+    report.cost.gpu_compute = gpu_cost.compute_time;
+    result.interconnect_bytes +=
+        static_cast<std::uint64_t>(paper_n) * sample_bytes;
+
+    result.epochs.push_back(std::move(report));
+  }
+  result.finalize();
+  return result;
+}
+
+}  // namespace nessa::core

@@ -1,0 +1,235 @@
+// Multi-SmartSSD NeSSA (paper §5 future work, built on GreeDi [42]):
+//
+//   shard pool across D devices
+//     -> per device (parallel): P2P scan + quantized forward + local
+//        facility-location round over the shard
+//     -> local winners' embeddings ship to the merge device (int8, tiny)
+//     -> merge device re-selects k over the union
+//     -> subset to GPU, train, quantized weights broadcast to all devices
+//
+// Timing: the per-device phase takes the max over devices (they run in
+// parallel); merge communication and the weight broadcast scale with D.
+// Subset biasing and dynamic sizing operate on the global pool exactly as
+// in the single-device trainer.
+#include <algorithm>
+#include <cmath>
+
+#include "nessa/core/near_storage.hpp"
+#include "nessa/core/pipeline.hpp"
+#include "nessa/core/train_utils.hpp"
+#include "nessa/nn/metrics.hpp"
+#include "nessa/nn/optimizer.hpp"
+#include "nessa/quant/qmodel.hpp"
+#include "nessa/selection/greedi.hpp"
+#include "nessa/util/stats.hpp"
+#include "pipeline_common.hpp"
+
+namespace nessa::core {
+
+RunResult run_nessa_multi(const PipelineInputs& inputs,
+                          const NessaConfig& config,
+                          const MultiDeviceConfig& multi,
+                          smartssd::SmartSsdSystem& system) {
+  detail::check_inputs(inputs);
+  if (multi.devices == 0) {
+    throw std::invalid_argument("run_nessa_multi: need at least one device");
+  }
+  const data::Dataset& ds = *inputs.dataset;
+  const std::size_t n = ds.train_size();
+  const std::size_t devices = multi.devices;
+
+  util::Rng rng(inputs.train.seed);
+  auto model = detail::build_target_model(inputs, rng);
+  auto qmodel = quant::QuantizedMlp::from_model(model);
+  nn::Sgd sgd(inputs.train.sgd);
+  auto schedule = inputs.train.scale_lr_schedule
+                      ? nn::StepLrSchedule::paper_scaled(inputs.train.epochs)
+                      : nn::StepLrSchedule::paper_default();
+
+  std::vector<std::size_t> pool = iota_indices(n);
+  LossHistory history(n, config.loss_window_epochs);
+  std::vector<bool> last_correct(n, false);
+
+  double fraction = config.subset_fraction;
+  double prev_loss = -1.0;
+
+  const auto& gpu = system.gpu();
+  const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
+  const double ratio = detail::scale_ratio(inputs);
+  const std::uint64_t macs_per_sample = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(detail::paper_macs_per_sample(inputs)) *
+             config.selection_proxy_factor));
+  const smartssd::TrafficStats traffic0 = system.traffic();
+
+  selection::GreediConfig greedi;
+  greedi.num_partitions = devices;
+  greedi.driver.greedy = config.greedy;
+  greedi.driver.stochastic_epsilon = config.stochastic_epsilon;
+  greedi.driver.per_class = true;
+  greedi.driver.partition_quota = config.partition_quota;
+
+  RunResult result;
+  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+    sgd.set_learning_rate(schedule.lr_at(epoch));
+    greedi.driver.seed = inputs.train.seed * 6151 + epoch;
+
+    // ---- distributed near-storage selection --------------------------
+    auto emb = compute_q_embeddings(qmodel, ds.train(), pool,
+                                    config.scaled_embeddings,
+                                    inputs.train.batch_size);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      history.record(pool[i], emb.losses[i]);
+      last_correct[pool[i]] = emb.correct[i];
+    }
+
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::round(fraction *
+                                               static_cast<double>(n))));
+    std::vector<std::int32_t> pool_labels(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      pool_labels[i] = ds.train().labels[pool[i]];
+    }
+    auto selected = selection::greedi_select(emb.embeddings, pool_labels,
+                                             pool, std::min(k, pool.size()),
+                                             greedi);
+
+    // ---- GPU subset training ------------------------------------------
+    std::vector<double> weights(selected.weights.begin(),
+                                selected.weights.end());
+    EpochReport report;
+    report.epoch = epoch;
+    report.subset_size = selected.indices.size();
+    report.pool_size = pool.size();
+    report.subset_fraction = static_cast<double>(selected.indices.size()) /
+                             static_cast<double>(n);
+    report.train_loss =
+        train_one_epoch(model, sgd, ds.train(), selected.indices, weights,
+                        inputs.train.batch_size, rng);
+    report.test_accuracy =
+        nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
+
+    if (config.weight_feedback) {
+      qmodel.refresh_from(model);
+    }
+
+    // ---- paper-scale costing -------------------------------------------
+    const double pool_fraction =
+        static_cast<double>(pool.size()) / static_cast<double>(n);
+    const std::size_t paper_pool = detail::paper_count(inputs, pool_fraction);
+    const std::size_t paper_subset =
+        detail::paper_count(inputs, report.subset_fraction);
+    const std::size_t shard = (paper_pool + devices - 1) / devices;
+
+    report.cost.selection_overlapped = true;
+    // Devices scan their shards in parallel: per-epoch scan time is one
+    // shard's time, while every device's bytes are accounted.
+    util::SimTime scan = 0;
+    for (std::size_t d = 0; d < devices; ++d) {
+      scan = std::max(scan, system.flash_to_fpga(shard, sample_bytes));
+    }
+    report.cost.storage_scan = scan;
+
+    // Local phase: quantized forwards + the slowest device's local greedy.
+    std::uint64_t worst_local_ops = 0;
+    for (const auto& local : selected.local) {
+      worst_local_ops = std::max(
+          worst_local_ops, local.similarity_ops + local.greedy_ops);
+    }
+    const double op_ratio =
+        config.partition_quota > 0 ? ratio : ratio * ratio;
+    util::SimTime selection_time =
+        system.fpga_forward_time(static_cast<std::uint64_t>(shard) *
+                                 macs_per_sample) +
+        system.fpga_selection_time(static_cast<std::uint64_t>(
+            static_cast<double>(worst_local_ops) * op_ratio));
+
+    // Merge: local winners' int8 embeddings + ids cross the interconnect
+    // to the merge device, which re-selects over the union.
+    const std::size_t paper_union = std::min<std::size_t>(
+        paper_pool,
+        static_cast<std::size_t>(static_cast<double>(selected.union_size) *
+                                 ratio));
+    const std::uint64_t union_bytes =
+        static_cast<std::uint64_t>(paper_union) *
+        (ds.num_classes() + sizeof(std::uint64_t));
+    selection_time += system.weights_to_fpga(union_bytes);
+    const double merge_scale =
+        selected.union_size > 0
+            ? std::pow(static_cast<double>(paper_union) /
+                           static_cast<double>(selected.union_size),
+                       2.0)
+            : 0.0;
+    selection_time += system.fpga_selection_time(static_cast<std::uint64_t>(
+        static_cast<double>(selected.merge.similarity_ops +
+                            selected.merge.greedy_ops) *
+        merge_scale));
+    report.cost.selection = selection_time;
+
+    report.cost.subset_transfer = system.subset_to_gpu(
+        static_cast<std::uint64_t>(paper_subset) * sample_bytes);
+    report.cost.gpu_compute = smartssd::train_compute_time(
+        gpu, paper_subset, inputs.model.paper_gflops_per_sample,
+        inputs.train.batch_size);
+    if (config.weight_feedback) {
+      // Broadcast the refreshed quantized weights to every device.
+      util::SimTime feedback = 0;
+      for (std::size_t d = 0; d < devices; ++d) {
+        feedback = std::max(feedback, system.weights_to_fpga(
+                                          detail::paper_qweight_bytes(inputs)));
+      }
+      report.cost.feedback = feedback;
+    }
+
+    // ---- subset biasing + dynamic sizing (global pool) -----------------
+    if (config.subset_biasing && epoch + 1 < inputs.train.epochs &&
+        (epoch + 1) % config.drop_interval_epochs == 0) {
+      std::vector<double> means(pool.size());
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        means[i] = history.windowed_mean(pool[i]);
+      }
+      const double threshold =
+          util::percentile_of(means, config.drop_quantile * 100.0);
+      const std::size_t min_pool = std::max<std::size_t>(
+          k, static_cast<std::size_t>(config.min_pool_factor *
+                                      static_cast<double>(k)));
+      std::vector<std::size_t> kept;
+      kept.reserve(pool.size());
+      std::size_t dropped = 0;
+      const std::size_t max_drop =
+          pool.size() > min_pool ? pool.size() - min_pool : 0;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        const bool learned = means[i] <= threshold && last_correct[pool[i]];
+        if (learned && dropped < max_drop) {
+          ++dropped;
+        } else {
+          kept.push_back(pool[i]);
+        }
+      }
+      pool = std::move(kept);
+    }
+    if (config.dynamic_sizing) {
+      if (prev_loss > 0.0 && report.train_loss > 0.0) {
+        const double drop = (prev_loss - report.train_loss) / prev_loss;
+        if (drop > config.shrink_rate) {
+          fraction = std::max(config.min_subset_fraction,
+                              fraction * (1.0 - config.shrink_step));
+        } else if (drop < 0.0) {
+          fraction = std::min(config.subset_fraction,
+                              fraction / (1.0 - config.shrink_step));
+        }
+      }
+      prev_loss = report.train_loss;
+    }
+
+    result.epochs.push_back(std::move(report));
+  }
+
+  result.interconnect_bytes =
+      system.traffic().interconnect_bytes - traffic0.interconnect_bytes;
+  result.p2p_bytes = system.traffic().p2p_bytes - traffic0.p2p_bytes;
+  result.finalize();
+  return result;
+}
+
+}  // namespace nessa::core

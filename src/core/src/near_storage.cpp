@@ -1,0 +1,185 @@
+#include "nessa/core/near_storage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nessa/nn/embedding.hpp"
+#include "nessa/nn/loss.hpp"
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::core {
+
+QEmbeddings compute_q_embeddings(const quant::QuantizedMlp& qmodel,
+                                 const data::Split& split,
+                                 std::span<const std::size_t> pool,
+                                 bool scaled, std::size_t batch_size) {
+  using tensor::Tensor;
+  const std::size_t n = pool.size();
+  const std::size_t dim = split.dim();
+  if (batch_size == 0) batch_size = std::max<std::size_t>(1, n);
+  QEmbeddings out;
+  out.losses.resize(n);
+  out.correct.resize(n);
+
+  nn::SoftmaxCrossEntropy loss_fn;
+  std::size_t classes = 0;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t count = std::min(batch_size, n - start);
+    Tensor batch({count, dim});
+    std::vector<nn::Label> labels(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t row = pool[start + i];
+      std::copy_n(split.features.data() + row * dim, dim,
+                  batch.data() + i * dim);
+      labels[i] = split.labels[row];
+    }
+    auto fwd = qmodel.forward_with_penultimate(batch);
+    if (classes == 0) {
+      classes = fwd.logits.cols();
+      out.embeddings = Tensor({n, classes});
+    }
+    auto loss = loss_fn.forward(fwd.logits, labels);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.losses[start + i] = loss.example_losses[i];
+      float scale = 1.0f;
+      if (scaled) {
+        scale = std::max(tensor::l2_norm(fwd.penultimate.row(i)), 1e-6f);
+      }
+      const float* probs = loss.probs.data() + i * classes;
+      std::size_t argmax = 0;
+      for (std::size_t c = 1; c < classes; ++c) {
+        if (probs[c] > probs[argmax]) argmax = c;
+      }
+      out.correct[start + i] = static_cast<nn::Label>(argmax) == labels[i];
+      float* dst = out.embeddings.data() + (start + i) * classes;
+      for (std::size_t c = 0; c < classes; ++c) {
+        const float onehot =
+            static_cast<nn::Label>(c) == labels[i] ? 1.0f : 0.0f;
+        dst[c] = (probs[c] - onehot) * scale;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class QuantizedSelectionModel final : public SelectionModel {
+ public:
+  explicit QuantizedSelectionModel(const nn::Sequential& target)
+      : qmodel_(quant::QuantizedMlp::from_model(target)) {}
+
+  QEmbeddings score(const data::Split& split,
+                    std::span<const std::size_t> pool, bool scaled,
+                    std::size_t batch_size) override {
+    return compute_q_embeddings(qmodel_, split, pool, scaled, batch_size);
+  }
+
+  void refresh(const nn::Sequential& target) override {
+    qmodel_.refresh_from(target);
+  }
+
+  std::size_t payload_bytes() const override {
+    return qmodel_.payload_bytes();
+  }
+
+  double mac_cost_factor() const override { return 1.0; }
+
+ private:
+  quant::QuantizedMlp qmodel_;
+};
+
+class FloatSelectionModel final : public SelectionModel {
+ public:
+  explicit FloatSelectionModel(const nn::Sequential& target)
+      : model_(target.clone()) {}
+
+  QEmbeddings score(const data::Split& split,
+                    std::span<const std::size_t> pool, bool scaled,
+                    std::size_t batch_size) override {
+    using tensor::Tensor;
+    const std::size_t n = pool.size();
+    const std::size_t dim = split.dim();
+    if (batch_size == 0) batch_size = std::max<std::size_t>(1, n);
+    QEmbeddings out;
+    out.losses.resize(n);
+    out.correct.resize(n);
+
+    nn::SoftmaxCrossEntropy loss_fn;
+    std::size_t classes = 0;
+    for (std::size_t start = 0; start < n; start += batch_size) {
+      const std::size_t count = std::min(batch_size, n - start);
+      Tensor batch({count, dim});
+      std::vector<nn::Label> labels(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t row = pool[start + i];
+        std::copy_n(split.features.data() + row * dim, dim,
+                    batch.data() + i * dim);
+        labels[i] = split.labels[row];
+      }
+      auto fwd = nn::forward_with_penultimate(model_, batch);
+      if (classes == 0) {
+        classes = fwd.logits.cols();
+        out.embeddings = Tensor({n, classes});
+      }
+      auto loss = loss_fn.forward(fwd.logits, labels);
+      for (std::size_t i = 0; i < count; ++i) {
+        out.losses[start + i] = loss.example_losses[i];
+        float scale = 1.0f;
+        if (scaled) {
+          scale = std::max(tensor::l2_norm(fwd.penultimate.row(i)), 1e-6f);
+        }
+        const float* probs = loss.probs.data() + i * classes;
+        std::size_t argmax = 0;
+        for (std::size_t c = 1; c < classes; ++c) {
+          if (probs[c] > probs[argmax]) argmax = c;
+        }
+        out.correct[start + i] =
+            static_cast<nn::Label>(argmax) == labels[i];
+        float* dst = out.embeddings.data() + (start + i) * classes;
+        for (std::size_t c = 0; c < classes; ++c) {
+          const float onehot =
+              static_cast<nn::Label>(c) == labels[i] ? 1.0f : 0.0f;
+          dst[c] = (probs[c] - onehot) * scale;
+        }
+      }
+    }
+    return out;
+  }
+
+  void refresh(const nn::Sequential& target) override {
+    model_.load_params_from(target);
+  }
+
+  std::size_t payload_bytes() const override {
+    return model_.parameter_count() * sizeof(float);
+  }
+
+  double mac_cost_factor() const override { return 2.0; }
+
+ private:
+  nn::Sequential model_;
+};
+
+}  // namespace
+
+std::unique_ptr<SelectionModel> make_quantized_selection_model(
+    const nn::Sequential& target) {
+  return std::make_unique<QuantizedSelectionModel>(target);
+}
+
+std::unique_ptr<SelectionModel> make_float_selection_model(
+    const nn::Sequential& target) {
+  return std::make_unique<FloatSelectionModel>(target);
+}
+
+std::unique_ptr<SelectionModel> make_selection_model(
+    const nn::Sequential& target) {
+  try {
+    return make_quantized_selection_model(target);
+  } catch (const std::invalid_argument&) {
+    return make_float_selection_model(target);
+  }
+}
+
+}  // namespace nessa::core

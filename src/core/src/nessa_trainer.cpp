@@ -1,0 +1,212 @@
+// The NeSSA pipeline (paper §3, Fig. 3):
+//   1. stream the candidate pool from flash to the FPGA over P2P,
+//   2. run the quantized target model forward near-storage to get gradient
+//      embeddings + losses (real computation via quant::QuantizedMlp),
+//   3. per-class, partition-chunked facility-location selection,
+//   4. ship only the selected subset to the GPU and train on it,
+//   5. quantize the updated weights and feed them back to the FPGA,
+//   6. subset biasing drops learned samples from the candidate pool every
+//      `drop_interval_epochs`; dynamic sizing shrinks the subset while the
+//      loss falls quickly.
+// FPGA selection for epoch t+1 overlaps GPU training of epoch t.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "nessa/core/near_storage.hpp"
+#include "nessa/core/pipeline.hpp"
+#include "nessa/tensor/ops.hpp"
+#include "nessa/core/train_utils.hpp"
+#include "nessa/nn/metrics.hpp"
+#include "nessa/nn/optimizer.hpp"
+#include "nessa/quant/qmodel.hpp"
+#include "nessa/selection/drivers.hpp"
+#include "nessa/util/stats.hpp"
+#include "pipeline_common.hpp"
+
+namespace nessa::core {
+
+RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
+                    smartssd::SmartSsdSystem& system) {
+  detail::check_inputs(inputs);
+  const data::Dataset& ds = *inputs.dataset;
+  const std::size_t n = ds.train_size();
+
+  util::Rng rng(inputs.train.seed);
+  auto model = detail::build_target_model(inputs, rng);
+  auto kernel = make_selection_model(model);
+  nn::Sgd sgd(inputs.train.sgd);
+  auto schedule = inputs.train.scale_lr_schedule
+                      ? nn::StepLrSchedule::paper_scaled(inputs.train.epochs)
+                      : nn::StepLrSchedule::paper_default();
+
+  // Candidate pool (substrate indices); shrinks under subset biasing.
+  std::vector<std::size_t> pool = iota_indices(n);
+  LossHistory history(n, config.loss_window_epochs);
+  std::vector<bool> last_correct(n, false);
+
+  double fraction = config.subset_fraction;
+  double prev_loss = -1.0;
+
+  const auto& gpu = system.gpu();
+  const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
+  const double ratio = detail::scale_ratio(inputs);
+  const std::uint64_t macs_per_sample = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(detail::paper_macs_per_sample(inputs)) *
+             config.selection_proxy_factor * kernel->mac_cost_factor()));
+  // Feedback bytes at paper scale: int8 payload for the quantized kernel,
+  // 4 bytes/param for the float fallback.
+  const double bytes_per_param =
+      static_cast<double>(kernel->payload_bytes()) /
+      static_cast<double>(std::max<std::size_t>(1, model.parameter_count()));
+  const auto paper_feedback_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(detail::paper_qweight_bytes(inputs)) *
+      std::max(1.0, bytes_per_param));
+
+  const smartssd::TrafficStats traffic0 = system.traffic();
+
+  selection::DriverConfig driver;
+  driver.greedy = config.greedy;
+  driver.stochastic_epsilon = config.stochastic_epsilon;
+  driver.per_class = true;
+  driver.partition_quota = config.partition_quota;
+
+  const std::size_t interval = std::max<std::size_t>(
+      1, config.selection_interval);
+  selection::CoresetResult coreset;
+
+  RunResult result;
+  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+    sgd.set_learning_rate(schedule.lr_at(epoch));
+    driver.seed = inputs.train.seed * 7919 + epoch;
+
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::round(fraction *
+                                               static_cast<double>(n))));
+    const bool reselect = epoch % interval == 0 || coreset.indices.empty();
+    if (reselect) {
+      // ---- near-storage selection pass (FPGA) -----------------------
+      auto emb = kernel->score(ds.train(), pool, config.scaled_embeddings,
+                               inputs.train.batch_size);
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        history.record(pool[i], emb.losses[i]);
+        last_correct[pool[i]] = emb.correct[i];
+      }
+      std::vector<std::int32_t> pool_labels(pool.size());
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        pool_labels[i] = ds.train().labels[pool[i]];
+      }
+      coreset = selection::select_coreset(emb.embeddings, pool_labels, pool,
+                                          std::min(k, pool.size()), driver);
+    }
+
+    // ---- GPU subset training ----------------------------------------
+    std::vector<double> weights(coreset.weights.begin(),
+                                coreset.weights.end());
+    EpochReport report;
+    report.epoch = epoch;
+    report.subset_size = coreset.indices.size();
+    report.pool_size = pool.size();
+    report.subset_fraction =
+        static_cast<double>(coreset.indices.size()) / static_cast<double>(n);
+    report.train_loss =
+        train_one_epoch(model, sgd, ds.train(), coreset.indices, weights,
+                        inputs.train.batch_size, rng);
+    report.test_accuracy =
+        nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
+
+    // ---- feedback: quantized weights back to the FPGA (§3.2.1) ------
+    if (config.weight_feedback) {
+      kernel->refresh(model);
+    }
+
+    // ---- paper-scale costing -----------------------------------------
+    const double pool_fraction =
+        static_cast<double>(pool.size()) / static_cast<double>(n);
+    const std::size_t paper_pool = detail::paper_count(inputs, pool_fraction);
+    const std::size_t paper_subset =
+        detail::paper_count(inputs, report.subset_fraction);
+
+    report.cost.selection_overlapped = true;
+    if (reselect) {
+      report.cost.storage_scan =
+          system.flash_to_fpga(paper_pool, sample_bytes);
+      // Selection compute: quantized forwards over the pool + similarity
+      // and greedy ops. Substrate op counts are rescaled: chunked
+      // selection work grows linearly with pool size, monolithic
+      // quadratically.
+      const double op_ratio =
+          config.partition_quota > 0 ? ratio : ratio * ratio;
+      report.cost.selection =
+          system.fpga_forward_time(static_cast<std::uint64_t>(paper_pool) *
+                                   macs_per_sample) +
+          system.fpga_selection_time(static_cast<std::uint64_t>(
+              static_cast<double>(coreset.similarity_ops +
+                                  coreset.greedy_ops) *
+              op_ratio));
+    }
+    report.cost.subset_transfer = system.subset_to_gpu(
+        static_cast<std::uint64_t>(paper_subset) * sample_bytes);
+    report.cost.gpu_compute = smartssd::train_compute_time(
+        gpu, paper_subset, inputs.model.paper_gflops_per_sample,
+        inputs.train.batch_size);
+    if (config.weight_feedback) {
+      report.cost.feedback = system.weights_to_fpga(paper_feedback_bytes);
+    }
+
+    // ---- §3.2.2 subset biasing: drop learned samples -----------------
+    if (config.subset_biasing && epoch + 1 < inputs.train.epochs &&
+        (epoch + 1) % config.drop_interval_epochs == 0) {
+      std::vector<double> means(pool.size());
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        means[i] = history.windowed_mean(pool[i]);
+      }
+      const double threshold =
+          util::percentile_of(means, config.drop_quantile * 100.0);
+      const std::size_t min_pool = std::max<std::size_t>(
+          k, static_cast<std::size_t>(config.min_pool_factor *
+                                      static_cast<double>(k)));
+      std::vector<std::size_t> kept;
+      kept.reserve(pool.size());
+      std::size_t dropped = 0;
+      const std::size_t max_drop =
+          pool.size() > min_pool ? pool.size() - min_pool : 0;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        const bool learned = means[i] <= threshold && last_correct[pool[i]];
+        if (learned && dropped < max_drop) {
+          ++dropped;
+        } else {
+          kept.push_back(pool[i]);
+        }
+      }
+      pool = std::move(kept);
+    }
+
+    // ---- dynamic subset sizing (contribution 4) ----------------------
+    if (config.dynamic_sizing) {
+      if (prev_loss > 0.0 && report.train_loss > 0.0) {
+        const double drop = (prev_loss - report.train_loss) / prev_loss;
+        if (drop > config.shrink_rate) {
+          fraction = std::max(config.min_subset_fraction,
+                              fraction * (1.0 - config.shrink_step));
+        } else if (drop < 0.0) {
+          fraction = std::min(config.subset_fraction,
+                              fraction / (1.0 - config.shrink_step));
+        }
+      }
+      prev_loss = report.train_loss;
+    }
+
+    result.epochs.push_back(std::move(report));
+  }
+
+  result.interconnect_bytes =
+      system.traffic().interconnect_bytes - traffic0.interconnect_bytes;
+  result.p2p_bytes = system.traffic().p2p_bytes - traffic0.p2p_bytes;
+  result.finalize();
+  return result;
+}
+
+}  // namespace nessa::core

@@ -1,0 +1,68 @@
+#include "pipeline_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nessa::core {
+
+void RunResult::finalize() {
+  if (epochs.empty()) return;
+  final_accuracy = epochs.back().test_accuracy;
+  best_accuracy = 0.0;
+  double frac_sum = 0.0;
+  total_time = 0;
+  for (const auto& e : epochs) {
+    best_accuracy = std::max(best_accuracy, e.test_accuracy);
+    frac_sum += e.subset_fraction;
+    total_time += e.cost.total();
+  }
+  mean_subset_fraction = frac_sum / static_cast<double>(epochs.size());
+  mean_epoch_time = total_time / static_cast<SimTime>(epochs.size());
+}
+
+namespace detail {
+
+void check_inputs(const PipelineInputs& inputs) {
+  if (inputs.dataset == nullptr) {
+    throw std::invalid_argument("pipeline: dataset is required");
+  }
+  if (inputs.train.epochs == 0 || inputs.train.batch_size == 0) {
+    throw std::invalid_argument("pipeline: epochs and batch_size must be > 0");
+  }
+  if (inputs.info.paper_train_size == 0 ||
+      inputs.info.stored_bytes_per_sample == 0) {
+    throw std::invalid_argument("pipeline: paper-scale metadata is required");
+  }
+}
+
+double scale_ratio(const PipelineInputs& inputs) {
+  return static_cast<double>(inputs.info.paper_train_size) /
+         static_cast<double>(inputs.dataset->train_size());
+}
+
+std::size_t paper_count(const PipelineInputs& inputs, double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  return static_cast<std::size_t>(
+      std::round(fraction *
+                 static_cast<double>(inputs.info.paper_train_size)));
+}
+
+std::uint64_t paper_macs_per_sample(const PipelineInputs& inputs) {
+  return static_cast<std::uint64_t>(
+      inputs.model.paper_gflops_per_sample * 1e9 / 2.0);
+}
+
+std::uint64_t paper_qweight_bytes(const PipelineInputs& inputs) {
+  return static_cast<std::uint64_t>(inputs.model.paper_params_millions * 1e6);
+}
+
+nn::Sequential build_target_model(const PipelineInputs& inputs,
+                                  util::Rng& rng) {
+  if (inputs.model_factory) return inputs.model_factory(rng);
+  return nn::build_model(inputs.model, inputs.dataset->feature_dim(),
+                         inputs.dataset->num_classes(), rng);
+}
+
+}  // namespace detail
+}  // namespace nessa::core

@@ -1,0 +1,30 @@
+// Internal helpers shared by the pipeline translation units.
+#pragma once
+
+#include <cstdint>
+
+#include "nessa/core/pipeline.hpp"
+
+namespace nessa::core::detail {
+
+/// Validate required pipeline inputs; throws std::invalid_argument.
+void check_inputs(const PipelineInputs& inputs);
+
+/// Substrate-to-paper scale ratio (paper train size / substrate train size).
+double scale_ratio(const PipelineInputs& inputs);
+
+/// Paper-scale sample count corresponding to a substrate fraction.
+std::size_t paper_count(const PipelineInputs& inputs, double fraction);
+
+/// Int8 MACs per sample of the paper network's forward pass (~FLOPs / 2).
+std::uint64_t paper_macs_per_sample(const PipelineInputs& inputs);
+
+/// Bytes of one quantized weight refresh at paper scale (int8 per param).
+std::uint64_t paper_qweight_bytes(const PipelineInputs& inputs);
+
+/// The substrate target model: the custom factory when provided, else the
+/// spec's MLP.
+nn::Sequential build_target_model(const PipelineInputs& inputs,
+                                  util::Rng& rng);
+
+}  // namespace nessa::core::detail

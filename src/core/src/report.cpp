@@ -1,0 +1,92 @@
+#include "nessa/core/report.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nessa::core {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          std::ostringstream hex;
+          hex << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(ch);
+          out += hex.str();
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json_report(const RunMetadata& meta, const RunResult& run,
+                       std::ostream& os) {
+  auto secs = [](util::SimTime t) { return util::to_seconds(t); };
+  os << "{\n";
+  os << "  \"pipeline\": \"" << json_escape(meta.pipeline) << "\",\n";
+  os << "  \"dataset\": \"" << json_escape(meta.dataset) << "\",\n";
+  os << "  \"network\": \"" << json_escape(meta.network) << "\",\n";
+  os << "  \"gpu\": \"" << json_escape(meta.gpu) << "\",\n";
+  os << "  \"devices\": " << meta.devices << ",\n";
+  os << "  \"seed\": " << meta.seed << ",\n";
+  os << "  \"final_accuracy\": " << run.final_accuracy << ",\n";
+  os << "  \"best_accuracy\": " << run.best_accuracy << ",\n";
+  os << "  \"mean_subset_fraction\": " << run.mean_subset_fraction << ",\n";
+  os << "  \"mean_epoch_seconds\": " << secs(run.mean_epoch_time) << ",\n";
+  os << "  \"total_seconds\": " << secs(run.total_time) << ",\n";
+  os << "  \"interconnect_bytes\": " << run.interconnect_bytes << ",\n";
+  os << "  \"p2p_bytes\": " << run.p2p_bytes << ",\n";
+  os << "  \"epochs\": [\n";
+  for (std::size_t e = 0; e < run.epochs.size(); ++e) {
+    const auto& epoch = run.epochs[e];
+    os << "    {\"epoch\": " << epoch.epoch
+       << ", \"test_accuracy\": " << epoch.test_accuracy
+       << ", \"train_loss\": " << epoch.train_loss
+       << ", \"subset_fraction\": " << epoch.subset_fraction
+       << ", \"pool_size\": " << epoch.pool_size
+       << ", \"scan_s\": " << secs(epoch.cost.storage_scan)
+       << ", \"selection_s\": " << secs(epoch.cost.selection)
+       << ", \"transfer_s\": " << secs(epoch.cost.subset_transfer)
+       << ", \"gpu_s\": " << secs(epoch.cost.gpu_compute)
+       << ", \"feedback_s\": " << secs(epoch.cost.feedback)
+       << ", \"epoch_s\": " << secs(epoch.cost.total()) << "}"
+       << (e + 1 < run.epochs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  if (!os) throw std::runtime_error("write_json_report: stream failure");
+}
+
+void write_json_report_file(const RunMetadata& meta, const RunResult& run,
+                            const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("write_json_report_file: cannot open " + path);
+  }
+  write_json_report(meta, run, os);
+}
+
+}  // namespace nessa::core

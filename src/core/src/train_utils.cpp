@@ -1,0 +1,78 @@
+#include "nessa/core/train_utils.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "nessa/nn/loss.hpp"
+
+namespace nessa::core {
+
+double train_one_epoch(nn::Sequential& model, nn::Sgd& optimizer,
+                       const data::Split& split,
+                       std::span<const std::size_t> indices,
+                       std::span<const double> weights,
+                       std::size_t batch_size, util::Rng& rng) {
+  if (indices.empty()) return 0.0;
+  if (!weights.empty() && weights.size() != indices.size()) {
+    throw std::invalid_argument("train_one_epoch: weight count mismatch");
+  }
+
+  // Shuffle positions (not the caller's index array) so weights stay
+  // aligned with their samples.
+  std::vector<std::size_t> positions(indices.size());
+  std::iota(positions.begin(), positions.end(), 0);
+  rng.shuffle(positions);
+
+  nn::SoftmaxCrossEntropy loss_fn;
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+
+  for (std::size_t start = 0; start < positions.size(); start += batch_size) {
+    const std::size_t count =
+        std::min(batch_size, positions.size() - start);
+    std::vector<std::size_t> batch_rows(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      batch_rows[i] = indices[positions[start + i]];
+    }
+    auto batch = data::make_batch(split, batch_rows);
+
+    model.zero_grads();
+    nn::Tensor logits = model.forward(batch.features, /*train=*/true);
+    auto loss = loss_fn.forward(logits, batch.labels);
+    nn::Tensor grad = loss_fn.backward(loss, batch.labels);
+
+    if (!weights.empty()) {
+      // Scale each example's gradient row by its normalized weight; the
+      // normalization keeps the mean-gradient magnitude comparable to
+      // unweighted SGD, so the same LR schedule applies.
+      double wsum = 0.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        wsum += weights[positions[start + i]];
+      }
+      if (wsum > 0.0) {
+        const double scale_base =
+            static_cast<double>(count) / wsum;
+        for (std::size_t i = 0; i < count; ++i) {
+          const float s = static_cast<float>(
+              weights[positions[start + i]] * scale_base);
+          float* row = grad.data() + i * grad.cols();
+          for (std::size_t c = 0; c < grad.cols(); ++c) row[c] *= s;
+        }
+      }
+    }
+
+    model.backward(grad);
+    optimizer.step(model.params());
+    loss_sum += loss.mean_loss;
+    ++batches;
+  }
+  return batches ? loss_sum / static_cast<double>(batches) : 0.0;
+}
+
+std::vector<std::size_t> iota_indices(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+}  // namespace nessa::core

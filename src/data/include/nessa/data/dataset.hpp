@@ -1,0 +1,80 @@
+// In-memory labelled dataset with train/test splits and the storage-side
+// metadata (bytes per stored sample) the simulator charges for data movement.
+//
+// Substitution note (DESIGN.md §1): features are synthetic low-dimensional
+// vectors, but `stored_bytes_per_sample` is kept equal to the *real* image
+// dataset's on-disk size, so every byte-movement experiment is faithful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nessa/nn/loss.hpp"
+#include "nessa/tensor/tensor.hpp"
+
+namespace nessa::data {
+
+using nn::Label;
+using tensor::Tensor;
+
+struct Split {
+  Tensor features;            ///< [n, dim]
+  std::vector<Label> labels;  ///< length n
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+  [[nodiscard]] std::size_t dim() const {
+    return features.rank() == 2 ? features.cols() : 0;
+  }
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, std::size_t num_classes,
+          std::size_t stored_bytes_per_sample, Split train, Split test);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return num_classes_;
+  }
+  [[nodiscard]] std::size_t stored_bytes_per_sample() const noexcept {
+    return stored_bytes_per_sample_;
+  }
+
+  [[nodiscard]] const Split& train() const noexcept { return train_; }
+  [[nodiscard]] const Split& test() const noexcept { return test_; }
+
+  [[nodiscard]] std::size_t train_size() const noexcept {
+    return train_.size();
+  }
+  [[nodiscard]] std::size_t feature_dim() const { return train_.dim(); }
+
+  /// Total stored bytes of the training split on the (simulated) SSD.
+  [[nodiscard]] std::uint64_t train_stored_bytes() const noexcept {
+    return static_cast<std::uint64_t>(train_.size()) *
+           stored_bytes_per_sample_;
+  }
+
+  /// Indices of training samples belonging to `cls`.
+  [[nodiscard]] std::vector<std::size_t> class_indices(Label cls) const;
+
+  /// Gather a subset of training rows into a dense Split.
+  [[nodiscard]] Split gather_train(std::span<const std::size_t> indices) const;
+
+  /// Per-class counts over the training labels (sanity checks, tests).
+  [[nodiscard]] std::vector<std::size_t> train_class_histogram() const;
+
+ private:
+  std::string name_;
+  std::size_t num_classes_ = 0;
+  std::size_t stored_bytes_per_sample_ = 0;
+  Split train_;
+  Split test_;
+};
+
+/// Gather rows of a feature matrix by index into a new matrix.
+Tensor gather_rows(const Tensor& features, std::span<const std::size_t> idx);
+
+}  // namespace nessa::data

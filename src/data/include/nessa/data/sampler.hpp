@@ -1,0 +1,44 @@
+// Mini-batch iteration over (a subset of) a training split.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nessa/data/dataset.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::data {
+
+/// Yields shuffled mini-batches of indices into a fixed index set.
+/// Re-shuffles at the start of every epoch (call begin_epoch()).
+class BatchSampler {
+ public:
+  /// `indices` are positions into some backing split; batch_size > 0.
+  BatchSampler(std::vector<std::size_t> indices, std::size_t batch_size,
+               util::Rng& rng);
+
+  /// Shuffle and reset the cursor.
+  void begin_epoch();
+
+  /// Next batch of indices, or empty when the epoch is exhausted.
+  [[nodiscard]] std::span<const std::size_t> next_batch();
+
+  [[nodiscard]] std::size_t batches_per_epoch() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return indices_.size(); }
+
+ private:
+  std::vector<std::size_t> indices_;
+  std::size_t batch_size_;
+  std::size_t cursor_ = 0;
+  util::Rng rng_;
+};
+
+/// Materialize a feature/label batch from a split and batch indices.
+struct Batch {
+  Tensor features;
+  std::vector<Label> labels;
+  std::vector<std::size_t> source_indices;  ///< positions in the split
+};
+Batch make_batch(const Split& split, std::span<const std::size_t> indices);
+
+}  // namespace nessa::data

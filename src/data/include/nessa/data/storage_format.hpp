@@ -1,0 +1,60 @@
+// Binary on-"disk" record format for datasets stored on the simulated SSD.
+//
+// Layout (little-endian):
+//   Header: magic "NSSA", u32 version, u64 count, u32 feature_dim,
+//           u32 num_classes, u32 stored_bytes_per_sample
+//   Records, each: i32 label, feature_dim * f32 features, then zero padding
+//           up to stored_bytes_per_sample (mimicking the real image payload
+//           the features stand in for — the padding is what makes simulated
+//           transfers cost what real image reads cost).
+//
+// serialize() produces the byte image the simulated NAND holds; the tests
+// round-trip it and the SmartSSD model charges reads against its length.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nessa/data/dataset.hpp"
+
+namespace nessa::data {
+
+inline constexpr std::uint32_t kStorageMagic = 0x4153534e;  // "NSSA"
+inline constexpr std::uint32_t kStorageVersion = 1;
+
+struct StorageImage {
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes.size(); }
+};
+
+/// Serialize the training split of a dataset into the on-SSD byte image.
+/// Throws std::invalid_argument if stored_bytes_per_sample is too small to
+/// hold a record.
+StorageImage serialize_train_split(const Dataset& dataset);
+
+/// Parse a byte image back into a Split (+ metadata out-params).
+struct ParsedImage {
+  Split split;
+  std::size_t num_classes = 0;
+  std::size_t stored_bytes_per_sample = 0;
+};
+ParsedImage deserialize(const StorageImage& image);
+
+/// Byte offset and length of record `index` within an image with the given
+/// per-record size (used by the simulator to issue per-sample reads).
+struct RecordExtent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+RecordExtent record_extent(std::size_t index, std::size_t record_bytes);
+
+/// Size of the fixed header in bytes.
+std::size_t header_bytes() noexcept;
+
+/// Write/read an image to/from a real file (used by the storage example).
+void write_image_file(const StorageImage& image, const std::string& path);
+StorageImage read_image_file(const std::string& path);
+
+}  // namespace nessa::data

@@ -1,0 +1,100 @@
+// Synthetic classification dataset generator.
+//
+// Coreset selection pays off when a dataset has (a) redundancy — many
+// near-duplicate easy examples a few medoids can represent — and (b) a
+// difficulty spread — boundary examples that produce large gradients and
+// keep mattering late in training. Real vision datasets have both; this
+// generator manufactures both with explicit knobs so the who-wins shape of
+// the paper's comparisons (NeSSA vs CRAIG vs K-centers vs random vs full)
+// is preserved on our substrate (DESIGN.md §1).
+//
+// Structure per class c:
+//   - a unit-norm mean direction mu_c, pairwise separated,
+//   - `modes_per_class` sub-cluster centres around mu_c with Zipf-skewed
+//     sampling weights: rare modes are what make *sample volume* matter —
+//     a small random subset misses them, while facility location's medoids
+//     cover every mode. This is what gives the paper-shaped learning curve
+//     (full data > large subset > small subset) and the coreset advantage.
+//   - "core" points:  mode centre + eps,  eps ~ N(0, core_spread)  — easy
+//   - "hard" points:  lerp(mode, other class's mode) + eps'        — boundary
+//   - "dup"  points:  existing core point + tiny jitter            — redundant
+//   - label noise: a fraction of points get a uniformly wrong label — outliers
+//     (these are what greedy K-centers wastes its budget on).
+#pragma once
+
+#include "nessa/data/dataset.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::data {
+
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  std::size_t num_classes = 10;
+  std::size_t train_size = 2000;
+  std::size_t test_size = 500;
+  std::size_t feature_dim = 32;
+  std::size_t stored_bytes_per_sample = 3 * 1024;
+
+  double class_separation = 3.0;  ///< distance scale between class means
+  std::size_t modes_per_class = 4;  ///< sub-clusters per class
+  double mode_radius = 1.6;       ///< distance of mode centres from mu_c
+  double core_spread = 0.55;      ///< stddev of easy points around a mode
+  double hard_spread = 0.75;      ///< stddev of boundary points
+  double hard_fraction = 0.25;    ///< fraction of points near boundaries
+  double duplicate_fraction = 0.30;  ///< fraction that are near-duplicates
+  double duplicate_jitter = 0.02;    ///< jitter stddev for duplicates
+  double label_noise = 0.02;      ///< fraction with uniformly wrong labels
+  /// Class frequency skew: 0 = balanced; s > 0 draws class c with
+  /// probability proportional to 1/(c+1)^s (Zipf). Real datasets like SVHN
+  /// are imbalanced; the per-class proportional budgeting in the selection
+  /// drivers is exercised against this.
+  double class_imbalance = 0.0;
+  /// Label-noise points are also feature-atypical (extra Gaussian offset of
+  /// this magnitude), like corrupted/atypical images in real datasets. This
+  /// is the outlier population farthest-first K-centers wastes budget on.
+  double outlier_offset = 2.5;
+
+  std::uint64_t seed = 42;
+};
+
+/// Generate a dataset from the config. Train/test are drawn from the same
+/// distribution with independent noise; test has no duplicates or label
+/// noise (clean evaluation).
+Dataset make_synthetic(const SyntheticConfig& config);
+
+/// Ground-truth provenance of each generated train sample — what the
+/// generator *made* it as. Lets experiments and tests measure directly how
+/// a selection policy treats each population (e.g. K-centers' appetite for
+/// outliers vs facility location's indifference to duplicates).
+enum class SampleKind : std::uint8_t {
+  kCore,       ///< drawn at a mode centre
+  kDuplicate,  ///< near-copy of an earlier core sample
+  kHard,       ///< boundary blend of two classes' modes
+  kOutlier,    ///< mislabeled + feature-atypical
+};
+
+struct Provenance {
+  std::vector<SampleKind> kinds;   ///< per train sample
+  std::vector<std::size_t> modes;  ///< mode index within the true class
+  std::vector<Label> true_labels;  ///< pre-noise labels
+
+  /// Count of one kind.
+  [[nodiscard]] std::size_t count(SampleKind kind) const;
+  /// Fraction of `selection` (train indices) that is of `kind`.
+  [[nodiscard]] double selected_fraction(
+      std::span<const std::size_t> selection, SampleKind kind) const;
+  /// Distinct (class, mode) pairs covered by `selection`, using true labels.
+  [[nodiscard]] std::size_t modes_covered(
+      std::span<const std::size_t> selection) const;
+};
+
+struct SyntheticWithProvenance {
+  Dataset dataset;
+  Provenance provenance;
+};
+
+/// Same generation process as make_synthetic (bit-identical data for the
+/// same config), also returning per-sample provenance for the train split.
+SyntheticWithProvenance make_synthetic_traced(const SyntheticConfig& config);
+
+}  // namespace nessa::data

@@ -1,0 +1,39 @@
+// Image-shaped synthetic datasets for the convolutional substrate.
+//
+// Each class mode owns a base "texture" image (smooth random pattern);
+// samples are noisy copies of their mode's texture, boundary samples blend
+// two modes' textures, and mislabeled outliers get heavy pixel corruption —
+// the same population structure as make_synthetic (see synthetic.hpp), but
+// with spatial correlation a convolution can exploit.
+#pragma once
+
+#include "nessa/data/dataset.hpp"
+#include "nessa/nn/conv.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::data {
+
+struct SyntheticImageConfig {
+  std::string name = "synthetic-images";
+  std::size_t num_classes = 4;
+  std::size_t train_size = 800;
+  std::size_t test_size = 200;
+  nn::ImageDims dims{3, 8, 8};
+  std::size_t stored_bytes_per_sample = 3 * 1024;
+
+  std::size_t modes_per_class = 4;
+  double pixel_noise = 0.25;      ///< stddev of per-pixel sample noise
+  double texture_scale = 1.0;     ///< magnitude of base textures
+  double hard_fraction = 0.15;    ///< blended boundary samples
+  double duplicate_fraction = 0.2;
+  double label_noise = 0.02;
+  double outlier_noise = 1.5;     ///< extra corruption on mislabeled samples
+
+  std::uint64_t seed = 42;
+};
+
+/// Generate an image dataset; features are flattened CHW rows compatible
+/// with nn::Conv2d / nn::build_mini_resnet.
+Dataset make_synthetic_images(const SyntheticImageConfig& config);
+
+}  // namespace nessa::data

@@ -1,0 +1,76 @@
+#include "nessa/data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nessa::data {
+
+Dataset::Dataset(std::string name, std::size_t num_classes,
+                 std::size_t stored_bytes_per_sample, Split train, Split test)
+    : name_(std::move(name)),
+      num_classes_(num_classes),
+      stored_bytes_per_sample_(stored_bytes_per_sample),
+      train_(std::move(train)),
+      test_(std::move(test)) {
+  if (num_classes_ == 0) {
+    throw std::invalid_argument("Dataset: num_classes must be > 0");
+  }
+  auto check = [this](const Split& s, const char* which) {
+    if (s.features.rank() != 2 || s.features.rows() != s.labels.size()) {
+      throw std::invalid_argument(std::string("Dataset: bad ") + which +
+                                  " split shape");
+    }
+    for (Label y : s.labels) {
+      if (y < 0 || static_cast<std::size_t>(y) >= num_classes_) {
+        throw std::invalid_argument(std::string("Dataset: ") + which +
+                                    " label out of range");
+      }
+    }
+  };
+  check(train_, "train");
+  check(test_, "test");
+}
+
+std::vector<std::size_t> Dataset::class_indices(Label cls) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < train_.labels.size(); ++i) {
+    if (train_.labels[i] == cls) out.push_back(i);
+  }
+  return out;
+}
+
+Split Dataset::gather_train(std::span<const std::size_t> indices) const {
+  Split out;
+  out.features = gather_rows(train_.features, indices);
+  out.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    if (i >= train_.labels.size()) {
+      throw std::out_of_range("Dataset::gather_train: index out of range");
+    }
+    out.labels.push_back(train_.labels[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::train_class_histogram() const {
+  std::vector<std::size_t> hist(num_classes_, 0);
+  for (Label y : train_.labels) ++hist[static_cast<std::size_t>(y)];
+  return hist;
+}
+
+Tensor gather_rows(const Tensor& features, std::span<const std::size_t> idx) {
+  if (features.rank() != 2) {
+    throw std::invalid_argument("gather_rows: features must be rank 2");
+  }
+  const std::size_t dim = features.cols();
+  Tensor out({idx.size(), dim});
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    if (idx[r] >= features.rows()) {
+      throw std::out_of_range("gather_rows: index out of range");
+    }
+    std::copy_n(features.data() + idx[r] * dim, dim, out.data() + r * dim);
+  }
+  return out;
+}
+
+}  // namespace nessa::data

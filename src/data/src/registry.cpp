@@ -1,0 +1,81 @@
+#include "nessa/data/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nessa::data {
+
+const std::vector<DatasetInfo>& paper_datasets() {
+  // Stored bytes/sample follow the paper's quoted sizes: MNIST 0.5 KB,
+  // CIFAR-* 3 KB ("0.003 MB"), ImageNet-100 126 KB ("0.126 MB"); SVHN and
+  // CINIC-10 are 32x32x3 crops like CIFAR, TinyImageNet is 64x64x3 JPEG
+  // (~12 KB). Difficulty knobs are tuned so full-data substrate accuracy
+  // ranks like Table 2 (SVHN easiest, TinyImageNet/CIFAR-100 hardest).
+  static const std::vector<DatasetInfo> kDatasets = {
+      {"CIFAR-10", 10, 50'000, 3'000, "ResNet-20",
+       3.0, 0.25, 0.18, 0.30, 0.030},
+      {"SVHN", 10, 73'000, 3'000, "ResNet-18",
+       3.6, 0.22, 0.10, 0.40, 0.010},
+      {"CINIC-10", 10, 90'000, 3'000, "ResNet-18",
+       2.6, 0.30, 0.28, 0.30, 0.050},
+      {"CIFAR-100", 100, 50'000, 3'000, "ResNet-18",
+       3.0, 0.30, 0.25, 0.25, 0.040},
+      {"TinyImageNet", 200, 100'000, 12'000, "ResNet-18",
+       2.8, 0.32, 0.30, 0.25, 0.050},
+      {"ImageNet-100", 100, 130'000, 126'000, "ResNet-50",
+       3.4, 0.24, 0.14, 0.30, 0.020},
+  };
+  return kDatasets;
+}
+
+const DatasetInfo& dataset_info(const std::string& name) {
+  for (const auto& d : paper_datasets()) {
+    if (d.name == name) return d;
+  }
+  // MNIST appears only in Figure 2 (time-distribution profiling).
+  static const DatasetInfo kMnist{"MNIST", 10, 60'000, 500, "ResNet-18",
+                                  4.0, 0.20, 0.04, 0.45, 0.005};
+  if (name == "MNIST") return kMnist;
+  throw std::invalid_argument("dataset_info: unknown dataset " + name);
+}
+
+Dataset make_substrate_dataset(const DatasetInfo& info, double scale,
+                               std::size_t train_size, std::uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.name = info.name;
+  cfg.num_classes = info.num_classes;
+  if (train_size == 0) {
+    train_size = static_cast<std::size_t>(
+        std::round(static_cast<double>(info.paper_train_size) * scale));
+    // Floors: keep enough samples per class that fractional subsets remain
+    // meaningful for many-class datasets (a 30 % subset still needs ~10+
+    // examples per class to train a classifier head).
+    train_size = std::max({train_size, std::size_t{500},
+                           40 * info.num_classes});
+  }
+  cfg.train_size = train_size;
+  cfg.test_size =
+      std::max({train_size / 5, std::size_t{200}, 2 * info.num_classes});
+  // Feature dim grows mildly with class count so many-class datasets stay
+  // separable; capped to keep CPU training fast.
+  cfg.feature_dim = std::clamp<std::size_t>(info.num_classes / 2 + 24, 24, 96);
+  cfg.stored_bytes_per_sample = info.stored_bytes_per_sample;
+  cfg.class_separation = info.class_separation;
+  cfg.core_spread = info.core_spread;
+  cfg.hard_fraction = info.hard_fraction;
+  cfg.hard_spread = 0.8;
+  cfg.duplicate_fraction = info.duplicate_fraction;
+  cfg.label_noise = info.label_noise;
+  // Multi-modal structure scaled to the substrate: enough modes that the
+  // full split sees each mode a handful of times, so accuracy keeps rising
+  // with sample count (the regime where coreset quality matters).
+  const std::size_t per_class =
+      std::max<std::size_t>(1, cfg.train_size / cfg.num_classes);
+  cfg.modes_per_class = std::clamp<std::size_t>(per_class / 5, 3, 40);
+  cfg.mode_radius = info.class_separation;
+  cfg.seed = seed;
+  return make_synthetic(cfg);
+}
+
+}  // namespace nessa::data

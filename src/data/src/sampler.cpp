@@ -1,0 +1,41 @@
+#include "nessa/data/sampler.hpp"
+
+#include <stdexcept>
+
+namespace nessa::data {
+
+BatchSampler::BatchSampler(std::vector<std::size_t> indices,
+                           std::size_t batch_size, util::Rng& rng)
+    : indices_(std::move(indices)), batch_size_(batch_size), rng_(rng.fork()) {
+  if (batch_size_ == 0) {
+    throw std::invalid_argument("BatchSampler: batch_size must be > 0");
+  }
+}
+
+void BatchSampler::begin_epoch() {
+  rng_.shuffle(indices_);
+  cursor_ = 0;
+}
+
+std::span<const std::size_t> BatchSampler::next_batch() {
+  if (cursor_ >= indices_.size()) return {};
+  const std::size_t count = std::min(batch_size_, indices_.size() - cursor_);
+  std::span<const std::size_t> batch(indices_.data() + cursor_, count);
+  cursor_ += count;
+  return batch;
+}
+
+std::size_t BatchSampler::batches_per_epoch() const noexcept {
+  return (indices_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch make_batch(const Split& split, std::span<const std::size_t> indices) {
+  Batch b;
+  b.features = gather_rows(split.features, indices);
+  b.labels.reserve(indices.size());
+  b.source_indices.assign(indices.begin(), indices.end());
+  for (std::size_t i : indices) b.labels.push_back(split.labels[i]);
+  return b;
+}
+
+}  // namespace nessa::data

@@ -1,0 +1,142 @@
+#include "nessa/data/storage_format.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace nessa::data {
+
+namespace {
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t count;
+  std::uint32_t feature_dim;
+  std::uint32_t num_classes;
+  std::uint32_t record_bytes;
+};
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4 + 4;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::size_t header_bytes() noexcept { return kHeaderBytes; }
+
+StorageImage serialize_train_split(const Dataset& dataset) {
+  const Split& split = dataset.train();
+  const std::size_t dim = split.dim();
+  const std::size_t payload = sizeof(std::int32_t) + dim * sizeof(float);
+  const std::size_t record = dataset.stored_bytes_per_sample();
+  if (record < payload) {
+    throw std::invalid_argument(
+        "serialize_train_split: stored_bytes_per_sample smaller than record "
+        "payload");
+  }
+  StorageImage image;
+  image.bytes.reserve(kHeaderBytes + record * split.size());
+  put_u32(image.bytes, kStorageMagic);
+  put_u32(image.bytes, kStorageVersion);
+  put_u64(image.bytes, split.size());
+  put_u32(image.bytes, static_cast<std::uint32_t>(dim));
+  put_u32(image.bytes, static_cast<std::uint32_t>(dataset.num_classes()));
+  put_u32(image.bytes, static_cast<std::uint32_t>(record));
+
+  for (std::size_t i = 0; i < split.size(); ++i) {
+    const std::size_t start = image.bytes.size();
+    const std::int32_t label = split.labels[i];
+    const auto* lp = reinterpret_cast<const std::uint8_t*>(&label);
+    image.bytes.insert(image.bytes.end(), lp, lp + sizeof(label));
+    const float* row = split.features.data() + i * dim;
+    const auto* fp = reinterpret_cast<const std::uint8_t*>(row);
+    image.bytes.insert(image.bytes.end(), fp, fp + dim * sizeof(float));
+    image.bytes.resize(start + record, 0);  // pad to the stored image size
+  }
+  return image;
+}
+
+ParsedImage deserialize(const StorageImage& image) {
+  if (image.bytes.size() < kHeaderBytes) {
+    throw std::invalid_argument("deserialize: image too small for header");
+  }
+  const std::uint8_t* p = image.bytes.data();
+  if (get_u32(p) != kStorageMagic) {
+    throw std::invalid_argument("deserialize: bad magic");
+  }
+  if (get_u32(p + 4) != kStorageVersion) {
+    throw std::invalid_argument("deserialize: unsupported version");
+  }
+  const std::uint64_t count = get_u64(p + 8);
+  const std::uint32_t dim = get_u32(p + 16);
+  const std::uint32_t classes = get_u32(p + 20);
+  const std::uint32_t record = get_u32(p + 24);
+  const std::size_t payload = sizeof(std::int32_t) + dim * sizeof(float);
+  if (record < payload) {
+    throw std::invalid_argument("deserialize: record size smaller than payload");
+  }
+  if (image.bytes.size() < kHeaderBytes + count * record) {
+    throw std::invalid_argument("deserialize: truncated image");
+  }
+
+  ParsedImage out;
+  out.num_classes = classes;
+  out.stored_bytes_per_sample = record;
+  out.split.features = Tensor({static_cast<std::size_t>(count), dim});
+  out.split.labels.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t* rec = p + kHeaderBytes + i * record;
+    std::int32_t label;
+    std::memcpy(&label, rec, sizeof(label));
+    out.split.labels[i] = label;
+    std::memcpy(out.split.features.data() + i * dim, rec + sizeof(label),
+                dim * sizeof(float));
+  }
+  return out;
+}
+
+RecordExtent record_extent(std::size_t index, std::size_t record_bytes) {
+  RecordExtent e;
+  e.offset = kHeaderBytes + static_cast<std::uint64_t>(index) * record_bytes;
+  e.length = record_bytes;
+  return e;
+}
+
+void write_image_file(const StorageImage& image, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("write_image_file: cannot open " + path);
+  os.write(reinterpret_cast<const char*>(image.bytes.data()),
+           static_cast<std::streamsize>(image.bytes.size()));
+  if (!os) throw std::runtime_error("write_image_file: write failed " + path);
+}
+
+StorageImage read_image_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw std::runtime_error("read_image_file: cannot open " + path);
+  const std::streamsize size = is.tellg();
+  is.seekg(0);
+  StorageImage image;
+  image.bytes.resize(static_cast<std::size_t>(size));
+  is.read(reinterpret_cast<char*>(image.bytes.data()), size);
+  if (!is) throw std::runtime_error("read_image_file: read failed " + path);
+  return image;
+}
+
+}  // namespace nessa::data

@@ -1,0 +1,318 @@
+#include "nessa/data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nessa::data {
+
+namespace {
+
+/// Pairwise-separated unit mean directions, scaled by `separation`.
+/// Random directions in moderate dimension are nearly orthogonal already;
+/// we additionally reject draws that land too close to an earlier mean.
+std::vector<std::vector<float>> make_class_means(std::size_t classes,
+                                                 std::size_t dim,
+                                                 double separation,
+                                                 util::Rng& rng) {
+  std::vector<std::vector<float>> means;
+  means.reserve(classes);
+  const double min_dist = separation * 0.8;
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::vector<float> m(dim);
+      double norm = 0.0;
+      for (auto& x : m) {
+        x = static_cast<float>(rng.gaussian());
+        norm += static_cast<double>(x) * x;
+      }
+      norm = std::sqrt(std::max(norm, 1e-12));
+      for (auto& x : m) {
+        x = static_cast<float>(x / norm * separation);
+      }
+      bool ok = true;
+      for (const auto& prev : means) {
+        double d2 = 0.0;
+        for (std::size_t i = 0; i < dim; ++i) {
+          const double d = static_cast<double>(m[i]) - prev[i];
+          d2 += d * d;
+        }
+        if (std::sqrt(d2) < min_dist && attempt + 1 < 64) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        means.push_back(std::move(m));
+        break;
+      }
+    }
+  }
+  return means;
+}
+
+/// Multi-modal class structure: per class, `modes` sub-cluster centres with
+/// Zipf-skewed sampling weights (w_m proportional to 1/(m+1)).
+struct ClassMixture {
+  std::vector<std::vector<float>> mode_centres;  // [modes][dim]
+  std::vector<double> cumulative_weights;        // normalized CDF
+};
+
+std::vector<ClassMixture> make_mixtures(const SyntheticConfig& cfg,
+                                        util::Rng& rng) {
+  const std::size_t dim = cfg.feature_dim;
+  auto means = make_class_means(cfg.num_classes, dim, cfg.class_separation,
+                                rng);
+  std::vector<ClassMixture> mixtures(cfg.num_classes);
+  const std::size_t modes = std::max<std::size_t>(1, cfg.modes_per_class);
+  for (std::size_t c = 0; c < cfg.num_classes; ++c) {
+    auto& mix = mixtures[c];
+    mix.mode_centres.resize(modes, std::vector<float>(dim));
+    double weight_total = 0.0;
+    std::vector<double> weights(modes);
+    for (std::size_t m = 0; m < modes; ++m) {
+      // Random unit offset of length mode_radius around the class mean.
+      std::vector<double> offset(dim);
+      double norm = 0.0;
+      for (auto& x : offset) {
+        x = rng.gaussian();
+        norm += x * x;
+      }
+      norm = std::sqrt(std::max(norm, 1e-12));
+      for (std::size_t d = 0; d < dim; ++d) {
+        mix.mode_centres[m][d] = static_cast<float>(
+            means[c][d] + offset[d] / norm * cfg.mode_radius);
+      }
+      weights[m] = 1.0 / static_cast<double>(m + 1);  // Zipf skew
+      weight_total += weights[m];
+    }
+    mix.cumulative_weights.resize(modes);
+    double acc = 0.0;
+    for (std::size_t m = 0; m < modes; ++m) {
+      acc += weights[m] / weight_total;
+      mix.cumulative_weights[m] = acc;
+    }
+    mix.cumulative_weights.back() = 1.0;
+  }
+  return mixtures;
+}
+
+std::size_t sample_mode(const ClassMixture& mix, util::Rng& rng) {
+  const double u = rng.uniform();
+  for (std::size_t m = 0; m < mix.cumulative_weights.size(); ++m) {
+    if (u <= mix.cumulative_weights[m]) return m;
+  }
+  return mix.cumulative_weights.size() - 1;
+}
+
+struct SampleBatch {
+  Tensor features;
+  std::vector<Label> labels;
+};
+
+/// Core generation pass. When `provenance` is non-null (train split of the
+/// traced variant), records per-sample kind/mode/true-label without
+/// consuming any extra randomness, so traced and untraced datasets are
+/// bit-identical for the same config.
+SampleBatch draw_split(const SyntheticConfig& cfg,
+                       const std::vector<ClassMixture>& mixtures,
+                       std::size_t count, bool train_noise, util::Rng& rng,
+                       Provenance* provenance = nullptr) {
+  const std::size_t dim = cfg.feature_dim;
+  const std::size_t classes = cfg.num_classes;
+
+  // Class-frequency CDF (uniform when class_imbalance == 0).
+  std::vector<double> class_cdf(classes);
+  {
+    double total = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      class_cdf[c] = std::pow(1.0 / static_cast<double>(c + 1),
+                              cfg.class_imbalance);
+      total += class_cdf[c];
+    }
+    double acc = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      acc += class_cdf[c] / total;
+      class_cdf[c] = acc;
+    }
+    class_cdf.back() = 1.0;
+  }
+  auto draw_class = [&](util::Rng& r) -> std::size_t {
+    if (cfg.class_imbalance == 0.0) {
+      return static_cast<std::size_t>(r.uniform_int(classes));
+    }
+    const double u = r.uniform();
+    for (std::size_t c = 0; c < classes; ++c) {
+      if (u <= class_cdf[c]) return c;
+    }
+    return classes - 1;
+  };
+  SampleBatch out;
+  out.features = Tensor({count, dim});
+  out.labels.resize(count);
+
+  // Per-class core pools so duplicates copy an existing same-class point.
+  std::vector<std::vector<std::size_t>> core_pool(classes);
+  if (provenance) {
+    provenance->kinds.resize(count);
+    provenance->modes.resize(count);
+    provenance->true_labels.resize(count);
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t cls = draw_class(rng);
+    float* row = out.features.data() + i * dim;
+    const auto& mix = mixtures[cls];
+    const std::size_t mode = sample_mode(mix, rng);
+    const auto& centre = mix.mode_centres[mode];
+
+    // Duplicates exist only in the train split. Test draws keep the same
+    // core-vs-hard ratio as the *unique* train points: hard with
+    // probability hard_fraction / (1 - duplicate_fraction).
+    const double roll = rng.uniform();
+    bool want_dup = false;
+    bool make_hard = false;
+    if (train_noise) {
+      want_dup = roll < cfg.duplicate_fraction;
+      make_hard = !want_dup &&
+                  roll < cfg.duplicate_fraction + cfg.hard_fraction;
+    } else {
+      const double unique_fraction =
+          std::max(1e-9, 1.0 - cfg.duplicate_fraction);
+      make_hard = roll < cfg.hard_fraction / unique_fraction;
+    }
+    const bool make_dup = want_dup && !core_pool[cls].empty();
+
+    if (make_dup) {
+      const std::size_t src =
+          core_pool[cls][rng.uniform_int(core_pool[cls].size())];
+      const float* srow = out.features.data() + src * dim;
+      for (std::size_t d = 0; d < dim; ++d) {
+        row[d] = srow[d] +
+                 static_cast<float>(rng.gaussian(0.0, cfg.duplicate_jitter));
+      }
+    } else if (make_hard) {
+      // Interpolate toward a random mode of a random other class: boundary
+      // sample.
+      std::size_t other = cls;
+      if (classes > 1) {
+        while (other == cls) {
+          other = static_cast<std::size_t>(rng.uniform_int(classes));
+        }
+      }
+      const auto& other_centre =
+          mixtures[other].mode_centres[sample_mode(mixtures[other], rng)];
+      const double t = rng.uniform(0.30, 0.50);
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double base = (1.0 - t) * centre[d] + t * other_centre[d];
+        row[d] =
+            static_cast<float>(base + rng.gaussian(0.0, cfg.hard_spread));
+      }
+    } else {
+      for (std::size_t d = 0; d < dim; ++d) {
+        row[d] =
+            static_cast<float>(centre[d] + rng.gaussian(0.0, cfg.core_spread));
+      }
+      core_pool[cls].push_back(i);
+    }
+
+    SampleKind kind = SampleKind::kCore;
+    if (make_dup) {
+      kind = SampleKind::kDuplicate;
+    } else if (make_hard) {
+      kind = SampleKind::kHard;
+    }
+
+    Label label = static_cast<Label>(cls);
+    if (train_noise && rng.bernoulli(cfg.label_noise) && classes > 1) {
+      std::size_t wrong = cls;
+      while (wrong == cls) {
+        wrong = static_cast<std::size_t>(rng.uniform_int(classes));
+      }
+      label = static_cast<Label>(wrong);
+      // Corrupted samples are feature-atypical as well as mislabeled: push
+      // them away from their mode so they sit in low-density space.
+      for (std::size_t d = 0; d < dim; ++d) {
+        row[d] +=
+            static_cast<float>(rng.gaussian(0.0, cfg.outlier_offset));
+      }
+      kind = SampleKind::kOutlier;
+    }
+    out.labels[i] = label;
+    if (provenance) {
+      provenance->kinds[i] = kind;
+      provenance->modes[i] = mode;
+      provenance->true_labels[i] = static_cast<Label>(cls);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+SyntheticWithProvenance generate(const SyntheticConfig& cfg, bool traced) {
+  if (cfg.num_classes == 0 || cfg.feature_dim == 0) {
+    throw std::invalid_argument("make_synthetic: bad config");
+  }
+  if (cfg.hard_fraction + cfg.duplicate_fraction > 1.0) {
+    throw std::invalid_argument(
+        "make_synthetic: hard + duplicate fractions exceed 1");
+  }
+  util::Rng rng(cfg.seed);
+  auto mixtures = make_mixtures(cfg, rng);
+
+  SyntheticWithProvenance out;
+  auto train = draw_split(cfg, mixtures, cfg.train_size, /*train_noise=*/true,
+                          rng, traced ? &out.provenance : nullptr);
+  auto test = draw_split(cfg, mixtures, cfg.test_size, /*train_noise=*/false,
+                         rng);
+
+  out.dataset =
+      Dataset(cfg.name, cfg.num_classes, cfg.stored_bytes_per_sample,
+              Split{std::move(train.features), std::move(train.labels)},
+              Split{std::move(test.features), std::move(test.labels)});
+  return out;
+}
+
+}  // namespace
+
+Dataset make_synthetic(const SyntheticConfig& cfg) {
+  return generate(cfg, /*traced=*/false).dataset;
+}
+
+SyntheticWithProvenance make_synthetic_traced(const SyntheticConfig& cfg) {
+  return generate(cfg, /*traced=*/true);
+}
+
+std::size_t Provenance::count(SampleKind kind) const {
+  std::size_t n = 0;
+  for (auto k : kinds) {
+    if (k == kind) ++n;
+  }
+  return n;
+}
+
+double Provenance::selected_fraction(std::span<const std::size_t> selection,
+                                     SampleKind kind) const {
+  if (selection.empty()) return 0.0;
+  std::size_t n = 0;
+  for (std::size_t idx : selection) {
+    if (kinds.at(idx) == kind) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(selection.size());
+}
+
+std::size_t Provenance::modes_covered(
+    std::span<const std::size_t> selection) const {
+  std::vector<std::pair<Label, std::size_t>> seen;
+  for (std::size_t idx : selection) {
+    seen.emplace_back(true_labels.at(idx), modes.at(idx));
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  return seen.size();
+}
+
+}  // namespace nessa::data

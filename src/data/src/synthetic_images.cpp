@@ -1,0 +1,179 @@
+#include "nessa/data/synthetic_images.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nessa::data {
+
+namespace {
+
+/// Smooth random texture: low-frequency sinusoid mixture per channel, so
+/// nearby pixels correlate (what convolutions exploit).
+std::vector<float> make_texture(const nn::ImageDims& dims, double scale,
+                                util::Rng& rng) {
+  std::vector<float> img(dims.flat());
+  for (std::size_t c = 0; c < dims.channels; ++c) {
+    // Three random plane waves per channel.
+    double fx[3], fy[3], phase[3], amp[3];
+    for (int w = 0; w < 3; ++w) {
+      fx[w] = rng.uniform(0.5, 2.5);
+      fy[w] = rng.uniform(0.5, 2.5);
+      phase[w] = rng.uniform(0.0, 6.2831853);
+      amp[w] = rng.uniform(0.3, 1.0);
+    }
+    for (std::size_t y = 0; y < dims.height; ++y) {
+      for (std::size_t x = 0; x < dims.width; ++x) {
+        double v = 0.0;
+        for (int w = 0; w < 3; ++w) {
+          v += amp[w] *
+               std::sin(fx[w] * 6.2831853 * static_cast<double>(x) /
+                            static_cast<double>(dims.width) +
+                        fy[w] * 6.2831853 * static_cast<double>(y) /
+                            static_cast<double>(dims.height) +
+                        phase[w]);
+        }
+        img[(c * dims.height + y) * dims.width + x] =
+            static_cast<float>(v * scale / 3.0);
+      }
+    }
+  }
+  return img;
+}
+
+struct Mixture {
+  std::vector<std::vector<float>> textures;  // per mode
+  std::vector<double> cdf;
+};
+
+std::vector<Mixture> make_mixtures(const SyntheticImageConfig& cfg,
+                                   util::Rng& rng) {
+  std::vector<Mixture> mixtures(cfg.num_classes);
+  const std::size_t modes = std::max<std::size_t>(1, cfg.modes_per_class);
+  for (auto& mix : mixtures) {
+    mix.textures.reserve(modes);
+    double total = 0.0;
+    std::vector<double> weights(modes);
+    for (std::size_t m = 0; m < modes; ++m) {
+      mix.textures.push_back(make_texture(cfg.dims, cfg.texture_scale, rng));
+      weights[m] = 1.0 / static_cast<double>(m + 1);
+      total += weights[m];
+    }
+    mix.cdf.resize(modes);
+    double acc = 0.0;
+    for (std::size_t m = 0; m < modes; ++m) {
+      acc += weights[m] / total;
+      mix.cdf[m] = acc;
+    }
+    mix.cdf.back() = 1.0;
+  }
+  return mixtures;
+}
+
+std::size_t sample_mode(const Mixture& mix, util::Rng& rng) {
+  const double u = rng.uniform();
+  for (std::size_t m = 0; m < mix.cdf.size(); ++m) {
+    if (u <= mix.cdf[m]) return m;
+  }
+  return mix.cdf.size() - 1;
+}
+
+struct Drawn {
+  Tensor features;
+  std::vector<Label> labels;
+};
+
+Drawn draw(const SyntheticImageConfig& cfg,
+           const std::vector<Mixture>& mixtures, std::size_t count,
+           bool train_noise, util::Rng& rng) {
+  const std::size_t flat = cfg.dims.flat();
+  Drawn out;
+  out.features = Tensor({count, flat});
+  out.labels.resize(count);
+  std::vector<std::vector<std::size_t>> pool(cfg.num_classes);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto cls =
+        static_cast<std::size_t>(rng.uniform_int(cfg.num_classes));
+    float* row = out.features.data() + i * flat;
+    const auto& mix = mixtures[cls];
+    const auto& texture = mix.textures[sample_mode(mix, rng)];
+
+    const double roll = rng.uniform();
+    bool dup = false, hard = false;
+    if (train_noise) {
+      dup = roll < cfg.duplicate_fraction && !pool[cls].empty();
+      hard = !(roll < cfg.duplicate_fraction) &&
+             roll < cfg.duplicate_fraction + cfg.hard_fraction;
+    } else {
+      hard = roll <
+             cfg.hard_fraction / std::max(1e-9, 1.0 - cfg.duplicate_fraction);
+    }
+
+    if (dup) {
+      const std::size_t src = pool[cls][rng.uniform_int(pool[cls].size())];
+      const float* srow = out.features.data() + src * flat;
+      for (std::size_t p = 0; p < flat; ++p) {
+        row[p] = srow[p] + static_cast<float>(rng.gaussian(0.0, 0.02));
+      }
+    } else if (hard) {
+      std::size_t other = cls;
+      if (cfg.num_classes > 1) {
+        while (other == cls) {
+          other =
+              static_cast<std::size_t>(rng.uniform_int(cfg.num_classes));
+        }
+      }
+      const auto& other_tex =
+          mixtures[other].textures[sample_mode(mixtures[other], rng)];
+      const double t = rng.uniform(0.35, 0.5);
+      for (std::size_t p = 0; p < flat; ++p) {
+        row[p] = static_cast<float>((1.0 - t) * texture[p] +
+                                    t * other_tex[p] +
+                                    rng.gaussian(0.0, cfg.pixel_noise));
+      }
+    } else {
+      for (std::size_t p = 0; p < flat; ++p) {
+        row[p] = static_cast<float>(texture[p] +
+                                    rng.gaussian(0.0, cfg.pixel_noise));
+      }
+      pool[cls].push_back(i);
+    }
+
+    Label label = static_cast<Label>(cls);
+    if (train_noise && rng.bernoulli(cfg.label_noise) &&
+        cfg.num_classes > 1) {
+      std::size_t wrong = cls;
+      while (wrong == cls) {
+        wrong = static_cast<std::size_t>(rng.uniform_int(cfg.num_classes));
+      }
+      label = static_cast<Label>(wrong);
+      for (std::size_t p = 0; p < flat; ++p) {
+        row[p] += static_cast<float>(rng.gaussian(0.0, cfg.outlier_noise));
+      }
+    }
+    out.labels[i] = label;
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset make_synthetic_images(const SyntheticImageConfig& cfg) {
+  if (cfg.num_classes == 0 || cfg.dims.flat() == 0) {
+    throw std::invalid_argument("make_synthetic_images: bad config");
+  }
+  if (cfg.duplicate_fraction + cfg.hard_fraction > 1.0) {
+    throw std::invalid_argument(
+        "make_synthetic_images: dup + hard fractions exceed 1");
+  }
+  util::Rng rng(cfg.seed);
+  auto mixtures = make_mixtures(cfg, rng);
+  auto train = draw(cfg, mixtures, cfg.train_size, true, rng);
+  auto test = draw(cfg, mixtures, cfg.test_size, false, rng);
+  return Dataset(cfg.name, cfg.num_classes, cfg.stored_bytes_per_sample,
+                 Split{std::move(train.features), std::move(train.labels)},
+                 Split{std::move(test.features), std::move(test.labels)});
+}
+
+}  // namespace nessa::data

@@ -1,0 +1,47 @@
+// Adam optimizer (Kingma & Ba) with decoupled weight decay (AdamW-style).
+// The paper trains with SGD+Nesterov; Adam is provided as the common
+// alternative for downstream users and for optimizer ablations.
+#pragma once
+
+#include <vector>
+
+#include "nessa/nn/layer.hpp"
+
+namespace nessa::nn {
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;  ///< decoupled (applied to weights directly)
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  /// One update from accumulated gradients. Moment buffers are keyed by
+  /// parameter identity; reuse the same optimizer across steps.
+  void step(std::vector<ParamRef> params);
+
+  void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+  [[nodiscard]] float learning_rate() const noexcept {
+    return config_.learning_rate;
+  }
+  [[nodiscard]] std::size_t steps_taken() const noexcept { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::size_t t_ = 0;
+  struct Slot {
+    const Tensor* key = nullptr;
+    Tensor m;
+    Tensor v;
+  };
+  std::vector<Slot> slots_;
+
+  Slot& slot_for(const ParamRef& param);
+};
+
+}  // namespace nessa::nn

@@ -1,0 +1,48 @@
+// Per-class evaluation: confusion matrix and per-class accuracy/recall.
+// Useful for diagnosing which classes a coreset under-serves (e.g. the
+// rare-mode analysis behind the Fig. 5 many-class deviation).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nessa/nn/loss.hpp"
+#include "nessa/nn/model.hpp"
+
+namespace nessa::nn {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  /// Count one (true label, predicted label) observation.
+  void add(Label truth, Label predicted);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return classes_; }
+  [[nodiscard]] std::size_t count(Label truth, Label predicted) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Overall accuracy (trace / total); 0 for empty.
+  [[nodiscard]] double accuracy() const;
+
+  /// Recall of one class (diagonal / row sum); 0 when the class is absent.
+  [[nodiscard]] double recall(Label cls) const;
+
+  /// Precision of one class (diagonal / column sum); 0 when never predicted.
+  [[nodiscard]] double precision(Label cls) const;
+
+  /// Mean per-class recall (macro accuracy) over classes that appear.
+  [[nodiscard]] double macro_recall() const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // [truth * classes + predicted]
+};
+
+/// Run inference over a labelled set and build the confusion matrix.
+ConfusionMatrix evaluate_confusion(Sequential& model, const Tensor& inputs,
+                                   std::span<const Label> labels,
+                                   std::size_t batch_size = 512);
+
+}  // namespace nessa::nn

@@ -1,0 +1,35 @@
+// Softmax cross-entropy with integer class labels.
+//
+// Exposes both the batch-mean loss (for training) and per-example losses
+// (the training-dynamics signal NeSSA's subset biasing consumes, §3.2.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nessa/tensor/tensor.hpp"
+
+namespace nessa::nn {
+
+using tensor::Tensor;
+using Label = std::int32_t;
+
+struct LossResult {
+  float mean_loss = 0.0f;              ///< Mean NLL over the batch.
+  std::vector<float> example_losses;   ///< Per-example NLL.
+  Tensor probs;                        ///< Softmax probabilities [B, C].
+};
+
+class SoftmaxCrossEntropy {
+ public:
+  /// Forward: logits [B, C], labels length B with values in [0, C).
+  /// Throws std::invalid_argument on shape/label mismatch.
+  LossResult forward(const Tensor& logits, std::span<const Label> labels) const;
+
+  /// Backward from the cached probabilities of a forward call:
+  /// dL/dlogits = (probs - onehot(labels)) / B  (mean reduction).
+  Tensor backward(const LossResult& result, std::span<const Label> labels) const;
+};
+
+}  // namespace nessa::nn

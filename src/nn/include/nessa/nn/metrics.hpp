@@ -1,0 +1,21 @@
+// Evaluation metrics over a model + labelled feature matrix.
+#pragma once
+
+#include <span>
+
+#include "nessa/nn/loss.hpp"
+#include "nessa/nn/model.hpp"
+
+namespace nessa::nn {
+
+struct EvalResult {
+  double accuracy = 0.0;   ///< fraction correct in [0, 1]
+  double mean_loss = 0.0;  ///< mean NLL
+};
+
+/// Batched inference-mode evaluation.
+EvalResult evaluate(Sequential& model, const Tensor& inputs,
+                    std::span<const Label> labels,
+                    std::size_t batch_size = 512);
+
+}  // namespace nessa::nn

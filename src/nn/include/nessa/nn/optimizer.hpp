@@ -1,0 +1,70 @@
+// SGD with Nesterov momentum and decoupled L2 weight decay, plus the paper's
+// step learning-rate schedule (§4.1: lr 0.1 divided by 5 at epochs 60, 120,
+// 160; momentum 0.9; weight decay 5e-4).
+#pragma once
+
+#include <vector>
+
+#include "nessa/nn/layer.hpp"
+
+namespace nessa::nn {
+
+struct SgdConfig {
+  float learning_rate = 0.1f;
+  float momentum = 0.9f;
+  bool nesterov = true;
+  float weight_decay = 5e-4f;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config = {}) : config_(config) {}
+
+  /// Apply one update to the given parameter set using accumulated grads.
+  /// Velocity buffers are keyed by parameter identity (pointer) and created
+  /// lazily, so the same optimizer must be reused across steps for momentum
+  /// to take effect.
+  void step(std::vector<ParamRef> params);
+
+  void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+  [[nodiscard]] float learning_rate() const noexcept {
+    return config_.learning_rate;
+  }
+  [[nodiscard]] const SgdConfig& config() const noexcept { return config_; }
+
+ private:
+  SgdConfig config_;
+  struct Slot {
+    const Tensor* key = nullptr;
+    Tensor velocity;
+  };
+  std::vector<Slot> slots_;
+
+  Tensor& velocity_for(const ParamRef& param);
+};
+
+/// Piecewise-constant LR schedule: lr(epoch) = base * factor^(#milestones <= epoch).
+class StepLrSchedule {
+ public:
+  StepLrSchedule(float base_lr, std::vector<std::size_t> milestones,
+                 float factor)
+      : base_lr_(base_lr), milestones_(std::move(milestones)), factor_(factor) {}
+
+  /// The paper's schedule: 0.1, divided by 5 at epochs 60/120/160.
+  static StepLrSchedule paper_default() {
+    return StepLrSchedule(0.1f, {60, 120, 160}, 0.2f);
+  }
+
+  /// Schedule scaled to a different total epoch budget, keeping the paper's
+  /// milestone fractions (60/200, 120/200, 160/200).
+  static StepLrSchedule paper_scaled(std::size_t total_epochs);
+
+  [[nodiscard]] float lr_at(std::size_t epoch) const noexcept;
+
+ private:
+  float base_lr_;
+  std::vector<std::size_t> milestones_;
+  float factor_;
+};
+
+}  // namespace nessa::nn

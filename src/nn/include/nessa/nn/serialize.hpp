@@ -1,0 +1,34 @@
+// Model checkpointing: save/load all parameter tensors of a Sequential to
+// a binary stream or file. The format is a parameter-blob list keyed by
+// order + shape (architecture must match at load; names are stored for
+// diagnostics). Used for checkpoint/resume in long runs and for shipping
+// the selection model to another process.
+//
+// Layout (little-endian):
+//   magic "NSWT", u32 version, u64 param_count,
+//   per parameter: u32 name_len, name bytes, u32 rank, u64 dims[rank],
+//                  f32 data[numel]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nessa/nn/model.hpp"
+
+namespace nessa::nn {
+
+inline constexpr std::uint32_t kWeightsMagic = 0x5457534e;  // "NSWT"
+inline constexpr std::uint32_t kWeightsVersion = 1;
+
+/// Write all parameters of `model` to `os`. Throws std::runtime_error on
+/// stream failure.
+void save_weights(Sequential& model, std::ostream& os);
+void save_weights_file(Sequential& model, const std::string& path);
+
+/// Read parameters into `model`. The model must already have the matching
+/// architecture (same parameter count, shapes, in order); throws
+/// std::runtime_error on mismatch or malformed input.
+void load_weights(Sequential& model, std::istream& is);
+void load_weights_file(Sequential& model, const std::string& path);
+
+}  // namespace nessa::nn

@@ -1,0 +1,38 @@
+#include "nessa/nn/adam.hpp"
+
+#include <cmath>
+
+namespace nessa::nn {
+
+Adam::Slot& Adam::slot_for(const ParamRef& param) {
+  for (auto& slot : slots_) {
+    if (slot.key == param.value) return slot;
+  }
+  slots_.push_back(
+      {param.value, Tensor(param.value->shape()), Tensor(param.value->shape())});
+  return slots_.back();
+}
+
+void Adam::step(std::vector<ParamRef> params) {
+  ++t_;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  for (auto& p : params) {
+    auto& slot = slot_for(p);
+    Tensor& w = *p.value;
+    Tensor& g = *p.grad;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      slot.m[i] = b1 * slot.m[i] + (1.0f - b1) * g[i];
+      slot.v[i] = b2 * slot.v[i] + (1.0f - b2) * g[i] * g[i];
+      const float mhat = slot.m[i] / bias1;
+      const float vhat = slot.v[i] / bias2;
+      w[i] -= config_.learning_rate *
+              (mhat / (std::sqrt(vhat) + config_.epsilon) +
+               config_.weight_decay * w[i]);
+    }
+  }
+}
+
+}  // namespace nessa::nn

@@ -1,0 +1,117 @@
+#include "nessa/nn/confusion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::nn {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: need at least one class");
+  }
+}
+
+void ConfusionMatrix::add(Label truth, Label predicted) {
+  if (truth < 0 || predicted < 0 ||
+      static_cast<std::size_t>(truth) >= classes_ ||
+      static_cast<std::size_t>(predicted) >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::add: label out of range");
+  }
+  ++counts_[static_cast<std::size_t>(truth) * classes_ +
+            static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(Label truth, Label predicted) const {
+  if (truth < 0 || predicted < 0 ||
+      static_cast<std::size_t>(truth) >= classes_ ||
+      static_cast<std::size_t>(predicted) >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::count: label out of range");
+  }
+  return counts_[static_cast<std::size_t>(truth) * classes_ +
+                 static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    diag += counts_[c * classes_ + c];
+  }
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(Label cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  if (cls < 0 || c >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::recall: label out of range");
+  }
+  std::size_t row = 0;
+  for (std::size_t p = 0; p < classes_; ++p) row += counts_[c * classes_ + p];
+  return row ? static_cast<double>(counts_[c * classes_ + c]) /
+                   static_cast<double>(row)
+             : 0.0;
+}
+
+double ConfusionMatrix::precision(Label cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  if (cls < 0 || c >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::precision: label out of range");
+  }
+  std::size_t col = 0;
+  for (std::size_t t = 0; t < classes_; ++t) col += counts_[t * classes_ + c];
+  return col ? static_cast<double>(counts_[c * classes_ + c]) /
+                   static_cast<double>(col)
+             : 0.0;
+}
+
+double ConfusionMatrix::macro_recall() const {
+  double sum = 0.0;
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    std::size_t row = 0;
+    for (std::size_t p = 0; p < classes_; ++p) {
+      row += counts_[c * classes_ + p];
+    }
+    if (row) {
+      sum += static_cast<double>(counts_[c * classes_ + c]) /
+             static_cast<double>(row);
+      ++present;
+    }
+  }
+  return present ? sum / static_cast<double>(present) : 0.0;
+}
+
+ConfusionMatrix evaluate_confusion(Sequential& model, const Tensor& inputs,
+                                   std::span<const Label> labels,
+                                   std::size_t batch_size) {
+  if (inputs.rank() != 2 || inputs.rows() != labels.size()) {
+    throw std::invalid_argument("evaluate_confusion: shape mismatch");
+  }
+  const std::size_t n = inputs.rows();
+  const std::size_t dim = inputs.cols();
+  if (batch_size == 0) batch_size = std::max<std::size_t>(1, n);
+
+  std::size_t classes = 0;
+  std::vector<std::pair<Label, Label>> pairs;
+  pairs.reserve(n);
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t count = std::min(batch_size, n - start);
+    Tensor batch({count, dim});
+    std::copy_n(inputs.data() + start * dim, count * dim, batch.data());
+    Tensor logits = model.forward(batch, /*train=*/false);
+    classes = logits.cols();
+    auto preds = tensor::argmax_rows(logits);
+    for (std::size_t i = 0; i < count; ++i) {
+      pairs.emplace_back(labels[start + i], static_cast<Label>(preds[i]));
+    }
+  }
+  ConfusionMatrix cm(std::max<std::size_t>(classes, 1));
+  for (auto [truth, predicted] : pairs) cm.add(truth, predicted);
+  return cm;
+}
+
+}  // namespace nessa::nn

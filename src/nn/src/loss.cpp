@@ -1,0 +1,54 @@
+#include "nessa/nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::nn {
+
+LossResult SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                        std::span<const Label> labels) const {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: logits must be rank 2");
+  }
+  const std::size_t batch = logits.rows();
+  const std::size_t classes = logits.cols();
+  if (labels.size() != batch) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  LossResult out;
+  out.probs = logits;
+  tensor::softmax_rows(out.probs);
+  out.example_losses.resize(batch);
+  double total = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Label y = labels[i];
+    if (y < 0 || static_cast<std::size_t>(y) >= classes) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    const float p = out.probs(i, static_cast<std::size_t>(y));
+    const float loss = -std::log(std::max(p, 1e-12f));
+    out.example_losses[i] = loss;
+    total += loss;
+  }
+  out.mean_loss = static_cast<float>(total / static_cast<double>(batch));
+  return out;
+}
+
+Tensor SoftmaxCrossEntropy::backward(const LossResult& result,
+                                     std::span<const Label> labels) const {
+  const std::size_t batch = result.probs.rows();
+  if (labels.size() != batch) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  Tensor grad = result.probs;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    grad(i, static_cast<std::size_t>(labels[i])) -= 1.0f;
+  }
+  grad *= inv_batch;
+  return grad;
+}
+
+}  // namespace nessa::nn

@@ -1,0 +1,44 @@
+#include "nessa/nn/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::nn {
+
+EvalResult evaluate(Sequential& model, const Tensor& inputs,
+                    std::span<const Label> labels, std::size_t batch_size) {
+  if (inputs.rank() != 2) {
+    throw std::invalid_argument("evaluate: inputs must be rank 2");
+  }
+  const std::size_t n = inputs.rows();
+  const std::size_t dim = inputs.cols();
+  if (labels.size() != n) {
+    throw std::invalid_argument("evaluate: label count mismatch");
+  }
+  if (n == 0) return {};
+  if (batch_size == 0) batch_size = n;
+
+  SoftmaxCrossEntropy loss_fn;
+  std::size_t correct = 0;
+  double loss_total = 0.0;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t count = std::min(batch_size, n - start);
+    Tensor batch({count, dim});
+    std::copy_n(inputs.data() + start * dim, count * dim, batch.data());
+    Tensor logits = model.forward(batch, /*train=*/false);
+    auto loss = loss_fn.forward(logits, labels.subspan(start, count));
+    auto preds = tensor::argmax_rows(loss.probs);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (static_cast<Label>(preds[i]) == labels[start + i]) ++correct;
+      loss_total += loss.example_losses[i];
+    }
+  }
+  EvalResult out;
+  out.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  out.mean_loss = loss_total / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace nessa::nn

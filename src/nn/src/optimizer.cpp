@@ -1,0 +1,49 @@
+#include "nessa/nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace nessa::nn {
+
+Tensor& Sgd::velocity_for(const ParamRef& param) {
+  for (auto& slot : slots_) {
+    if (slot.key == param.value) return slot.velocity;
+  }
+  slots_.push_back({param.value, Tensor(param.value->shape())});
+  return slots_.back().velocity;
+}
+
+void Sgd::step(std::vector<ParamRef> params) {
+  const float lr = config_.learning_rate;
+  const float mu = config_.momentum;
+  const float wd = config_.weight_decay;
+  for (auto& p : params) {
+    Tensor& v = velocity_for(p);
+    Tensor& w = *p.value;
+    Tensor& g = *p.grad;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      float grad = g[i] + wd * w[i];
+      v[i] = mu * v[i] + grad;
+      const float update = config_.nesterov ? grad + mu * v[i] : v[i];
+      w[i] -= lr * update;
+    }
+  }
+}
+
+StepLrSchedule StepLrSchedule::paper_scaled(std::size_t total_epochs) {
+  auto scale = [total_epochs](std::size_t paper_epoch) {
+    return static_cast<std::size_t>(
+        std::round(static_cast<double>(paper_epoch) / 200.0 *
+                   static_cast<double>(total_epochs)));
+  };
+  return StepLrSchedule(0.1f, {scale(60), scale(120), scale(160)}, 0.2f);
+}
+
+float StepLrSchedule::lr_at(std::size_t epoch) const noexcept {
+  float lr = base_lr_;
+  for (std::size_t m : milestones_) {
+    if (epoch >= m && m > 0) lr *= factor_;
+  }
+  return lr;
+}
+
+}  // namespace nessa::nn

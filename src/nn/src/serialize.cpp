@@ -1,0 +1,87 @@
+#include "nessa/nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace nessa::nn {
+
+namespace {
+
+template <typename T>
+void put(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("load_weights: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void save_weights(Sequential& model, std::ostream& os) {
+  auto params = model.params();
+  put<std::uint32_t>(os, kWeightsMagic);
+  put<std::uint32_t>(os, kWeightsVersion);
+  put<std::uint64_t>(os, params.size());
+  for (auto& p : params) {
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(p.name.size()));
+    os.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const auto& shape = p.value->shape();
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(shape.size()));
+    for (std::size_t d : shape) put<std::uint64_t>(os, d);
+    os.write(reinterpret_cast<const char*>(p.value->data()),
+             static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("save_weights: stream write failed");
+}
+
+void load_weights(Sequential& model, std::istream& is) {
+  if (get<std::uint32_t>(is) != kWeightsMagic) {
+    throw std::runtime_error("load_weights: bad magic");
+  }
+  if (get<std::uint32_t>(is) != kWeightsVersion) {
+    throw std::runtime_error("load_weights: unsupported version");
+  }
+  auto params = model.params();
+  const auto count = get<std::uint64_t>(is);
+  if (count != params.size()) {
+    throw std::runtime_error("load_weights: parameter count mismatch");
+  }
+  for (auto& p : params) {
+    const auto name_len = get<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto rank = get<std::uint32_t>(is);
+    tensor::Shape shape(rank);
+    for (auto& d : shape) {
+      d = static_cast<std::size_t>(get<std::uint64_t>(is));
+    }
+    if (shape != p.value->shape()) {
+      throw std::runtime_error("load_weights: shape mismatch for " + name);
+    }
+    is.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+    if (!is) throw std::runtime_error("load_weights: truncated stream");
+  }
+}
+
+void save_weights_file(Sequential& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_weights_file: cannot open " + path);
+  save_weights(model, os);
+}
+
+void load_weights_file(Sequential& model, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_weights_file: cannot open " + path);
+  load_weights(model, is);
+}
+
+}  // namespace nessa::nn

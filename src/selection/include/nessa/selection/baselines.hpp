@@ -1,0 +1,23 @@
+// Non-submodular selection baselines: uniform random and loss-top-k
+// (the "biggest losers" heuristic [19]). Used as comparison points in the
+// ablation bench and the examples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nessa/util/rng.hpp"
+
+namespace nessa::selection {
+
+/// k distinct indices sampled uniformly from [0, n).
+std::vector<std::size_t> random_subset(std::size_t n, std::size_t k,
+                                       util::Rng& rng);
+
+/// Indices of the k largest losses (ties broken by lower index). Stable and
+/// deterministic for reproducibility.
+std::vector<std::size_t> loss_topk(std::span<const float> losses,
+                                   std::size_t k);
+
+}  // namespace nessa::selection

@@ -1,0 +1,69 @@
+// High-level coreset-selection drivers: per-class selection, §3.2.3 dataset
+// partitioning, and the bookkeeping (peak kernel memory, operation counts)
+// the SmartSSD model charges time and BRAM against.
+//
+// The paper's scheme: similarities are computed between examples of the same
+// class; when a class is too large for on-chip memory, its candidates are
+// randomly split into chunks and m examples are selected from each chunk
+// (for mini-batch size m and budget k, that's k/m chunks — we generalize to
+// any per-chunk quota).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nessa/selection/facility_location.hpp"
+#include "nessa/selection/greedy.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::selection {
+
+enum class GreedyKind { kNaive, kLazy, kStochastic };
+
+struct DriverConfig {
+  GreedyKind greedy = GreedyKind::kLazy;
+  double stochastic_epsilon = 0.1;
+  /// If true, select within each class label independently with budgets
+  /// proportional to class sizes (the paper's setting).
+  bool per_class = true;
+  /// §3.2.3 partitioning: if > 0, split each class's candidates into chunks
+  /// and select ~`partition_quota` examples per chunk. 0 disables
+  /// partitioning ("Vanilla" in Table 3).
+  std::size_t partition_quota = 0;
+  std::uint64_t seed = 1234;
+};
+
+struct CoresetResult {
+  std::vector<std::size_t> indices;   ///< positions in the candidate set's
+                                      ///< *global* numbering (see below)
+  std::vector<std::size_t> weights;   ///< CRAIG gamma per selected example
+  double objective = 0.0;             ///< summed facility-location value
+  std::size_t gain_evaluations = 0;
+  /// Peak per-chunk kernel footprint (similarity matrix + coverage); the
+  /// SmartSSD model checks this against its 4.32 MB on-chip budget.
+  std::uint64_t peak_kernel_bytes = 0;
+  /// Pairwise-similarity multiply-accumulates performed (sum of n_c^2 * d).
+  std::uint64_t similarity_ops = 0;
+  /// Greedy marginal-gain work (sum of gain_evaluations * chunk size).
+  std::uint64_t greedy_ops = 0;
+};
+
+/// Select `k_total` examples from the candidate set.
+///
+/// `embeddings` has one row per candidate; `labels` gives each candidate's
+/// class; `global_ids[i]` is the caller's identifier for candidate row i
+/// (e.g. the index into the full training set) and is what `indices`
+/// reports. If `global_ids` is empty, row numbers are used.
+CoresetResult select_coreset(const Tensor& embeddings,
+                             std::span<const std::int32_t> labels,
+                             std::span<const std::size_t> global_ids,
+                             std::size_t k_total, const DriverConfig& config);
+
+/// Budget split across classes proportional to class sizes (largest
+/// remainder method); classes with at least one candidate get at least one
+/// slot while budget remains. Exposed for testing.
+std::vector<std::size_t> proportional_budgets(
+    std::span<const std::size_t> class_sizes, std::size_t k_total);
+
+}  // namespace nessa::selection

@@ -1,0 +1,80 @@
+// Submodular facility-location objective over gradient embeddings — the
+// NeSSA selection model (paper Eq. 5).
+//
+// Given per-example gradient embeddings g_1..g_n, define the similarity
+//     sim(i, j) = c0 - ||g_i - g_j||^2,   c0 = max_{i,j} ||g_i - g_j||^2,
+// so all similarities are >= 0, and the monotone submodular objective
+//     F(S) = sum_i max_{j in S} sim(i, j).
+// Maximizing F under |S| <= k is the k-medoid upper bound of the gradient
+// estimation error (Eq. 3-4); the greedy maximizers in greedy.hpp carry the
+// (1 - 1/e) guarantee.
+//
+// The class owns a dense n x n similarity matrix — exactly what the FPGA
+// kernel holds in on-chip BRAM, which is why §3.2.3 partitions the dataset
+// into chunks before building it. memory_bytes() reports that footprint so
+// the SmartSSD model can enforce its 4.32 MB budget.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nessa/tensor/tensor.hpp"
+
+namespace nessa::selection {
+
+using tensor::Tensor;
+
+class FacilityLocation {
+ public:
+  /// Build from embeddings (rows are examples). O(n^2 d) via a GEMM.
+  static FacilityLocation from_embeddings(const Tensor& embeddings,
+                                          bool parallel = true);
+
+  /// Build directly from a precomputed similarity matrix (must be square,
+  /// non-negative; used by tests).
+  static FacilityLocation from_similarity(Tensor similarity);
+
+  [[nodiscard]] std::size_t ground_size() const noexcept { return n_; }
+  [[nodiscard]] float similarity(std::size_t i, std::size_t j) const {
+    return sim_(i, j);
+  }
+  [[nodiscard]] float c0() const noexcept { return c0_; }
+
+  /// Bytes of on-chip memory the kernel needs for this instance (similarity
+  /// matrix + coverage vector).
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+
+  /// Objective value of an arbitrary set (O(n |S|)); empty set has value 0.
+  [[nodiscard]] double value(std::span<const std::size_t> set) const;
+
+  /// Incremental evaluation state for greedy maximization: coverage[i] is
+  /// the best similarity of i to the selected set so far.
+  struct State {
+    std::vector<float> coverage;
+    std::vector<std::size_t> selected;
+    double value = 0.0;
+  };
+
+  [[nodiscard]] State empty_state() const;
+
+  /// Marginal gain F(S + j) - F(S) given the coverage state. O(n).
+  [[nodiscard]] double marginal_gain(const State& state, std::size_t j) const;
+
+  /// Add j to the state, updating coverage and value. O(n).
+  void add(State& state, std::size_t j) const;
+
+  /// CRAIG medoid weights: gamma_j = |{i : j = argmax_{s in S} sim(i, s)}|.
+  /// Ties break toward the earliest-selected element. Sum equals n.
+  [[nodiscard]] std::vector<std::size_t> medoid_weights(
+      std::span<const std::size_t> selected) const;
+
+ private:
+  FacilityLocation() = default;
+
+  std::size_t n_ = 0;
+  float c0_ = 0.0f;
+  Tensor sim_;  // [n, n]
+};
+
+}  // namespace nessa::selection

@@ -1,0 +1,48 @@
+// GreeDi distributed submodular maximization (Mirzasoleiman et al.,
+// NeurIPS'13 — the paper's reference [42] for distributed selection, and
+// the mechanism behind its §5 future work of scaling across multiple
+// SmartSSDs).
+//
+// Two rounds:
+//   1. partition the candidates across `num_partitions` devices; each
+//      device greedily selects its own size-k set from its shard;
+//   2. a merge device re-runs greedy over the union of the local winners
+//      and keeps the final k.
+// For monotone submodular F, GreeDi achieves a constant-factor
+// approximation of the centralized greedy; in practice it is near-
+// indistinguishable (asserted by the tests on random instances).
+#pragma once
+
+#include "nessa/selection/drivers.hpp"
+
+namespace nessa::selection {
+
+struct GreediConfig {
+  std::size_t num_partitions = 4;  ///< number of SmartSSD devices
+  /// Per-device and merge selection behaviour (per_class, chunking, greedy
+  /// flavour). `seed` also shards the candidates.
+  DriverConfig driver{};
+};
+
+struct GreediResult {
+  /// Final selection (global ids if provided, else candidate rows).
+  std::vector<std::size_t> indices;
+  std::vector<std::size_t> weights;  ///< merge-round medoid weights
+  double objective = 0.0;            ///< merge-round facility-location value
+  /// Per-device local selection stats (max over devices drives the
+  /// simulated wall time; sizes drive the merge communication bytes).
+  std::vector<CoresetResult> local;
+  /// Merge-round stats.
+  CoresetResult merge;
+  /// Union size shipped to the merge device (elements, not bytes).
+  std::size_t union_size = 0;
+};
+
+/// Run two-round GreeDi over candidate `embeddings` with per-candidate
+/// `labels` and optional `global_ids` (semantics as select_coreset).
+GreediResult greedi_select(const Tensor& embeddings,
+                           std::span<const std::int32_t> labels,
+                           std::span<const std::size_t> global_ids,
+                           std::size_t k, const GreediConfig& config);
+
+}  // namespace nessa::selection

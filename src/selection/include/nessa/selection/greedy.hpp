@@ -1,0 +1,43 @@
+// Greedy maximizers for the facility-location objective under a cardinality
+// constraint. Three variants, matching §3.1's complexity discussion:
+//
+//  - naive greedy:       O(n^2 k) marginal-gain evaluations; the reference.
+//  - lazy greedy:        Minoux's accelerated greedy [41] — keeps stale
+//                        gains in a max-heap; submodularity guarantees a
+//                        re-evaluated top element is optimal. Identical
+//                        output to naive greedy.
+//  - stochastic greedy:  "Lazier Than Lazy Greedy" [40] — each step scans a
+//                        random sample of size (n/k) ln(1/eps), giving a
+//                        (1 - 1/e - eps) guarantee in O(n log 1/eps) total.
+//
+// Every maximizer returns the selected indices in selection order plus the
+// number of marginal-gain evaluations performed (the operational-intensity
+// signal the FPGA timing model charges for).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nessa/selection/facility_location.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::selection {
+
+struct GreedyResult {
+  std::vector<std::size_t> selected;       ///< in selection order
+  std::vector<std::size_t> weights;        ///< CRAIG gamma per selected medoid
+  double objective = 0.0;                  ///< F(selected)
+  std::size_t gain_evaluations = 0;        ///< # marginal-gain computations
+};
+
+/// Plain greedy. k is clamped to the ground-set size.
+GreedyResult naive_greedy(const FacilityLocation& fl, std::size_t k);
+
+/// Lazy (accelerated) greedy; output identical to naive_greedy.
+GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k);
+
+/// Stochastic greedy with sample size ceil((n/k) * ln(1/epsilon)).
+GreedyResult stochastic_greedy(const FacilityLocation& fl, std::size_t k,
+                               util::Rng& rng, double epsilon = 0.1);
+
+}  // namespace nessa::selection

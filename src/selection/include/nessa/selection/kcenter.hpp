@@ -1,0 +1,36 @@
+// Greedy K-center (farthest-first traversal) — the core-set baseline of
+// Sener & Savarese [17] the paper compares against in Table 3.
+//
+// Where facility location picks *representative* medoids (dense regions),
+// K-center minimizes the maximum point-to-center distance, so its budget is
+// spent covering extremes — including label-noise outliers — which is why it
+// trails NeSSA at small subset sizes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nessa/tensor/tensor.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::selection {
+
+using tensor::Tensor;
+
+struct KCenterResult {
+  std::vector<std::size_t> selected;  ///< in selection order
+  double max_radius = 0.0;            ///< max distance of any point to its center
+};
+
+/// Greedy 2-approximation: start from `seed` (or the point with the largest
+/// norm if seed == npos), repeatedly add the point farthest from the current
+/// centers. O(n k d) with incremental distance maintenance.
+KCenterResult kcenter_greedy(const Tensor& points, std::size_t k,
+                             std::size_t seed_index = SIZE_MAX);
+
+/// Max distance from any point to its nearest element of `centers`.
+double kcenter_radius(const Tensor& points,
+                      std::span<const std::size_t> centers);
+
+}  // namespace nessa::selection

@@ -1,0 +1,27 @@
+#include "nessa/selection/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nessa::selection {
+
+std::vector<std::size_t> random_subset(std::size_t n, std::size_t k,
+                                       util::Rng& rng) {
+  return rng.sample_without_replacement(n, k);
+}
+
+std::vector<std::size_t> loss_topk(std::span<const float> losses,
+                                   std::size_t k) {
+  k = std::min(k, losses.size());
+  std::vector<std::size_t> order(losses.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (losses[a] != losses[b]) return losses[a] > losses[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace nessa::selection

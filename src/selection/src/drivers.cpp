@@ -1,0 +1,199 @@
+#include "nessa/selection/drivers.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::selection {
+
+namespace {
+
+using tensor::Tensor;
+
+GreedyResult run_greedy(const FacilityLocation& fl, std::size_t k,
+                        const DriverConfig& cfg, util::Rng& rng) {
+  switch (cfg.greedy) {
+    case GreedyKind::kNaive:
+      return naive_greedy(fl, k);
+    case GreedyKind::kLazy:
+      return lazy_greedy(fl, k);
+    case GreedyKind::kStochastic:
+      return stochastic_greedy(fl, k, rng, cfg.stochastic_epsilon);
+  }
+  throw std::logic_error("run_greedy: unknown greedy kind");
+}
+
+/// Select `quota` examples from the candidate rows `rows` (indices into
+/// `embeddings`), appending results mapped through `rows` into `result`.
+void select_from_rows(const Tensor& embeddings,
+                      std::span<const std::size_t> rows, std::size_t quota,
+                      const DriverConfig& cfg, util::Rng& rng,
+                      CoresetResult& result) {
+  if (rows.empty() || quota == 0) return;
+  quota = std::min(quota, rows.size());
+
+  Tensor sub({rows.size(), embeddings.cols()});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::copy_n(embeddings.data() + rows[r] * embeddings.cols(),
+                embeddings.cols(), sub.data() + r * embeddings.cols());
+  }
+  auto fl = FacilityLocation::from_embeddings(sub);
+  result.peak_kernel_bytes =
+      std::max(result.peak_kernel_bytes, fl.memory_bytes());
+  result.similarity_ops += static_cast<std::uint64_t>(rows.size()) *
+                           rows.size() * embeddings.cols();
+
+  auto greedy = run_greedy(fl, quota, cfg, rng);
+  result.gain_evaluations += greedy.gain_evaluations;
+  result.greedy_ops +=
+      static_cast<std::uint64_t>(greedy.gain_evaluations) * rows.size();
+  result.objective += greedy.objective;
+  for (std::size_t p = 0; p < greedy.selected.size(); ++p) {
+    result.indices.push_back(rows[greedy.selected[p]]);
+    result.weights.push_back(greedy.weights[p]);
+  }
+}
+
+/// §3.2.3: split `rows` into chunks and select ~quota-per-chunk from each.
+void select_partitioned(const Tensor& embeddings,
+                        std::vector<std::size_t> rows, std::size_t quota,
+                        const DriverConfig& cfg, util::Rng& rng,
+                        CoresetResult& result) {
+  if (rows.empty() || quota == 0) return;
+  quota = std::min(quota, rows.size());
+  const std::size_t per_chunk = std::min(cfg.partition_quota, quota);
+  const std::size_t num_chunks =
+      std::max<std::size_t>(1, (quota + per_chunk - 1) / per_chunk);
+  if (num_chunks == 1) {
+    select_from_rows(embeddings, rows, quota, cfg, rng, result);
+    return;
+  }
+  rng.shuffle(rows);
+  // Distribute both candidates and budget across chunks as evenly as
+  // possible; remainders go to the leading chunks.
+  const std::size_t base_items = rows.size() / num_chunks;
+  const std::size_t extra_items = rows.size() % num_chunks;
+  const std::size_t base_quota = quota / num_chunks;
+  const std::size_t extra_quota = quota % num_chunks;
+  std::size_t cursor = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t items = base_items + (c < extra_items ? 1 : 0);
+    const std::size_t q = base_quota + (c < extra_quota ? 1 : 0);
+    if (items == 0) continue;
+    select_from_rows(embeddings,
+                     std::span<const std::size_t>(rows.data() + cursor, items),
+                     q, cfg, rng, result);
+    cursor += items;
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> proportional_budgets(
+    std::span<const std::size_t> class_sizes, std::size_t k_total) {
+  const std::size_t total =
+      std::accumulate(class_sizes.begin(), class_sizes.end(), std::size_t{0});
+  std::vector<std::size_t> budgets(class_sizes.size(), 0);
+  if (total == 0 || k_total == 0) return budgets;
+  k_total = std::min(k_total, total);
+
+  // Largest remainder method over exact proportional shares.
+  std::vector<double> remainders(class_sizes.size(), 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < class_sizes.size(); ++c) {
+    const double share = static_cast<double>(k_total) *
+                         static_cast<double>(class_sizes[c]) /
+                         static_cast<double>(total);
+    budgets[c] = std::min(static_cast<std::size_t>(share), class_sizes[c]);
+    remainders[c] = share - static_cast<double>(budgets[c]);
+    assigned += budgets[c];
+  }
+  std::vector<std::size_t> order(class_sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (remainders[a] != remainders[b]) return remainders[a] > remainders[b];
+    return a < b;
+  });
+  for (std::size_t pos = 0; assigned < k_total; pos = (pos + 1) % order.size()) {
+    const std::size_t c = order[pos];
+    if (budgets[c] < class_sizes[c]) {
+      ++budgets[c];
+      ++assigned;
+    }
+    // Guard: if every class is saturated we must stop (k_total was clamped
+    // to total above, so this cannot spin forever).
+  }
+  return budgets;
+}
+
+CoresetResult select_coreset(const Tensor& embeddings,
+                             std::span<const std::int32_t> labels,
+                             std::span<const std::size_t> global_ids,
+                             std::size_t k_total, const DriverConfig& config) {
+  if (embeddings.rank() != 2) {
+    throw std::invalid_argument("select_coreset: embeddings must be rank 2");
+  }
+  const std::size_t n = embeddings.rows();
+  if (labels.size() != n) {
+    throw std::invalid_argument("select_coreset: label count mismatch");
+  }
+  if (!global_ids.empty() && global_ids.size() != n) {
+    throw std::invalid_argument("select_coreset: global_ids size mismatch");
+  }
+  util::Rng rng(config.seed);
+  CoresetResult result;
+  if (n == 0 || k_total == 0) return result;
+
+  auto emit = [&](CoresetResult& r) {
+    if (!global_ids.empty()) {
+      for (auto& idx : r.indices) idx = global_ids[idx];
+    }
+  };
+
+  if (!config.per_class) {
+    std::vector<std::size_t> rows(n);
+    std::iota(rows.begin(), rows.end(), 0);
+    if (config.partition_quota > 0) {
+      select_partitioned(embeddings, std::move(rows), k_total, config, rng,
+                         result);
+    } else {
+      select_from_rows(embeddings, rows, k_total, config, rng, result);
+    }
+    emit(result);
+    return result;
+  }
+
+  // Group candidate rows by class label.
+  std::int32_t max_label = 0;
+  for (auto y : labels) max_label = std::max(max_label, y);
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(max_label) + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] < 0) {
+      throw std::invalid_argument("select_coreset: negative label");
+    }
+    by_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+  std::vector<std::size_t> sizes(by_class.size());
+  for (std::size_t c = 0; c < by_class.size(); ++c) {
+    sizes[c] = by_class[c].size();
+  }
+  auto budgets = proportional_budgets(sizes, k_total);
+
+  for (std::size_t c = 0; c < by_class.size(); ++c) {
+    if (budgets[c] == 0 || by_class[c].empty()) continue;
+    if (config.partition_quota > 0) {
+      select_partitioned(embeddings, by_class[c], budgets[c], config, rng,
+                         result);
+    } else {
+      select_from_rows(embeddings, by_class[c], budgets[c], config, rng,
+                       result);
+    }
+  }
+  emit(result);
+  return result;
+}
+
+}  // namespace nessa::selection

@@ -1,0 +1,133 @@
+#include "nessa/selection/facility_location.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::selection {
+
+FacilityLocation FacilityLocation::from_embeddings(const Tensor& embeddings,
+                                                   bool parallel) {
+  if (embeddings.rank() != 2 || embeddings.rows() == 0) {
+    throw std::invalid_argument(
+        "FacilityLocation: embeddings must be non-empty rank 2");
+  }
+  Tensor dists = tensor::pairwise_sq_dists(embeddings, parallel);
+  const std::size_t n = dists.rows();
+  float c0 = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      c0 = std::max(c0, dists(i, j));
+    }
+  }
+  FacilityLocation fl;
+  fl.n_ = n;
+  fl.c0_ = c0;
+  fl.sim_ = std::move(dists);
+  for (float& x : fl.sim_.flat()) x = c0 - x;
+  return fl;
+}
+
+FacilityLocation FacilityLocation::from_similarity(Tensor similarity) {
+  if (similarity.rank() != 2 || similarity.rows() != similarity.cols() ||
+      similarity.rows() == 0) {
+    throw std::invalid_argument(
+        "FacilityLocation: similarity must be square and non-empty");
+  }
+  float min_sim = similarity[0];
+  float max_sim = similarity[0];
+  for (float x : similarity.flat()) {
+    min_sim = std::min(min_sim, x);
+    max_sim = std::max(max_sim, x);
+  }
+  if (min_sim < 0.0f) {
+    throw std::invalid_argument(
+        "FacilityLocation: similarities must be non-negative");
+  }
+  FacilityLocation fl;
+  fl.n_ = similarity.rows();
+  fl.c0_ = max_sim;
+  fl.sim_ = std::move(similarity);
+  return fl;
+}
+
+std::uint64_t FacilityLocation::memory_bytes() const noexcept {
+  return static_cast<std::uint64_t>(n_) * n_ * sizeof(float) +
+         static_cast<std::uint64_t>(n_) * sizeof(float);
+}
+
+double FacilityLocation::value(std::span<const std::size_t> set) const {
+  if (set.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    float best = 0.0f;
+    bool first = true;
+    for (std::size_t j : set) {
+      const float s = sim_(i, j);
+      if (first || s > best) {
+        best = s;
+        first = false;
+      }
+    }
+    total += best;
+  }
+  return total;
+}
+
+FacilityLocation::State FacilityLocation::empty_state() const {
+  State s;
+  // Coverage of the empty set is 0 per element (F(empty) = 0); similarities
+  // are >= 0 so the first added element can only improve coverage.
+  s.coverage.assign(n_, 0.0f);
+  return s;
+}
+
+double FacilityLocation::marginal_gain(const State& state,
+                                       std::size_t j) const {
+  if (j >= n_) throw std::out_of_range("marginal_gain: index out of range");
+  double gain = 0.0;
+  // sim_ is symmetric, so column j == row j; walk the row for locality.
+  const float* srow = sim_.data() + j * n_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const float delta = srow[i] - state.coverage[i];
+    if (delta > 0.0f) gain += delta;
+  }
+  return gain;
+}
+
+void FacilityLocation::add(State& state, std::size_t j) const {
+  if (j >= n_) throw std::out_of_range("add: index out of range");
+  const float* srow = sim_.data() + j * n_;
+  double gain = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const float delta = srow[i] - state.coverage[i];
+    if (delta > 0.0f) {
+      gain += delta;
+      state.coverage[i] = srow[i];
+    }
+  }
+  state.value += gain;
+  state.selected.push_back(j);
+}
+
+std::vector<std::size_t> FacilityLocation::medoid_weights(
+    std::span<const std::size_t> selected) const {
+  std::vector<std::size_t> weights(selected.size(), 0);
+  if (selected.empty()) return weights;
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t best_pos = 0;
+    float best = sim_(i, selected[0]);
+    for (std::size_t p = 1; p < selected.size(); ++p) {
+      const float s = sim_(i, selected[p]);
+      if (s > best) {
+        best = s;
+        best_pos = p;
+      }
+    }
+    ++weights[best_pos];
+  }
+  return weights;
+}
+
+}  // namespace nessa::selection

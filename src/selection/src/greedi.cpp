@@ -1,0 +1,106 @@
+#include "nessa/selection/greedi.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "nessa/util/rng.hpp"
+
+namespace nessa::selection {
+
+namespace {
+
+/// Gather rows of `embeddings` (and parallel labels) by candidate index.
+struct SubProblem {
+  Tensor embeddings;
+  std::vector<std::int32_t> labels;
+  std::vector<std::size_t> rows;  ///< original candidate rows
+};
+
+SubProblem gather(const Tensor& embeddings,
+                  std::span<const std::int32_t> labels,
+                  std::vector<std::size_t> rows) {
+  SubProblem sub;
+  const std::size_t dim = embeddings.cols();
+  sub.embeddings = Tensor({rows.size(), dim});
+  sub.labels.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::copy_n(embeddings.data() + rows[r] * dim, dim,
+                sub.embeddings.data() + r * dim);
+    sub.labels.push_back(labels[rows[r]]);
+  }
+  sub.rows = std::move(rows);
+  return sub;
+}
+
+}  // namespace
+
+GreediResult greedi_select(const Tensor& embeddings,
+                           std::span<const std::int32_t> labels,
+                           std::span<const std::size_t> global_ids,
+                           std::size_t k, const GreediConfig& config) {
+  if (embeddings.rank() != 2) {
+    throw std::invalid_argument("greedi_select: embeddings must be rank 2");
+  }
+  const std::size_t n = embeddings.rows();
+  if (labels.size() != n) {
+    throw std::invalid_argument("greedi_select: label count mismatch");
+  }
+  if (!global_ids.empty() && global_ids.size() != n) {
+    throw std::invalid_argument("greedi_select: global_ids size mismatch");
+  }
+  if (config.num_partitions == 0) {
+    throw std::invalid_argument("greedi_select: need at least one partition");
+  }
+  GreediResult result;
+  if (n == 0 || k == 0) return result;
+
+  const std::size_t parts = std::min(config.num_partitions, n);
+  k = std::min(k, n);
+
+  // Round 1: shard candidates uniformly at random, one greedy per device.
+  util::Rng rng(config.driver.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<std::size_t> union_rows;
+  result.local.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    std::vector<std::size_t> shard;
+    for (std::size_t i = p; i < n; i += parts) shard.push_back(order[i]);
+    auto sub = gather(embeddings, labels, std::move(shard));
+
+    DriverConfig local_cfg = config.driver;
+    local_cfg.seed = config.driver.seed * 31 + p;
+    auto local = select_coreset(sub.embeddings, sub.labels, sub.rows,
+                                std::min(k, sub.rows.size()), local_cfg);
+    union_rows.insert(union_rows.end(), local.indices.begin(),
+                      local.indices.end());
+    result.local.push_back(std::move(local));
+  }
+  std::sort(union_rows.begin(), union_rows.end());
+  union_rows.erase(std::unique(union_rows.begin(), union_rows.end()),
+                   union_rows.end());
+  result.union_size = union_rows.size();
+
+  // Round 2: centralized greedy over the union of local winners.
+  auto merged = gather(embeddings, labels, std::move(union_rows));
+  DriverConfig merge_cfg = config.driver;
+  merge_cfg.seed = config.driver.seed * 131 + 7;
+  // The merge runs on a single device over an already-small union; chunking
+  // is unnecessary and would only degrade quality.
+  merge_cfg.partition_quota = 0;
+  result.merge = select_coreset(merged.embeddings, merged.labels, merged.rows,
+                                k, merge_cfg);
+
+  result.indices = result.merge.indices;
+  result.weights = result.merge.weights;
+  result.objective = result.merge.objective;
+  if (!global_ids.empty()) {
+    for (auto& idx : result.indices) idx = global_ids[idx];
+  }
+  return result;
+}
+
+}  // namespace nessa::selection

@@ -1,0 +1,143 @@
+#include "nessa/selection/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace nessa::selection {
+
+namespace {
+
+GreedyResult finish(const FacilityLocation& fl,
+                    FacilityLocation::State state,
+                    std::size_t gain_evaluations) {
+  GreedyResult out;
+  out.selected = std::move(state.selected);
+  out.objective = state.value;
+  out.gain_evaluations = gain_evaluations;
+  out.weights = fl.medoid_weights(out.selected);
+  return out;
+}
+
+}  // namespace
+
+GreedyResult naive_greedy(const FacilityLocation& fl, std::size_t k) {
+  const std::size_t n = fl.ground_size();
+  k = std::min(k, n);
+  auto state = fl.empty_state();
+  std::vector<bool> in_set(n, false);
+  std::size_t evals = 0;
+  for (std::size_t step = 0; step < k; ++step) {
+    double best_gain = -1.0;
+    std::size_t best = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_set[j]) continue;
+      const double gain = fl.marginal_gain(state, j);
+      ++evals;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = j;
+      }
+    }
+    if (best == n) break;
+    fl.add(state, best);
+    in_set[best] = true;
+  }
+  return finish(fl, std::move(state), evals);
+}
+
+GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k) {
+  const std::size_t n = fl.ground_size();
+  k = std::min(k, n);
+  auto state = fl.empty_state();
+  std::size_t evals = 0;
+
+  struct Entry {
+    double gain;
+    std::size_t index;
+    std::size_t stamp;  ///< |S| when the gain was computed
+    bool operator<(const Entry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return index > other.index;  // deterministic tie-break: smaller first
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (std::size_t j = 0; j < n; ++j) {
+    heap.push({fl.marginal_gain(state, j), j, 0});
+    ++evals;
+  }
+
+  while (state.selected.size() < k && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.stamp == state.selected.size()) {
+      fl.add(state, top.index);
+    } else {
+      top.gain = fl.marginal_gain(state, top.index);
+      ++evals;
+      top.stamp = state.selected.size();
+      // Submodularity: a fresh gain that still dominates the heap top is
+      // globally optimal this round.
+      if (heap.empty() ||
+          top.gain > heap.top().gain ||
+          (top.gain == heap.top().gain && top.index < heap.top().index)) {
+        fl.add(state, top.index);
+      } else {
+        heap.push(top);
+      }
+    }
+  }
+  return finish(fl, std::move(state), evals);
+}
+
+GreedyResult stochastic_greedy(const FacilityLocation& fl, std::size_t k,
+                               util::Rng& rng, double epsilon) {
+  const std::size_t n = fl.ground_size();
+  k = std::min(k, n);
+  if (k == 0) return finish(fl, fl.empty_state(), 0);
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw std::invalid_argument("stochastic_greedy: epsilon must be in (0,1)");
+  }
+  const double raw =
+      std::ceil(static_cast<double>(n) / static_cast<double>(k) *
+                std::log(1.0 / epsilon));
+  const std::size_t sample_size =
+      std::min<std::size_t>(n, std::max<std::size_t>(1, static_cast<std::size_t>(raw)));
+
+  auto state = fl.empty_state();
+  std::size_t evals = 0;
+  // Not-yet-selected candidates, kept compact as elements are chosen.
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+
+  for (std::size_t step = 0; step < k; ++step) {
+    // Sample from the not-yet-selected pool (kept compact as we select).
+    const std::size_t available = pool.size();
+    if (available == 0) break;
+    const std::size_t draw = std::min(sample_size, available);
+    // Partial Fisher-Yates: move `draw` random candidates to the front.
+    for (std::size_t i = 0; i < draw; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_int(available - i));
+      std::swap(pool[i], pool[j]);
+    }
+    double best_gain = -1.0;
+    std::size_t best_pos = available;
+    for (std::size_t i = 0; i < draw; ++i) {
+      const double gain = fl.marginal_gain(state, pool[i]);
+      ++evals;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_pos = i;
+      }
+    }
+    if (best_pos == available) break;
+    fl.add(state, pool[best_pos]);
+    pool[best_pos] = pool.back();
+    pool.pop_back();
+  }
+  return finish(fl, std::move(state), evals);
+}
+
+}  // namespace nessa::selection

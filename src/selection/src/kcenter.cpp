@@ -1,0 +1,81 @@
+#include "nessa/selection/kcenter.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::selection {
+
+KCenterResult kcenter_greedy(const Tensor& points, std::size_t k,
+                             std::size_t seed_index) {
+  if (points.rank() != 2 || points.rows() == 0) {
+    throw std::invalid_argument("kcenter_greedy: points must be rank 2");
+  }
+  const std::size_t n = points.rows();
+  k = std::min(k, n);
+  KCenterResult out;
+  if (k == 0) return out;
+
+  std::size_t first = seed_index;
+  if (first >= n) {
+    // Deterministic seed: the max-norm point (an extreme, in k-center
+    // spirit).
+    float best = -1.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float norm = tensor::dot(points.row(i), points.row(i));
+      if (norm > best) {
+        best = norm;
+        first = i;
+      }
+    }
+  }
+
+  std::vector<float> min_dist(n, std::numeric_limits<float>::infinity());
+  auto add_center = [&](std::size_t c) {
+    out.selected.push_back(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float d = tensor::squared_l2(points.row(i), points.row(c));
+      if (d < min_dist[i]) min_dist[i] = d;
+    }
+  };
+  add_center(first);
+
+  while (out.selected.size() < k) {
+    std::size_t far = 0;
+    float far_dist = -1.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (min_dist[i] > far_dist) {
+        far_dist = min_dist[i];
+        far = i;
+      }
+    }
+    if (far_dist <= 0.0f) break;  // all points coincide with a center
+    add_center(far);
+  }
+
+  float worst = 0.0f;
+  for (float d : min_dist) worst = std::max(worst, d);
+  out.max_radius = std::sqrt(static_cast<double>(worst));
+  return out;
+}
+
+double kcenter_radius(const Tensor& points,
+                      std::span<const std::size_t> centers) {
+  if (centers.empty()) {
+    throw std::invalid_argument("kcenter_radius: empty center set");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c : centers) {
+      best = std::min(best, static_cast<double>(tensor::squared_l2(
+                                points.row(i), points.row(c))));
+    }
+    worst = std::max(worst, best);
+  }
+  return std::sqrt(worst);
+}
+
+}  // namespace nessa::selection

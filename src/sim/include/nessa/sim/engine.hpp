@@ -1,0 +1,74 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a time-ordered event queue; components (links, devices)
+// schedule callbacks at future simulated times. Events at equal timestamps
+// fire in scheduling order (FIFO), which makes runs fully deterministic.
+// Simulated time is int64 picoseconds (nessa::util::SimTime).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::sim {
+
+using util::SimTime;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (must be >= now();
+  /// throws std::invalid_argument otherwise). Returns an event id usable
+  /// with cancel().
+  std::uint64_t schedule_at(SimTime when, Callback fn);
+
+  /// Schedule `fn` to run `delay` after now.
+  std::uint64_t schedule_after(SimTime delay, Callback fn);
+
+  /// Cancel a pending event; returns false if it already ran or is unknown.
+  bool cancel(std::uint64_t event_id);
+
+  /// Run until the queue is empty. Returns the number of events processed.
+  std::size_t run();
+
+  /// Run until simulated time reaches `deadline` (events at exactly
+  /// `deadline` are processed). Returns events processed.
+  std::size_t run_until(SimTime deadline);
+
+  [[nodiscard]] bool empty() const noexcept { return callbacks_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return callbacks_.size();
+  }
+  [[nodiscard]] std::size_t processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Ordered so the earliest time (then earliest scheduling order) pops
+    // first from the max-heap.
+    bool operator<(const Event& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pop the next live (non-cancelled) event; false if none.
+  bool pop_next(Event& out);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace nessa::sim

@@ -1,0 +1,70 @@
+// Bandwidth-limited, serialized interconnect link.
+//
+// Models a point-to-point channel (PCIe lane group, SSD internal bus, DRAM
+// port): one transfer occupies the link at a time, each transfer costs a
+// fixed per-operation latency plus bytes / bandwidth, queued transfers are
+// served FIFO. Tracks total bytes and busy time so experiments can report
+// data-movement volumes (Table/Fig §4.4) and achieved throughput (Fig 6).
+//
+// Two usage styles:
+//  - event-driven: submit(sim, bytes, done_cb) schedules completion;
+//  - analytic: occupy(bytes) advances the link's internal clock and returns
+//    the completion time directly (used by the pipeline cost models, which
+//    do not need interleaving).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nessa/sim/engine.hpp"
+
+namespace nessa::sim {
+
+struct LinkStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+  SimTime busy_time = 0;
+
+  /// Achieved throughput over busy time, bytes/second.
+  [[nodiscard]] double achieved_bps() const noexcept {
+    const double s = util::to_seconds(busy_time);
+    return s > 0.0 ? static_cast<double>(bytes) / s : 0.0;
+  }
+};
+
+class Link {
+ public:
+  /// bandwidth in bytes/second; per-transfer latency in SimTime.
+  Link(std::string name, double bytes_per_second, SimTime latency);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double bandwidth_bps() const noexcept { return bandwidth_; }
+  [[nodiscard]] SimTime latency() const noexcept { return latency_; }
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+
+  /// Pure cost of one transfer, ignoring queueing.
+  [[nodiscard]] SimTime service_time(std::uint64_t bytes) const noexcept;
+
+  /// Event-driven transfer: starts when the link frees up, calls `done` at
+  /// completion. Returns the scheduled completion time.
+  SimTime submit(Simulator& sim, std::uint64_t bytes,
+                 Simulator::Callback done);
+
+  /// Analytic transfer starting no earlier than `earliest`: advances the
+  /// link clock and returns completion time. No simulator needed.
+  SimTime occupy(std::uint64_t bytes, SimTime earliest = 0);
+
+  /// Time at which the link next becomes free.
+  [[nodiscard]] SimTime free_at() const noexcept { return free_at_; }
+
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  std::string name_;
+  double bandwidth_;
+  SimTime latency_;
+  SimTime free_at_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace nessa::sim

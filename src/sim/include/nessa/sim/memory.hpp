@@ -1,0 +1,51 @@
+// Capacity-tracked memory region (FPGA on-board DRAM, on-chip BRAM budget).
+// Allocation failures signal that a kernel configuration does not fit —
+// exactly the constraint that motivates §3.2.3 dataset partitioning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nessa::sim {
+
+class MemoryRegion {
+ public:
+  MemoryRegion(std::string name, std::uint64_t capacity_bytes);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t free() const noexcept {
+    return capacity_ - used_;
+  }
+  [[nodiscard]] std::uint64_t peak() const noexcept { return peak_; }
+  [[nodiscard]] double utilization() const noexcept {
+    return capacity_ ? static_cast<double>(used_) /
+                           static_cast<double>(capacity_)
+                     : 0.0;
+  }
+
+  /// True if `bytes` more would fit.
+  [[nodiscard]] bool fits(std::uint64_t bytes) const noexcept {
+    return bytes <= free();
+  }
+
+  /// Allocate; returns false (no change) if it does not fit.
+  bool allocate(std::uint64_t bytes) noexcept;
+
+  /// Release; throws std::logic_error if releasing more than allocated.
+  void release(std::uint64_t bytes);
+
+  void reset() noexcept {
+    used_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+}  // namespace nessa::sim

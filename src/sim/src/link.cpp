@@ -1,0 +1,47 @@
+#include "nessa/sim/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace nessa::sim {
+
+Link::Link(std::string name, double bytes_per_second, SimTime latency)
+    : name_(std::move(name)), bandwidth_(bytes_per_second), latency_(latency) {
+  if (bandwidth_ <= 0.0) {
+    throw std::invalid_argument("Link: bandwidth must be positive");
+  }
+  if (latency_ < 0) {
+    throw std::invalid_argument("Link: latency must be non-negative");
+  }
+}
+
+SimTime Link::service_time(std::uint64_t bytes) const noexcept {
+  return latency_ + util::transfer_time(bytes, bandwidth_);
+}
+
+SimTime Link::submit(Simulator& sim, std::uint64_t bytes,
+                     Simulator::Callback done) {
+  const SimTime start = std::max(sim.now(), free_at_);
+  const SimTime finish = start + service_time(bytes);
+  free_at_ = finish;
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+  stats_.busy_time += finish - start;
+  if (done) {
+    sim.schedule_at(finish, std::move(done));
+  }
+  return finish;
+}
+
+SimTime Link::occupy(std::uint64_t bytes, SimTime earliest) {
+  const SimTime start = std::max(earliest, free_at_);
+  const SimTime finish = start + service_time(bytes);
+  free_at_ = finish;
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+  stats_.busy_time += finish - start;
+  return finish;
+}
+
+}  // namespace nessa::sim

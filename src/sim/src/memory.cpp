@@ -1,0 +1,26 @@
+#include "nessa/sim/memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace nessa::sim {
+
+MemoryRegion::MemoryRegion(std::string name, std::uint64_t capacity_bytes)
+    : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+bool MemoryRegion::allocate(std::uint64_t bytes) noexcept {
+  if (!fits(bytes)) return false;
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  return true;
+}
+
+void MemoryRegion::release(std::uint64_t bytes) {
+  if (bytes > used_) {
+    throw std::logic_error("MemoryRegion::release: double free on " + name_);
+  }
+  used_ -= bytes;
+}
+
+}  // namespace nessa::sim

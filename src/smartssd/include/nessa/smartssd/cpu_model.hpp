@@ -1,0 +1,29 @@
+// Host-CPU compute model for the CPU-side selection baselines (CRAIG [20]
+// and K-centers [17] run their selection on the host, which is the paper's
+// explanation for their poor end-to-end speedups).
+//
+// effective_flops is a sustained rate for the branchy, memory-bound greedy /
+// distance kernels these baselines run — far below a Xeon's peak GEMM rate
+// on purpose.
+#pragma once
+
+#include <cmath>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::smartssd {
+
+struct CpuSpec {
+  double effective_flops = 25e9;
+  double power_watts = 150.0;
+};
+
+inline util::SimTime cpu_compute_time(const CpuSpec& cpu,
+                                      double ops) noexcept {
+  if (ops <= 0.0 || cpu.effective_flops <= 0.0) return 0;
+  return static_cast<util::SimTime>(
+      std::ceil(ops / cpu.effective_flops *
+                static_cast<double>(util::kSecond)));
+}
+
+}  // namespace nessa::smartssd

@@ -1,0 +1,124 @@
+// The assembled SmartSSD + host + GPU system model (paper Fig. 3).
+//
+// Components and rated links:
+//
+//   [NAND flash] --P2P 3 GB/s--> [FPGA (KU15P) + 4 GB DRAM + 4.32 MB BRAM]
+//        |                                   |
+//        +--- conventional path: SSD -> host DRAM -> device, store-and-
+//        |    forward through two ~3 GB/s PCIe hops + CPU staging overhead
+//        |    => ~1.4 GB/s effective (paper §4.4)
+//        v                                   v
+//   [host CPU/DRAM] --PCIe x16 ~12 GB/s--> [GPU]
+//
+// The model exposes *cost primitives* (time + byte accounting per path);
+// the training pipelines in src/core compose them into per-epoch costs.
+// Bytes that cross the drive-host interconnect are tracked separately from
+// on-board P2P bytes — their ratio is the paper's data-movement reduction.
+#pragma once
+
+#include <cstdint>
+
+#include "nessa/sim/link.hpp"
+#include "nessa/sim/memory.hpp"
+#include "nessa/smartssd/flash.hpp"
+#include "nessa/smartssd/fpga.hpp"
+#include "nessa/smartssd/gpu_model.hpp"
+#include "nessa/smartssd/resource_model.hpp"
+
+namespace nessa::smartssd {
+
+struct SystemConfig {
+  FlashConfig flash{};
+  FpgaConfig fpga{};
+  KernelConfig kernel{};
+  std::uint64_t fpga_dram_bytes = 4ULL * 1024 * 1024 * 1024;  // 4 GB
+  double p2p_bw_bps = 3.0e9;          ///< SSD->FPGA peer-to-peer ceiling
+  double host_link_bw_bps = 3.2e9;    ///< drive <-> host PCIe Gen3 x4
+  double gpu_link_bw_bps = 12.0e9;    ///< host <-> GPU PCIe Gen3 x16
+  util::SimTime link_latency = 2 * util::kMicrosecond;
+  /// Conventional-path staging: bounce-buffer chunk size and per-chunk CPU
+  /// overhead (syscall + interrupt + copy scheduling). With two 3 GB/s hops
+  /// these yield the paper's ~1.4 GB/s effective host-mediated bandwidth.
+  std::uint64_t staging_chunk_bytes = 1024 * 1024;
+  util::SimTime staging_overhead = 48 * util::kMicrosecond;
+  std::string gpu = "V100";
+};
+
+/// Byte counters per traffic class.
+struct TrafficStats {
+  std::uint64_t p2p_bytes = 0;          ///< flash -> FPGA on-board
+  std::uint64_t interconnect_bytes = 0; ///< crossed the drive-host boundary
+  std::uint64_t gpu_bytes = 0;          ///< host -> GPU
+};
+
+class SmartSsdSystem {
+ public:
+  explicit SmartSsdSystem(SystemConfig config = {});
+
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const NandFlash& flash() const noexcept { return flash_; }
+  [[nodiscard]] const FpgaModel& fpga() const noexcept { return fpga_; }
+  [[nodiscard]] const GpuSpec& gpu() const noexcept { return gpu_; }
+  [[nodiscard]] const TrafficStats& traffic() const noexcept {
+    return traffic_;
+  }
+  [[nodiscard]] const sim::MemoryRegion& fpga_dram() const noexcept {
+    return dram_;
+  }
+  [[nodiscard]] const sim::MemoryRegion& fpga_bram() const noexcept {
+    return bram_;
+  }
+  [[nodiscard]] sim::MemoryRegion& fpga_bram() noexcept { return bram_; }
+
+  // --- data-movement primitives (each returns elapsed SimTime and
+  //     accounts the moved bytes) ------------------------------------
+
+  /// Stream `records` stored samples from flash into FPGA DRAM over P2P.
+  util::SimTime flash_to_fpga(std::size_t records, std::uint64_t record_bytes);
+
+  /// Conventional path for the same scan: flash -> host DRAM (for CPU-side
+  /// selection or direct GPU training). Store-and-forward staging.
+  util::SimTime flash_to_host(std::size_t records, std::uint64_t record_bytes);
+
+  /// Ship `bytes` of selected subset FPGA -> host -> GPU.
+  util::SimTime subset_to_gpu(std::uint64_t bytes);
+
+  /// Ship `bytes` host -> GPU (conventional training input path).
+  util::SimTime host_to_gpu(std::uint64_t bytes);
+
+  /// Feedback: quantized weights host -> FPGA DRAM.
+  util::SimTime weights_to_fpga(std::uint64_t bytes);
+
+  // --- compute primitives -------------------------------------------
+
+  /// FPGA time for `macs` int8 MACs (quantized forward passes).
+  [[nodiscard]] util::SimTime fpga_forward_time(std::uint64_t macs) const {
+    return fpga_.int8_mac_time(macs);
+  }
+
+  /// FPGA time for similarity + greedy ops.
+  [[nodiscard]] util::SimTime fpga_selection_time(std::uint64_t ops) const {
+    return fpga_.simd_time(ops);
+  }
+
+  /// Effective host-mediated bandwidth of the conventional path (bytes/s),
+  /// for reporting the paper's 2.14x P2P advantage.
+  [[nodiscard]] double conventional_path_bps(std::uint64_t bytes) const;
+
+  /// Effective P2P bandwidth for a batch read (Fig. 6 metric).
+  [[nodiscard]] double p2p_bps(std::size_t records,
+                               std::uint64_t record_bytes) const;
+
+  void reset_stats();
+
+ private:
+  SystemConfig config_;
+  NandFlash flash_;
+  FpgaModel fpga_;
+  GpuSpec gpu_;
+  sim::MemoryRegion dram_;
+  sim::MemoryRegion bram_;
+  TrafficStats traffic_;
+};
+
+}  // namespace nessa::smartssd

@@ -1,0 +1,55 @@
+// Compute-time and power model of the Kintex KU15P FPGA on the SmartSSD.
+//
+// The selection kernel does three kinds of work per selection round:
+//   1. quantized forward passes over candidate records (int8 MACs),
+//   2. pairwise-similarity construction over gradient embeddings,
+//   3. greedy facility-location maximization (coverage updates).
+// All three are multiply/compare-accumulate streams; the model charges
+// ops / (lanes * clock) with separate lane counts for int8 MAC arrays (DSP
+// packed, 2 MACs/DSP/cycle) and float-ish similarity lanes. Power is the
+// paper's 7.5 W board figure (§2.2).
+#pragma once
+
+#include <cstdint>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::smartssd {
+
+using util::SimTime;
+
+struct FpgaConfig {
+  double clock_hz = 300e6;  ///< typical Vitis kernel clock
+  /// int8 MACs per cycle. DPU-style overlays on KU15P-class parts sustain
+  /// 1-2 TOPS int8 by packing two MACs per DSP48E2 and supplementing with
+  /// LUT-based multipliers; 2048 lanes at 300 MHz x 0.85 efficiency gives
+  /// ~0.52 TMAC/s, the conservative end of that range.
+  std::size_t int8_mac_lanes = 2048;
+  std::size_t simd_lanes = 256;  ///< similarity/coverage ops per cycle
+  double power_watts = 7.5;      ///< board power (paper §2.2)
+  /// Fraction of peak the kernel sustains (pipeline stalls, DRAM waits).
+  double efficiency = 0.85;
+};
+
+class FpgaModel {
+ public:
+  explicit FpgaModel(FpgaConfig config = {});
+
+  [[nodiscard]] const FpgaConfig& config() const noexcept { return config_; }
+
+  /// Time for `macs` int8 multiply-accumulates (forward passes).
+  [[nodiscard]] SimTime int8_mac_time(std::uint64_t macs) const;
+
+  /// Time for `ops` similarity/coverage operations (selection proper).
+  [[nodiscard]] SimTime simd_time(std::uint64_t ops) const;
+
+  /// Energy in joules for a busy interval.
+  [[nodiscard]] double energy_joules(SimTime busy) const noexcept {
+    return config_.power_watts * util::to_seconds(busy);
+  }
+
+ private:
+  FpgaConfig config_;
+};
+
+}  // namespace nessa::smartssd

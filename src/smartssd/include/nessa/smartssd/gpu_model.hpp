@@ -1,0 +1,85 @@
+// Analytic GPU training-time model + model zoo.
+//
+// Drives Figure 1 (per-epoch ImageNet-1k training time across a decade of
+// architectures on an A100), Figure 2 (fraction of training time spent on
+// data movement on a V100), and the GPU-side compute term of the end-to-end
+// pipeline (Figure 4).
+//
+// Epoch compute time = samples * train_flops / (peak_flops * efficiency)
+// with train_flops ~= 3x forward FLOPs (forward + backward). Input-pipeline
+// time per sample = fixed storage-stack overhead + bytes / ingest rate
+// (read + decode + host-to-device staging).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::smartssd {
+
+using util::SimTime;
+
+struct GpuSpec {
+  std::string name;
+  double peak_fp32_flops = 0.0;  ///< device peak (FLOP/s)
+  double efficiency = 0.35;      ///< sustained fraction during training
+  double power_watts = 0.0;
+  /// Host input pipeline: effective ingest bandwidth (storage read + decode
+  /// + H2D copy, overlapped) and fixed per-sample overhead.
+  double ingest_bps = 180e6;
+  SimTime per_sample_overhead = 7 * util::kMicrosecond;
+  /// Fixed cost per mini-batch step (kernel launches, optimizer sync,
+  /// framework overhead). Dominates epochs of small models — which is why
+  /// subset training wins nearly linearly in subset size.
+  SimTime per_batch_overhead = 18 * util::kMillisecond;
+};
+
+/// The GPUs the paper references. Throws on unknown name.
+/// Known: "A100", "V100", "K1200".
+const GpuSpec& gpu_spec(const std::string& name);
+
+struct GpuTrainCost {
+  SimTime compute_time = 0;
+  SimTime data_time = 0;
+  [[nodiscard]] SimTime total() const noexcept {
+    return compute_time + data_time;
+  }
+  /// Fraction of total spent moving/preparing data (Fig. 2's metric).
+  [[nodiscard]] double data_fraction() const noexcept {
+    const auto t = total();
+    return t > 0 ? static_cast<double>(data_time) / static_cast<double>(t)
+                 : 0.0;
+  }
+};
+
+/// Cost of one epoch over `samples` examples of `bytes_per_sample` each for
+/// a network with `forward_gflops` per sample, at the given batch size
+/// (which sets how much per-batch launch overhead is paid).
+GpuTrainCost epoch_cost(const GpuSpec& gpu, std::size_t samples,
+                        std::uint64_t bytes_per_sample, double forward_gflops,
+                        std::size_t batch_size = 128);
+
+/// GPU-side time for one training pass over `samples`: raw FLOP time plus
+/// per-batch launch overhead, excluding the input pipeline (used when the
+/// SmartSSD path feeds the GPU directly).
+SimTime train_compute_time(const GpuSpec& gpu, std::size_t samples,
+                           double forward_gflops,
+                           std::size_t batch_size = 128);
+
+/// Inference-only time for `samples` forward passes on the GPU (used by the
+/// CRAIG baseline's embedding pass).
+SimTime inference_time(const GpuSpec& gpu, std::size_t samples,
+                       double forward_gflops, std::size_t batch_size = 128);
+
+/// Figure 1's model zoo: image-classification networks by year with their
+/// forward GFLOPs per ImageNet sample.
+struct ZooEntry {
+  std::string name;
+  int year = 0;
+  double forward_gflops = 0.0;
+};
+const std::vector<ZooEntry>& imagenet_model_zoo();
+
+}  // namespace nessa::smartssd

@@ -1,0 +1,51 @@
+// Host-RAM training cache model — the SHADE [22] / iCache [23] family the
+// paper's introduction argues against: caching decoded samples in host
+// memory removes storage reads and decode for hits, but misses still pay
+// the full ingest path, and nothing shrinks the GPU's compute or the
+// interconnect traffic for the cached fraction's first epoch.
+//
+// Model: with uniform per-epoch access, the hit fraction is the cached
+// share of the dataset; hits cost a fast host-RAM + H2D path, misses the
+// ordinary ingest pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "nessa/smartssd/gpu_model.hpp"
+
+namespace nessa::smartssd {
+
+struct HostCacheConfig {
+  std::uint64_t capacity_bytes = 8ULL * 1000 * 1000 * 1000;  // 8 GB
+  /// Decoded-sample service rate out of host RAM (memcpy + H2D, overlapped).
+  double hit_bps = 8e9;
+  util::SimTime hit_overhead = 2 * util::kMicrosecond;  ///< per sample
+};
+
+class HostCache {
+ public:
+  explicit HostCache(HostCacheConfig config = {});
+
+  [[nodiscard]] const HostCacheConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Fraction of per-epoch accesses served from cache for a dataset of the
+  /// given stored size (uniform access; capped at 1).
+  [[nodiscard]] double hit_fraction(std::uint64_t dataset_bytes) const;
+
+  /// Input-pipeline time for one epoch over `samples` records, splitting
+  /// hits and misses.
+  [[nodiscard]] util::SimTime epoch_data_time(
+      const GpuSpec& gpu, std::size_t samples,
+      std::uint64_t bytes_per_sample) const;
+
+  /// Bytes that still cross the drive-host interconnect per epoch (misses).
+  [[nodiscard]] std::uint64_t epoch_miss_bytes(
+      std::size_t samples, std::uint64_t bytes_per_sample) const;
+
+ private:
+  HostCacheConfig config_;
+};
+
+}  // namespace nessa::smartssd

@@ -1,0 +1,62 @@
+// Host input-pipeline simulation: the conventional loader that feeds a GPU
+// from storage (what SHADE/iCache optimize and NeSSA bypasses).
+//
+//   storage link -> decode worker pool (parallel) -> H2D link -> GPU step
+//
+// Per batch, each stage is a serialized resource except the decode pool,
+// which runs `decode_workers` in parallel. The simulation reports the epoch
+// time and the GPU's stall share — the measured counterpart of the analytic
+// GpuTrainCost::data_fraction() used for Figure 2. The loader_sim tests
+// assert the two agree in the regimes the analytic model targets, and show
+// how worker count moves the stall share (the knob the analytic model
+// folds into one effective ingest rate).
+#pragma once
+
+#include <cstdint>
+
+#include "nessa/smartssd/gpu_model.hpp"
+
+namespace nessa::smartssd {
+
+struct LoaderConfig {
+  std::size_t decode_workers = 4;
+  /// Storage -> host effective bandwidth (the paper's ~1.4 GB/s path).
+  double storage_bps = 1.4e9;
+  /// Decode + augmentation throughput of ONE worker (JPEG decode plus
+  /// heavy augmentation is ~10-30 MB/s per core; we use the low end).
+  /// Note the parametrization difference vs the analytic model: epoch_cost
+  /// charges a *serial* 90 MB/s ingest (data time added to compute time),
+  /// while this pipelined pool only stalls the GPU when its aggregate rate
+  /// falls below the GPU's consumption rate. Four workers at 8.5 MB/s
+  /// (34 MB/s pool) reproduce the same measured stall share for the Fig. 2
+  /// ImageNet-100 workload — asserted by the loader_sim tests.
+  double decode_bps_per_worker = 8.5e6;
+  util::SimTime per_batch_decode_overhead = 300 * util::kMicrosecond;
+  double h2d_bps = 12e9;  ///< pinned-host to device copy
+};
+
+struct LoaderTrace {
+  util::SimTime epoch_time = 0;
+  util::SimTime gpu_busy = 0;       ///< time the GPU spent computing
+  util::SimTime gpu_stall = 0;      ///< time the GPU waited on input
+  std::size_t batches = 0;
+
+  /// Fraction of the epoch the GPU sat waiting on the input pipeline —
+  /// comparable to GpuTrainCost::data_fraction().
+  [[nodiscard]] double stall_fraction() const noexcept {
+    return epoch_time > 0
+               ? static_cast<double>(gpu_stall) /
+                     static_cast<double>(epoch_time)
+               : 0.0;
+  }
+};
+
+/// Simulate one epoch of `samples` records of `bytes_per_sample`, training
+/// a `forward_gflops` network at `batch_size` on `gpu`.
+LoaderTrace simulate_input_pipeline(const LoaderConfig& config,
+                                    const GpuSpec& gpu, std::size_t samples,
+                                    std::uint64_t bytes_per_sample,
+                                    double forward_gflops,
+                                    std::size_t batch_size);
+
+}  // namespace nessa::smartssd

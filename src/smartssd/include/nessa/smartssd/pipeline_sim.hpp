@@ -1,0 +1,56 @@
+// Batch-level pipeline simulation of the NeSSA training loop.
+//
+// The trainers in src/core use an analytic steady-state model: with the
+// FPGA preparing epoch t+1's subset while the GPU trains epoch t, the
+// per-epoch critical path is max(fpga phase, gpu phase). This module checks
+// that claim from below: it schedules every batch-granular stage of several
+// consecutive epochs onto serialized resources —
+//
+//   flash --(P2P)--> FPGA int8 forward --> selection ops      (FPGA side)
+//   subset: host link --> GPU link --> GPU train batches      (GPU side)
+//   quantized weights: host link back to the FPGA             (feedback)
+//
+// with cross-epoch overlap (epoch e+1's scan starts as soon as the FPGA is
+// free and epoch e's feedback has landed), and reports the steady-state
+// epoch time. The pipeline_sim tests assert it converges to the analytic
+// max() within a few percent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nessa/smartssd/device.hpp"
+
+namespace nessa::smartssd {
+
+struct EpochWorkload {
+  std::size_t pool_records = 50'000;     ///< candidates scanned per epoch
+  std::size_t subset_records = 15'000;   ///< selected and shipped to the GPU
+  std::uint64_t record_bytes = 3'000;
+  std::uint64_t macs_per_record = 20'500'000;  ///< quantized forward
+  std::uint64_t selection_ops = 250'000'000;   ///< similarity + greedy
+  double train_gflops_per_sample = 0.041;
+  std::size_t batch_size = 128;
+  std::uint64_t feedback_bytes = 270'000;
+};
+
+struct PipelineTrace {
+  /// Completion time of each simulated epoch's GPU+feedback phase.
+  std::vector<util::SimTime> epoch_done;
+  /// Steady-state epoch period: (last - first completion) / (epochs - 1).
+  util::SimTime steady_epoch_time = 0;
+  /// First-epoch latency (no overlap available yet).
+  util::SimTime first_epoch_time = 0;
+  /// The analytic model's prediction for comparison.
+  util::SimTime analytic_fpga_phase = 0;
+  util::SimTime analytic_gpu_phase = 0;
+};
+
+/// Simulate `epochs` consecutive epochs of the workload on the system.
+/// Throws std::invalid_argument for degenerate workloads (zero batches or
+/// fewer than 2 epochs).
+PipelineTrace simulate_pipeline(const SystemConfig& config,
+                                const EpochWorkload& workload,
+                                std::size_t epochs);
+
+}  // namespace nessa::smartssd

@@ -1,0 +1,64 @@
+// Analytic FPGA resource estimator for the NeSSA selection kernel.
+//
+// Substitution for the Vitis HLS implementation report (Table 4): an
+// additive cost model — platform shell + per-lane datapath costs + BRAM for
+// the on-chip buffers (similarity matrix, weight buffer, stream FIFOs).
+// Per-unit costs are calibrated so the default kernel configuration lands on
+// the paper's Table 4 utilization (LUT 67.53 %, FF 23.14 %, BRAM 50.30 %,
+// DSP 42.67 % of a KU15P), and the model extrapolates sensibly when the
+// ablation benches vary lane counts or chunk capacity.
+#pragma once
+
+#include <cstdint>
+
+namespace nessa::smartssd {
+
+/// Device budgets as reported in the paper's Table 4 ("Available").
+struct FpgaBudget {
+  std::uint64_t lut = 432'000;
+  std::uint64_t ff = 919'000;
+  std::uint64_t bram36 = 738;   ///< 36 Kbit blocks (4608 bytes each)
+  std::uint64_t dsp = 1'962;
+};
+
+inline constexpr std::uint64_t kBram36Bytes = 4608;
+
+/// Kernel build parameters.
+struct KernelConfig {
+  std::size_t int8_mac_lanes = 1024;  ///< forward-pass MAC array width
+  std::size_t simd_lanes = 256;       ///< similarity/coverage lanes
+  std::size_t chunk_capacity = 512;   ///< max examples per selection chunk
+  std::size_t embedding_dim = 128;    ///< max gradient-embedding width
+  std::uint64_t weight_buffer_bytes = 128 * 1024;  ///< quantized weights
+};
+
+struct ResourceUsage {
+  std::uint64_t lut = 0;
+  std::uint64_t ff = 0;
+  std::uint64_t bram36 = 0;
+  std::uint64_t dsp = 0;
+
+  /// Percent of budget used per resource class.
+  [[nodiscard]] double lut_pct(const FpgaBudget& b) const noexcept;
+  [[nodiscard]] double ff_pct(const FpgaBudget& b) const noexcept;
+  [[nodiscard]] double bram_pct(const FpgaBudget& b) const noexcept;
+  [[nodiscard]] double dsp_pct(const FpgaBudget& b) const noexcept;
+
+  [[nodiscard]] bool fits(const FpgaBudget& b) const noexcept;
+};
+
+/// Estimate usage for a kernel configuration.
+ResourceUsage estimate_resources(const KernelConfig& config);
+
+/// On-chip bytes required for a selection chunk of `n` examples (similarity
+/// matrix float32 + coverage vector). Matches FacilityLocation::memory_bytes.
+std::uint64_t chunk_buffer_bytes(std::size_t n);
+
+/// Largest chunk capacity whose similarity buffer fits in `bram_bytes` of
+/// on-chip memory.
+std::size_t max_chunk_capacity(std::uint64_t bram_bytes);
+
+/// On-chip memory the paper says the KU15P offers to the kernel (§3.2.3).
+inline constexpr std::uint64_t kOnChipBytes = 4'320'000;  // 4.32 MB
+
+}  // namespace nessa::smartssd

@@ -1,0 +1,49 @@
+#include "nessa/smartssd/flash.hpp"
+
+#include <stdexcept>
+
+namespace nessa::smartssd {
+
+NandFlash::NandFlash(FlashConfig config) : config_(config) {
+  if (config_.sustained_bw_bps <= 0.0 || config_.interface_bw_bps <= 0.0) {
+    throw std::invalid_argument("NandFlash: bandwidths must be positive");
+  }
+  if (config_.page_bytes == 0) {
+    throw std::invalid_argument("NandFlash: page size must be positive");
+  }
+}
+
+SimTime NandFlash::batch_read_time(std::size_t records,
+                                   std::uint64_t record_bytes) const {
+  if (records == 0 || record_bytes == 0) return 0;
+  const std::uint64_t bytes = records * record_bytes;
+  // Streaming cost: per-batch command setup + per-record command overhead +
+  // payload at the sustained internal rate, floored by the interface rate.
+  const SimTime payload = util::transfer_time(
+      bytes, std::min(config_.sustained_bw_bps, config_.interface_bw_bps));
+  return config_.command_latency +
+         static_cast<SimTime>(records) * config_.per_record_overhead + payload;
+}
+
+double NandFlash::batch_read_throughput(std::size_t records,
+                                        std::uint64_t record_bytes) const {
+  const SimTime t = batch_read_time(records, record_bytes);
+  if (t <= 0) return 0.0;
+  return static_cast<double>(records * record_bytes) / util::to_seconds(t);
+}
+
+std::uint64_t NandFlash::pages_touched(std::uint64_t offset,
+                                       std::uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  const std::uint64_t first = offset / config_.page_bytes;
+  const std::uint64_t last = (offset + bytes - 1) / config_.page_bytes;
+  return last - first + 1;
+}
+
+SimTime NandFlash::read_batch(std::size_t records,
+                              std::uint64_t record_bytes) {
+  bytes_read_ += records * record_bytes;
+  return batch_read_time(records, record_bytes);
+}
+
+}  // namespace nessa::smartssd

@@ -1,0 +1,36 @@
+#include "nessa/smartssd/fpga.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nessa::smartssd {
+
+FpgaModel::FpgaModel(FpgaConfig config) : config_(config) {
+  if (config_.clock_hz <= 0.0 || config_.int8_mac_lanes == 0 ||
+      config_.simd_lanes == 0) {
+    throw std::invalid_argument("FpgaModel: bad config");
+  }
+  if (config_.efficiency <= 0.0 || config_.efficiency > 1.0) {
+    throw std::invalid_argument("FpgaModel: efficiency must be in (0, 1]");
+  }
+}
+
+SimTime FpgaModel::int8_mac_time(std::uint64_t macs) const {
+  const double ops_per_second = config_.clock_hz *
+                                static_cast<double>(config_.int8_mac_lanes) *
+                                config_.efficiency;
+  return static_cast<SimTime>(std::ceil(static_cast<double>(macs) /
+                                        ops_per_second *
+                                        static_cast<double>(util::kSecond)));
+}
+
+SimTime FpgaModel::simd_time(std::uint64_t ops) const {
+  const double ops_per_second = config_.clock_hz *
+                                static_cast<double>(config_.simd_lanes) *
+                                config_.efficiency;
+  return static_cast<SimTime>(std::ceil(static_cast<double>(ops) /
+                                        ops_per_second *
+                                        static_cast<double>(util::kSecond)));
+}
+
+}  // namespace nessa::smartssd

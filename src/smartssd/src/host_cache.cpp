@@ -1,0 +1,48 @@
+#include "nessa/smartssd/host_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nessa::smartssd {
+
+HostCache::HostCache(HostCacheConfig config) : config_(config) {
+  if (config_.hit_bps <= 0.0) {
+    throw std::invalid_argument("HostCache: hit_bps must be positive");
+  }
+}
+
+double HostCache::hit_fraction(std::uint64_t dataset_bytes) const {
+  if (dataset_bytes == 0) return 1.0;
+  return std::min(1.0, static_cast<double>(config_.capacity_bytes) /
+                           static_cast<double>(dataset_bytes));
+}
+
+util::SimTime HostCache::epoch_data_time(
+    const GpuSpec& gpu, std::size_t samples,
+    std::uint64_t bytes_per_sample) const {
+  const double hit = hit_fraction(
+      static_cast<std::uint64_t>(samples) * bytes_per_sample);
+  const double hits = hit * static_cast<double>(samples);
+  const double misses = static_cast<double>(samples) - hits;
+
+  const double hit_s =
+      hits * (util::to_seconds(config_.hit_overhead) +
+              static_cast<double>(bytes_per_sample) / config_.hit_bps);
+  const double miss_s =
+      misses * (util::to_seconds(gpu.per_sample_overhead) +
+                static_cast<double>(bytes_per_sample) / gpu.ingest_bps);
+  return static_cast<util::SimTime>(
+      std::ceil((hit_s + miss_s) * static_cast<double>(util::kSecond)));
+}
+
+std::uint64_t HostCache::epoch_miss_bytes(
+    std::size_t samples, std::uint64_t bytes_per_sample) const {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(samples) * bytes_per_sample;
+  const double hit = hit_fraction(total);
+  return static_cast<std::uint64_t>(
+      std::llround((1.0 - hit) * static_cast<double>(total)));
+}
+
+}  // namespace nessa::smartssd

@@ -1,0 +1,79 @@
+#include "nessa/smartssd/loader_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace nessa::smartssd {
+
+namespace {
+
+using util::SimTime;
+
+}  // namespace
+
+LoaderTrace simulate_input_pipeline(const LoaderConfig& config,
+                                    const GpuSpec& gpu, std::size_t samples,
+                                    std::uint64_t bytes_per_sample,
+                                    double forward_gflops,
+                                    std::size_t batch_size) {
+  if (config.decode_workers == 0 || config.storage_bps <= 0.0 ||
+      config.decode_bps_per_worker <= 0.0 || config.h2d_bps <= 0.0) {
+    throw std::invalid_argument("simulate_input_pipeline: bad loader config");
+  }
+  if (batch_size == 0 || samples == 0) {
+    throw std::invalid_argument(
+        "simulate_input_pipeline: degenerate workload");
+  }
+
+  const std::size_t batches = (samples + batch_size - 1) / batch_size;
+
+  SimTime storage_free = 0;
+  std::vector<SimTime> worker_free(config.decode_workers, 0);
+  SimTime h2d_free = 0;
+  SimTime gpu_free = 0;
+
+  LoaderTrace trace;
+  trace.batches = batches;
+
+  std::size_t remaining = samples;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t count = std::min(batch_size, remaining);
+    remaining -= count;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(count) * bytes_per_sample;
+
+    // Storage read (serialized on the drive-host path).
+    const SimTime read_start = storage_free;
+    storage_free = read_start + util::transfer_time(bytes, config.storage_bps);
+
+    // Decode on the least-loaded worker.
+    auto worker =
+        std::min_element(worker_free.begin(), worker_free.end());
+    const SimTime decode_start = std::max(*worker, storage_free);
+    const SimTime decode_done =
+        decode_start + config.per_batch_decode_overhead +
+        util::transfer_time(bytes, config.decode_bps_per_worker);
+    *worker = decode_done;
+
+    // Host-to-device copy.
+    const SimTime h2d_start = std::max(h2d_free, decode_done);
+    h2d_free = h2d_start + util::transfer_time(bytes, config.h2d_bps);
+
+    // GPU step: per-batch launch overhead + FLOPs.
+    const SimTime step =
+        gpu.per_batch_overhead +
+        static_cast<SimTime>(
+            3.0 * forward_gflops * 1e9 * static_cast<double>(count) /
+            (gpu.peak_fp32_flops * gpu.efficiency) *
+            static_cast<double>(util::kSecond));
+    const SimTime gpu_start = std::max(gpu_free, h2d_free);
+    trace.gpu_stall += gpu_start - gpu_free;
+    gpu_free = gpu_start + step;
+    trace.gpu_busy += step;
+  }
+  trace.epoch_time = gpu_free;
+  return trace;
+}
+
+}  // namespace nessa::smartssd

@@ -1,0 +1,92 @@
+#include "nessa/smartssd/resource_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nessa::smartssd {
+
+namespace {
+
+// Calibrated per-unit costs. The shell terms cover the XRT platform region
+// plus kernel control; per-lane terms cover the int8 MAC array (2 MACs pack
+// into one DSP48E2, hence 0.5 DSP/lane) and the float similarity/coverage
+// datapath. Chosen so the default KernelConfig reproduces Table 4.
+constexpr double kShellLut = 74'130.0;
+constexpr double kLutPerMacLane = 150.0;
+constexpr double kLutPerSimdLane = 250.0;
+
+constexpr double kShellFf = 74'417.0;
+constexpr double kFfPerMacLane = 90.0;
+constexpr double kFfPerSimdLane = 180.0;
+
+constexpr double kShellDsp = 5.0;
+constexpr double kDspPerMacLane = 0.5;
+constexpr double kDspPerSimdLane = 1.25;
+
+constexpr std::uint64_t kShellBram = 70;
+constexpr std::uint64_t kStreamFifoBram = 14;
+
+std::uint64_t bram_blocks(std::uint64_t bytes) {
+  return (bytes + kBram36Bytes - 1) / kBram36Bytes;
+}
+
+}  // namespace
+
+double ResourceUsage::lut_pct(const FpgaBudget& b) const noexcept {
+  return b.lut ? 100.0 * static_cast<double>(lut) / static_cast<double>(b.lut)
+               : 0.0;
+}
+double ResourceUsage::ff_pct(const FpgaBudget& b) const noexcept {
+  return b.ff ? 100.0 * static_cast<double>(ff) / static_cast<double>(b.ff)
+              : 0.0;
+}
+double ResourceUsage::bram_pct(const FpgaBudget& b) const noexcept {
+  return b.bram36 ? 100.0 * static_cast<double>(bram36) /
+                        static_cast<double>(b.bram36)
+                  : 0.0;
+}
+double ResourceUsage::dsp_pct(const FpgaBudget& b) const noexcept {
+  return b.dsp ? 100.0 * static_cast<double>(dsp) / static_cast<double>(b.dsp)
+               : 0.0;
+}
+
+bool ResourceUsage::fits(const FpgaBudget& b) const noexcept {
+  return lut <= b.lut && ff <= b.ff && bram36 <= b.bram36 && dsp <= b.dsp;
+}
+
+std::uint64_t chunk_buffer_bytes(std::size_t n) {
+  return static_cast<std::uint64_t>(n) * n * sizeof(float) +
+         static_cast<std::uint64_t>(n) * sizeof(float);
+}
+
+std::size_t max_chunk_capacity(std::uint64_t bram_bytes) {
+  // Solve n^2 + n <= bram_bytes / 4 for the largest integer n.
+  const double budget = static_cast<double>(bram_bytes) / sizeof(float);
+  const double n = (-1.0 + std::sqrt(1.0 + 4.0 * budget)) / 2.0;
+  return n < 0.0 ? 0 : static_cast<std::size_t>(n);
+}
+
+ResourceUsage estimate_resources(const KernelConfig& config) {
+  ResourceUsage u;
+  const auto mac = static_cast<double>(config.int8_mac_lanes);
+  const auto simd = static_cast<double>(config.simd_lanes);
+
+  u.lut = static_cast<std::uint64_t>(kShellLut + kLutPerMacLane * mac +
+                                     kLutPerSimdLane * simd);
+  u.ff = static_cast<std::uint64_t>(kShellFf + kFfPerMacLane * mac +
+                                    kFfPerSimdLane * simd);
+  u.dsp = static_cast<std::uint64_t>(kShellDsp + kDspPerMacLane * mac +
+                                     kDspPerSimdLane * simd);
+
+  // BRAM: similarity chunk buffer + embedding staging + quantized weight
+  // buffer + stream FIFOs + shell.
+  const std::uint64_t sim_bytes = chunk_buffer_bytes(config.chunk_capacity);
+  const std::uint64_t emb_bytes = static_cast<std::uint64_t>(
+      config.chunk_capacity * config.embedding_dim * sizeof(float) / 2);
+  u.bram36 = kShellBram + kStreamFifoBram + bram_blocks(sim_bytes) +
+             bram_blocks(emb_bytes) +
+             bram_blocks(config.weight_buffer_bytes);
+  return u;
+}
+
+}  // namespace nessa::smartssd

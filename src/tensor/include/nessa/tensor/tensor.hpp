@@ -1,0 +1,111 @@
+// Dense row-major float32 tensor. This is the numeric workhorse under the
+// neural-network substrate (src/nn) and the quantization library (src/quant).
+//
+// Design choices:
+//  - Always contiguous, row-major; views are not supported (copies are cheap
+//    at NeSSA's scales and the ownership story stays trivial — R.11/R.20 of
+//    the Core Guidelines: no naked new, unique ownership via std::vector).
+//  - Shapes up to rank 4; the MLP path uses rank 2 almost everywhere.
+//  - Elementwise helpers live here; BLAS-like kernels live in ops.hpp.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nessa/util/rng.hpp"
+
+namespace nessa::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Construct zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Rank-1/2 conveniences.
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  static Tensor from(Shape shape, std::vector<float> values);
+
+  /// He/Kaiming-uniform initialization for a [fan_in, fan_out]-ish shape.
+  static Tensor he_uniform(Shape shape, std::size_t fan_in, util::Rng& rng);
+  /// Gaussian init with given stddev.
+  static Tensor randn(Shape shape, float stddev, util::Rng& rng);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Dimension i of the shape; throws on out-of-range.
+  [[nodiscard]] std::size_t dim(std::size_t i) const;
+
+  /// Rows/cols for rank-2 tensors (throws if rank != 2).
+  [[nodiscard]] std::size_t rows() const;
+  [[nodiscard]] std::size_t cols() const;
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+
+  /// Flat indexing.
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Rank-2 element access (unchecked in release; checked via at()).
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * shape_[1] + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * shape_[1] + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const;
+
+  /// Pointer to the start of row r (rank-2).
+  [[nodiscard]] std::span<float> row(std::size_t r);
+  [[nodiscard]] std::span<const float> row(std::size_t r) const;
+
+  /// Reshape in place; total size must match.
+  void reshape(Shape shape);
+
+  /// Fill with a constant.
+  void fill(float value) noexcept;
+
+  // --- elementwise in-place arithmetic ---------------------------------
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar) noexcept;
+  /// this += alpha * other  (axpy)
+  Tensor& axpy(float alpha, const Tensor& other);
+  /// Hadamard product in place.
+  Tensor& hadamard(const Tensor& other);
+
+  [[nodiscard]] float sum() const noexcept;
+  [[nodiscard]] float squared_norm() const noexcept;
+  [[nodiscard]] float max_abs() const noexcept;
+
+  [[nodiscard]] std::string shape_string() const;
+
+  friend bool operator==(const Tensor& a, const Tensor& b) noexcept {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  void check_same_shape(const Tensor& other, const char* op) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Total element count of a shape.
+std::size_t shape_size(const Shape& shape) noexcept;
+
+}  // namespace nessa::tensor

@@ -1,0 +1,258 @@
+#include "nessa/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "nessa/util/thread_pool.hpp"
+
+namespace nessa::tensor {
+
+namespace {
+
+constexpr std::size_t kBlock = 64;
+constexpr std::size_t kParallelThresholdFlops = 1u << 22;  // ~4 MFLOP
+
+void require_rank2(const Tensor& t, const char* who) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(who) + ": tensor must be rank 2");
+  }
+}
+
+/// Inner kernel: C[r0:r1) += A-rows * B, blocked over k and n.
+/// A is (m x k), B is (k x n), C is (m x n), all row-major raw pointers.
+void gemm_rows(const float* a, const float* b, float* c, std::size_t r0,
+               std::size_t r1, std::size_t k, std::size_t n) {
+  for (std::size_t kk = 0; kk < k; kk += kBlock) {
+    const std::size_t kend = std::min(k, kk + kBlock);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::size_t p = kk; p < kend; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void run_row_blocks(std::size_t m, std::size_t flops, bool parallel,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+  auto& pool = util::ThreadPool::global();
+  if (!parallel || flops < kParallelThresholdFlops || pool.size() <= 1 ||
+      m < 2) {
+    fn(0, m);
+    return;
+  }
+  const std::size_t chunks = std::min(m, pool.size());
+  const std::size_t per = (m + chunks - 1) / chunks;
+  pool.parallel_for(0, chunks, [&](std::size_t c) {
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(m, lo + per);
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool parallel) {
+  require_rank2(a, "matmul");
+  require_rank2(b, "matmul");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (b.rows() != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  Tensor c({m, n});
+  run_row_blocks(m, m * n * k, parallel, [&](std::size_t r0, std::size_t r1) {
+    gemm_rows(a.data(), b.data(), c.data(), r0, r1, k, n);
+  });
+  return c;
+}
+
+Tensor matmul_at_b(const Tensor& a, const Tensor& b, bool parallel) {
+  require_rank2(a, "matmul_at_b");
+  require_rank2(b, "matmul_at_b");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (b.rows() != m) {
+    throw std::invalid_argument("matmul_at_b: row-count mismatch");
+  }
+  // C (k x n) = sum over i of outer(A[i,:], B[i,:]). Parallelize over k rows
+  // of the output by striding columns of A.
+  Tensor c({k, n});
+  run_row_blocks(k, m * n * k, parallel, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a.data() + i * k;
+      const float* brow = b.data() + i * n;
+      for (std::size_t p = r0; p < r1; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        float* crow = c.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+  return c;
+}
+
+Tensor matmul_a_bt(const Tensor& a, const Tensor& b, bool parallel) {
+  require_rank2(a, "matmul_a_bt");
+  require_rank2(b, "matmul_a_bt");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (b.cols() != k) {
+    throw std::invalid_argument("matmul_a_bt: inner dim mismatch");
+  }
+  Tensor c({m, n});
+  run_row_blocks(m, m * n * k, parallel, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a.data() + i * k;
+      float* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] = dot({arow, k}, {b.data() + j * k, k});
+      }
+    }
+  });
+  return c;
+}
+
+Tensor matmul_naive(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_naive");
+  require_rank2(b, "matmul_naive");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (b.rows() != k) {
+    throw std::invalid_argument("matmul_naive: inner dim mismatch");
+  }
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a(i, p)) * b(p, j);
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  require_rank2(a, "transpose");
+  Tensor t({a.cols(), a.rows()});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+void add_row_vector(Tensor& a, const Tensor& bias) {
+  require_rank2(a, "add_row_vector");
+  if (bias.size() != a.cols()) {
+    throw std::invalid_argument("add_row_vector: bias length mismatch");
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float* row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) row[j] += bias[j];
+  }
+}
+
+Tensor column_sums(const Tensor& a) {
+  require_rank2(a, "column_sums");
+  Tensor out({a.cols()});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += row[j];
+  }
+  return out;
+}
+
+void softmax_rows(Tensor& a) {
+  require_rank2(a, "softmax_rows");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float* row = a.data() + i * a.cols();
+    float mx = row[0];
+    for (std::size_t j = 1; j < a.cols(); ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < a.cols(); ++j) row[j] *= inv;
+  }
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& a) {
+  if (a.rank() != 2) {
+    throw std::invalid_argument("argmax_rows: tensor must be rank 2");
+  }
+  std::vector<std::size_t> out(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.data() + i * a.cols();
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < a.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out = a;
+  for (float& x : out.flat()) x = std::max(0.0f, x);
+  return out;
+}
+
+void relu_backward(Tensor& grad, const Tensor& pre_activation) {
+  if (grad.shape() != pre_activation.shape()) {
+    throw std::invalid_argument("relu_backward: shape mismatch");
+  }
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (pre_activation[i] <= 0.0f) grad[i] = 0.0f;
+  }
+}
+
+float squared_l2(std::span<const float> a, std::span<const float> b) noexcept {
+  double acc = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc);
+}
+
+float dot(std::span<const float> a, std::span<const float> b) noexcept {
+  double acc = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return static_cast<float>(acc);
+}
+
+float l2_norm(std::span<const float> a) noexcept {
+  double acc = 0.0;
+  for (float x : a) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor pairwise_sq_dists(const Tensor& x, bool parallel) {
+  require_rank2(x, "pairwise_sq_dists");
+  const std::size_t m = x.rows();
+  std::vector<float> sq(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    sq[i] = dot(x.row(i), x.row(i));
+  }
+  Tensor cross = matmul_a_bt(x, x, parallel);
+  Tensor d({m, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      d(i, j) = std::max(0.0f, sq[i] + sq[j] - 2.0f * cross(i, j));
+    }
+    d(i, i) = 0.0f;
+  }
+  return d;
+}
+
+}  // namespace nessa::tensor

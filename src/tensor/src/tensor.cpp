@@ -1,0 +1,174 @@
+#include "nessa/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace nessa::tensor {
+
+std::size_t shape_size(const Shape& shape) noexcept {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  if (shape_.size() > 4) {
+    throw std::invalid_argument("Tensor: rank > 4 not supported");
+  }
+  data_.assign(shape_size(shape_), 0.0f);
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from(Shape shape, std::vector<float> values) {
+  Tensor t;
+  if (shape_size(shape) != values.size()) {
+    throw std::invalid_argument("Tensor::from: shape/data size mismatch");
+  }
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::he_uniform(Shape shape, std::size_t fan_in, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(std::max<std::size_t>(1, fan_in)));
+  for (float& x : t.data_) {
+    x = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, float stddev, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) {
+    x = static_cast<float>(rng.gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  if (i >= shape_.size()) {
+    throw std::out_of_range("Tensor::dim: index out of range");
+  }
+  return shape_[i];
+}
+
+std::size_t Tensor::rows() const {
+  if (rank() != 2) throw std::logic_error("Tensor::rows: rank != 2");
+  return shape_[0];
+}
+
+std::size_t Tensor::cols() const {
+  if (rank() != 2) throw std::logic_error("Tensor::cols: rank != 2");
+  return shape_[1];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  if (rank() != 2 || r >= shape_[0] || c >= shape_[1]) {
+    throw std::out_of_range("Tensor::at: bad index");
+  }
+  return (*this)(r, c);
+}
+
+std::span<float> Tensor::row(std::size_t r) {
+  if (rank() != 2 || r >= shape_[0]) {
+    throw std::out_of_range("Tensor::row: bad row");
+  }
+  return {data_.data() + r * shape_[1], shape_[1]};
+}
+
+std::span<const float> Tensor::row(std::size_t r) const {
+  if (rank() != 2 || r >= shape_[0]) {
+    throw std::out_of_range("Tensor::row: bad row");
+  }
+  return {data_.data() + r * shape_[1], shape_[1]};
+}
+
+void Tensor::reshape(Shape shape) {
+  if (shape_size(shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: size mismatch");
+  }
+  shape_ = std::move(shape);
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* op) const {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument(std::string("Tensor::") + op +
+                                ": shape mismatch " + shape_string() + " vs " +
+                                other.shape_string());
+  }
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(other, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(other, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) noexcept {
+  for (float& x : data_) x *= scalar;
+  return *this;
+}
+
+Tensor& Tensor::axpy(float alpha, const Tensor& other) {
+  check_same_shape(other, "axpy");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::hadamard(const Tensor& other) {
+  check_same_shape(other, "hadamard");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+float Tensor::sum() const noexcept {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Tensor::squared_norm() const noexcept {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(s);
+}
+
+float Tensor::max_abs() const noexcept {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace nessa::tensor

@@ -1,0 +1,47 @@
+// Minimal leveled logger. Benchmarks run with Info; tests default to Warn so
+// ctest output stays readable. Not thread-safe across interleaved messages by
+// design (each call writes one formatted line atomically via a local buffer).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nessa::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Write one line at `level` (tag + message) to stderr if enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_line(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::kError, args...);
+}
+
+}  // namespace nessa::util

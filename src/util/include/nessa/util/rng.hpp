@@ -1,0 +1,174 @@
+// Deterministic, fast pseudo-random number generation for NeSSA.
+//
+// All stochastic components of the library (dataset synthesis, stochastic
+// greedy sampling, SGD shuffling, dropout) draw from Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256**, seeded via splitmix64 so that nearby seeds give independent
+// streams.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace nessa::util {
+
+/// splitmix64 step: used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator so it
+/// can be plugged into <random> distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    gaussian_cached_ = false;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform_int(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double gaussian() noexcept {
+    if (gaussian_cached_) {
+      gaussian_cached_ = false;
+      return gaussian_spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    gaussian_spare_ = v * mul;
+    gaussian_cached_ = true;
+    return u * mul;
+  }
+
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = uniform_int(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement.
+  /// Uses Floyd's algorithm when k << n, full shuffle otherwise.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Fork an independent stream (e.g. one per worker thread / per class).
+  Rng fork() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double gaussian_spare_ = 0.0;
+  bool gaussian_cached_ = false;
+};
+
+inline std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                                std::size_t k) {
+  if (k > n) k = n;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k * 3 < n) {
+    // Floyd's algorithm: O(k) expected, O(k) memory.
+    std::vector<std::size_t> chosen;
+    chosen.reserve(k);
+    for (std::size_t j = n - k; j < n; ++j) {
+      std::size_t t = uniform_int(j + 1);
+      bool dup = false;
+      for (std::size_t c : chosen) {
+        if (c == t) {
+          dup = true;
+          break;
+        }
+      }
+      chosen.push_back(dup ? j : t);
+    }
+    return chosen;
+  }
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  shuffle(all);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace nessa::util

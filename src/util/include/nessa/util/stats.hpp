@@ -1,0 +1,105 @@
+// Streaming statistics accumulators used throughout the benchmarks and the
+// simulator (throughput summaries, accuracy curves, loss histories).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace nessa::util {
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponential moving average; used for loss-reduction-rate tracking in the
+/// dynamic subset-sizing controller.
+class Ema {
+ public:
+  explicit Ema(double alpha = 0.1) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    value_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    seeded_ = true;
+  }
+
+  [[nodiscard]] bool seeded() const noexcept { return seeded_; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Fixed-capacity sliding window over recent observations; used for the
+/// "losses from the most recent five epochs" record in subset biasing.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  void add(double x) {
+    if (buf_.size() == capacity_) {
+      buf_[head_] = x;
+      head_ = (head_ + 1) % capacity_;
+    } else {
+      buf_.push_back(x);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] bool full() const noexcept { return buf_.size() == capacity_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::vector<double> buf_;
+};
+
+/// Percentile of a sample (linear interpolation). p in [0, 100].
+double percentile(std::span<const double> sorted_values, double p) noexcept;
+
+/// In-place sort + percentile convenience.
+double percentile_of(std::vector<double> values, double p);
+
+/// Arithmetic mean of a span (0 for empty).
+double mean_of(std::span<const double> values) noexcept;
+
+}  // namespace nessa::util

@@ -1,0 +1,48 @@
+// Plain-text table and CSV emitters. Every benchmark binary prints the rows
+// of the paper table/figure it reproduces through one of these, so output is
+// uniform and machine-parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nessa::util {
+
+/// Column-aligned ASCII table with an optional title, printed to a stream.
+/// Cells are strings; helpers format numeric cells with fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format a double with `precision` digits after the decimal point.
+  static std::string num(double value, int precision = 2);
+  /// Format an integer-valued count.
+  static std::string num(std::size_t value);
+  /// Format a ratio as a percentage string, e.g. 0.2814 -> "28.14".
+  static std::string pct(double fraction, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+  /// Emit as CSV (header + rows, comma-separated, no alignment padding).
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nessa::util

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for host-side timing (selection kernels, training
+// loops). Simulated time lives in nessa::sim; this is only for measuring the
+// process itself.
+#pragma once
+
+#include <chrono>
+
+namespace nessa::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nessa::util

@@ -1,0 +1,55 @@
+// Units used by the storage simulator: simulated time is kept in integer
+// picoseconds (wide enough for hours of simulated time in int64), sizes in
+// bytes, bandwidths in bytes/second. Helper constants and conversions keep
+// the arithmetic honest at call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace nessa::util {
+
+/// Simulated time in picoseconds. Signed to allow deltas.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kPicosecond = 1;
+inline constexpr SimTime kNanosecond = 1'000;
+inline constexpr SimTime kMicrosecond = 1'000'000;
+inline constexpr SimTime kMillisecond = 1'000'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000'000;
+
+inline constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+inline constexpr double to_ms(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+inline constexpr double to_us(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+inline constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+/// Sizes in bytes.
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kKB = 1000ULL;
+inline constexpr std::uint64_t kMB = 1000ULL * kKB;
+inline constexpr std::uint64_t kGB = 1000ULL * kMB;
+
+/// Bandwidth in bytes per second -> time to move `bytes`.
+inline constexpr SimTime transfer_time(std::uint64_t bytes,
+                                       double bytes_per_second) noexcept {
+  if (bytes_per_second <= 0.0) return 0;
+  return static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_second *
+                              static_cast<double>(kSecond));
+}
+
+/// bytes / seconds -> GB/s (decimal GB, as storage vendors quote).
+inline constexpr double gbps(std::uint64_t bytes, double seconds) noexcept {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / seconds / 1e9;
+}
+
+}  // namespace nessa::util

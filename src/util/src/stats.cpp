@@ -1,0 +1,64 @@
+#include "nessa/util/stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace nessa::util {
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          total;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double SlidingWindow::mean() const noexcept {
+  if (buf_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : buf_) s += x;
+  return s / static_cast<double>(buf_.size());
+}
+
+double SlidingWindow::max() const noexcept {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : buf_) m = std::max(m, x);
+  return buf_.empty() ? 0.0 : m;
+}
+
+double percentile(std::span<const double> sorted_values, double p) noexcept {
+  if (sorted_values.empty()) return 0.0;
+  if (sorted_values.size() == 1) return sorted_values[0];
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      p / 100.0 * static_cast<double>(sorted_values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_values.size()) return sorted_values.back();
+  return sorted_values[lo] + frac * (sorted_values[lo + 1] - sorted_values[lo]);
+}
+
+double percentile_of(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile(values, p);
+}
+
+double mean_of(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : values) s += x;
+  return s / static_cast<double>(values.size());
+}
+
+}  // namespace nessa::util

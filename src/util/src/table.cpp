@@ -1,0 +1,98 @@
+#include "nessa/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace nessa::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::num(std::size_t value) { return std::to_string(value); }
+
+std::string Table::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision);
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::size_t cols = header.size();
+  for (const auto& r : rows) cols = std::max(cols, r.size());
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t c = 0; c < header.size(); ++c)
+    widths[c] = std::max(widths[c], header[c].size());
+  for (const auto& r : rows)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+  return widths;
+}
+
+void print_row(std::ostream& os, const std::vector<std::string>& cells,
+               const std::vector<std::size_t>& widths) {
+  os << "| ";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+    os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+    os << (c + 1 < widths.size() ? " | " : " |");
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  const auto widths = column_widths(header_, rows_);
+  std::size_t total = 4;  // "| " + " |"
+  for (std::size_t w : widths) total += w + 3;
+  if (!title_.empty()) os << title_ << '\n';
+  const std::string rule(total > 3 ? total - 3 : total, '-');
+  if (!header_.empty()) {
+    print_row(os, header_, widths);
+    os << rule << '\n';
+  }
+  for (const auto& r : rows_) print_row(os, r, widths);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace nessa::util

@@ -1,0 +1,103 @@
+// Convolutional targets through the full pipelines: the model_factory hook
+// plus the float selection-kernel fallback.
+#include <gtest/gtest.h>
+
+#include "nessa/core/near_storage.hpp"
+#include "nessa/core/pipeline.hpp"
+#include "nessa/data/synthetic_images.hpp"
+
+namespace nessa::core {
+namespace {
+
+const data::Dataset& image_dataset() {
+  static const data::Dataset ds = [] {
+    data::SyntheticImageConfig cfg;
+    cfg.num_classes = 4;
+    cfg.train_size = 400;
+    cfg.test_size = 100;
+    cfg.dims = {2, 8, 8};
+    cfg.modes_per_class = 5;
+    cfg.seed = 13;
+    return data::make_synthetic_images(cfg);
+  }();
+  return ds;
+}
+
+PipelineInputs conv_inputs(std::size_t epochs = 5) {
+  PipelineInputs in;
+  in.dataset = &image_dataset();
+  in.info = data::dataset_info("CIFAR-10");
+  in.model = nn::model_spec("ResNet-20");
+  in.train.epochs = epochs;
+  in.train.batch_size = 32;
+  in.train.seed = 4;
+  in.model_factory = [](util::Rng& rng) {
+    return nn::build_mini_resnet({2, 8, 8}, 4, 4, rng);
+  };
+  return in;
+}
+
+TEST(ConvPipeline, SelectionModelFallsBackToFloatForConv) {
+  util::Rng rng(1);
+  auto conv = nn::build_mini_resnet({2, 8, 8}, 4, 4, rng);
+  auto kernel = make_selection_model(conv);
+  EXPECT_DOUBLE_EQ(kernel->mac_cost_factor(), 2.0);  // float kernel
+  auto mlp = nn::Sequential::mlp({16, 8, 4}, rng);
+  auto qkernel = make_selection_model(mlp);
+  EXPECT_DOUBLE_EQ(qkernel->mac_cost_factor(), 1.0);  // int8 kernel
+  // Float payload is 4 bytes/param; quantized ~1.
+  EXPECT_EQ(kernel->payload_bytes(), conv.parameter_count() * 4);
+  EXPECT_LT(qkernel->payload_bytes(), mlp.parameter_count() * 2);
+}
+
+TEST(ConvPipeline, FloatKernelScoresMatchArchitecture) {
+  util::Rng rng(2);
+  auto conv = nn::build_mini_resnet({2, 8, 8}, 4, 4, rng);
+  auto kernel = make_float_selection_model(conv);
+  std::vector<std::size_t> pool{0, 3, 17, 42};
+  auto emb = kernel->score(image_dataset().train(), pool, false, 2);
+  EXPECT_EQ(emb.embeddings.rows(), 4u);
+  EXPECT_EQ(emb.embeddings.cols(), 4u);
+  // Embedding rows sum to ~0 (p - onehot).
+  for (std::size_t i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) sum += emb.embeddings(i, c);
+    EXPECT_NEAR(sum, 0.0, 1e-4);
+  }
+}
+
+TEST(ConvPipeline, NessaTrainsConvTargetEndToEnd) {
+  smartssd::SmartSsdSystem sys;
+  NessaConfig cfg;
+  cfg.subset_fraction = 0.35;
+  cfg.partition_quota = 16;
+  cfg.dynamic_sizing = false;
+  auto result = run_nessa(conv_inputs(), cfg, sys);
+  EXPECT_EQ(result.epochs.size(), 5u);
+  EXPECT_GT(result.final_accuracy, 0.5);
+  // Float kernel: feedback cost is the 4-bytes/param payload (> the int8
+  // payload the MLP pipelines charge).
+  EXPECT_GT(result.epochs[0].cost.feedback, 0);
+}
+
+TEST(ConvPipeline, FullTrainerHonoursFactory) {
+  smartssd::SmartSsdSystem sys;
+  auto result = run_full(conv_inputs(6), sys);
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(ConvPipeline, ConvNessaTracksConvFull) {
+  smartssd::SmartSsdSystem s1, s2;
+  auto inputs = conv_inputs(8);
+  NessaConfig cfg;
+  cfg.subset_fraction = 0.4;
+  cfg.partition_quota = 16;
+  cfg.dynamic_sizing = false;
+  cfg.min_subset_fraction = 0.4;
+  auto full = run_full(inputs, s1);
+  auto nessa = run_nessa(inputs, cfg, s2);
+  EXPECT_GT(nessa.final_accuracy, full.final_accuracy - 0.12);
+}
+
+}  // namespace
+}  // namespace nessa::core

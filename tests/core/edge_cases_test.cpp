@@ -1,0 +1,106 @@
+// Edge-case behaviour of the pipelines and schedules that the main
+// integration tests do not cover.
+#include <gtest/gtest.h>
+
+#include "nessa/core/pipeline.hpp"
+#include "nessa/data/synthetic.hpp"
+#include "nessa/nn/optimizer.hpp"
+
+namespace nessa::core {
+namespace {
+
+const data::Dataset& tiny_dataset() {
+  static const data::Dataset ds = [] {
+    data::SyntheticConfig cfg;
+    cfg.num_classes = 3;
+    cfg.train_size = 300;
+    cfg.test_size = 90;
+    cfg.feature_dim = 12;
+    cfg.seed = 77;
+    return data::make_synthetic(cfg);
+  }();
+  return ds;
+}
+
+PipelineInputs make_inputs(std::size_t epochs = 3) {
+  PipelineInputs in;
+  in.dataset = &tiny_dataset();
+  in.info = data::dataset_info("CIFAR-10");
+  in.model = nn::model_spec("ResNet-20");
+  in.train.epochs = epochs;
+  in.train.batch_size = 32;
+  in.train.seed = 2;
+  return in;
+}
+
+TEST(EdgeCases, LrScheduleScaledTo200EqualsPaperDefault) {
+  auto scaled = nn::StepLrSchedule::paper_scaled(200);
+  auto paper = nn::StepLrSchedule::paper_default();
+  for (std::size_t e = 0; e < 200; e += 7) {
+    EXPECT_FLOAT_EQ(scaled.lr_at(e), paper.lr_at(e)) << "epoch " << e;
+  }
+}
+
+TEST(EdgeCases, NessaWithFullFractionStillWorks) {
+  smartssd::SmartSsdSystem sys;
+  NessaConfig cfg;
+  cfg.subset_fraction = 1.0;
+  cfg.dynamic_sizing = false;
+  cfg.min_subset_fraction = 1.0;
+  cfg.subset_biasing = false;
+  auto result = run_nessa(make_inputs(), cfg, sys);
+  for (const auto& e : result.epochs) {
+    EXPECT_EQ(e.subset_size, tiny_dataset().train_size());
+  }
+}
+
+TEST(EdgeCases, TinyFractionClampsToAtLeastOneSample) {
+  smartssd::SmartSsdSystem sys;
+  NessaConfig cfg;
+  cfg.subset_fraction = 1e-9;
+  cfg.dynamic_sizing = false;
+  cfg.min_subset_fraction = 1e-9;
+  auto result = run_nessa(make_inputs(2), cfg, sys);
+  for (const auto& e : result.epochs) {
+    EXPECT_GE(e.subset_size, 1u);
+  }
+}
+
+TEST(EdgeCases, RandomPipelineAtFullFraction) {
+  smartssd::SmartSsdSystem sys;
+  auto result = run_random(make_inputs(), 1.0, sys);
+  EXPECT_EQ(result.epochs.front().subset_size, tiny_dataset().train_size());
+}
+
+TEST(EdgeCases, SingleEpochRunFinalizes) {
+  smartssd::SmartSsdSystem sys;
+  auto result = run_full(make_inputs(1), sys);
+  EXPECT_EQ(result.epochs.size(), 1u);
+  EXPECT_EQ(result.mean_epoch_time, result.total_time);
+  EXPECT_DOUBLE_EQ(result.final_accuracy, result.epochs[0].test_accuracy);
+}
+
+TEST(EdgeCases, BestAccuracyIsRunningMaximum) {
+  smartssd::SmartSsdSystem sys;
+  auto result = run_full(make_inputs(5), sys);
+  double best = 0.0;
+  for (const auto& e : result.epochs) {
+    best = std::max(best, e.test_accuracy);
+  }
+  EXPECT_DOUBLE_EQ(result.best_accuracy, best);
+  EXPECT_GE(result.best_accuracy, result.final_accuracy);
+}
+
+TEST(EdgeCases, MultiDeviceWithMoreDevicesThanClasses) {
+  smartssd::SmartSsdSystem sys;
+  NessaConfig cfg;
+  cfg.subset_fraction = 0.3;
+  cfg.dynamic_sizing = false;
+  auto result =
+      run_nessa_multi(make_inputs(2), cfg, MultiDeviceConfig{16}, sys);
+  EXPECT_EQ(result.epochs.size(), 2u);
+  EXPECT_GT(result.final_accuracy, 0.4);
+}
+
+}  // namespace
+}  // namespace nessa::core

@@ -1,0 +1,72 @@
+#include "nessa/core/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::core {
+namespace {
+
+RunResult one_epoch_run() {
+  RunResult run;
+  EpochReport e;
+  e.cost.storage_scan = util::kSecond;      // 1 s
+  e.cost.selection = 2 * util::kSecond;     // 2 s
+  e.cost.subset_transfer = util::kSecond;   // 1 s
+  e.cost.gpu_compute = 4 * util::kSecond;   // 4 s
+  e.cost.feedback = util::kSecond;          // 1 s
+  run.epochs.push_back(e);
+  return run;
+}
+
+TEST(Energy, FpgaSiteUsesFpgaPower) {
+  auto run = one_epoch_run();
+  const auto& gpu = smartssd::gpu_spec("V100");  // 300 W
+  auto report = estimate_energy(run, gpu, SelectionSite::kFpga);
+  // selection: 3 s at 7.5 W; transfers: 2 s at 150 W; gpu: 4 s at 300 W.
+  EXPECT_NEAR(report.selection_joules, 3.0 * 7.5, 1e-6);
+  EXPECT_NEAR(report.transfer_joules, 2.0 * 150.0, 1e-6);
+  EXPECT_NEAR(report.gpu_joules, 4.0 * 300.0, 1e-6);
+  EXPECT_NEAR(report.total(), 22.5 + 300.0 + 1200.0, 1e-6);
+}
+
+TEST(Energy, CpuSiteUsesCpuPower) {
+  auto run = one_epoch_run();
+  const auto& gpu = smartssd::gpu_spec("V100");
+  auto report = estimate_energy(run, gpu, SelectionSite::kHostCpu);
+  EXPECT_NEAR(report.selection_joules, 3.0 * 150.0, 1e-6);
+}
+
+TEST(Energy, NoneSiteChargesNothingForSelection) {
+  auto run = one_epoch_run();
+  const auto& gpu = smartssd::gpu_spec("V100");
+  auto report = estimate_energy(run, gpu, SelectionSite::kNone);
+  EXPECT_DOUBLE_EQ(report.selection_joules, 0.0);
+  EXPECT_GT(report.gpu_joules, 0.0);
+}
+
+TEST(Energy, FpgaSelectionMuchCheaperThanCpu) {
+  auto run = one_epoch_run();
+  const auto& gpu = smartssd::gpu_spec("V100");
+  auto fpga = estimate_energy(run, gpu, SelectionSite::kFpga);
+  auto cpu = estimate_energy(run, gpu, SelectionSite::kHostCpu);
+  // §2.2: the FPGA's 7.5 W is a 20x advantage over a 150 W host CPU.
+  EXPECT_LT(fpga.selection_joules * 15, cpu.selection_joules);
+}
+
+TEST(Energy, AccumulatesOverEpochs) {
+  auto run = one_epoch_run();
+  run.epochs.push_back(run.epochs.front());
+  const auto& gpu = smartssd::gpu_spec("V100");
+  auto one = estimate_energy(one_epoch_run(), gpu, SelectionSite::kFpga);
+  auto two = estimate_energy(run, gpu, SelectionSite::kFpga);
+  EXPECT_NEAR(two.total(), 2.0 * one.total(), 1e-6);
+}
+
+TEST(Energy, EmptyRunIsZero) {
+  RunResult run;
+  const auto& gpu = smartssd::gpu_spec("A100");
+  auto report = estimate_energy(run, gpu, SelectionSite::kFpga);
+  EXPECT_DOUBLE_EQ(report.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace nessa::core

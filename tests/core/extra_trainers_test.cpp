@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "nessa/core/pipeline.hpp"
+#include "nessa/data/synthetic.hpp"
+
+namespace nessa::core {
+namespace {
+
+const data::Dataset& shared_dataset() {
+  static const data::Dataset ds = [] {
+    data::SyntheticConfig cfg;
+    cfg.num_classes = 4;
+    cfg.train_size = 600;
+    cfg.test_size = 150;
+    cfg.feature_dim = 16;
+    cfg.modes_per_class = 8;
+    cfg.seed = 31;
+    return data::make_synthetic(cfg);
+  }();
+  return ds;
+}
+
+PipelineInputs make_inputs(const std::string& dataset_name,
+                           std::size_t epochs = 6) {
+  PipelineInputs in;
+  in.dataset = &shared_dataset();
+  in.info = data::dataset_info(dataset_name);
+  in.model = nn::model_spec(in.info.paper_network);
+  in.train.epochs = epochs;
+  in.train.batch_size = 64;
+  in.train.seed = 9;
+  return in;
+}
+
+TEST(FullCached, SameAccuracyAsUncachedFull) {
+  // The cache changes the input pipeline, not the learning.
+  smartssd::SmartSsdSystem s1, s2;
+  auto inputs = make_inputs("CIFAR-10");
+  auto plain = run_full(inputs, s1);
+  auto cached = run_full_cached(inputs, smartssd::HostCache{}, s2);
+  ASSERT_EQ(plain.epochs.size(), cached.epochs.size());
+  for (std::size_t e = 0; e < plain.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(plain.epochs[e].test_accuracy,
+                     cached.epochs[e].test_accuracy);
+  }
+}
+
+TEST(FullCached, FasterThanUncachedButNotThanNessa) {
+  // The paper's intro claim vs SHADE/iCache: caching trims I/O, but the
+  // gradient work stays, so NeSSA's subset training still wins.
+  smartssd::SmartSsdSystem s1, s2, s3;
+  auto inputs = make_inputs("CIFAR-10", 8);
+  auto plain = run_full(inputs, s1);
+  auto cached = run_full_cached(inputs, smartssd::HostCache{}, s2);
+  NessaConfig cfg;
+  cfg.subset_fraction = 0.3;
+  cfg.partition_quota = 16;
+  auto nessa = run_nessa(inputs, cfg, s3);
+  EXPECT_LT(cached.mean_epoch_time, plain.mean_epoch_time);
+  EXPECT_LT(nessa.mean_epoch_time, cached.mean_epoch_time);
+}
+
+TEST(FullCached, FullyCachedDatasetMovesNoInterconnectBytes) {
+  smartssd::SmartSsdSystem sys;
+  auto inputs = make_inputs("CIFAR-10", 2);  // 150 MB << 8 GB cache
+  auto cached = run_full_cached(inputs, smartssd::HostCache{}, sys);
+  EXPECT_EQ(cached.interconnect_bytes, 0u);
+}
+
+TEST(FullCached, LargeDatasetStillMissesHalf) {
+  smartssd::SmartSsdSystem sys;
+  auto inputs = make_inputs("ImageNet-100", 2);  // 16.4 GB vs 8 GB cache
+  auto cached = run_full_cached(inputs, smartssd::HostCache{}, sys);
+  auto full_bytes = 2ULL * 130'000 * 126'000;
+  EXPECT_GT(cached.interconnect_bytes, full_bytes / 3);
+  EXPECT_LT(cached.interconnect_bytes, 2 * full_bytes / 3);
+}
+
+TEST(LossTopk, RunsAndLearns) {
+  smartssd::SmartSsdSystem sys;
+  auto result = run_loss_topk(make_inputs("CIFAR-10", 8), 0.3, sys);
+  EXPECT_EQ(result.epochs.size(), 8u);
+  EXPECT_GT(result.final_accuracy, 0.5);
+  EXPECT_NEAR(result.mean_subset_fraction, 0.3, 0.01);
+}
+
+TEST(LossTopk, ScansFullDatasetEveryEpoch) {
+  smartssd::SmartSsdSystem sys;
+  auto inputs = make_inputs("CIFAR-10", 3);
+  auto result = run_loss_topk(inputs, 0.2, sys);
+  // The subset is served from host RAM after the scan, so only the scan
+  // itself crosses the drive-host interconnect.
+  EXPECT_EQ(result.interconnect_bytes, 3ULL * 50'000 * 3'000);
+  for (const auto& e : result.epochs) {
+    EXPECT_GT(e.cost.storage_scan, 0);
+    EXPECT_GT(e.cost.selection, 0);
+  }
+}
+
+TEST(LossTopk, ChasesNoiseWhereNessaIsRobust) {
+  // With atypical mislabeled outliers in the pool, loss-top-k keeps
+  // selecting them (they never stop losing); NeSSA's medoid selection
+  // mostly ignores them. NeSSA should not lose to loss-top-k.
+  smartssd::SmartSsdSystem s1, s2;
+  auto inputs = make_inputs("CIFAR-10", 8);
+  auto topk = run_loss_topk(inputs, 0.25, s1);
+  NessaConfig cfg;
+  cfg.subset_fraction = 0.25;
+  cfg.dynamic_sizing = false;
+  cfg.min_subset_fraction = 0.25;
+  cfg.partition_quota = 16;
+  auto nessa = run_nessa(inputs, cfg, s2);
+  EXPECT_GE(nessa.final_accuracy + 0.03, topk.final_accuracy);
+}
+
+}  // namespace
+}  // namespace nessa::core

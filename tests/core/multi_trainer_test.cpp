@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "nessa/core/near_storage.hpp"
+#include "nessa/core/pipeline.hpp"
+#include "nessa/data/synthetic.hpp"
+
+namespace nessa::core {
+namespace {
+
+const data::Dataset& shared_dataset() {
+  static const data::Dataset ds = [] {
+    data::SyntheticConfig cfg;
+    cfg.num_classes = 5;
+    cfg.train_size = 800;
+    cfg.test_size = 200;
+    cfg.feature_dim = 16;
+    cfg.modes_per_class = 10;
+    cfg.seed = 21;
+    return data::make_synthetic(cfg);
+  }();
+  return ds;
+}
+
+PipelineInputs make_inputs(std::size_t epochs = 6) {
+  PipelineInputs in;
+  in.dataset = &shared_dataset();
+  in.info = data::dataset_info("ImageNet-100");
+  in.model = nn::model_spec("ResNet-50");
+  in.train.epochs = epochs;
+  in.train.batch_size = 64;
+  in.train.seed = 5;
+  return in;
+}
+
+NessaConfig fast_config() {
+  NessaConfig cfg;
+  cfg.subset_fraction = 0.3;
+  cfg.partition_quota = 16;
+  cfg.dynamic_sizing = false;
+  cfg.min_subset_fraction = 0.3;
+  // Full-fidelity on-FPGA forward: the scan-bound regime these scaling
+  // tests exercise.
+  cfg.selection_proxy_factor = 1.0;
+  return cfg;
+}
+
+TEST(MultiTrainer, RunsAndLearns) {
+  smartssd::SmartSsdSystem sys;
+  auto result = run_nessa_multi(make_inputs(), fast_config(),
+                                MultiDeviceConfig{4}, sys);
+  EXPECT_EQ(result.epochs.size(), 6u);
+  EXPECT_GT(result.final_accuracy, 0.5);
+}
+
+TEST(MultiTrainer, AccuracyComparableToSingleDevice) {
+  smartssd::SmartSsdSystem s1, s2;
+  auto inputs = make_inputs(8);
+  auto single = run_nessa(inputs, fast_config(), s1);
+  auto multi =
+      run_nessa_multi(inputs, fast_config(), MultiDeviceConfig{4}, s2);
+  EXPECT_NEAR(multi.final_accuracy, single.final_accuracy, 0.06);
+}
+
+TEST(MultiTrainer, ScanTimeShrinksWithDevices) {
+  smartssd::SmartSsdSystem s1, s2;
+  auto inputs = make_inputs(3);
+  auto one = run_nessa_multi(inputs, fast_config(), MultiDeviceConfig{1}, s1);
+  auto four =
+      run_nessa_multi(inputs, fast_config(), MultiDeviceConfig{4}, s2);
+  EXPECT_LT(four.epochs[0].cost.storage_scan,
+            one.epochs[0].cost.storage_scan);
+  // Quantized forward also parallelizes; selection phase shrinks too.
+  EXPECT_LT(four.epochs[0].cost.selection, one.epochs[0].cost.selection);
+}
+
+TEST(MultiTrainer, EpochTimeImprovesForLargeScans) {
+  // ImageNet-100-scale scans are FPGA-bound at one device; four devices
+  // should cut the epoch critical path.
+  smartssd::SmartSsdSystem s1, s2;
+  auto inputs = make_inputs(3);
+  auto one = run_nessa_multi(inputs, fast_config(), MultiDeviceConfig{1}, s1);
+  auto four =
+      run_nessa_multi(inputs, fast_config(), MultiDeviceConfig{4}, s2);
+  EXPECT_LT(four.mean_epoch_time, one.mean_epoch_time);
+}
+
+TEST(MultiTrainer, P2PBytesIndependentOfDeviceCount) {
+  // Sharding splits the scan; total scanned bytes stay the same.
+  smartssd::SmartSsdSystem s1, s2;
+  auto inputs = make_inputs(2);
+  auto one = run_nessa_multi(inputs, fast_config(), MultiDeviceConfig{1}, s1);
+  auto four =
+      run_nessa_multi(inputs, fast_config(), MultiDeviceConfig{4}, s2);
+  const double ratio = static_cast<double>(four.p2p_bytes) /
+                       static_cast<double>(one.p2p_bytes);
+  EXPECT_NEAR(ratio, 1.0, 0.02);
+}
+
+TEST(MultiTrainer, ZeroDevicesRejected) {
+  smartssd::SmartSsdSystem sys;
+  EXPECT_THROW(run_nessa_multi(make_inputs(), fast_config(),
+                               MultiDeviceConfig{0}, sys),
+               std::invalid_argument);
+}
+
+TEST(NearStorage, QEmbeddingsMatchPoolOrder) {
+  const auto& ds = shared_dataset();
+  util::Rng rng(3);
+  auto model = nn::build_model(nn::model_spec("ResNet-20"), ds.feature_dim(),
+                               ds.num_classes(), rng);
+  auto qmodel = quant::QuantizedMlp::from_model(model);
+  std::vector<std::size_t> pool{5, 1, 42, 7};
+  auto emb = compute_q_embeddings(qmodel, ds.train(), pool, false, 2);
+  EXPECT_EQ(emb.embeddings.rows(), 4u);
+  EXPECT_EQ(emb.losses.size(), 4u);
+  // Same pool, different batch size: near-identical results. (Activation
+  // scales are chosen per batch, so int8 rounding differs slightly across
+  // batchings — exactly as on the FPGA.)
+  auto emb2 = compute_q_embeddings(qmodel, ds.train(), pool, false, 64);
+  for (std::size_t i = 0; i < emb.embeddings.size(); ++i) {
+    EXPECT_NEAR(emb.embeddings[i], emb2.embeddings[i], 0.05f);
+  }
+}
+
+TEST(NearStorage, LossHistoryWindowsAndInfinity) {
+  LossHistory history(3, 2);
+  EXPECT_TRUE(std::isinf(history.windowed_mean(0)));
+  history.record(0, 4.0f);
+  EXPECT_DOUBLE_EQ(history.windowed_mean(0), 4.0);
+  history.record(0, 2.0f);
+  EXPECT_DOUBLE_EQ(history.windowed_mean(0), 3.0);
+  history.record(0, 0.0f);  // evicts 4.0
+  EXPECT_DOUBLE_EQ(history.windowed_mean(0), 1.0);
+  EXPECT_TRUE(std::isinf(history.windowed_mean(2)));
+}
+
+}  // namespace
+}  // namespace nessa::core

@@ -1,0 +1,97 @@
+#include "nessa/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace nessa::core {
+namespace {
+
+RunResult sample_run() {
+  RunResult run;
+  for (std::size_t e = 0; e < 2; ++e) {
+    EpochReport epoch;
+    epoch.epoch = e;
+    epoch.test_accuracy = 0.5 + 0.1 * static_cast<double>(e);
+    epoch.train_loss = 1.0 - 0.2 * static_cast<double>(e);
+    epoch.subset_fraction = 0.3;
+    epoch.pool_size = 900;
+    epoch.cost.storage_scan = util::kSecond;
+    epoch.cost.gpu_compute = 2 * util::kSecond;
+    run.epochs.push_back(epoch);
+  }
+  run.interconnect_bytes = 12345;
+  run.finalize();
+  return run;
+}
+
+RunMetadata meta() {
+  return {"nessa", "CIFAR-10", "ResNet-20", "V100", 2, 42};
+}
+
+TEST(Report, ContainsMetadataAndSummary) {
+  std::ostringstream os;
+  write_json_report(meta(), sample_run(), os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"pipeline\": \"nessa\""), std::string::npos);
+  EXPECT_NE(json.find("\"dataset\": \"CIFAR-10\""), std::string::npos);
+  EXPECT_NE(json.find("\"devices\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"final_accuracy\": 0.6"), std::string::npos);
+  EXPECT_NE(json.find("\"interconnect_bytes\": 12345"), std::string::npos);
+}
+
+TEST(Report, EpochArrayWellFormed) {
+  std::ostringstream os;
+  write_json_report(meta(), sample_run(), os);
+  const std::string json = os.str();
+  // Two epoch objects, comma between them, none after the last.
+  EXPECT_NE(json.find("\"epoch\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\": 1"), std::string::npos);
+  // Balanced braces/brackets.
+  int braces = 0, brackets = 0;
+  for (char ch : json) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Report, EmptyRunStillValid) {
+  std::ostringstream os;
+  write_json_report(meta(), RunResult{}, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"epochs\": [\n  ]"), std::string::npos);
+}
+
+TEST(Report, FileRoundTrip) {
+  const std::string path = "/tmp/nessa_report_test.json";
+  write_json_report_file(meta(), sample_run(), path);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  EXPECT_NE(buffer.str().find("\"pipeline\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Report, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Report, BadPathThrows) {
+  EXPECT_THROW(
+      write_json_report_file(meta(), RunResult{}, "/no/such/dir/x.json"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nessa::core

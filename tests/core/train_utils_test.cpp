@@ -1,0 +1,178 @@
+#include "nessa/core/train_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nessa/core/cost.hpp"
+#include "nessa/data/synthetic.hpp"
+#include "nessa/nn/metrics.hpp"
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::core {
+namespace {
+
+data::Dataset easy_dataset() {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 3;
+  cfg.train_size = 300;
+  cfg.test_size = 90;
+  cfg.feature_dim = 12;
+  cfg.class_separation = 4.0;
+  cfg.label_noise = 0.0;
+  cfg.hard_fraction = 0.1;
+  cfg.seed = 5;
+  return data::make_synthetic(cfg);
+}
+
+TEST(TrainOneEpoch, ReducesLossOverEpochs) {
+  auto ds = easy_dataset();
+  util::Rng rng(1);
+  auto model = nn::Sequential::mlp({12, 16, 3}, rng);
+  nn::Sgd sgd({.learning_rate = 0.05f,
+               .momentum = 0.9f,
+               .nesterov = true,
+               .weight_decay = 1e-4f});
+  auto indices = iota_indices(ds.train_size());
+  double first = 0.0, last = 0.0;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    const double loss =
+        train_one_epoch(model, sgd, ds.train(), indices, {}, 32, rng);
+    if (epoch == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(TrainOneEpoch, LearnsSeparableData) {
+  auto ds = easy_dataset();
+  util::Rng rng(2);
+  auto model = nn::Sequential::mlp({12, 16, 3}, rng);
+  nn::Sgd sgd({.learning_rate = 0.05f,
+               .momentum = 0.9f,
+               .nesterov = true,
+               .weight_decay = 1e-4f});
+  auto indices = iota_indices(ds.train_size());
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    train_one_epoch(model, sgd, ds.train(), indices, {}, 32, rng);
+  }
+  auto eval = nn::evaluate(model, ds.test().features, ds.test().labels);
+  EXPECT_GT(eval.accuracy, 0.85);
+}
+
+TEST(TrainOneEpoch, EmptyIndicesNoOp) {
+  auto ds = easy_dataset();
+  util::Rng rng(3);
+  auto model = nn::Sequential::mlp({12, 3}, rng);
+  nn::Sgd sgd;
+  EXPECT_DOUBLE_EQ(
+      train_one_epoch(model, sgd, ds.train(), {}, {}, 32, rng), 0.0);
+}
+
+TEST(TrainOneEpoch, WeightCountMismatchThrows) {
+  auto ds = easy_dataset();
+  util::Rng rng(4);
+  auto model = nn::Sequential::mlp({12, 3}, rng);
+  nn::Sgd sgd;
+  std::vector<std::size_t> idx{0, 1, 2};
+  std::vector<double> weights{1.0};
+  EXPECT_THROW(
+      train_one_epoch(model, sgd, ds.train(), idx, weights, 2, rng),
+      std::invalid_argument);
+}
+
+TEST(TrainOneEpoch, UniformWeightsMatchUnweightedTrajectory) {
+  auto ds = easy_dataset();
+  util::Rng rng_a(5), rng_b(5);
+  auto model_a = nn::Sequential::mlp({12, 8, 3}, rng_a);
+  auto model_b = model_a.clone();
+  nn::Sgd sgd_a, sgd_b;
+  auto indices = iota_indices(100);
+  std::vector<double> uniform(100, 3.0);  // any constant weight
+  util::Rng train_rng_a(9), train_rng_b(9);
+  const double la = train_one_epoch(model_a, sgd_a, ds.train(), indices, {},
+                                    16, train_rng_a);
+  const double lb = train_one_epoch(model_b, sgd_b, ds.train(), indices,
+                                    uniform, 16, train_rng_b);
+  EXPECT_NEAR(la, lb, 1e-5);
+  // Parameters should be (nearly) identical after one epoch.
+  auto pa = model_a.params();
+  auto pb = model_b.params();
+  for (std::size_t p = 0; p < pa.size(); ++p) {
+    for (std::size_t i = 0; i < pa[p].value->size(); ++i) {
+      EXPECT_NEAR((*pa[p].value)[i], (*pb[p].value)[i], 1e-4f);
+    }
+  }
+}
+
+TEST(TrainOneEpoch, WeightedTrainingEmphasizesHeavySamples) {
+  // Give all the weight to class-0 samples: the model should get class 0
+  // right at the expense of the others.
+  auto ds = easy_dataset();
+  util::Rng rng(6);
+  auto model = nn::Sequential::mlp({12, 16, 3}, rng);
+  nn::Sgd sgd({.learning_rate = 0.05f,
+               .momentum = 0.9f,
+               .nesterov = true,
+               .weight_decay = 0.0f});
+  auto indices = iota_indices(ds.train_size());
+  std::vector<double> weights(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    weights[i] = ds.train().labels[indices[i]] == 0 ? 1.0 : 1e-4;
+  }
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    train_one_epoch(model, sgd, ds.train(), indices, weights, 32, rng);
+  }
+  // Evaluate per-class accuracy on train data.
+  std::size_t zero_total = 0, zero_right = 0, other_total = 0,
+              other_right = 0;
+  nn::Tensor logits = model.forward(ds.train().features, false);
+  auto preds = tensor::argmax_rows(logits);
+  for (std::size_t i = 0; i < ds.train_size(); ++i) {
+    const bool right =
+        static_cast<nn::Label>(preds[i]) == ds.train().labels[i];
+    if (ds.train().labels[i] == 0) {
+      ++zero_total;
+      zero_right += right;
+    } else {
+      ++other_total;
+      other_right += right;
+    }
+  }
+  const double zero_acc =
+      static_cast<double>(zero_right) / static_cast<double>(zero_total);
+  const double other_acc =
+      static_cast<double>(other_right) / static_cast<double>(other_total);
+  EXPECT_GT(zero_acc, 0.95);
+  EXPECT_GT(zero_acc, other_acc);
+}
+
+TEST(IotaIndices, Basic) {
+  auto v = iota_indices(4);
+  EXPECT_EQ(v, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(iota_indices(0).empty());
+}
+
+TEST(EpochCost, SerialTotalSumsPhases) {
+  EpochCost cost;
+  cost.storage_scan = 10;
+  cost.selection = 20;
+  cost.subset_transfer = 5;
+  cost.gpu_compute = 40;
+  cost.feedback = 1;
+  EXPECT_EQ(cost.total(), 76);
+}
+
+TEST(EpochCost, OverlappedTotalIsMaxOfPhases) {
+  EpochCost cost;
+  cost.selection_overlapped = true;
+  cost.storage_scan = 10;
+  cost.selection = 20;  // fpga phase = 30
+  cost.subset_transfer = 5;
+  cost.gpu_compute = 40;
+  cost.feedback = 1;  // gpu phase = 46
+  EXPECT_EQ(cost.total(), 46);
+  cost.selection = 50;  // fpga phase = 60
+  EXPECT_EQ(cost.total(), 60);
+}
+
+}  // namespace
+}  // namespace nessa::core

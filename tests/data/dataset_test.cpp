@@ -1,0 +1,98 @@
+#include "nessa/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::data {
+namespace {
+
+Split make_split(std::size_t n, std::size_t dim, std::size_t classes) {
+  Split s;
+  s.features = Tensor({n, dim});
+  for (std::size_t i = 0; i < n * dim; ++i) {
+    s.features[i] = static_cast<float>(i);
+  }
+  s.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.labels[i] = static_cast<Label>(i % classes);
+  }
+  return s;
+}
+
+TEST(Dataset, ConstructionAndAccessors) {
+  Dataset ds("test", 3, 100, make_split(9, 4, 3), make_split(3, 4, 3));
+  EXPECT_EQ(ds.name(), "test");
+  EXPECT_EQ(ds.num_classes(), 3u);
+  EXPECT_EQ(ds.stored_bytes_per_sample(), 100u);
+  EXPECT_EQ(ds.train_size(), 9u);
+  EXPECT_EQ(ds.feature_dim(), 4u);
+  EXPECT_EQ(ds.train_stored_bytes(), 900u);
+}
+
+TEST(Dataset, RejectsZeroClasses) {
+  EXPECT_THROW(
+      Dataset("x", 0, 10, make_split(3, 2, 1), make_split(1, 2, 1)),
+      std::invalid_argument);
+}
+
+TEST(Dataset, RejectsLabelOutOfRange) {
+  auto train = make_split(4, 2, 2);
+  train.labels[0] = 5;
+  EXPECT_THROW(Dataset("x", 2, 10, train, make_split(2, 2, 2)),
+               std::invalid_argument);
+}
+
+TEST(Dataset, RejectsShapeMismatch) {
+  auto train = make_split(4, 2, 2);
+  train.labels.pop_back();
+  EXPECT_THROW(Dataset("x", 2, 10, train, make_split(2, 2, 2)),
+               std::invalid_argument);
+}
+
+TEST(Dataset, ClassIndices) {
+  Dataset ds("x", 3, 10, make_split(9, 2, 3), make_split(3, 2, 3));
+  auto zeros = ds.class_indices(0);
+  EXPECT_EQ(zeros, (std::vector<std::size_t>{0, 3, 6}));
+  auto twos = ds.class_indices(2);
+  EXPECT_EQ(twos, (std::vector<std::size_t>{2, 5, 8}));
+}
+
+TEST(Dataset, GatherTrain) {
+  Dataset ds("x", 3, 10, make_split(9, 2, 3), make_split(3, 2, 3));
+  std::vector<std::size_t> idx{1, 4};
+  auto sub = ds.gather_train(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.labels[0], 1);
+  EXPECT_EQ(sub.labels[1], 1);
+  EXPECT_EQ(sub.features(0, 0), 2.0f);  // row 1 starts at flat index 2
+  EXPECT_EQ(sub.features(1, 1), 9.0f);  // row 4, col 1 -> flat 9
+}
+
+TEST(Dataset, GatherTrainOutOfRangeThrows) {
+  Dataset ds("x", 2, 10, make_split(4, 2, 2), make_split(2, 2, 2));
+  std::vector<std::size_t> idx{10};
+  EXPECT_THROW(ds.gather_train(idx), std::out_of_range);
+}
+
+TEST(Dataset, TrainClassHistogram) {
+  Dataset ds("x", 3, 10, make_split(9, 2, 3), make_split(3, 2, 3));
+  auto hist = ds.train_class_histogram();
+  EXPECT_EQ(hist, (std::vector<std::size_t>{3, 3, 3}));
+}
+
+TEST(GatherRows, Basic) {
+  Tensor m = Tensor::from({3, 2}, {1, 2, 3, 4, 5, 6});
+  std::vector<std::size_t> idx{2, 0};
+  Tensor g = gather_rows(m, idx);
+  EXPECT_EQ(g(0, 0), 5.0f);
+  EXPECT_EQ(g(1, 1), 2.0f);
+}
+
+TEST(GatherRows, EmptyIndexSet) {
+  Tensor m({3, 2});
+  std::vector<std::size_t> idx;
+  Tensor g = gather_rows(m, idx);
+  EXPECT_EQ(g.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace nessa::data

@@ -1,0 +1,84 @@
+#include "nessa/data/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::data {
+namespace {
+
+TEST(Registry, SixPaperDatasetsInOrder) {
+  const auto& all = paper_datasets();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "CIFAR-10");
+  EXPECT_EQ(all[1].name, "SVHN");
+  EXPECT_EQ(all[2].name, "CINIC-10");
+  EXPECT_EQ(all[3].name, "CIFAR-100");
+  EXPECT_EQ(all[4].name, "TinyImageNet");
+  EXPECT_EQ(all[5].name, "ImageNet-100");
+}
+
+TEST(Registry, Table1Numbers) {
+  EXPECT_EQ(dataset_info("CIFAR-10").num_classes, 10u);
+  EXPECT_EQ(dataset_info("CIFAR-10").paper_train_size, 50'000u);
+  EXPECT_EQ(dataset_info("CIFAR-10").paper_network, "ResNet-20");
+
+  EXPECT_EQ(dataset_info("SVHN").paper_train_size, 73'000u);
+  EXPECT_EQ(dataset_info("CINIC-10").paper_train_size, 90'000u);
+  EXPECT_EQ(dataset_info("CIFAR-100").num_classes, 100u);
+  EXPECT_EQ(dataset_info("TinyImageNet").num_classes, 200u);
+  EXPECT_EQ(dataset_info("TinyImageNet").paper_train_size, 100'000u);
+  EXPECT_EQ(dataset_info("ImageNet-100").paper_train_size, 130'000u);
+  EXPECT_EQ(dataset_info("ImageNet-100").paper_network, "ResNet-50");
+}
+
+TEST(Registry, StoredBytesMatchPaperQuotes) {
+  // Paper: MNIST 0.5 KB, CIFAR 3 KB (0.003 MB), ImageNet-100 0.126 MB.
+  EXPECT_EQ(dataset_info("MNIST").stored_bytes_per_sample, 500u);
+  EXPECT_EQ(dataset_info("CIFAR-10").stored_bytes_per_sample, 3'000u);
+  EXPECT_EQ(dataset_info("ImageNet-100").stored_bytes_per_sample, 126'000u);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(dataset_info("COCO"), std::invalid_argument);
+}
+
+TEST(Registry, SubstrateDatasetScales) {
+  const auto& info = dataset_info("CIFAR-10");
+  auto ds = make_substrate_dataset(info, 0.04);
+  EXPECT_EQ(ds.train_size(), 2000u);  // 50k * 0.04
+  EXPECT_EQ(ds.num_classes(), 10u);
+  EXPECT_EQ(ds.stored_bytes_per_sample(), 3000u);
+  EXPECT_EQ(ds.name(), "CIFAR-10");
+}
+
+TEST(Registry, SubstrateExplicitTrainSizeWins) {
+  const auto& info = dataset_info("SVHN");
+  auto ds = make_substrate_dataset(info, 0.04, /*train_size=*/1234);
+  EXPECT_EQ(ds.train_size(), 1234u);
+}
+
+TEST(Registry, SubstrateMinimumSizeEnforced) {
+  const auto& info = dataset_info("CIFAR-10");
+  auto ds = make_substrate_dataset(info, 0.0001);
+  EXPECT_GE(ds.train_size(), 500u);
+}
+
+TEST(Registry, ManyClassDatasetsKeepAllClasses) {
+  const auto& info = dataset_info("CIFAR-100");
+  auto ds = make_substrate_dataset(info, 0.04);
+  auto hist = ds.train_class_histogram();
+  std::size_t empty = 0;
+  for (auto c : hist) {
+    if (c == 0) ++empty;
+  }
+  EXPECT_EQ(empty, 0u);
+}
+
+TEST(Registry, SeedChangesData) {
+  const auto& info = dataset_info("CIFAR-10");
+  auto a = make_substrate_dataset(info, 0.02, 0, 1);
+  auto b = make_substrate_dataset(info, 0.02, 0, 2);
+  EXPECT_FALSE(a.train().features == b.train().features);
+}
+
+}  // namespace
+}  // namespace nessa::data

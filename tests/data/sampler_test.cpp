@@ -1,0 +1,78 @@
+#include "nessa/data/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace nessa::data {
+namespace {
+
+std::vector<std::size_t> iota(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+TEST(BatchSampler, RejectsZeroBatch) {
+  util::Rng rng(1);
+  EXPECT_THROW(BatchSampler(iota(10), 0, rng), std::invalid_argument);
+}
+
+TEST(BatchSampler, CoversAllIndicesOncePerEpoch) {
+  util::Rng rng(2);
+  BatchSampler sampler(iota(10), 3, rng);
+  sampler.begin_epoch();
+  std::multiset<std::size_t> seen;
+  for (auto batch = sampler.next_batch(); !batch.empty();
+       batch = sampler.next_batch()) {
+    seen.insert(batch.begin(), batch.end());
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(BatchSampler, LastBatchIsPartial) {
+  util::Rng rng(3);
+  BatchSampler sampler(iota(10), 4, rng);
+  sampler.begin_epoch();
+  EXPECT_EQ(sampler.next_batch().size(), 4u);
+  EXPECT_EQ(sampler.next_batch().size(), 4u);
+  EXPECT_EQ(sampler.next_batch().size(), 2u);
+  EXPECT_TRUE(sampler.next_batch().empty());
+}
+
+TEST(BatchSampler, BatchesPerEpoch) {
+  util::Rng rng(4);
+  BatchSampler sampler(iota(10), 4, rng);
+  EXPECT_EQ(sampler.batches_per_epoch(), 3u);
+  BatchSampler exact(iota(8), 4, rng);
+  EXPECT_EQ(exact.batches_per_epoch(), 2u);
+}
+
+TEST(BatchSampler, ShufflesBetweenEpochs) {
+  util::Rng rng(5);
+  BatchSampler sampler(iota(50), 50, rng);
+  sampler.begin_epoch();
+  auto first = sampler.next_batch();
+  std::vector<std::size_t> epoch1(first.begin(), first.end());
+  sampler.begin_epoch();
+  auto second = sampler.next_batch();
+  std::vector<std::size_t> epoch2(second.begin(), second.end());
+  EXPECT_NE(epoch1, epoch2);
+}
+
+TEST(MakeBatch, GathersFeaturesAndLabels) {
+  Split split;
+  split.features = Tensor::from({3, 2}, {1, 2, 3, 4, 5, 6});
+  split.labels = {7, 8, 9};
+  std::vector<std::size_t> idx{2, 0};
+  auto batch = make_batch(split, idx);
+  EXPECT_EQ(batch.features(0, 0), 5.0f);
+  EXPECT_EQ(batch.features(1, 1), 2.0f);
+  EXPECT_EQ(batch.labels, (std::vector<Label>{9, 7}));
+  EXPECT_EQ(batch.source_indices, idx);
+}
+
+}  // namespace
+}  // namespace nessa::data

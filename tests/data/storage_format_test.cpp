@@ -1,0 +1,97 @@
+#include "nessa/data/storage_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nessa/data/synthetic.hpp"
+
+namespace nessa::data {
+namespace {
+
+Dataset tiny_dataset(std::size_t record_bytes = 512) {
+  SyntheticConfig cfg;
+  cfg.num_classes = 3;
+  cfg.train_size = 50;
+  cfg.test_size = 10;
+  cfg.feature_dim = 8;
+  cfg.stored_bytes_per_sample = record_bytes;
+  cfg.seed = 7;
+  return make_synthetic(cfg);
+}
+
+TEST(StorageFormat, RoundTrip) {
+  auto ds = tiny_dataset();
+  auto image = serialize_train_split(ds);
+  auto parsed = deserialize(image);
+  EXPECT_EQ(parsed.num_classes, 3u);
+  EXPECT_EQ(parsed.stored_bytes_per_sample, 512u);
+  ASSERT_EQ(parsed.split.size(), 50u);
+  EXPECT_EQ(parsed.split.labels, ds.train().labels);
+  EXPECT_TRUE(parsed.split.features == ds.train().features);
+}
+
+TEST(StorageFormat, ImageSizeIsHeaderPlusRecords) {
+  auto ds = tiny_dataset();
+  auto image = serialize_train_split(ds);
+  EXPECT_EQ(image.size(), header_bytes() + 50u * 512u);
+}
+
+TEST(StorageFormat, PaddingMakesRecordsCostStoredBytes) {
+  // The record payload (label + 8 floats = 36 bytes) is much smaller than
+  // the stored record (512 bytes); the image must charge the full record.
+  auto ds = tiny_dataset();
+  auto image = serialize_train_split(ds);
+  EXPECT_GT(image.size(), 50u * 36u * 2);
+}
+
+TEST(StorageFormat, RejectsTooSmallRecordSize) {
+  auto ds = tiny_dataset(/*record_bytes=*/8);  // < 4 + 8*4
+  EXPECT_THROW(serialize_train_split(ds), std::invalid_argument);
+}
+
+TEST(StorageFormat, RejectsBadMagic) {
+  auto ds = tiny_dataset();
+  auto image = serialize_train_split(ds);
+  image.bytes[0] ^= 0xFF;
+  EXPECT_THROW(deserialize(image), std::invalid_argument);
+}
+
+TEST(StorageFormat, RejectsTruncatedImage) {
+  auto ds = tiny_dataset();
+  auto image = serialize_train_split(ds);
+  image.bytes.resize(image.bytes.size() - 100);
+  EXPECT_THROW(deserialize(image), std::invalid_argument);
+}
+
+TEST(StorageFormat, RejectsTinyBuffer) {
+  StorageImage image;
+  image.bytes.resize(4);
+  EXPECT_THROW(deserialize(image), std::invalid_argument);
+}
+
+TEST(StorageFormat, RecordExtent) {
+  auto e0 = record_extent(0, 512);
+  EXPECT_EQ(e0.offset, header_bytes());
+  EXPECT_EQ(e0.length, 512u);
+  auto e5 = record_extent(5, 512);
+  EXPECT_EQ(e5.offset, header_bytes() + 5u * 512u);
+}
+
+TEST(StorageFormat, FileRoundTrip) {
+  auto ds = tiny_dataset();
+  auto image = serialize_train_split(ds);
+  const std::string path = "/tmp/nessa_storage_test.bin";
+  write_image_file(image, path);
+  auto loaded = read_image_file(path);
+  EXPECT_EQ(loaded.bytes, image.bytes);
+  std::remove(path.c_str());
+}
+
+TEST(StorageFormat, ReadMissingFileThrows) {
+  EXPECT_THROW(read_image_file("/tmp/nessa_does_not_exist_873.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nessa::data

@@ -1,0 +1,79 @@
+#include "nessa/data/synthetic_images.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::data {
+namespace {
+
+SyntheticImageConfig small() {
+  SyntheticImageConfig cfg;
+  cfg.num_classes = 3;
+  cfg.train_size = 240;
+  cfg.test_size = 60;
+  cfg.dims = {2, 6, 6};
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(SyntheticImages, ShapesAndLabels) {
+  auto ds = make_synthetic_images(small());
+  EXPECT_EQ(ds.train_size(), 240u);
+  EXPECT_EQ(ds.feature_dim(), 72u);
+  EXPECT_EQ(ds.num_classes(), 3u);
+  auto hist = ds.train_class_histogram();
+  for (auto c : hist) EXPECT_GT(c, 40u);
+}
+
+TEST(SyntheticImages, Deterministic) {
+  auto a = make_synthetic_images(small());
+  auto b = make_synthetic_images(small());
+  EXPECT_TRUE(a.train().features == b.train().features);
+  EXPECT_EQ(a.train().labels, b.train().labels);
+}
+
+TEST(SyntheticImages, SpatialCorrelationPresent) {
+  // Textures are low-frequency: horizontally adjacent pixels must correlate
+  // far more than random pairs.
+  auto cfg = small();
+  cfg.pixel_noise = 0.05;
+  auto ds = make_synthetic_images(cfg);
+  const auto& f = ds.train().features;
+  double adj = 0.0, rand_pair = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t x = 0; x + 1 < 6; ++x) {
+      adj += f(i, x) * f(i, x + 1);
+      rand_pair += f(i, x) * f(i, 36 + (x * 13) % 36);
+      ++count;
+    }
+  }
+  EXPECT_GT(adj / count, rand_pair / count);
+}
+
+TEST(SyntheticImages, ValidatesConfig) {
+  auto cfg = small();
+  cfg.num_classes = 0;
+  EXPECT_THROW(make_synthetic_images(cfg), std::invalid_argument);
+  cfg = small();
+  cfg.duplicate_fraction = 0.8;
+  cfg.hard_fraction = 0.5;
+  EXPECT_THROW(make_synthetic_images(cfg), std::invalid_argument);
+}
+
+TEST(SyntheticImages, CompatibleWithConvModels) {
+  auto cfg = small();
+  cfg.dims = {3, 8, 8};
+  auto ds = make_synthetic_images(cfg);
+  util::Rng rng(4);
+  auto model = nn::build_mini_resnet(cfg.dims, 4, 3, rng);
+  auto logits =
+      model.forward(data::gather_rows(ds.train().features,
+                                      std::vector<std::size_t>{0, 1, 2}),
+                    false);
+  EXPECT_EQ(logits.cols(), 3u);
+}
+
+}  // namespace
+}  // namespace nessa::data

@@ -1,0 +1,190 @@
+#include "nessa/data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::data {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_size = 400;
+  cfg.test_size = 100;
+  cfg.feature_dim = 16;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Synthetic, SizesMatchConfig) {
+  auto ds = make_synthetic(small_config());
+  EXPECT_EQ(ds.train_size(), 400u);
+  EXPECT_EQ(ds.test().size(), 100u);
+  EXPECT_EQ(ds.feature_dim(), 16u);
+  EXPECT_EQ(ds.num_classes(), 4u);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  auto a = make_synthetic(small_config());
+  auto b = make_synthetic(small_config());
+  EXPECT_TRUE(a.train().features == b.train().features);
+  EXPECT_EQ(a.train().labels, b.train().labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  auto a = make_synthetic(cfg);
+  cfg.seed = 100;
+  auto b = make_synthetic(cfg);
+  EXPECT_FALSE(a.train().features == b.train().features);
+}
+
+TEST(Synthetic, AllClassesRepresented) {
+  auto ds = make_synthetic(small_config());
+  auto hist = ds.train_class_histogram();
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_GT(hist[c], 50u) << "class " << c;
+  }
+}
+
+TEST(Synthetic, ClassesAreSeparated) {
+  // Per-class train means should be farther apart than the within-class
+  // spread — the basic geometry the selection algorithms rely on.
+  auto cfg = small_config();
+  cfg.label_noise = 0.0;
+  cfg.hard_fraction = 0.0;
+  cfg.duplicate_fraction = 0.0;
+  cfg.modes_per_class = 1;  // isolate class-level geometry
+  auto ds = make_synthetic(cfg);
+
+  const std::size_t dim = ds.feature_dim();
+  std::vector<std::vector<double>> means(4, std::vector<double>(dim, 0.0));
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t i = 0; i < ds.train_size(); ++i) {
+    const auto c = static_cast<std::size_t>(ds.train().labels[i]);
+    for (std::size_t d = 0; d < dim; ++d) {
+      means[c][d] += ds.train().features(i, d);
+    }
+    ++counts[c];
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (auto& v : means[c]) v /= static_cast<double>(counts[c]);
+  }
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        d2 += (means[a][d] - means[b][d]) * (means[a][d] - means[b][d]);
+      }
+      EXPECT_GT(std::sqrt(d2), cfg.class_separation * 0.5);
+    }
+  }
+}
+
+TEST(Synthetic, DuplicatesExistInTrainSplit) {
+  auto cfg = small_config();
+  cfg.duplicate_fraction = 0.5;
+  cfg.duplicate_jitter = 0.0;  // exact copies
+  auto ds = make_synthetic(cfg);
+  // Count exact duplicate feature rows.
+  std::size_t dups = 0;
+  for (std::size_t i = 0; i < ds.train_size() && dups == 0; ++i) {
+    for (std::size_t j = i + 1; j < ds.train_size(); ++j) {
+      if (tensor::squared_l2(ds.train().features.row(i),
+                             ds.train().features.row(j)) == 0.0f) {
+        ++dups;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(dups, 0u);
+}
+
+TEST(Synthetic, TestSplitIsClean) {
+  // Test split must have no label noise: with huge separation and tiny
+  // spread, a nearest-mean classifier should be perfect on test data.
+  auto cfg = small_config();
+  cfg.class_separation = 10.0;
+  cfg.core_spread = 0.1;
+  cfg.hard_fraction = 0.0;
+  cfg.modes_per_class = 1;  // nearest-class-mean must be Bayes-optimal
+  cfg.label_noise = 0.5;    // train noise must not leak into test
+  auto ds = make_synthetic(cfg);
+
+  // Compute per-class means from the *test* set itself and verify
+  // self-consistency (every test point closest to its own class mean).
+  const std::size_t dim = ds.feature_dim();
+  std::vector<std::vector<double>> means(4, std::vector<double>(dim, 0.0));
+  std::vector<std::size_t> counts(4, 0);
+  const auto& test = ds.test();
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const auto c = static_cast<std::size_t>(test.labels[i]);
+    for (std::size_t d = 0; d < dim; ++d) means[c][d] += test.features(i, d);
+    ++counts[c];
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    ASSERT_GT(counts[c], 0u);
+    for (auto& v : means[c]) v /= static_cast<double>(counts[c]);
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    double best = 1e300;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double delta = test.features(i, d) - means[c][d];
+        d2 += delta * delta;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    if (best_c == static_cast<std::size_t>(test.labels[i])) ++correct;
+  }
+  EXPECT_EQ(correct, test.size());
+}
+
+TEST(Synthetic, ImbalanceSkewsClassFrequencies) {
+  auto cfg = small_config();
+  cfg.train_size = 2000;
+  cfg.class_imbalance = 1.0;  // Zipf: p(c) ~ 1/(c+1)
+  auto ds = make_synthetic(cfg);
+  auto hist = ds.train_class_histogram();
+  // Class 0 should be roughly twice class 1 and four times class 3.
+  EXPECT_GT(hist[0], hist[1]);
+  EXPECT_GT(hist[1], hist[3]);
+  EXPECT_GT(static_cast<double>(hist[0]),
+            1.5 * static_cast<double>(hist[1]));
+  EXPECT_GT(static_cast<double>(hist[0]),
+            3.0 * static_cast<double>(hist[3]));
+}
+
+TEST(Synthetic, BalancedWhenImbalanceZero) {
+  auto cfg = small_config();
+  cfg.train_size = 4000;
+  cfg.class_imbalance = 0.0;
+  auto ds = make_synthetic(cfg);
+  auto hist = ds.train_class_histogram();
+  for (auto c : hist) {
+    EXPECT_NEAR(static_cast<double>(c), 1000.0, 120.0);
+  }
+}
+
+TEST(Synthetic, RejectsBadFractions) {
+  auto cfg = small_config();
+  cfg.hard_fraction = 0.7;
+  cfg.duplicate_fraction = 0.5;
+  EXPECT_THROW(make_synthetic(cfg), std::invalid_argument);
+}
+
+TEST(Synthetic, RejectsZeroClasses) {
+  auto cfg = small_config();
+  cfg.num_classes = 0;
+  EXPECT_THROW(make_synthetic(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nessa::data

@@ -1,0 +1,104 @@
+// Failure injection: exceptions thrown inside pooled tasks and simulator
+// callbacks must surface cleanly and leave the component usable; quantized
+// (int8) gradient embeddings must not derail selection quality — the
+// robustness properties the near-storage deployment depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+
+#include "nessa/quant/quantize.hpp"
+#include "nessa/selection/baselines.hpp"
+#include "nessa/selection/drivers.hpp"
+#include "nessa/sim/engine.hpp"
+#include "nessa/util/rng.hpp"
+#include "nessa/util/thread_pool.hpp"
+
+namespace nessa {
+namespace {
+
+TEST(FailureInjection, ThreadPoolTaskExceptionReachesCaller) {
+  util::ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives and keeps processing.
+  std::atomic<int> ok{0};
+  pool.submit([&] { ++ok; }).get();
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(FailureInjection, SimulatorCallbackExceptionPropagates) {
+  sim::Simulator sim;
+  bool later_ran = false;
+  sim.schedule_at(10, [] { throw std::logic_error("event failed"); });
+  sim.schedule_at(20, [&] { later_ran = true; });
+  EXPECT_THROW(sim.run(), std::logic_error);
+  // The failing event was consumed; the rest of the queue is intact and
+  // the simulator can continue.
+  EXPECT_FALSE(later_ran);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(later_ran);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(FailureInjection, QuantizedEmbeddingsPreserveSelectionQuality) {
+  // The FPGA holds gradient embeddings in int8. Selecting from quantized
+  // embeddings must give (a) a similar facility-location objective and
+  // (b) heavy overlap with the float selection.
+  util::Rng rng(42);
+  const std::size_t n = 300;
+  tensor::Tensor emb({n, 10});
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<std::int32_t>(i % 5);
+    for (std::size_t d = 0; d < 10; ++d) {
+      emb(i, d) = static_cast<float>(
+          (d == static_cast<std::size_t>(labels[i]) ? 2.0 : 0.0) +
+          rng.gaussian(0.0, 0.5));
+    }
+  }
+  tensor::Tensor q_emb = quant::dequantize(quant::quantize_symmetric(emb));
+
+  selection::DriverConfig cfg;
+  cfg.per_class = true;
+  auto float_sel = selection::select_coreset(emb, labels, {}, 60, cfg);
+  auto int8_sel = selection::select_coreset(q_emb, labels, {}, 60, cfg);
+
+  std::size_t overlap = 0;
+  for (auto a : int8_sel.indices) {
+    for (auto b : float_sel.indices) {
+      if (a == b) {
+        ++overlap;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(overlap, 45u);  // >= 75 % agreement
+  EXPECT_NEAR(int8_sel.objective, float_sel.objective,
+              0.05 * float_sel.objective);
+}
+
+TEST(FailureInjection, DegenerateEmbeddingsStillSelect) {
+  // All-identical embeddings (a fully-converged or broken selection model)
+  // must not crash or loop: any k distinct indices is a valid outcome.
+  tensor::Tensor emb({50, 4});
+  emb.fill(1.0f);
+  std::vector<std::int32_t> labels(50, 0);
+  selection::DriverConfig cfg;
+  auto result = selection::select_coreset(emb, labels, {}, 10, cfg);
+  EXPECT_EQ(result.indices.size(), 10u);
+}
+
+TEST(FailureInjection, NonFiniteLossesDoNotBreakTopk) {
+  std::vector<float> losses{1.0f, std::numeric_limits<float>::infinity(),
+                            0.5f, -std::numeric_limits<float>::infinity()};
+  auto top = selection::loss_topk(losses, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);  // +inf first
+  EXPECT_EQ(top[1], 0u);
+}
+
+}  // namespace
+}  // namespace nessa

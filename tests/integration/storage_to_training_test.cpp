@@ -1,0 +1,105 @@
+// End-to-end integration across data + smartssd + quant + selection + nn:
+// a dataset is serialized into the on-SSD record format, "read" through the
+// flash model with per-record extents, parsed back, scanned by the
+// quantized selection kernel, and the selected coreset trains a model.
+#include <gtest/gtest.h>
+
+#include "nessa/core/near_storage.hpp"
+#include "nessa/core/train_utils.hpp"
+#include "nessa/data/storage_format.hpp"
+#include "nessa/data/synthetic.hpp"
+#include "nessa/nn/metrics.hpp"
+#include "nessa/nn/optimizer.hpp"
+#include "nessa/selection/drivers.hpp"
+#include "nessa/smartssd/device.hpp"
+
+namespace nessa {
+namespace {
+
+data::Dataset make_dataset() {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_size = 400;
+  cfg.test_size = 120;
+  cfg.feature_dim = 12;
+  cfg.stored_bytes_per_sample = 512;
+  cfg.modes_per_class = 6;
+  cfg.seed = 77;
+  return data::make_synthetic(cfg);
+}
+
+TEST(StorageToTraining, FullPathProducesWorkingCoreset) {
+  auto ds = make_dataset();
+
+  // 1. Serialize onto the "drive" and account the stored footprint.
+  auto image = data::serialize_train_split(ds);
+  EXPECT_EQ(image.size(),
+            data::header_bytes() + 400u * 512u);
+
+  // 2. Stream every record through the flash model batch-wise and verify
+  //    the byte accounting and the record extents stay in bounds.
+  smartssd::SmartSsdSystem system;
+  const std::size_t batch = 64;
+  util::SimTime scan_time = 0;
+  for (std::size_t start = 0; start < 400; start += batch) {
+    const std::size_t count = std::min(batch, 400 - start);
+    scan_time += system.flash_to_fpga(count, 512);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto extent = data::record_extent(start + i, 512);
+      ASSERT_LE(extent.offset + extent.length, image.size());
+    }
+  }
+  EXPECT_EQ(system.traffic().p2p_bytes, 400u * 512u);
+  EXPECT_GT(scan_time, 0);
+
+  // 3. Parse the image back — the kernel sees exactly the original data.
+  auto parsed = data::deserialize(image);
+  ASSERT_EQ(parsed.split.size(), 400u);
+  EXPECT_TRUE(parsed.split.features == ds.train().features);
+
+  // 4. Quantized scan + selection on the parsed records.
+  util::Rng rng(5);
+  auto model = nn::Sequential::mlp({12, 24, 4}, rng);
+  auto qmodel = quant::QuantizedMlp::from_model(model);
+  auto pool = core::iota_indices(parsed.split.size());
+  auto emb = core::compute_q_embeddings(qmodel, parsed.split, pool,
+                                        /*scaled=*/false, 64);
+  std::vector<std::int32_t> labels(parsed.split.labels.begin(),
+                                   parsed.split.labels.end());
+  selection::DriverConfig driver;
+  driver.partition_quota = 16;
+  auto coreset =
+      selection::select_coreset(emb.embeddings, labels, {}, 120, driver);
+  ASSERT_EQ(coreset.indices.size(), 120u);
+
+  // The chunked kernel must fit the FPGA's on-chip budget.
+  EXPECT_LE(coreset.peak_kernel_bytes, system.fpga_bram().capacity());
+
+  // 5. Train on the coreset; it must beat chance decisively.
+  nn::Sgd sgd({.learning_rate = 0.05f,
+               .momentum = 0.9f,
+               .nesterov = true,
+               .weight_decay = 5e-4f});
+  std::vector<double> weights(coreset.weights.begin(),
+                              coreset.weights.end());
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    core::train_one_epoch(model, sgd, parsed.split, coreset.indices, weights,
+                          32, rng);
+  }
+  auto eval = nn::evaluate(model, ds.test().features, ds.test().labels);
+  EXPECT_GT(eval.accuracy, 0.6);
+}
+
+TEST(StorageToTraining, SubsetTransferMatchesSelectedBytes) {
+  auto ds = make_dataset();
+  smartssd::SmartSsdSystem system;
+  const std::size_t selected = 120;
+  system.subset_to_gpu(selected * ds.stored_bytes_per_sample());
+  EXPECT_EQ(system.traffic().interconnect_bytes,
+            selected * ds.stored_bytes_per_sample());
+  EXPECT_EQ(system.traffic().gpu_bytes,
+            selected * ds.stored_bytes_per_sample());
+}
+
+}  // namespace
+}  // namespace nessa

@@ -1,0 +1,105 @@
+#include "nessa/nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nessa/nn/loss.hpp"
+#include "nessa/nn/model.hpp"
+
+namespace nessa::nn {
+namespace {
+
+struct Scalar {
+  Tensor w = Tensor::from({1}, {1.0f});
+  Tensor g = Tensor::from({1}, {0.0f});
+  std::vector<ParamRef> params() { return {{"w", &w, &g}}; }
+};
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Scalar s;
+  s.g[0] = 3.0f;
+  Adam adam({.learning_rate = 0.1f});
+  adam.step(s.params());
+  EXPECT_NEAR(s.w[0], 1.0f - 0.1f, 1e-4f);
+}
+
+TEST(Adam, StepCounterAdvances) {
+  Scalar s;
+  Adam adam;
+  EXPECT_EQ(adam.steps_taken(), 0u);
+  adam.step(s.params());
+  adam.step(s.params());
+  EXPECT_EQ(adam.steps_taken(), 2u);
+}
+
+TEST(Adam, InvariantToGradientScale) {
+  // Adam's update magnitude is (nearly) invariant to rescaling all
+  // gradients — the property SGD lacks.
+  Scalar a, b;
+  Adam opt_a({.learning_rate = 0.1f}), opt_b({.learning_rate = 0.1f});
+  for (int i = 0; i < 10; ++i) {
+    a.g[0] = 2.0f;
+    b.g[0] = 200.0f;
+    opt_a.step(a.params());
+    opt_b.step(b.params());
+  }
+  EXPECT_NEAR(a.w[0], b.w[0], 1e-3f);
+}
+
+TEST(Adam, DecoupledWeightDecayShrinksWeights) {
+  Scalar s;
+  s.g[0] = 0.0f;
+  Adam adam({.learning_rate = 0.1f, .weight_decay = 0.5f});
+  adam.step(s.params());
+  EXPECT_LT(s.w[0], 1.0f);
+  EXPECT_NEAR(s.w[0], 1.0f - 0.1f * 0.5f * 1.0f, 1e-5f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Scalar s;
+  s.w[0] = -4.0f;
+  Adam adam({.learning_rate = 0.05f});
+  for (int i = 0; i < 2000; ++i) {
+    s.g[0] = 2.0f * (s.w[0] - 3.0f);
+    adam.step(s.params());
+  }
+  EXPECT_NEAR(s.w[0], 3.0f, 1e-2f);
+}
+
+TEST(Adam, MomentBuffersKeyedPerParameter) {
+  Scalar a, b;
+  Adam adam({.learning_rate = 0.1f});
+  a.g[0] = 1.0f;
+  b.g[0] = -1.0f;
+  for (int i = 0; i < 5; ++i) {
+    adam.step(a.params());
+    adam.step(b.params());
+  }
+  EXPECT_LT(a.w[0], 1.0f);
+  EXPECT_GT(b.w[0], 1.0f);
+}
+
+TEST(Adam, TrainsSmallModel) {
+  util::Rng rng(8);
+  auto model = Sequential::mlp({4, 8, 2}, rng);
+  Adam adam({.learning_rate = 0.01f});
+  SoftmaxCrossEntropy loss_fn;
+  Tensor x = Tensor::randn({16, 4}, 1.0f, rng);
+  std::vector<Label> y(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    y[i] = x(i, 0) > 0 ? 1 : 0;  // learnable rule
+  }
+  double first = 0.0, last = 0.0;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    model.zero_grads();
+    auto loss = loss_fn.forward(model.forward(x, true), y);
+    model.backward(loss_fn.backward(loss, y));
+    adam.step(model.params());
+    if (epoch == 0) first = loss.mean_loss;
+    last = loss.mean_loss;
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+}  // namespace
+}  // namespace nessa::nn

@@ -1,0 +1,89 @@
+#include "nessa/nn/confusion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::nn {
+namespace {
+
+TEST(ConfusionMatrix, RejectsZeroClasses) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(2, 0), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 3.0 / 5.0);
+}
+
+TEST(ConfusionMatrix, RecallAndPrecision) {
+  ConfusionMatrix cm(2);
+  // class 0: 3 samples, 2 predicted right; class 1: 2 samples, 1 right.
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 2.0 / 3.0);  // predicted-0 column: 2,1
+  EXPECT_DOUBLE_EQ(cm.precision(1), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), (2.0 / 3.0 + 0.5) / 2.0);
+}
+
+TEST(ConfusionMatrix, AbsentClassRecallZero) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), 1.0);  // only class 0 present
+}
+
+TEST(ConfusionMatrix, BoundsChecked) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+  EXPECT_THROW((void)cm.count(0, 5), std::out_of_range);
+  EXPECT_THROW((void)cm.recall(-1), std::out_of_range);
+}
+
+TEST(EvaluateConfusion, MatchesEvaluateAccuracy) {
+  util::Rng rng(9);
+  auto model = Sequential::mlp({6, 12, 4}, rng);
+  Tensor x = Tensor::randn({40, 6}, 1.0f, rng);
+  std::vector<Label> y(40);
+  for (std::size_t i = 0; i < 40; ++i) y[i] = static_cast<Label>(i % 4);
+  auto cm = evaluate_confusion(model, x, y, 16);
+  EXPECT_EQ(cm.total(), 40u);
+  // Row sums equal class counts.
+  for (Label c = 0; c < 4; ++c) {
+    std::size_t row = 0;
+    for (Label p = 0; p < 4; ++p) row += cm.count(c, p);
+    EXPECT_EQ(row, 10u);
+  }
+}
+
+TEST(EvaluateConfusion, PerfectClassifierIsDiagonal) {
+  util::Rng rng(10);
+  auto model = Sequential::mlp({3, 3}, rng);
+  Tensor w({3, 3});
+  for (std::size_t i = 0; i < 3; ++i) w(i, i) = 10.0f;
+  *model.params()[0].value = w;
+  model.params()[1].value->fill(0.0f);
+  Tensor x = Tensor::from({3, 3}, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  std::vector<Label> y{0, 1, 2};
+  auto cm = evaluate_confusion(model, x, y);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), 1.0);
+  EXPECT_EQ(cm.count(0, 1), 0u);
+}
+
+}  // namespace
+}  // namespace nessa::nn

@@ -1,0 +1,98 @@
+#include "nessa/nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nessa::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss_fn;
+  Tensor logits({4, 10});  // all zeros -> uniform softmax
+  std::vector<Label> labels{0, 3, 7, 9};
+  auto result = loss_fn.forward(logits, labels);
+  EXPECT_NEAR(result.mean_loss, std::log(10.0f), 1e-5f);
+  for (float l : result.example_losses) {
+    EXPECT_NEAR(l, std::log(10.0f), 1e-5f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectPredictionLowLoss) {
+  SoftmaxCrossEntropy loss_fn;
+  Tensor logits = Tensor::from({1, 3}, {10.0f, 0.0f, 0.0f});
+  std::vector<Label> labels{0};
+  auto result = loss_fn.forward(logits, labels);
+  EXPECT_LT(result.mean_loss, 0.01f);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentWrongPredictionHighLoss) {
+  SoftmaxCrossEntropy loss_fn;
+  Tensor logits = Tensor::from({1, 3}, {10.0f, 0.0f, 0.0f});
+  std::vector<Label> labels{2};
+  auto result = loss_fn.forward(logits, labels);
+  EXPECT_GT(result.mean_loss, 5.0f);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  SoftmaxCrossEntropy loss_fn;
+  Tensor logits({2, 3});
+  std::vector<Label> negative{0, -1};
+  EXPECT_THROW(loss_fn.forward(logits, negative), std::invalid_argument);
+  std::vector<Label> too_big{0, 3};
+  EXPECT_THROW(loss_fn.forward(logits, too_big), std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsLabelCountMismatch) {
+  SoftmaxCrossEntropy loss_fn;
+  Tensor logits({2, 3});
+  std::vector<Label> labels{0};
+  EXPECT_THROW(loss_fn.forward(logits, labels), std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropy, BackwardIsProbsMinusOneHotOverB) {
+  SoftmaxCrossEntropy loss_fn;
+  Tensor logits({2, 2});  // uniform: probs are 0.5 each
+  std::vector<Label> labels{0, 1};
+  auto result = loss_fn.forward(logits, labels);
+  Tensor grad = loss_fn.backward(result, labels);
+  EXPECT_NEAR(grad(0, 0), (0.5f - 1.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(grad(0, 1), 0.5f / 2.0f, 1e-6f);
+  EXPECT_NEAR(grad(1, 1), (0.5f - 1.0f) / 2.0f, 1e-6f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy loss_fn;
+  util::Rng rng(9);
+  Tensor logits = Tensor::randn({5, 7}, 2.0f, rng);
+  std::vector<Label> labels{0, 1, 2, 3, 4};
+  auto result = loss_fn.forward(logits, labels);
+  Tensor grad = loss_fn.backward(result, labels);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) row_sum += grad(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ProbsStoredInResult) {
+  SoftmaxCrossEntropy loss_fn;
+  Tensor logits = Tensor::from({1, 2}, {0.0f, 0.0f});
+  std::vector<Label> labels{0};
+  auto result = loss_fn.forward(logits, labels);
+  EXPECT_NEAR(result.probs(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(result.probs(0, 1), 0.5f, 1e-6f);
+}
+
+TEST(SoftmaxCrossEntropy, LossIsFiniteForExtremeLogits) {
+  SoftmaxCrossEntropy loss_fn;
+  Tensor logits = Tensor::from({1, 2}, {-1000.0f, 1000.0f});
+  std::vector<Label> labels{0};
+  auto result = loss_fn.forward(logits, labels);
+  EXPECT_TRUE(std::isfinite(result.mean_loss));
+  EXPECT_GT(result.mean_loss, 10.0f);
+}
+
+}  // namespace
+}  // namespace nessa::nn

@@ -1,0 +1,69 @@
+#include "nessa/nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::nn {
+namespace {
+
+/// Model wired so argmax(logits) == argmax(input features).
+Sequential identity_classifier(std::size_t classes, util::Rng& rng) {
+  auto m = Sequential::mlp({classes, classes}, rng);
+  Tensor w({classes, classes});
+  for (std::size_t i = 0; i < classes; ++i) w(i, i) = 5.0f;
+  *m.params()[0].value = w;
+  m.params()[1].value->fill(0.0f);
+  return m;
+}
+
+TEST(Evaluate, PerfectClassifier) {
+  util::Rng rng(1);
+  auto model = identity_classifier(3, rng);
+  Tensor x = Tensor::from({3, 3}, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  std::vector<Label> y{0, 1, 2};
+  auto result = evaluate(model, x, y);
+  EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+  EXPECT_LT(result.mean_loss, 0.1);
+}
+
+TEST(Evaluate, AllWrong) {
+  util::Rng rng(2);
+  auto model = identity_classifier(2, rng);
+  Tensor x = Tensor::from({2, 2}, {1, 0, 0, 1});
+  std::vector<Label> y{1, 0};
+  auto result = evaluate(model, x, y);
+  EXPECT_DOUBLE_EQ(result.accuracy, 0.0);
+  EXPECT_GT(result.mean_loss, 1.0);
+}
+
+TEST(Evaluate, BatchingDoesNotChangeResult) {
+  util::Rng rng(3);
+  auto model = Sequential::mlp({5, 8, 3}, rng);
+  Tensor x = Tensor::randn({41, 5}, 1.0f, rng);
+  std::vector<Label> y(41);
+  for (std::size_t i = 0; i < 41; ++i) y[i] = static_cast<Label>(i % 3);
+  auto a = evaluate(model, x, y, 41);
+  auto b = evaluate(model, x, y, 8);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_NEAR(a.mean_loss, b.mean_loss, 1e-6);
+}
+
+TEST(Evaluate, EmptyInputGivesZeros) {
+  util::Rng rng(4);
+  auto model = Sequential::mlp({5, 3}, rng);
+  Tensor x({0, 5});
+  std::vector<Label> y;
+  auto result = evaluate(model, x, y);
+  EXPECT_DOUBLE_EQ(result.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_loss, 0.0);
+}
+
+TEST(Evaluate, MismatchThrows) {
+  util::Rng rng(5);
+  auto model = Sequential::mlp({5, 3}, rng);
+  Tensor x({2, 5});
+  std::vector<Label> y{0};
+  EXPECT_THROW(evaluate(model, x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nessa::nn

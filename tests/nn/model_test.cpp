@@ -1,0 +1,142 @@
+#include "nessa/nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nessa/nn/dense.hpp"
+
+namespace nessa::nn {
+namespace {
+
+TEST(Sequential, MlpFactoryStructure) {
+  util::Rng rng(1);
+  auto m = Sequential::mlp({8, 16, 4}, rng);
+  // dense, relu, dense
+  EXPECT_EQ(m.layer_count(), 3u);
+  EXPECT_EQ(m.layer(0).name(), "dense");
+  EXPECT_EQ(m.layer(1).name(), "relu");
+  EXPECT_EQ(m.layer(2).name(), "dense");
+}
+
+TEST(Sequential, MlpWithDropout) {
+  util::Rng rng(2);
+  auto m = Sequential::mlp({8, 16, 16, 4}, rng, 0.2f);
+  // dense relu dropout dense relu dropout dense
+  EXPECT_EQ(m.layer_count(), 7u);
+  EXPECT_EQ(m.layer(2).name(), "dropout");
+}
+
+TEST(Sequential, MlpRequiresTwoDims) {
+  util::Rng rng(3);
+  EXPECT_THROW(Sequential::mlp({8}, rng), std::invalid_argument);
+}
+
+TEST(Sequential, ForwardShape) {
+  util::Rng rng(4);
+  auto m = Sequential::mlp({8, 16, 4}, rng);
+  Tensor x({5, 8});
+  Tensor y = m.forward(x, false);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 4u);
+}
+
+TEST(Sequential, ParameterCount) {
+  util::Rng rng(5);
+  auto m = Sequential::mlp({8, 16, 4}, rng);
+  // (8*16 + 16) + (16*4 + 4)
+  EXPECT_EQ(m.parameter_count(), 8u * 16 + 16 + 16 * 4 + 4);
+}
+
+TEST(Sequential, FlopsPerSample) {
+  util::Rng rng(6);
+  auto m = Sequential::mlp({8, 16, 4}, rng);
+  EXPECT_EQ(m.flops_per_sample(), 2u * 8 * 16 + 2u * 16 * 4);
+}
+
+TEST(Sequential, ZeroGradsClearsAll) {
+  util::Rng rng(7);
+  auto m = Sequential::mlp({4, 8, 2}, rng);
+  Tensor x({3, 4});
+  x.fill(1.0f);
+  Tensor y = m.forward(x, true);
+  Tensor g({3, 2});
+  g.fill(1.0f);
+  m.backward(g);
+  bool any_nonzero = false;
+  for (auto& p : m.params()) {
+    if (p.grad->max_abs() > 0.0f) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+  m.zero_grads();
+  for (auto& p : m.params()) {
+    EXPECT_EQ(p.grad->max_abs(), 0.0f);
+  }
+}
+
+TEST(Sequential, CloneProducesIdenticalOutputs) {
+  util::Rng rng(8);
+  auto m = Sequential::mlp({6, 12, 3}, rng);
+  auto copy = m.clone();
+  Tensor x = Tensor::randn({4, 6}, 1.0f, rng);
+  Tensor y1 = m.forward(x, false);
+  Tensor y2 = copy.forward(x, false);
+  EXPECT_TRUE(y1 == y2);
+}
+
+TEST(Sequential, CloneIsDeep) {
+  util::Rng rng(9);
+  auto m = Sequential::mlp({2, 2}, rng);
+  auto copy = m.clone();
+  (*m.params()[0].value)[0] += 10.0f;
+  EXPECT_NE((*m.params()[0].value)[0], (*copy.params()[0].value)[0]);
+}
+
+TEST(Sequential, LoadParamsFrom) {
+  util::Rng rng(10);
+  auto a = Sequential::mlp({4, 8, 2}, rng);
+  auto b = Sequential::mlp({4, 8, 2}, rng);
+  Tensor x = Tensor::randn({2, 4}, 1.0f, rng);
+  EXPECT_FALSE(a.forward(x, false) == b.forward(x, false));
+  b.load_params_from(a);
+  EXPECT_TRUE(a.forward(x, false) == b.forward(x, false));
+}
+
+TEST(Sequential, LoadParamsMismatchThrows) {
+  util::Rng rng(11);
+  auto a = Sequential::mlp({4, 8, 2}, rng);
+  auto b = Sequential::mlp({4, 6, 2}, rng);
+  EXPECT_THROW(b.load_params_from(a), std::invalid_argument);
+}
+
+TEST(Sequential, AddRejectsNull) {
+  Sequential m;
+  EXPECT_THROW(m.add(nullptr), std::invalid_argument);
+}
+
+TEST(ModelSpec, KnownNetworks) {
+  EXPECT_NO_THROW(model_spec("ResNet-20"));
+  EXPECT_NO_THROW(model_spec("ResNet-18"));
+  EXPECT_NO_THROW(model_spec("ResNet-50"));
+  EXPECT_THROW(model_spec("VGG-16"), std::invalid_argument);
+}
+
+TEST(ModelSpec, PaperNumbersPresent) {
+  const auto& r50 = model_spec("ResNet-50");
+  EXPECT_NEAR(r50.paper_gflops_per_sample, 4.09, 0.01);
+  EXPECT_NEAR(r50.paper_params_millions, 25.6, 0.1);
+  // Capacity ordering holds: ResNet-50 > ResNet-18 > ResNet-20.
+  EXPECT_GT(model_spec("ResNet-50").paper_gflops_per_sample,
+            model_spec("ResNet-18").paper_gflops_per_sample);
+  EXPECT_GT(model_spec("ResNet-18").paper_gflops_per_sample,
+            model_spec("ResNet-20").paper_gflops_per_sample);
+}
+
+TEST(BuildModel, MatchesDatasetDims) {
+  util::Rng rng(12);
+  auto m = build_model(model_spec("ResNet-20"), 32, 10, rng);
+  Tensor x({2, 32});
+  Tensor y = m.forward(x, false);
+  EXPECT_EQ(y.cols(), 10u);
+}
+
+}  // namespace
+}  // namespace nessa::nn

@@ -1,0 +1,133 @@
+#include "nessa/nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nessa/nn/dense.hpp"
+#include "nessa/nn/model.hpp"
+
+namespace nessa::nn {
+namespace {
+
+/// A single scalar "model" for hand-verifiable optimizer math.
+struct Scalar {
+  Tensor w = Tensor::from({1}, {1.0f});
+  Tensor g = Tensor::from({1}, {0.0f});
+  std::vector<ParamRef> params() { return {{"w", &w, &g}}; }
+};
+
+TEST(Sgd, PlainGradientStep) {
+  Scalar s;
+  s.g[0] = 2.0f;
+  Sgd sgd({.learning_rate = 0.1f,
+           .momentum = 0.0f,
+           .nesterov = false,
+           .weight_decay = 0.0f});
+  sgd.step(s.params());
+  EXPECT_NEAR(s.w[0], 1.0f - 0.1f * 2.0f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayAddsToGradient) {
+  Scalar s;
+  s.g[0] = 0.0f;
+  Sgd sgd({.learning_rate = 0.1f,
+           .momentum = 0.0f,
+           .nesterov = false,
+           .weight_decay = 0.5f});
+  sgd.step(s.params());
+  // grad = 0 + 0.5 * 1.0; w = 1 - 0.1*0.5 = 0.95
+  EXPECT_NEAR(s.w[0], 0.95f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Scalar s;
+  Sgd sgd({.learning_rate = 1.0f,
+           .momentum = 0.5f,
+           .nesterov = false,
+           .weight_decay = 0.0f});
+  s.g[0] = 1.0f;
+  sgd.step(s.params());  // v = 1,   w = 1 - 1 = 0
+  EXPECT_NEAR(s.w[0], 0.0f, 1e-6f);
+  s.g[0] = 1.0f;
+  sgd.step(s.params());  // v = 1.5, w = 0 - 1.5 = -1.5
+  EXPECT_NEAR(s.w[0], -1.5f, 1e-6f);
+}
+
+TEST(Sgd, NesterovLooksAhead) {
+  Scalar s;
+  Sgd sgd({.learning_rate = 1.0f,
+           .momentum = 0.5f,
+           .nesterov = true,
+           .weight_decay = 0.0f});
+  s.g[0] = 1.0f;
+  sgd.step(s.params());
+  // v = 1; update = grad + mu*v = 1.5; w = 1 - 1.5 = -0.5
+  EXPECT_NEAR(s.w[0], -0.5f, 1e-6f);
+}
+
+TEST(Sgd, VelocityKeyedPerParameter) {
+  Scalar a, b;
+  Sgd sgd({.learning_rate = 1.0f,
+           .momentum = 0.9f,
+           .nesterov = false,
+           .weight_decay = 0.0f});
+  a.g[0] = 1.0f;
+  b.g[0] = -1.0f;
+  sgd.step(a.params());
+  sgd.step(b.params());
+  sgd.step(a.params());
+  sgd.step(b.params());
+  // Velocities must not cross-contaminate: a moves down, b moves up.
+  EXPECT_LT(a.w[0], 0.0f);
+  EXPECT_GT(b.w[0], 2.0f);
+}
+
+TEST(Sgd, SetLearningRate) {
+  Sgd sgd;
+  sgd.set_learning_rate(0.01f);
+  EXPECT_FLOAT_EQ(sgd.learning_rate(), 0.01f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2 with analytic gradient 2(w - 3).
+  Scalar s;
+  s.w[0] = -5.0f;
+  Sgd sgd({.learning_rate = 0.1f,
+           .momentum = 0.9f,
+           .nesterov = true,
+           .weight_decay = 0.0f});
+  for (int i = 0; i < 200; ++i) {
+    s.g[0] = 2.0f * (s.w[0] - 3.0f);
+    sgd.step(s.params());
+  }
+  EXPECT_NEAR(s.w[0], 3.0f, 1e-3f);
+}
+
+TEST(StepLrSchedule, PaperDefaultMilestones) {
+  auto sched = StepLrSchedule::paper_default();
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.1f);
+  EXPECT_FLOAT_EQ(sched.lr_at(59), 0.1f);
+  EXPECT_NEAR(sched.lr_at(60), 0.02f, 1e-6f);
+  EXPECT_NEAR(sched.lr_at(120), 0.004f, 1e-7f);
+  EXPECT_NEAR(sched.lr_at(160), 0.0008f, 1e-8f);
+  EXPECT_NEAR(sched.lr_at(199), 0.0008f, 1e-8f);
+}
+
+TEST(StepLrSchedule, ScaledKeepsFractions) {
+  auto sched = StepLrSchedule::paper_scaled(20);  // milestones at 6, 12, 16
+  EXPECT_FLOAT_EQ(sched.lr_at(5), 0.1f);
+  EXPECT_NEAR(sched.lr_at(6), 0.02f, 1e-6f);
+  EXPECT_NEAR(sched.lr_at(12), 0.004f, 1e-7f);
+  EXPECT_NEAR(sched.lr_at(16), 0.0008f, 1e-8f);
+}
+
+TEST(StepLrSchedule, MonotoneNonIncreasing) {
+  auto sched = StepLrSchedule::paper_scaled(50);
+  float prev = sched.lr_at(0);
+  for (std::size_t e = 1; e < 50; ++e) {
+    EXPECT_LE(sched.lr_at(e), prev);
+    prev = sched.lr_at(e);
+  }
+}
+
+}  // namespace
+}  // namespace nessa::nn

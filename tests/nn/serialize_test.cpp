@@ -1,0 +1,91 @@
+#include "nessa/nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "nessa/nn/conv.hpp"
+
+namespace nessa::nn {
+namespace {
+
+TEST(Serialize, RoundTripRestoresOutputs) {
+  util::Rng rng(1);
+  auto model = Sequential::mlp({6, 12, 3}, rng);
+  std::stringstream buffer;
+  save_weights(model, buffer);
+
+  auto other = Sequential::mlp({6, 12, 3}, rng);  // different init
+  Tensor x = Tensor::randn({4, 6}, 1.0f, rng);
+  EXPECT_FALSE(model.forward(x, false) == other.forward(x, false));
+
+  load_weights(other, buffer);
+  EXPECT_TRUE(model.forward(x, false) == other.forward(x, false));
+}
+
+TEST(Serialize, RoundTripConvModel) {
+  util::Rng rng(2);
+  auto model = build_mini_resnet({2, 4, 4}, 4, 3, rng);
+  std::stringstream buffer;
+  save_weights(model, buffer);
+  auto other = build_mini_resnet({2, 4, 4}, 4, 3, rng);
+  load_weights(other, buffer);
+  Tensor x = Tensor::randn({2, 32}, 1.0f, rng);
+  Tensor a = model.forward(x, false);
+  Tensor b = other.forward(x, false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Serialize, ArchitectureMismatchRejected) {
+  util::Rng rng(3);
+  auto model = Sequential::mlp({6, 12, 3}, rng);
+  std::stringstream buffer;
+  save_weights(model, buffer);
+
+  auto wrong_count = Sequential::mlp({6, 3}, rng);
+  EXPECT_THROW(load_weights(wrong_count, buffer), std::runtime_error);
+
+  buffer.clear();
+  buffer.seekg(0);
+  auto wrong_shape = Sequential::mlp({6, 13, 3}, rng);
+  EXPECT_THROW(load_weights(wrong_shape, buffer), std::runtime_error);
+}
+
+TEST(Serialize, BadMagicAndTruncationRejected) {
+  util::Rng rng(4);
+  auto model = Sequential::mlp({4, 2}, rng);
+  std::stringstream buffer;
+  save_weights(model, buffer);
+  std::string bytes = buffer.str();
+
+  std::stringstream corrupted(std::string("XXXX") + bytes.substr(4));
+  EXPECT_THROW(load_weights(model, corrupted), std::runtime_error);
+
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 8));
+  EXPECT_THROW(load_weights(model, truncated), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  util::Rng rng(5);
+  auto model = Sequential::mlp({5, 8, 2}, rng);
+  const std::string path = "/tmp/nessa_weights_test.bin";
+  save_weights_file(model, path);
+  auto other = Sequential::mlp({5, 8, 2}, rng);
+  load_weights_file(other, path);
+  Tensor x = Tensor::randn({3, 5}, 1.0f, rng);
+  EXPECT_TRUE(model.forward(x, false) == other.forward(x, false));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  util::Rng rng(6);
+  auto model = Sequential::mlp({2, 2}, rng);
+  EXPECT_THROW(load_weights_file(model, "/tmp/nessa_no_such_file_491.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nessa::nn

@@ -1,0 +1,128 @@
+#include "nessa/quant/qmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nessa/nn/activation.hpp"
+#include "nessa/nn/dense.hpp"
+#include "nessa/nn/dropout.hpp"
+#include "nessa/tensor/ops.hpp"
+
+namespace nessa::quant {
+namespace {
+
+TEST(QuantizedMlp, ForwardApproximatesFloatModel) {
+  util::Rng rng(1);
+  auto model = nn::Sequential::mlp({8, 16, 4}, rng);
+  auto qmodel = QuantizedMlp::from_model(model);
+
+  Tensor x = Tensor::randn({10, 8}, 1.0f, rng);
+  Tensor exact = model.forward(x, false);
+  Tensor approx = qmodel.forward(x);
+  ASSERT_EQ(approx.shape(), exact.shape());
+  // Argmax agreement is the property the selection model needs.
+  auto ea = tensor::argmax_rows(exact);
+  auto qa = tensor::argmax_rows(approx);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i] == qa[i]) ++agree;
+  }
+  EXPECT_GE(agree, 9u);  // allow one borderline flip
+}
+
+TEST(QuantizedMlp, DropoutLayersSkipped) {
+  util::Rng rng(2);
+  auto model = nn::Sequential::mlp({6, 12, 3}, rng, /*dropout=*/0.5f);
+  auto qmodel = QuantizedMlp::from_model(model);
+  EXPECT_EQ(qmodel.layer_count(), 2u);
+  Tensor x = Tensor::randn({4, 6}, 1.0f, rng);
+  EXPECT_NO_THROW(qmodel.forward(x));
+}
+
+TEST(QuantizedMlp, RejectsUnsupportedLayer) {
+  util::Rng rng(3);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Dense>(4, 4, rng));
+  model.add(std::make_unique<nn::Tanh>());
+  EXPECT_THROW(QuantizedMlp::from_model(model), std::invalid_argument);
+}
+
+TEST(QuantizedMlp, RejectsEmptyModel) {
+  nn::Sequential model;
+  EXPECT_THROW(QuantizedMlp::from_model(model), std::invalid_argument);
+}
+
+TEST(QuantizedMlp, RefreshTracksUpdatedWeights) {
+  util::Rng rng(4);
+  auto model = nn::Sequential::mlp({5, 10, 2}, rng);
+  auto qmodel = QuantizedMlp::from_model(model);
+  Tensor x = Tensor::randn({6, 5}, 1.0f, rng);
+  Tensor before = qmodel.forward(x);
+
+  // Perturb the float model substantially, then refresh.
+  for (auto& p : model.params()) {
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      (*p.value)[i] += 0.5f;
+    }
+  }
+  qmodel.refresh_from(model);
+  Tensor after = qmodel.forward(x);
+  // Outputs must have moved toward the new float model.
+  Tensor target = model.forward(x, false);
+  double drift_before = 0.0, drift_after = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    drift_before += std::abs(before[i] - target[i]);
+    drift_after += std::abs(after[i] - target[i]);
+  }
+  EXPECT_LT(drift_after, drift_before);
+}
+
+TEST(QuantizedMlp, RefreshArchitectureMismatchThrows) {
+  util::Rng rng(5);
+  auto model = nn::Sequential::mlp({5, 10, 2}, rng);
+  auto other = nn::Sequential::mlp({5, 2}, rng);
+  auto qmodel = QuantizedMlp::from_model(model);
+  EXPECT_THROW(qmodel.refresh_from(other), std::invalid_argument);
+}
+
+TEST(QuantizedMlp, PayloadQuartersFloatSize) {
+  util::Rng rng(6);
+  auto model = nn::Sequential::mlp({64, 128, 10}, rng);
+  auto qmodel = QuantizedMlp::from_model(model);
+  // int8 weights + float biases + scales vs float32 everything.
+  EXPECT_LT(qmodel.payload_bytes() * 3, qmodel.float_payload_bytes());
+}
+
+TEST(QuantizedMlp, DimsAndMacs) {
+  util::Rng rng(7);
+  auto model = nn::Sequential::mlp({8, 16, 4}, rng);
+  auto qmodel = QuantizedMlp::from_model(model);
+  EXPECT_EQ(qmodel.input_dim(), 8u);
+  EXPECT_EQ(qmodel.output_dim(), 4u);
+  EXPECT_EQ(qmodel.macs_per_sample(), 8u * 16 + 16u * 4);
+}
+
+TEST(QuantizedMlp, PenultimateMatchesHiddenWidth) {
+  util::Rng rng(8);
+  auto model = nn::Sequential::mlp({8, 16, 4}, rng);
+  auto qmodel = QuantizedMlp::from_model(model);
+  Tensor x = Tensor::randn({3, 8}, 1.0f, rng);
+  auto fwd = qmodel.forward_with_penultimate(x);
+  EXPECT_EQ(fwd.penultimate.cols(), 16u);
+  EXPECT_EQ(fwd.logits.cols(), 4u);
+  // Penultimate activations are post-ReLU: non-negative.
+  for (std::size_t i = 0; i < fwd.penultimate.size(); ++i) {
+    EXPECT_GE(fwd.penultimate[i], 0.0f);
+  }
+}
+
+TEST(QuantizedMlp, Rank1InputRejected) {
+  util::Rng rng(9);
+  auto model = nn::Sequential::mlp({4, 2}, rng);
+  auto qmodel = QuantizedMlp::from_model(model);
+  EXPECT_THROW(qmodel.forward(Tensor({4})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nessa::quant

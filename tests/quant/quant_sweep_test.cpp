@@ -1,0 +1,107 @@
+// Parameterized quantization sweeps: round-trip error bounds and quantized
+// GEMM fidelity across distributions and sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nessa/quant/quantize.hpp"
+#include "nessa/tensor/ops.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::quant {
+namespace {
+
+enum class Dist { kGaussian, kUniform, kSparse, kHeavyTail };
+
+Tensor make_tensor(std::size_t n, Dist dist, util::Rng& rng) {
+  Tensor t({n});
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (dist) {
+      case Dist::kGaussian:
+        t[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+        break;
+      case Dist::kUniform:
+        t[i] = static_cast<float>(rng.uniform(-3.0, 3.0));
+        break;
+      case Dist::kSparse:
+        t[i] = rng.bernoulli(0.1)
+                   ? static_cast<float>(rng.gaussian(0.0, 2.0))
+                   : 0.0f;
+        break;
+      case Dist::kHeavyTail: {
+        const double g = rng.gaussian();
+        t[i] = static_cast<float>(g * g * g);
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+class QuantSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Dist>> {};
+
+TEST_P(QuantSweep, RoundTripWithinHalfScale) {
+  const auto [n, dist] = GetParam();
+  util::Rng rng(n * 13 + static_cast<std::size_t>(dist));
+  Tensor t = make_tensor(n, dist, rng);
+  auto q = quantize_symmetric(t);
+  EXPECT_LE(quantization_error(t, q), q.scale / 2.0f + 1e-6f);
+  // Dequantized max-abs can only shrink (clamping) and never grows.
+  Tensor back = dequantize(q);
+  EXPECT_LE(back.max_abs(), t.max_abs() + q.scale / 2.0f);
+}
+
+TEST_P(QuantSweep, ZerosStayExactlyZero) {
+  const auto [n, dist] = GetParam();
+  util::Rng rng(n * 17 + static_cast<std::size_t>(dist));
+  Tensor t = make_tensor(n, dist, rng);
+  if (n > 2) {
+    t[0] = 0.0f;
+    t[n / 2] = 0.0f;
+  }
+  auto q = quantize_symmetric(t);
+  Tensor back = dequantize(q);
+  if (n > 2) {
+    EXPECT_EQ(back[0], 0.0f);
+    EXPECT_EQ(back[n / 2], 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, QuantSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 3, 64, 1000),
+                       ::testing::Values(Dist::kGaussian, Dist::kUniform,
+                                         Dist::kSparse, Dist::kHeavyTail)));
+
+class QGemmSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QGemmSweep, RelativeErrorSmallForWellScaledInputs) {
+  const std::size_t k = GetParam();
+  util::Rng rng(k);
+  Tensor a({8, k});
+  Tensor b({k, 6});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.gaussian());
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<float>(rng.gaussian());
+  }
+  Tensor exact = tensor::matmul(a, b);
+  Tensor approx =
+      quantized_matmul(quantize_symmetric(a), quantize_symmetric(b));
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    num += std::pow(static_cast<double>(exact[i]) - approx[i], 2);
+    den += std::pow(static_cast<double>(exact[i]), 2);
+  }
+  ASSERT_GT(den, 0.0);
+  EXPECT_LT(std::sqrt(num / den), 0.08) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(InnerDims, QGemmSweep,
+                         ::testing::Values(1, 2, 16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace nessa::quant

@@ -1,0 +1,58 @@
+#include "nessa/selection/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nessa::selection {
+namespace {
+
+TEST(RandomSubset, SizeAndRange) {
+  util::Rng rng(1);
+  auto s = random_subset(100, 10, rng);
+  EXPECT_EQ(s.size(), 10u);
+  for (auto i : s) EXPECT_LT(i, 100u);
+  std::set<std::size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RandomSubset, KLargerThanNClamps) {
+  util::Rng rng(2);
+  auto s = random_subset(5, 50, rng);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RandomSubset, VariesAcrossCalls) {
+  util::Rng rng(3);
+  auto a = random_subset(1000, 10, rng);
+  auto b = random_subset(1000, 10, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(LossTopk, PicksLargestLosses) {
+  std::vector<float> losses{0.1f, 5.0f, 0.3f, 4.0f, 2.0f};
+  auto top = loss_topk(losses, 2);
+  EXPECT_EQ(top, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(LossTopk, TieBreaksByLowerIndex) {
+  std::vector<float> losses{1.0f, 2.0f, 2.0f, 1.0f};
+  auto top = loss_topk(losses, 2);
+  EXPECT_EQ(top, (std::vector<std::size_t>{1, 2}));
+  auto three = loss_topk(losses, 3);
+  EXPECT_EQ(three, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(LossTopk, KClampsToSize) {
+  std::vector<float> losses{1.0f, 2.0f};
+  EXPECT_EQ(loss_topk(losses, 10).size(), 2u);
+  EXPECT_TRUE(loss_topk(losses, 0).empty());
+}
+
+TEST(LossTopk, EmptyInput) {
+  std::vector<float> losses;
+  EXPECT_TRUE(loss_topk(losses, 3).empty());
+}
+
+}  // namespace
+}  // namespace nessa::selection

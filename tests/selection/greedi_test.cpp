@@ -1,0 +1,192 @@
+#include "nessa/selection/greedi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "nessa/selection/facility_location.hpp"
+#include "nessa/selection/greedy.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::selection {
+namespace {
+
+struct Instance {
+  Tensor embeddings;
+  std::vector<std::int32_t> labels;
+};
+
+Instance make_instance(std::size_t classes, std::size_t per_class,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  Instance inst;
+  const std::size_t n = classes * per_class;
+  inst.embeddings = Tensor({n, 6});
+  inst.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % classes;
+    inst.labels[i] = static_cast<std::int32_t>(c);
+    for (std::size_t d = 0; d < 6; ++d) {
+      inst.embeddings(i, d) = static_cast<float>(
+          (d == c % 6 ? 2.5 : 0.0) + rng.gaussian(0.0, 0.4));
+    }
+  }
+  return inst;
+}
+
+/// Facility-location value of `selection` over the FULL per-class ground
+/// set (greedi's own `objective` is measured over the union only, which is
+/// not comparable across partition counts).
+double full_objective(const Instance& inst,
+                      const std::vector<std::size_t>& selection) {
+  std::int32_t max_label = 0;
+  for (auto y : inst.labels) max_label = std::max(max_label, y);
+  double total = 0.0;
+  for (std::int32_t c = 0; c <= max_label; ++c) {
+    std::vector<std::size_t> rows;
+    for (std::size_t i = 0; i < inst.labels.size(); ++i) {
+      if (inst.labels[i] == c) rows.push_back(i);
+    }
+    if (rows.empty()) continue;
+    Tensor sub({rows.size(), inst.embeddings.cols()});
+    std::vector<std::size_t> chosen;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      std::copy_n(inst.embeddings.data() + rows[r] * inst.embeddings.cols(),
+                  inst.embeddings.cols(),
+                  sub.data() + r * inst.embeddings.cols());
+      for (std::size_t s : selection) {
+        if (s == rows[r]) chosen.push_back(r);
+      }
+    }
+    if (chosen.empty()) continue;
+    auto fl = FacilityLocation::from_embeddings(sub);
+    total += fl.value(chosen);
+  }
+  return total;
+}
+
+GreediConfig config(std::size_t partitions) {
+  GreediConfig cfg;
+  cfg.num_partitions = partitions;
+  cfg.driver.per_class = true;
+  cfg.driver.partition_quota = 0;
+  cfg.driver.seed = 77;
+  return cfg;
+}
+
+TEST(Greedi, SelectsBudgetDistinct) {
+  auto inst = make_instance(4, 30, 1);
+  auto result = greedi_select(inst.embeddings, inst.labels, {}, 20,
+                              config(4));
+  EXPECT_EQ(result.indices.size(), 20u);
+  std::set<std::size_t> unique(result.indices.begin(), result.indices.end());
+  EXPECT_EQ(unique.size(), 20u);
+  EXPECT_GT(result.objective, 0.0);
+}
+
+TEST(Greedi, SinglePartitionStillValid) {
+  auto inst = make_instance(3, 20, 2);
+  auto result = greedi_select(inst.embeddings, inst.labels, {}, 9, config(1));
+  EXPECT_EQ(result.indices.size(), 9u);
+  EXPECT_EQ(result.local.size(), 1u);
+}
+
+TEST(Greedi, LocalRoundsCoverAllPartitions) {
+  auto inst = make_instance(4, 25, 3);
+  auto result = greedi_select(inst.embeddings, inst.labels, {}, 16,
+                              config(4));
+  ASSERT_EQ(result.local.size(), 4u);
+  for (const auto& local : result.local) {
+    EXPECT_EQ(local.indices.size(), 16u);  // each device selects k
+  }
+  EXPECT_LE(result.union_size, 64u);
+  EXPECT_GE(result.union_size, 16u);
+}
+
+TEST(Greedi, ObjectiveNearCentralizedGreedy) {
+  // GreeDi's two-round result should be close to a single centralized
+  // facility-location greedy on the same per-class subproblems. Compare
+  // total objective across classes.
+  auto inst = make_instance(4, 40, 4);
+  DriverConfig central;
+  central.per_class = true;
+  central.partition_quota = 0;
+  central.seed = 77;
+  auto exact = select_coreset(inst.embeddings, inst.labels, {}, 24, central);
+  auto distributed =
+      greedi_select(inst.embeddings, inst.labels, {}, 24, config(4));
+  EXPECT_GT(full_objective(inst, distributed.indices),
+            0.85 * full_objective(inst, exact.indices));
+}
+
+TEST(Greedi, GlobalIdsMapped) {
+  auto inst = make_instance(2, 15, 5);
+  std::vector<std::size_t> ids(30);
+  for (std::size_t i = 0; i < 30; ++i) ids[i] = 500 + i;
+  auto result = greedi_select(inst.embeddings, inst.labels, ids, 8,
+                              config(3));
+  for (auto idx : result.indices) {
+    EXPECT_GE(idx, 500u);
+    EXPECT_LT(idx, 530u);
+  }
+}
+
+TEST(Greedi, DeterministicForSeed) {
+  auto inst = make_instance(3, 30, 6);
+  auto a = greedi_select(inst.embeddings, inst.labels, {}, 12, config(4));
+  auto b = greedi_select(inst.embeddings, inst.labels, {}, 12, config(4));
+  EXPECT_EQ(a.indices, b.indices);
+}
+
+TEST(Greedi, MorePartitionsThanCandidatesClamped) {
+  auto inst = make_instance(2, 3, 7);
+  auto result = greedi_select(inst.embeddings, inst.labels, {}, 4,
+                              config(100));
+  EXPECT_EQ(result.indices.size(), 4u);
+  EXPECT_LE(result.local.size(), 6u);
+}
+
+TEST(Greedi, WeightsSumToUnionSize) {
+  auto inst = make_instance(3, 20, 8);
+  auto result = greedi_select(inst.embeddings, inst.labels, {}, 9, config(3));
+  // Merge weights cover the union ground set per class; totals must match
+  // the union size.
+  EXPECT_EQ(std::accumulate(result.weights.begin(), result.weights.end(),
+                            std::size_t{0}),
+            result.union_size);
+}
+
+TEST(Greedi, EdgeCases) {
+  auto inst = make_instance(2, 5, 9);
+  EXPECT_TRUE(greedi_select(inst.embeddings, inst.labels, {}, 0, config(2))
+                  .indices.empty());
+  EXPECT_THROW(greedi_select(inst.embeddings, inst.labels, {}, 2,
+                             GreediConfig{0, {}}),
+               std::invalid_argument);
+  std::vector<std::int32_t> bad(3, 0);
+  EXPECT_THROW(greedi_select(inst.embeddings, bad, {}, 2, config(2)),
+               std::invalid_argument);
+}
+
+class GreediPartitionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GreediPartitionSweep, QualityHoldsAcrossDeviceCounts) {
+  auto inst = make_instance(4, 40, 10);
+  DriverConfig central;
+  central.per_class = true;
+  central.seed = 77;
+  auto exact = select_coreset(inst.embeddings, inst.labels, {}, 32, central);
+  auto result = greedi_select(inst.embeddings, inst.labels, {}, 32,
+                              config(GetParam()));
+  EXPECT_EQ(result.indices.size(), 32u);
+  EXPECT_GT(full_objective(inst, result.indices),
+            0.85 * full_objective(inst, exact.indices))
+      << "partitions=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceCounts, GreediPartitionSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace nessa::selection

@@ -1,0 +1,177 @@
+#include "nessa/selection/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "nessa/util/rng.hpp"
+
+namespace nessa::selection {
+namespace {
+
+Tensor random_embeddings(std::size_t n, std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t({n, d});
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.gaussian());
+  }
+  return t;
+}
+
+TEST(NaiveGreedy, SelectsRequestedCount) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(30, 4, 1));
+  auto result = naive_greedy(fl, 5);
+  EXPECT_EQ(result.selected.size(), 5u);
+  EXPECT_EQ(result.weights.size(), 5u);
+  EXPECT_GT(result.objective, 0.0);
+}
+
+TEST(NaiveGreedy, KClampedToGroundSize) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(6, 3, 2));
+  auto result = naive_greedy(fl, 100);
+  EXPECT_EQ(result.selected.size(), 6u);
+}
+
+TEST(NaiveGreedy, ObjectiveNonDecreasingInK) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(25, 4, 3));
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 10; ++k) {
+    auto result = naive_greedy(fl, k);
+    EXPECT_GE(result.objective + 1e-6, prev);
+    prev = result.objective;
+  }
+}
+
+TEST(NaiveGreedy, NoDuplicateSelections) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(20, 3, 4));
+  auto result = naive_greedy(fl, 10);
+  std::set<std::size_t> unique(result.selected.begin(),
+                               result.selected.end());
+  EXPECT_EQ(unique.size(), result.selected.size());
+}
+
+TEST(NaiveGreedy, WeightsSumToGroundSize) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(40, 5, 5));
+  auto result = naive_greedy(fl, 7);
+  EXPECT_EQ(std::accumulate(result.weights.begin(), result.weights.end(),
+                            std::size_t{0}),
+            40u);
+}
+
+TEST(NaiveGreedy, PicksClusterCentersFirst) {
+  // Two tight clusters far apart: the first two selections must cover one
+  // cluster each.
+  Tensor emb({20, 2});
+  for (std::size_t i = 0; i < 10; ++i) {
+    emb(i, 0) = 10.0f + 0.01f * static_cast<float>(i);
+    emb(i, 1) = 10.0f;
+  }
+  for (std::size_t i = 10; i < 20; ++i) {
+    emb(i, 0) = -10.0f - 0.01f * static_cast<float>(i);
+    emb(i, 1) = -10.0f;
+  }
+  auto fl = FacilityLocation::from_embeddings(emb);
+  auto result = naive_greedy(fl, 2);
+  const bool first_in_a = result.selected[0] < 10;
+  const bool second_in_a = result.selected[1] < 10;
+  EXPECT_NE(first_in_a, second_in_a);
+}
+
+// --- lazy greedy equivalence: the central property -----------------------
+
+class LazyEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LazyEquivalence, LazyMatchesNaiveExactly) {
+  const std::uint64_t seed = GetParam();
+  auto fl = FacilityLocation::from_embeddings(
+      random_embeddings(35 + seed % 17, 4, seed));
+  for (std::size_t k : {1u, 3u, 8u, 15u}) {
+    auto naive = naive_greedy(fl, k);
+    auto lazy = lazy_greedy(fl, k);
+    EXPECT_EQ(lazy.selected, naive.selected) << "seed=" << seed << " k=" << k;
+    EXPECT_NEAR(lazy.objective, naive.objective, 1e-6);
+    EXPECT_EQ(lazy.weights, naive.weights);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(LazyGreedy, FewerEvaluationsThanNaive) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(120, 5, 7));
+  auto naive = naive_greedy(fl, 20);
+  auto lazy = lazy_greedy(fl, 20);
+  EXPECT_LT(lazy.gain_evaluations, naive.gain_evaluations);
+}
+
+TEST(LazyGreedy, HandlesDuplicateHeavyInstance) {
+  // Many identical rows create massive gain ties — the lazy heap's
+  // tie-breaking must still match naive greedy.
+  Tensor emb({12, 2});
+  for (std::size_t i = 0; i < 12; ++i) {
+    emb(i, 0) = static_cast<float>(i / 4);  // three groups of 4 duplicates
+    emb(i, 1) = 0.0f;
+  }
+  auto fl = FacilityLocation::from_embeddings(emb);
+  for (std::size_t k = 1; k <= 6; ++k) {
+    EXPECT_EQ(lazy_greedy(fl, k).selected, naive_greedy(fl, k).selected)
+        << "k=" << k;
+  }
+}
+
+// --- stochastic greedy ----------------------------------------------------
+
+TEST(StochasticGreedy, RespectsCardinality) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(50, 4, 9));
+  util::Rng rng(10);
+  auto result = stochastic_greedy(fl, 12, rng);
+  EXPECT_EQ(result.selected.size(), 12u);
+  std::set<std::size_t> unique(result.selected.begin(),
+                               result.selected.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(StochasticGreedy, NearOptimalObjective) {
+  // (1 - 1/e - eps) guarantee in expectation; with eps=0.1 and a forgiving
+  // threshold this should hold on every seed.
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(80, 5, 11));
+  auto exact = naive_greedy(fl, 10);
+  util::Rng rng(12);
+  auto stochastic = stochastic_greedy(fl, 10, rng, 0.1);
+  EXPECT_GT(stochastic.objective, 0.80 * exact.objective);
+}
+
+TEST(StochasticGreedy, FewerEvaluationsThanNaiveForLargeK) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(200, 4, 13));
+  auto naive = naive_greedy(fl, 50);
+  util::Rng rng(14);
+  auto stochastic = stochastic_greedy(fl, 50, rng);
+  EXPECT_LT(stochastic.gain_evaluations, naive.gain_evaluations / 4);
+}
+
+TEST(StochasticGreedy, InvalidEpsilonThrows) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(10, 2, 15));
+  util::Rng rng(16);
+  EXPECT_THROW(stochastic_greedy(fl, 3, rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(stochastic_greedy(fl, 3, rng, 1.0), std::invalid_argument);
+}
+
+TEST(StochasticGreedy, DeterministicGivenSeed) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(40, 3, 17));
+  util::Rng rng1(5), rng2(5);
+  auto a = stochastic_greedy(fl, 8, rng1);
+  auto b = stochastic_greedy(fl, 8, rng2);
+  EXPECT_EQ(a.selected, b.selected);
+}
+
+TEST(Greedy, KZeroGivesEmptyResult) {
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(10, 2, 18));
+  EXPECT_TRUE(naive_greedy(fl, 0).selected.empty());
+  EXPECT_TRUE(lazy_greedy(fl, 0).selected.empty());
+  util::Rng rng(19);
+  EXPECT_TRUE(stochastic_greedy(fl, 0, rng).selected.empty());
+}
+
+}  // namespace
+}  // namespace nessa::selection

@@ -1,0 +1,130 @@
+#include "nessa/selection/kcenter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nessa/util/rng.hpp"
+
+namespace nessa::selection {
+namespace {
+
+Tensor random_points(std::size_t n, std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t({n, d});
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.gaussian());
+  }
+  return t;
+}
+
+TEST(KCenter, SelectsKDistinctCenters) {
+  auto pts = random_points(40, 4, 1);
+  auto result = kcenter_greedy(pts, 8);
+  EXPECT_EQ(result.selected.size(), 8u);
+  std::set<std::size_t> unique(result.selected.begin(),
+                               result.selected.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(KCenter, RadiusDecreasesWithK) {
+  auto pts = random_points(60, 3, 2);
+  double prev = 1e300;
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    auto result = kcenter_greedy(pts, k);
+    EXPECT_LE(result.max_radius, prev + 1e-9);
+    prev = result.max_radius;
+  }
+}
+
+TEST(KCenter, RadiusMatchesIndependentComputation) {
+  auto pts = random_points(30, 4, 3);
+  auto result = kcenter_greedy(pts, 5);
+  EXPECT_NEAR(result.max_radius, kcenter_radius(pts, result.selected), 1e-9);
+}
+
+TEST(KCenter, CoversTwoClustersWithTwoCenters) {
+  Tensor pts({10, 2});
+  for (std::size_t i = 0; i < 5; ++i) {
+    pts(i, 0) = 100.0f + static_cast<float>(i) * 0.1f;
+  }
+  for (std::size_t i = 5; i < 10; ++i) {
+    pts(i, 0) = -100.0f - static_cast<float>(i) * 0.1f;
+  }
+  auto result = kcenter_greedy(pts, 2);
+  const bool first_in_a = result.selected[0] < 5;
+  const bool second_in_a = result.selected[1] < 5;
+  EXPECT_NE(first_in_a, second_in_a);
+  EXPECT_LT(result.max_radius, 1.0);
+}
+
+TEST(KCenter, GrabsOutlierEarly) {
+  // The defining (and for coreset purposes, pathological) behaviour:
+  // a single far-away outlier is selected within the first two centers.
+  Tensor pts({21, 2});
+  for (std::size_t i = 0; i < 20; ++i) {
+    pts(i, 0) = static_cast<float>(i % 5) * 0.01f;
+    pts(i, 1) = static_cast<float>(i / 5) * 0.01f;
+  }
+  pts(20, 0) = 1000.0f;
+  pts(20, 1) = 1000.0f;
+  auto result = kcenter_greedy(pts, 2);
+  EXPECT_TRUE(result.selected[0] == 20 || result.selected[1] == 20);
+}
+
+TEST(KCenter, ExplicitSeedRespected) {
+  auto pts = random_points(15, 3, 4);
+  auto result = kcenter_greedy(pts, 3, /*seed_index=*/7);
+  EXPECT_EQ(result.selected[0], 7u);
+}
+
+TEST(KCenter, DefaultSeedIsMaxNormPoint) {
+  Tensor pts({4, 1});
+  pts(0, 0) = 1.0f;
+  pts(1, 0) = -9.0f;
+  pts(2, 0) = 3.0f;
+  pts(3, 0) = 0.0f;
+  auto result = kcenter_greedy(pts, 1);
+  EXPECT_EQ(result.selected[0], 1u);
+}
+
+TEST(KCenter, AllPointsIdenticalStopsEarly) {
+  Tensor pts({5, 2});
+  pts.fill(1.0f);
+  auto result = kcenter_greedy(pts, 4);
+  EXPECT_EQ(result.selected.size(), 1u);  // nothing farther than 0 away
+  EXPECT_DOUBLE_EQ(result.max_radius, 0.0);
+}
+
+TEST(KCenter, KClampedAndZeroHandled) {
+  auto pts = random_points(5, 2, 6);
+  EXPECT_EQ(kcenter_greedy(pts, 100).selected.size(), 5u);
+  EXPECT_TRUE(kcenter_greedy(pts, 0).selected.empty());
+}
+
+TEST(KCenter, EmptyOrRank1Rejected) {
+  EXPECT_THROW(kcenter_greedy(Tensor({0, 3}), 2), std::invalid_argument);
+  EXPECT_THROW(kcenter_greedy(Tensor({5}), 2), std::invalid_argument);
+}
+
+TEST(KCenterRadius, EmptyCentersThrow) {
+  auto pts = random_points(5, 2, 7);
+  std::vector<std::size_t> none;
+  EXPECT_THROW(kcenter_radius(pts, none), std::invalid_argument);
+}
+
+TEST(KCenter, TwoApproximationSanity) {
+  // Greedy k-center is a 2-approximation: its radius is at most 2x any
+  // other center set of the same size. Check against random center sets.
+  auto pts = random_points(50, 3, 8);
+  auto greedy = kcenter_greedy(pts, 5);
+  util::Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto centers = rng.sample_without_replacement(50, 5);
+    EXPECT_LE(greedy.max_radius,
+              2.0 * kcenter_radius(pts, centers) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nessa::selection

@@ -1,0 +1,103 @@
+// Brute-force anchors for the greedy maximizers: on instances small enough
+// to enumerate every k-subset, the (1 - 1/e) guarantee — and, for facility
+// location in practice, near-optimality — must hold on every random draw.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nessa/selection/greedy.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::selection {
+namespace {
+
+Tensor random_embeddings(std::size_t n, std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t({n, d});
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.gaussian());
+  }
+  return t;
+}
+
+/// Exhaustive maximum of F over all subsets of size exactly k.
+double brute_force_opt(const FacilityLocation& fl, std::size_t k) {
+  const std::size_t n = fl.ground_size();
+  std::vector<std::size_t> subset(k);
+  double best = 0.0;
+  // Iterate k-combinations via the standard odometer.
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    best = std::max(best, fl.value(idx));
+    // advance
+    std::size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (idx[pos] != pos + n - k) break;
+    }
+    if (idx[pos] == pos + n - k) break;
+    ++idx[pos];
+    for (std::size_t j = pos + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return best;
+}
+
+class OptimalityAnchor : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalityAnchor, GreedyWithinOneMinusOneOverE) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 9 + seed % 4;  // 9..12 elements
+  auto fl = FacilityLocation::from_embeddings(random_embeddings(n, 3, seed));
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const double opt = brute_force_opt(fl, k);
+    ASSERT_GT(opt, 0.0);
+    const double bound = (1.0 - 1.0 / 2.718281828) * opt;
+    EXPECT_GE(naive_greedy(fl, k).objective + 1e-6, bound)
+        << "seed=" << seed << " k=" << k;
+    EXPECT_GE(lazy_greedy(fl, k).objective + 1e-6, bound);
+    util::Rng rng(seed * 3 + 1);
+    // Stochastic greedy's bound is (1 - 1/e - eps) in expectation; allow
+    // the eps slack deterministically.
+    EXPECT_GE(stochastic_greedy(fl, k, rng, 0.1).objective + 1e-6,
+              bound * 0.9);
+  }
+}
+
+TEST_P(OptimalityAnchor, GreedyUsuallyMuchCloserThanTheBound) {
+  // Facility location's curvature makes greedy nearly optimal in practice;
+  // check a 95 % floor (diagnostic for silent quality regressions).
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 10;
+  auto fl = FacilityLocation::from_embeddings(
+      random_embeddings(n, 3, seed * 7 + 5));
+  const std::size_t k = 3;
+  const double opt = brute_force_opt(fl, k);
+  EXPECT_GE(naive_greedy(fl, k).objective, 0.95 * opt) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityAnchor,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 12));
+
+TEST(OptimalityAnchor, GreedyOptimalOnSeparatedClusters) {
+  // Three tight, far-apart clusters and k = 3: greedy must recover the
+  // exact optimum (one medoid per cluster).
+  Tensor emb({9, 2});
+  const float centers[3][2] = {{100, 0}, {-100, 0}, {0, 150}};
+  for (std::size_t i = 0; i < 9; ++i) {
+    emb(i, 0) = centers[i / 3][0] + 0.01f * static_cast<float>(i % 3);
+    emb(i, 1) = centers[i / 3][1];
+  }
+  auto fl = FacilityLocation::from_embeddings(emb);
+  const double opt = brute_force_opt(fl, 3);
+  EXPECT_NEAR(naive_greedy(fl, 3).objective, opt, opt * 1e-5);
+  // One selection per cluster.
+  auto result = naive_greedy(fl, 3);
+  std::vector<int> per_cluster(3, 0);
+  for (auto s : result.selected) ++per_cluster[s / 3];
+  for (int c : per_cluster) EXPECT_EQ(c, 1);
+}
+
+}  // namespace
+}  // namespace nessa::selection

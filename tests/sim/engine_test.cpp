@@ -1,0 +1,143 @@
+#include "nessa/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nessa::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, ProcessesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimesFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime when_fired = -1;
+  sim.schedule_after(50, [&] {
+    sim.schedule_after(25, [&] { when_fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(when_fired, 75);
+}
+
+TEST(Simulator, RejectsPastAndNull) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(50, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(200, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(9999));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 10) sim.schedule_after(5, step);
+  };
+  sim.schedule_at(0, step);
+  sim.run();
+  EXPECT_EQ(chain, 10);
+  EXPECT_EQ(sim.now(), 45);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  EXPECT_EQ(sim.run_until(25), 2u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.now(), 25);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilInclusiveOfDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(25, [&] { fired = true; });
+  sim.run_until(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, ProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.processed(), 7u);
+}
+
+TEST(Simulator, CausalityNeverViolated) {
+  // Property: with random scheduling (including event-from-event), observed
+  // times are monotone non-decreasing.
+  Simulator sim;
+  std::vector<SimTime> observed;
+  util::SimTime dummy = 0;
+  (void)dummy;
+  std::function<void(int)> spawn = [&](int depth) {
+    observed.push_back(sim.now());
+    if (depth < 4) {
+      sim.schedule_after((depth * 13) % 7 + 1,
+                         [&spawn, depth] { spawn(depth + 1); });
+      sim.schedule_after((depth * 29) % 11 + 1,
+                         [&spawn, depth] { spawn(depth + 1); });
+    }
+  };
+  sim.schedule_at(0, [&spawn] { spawn(0); });
+  sim.run();
+  for (std::size_t i = 1; i < observed.size(); ++i) {
+    EXPECT_LE(observed[i - 1], observed[i]);
+  }
+  EXPECT_GT(observed.size(), 10u);
+}
+
+}  // namespace
+}  // namespace nessa::sim

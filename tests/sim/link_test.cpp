@@ -1,0 +1,96 @@
+#include "nessa/sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::sim {
+namespace {
+
+using util::kMicrosecond;
+using util::kSecond;
+
+TEST(Link, ValidatesConfig) {
+  EXPECT_THROW(Link("bad", 0.0, 0), std::invalid_argument);
+  EXPECT_THROW(Link("bad", -1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Link("bad", 1e9, -5), std::invalid_argument);
+  EXPECT_NO_THROW(Link("ok", 1e9, 0));
+}
+
+TEST(Link, ServiceTimeIsLatencyPlusBytesOverBandwidth) {
+  Link link("pcie", 1e9, 10 * kMicrosecond);  // 1 GB/s
+  // 1 MB at 1 GB/s = 1 ms; plus 10 us latency.
+  EXPECT_EQ(link.service_time(1'000'000),
+            10 * kMicrosecond + util::kMillisecond);
+}
+
+TEST(Link, OccupySerializesTransfers) {
+  Link link("bus", 1e9, 0);
+  const SimTime first = link.occupy(1'000'000);   // finishes at 1 ms
+  const SimTime second = link.occupy(1'000'000);  // queues behind first
+  EXPECT_EQ(first, util::kMillisecond);
+  EXPECT_EQ(second, 2 * util::kMillisecond);
+}
+
+TEST(Link, OccupyRespectsEarliestStart) {
+  Link link("bus", 1e9, 0);
+  const SimTime done = link.occupy(1'000'000, /*earliest=*/5 * kSecond);
+  EXPECT_EQ(done, 5 * kSecond + util::kMillisecond);
+}
+
+TEST(Link, StatsAccumulateBytesAndBusyTime) {
+  Link link("bus", 2e9, 0);
+  link.occupy(2'000'000);
+  link.occupy(4'000'000);
+  EXPECT_EQ(link.stats().transfers, 2u);
+  EXPECT_EQ(link.stats().bytes, 6'000'000u);
+  EXPECT_EQ(link.stats().busy_time, 3 * util::kMillisecond);
+  EXPECT_NEAR(link.stats().achieved_bps(), 2e9, 1e3);
+}
+
+TEST(Link, ResetStats) {
+  Link link("bus", 1e9, 0);
+  link.occupy(100);
+  link.reset_stats();
+  EXPECT_EQ(link.stats().bytes, 0u);
+  EXPECT_EQ(link.stats().transfers, 0u);
+}
+
+TEST(Link, EventDrivenTransferCompletes) {
+  Simulator sim;
+  Link link("pcie", 1e9, 0);
+  SimTime completed = -1;
+  link.submit(sim, 1'000'000, [&] { completed = sim.now(); });
+  sim.run();
+  EXPECT_EQ(completed, util::kMillisecond);
+}
+
+TEST(Link, EventDrivenQueueing) {
+  Simulator sim;
+  Link link("pcie", 1e9, 0);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    link.submit(sim, 1'000'000, [&] { completions.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], util::kMillisecond);
+  EXPECT_EQ(completions[1], 2 * util::kMillisecond);
+  EXPECT_EQ(completions[2], 3 * util::kMillisecond);
+}
+
+TEST(Link, SubmitWithoutCallbackStillAdvancesLink) {
+  Simulator sim;
+  Link link("pcie", 1e9, 0);
+  const SimTime finish = link.submit(sim, 500'000, nullptr);
+  EXPECT_EQ(finish, util::kMillisecond / 2);
+  EXPECT_EQ(link.free_at(), finish);
+}
+
+TEST(Link, AchievedThroughputBelowRatedWithLatency) {
+  Link link("slow", 1e9, 100 * kMicrosecond);
+  link.occupy(1'000'000);  // 1 ms payload + 0.1 ms latency
+  EXPECT_LT(link.stats().achieved_bps(), 1e9);
+  EXPECT_NEAR(link.stats().achieved_bps(), 1e9 / 1.1, 1e6);
+}
+
+}  // namespace
+}  // namespace nessa::sim

@@ -1,0 +1,78 @@
+#include "nessa/sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::sim {
+namespace {
+
+TEST(MemoryRegion, InitialState) {
+  MemoryRegion mem("bram", 1000);
+  EXPECT_EQ(mem.capacity(), 1000u);
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(mem.free(), 1000u);
+  EXPECT_EQ(mem.peak(), 0u);
+  EXPECT_DOUBLE_EQ(mem.utilization(), 0.0);
+}
+
+TEST(MemoryRegion, AllocateAndRelease) {
+  MemoryRegion mem("dram", 100);
+  EXPECT_TRUE(mem.allocate(60));
+  EXPECT_EQ(mem.used(), 60u);
+  EXPECT_EQ(mem.free(), 40u);
+  mem.release(20);
+  EXPECT_EQ(mem.used(), 40u);
+}
+
+TEST(MemoryRegion, AllocationFailureLeavesStateUnchanged) {
+  MemoryRegion mem("bram", 100);
+  EXPECT_TRUE(mem.allocate(80));
+  EXPECT_FALSE(mem.allocate(30));
+  EXPECT_EQ(mem.used(), 80u);
+}
+
+TEST(MemoryRegion, FitsPredicate) {
+  MemoryRegion mem("bram", 100);
+  mem.allocate(90);
+  EXPECT_TRUE(mem.fits(10));
+  EXPECT_FALSE(mem.fits(11));
+}
+
+TEST(MemoryRegion, PeakTracksHighWater) {
+  MemoryRegion mem("dram", 100);
+  mem.allocate(70);
+  mem.release(50);
+  mem.allocate(30);
+  EXPECT_EQ(mem.peak(), 70u);
+  mem.allocate(45);
+  EXPECT_EQ(mem.peak(), 95u);
+}
+
+TEST(MemoryRegion, OverReleaseThrows) {
+  MemoryRegion mem("bram", 100);
+  mem.allocate(10);
+  EXPECT_THROW(mem.release(11), std::logic_error);
+}
+
+TEST(MemoryRegion, UtilizationFraction) {
+  MemoryRegion mem("bram", 200);
+  mem.allocate(50);
+  EXPECT_DOUBLE_EQ(mem.utilization(), 0.25);
+}
+
+TEST(MemoryRegion, ResetClears) {
+  MemoryRegion mem("bram", 100);
+  mem.allocate(80);
+  mem.reset();
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(mem.peak(), 0u);
+}
+
+TEST(MemoryRegion, ExactFill) {
+  MemoryRegion mem("bram", 64);
+  EXPECT_TRUE(mem.allocate(64));
+  EXPECT_FALSE(mem.allocate(1));
+  EXPECT_EQ(mem.free(), 0u);
+}
+
+}  // namespace
+}  // namespace nessa::sim

@@ -1,0 +1,91 @@
+#include "nessa/smartssd/flash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::smartssd {
+namespace {
+
+TEST(NandFlash, ValidatesConfig) {
+  FlashConfig bad;
+  bad.sustained_bw_bps = 0.0;
+  EXPECT_THROW(NandFlash{bad}, std::invalid_argument);
+  FlashConfig bad_page;
+  bad_page.page_bytes = 0;
+  EXPECT_THROW(NandFlash{bad_page}, std::invalid_argument);
+}
+
+TEST(NandFlash, ZeroRecordsTakeNoTime) {
+  NandFlash flash;
+  EXPECT_EQ(flash.batch_read_time(0, 4096), 0);
+  EXPECT_EQ(flash.batch_read_time(10, 0), 0);
+}
+
+TEST(NandFlash, Figure6CalibrationCifar10) {
+  // Paper: 128 x 3 KB CIFAR-10 batch reads achieve 1.46 GB/s over P2P.
+  NandFlash flash;
+  const double gbps = flash.batch_read_throughput(128, 3'000) / 1e9;
+  EXPECT_NEAR(gbps, 1.46, 0.03);
+}
+
+TEST(NandFlash, Figure6CalibrationImageNet100) {
+  // Paper: 128 x 126 KB ImageNet-100 batch reads achieve 2.28 GB/s.
+  NandFlash flash;
+  const double gbps = flash.batch_read_throughput(128, 126'000) / 1e9;
+  EXPECT_NEAR(gbps, 2.28, 0.03);
+}
+
+TEST(NandFlash, ThroughputMonotoneInRecordSize) {
+  // Bigger records amortize per-record overhead: the Fig. 6 shape.
+  NandFlash flash;
+  double prev = 0.0;
+  for (std::uint64_t bytes : {500u, 3'000u, 12'000u, 126'000u}) {
+    const double t = flash.batch_read_throughput(128, bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NandFlash, ThroughputNeverExceedsInterface) {
+  NandFlash flash;
+  for (std::uint64_t bytes : {1'000u, 100'000u, 10'000'000u}) {
+    EXPECT_LE(flash.batch_read_throughput(16, bytes),
+              flash.config().interface_bw_bps);
+  }
+}
+
+TEST(NandFlash, BatchTimeScalesWithRecords) {
+  NandFlash flash;
+  const auto t1 = flash.batch_read_time(100, 4096);
+  const auto t2 = flash.batch_read_time(200, 4096);
+  EXPECT_GT(t2, t1);
+  // More than linear in payload alone, because of per-record overhead.
+  EXPECT_LT(t2, 2 * t1);  // command latency amortizes
+}
+
+TEST(NandFlash, PagesTouched) {
+  FlashConfig cfg;
+  cfg.page_bytes = 1000;
+  NandFlash flash(cfg);
+  EXPECT_EQ(flash.pages_touched(0, 1), 1u);
+  EXPECT_EQ(flash.pages_touched(0, 1000), 1u);
+  EXPECT_EQ(flash.pages_touched(0, 1001), 2u);
+  EXPECT_EQ(flash.pages_touched(999, 2), 2u);
+  EXPECT_EQ(flash.pages_touched(500, 0), 0u);
+}
+
+TEST(NandFlash, ReadBatchAccountsBytes) {
+  NandFlash flash;
+  flash.read_batch(10, 100);
+  flash.read_batch(5, 200);
+  EXPECT_EQ(flash.bytes_read(), 2000u);
+  flash.reset_stats();
+  EXPECT_EQ(flash.bytes_read(), 0u);
+}
+
+TEST(NandFlash, CapacityIs384TB) {
+  NandFlash flash;
+  EXPECT_EQ(flash.config().capacity_bytes, 3'840'000'000'000ULL);
+}
+
+}  // namespace
+}  // namespace nessa::smartssd

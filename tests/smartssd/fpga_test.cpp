@@ -1,0 +1,73 @@
+#include "nessa/smartssd/fpga.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::smartssd {
+namespace {
+
+TEST(FpgaModel, ValidatesConfig) {
+  FpgaConfig bad;
+  bad.clock_hz = 0.0;
+  EXPECT_THROW(FpgaModel{bad}, std::invalid_argument);
+  FpgaConfig bad_eff;
+  bad_eff.efficiency = 1.5;
+  EXPECT_THROW(FpgaModel{bad_eff}, std::invalid_argument);
+  FpgaConfig zero_lanes;
+  zero_lanes.int8_mac_lanes = 0;
+  EXPECT_THROW(FpgaModel{zero_lanes}, std::invalid_argument);
+}
+
+TEST(FpgaModel, MacTimeMatchesThroughput) {
+  FpgaConfig cfg;
+  cfg.clock_hz = 100e6;
+  cfg.int8_mac_lanes = 10;
+  cfg.efficiency = 1.0;
+  FpgaModel fpga(cfg);
+  // 1e9 MACs at 1e9 MACs/s = 1 second.
+  EXPECT_EQ(fpga.int8_mac_time(1'000'000'000), util::kSecond);
+}
+
+TEST(FpgaModel, SimdTimeMatchesThroughput) {
+  FpgaConfig cfg;
+  cfg.clock_hz = 200e6;
+  cfg.simd_lanes = 5;
+  cfg.efficiency = 1.0;
+  FpgaModel fpga(cfg);
+  EXPECT_EQ(fpga.simd_time(1'000'000'000), util::kSecond);
+}
+
+TEST(FpgaModel, EfficiencySlowsKernel) {
+  FpgaConfig full;
+  full.efficiency = 1.0;
+  FpgaConfig half = full;
+  half.efficiency = 0.5;
+  // ceil() rounding can shift either side by a picosecond.
+  EXPECT_NEAR(static_cast<double>(FpgaModel(half).int8_mac_time(1'000'000)),
+              static_cast<double>(2 * FpgaModel(full).int8_mac_time(1'000'000)),
+              2.0);
+}
+
+TEST(FpgaModel, TimeMonotoneInWork) {
+  FpgaModel fpga;
+  EXPECT_LT(fpga.int8_mac_time(1'000), fpga.int8_mac_time(1'000'000));
+  EXPECT_EQ(fpga.int8_mac_time(0), 0);
+}
+
+TEST(FpgaModel, PaperPowerBudget) {
+  FpgaModel fpga;
+  EXPECT_DOUBLE_EQ(fpga.config().power_watts, 7.5);  // paper §2.2
+}
+
+TEST(FpgaModel, EnergyIsPowerTimesTime) {
+  FpgaModel fpga;
+  EXPECT_NEAR(fpga.energy_joules(2 * util::kSecond), 15.0, 1e-9);
+}
+
+TEST(FpgaModel, FpgaEnergyAdvantageOverGpu) {
+  // The paper's §2.2 argument: 7.5 W FPGA vs 250 W A100, 45 W K1200.
+  FpgaModel fpga;
+  EXPECT_LT(fpga.config().power_watts, 45.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace nessa::smartssd

@@ -1,0 +1,97 @@
+#include "nessa/smartssd/gpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::smartssd {
+namespace {
+
+TEST(GpuModel, KnownSpecs) {
+  EXPECT_NO_THROW(gpu_spec("A100"));
+  EXPECT_NO_THROW(gpu_spec("V100"));
+  EXPECT_NO_THROW(gpu_spec("K1200"));
+  EXPECT_THROW(gpu_spec("H100"), std::invalid_argument);
+}
+
+TEST(GpuModel, PaperPowerNumbers) {
+  // §2.2: A100 250 W, K1200 45 W.
+  EXPECT_DOUBLE_EQ(gpu_spec("A100").power_watts, 250.0);
+  EXPECT_DOUBLE_EQ(gpu_spec("K1200").power_watts, 45.0);
+}
+
+TEST(GpuModel, ComputeTimeScalesWithFlopsAndSamples) {
+  const auto& gpu = gpu_spec("V100");
+  const auto t1 = train_compute_time(gpu, 10'000, 1.0);
+  const auto t2 = train_compute_time(gpu, 20'000, 1.0);
+  const auto t3 = train_compute_time(gpu, 10'000, 2.0);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t1, t3);
+}
+
+TEST(GpuModel, EpochCostSplitsComputeAndData) {
+  const auto& gpu = gpu_spec("V100");
+  auto cost = epoch_cost(gpu, 50'000, 3'000, 0.56);
+  EXPECT_GT(cost.compute_time, 0);
+  EXPECT_GT(cost.data_time, 0);
+  EXPECT_EQ(cost.total(), cost.compute_time + cost.data_time);
+  EXPECT_GT(cost.data_fraction(), 0.0);
+  EXPECT_LT(cost.data_fraction(), 1.0);
+}
+
+TEST(GpuModel, Figure2ShapeSmallVsLargeImages) {
+  // MNIST-style records must have a single-digit data share; ImageNet-100
+  // style records a ~40 % share (paper: 5.4 % -> 40.4 %).
+  const auto& gpu = gpu_spec("V100");
+  auto mnist = epoch_cost(gpu, 60'000, 500, 0.43);
+  auto imagenet = epoch_cost(gpu, 130'000, 126'000, 4.09);
+  EXPECT_LT(mnist.data_fraction(), 0.10);
+  EXPECT_GT(imagenet.data_fraction(), 0.30);
+  EXPECT_GT(imagenet.data_fraction(), 4.0 * mnist.data_fraction());
+}
+
+TEST(GpuModel, InferenceCheaperThanTraining) {
+  const auto& gpu = gpu_spec("V100");
+  EXPECT_LT(inference_time(gpu, 10'000, 1.0),
+            train_compute_time(gpu, 10'000, 1.0));
+}
+
+TEST(GpuModel, BatchOverheadMattersForSmallModels) {
+  // Halving the batch count (doubling batch size) should shave real time
+  // off a tiny-model epoch.
+  const auto& gpu = gpu_spec("V100");
+  const auto small_batches = train_compute_time(gpu, 50'000, 0.041, 128);
+  const auto big_batches = train_compute_time(gpu, 50'000, 0.041, 256);
+  EXPECT_GT(small_batches, big_batches);
+}
+
+TEST(GpuModel, ZooIsChronologicalAndGrowing) {
+  const auto& zoo = imagenet_model_zoo();
+  ASSERT_GE(zoo.size(), 8u);
+  // Year order non-decreasing.
+  for (std::size_t i = 1; i < zoo.size(); ++i) {
+    EXPECT_GE(zoo[i].year, zoo[i - 1].year);
+  }
+  // The decade's headline: latest models cost >50x the earliest (Fig. 1).
+  EXPECT_GT(zoo.back().forward_gflops, 50.0 * zoo.front().forward_gflops);
+}
+
+TEST(GpuModel, ZooContainsPaperFamiliar) {
+  const auto& zoo = imagenet_model_zoo();
+  bool has_alexnet = false, has_resnet50 = false, has_vit = false;
+  for (const auto& m : zoo) {
+    has_alexnet |= m.name == "AlexNet";
+    has_resnet50 |= m.name == "ResNet-50";
+    has_vit |= m.name.rfind("ViT", 0) == 0;
+  }
+  EXPECT_TRUE(has_alexnet);
+  EXPECT_TRUE(has_resnet50);
+  EXPECT_TRUE(has_vit);
+}
+
+TEST(GpuModel, A100FasterThanV100) {
+  auto a = train_compute_time(gpu_spec("A100"), 100'000, 4.1);
+  auto v = train_compute_time(gpu_spec("V100"), 100'000, 4.1);
+  EXPECT_LT(a, v);
+}
+
+}  // namespace
+}  // namespace nessa::smartssd

@@ -1,0 +1,67 @@
+#include "nessa/smartssd/host_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::smartssd {
+namespace {
+
+TEST(HostCache, ValidatesConfig) {
+  HostCacheConfig bad;
+  bad.hit_bps = 0.0;
+  EXPECT_THROW(HostCache{bad}, std::invalid_argument);
+}
+
+TEST(HostCache, HitFractionCapacityRatio) {
+  HostCacheConfig cfg;
+  cfg.capacity_bytes = 1000;
+  HostCache cache(cfg);
+  EXPECT_DOUBLE_EQ(cache.hit_fraction(4000), 0.25);
+  EXPECT_DOUBLE_EQ(cache.hit_fraction(1000), 1.0);
+  EXPECT_DOUBLE_EQ(cache.hit_fraction(500), 1.0);  // capped
+  EXPECT_DOUBLE_EQ(cache.hit_fraction(0), 1.0);
+}
+
+TEST(HostCache, SmallDatasetFullyCachedIsFast) {
+  // CIFAR-10 (150 MB) fits in an 8 GB cache entirely.
+  HostCache cache;
+  const auto& gpu = gpu_spec("V100");
+  const auto cached = cache.epoch_data_time(gpu, 50'000, 3'000);
+  const auto uncached = epoch_cost(gpu, 50'000, 3'000, 0.0).data_time;
+  EXPECT_LT(cached, uncached / 5);
+  EXPECT_EQ(cache.epoch_miss_bytes(50'000, 3'000), 0u);
+}
+
+TEST(HostCache, LargeDatasetPartiallyCached) {
+  // ImageNet-100 (16.4 GB) against an 8 GB cache: ~51% misses remain.
+  HostCache cache;
+  const double hit = cache.hit_fraction(130'000ULL * 126'000);
+  EXPECT_GT(hit, 0.45);
+  EXPECT_LT(hit, 0.55);
+  const auto misses = cache.epoch_miss_bytes(130'000, 126'000);
+  EXPECT_GT(misses, 7'000'000'000ULL);
+  EXPECT_LT(misses, 9'000'000'000ULL);
+}
+
+TEST(HostCache, DataTimeBetweenExtremes) {
+  HostCache cache;
+  const auto& gpu = gpu_spec("V100");
+  const auto with_cache = cache.epoch_data_time(gpu, 130'000, 126'000);
+  const auto no_cache = epoch_cost(gpu, 130'000, 126'000, 0.0).data_time;
+  HostCacheConfig infinite;
+  infinite.capacity_bytes = 1ULL << 62;
+  const auto all_hits =
+      HostCache(infinite).epoch_data_time(gpu, 130'000, 126'000);
+  EXPECT_LT(with_cache, no_cache);
+  EXPECT_GT(with_cache, all_hits);
+}
+
+TEST(HostCache, ZeroCapacityMeansAllMisses) {
+  HostCacheConfig cfg;
+  cfg.capacity_bytes = 0;
+  HostCache cache(cfg);
+  EXPECT_DOUBLE_EQ(cache.hit_fraction(1000), 0.0);
+  EXPECT_EQ(cache.epoch_miss_bytes(10, 100), 1000u);
+}
+
+}  // namespace
+}  // namespace nessa::smartssd

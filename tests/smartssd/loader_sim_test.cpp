@@ -1,0 +1,89 @@
+#include "nessa/smartssd/loader_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::smartssd {
+namespace {
+
+TEST(LoaderSim, ValidatesArguments) {
+  LoaderConfig bad;
+  bad.decode_workers = 0;
+  EXPECT_THROW(simulate_input_pipeline(bad, gpu_spec("V100"), 100, 1000,
+                                       0.5, 32),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_input_pipeline(LoaderConfig{}, gpu_spec("V100"), 0,
+                                       1000, 0.5, 32),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_input_pipeline(LoaderConfig{}, gpu_spec("V100"),
+                                       100, 1000, 0.5, 0),
+               std::invalid_argument);
+}
+
+TEST(LoaderSim, FastPipelineLeavesGpuBusy) {
+  // Tiny records, heavy compute: the loader keeps up, GPU stall ~0.
+  LoaderConfig cfg;
+  cfg.decode_workers = 8;
+  auto trace = simulate_input_pipeline(cfg, gpu_spec("V100"), 10'000, 500,
+                                       4.0, 128);
+  EXPECT_LT(trace.stall_fraction(), 0.05);
+  EXPECT_NEAR(static_cast<double>(trace.epoch_time),
+              static_cast<double>(trace.gpu_busy),
+              0.1 * static_cast<double>(trace.gpu_busy));
+}
+
+TEST(LoaderSim, HeavyImagesStallTheGpu) {
+  // ImageNet-100-shaped records with a small model: decode dominates.
+  auto trace = simulate_input_pipeline(LoaderConfig{}, gpu_spec("V100"),
+                                       20'000, 126'000, 0.5, 128);
+  EXPECT_GT(trace.stall_fraction(), 0.5);
+}
+
+TEST(LoaderSim, MatchesAnalyticDataShareForFig2Workload) {
+  // The analytic Fig. 2 model charges ImageNet-100 / ResNet-50 a ~37 %
+  // data share on a V100. The structural simulation with default loader
+  // parameters should land in the same region.
+  auto trace = simulate_input_pipeline(LoaderConfig{}, gpu_spec("V100"),
+                                       130'000, 126'000, 4.09, 128);
+  const auto analytic = epoch_cost(gpu_spec("V100"), 130'000, 126'000,
+                                   4.09, 128);
+  EXPECT_NEAR(trace.stall_fraction(), analytic.data_fraction(), 0.12);
+}
+
+TEST(LoaderSim, MoreWorkersReduceStalls) {
+  LoaderConfig one;
+  one.decode_workers = 1;
+  LoaderConfig eight;
+  eight.decode_workers = 8;
+  auto slow = simulate_input_pipeline(one, gpu_spec("V100"), 20'000,
+                                      126'000, 4.09, 128);
+  auto fast = simulate_input_pipeline(eight, gpu_spec("V100"), 20'000,
+                                      126'000, 4.09, 128);
+  EXPECT_LT(fast.epoch_time, slow.epoch_time);
+  EXPECT_LT(fast.stall_fraction(), slow.stall_fraction());
+}
+
+TEST(LoaderSim, WorkerSaturation) {
+  // Past the point where storage or H2D binds, more workers stop helping.
+  LoaderConfig w8;
+  w8.decode_workers = 8;
+  LoaderConfig w64;
+  w64.decode_workers = 64;
+  auto a = simulate_input_pipeline(w8, gpu_spec("V100"), 20'000, 126'000,
+                                   4.09, 128);
+  auto b = simulate_input_pipeline(w64, gpu_spec("V100"), 20'000, 126'000,
+                                   4.09, 128);
+  EXPECT_LE(b.epoch_time, a.epoch_time);
+  const double improvement = static_cast<double>(a.epoch_time) /
+                             static_cast<double>(b.epoch_time);
+  EXPECT_LT(improvement, 4.0);  // far from 8x: not decode-bound anymore
+}
+
+TEST(LoaderSim, EpochTimeIsBusyPlusStallPlusLead) {
+  auto trace = simulate_input_pipeline(LoaderConfig{}, gpu_spec("V100"),
+                                       5'000, 3'000, 0.5, 128);
+  EXPECT_EQ(trace.epoch_time, trace.gpu_busy + trace.gpu_stall);
+  EXPECT_EQ(trace.batches, (5'000u + 127) / 128);
+}
+
+}  // namespace
+}  // namespace nessa::smartssd

@@ -1,0 +1,89 @@
+#include "nessa/smartssd/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nessa/selection/facility_location.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::smartssd {
+namespace {
+
+TEST(ResourceModel, Table4Reproduction) {
+  // Paper Table 4: LUT 67.53 %, FF 23.14 %, BRAM 50.30 %, DSP 42.67 %.
+  const auto usage = estimate_resources(KernelConfig{});
+  const FpgaBudget budget;
+  EXPECT_NEAR(usage.lut_pct(budget), 67.53, 0.25);
+  EXPECT_NEAR(usage.ff_pct(budget), 23.14, 0.25);
+  EXPECT_NEAR(usage.bram_pct(budget), 50.30, 0.75);
+  EXPECT_NEAR(usage.dsp_pct(budget), 42.67, 0.25);
+}
+
+TEST(ResourceModel, DefaultConfigFits) {
+  EXPECT_TRUE(estimate_resources(KernelConfig{}).fits(FpgaBudget{}));
+}
+
+TEST(ResourceModel, MoreLanesMoreResources) {
+  KernelConfig small;
+  small.int8_mac_lanes = 256;
+  KernelConfig big;
+  big.int8_mac_lanes = 2048;
+  const auto u_small = estimate_resources(small);
+  const auto u_big = estimate_resources(big);
+  EXPECT_GT(u_big.lut, u_small.lut);
+  EXPECT_GT(u_big.ff, u_small.ff);
+  EXPECT_GT(u_big.dsp, u_small.dsp);
+}
+
+TEST(ResourceModel, ChunkCapacityDrivesBram) {
+  KernelConfig small;
+  small.chunk_capacity = 128;
+  KernelConfig big;
+  big.chunk_capacity = 1024;
+  EXPECT_GT(estimate_resources(big).bram36,
+            estimate_resources(small).bram36);
+}
+
+TEST(ResourceModel, OversizedKernelDoesNotFit) {
+  KernelConfig huge;
+  huge.int8_mac_lanes = 8192;
+  huge.simd_lanes = 4096;
+  EXPECT_FALSE(estimate_resources(huge).fits(FpgaBudget{}));
+}
+
+TEST(ResourceModel, ChunkBufferBytesMatchesFacilityLocation) {
+  // The model's per-chunk footprint must equal what the algorithm actually
+  // allocates — otherwise the 4.32 MB feasibility check would be a lie.
+  util::Rng rng(1);
+  tensor::Tensor emb({100, 8});
+  for (std::size_t i = 0; i < emb.size(); ++i) {
+    emb[i] = static_cast<float>(rng.gaussian());
+  }
+  auto fl = selection::FacilityLocation::from_embeddings(emb);
+  EXPECT_EQ(chunk_buffer_bytes(100), fl.memory_bytes());
+}
+
+TEST(ResourceModel, MaxChunkCapacityInvertsBufferBytes) {
+  for (std::uint64_t budget : {100'000u, 1'000'000u, 4'320'000u}) {
+    const std::size_t n = max_chunk_capacity(budget);
+    EXPECT_LE(chunk_buffer_bytes(n), budget);
+    EXPECT_GT(chunk_buffer_bytes(n + 1), budget);
+  }
+}
+
+TEST(ResourceModel, OnChipBudgetHoldsPaperChunk) {
+  // §3.2.3: the 4.32 MB on-chip memory must hold a ~1000-example chunk.
+  EXPECT_GE(max_chunk_capacity(kOnChipBytes), 1000u);
+  // ...but not an entire 5000-example CIFAR-10 class.
+  EXPECT_LT(max_chunk_capacity(kOnChipBytes), 5000u);
+}
+
+TEST(ResourceModel, PercentagesAgainstCustomBudget) {
+  ResourceUsage u;
+  u.lut = 50;
+  FpgaBudget b;
+  b.lut = 200;
+  EXPECT_DOUBLE_EQ(u.lut_pct(b), 25.0);
+}
+
+}  // namespace
+}  // namespace nessa::smartssd

@@ -1,0 +1,72 @@
+// Parameterized GEMM sweeps: every kernel variant against the naive
+// reference across a grid of shapes, including degenerate and
+// cache-block-boundary sizes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nessa/tensor/ops.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::tensor {
+namespace {
+
+using Shape3 = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class GemmSweep : public ::testing::TestWithParam<Shape3> {};
+
+Tensor random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Tensor t({r, c});
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  }
+  return t;
+}
+
+TEST_P(GemmSweep, AllVariantsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 1009 + k * 31 + n);
+  Tensor a = random_matrix(m, k, rng);
+  Tensor b = random_matrix(k, n, rng);
+  Tensor ref = matmul_naive(a, b);
+
+  auto check = [&](const Tensor& got, const char* who) {
+    ASSERT_EQ(got.shape(), ref.shape()) << who;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(got[i], ref[i], 1e-3f) << who << " flat " << i;
+    }
+  };
+  check(matmul(a, b, false), "blocked serial");
+  check(matmul(a, b, true), "blocked parallel");
+  check(matmul_at_b(transpose(a), b, false), "A^T B form");
+  check(matmul_a_bt(a, transpose(b), false), "A B^T form");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(Shape3{1, 1, 1}, Shape3{1, 7, 1}, Shape3{5, 1, 5},
+                      Shape3{3, 64, 3},      // k on the block boundary
+                      Shape3{3, 65, 3},      // k one past the boundary
+                      Shape3{64, 64, 64},    // all on the boundary
+                      Shape3{17, 33, 9}, Shape3{2, 128, 130},
+                      Shape3{100, 5, 100}, Shape3{31, 127, 63}));
+
+class SoftmaxSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SoftmaxSweep, RowsNormalizedForAnyWidth) {
+  const std::size_t cols = GetParam();
+  util::Rng rng(cols);
+  Tensor a = random_matrix(7, cols, rng);
+  softmax_rows(a);
+  for (std::size_t i = 0; i < 7; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) sum += a(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-5) << "cols=" << cols;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SoftmaxSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 257));
+
+}  // namespace
+}  // namespace nessa::tensor

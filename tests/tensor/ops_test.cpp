@@ -1,0 +1,208 @@
+#include "nessa/tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nessa/util/rng.hpp"
+
+namespace nessa::tensor {
+namespace {
+
+Tensor random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Tensor t({r, c});
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+void expect_near(const Tensor& a, const Tensor& b, float tol) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(Matmul, MatchesHandComputed) {
+  Tensor a = Tensor::from({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from({2, 2}, {5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 19.0f);
+  EXPECT_EQ(c(0, 1), 22.0f);
+  EXPECT_EQ(c(1, 0), 43.0f);
+  EXPECT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Matmul, BlockedMatchesNaive) {
+  util::Rng rng(1);
+  Tensor a = random_matrix(37, 53, rng);
+  Tensor b = random_matrix(53, 29, rng);
+  expect_near(matmul(a, b, /*parallel=*/false), matmul_naive(a, b), 1e-4f);
+}
+
+TEST(Matmul, ParallelMatchesSerial) {
+  util::Rng rng(2);
+  Tensor a = random_matrix(128, 96, rng);
+  Tensor b = random_matrix(96, 64, rng);
+  expect_near(matmul(a, b, true), matmul(a, b, false), 1e-4f);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matmul, RankOneRejected) {
+  Tensor v({3});
+  Tensor m({3, 3});
+  EXPECT_THROW(matmul(v, m), std::invalid_argument);
+}
+
+TEST(MatmulAtB, MatchesExplicitTranspose) {
+  util::Rng rng(3);
+  Tensor a = random_matrix(20, 15, rng);
+  Tensor b = random_matrix(20, 11, rng);
+  expect_near(matmul_at_b(a, b, false), matmul_naive(transpose(a), b), 1e-4f);
+}
+
+TEST(MatmulAtB, RowMismatchThrows) {
+  Tensor a({4, 3});
+  Tensor b({5, 2});
+  EXPECT_THROW(matmul_at_b(a, b), std::invalid_argument);
+}
+
+TEST(MatmulABt, MatchesExplicitTranspose) {
+  util::Rng rng(4);
+  Tensor a = random_matrix(18, 13, rng);
+  Tensor b = random_matrix(9, 13, rng);
+  expect_near(matmul_a_bt(a, b, false), matmul_naive(a, transpose(b)), 1e-4f);
+}
+
+TEST(MatmulABt, InnerMismatchThrows) {
+  Tensor a({4, 3});
+  Tensor b({5, 2});
+  EXPECT_THROW(matmul_a_bt(a, b), std::invalid_argument);
+}
+
+TEST(Transpose, Basic) {
+  Tensor a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0f);
+  expect_near(transpose(t), a, 0.0f);
+}
+
+TEST(AddRowVector, AddsToEveryRow) {
+  Tensor a = Tensor::from({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias = Tensor::from({3}, {10, 20, 30});
+  add_row_vector(a, bias);
+  EXPECT_EQ(a(0, 1), 20.0f);
+  EXPECT_EQ(a(1, 2), 31.0f);
+}
+
+TEST(AddRowVector, LengthMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor bias({2});
+  EXPECT_THROW(add_row_vector(a, bias), std::invalid_argument);
+}
+
+TEST(ColumnSums, Basic) {
+  Tensor a = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = column_sums(a);
+  EXPECT_EQ(s[0], 5.0f);
+  EXPECT_EQ(s[1], 7.0f);
+  EXPECT_EQ(s[2], 9.0f);
+}
+
+TEST(SoftmaxRows, RowsSumToOne) {
+  util::Rng rng(6);
+  Tensor a = random_matrix(10, 7, rng);
+  softmax_rows(a);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_GT(a(i, j), 0.0f);
+      sum += a(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxRows, NumericallyStableForLargeLogits) {
+  Tensor a = Tensor::from({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  softmax_rows(a);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(a(0, j), 1.0f / 3.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxRows, PreservesOrdering) {
+  Tensor a = Tensor::from({1, 3}, {1.0f, 3.0f, 2.0f});
+  softmax_rows(a);
+  EXPECT_GT(a(0, 1), a(0, 2));
+  EXPECT_GT(a(0, 2), a(0, 0));
+}
+
+TEST(ArgmaxRows, PicksFirstOnTies) {
+  Tensor a = Tensor::from({2, 3}, {5, 5, 1, 0, 2, 2});
+  auto idx = argmax_rows(a);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(Relu, ClampsNegatives) {
+  Tensor a = Tensor::from({4}, {-1, 0, 2, -3});
+  Tensor r = relu(a);
+  EXPECT_EQ(r[0], 0.0f);
+  EXPECT_EQ(r[1], 0.0f);
+  EXPECT_EQ(r[2], 2.0f);
+  EXPECT_EQ(r[3], 0.0f);
+}
+
+TEST(ReluBackward, MasksByPreActivation) {
+  Tensor grad = Tensor::from({4}, {1, 1, 1, 1});
+  Tensor pre = Tensor::from({4}, {-1, 0, 2, 3});
+  relu_backward(grad, pre);
+  EXPECT_EQ(grad[0], 0.0f);
+  EXPECT_EQ(grad[1], 0.0f);  // derivative at 0 taken as 0
+  EXPECT_EQ(grad[2], 1.0f);
+  EXPECT_EQ(grad[3], 1.0f);
+}
+
+TEST(VectorOps, DotNormDistance) {
+  std::vector<float> a{1, 2, 3};
+  std::vector<float> b{4, 5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+  EXPECT_FLOAT_EQ(l2_norm(a), std::sqrt(14.0f));
+  EXPECT_FLOAT_EQ(squared_l2(a, b), 27.0f);
+}
+
+TEST(PairwiseSqDists, MatchesDirectComputation) {
+  util::Rng rng(7);
+  Tensor x = random_matrix(25, 8, rng);
+  Tensor d = pairwise_sq_dists(x, false);
+  for (std::size_t i = 0; i < 25; ++i) {
+    for (std::size_t j = 0; j < 25; ++j) {
+      EXPECT_NEAR(d(i, j), squared_l2(x.row(i), x.row(j)), 1e-4f);
+    }
+  }
+}
+
+TEST(PairwiseSqDists, DiagonalZeroAndSymmetric) {
+  util::Rng rng(8);
+  Tensor x = random_matrix(15, 5, rng);
+  Tensor d = pairwise_sq_dists(x);
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(d(i, i), 0.0f);
+    for (std::size_t j = 0; j < 15; ++j) {
+      EXPECT_NEAR(d(i, j), d(j, i), 1e-5f);
+      EXPECT_GE(d(i, j), 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nessa::tensor

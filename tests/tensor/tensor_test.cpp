@@ -1,0 +1,165 @@
+#include "nessa/tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nessa::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroFilledConstruction) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RankAboveFourRejected) {
+  EXPECT_THROW(Tensor({1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Tensor, FullFillsValue) {
+  Tensor t = Tensor::full({4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, FromChecksSize) {
+  EXPECT_THROW(Tensor::from({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+  Tensor t = Tensor::from({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t(1, 0), 3.0f);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor t = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t(0, 0), 1.0f);
+  EXPECT_EQ(t(0, 2), 3.0f);
+  EXPECT_EQ(t(1, 1), 5.0f);
+}
+
+TEST(Tensor, AtChecksBounds) {
+  Tensor t({2, 2});
+  EXPECT_NO_THROW((void)t.at(1, 1));
+  EXPECT_THROW((void)t.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)t.at(0, 2), std::out_of_range);
+}
+
+TEST(Tensor, RowSpan) {
+  Tensor t = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto r1 = t.row(1);
+  ASSERT_EQ(r1.size(), 3u);
+  EXPECT_EQ(r1[0], 4.0f);
+  EXPECT_THROW((void)t.row(2), std::out_of_range);
+}
+
+TEST(Tensor, RowsColsRequireRank2) {
+  Tensor v({5});
+  EXPECT_THROW((void)v.rows(), std::logic_error);
+  Tensor m({2, 3});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, AddSubtract) {
+  Tensor a = Tensor::from({2}, {1, 2});
+  Tensor b = Tensor::from({2}, {10, 20});
+  a += b;
+  EXPECT_EQ(a[0], 11.0f);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a.axpy(1.0f, b), std::invalid_argument);
+  EXPECT_THROW(a.hadamard(b), std::invalid_argument);
+}
+
+TEST(Tensor, ScalarMultiply) {
+  Tensor a = Tensor::from({3}, {1, -2, 3});
+  a *= 2.0f;
+  EXPECT_EQ(a[1], -4.0f);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a = Tensor::from({2}, {1, 1});
+  Tensor b = Tensor::from({2}, {2, 3});
+  a.axpy(0.5f, b);
+  EXPECT_EQ(a[0], 2.0f);
+  EXPECT_EQ(a[1], 2.5f);
+}
+
+TEST(Tensor, Hadamard) {
+  Tensor a = Tensor::from({3}, {1, 2, 3});
+  Tensor b = Tensor::from({3}, {4, 5, 6});
+  a.hadamard(b);
+  EXPECT_EQ(a[2], 18.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor a = Tensor::from({4}, {1, -2, 3, -4});
+  EXPECT_EQ(a.sum(), -2.0f);
+  EXPECT_EQ(a.squared_norm(), 30.0f);
+  EXPECT_EQ(a.max_abs(), 4.0f);
+}
+
+TEST(Tensor, FillAndEquality) {
+  Tensor a({2, 2});
+  Tensor b({2, 2});
+  EXPECT_TRUE(a == b);
+  a.fill(1.0f);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Tensor, HeUniformBounded) {
+  util::Rng rng(3);
+  Tensor t = Tensor::he_uniform({64, 32}, 64, rng);
+  const float bound = std::sqrt(6.0f / 64.0f);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t[i]), bound);
+  }
+  // Not all zero.
+  EXPECT_GT(t.max_abs(), 0.0f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  util::Rng rng(5);
+  Tensor t = Tensor::randn({10000}, 2.0f, rng);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.1);
+  EXPECT_NEAR(sq / 10000.0, 4.0, 0.3);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.shape_string(), "[2x3]");
+}
+
+TEST(ShapeSize, EmptyShapeIsZero) {
+  EXPECT_EQ(shape_size({}), 0u);
+  EXPECT_EQ(shape_size({5}), 5u);
+  EXPECT_EQ(shape_size({2, 3, 4}), 24u);
+}
+
+}  // namespace
+}  // namespace nessa::tensor

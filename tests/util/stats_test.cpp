@@ -1,0 +1,140 @@
+#include "nessa/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nessa::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 4 ? a : b).add(xs[i]);
+    all.add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Ema, FirstValueSeeds) {
+  Ema e(0.5);
+  EXPECT_FALSE(e.seeded());
+  e.add(10.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ema, Smooths) {
+  Ema e(0.5);
+  e.add(10.0);
+  e.add(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+TEST(SlidingWindow, FillsToCapacityThenEvicts) {
+  SlidingWindow w(3);
+  w.add(1.0);
+  w.add(2.0);
+  EXPECT_FALSE(w.full());
+  w.add(3.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(7.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(SlidingWindow, MaxTracksContents) {
+  SlidingWindow w(2);
+  w.add(5.0);
+  w.add(1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 5.0);
+  w.add(2.0);  // evicts 5
+  EXPECT_DOUBLE_EQ(w.max(), 2.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(percentile(empty, 50.0), 0.0);
+  std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 99.0), 42.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150.0), 3.0);
+}
+
+TEST(PercentileOf, SortsInternally) {
+  EXPECT_DOUBLE_EQ(percentile_of({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+TEST(MeanOf, Basic) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.0);
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean_of(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace nessa::util

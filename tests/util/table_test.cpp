@@ -1,0 +1,75 @@
+#include "nessa/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nessa::util {
+namespace {
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+  EXPECT_EQ(Table::pct(0.2814, 2), "28.14");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t("Title");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, PrintWithoutHeader) {
+  Table t;
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), "| x | y |\n");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, CsvBasic) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t;
+  t.add_row({"has,comma", "has\"quote", "plain"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(Table, RowCountAndAccessors) {
+  Table t;
+  t.set_header({"h"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"r1"}).add_row({"r2"});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.rows()[1][0], "r2");
+  EXPECT_EQ(t.header()[0], "h");
+}
+
+}  // namespace
+}  // namespace nessa::util

@@ -1,0 +1,46 @@
+#include "nessa/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::util {
+namespace {
+
+TEST(Units, TimeConstantsConsistent) {
+  EXPECT_EQ(kNanosecond, 1000 * kPicosecond);
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(Units, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_ms(kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_us(kMicrosecond), 1.0);
+  EXPECT_EQ(from_seconds(2.5), 2 * kSecond + 500 * kMillisecond);
+}
+
+TEST(Units, TransferTimeBasic) {
+  // 1 GB at 1 GB/s = 1 s.
+  EXPECT_EQ(transfer_time(1'000'000'000ULL, 1e9), kSecond);
+  // 0 bytes take no time.
+  EXPECT_EQ(transfer_time(0, 1e9), 0);
+}
+
+TEST(Units, TransferTimeZeroBandwidthIsZero) {
+  EXPECT_EQ(transfer_time(100, 0.0), 0);
+}
+
+TEST(Units, GbpsComputation) {
+  EXPECT_DOUBLE_EQ(gbps(3'000'000'000ULL, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(gbps(1'500'000'000ULL, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(gbps(100, 0.0), 0.0);
+}
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGB, 1'000'000'000ULL);
+}
+
+}  // namespace
+}  // namespace nessa::util

@@ -1,0 +1,244 @@
+// nessa — command-line front end for the training pipelines.
+//
+//   nessa [options]
+//     --dataset NAME      Table-1 dataset stand-in (default CIFAR-10)
+//     --pipeline NAME     nessa | full | full-cached | craig | kcenter |
+//                         random | loss-topk        (default nessa)
+//     --fraction F        subset fraction            (default 0.3)
+//     --epochs N          substrate epochs           (default 30)
+//     --scale S           substrate scale            (default 0.03)
+//     --devices D         SmartSSD count (nessa only, default 1)
+//     --gpu NAME          A100 | V100 | K1200        (default V100)
+//     --seed N            RNG seed                   (default 42)
+//     --no-feedback       disable §3.2.1 quantized-weight feedback
+//     --no-biasing        disable §3.2.2 subset biasing
+//     --no-partitioning   disable §3.2.3 dataset partitioning
+//     --no-dynamic        disable dynamic subset sizing
+//     --csv PATH          also write the per-epoch table as CSV
+//     --json PATH         also write the full run report as JSON
+//     --help
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "nessa/core/energy.hpp"
+#include "nessa/core/report.hpp"
+#include "nessa/core/pipeline.hpp"
+#include "nessa/util/table.hpp"
+
+using namespace nessa;
+
+namespace {
+
+struct Options {
+  std::string dataset = "CIFAR-10";
+  std::string pipeline = "nessa";
+  std::string gpu = "V100";
+  double fraction = 0.3;
+  std::size_t epochs = 30;
+  double scale = 0.03;
+  std::size_t devices = 1;
+  std::uint64_t seed = 42;
+  bool feedback = true;
+  bool biasing = true;
+  bool partitioning = true;
+  bool dynamic_sizing = true;
+  std::string csv_path;
+  std::string json_path;
+};
+
+void print_usage() {
+  std::cout <<
+      "usage: nessa [--dataset NAME] [--pipeline nessa|full|full-cached|"
+      "craig|kcenter|random|loss-topk]\n"
+      "             [--fraction F] [--epochs N] [--scale S] [--devices D]\n"
+      "             [--gpu A100|V100|K1200] [--seed N] [--no-feedback]\n"
+      "             [--no-biasing] [--no-partitioning] [--no-dynamic]\n"
+      "             [--csv PATH] [--json PATH]\n";
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    } else if (arg == "--dataset") {
+      const char* v = next("--dataset");
+      if (!v) return false;
+      opt.dataset = v;
+    } else if (arg == "--pipeline") {
+      const char* v = next("--pipeline");
+      if (!v) return false;
+      opt.pipeline = v;
+    } else if (arg == "--gpu") {
+      const char* v = next("--gpu");
+      if (!v) return false;
+      opt.gpu = v;
+    } else if (arg == "--fraction") {
+      const char* v = next("--fraction");
+      if (!v) return false;
+      opt.fraction = std::atof(v);
+    } else if (arg == "--epochs") {
+      const char* v = next("--epochs");
+      if (!v) return false;
+      opt.epochs = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--scale") {
+      const char* v = next("--scale");
+      if (!v) return false;
+      opt.scale = std::atof(v);
+    } else if (arg == "--devices") {
+      const char* v = next("--devices");
+      if (!v) return false;
+      opt.devices = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--no-feedback") {
+      opt.feedback = false;
+    } else if (arg == "--no-biasing") {
+      opt.biasing = false;
+    } else if (arg == "--no-partitioning") {
+      opt.partitioning = false;
+    } else if (arg == "--no-dynamic") {
+      opt.dynamic_sizing = false;
+    } else if (arg == "--csv") {
+      const char* v = next("--csv");
+      if (!v) return false;
+      opt.csv_path = v;
+    } else if (arg == "--json") {
+      const char* v = next("--json");
+      if (!v) return false;
+      opt.json_path = v;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      print_usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 1;
+
+  const auto& info = data::dataset_info(opt.dataset);
+  auto ds = data::make_substrate_dataset(info, opt.scale, 0, opt.seed);
+
+  core::PipelineInputs inputs;
+  inputs.dataset = &ds;
+  inputs.info = info;
+  inputs.model = nn::model_spec(info.paper_network);
+  inputs.train.epochs = opt.epochs;
+  inputs.train.batch_size = 128;
+  inputs.train.seed = opt.seed;
+
+  smartssd::SystemConfig sys_cfg;
+  sys_cfg.gpu = opt.gpu;
+  smartssd::SmartSsdSystem system(sys_cfg);
+
+  core::NessaConfig nessa_cfg;
+  nessa_cfg.subset_fraction = opt.fraction;
+  nessa_cfg.weight_feedback = opt.feedback;
+  nessa_cfg.subset_biasing = opt.biasing;
+  nessa_cfg.partition_quota = opt.partitioning ? 8 : 0;
+  nessa_cfg.dynamic_sizing = opt.dynamic_sizing;
+  nessa_cfg.drop_interval_epochs = std::max<std::size_t>(3, opt.epochs / 4);
+  nessa_cfg.loss_window_epochs = std::max<std::size_t>(2, opt.epochs / 40);
+
+  core::RunResult run;
+  auto site = core::SelectionSite::kNone;
+  if (opt.pipeline == "nessa") {
+    site = core::SelectionSite::kFpga;
+    run = opt.devices > 1
+              ? core::run_nessa_multi(inputs, nessa_cfg,
+                                      core::MultiDeviceConfig{opt.devices},
+                                      system)
+              : core::run_nessa(inputs, nessa_cfg, system);
+  } else if (opt.pipeline == "full") {
+    run = core::run_full(inputs, system);
+  } else if (opt.pipeline == "full-cached") {
+    run = core::run_full_cached(inputs, smartssd::HostCache{}, system);
+  } else if (opt.pipeline == "craig") {
+    site = core::SelectionSite::kHostCpu;
+    run = core::run_craig(inputs, opt.fraction, system);
+  } else if (opt.pipeline == "kcenter") {
+    site = core::SelectionSite::kHostCpu;
+    run = core::run_kcenter(inputs, opt.fraction, system);
+  } else if (opt.pipeline == "random") {
+    run = core::run_random(inputs, opt.fraction, system);
+  } else if (opt.pipeline == "loss-topk") {
+    run = core::run_loss_topk(inputs, opt.fraction, system);
+  } else {
+    std::cerr << "unknown pipeline: " << opt.pipeline << "\n";
+    print_usage();
+    return 1;
+  }
+
+  std::cout << opt.pipeline << " on " << info.name << " (substrate "
+            << ds.train_size() << " samples; paper scale "
+            << info.paper_train_size << " x "
+            << info.stored_bytes_per_sample << " B, " << info.paper_network
+            << ", " << opt.gpu;
+  if (opt.devices > 1) std::cout << ", " << opt.devices << " SmartSSDs";
+  std::cout << ")\n\n";
+
+  util::Table table("per-epoch report");
+  table.set_header({"epoch", "acc (%)", "loss", "subset (%)", "pool",
+                    "epoch time (s)"});
+  for (const auto& e : run.epochs) {
+    table.add_row({util::Table::num(e.epoch),
+                   util::Table::pct(e.test_accuracy),
+                   util::Table::num(e.train_loss, 3),
+                   util::Table::pct(e.subset_fraction),
+                   util::Table::num(e.pool_size),
+                   util::Table::num(util::to_seconds(e.cost.total()), 2)});
+  }
+  table.print(std::cout);
+
+  auto energy = core::estimate_energy(run, system.gpu(), site);
+  std::cout << "\nfinal accuracy      : "
+            << util::Table::pct(run.final_accuracy) << " %\n"
+            << "best accuracy       : " << util::Table::pct(run.best_accuracy)
+            << " %\n"
+            << "mean subset         : "
+            << util::Table::pct(run.mean_subset_fraction) << " %\n"
+            << "mean epoch time     : "
+            << util::Table::num(util::to_seconds(run.mean_epoch_time), 2)
+            << " s (simulated, paper scale)\n"
+            << "interconnect traffic: "
+            << util::Table::num(
+                   static_cast<double>(run.interconnect_bytes) / 1e9, 2)
+            << " GB\n"
+            << "energy estimate     : "
+            << util::Table::num(energy.total() / 1e3, 2) << " kJ\n";
+
+  if (!opt.json_path.empty()) {
+    core::RunMetadata run_meta{opt.pipeline, info.name, info.paper_network,
+                               opt.gpu, opt.devices, opt.seed};
+    core::write_json_report_file(run_meta, run, opt.json_path);
+    std::cout << "run JSON            : " << opt.json_path << "\n";
+  }
+  if (!opt.csv_path.empty()) {
+    std::ofstream csv(opt.csv_path);
+    if (!csv) {
+      std::cerr << "cannot write " << opt.csv_path << "\n";
+      return 1;
+    }
+    table.write_csv(csv);
+    std::cout << "per-epoch CSV       : " << opt.csv_path << "\n";
+  }
+  return 0;
+}

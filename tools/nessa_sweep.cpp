@@ -1,0 +1,146 @@
+// nessa-sweep — subset-fraction sweep across pipelines: the classic
+// accuracy-vs-budget coreset curve (what Table 3's columns sample at three
+// points), plus epoch time and data movement per point.
+//
+//   nessa-sweep [--dataset NAME] [--epochs N] [--scale S] [--seed N]
+//               [--fractions 0.05,0.1,0.2,0.3,0.5]
+//               [--pipelines nessa,random,craig,kcenter,loss-topk]
+//               [--csv PATH]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nessa/core/pipeline.hpp"
+#include "nessa/util/table.hpp"
+
+using namespace nessa;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "CIFAR-10";
+  std::size_t epochs = 20;
+  double scale = 0.03;
+  std::uint64_t seed = 42;
+  std::string fractions_arg = "0.05,0.1,0.2,0.3,0.5";
+  std::string pipelines_arg = "nessa,random";
+  std::string csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--dataset") {
+      if (const char* v = next()) dataset = v;
+    } else if (arg == "--epochs") {
+      if (const char* v = next()) epochs = std::atol(v);
+    } else if (arg == "--scale") {
+      if (const char* v = next()) scale = std::atof(v);
+    } else if (arg == "--seed") {
+      if (const char* v = next()) seed = std::atoll(v);
+    } else if (arg == "--fractions") {
+      if (const char* v = next()) fractions_arg = v;
+    } else if (arg == "--pipelines") {
+      if (const char* v = next()) pipelines_arg = v;
+    } else if (arg == "--csv") {
+      if (const char* v = next()) csv_path = v;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 1;
+    }
+  }
+
+  const auto& info = data::dataset_info(dataset);
+  auto ds = data::make_substrate_dataset(info, scale, 0, seed);
+
+  core::PipelineInputs inputs;
+  inputs.dataset = &ds;
+  inputs.info = info;
+  inputs.model = nn::model_spec(info.paper_network);
+  inputs.train.epochs = epochs;
+  inputs.train.batch_size = 128;
+  inputs.train.seed = seed;
+
+  std::cout << "fraction sweep on " << dataset << " (" << ds.train_size()
+            << " substrate samples, " << epochs << " epochs)\n\n";
+
+  // The full-data reference.
+  smartssd::SmartSsdSystem full_sys;
+  auto full = core::run_full(inputs, full_sys);
+
+  util::Table table;
+  table.set_header({"pipeline", "fraction", "accuracy (%)", "epoch (s)",
+                    "interconnect (GB)"});
+  table.add_row({"full", "1.00", util::Table::pct(full.final_accuracy),
+                 util::Table::num(util::to_seconds(full.mean_epoch_time), 2),
+                 util::Table::num(
+                     static_cast<double>(full.interconnect_bytes) / 1e9, 2)});
+
+  for (const auto& pipeline : split_csv(pipelines_arg)) {
+    for (const auto& frac_text : split_csv(fractions_arg)) {
+      const double fraction = std::atof(frac_text.c_str());
+      if (fraction <= 0.0 || fraction > 1.0) {
+        std::cerr << "skipping bad fraction " << frac_text << "\n";
+        continue;
+      }
+      smartssd::SmartSsdSystem sys;
+      core::RunResult run;
+      if (pipeline == "nessa") {
+        core::NessaConfig cfg;
+        cfg.subset_fraction = fraction;
+        cfg.dynamic_sizing = false;
+        cfg.min_subset_fraction = fraction;
+        cfg.partition_quota = 8;
+        cfg.drop_interval_epochs = std::max<std::size_t>(3, epochs / 4);
+        cfg.loss_window_epochs = std::max<std::size_t>(2, epochs / 40);
+        run = core::run_nessa(inputs, cfg, sys);
+      } else if (pipeline == "random") {
+        run = core::run_random(inputs, fraction, sys);
+      } else if (pipeline == "craig") {
+        run = core::run_craig(inputs, fraction, sys);
+      } else if (pipeline == "kcenter") {
+        run = core::run_kcenter(inputs, fraction, sys);
+      } else if (pipeline == "loss-topk") {
+        run = core::run_loss_topk(inputs, fraction, sys);
+      } else {
+        std::cerr << "unknown pipeline " << pipeline << "\n";
+        return 1;
+      }
+      table.add_row(
+          {pipeline, util::Table::num(fraction, 2),
+           util::Table::pct(run.final_accuracy),
+           util::Table::num(util::to_seconds(run.mean_epoch_time), 2),
+           util::Table::num(
+               static_cast<double>(run.interconnect_bytes) / 1e9, 2)});
+      std::cerr << "[sweep] " << pipeline << " @ " << frac_text << " done\n";
+    }
+  }
+  table.print(std::cout);
+
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    if (!csv) {
+      std::cerr << "cannot write " << csv_path << "\n";
+      return 1;
+    }
+    table.write_csv(csv);
+    std::cout << "\nCSV written to " << csv_path << "\n";
+  }
+  return 0;
+}
