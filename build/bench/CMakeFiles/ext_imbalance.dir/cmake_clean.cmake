@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_imbalance.dir/ext_imbalance.cpp.o"
+  "CMakeFiles/ext_imbalance.dir/ext_imbalance.cpp.o.d"
+  "ext_imbalance"
+  "ext_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

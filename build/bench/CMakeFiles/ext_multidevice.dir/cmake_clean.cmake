@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multidevice.dir/ext_multidevice.cpp.o"
+  "CMakeFiles/ext_multidevice.dir/ext_multidevice.cpp.o.d"
+  "ext_multidevice"
+  "ext_multidevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multidevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

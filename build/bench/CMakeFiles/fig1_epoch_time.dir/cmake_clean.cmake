@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_epoch_time.dir/fig1_epoch_time.cpp.o"
+  "CMakeFiles/fig1_epoch_time.dir/fig1_epoch_time.cpp.o.d"
+  "fig1_epoch_time"
+  "fig1_epoch_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_epoch_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

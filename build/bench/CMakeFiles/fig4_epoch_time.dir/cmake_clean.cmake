@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_epoch_time.dir/fig4_epoch_time.cpp.o"
+  "CMakeFiles/fig4_epoch_time.dir/fig4_epoch_time.cpp.o.d"
+  "fig4_epoch_time"
+  "fig4_epoch_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_epoch_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_throughput.dir/fig6_throughput.cpp.o"
+  "CMakeFiles/fig6_throughput.dir/fig6_throughput.cpp.o.d"
+  "fig6_throughput"
+  "fig6_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

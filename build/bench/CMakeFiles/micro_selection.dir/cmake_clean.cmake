@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_selection.dir/micro_selection.cpp.o"
+  "CMakeFiles/micro_selection.dir/micro_selection.cpp.o.d"
+  "micro_selection"
+  "micro_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ablation.dir/table3_ablation.cpp.o"
+  "CMakeFiles/table3_ablation.dir/table3_ablation.cpp.o.d"
+  "table3_ablation"
+  "table3_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_target_model.dir/conv_target_model.cpp.o"
+  "CMakeFiles/conv_target_model.dir/conv_target_model.cpp.o.d"
+  "conv_target_model"
+  "conv_target_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_target_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

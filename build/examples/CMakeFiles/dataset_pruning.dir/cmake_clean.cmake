@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_pruning.dir/dataset_pruning.cpp.o"
+  "CMakeFiles/dataset_pruning.dir/dataset_pruning.cpp.o.d"
+  "dataset_pruning"
+  "dataset_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

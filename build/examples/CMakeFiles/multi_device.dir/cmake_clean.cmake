@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_device.dir/multi_device.cpp.o"
+  "CMakeFiles/multi_device.dir/multi_device.cpp.o.d"
+  "multi_device"
+  "multi_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_storage_training.dir/near_storage_training.cpp.o"
+  "CMakeFiles/near_storage_training.dir/near_storage_training.cpp.o.d"
+  "near_storage_training"
+  "near_storage_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_storage_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_anatomy.dir/selection_anatomy.cpp.o"
+  "CMakeFiles/selection_anatomy.dir/selection_anatomy.cpp.o.d"
+  "selection_anatomy"
+  "selection_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/baseline_trainers.cpp" "src/core/CMakeFiles/nessa_core.dir/src/baseline_trainers.cpp.o" "gcc" "src/core/CMakeFiles/nessa_core.dir/src/baseline_trainers.cpp.o.d"
+  "/root/repo/src/core/src/energy.cpp" "src/core/CMakeFiles/nessa_core.dir/src/energy.cpp.o" "gcc" "src/core/CMakeFiles/nessa_core.dir/src/energy.cpp.o.d"
+  "/root/repo/src/core/src/extra_trainers.cpp" "src/core/CMakeFiles/nessa_core.dir/src/extra_trainers.cpp.o" "gcc" "src/core/CMakeFiles/nessa_core.dir/src/extra_trainers.cpp.o.d"
+  "/root/repo/src/core/src/full_trainer.cpp" "src/core/CMakeFiles/nessa_core.dir/src/full_trainer.cpp.o" "gcc" "src/core/CMakeFiles/nessa_core.dir/src/full_trainer.cpp.o.d"
+  "/root/repo/src/core/src/multi_trainer.cpp" "src/core/CMakeFiles/nessa_core.dir/src/multi_trainer.cpp.o" "gcc" "src/core/CMakeFiles/nessa_core.dir/src/multi_trainer.cpp.o.d"
+  "/root/repo/src/core/src/near_storage.cpp" "src/core/CMakeFiles/nessa_core.dir/src/near_storage.cpp.o" "gcc" "src/core/CMakeFiles/nessa_core.dir/src/near_storage.cpp.o.d"
+  "/root/repo/src/core/src/nessa_trainer.cpp" "src/core/CMakeFiles/nessa_core.dir/src/nessa_trainer.cpp.o" "gcc" "src/core/CMakeFiles/nessa_core.dir/src/nessa_trainer.cpp.o.d"
+  "/root/repo/src/core/src/pipeline_common.cpp" "src/core/CMakeFiles/nessa_core.dir/src/pipeline_common.cpp.o" "gcc" "src/core/CMakeFiles/nessa_core.dir/src/pipeline_common.cpp.o.d"
+  "/root/repo/src/core/src/report.cpp" "src/core/CMakeFiles/nessa_core.dir/src/report.cpp.o" "gcc" "src/core/CMakeFiles/nessa_core.dir/src/report.cpp.o.d"
+  "/root/repo/src/core/src/train_utils.cpp" "src/core/CMakeFiles/nessa_core.dir/src/train_utils.cpp.o" "gcc" "src/core/CMakeFiles/nessa_core.dir/src/train_utils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/selection/CMakeFiles/nessa_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/nessa_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nessa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nessa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartssd/CMakeFiles/nessa_smartssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nessa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nessa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

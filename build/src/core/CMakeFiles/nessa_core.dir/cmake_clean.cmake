@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa_core.dir/src/baseline_trainers.cpp.o"
+  "CMakeFiles/nessa_core.dir/src/baseline_trainers.cpp.o.d"
+  "CMakeFiles/nessa_core.dir/src/energy.cpp.o"
+  "CMakeFiles/nessa_core.dir/src/energy.cpp.o.d"
+  "CMakeFiles/nessa_core.dir/src/extra_trainers.cpp.o"
+  "CMakeFiles/nessa_core.dir/src/extra_trainers.cpp.o.d"
+  "CMakeFiles/nessa_core.dir/src/full_trainer.cpp.o"
+  "CMakeFiles/nessa_core.dir/src/full_trainer.cpp.o.d"
+  "CMakeFiles/nessa_core.dir/src/multi_trainer.cpp.o"
+  "CMakeFiles/nessa_core.dir/src/multi_trainer.cpp.o.d"
+  "CMakeFiles/nessa_core.dir/src/near_storage.cpp.o"
+  "CMakeFiles/nessa_core.dir/src/near_storage.cpp.o.d"
+  "CMakeFiles/nessa_core.dir/src/nessa_trainer.cpp.o"
+  "CMakeFiles/nessa_core.dir/src/nessa_trainer.cpp.o.d"
+  "CMakeFiles/nessa_core.dir/src/pipeline_common.cpp.o"
+  "CMakeFiles/nessa_core.dir/src/pipeline_common.cpp.o.d"
+  "CMakeFiles/nessa_core.dir/src/report.cpp.o"
+  "CMakeFiles/nessa_core.dir/src/report.cpp.o.d"
+  "CMakeFiles/nessa_core.dir/src/train_utils.cpp.o"
+  "CMakeFiles/nessa_core.dir/src/train_utils.cpp.o.d"
+  "libnessa_core.a"
+  "libnessa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/src/dataset.cpp" "src/data/CMakeFiles/nessa_data.dir/src/dataset.cpp.o" "gcc" "src/data/CMakeFiles/nessa_data.dir/src/dataset.cpp.o.d"
+  "/root/repo/src/data/src/registry.cpp" "src/data/CMakeFiles/nessa_data.dir/src/registry.cpp.o" "gcc" "src/data/CMakeFiles/nessa_data.dir/src/registry.cpp.o.d"
+  "/root/repo/src/data/src/sampler.cpp" "src/data/CMakeFiles/nessa_data.dir/src/sampler.cpp.o" "gcc" "src/data/CMakeFiles/nessa_data.dir/src/sampler.cpp.o.d"
+  "/root/repo/src/data/src/storage_format.cpp" "src/data/CMakeFiles/nessa_data.dir/src/storage_format.cpp.o" "gcc" "src/data/CMakeFiles/nessa_data.dir/src/storage_format.cpp.o.d"
+  "/root/repo/src/data/src/synthetic.cpp" "src/data/CMakeFiles/nessa_data.dir/src/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/nessa_data.dir/src/synthetic.cpp.o.d"
+  "/root/repo/src/data/src/synthetic_images.cpp" "src/data/CMakeFiles/nessa_data.dir/src/synthetic_images.cpp.o" "gcc" "src/data/CMakeFiles/nessa_data.dir/src/synthetic_images.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nessa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nessa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

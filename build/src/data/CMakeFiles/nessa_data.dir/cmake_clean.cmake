@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa_data.dir/src/dataset.cpp.o"
+  "CMakeFiles/nessa_data.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/nessa_data.dir/src/registry.cpp.o"
+  "CMakeFiles/nessa_data.dir/src/registry.cpp.o.d"
+  "CMakeFiles/nessa_data.dir/src/sampler.cpp.o"
+  "CMakeFiles/nessa_data.dir/src/sampler.cpp.o.d"
+  "CMakeFiles/nessa_data.dir/src/storage_format.cpp.o"
+  "CMakeFiles/nessa_data.dir/src/storage_format.cpp.o.d"
+  "CMakeFiles/nessa_data.dir/src/synthetic.cpp.o"
+  "CMakeFiles/nessa_data.dir/src/synthetic.cpp.o.d"
+  "CMakeFiles/nessa_data.dir/src/synthetic_images.cpp.o"
+  "CMakeFiles/nessa_data.dir/src/synthetic_images.cpp.o.d"
+  "libnessa_data.a"
+  "libnessa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

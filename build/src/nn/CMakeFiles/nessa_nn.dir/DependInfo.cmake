@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/src/activation.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/activation.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/activation.cpp.o.d"
+  "/root/repo/src/nn/src/adam.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/adam.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/adam.cpp.o.d"
+  "/root/repo/src/nn/src/confusion.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/confusion.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/confusion.cpp.o.d"
+  "/root/repo/src/nn/src/conv.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/conv.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/conv.cpp.o.d"
+  "/root/repo/src/nn/src/dense.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/dense.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/dense.cpp.o.d"
+  "/root/repo/src/nn/src/dropout.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/dropout.cpp.o.d"
+  "/root/repo/src/nn/src/embedding.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/embedding.cpp.o.d"
+  "/root/repo/src/nn/src/loss.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/loss.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/loss.cpp.o.d"
+  "/root/repo/src/nn/src/metrics.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/nn/src/model.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/model.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/model.cpp.o.d"
+  "/root/repo/src/nn/src/optimizer.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/optimizer.cpp.o.d"
+  "/root/repo/src/nn/src/serialize.cpp" "src/nn/CMakeFiles/nessa_nn.dir/src/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/nessa_nn.dir/src/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/nessa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa_nn.dir/src/activation.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/activation.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/adam.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/adam.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/confusion.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/confusion.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/conv.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/conv.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/dense.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/dense.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/dropout.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/dropout.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/embedding.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/embedding.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/loss.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/loss.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/metrics.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/model.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/model.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/optimizer.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/optimizer.cpp.o.d"
+  "CMakeFiles/nessa_nn.dir/src/serialize.cpp.o"
+  "CMakeFiles/nessa_nn.dir/src/serialize.cpp.o.d"
+  "libnessa_nn.a"
+  "libnessa_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/src/qmodel.cpp" "src/quant/CMakeFiles/nessa_quant.dir/src/qmodel.cpp.o" "gcc" "src/quant/CMakeFiles/nessa_quant.dir/src/qmodel.cpp.o.d"
+  "/root/repo/src/quant/src/quantize.cpp" "src/quant/CMakeFiles/nessa_quant.dir/src/quantize.cpp.o" "gcc" "src/quant/CMakeFiles/nessa_quant.dir/src/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nessa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nessa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa_quant.dir/src/qmodel.cpp.o"
+  "CMakeFiles/nessa_quant.dir/src/qmodel.cpp.o.d"
+  "CMakeFiles/nessa_quant.dir/src/quantize.cpp.o"
+  "CMakeFiles/nessa_quant.dir/src/quantize.cpp.o.d"
+  "libnessa_quant.a"
+  "libnessa_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

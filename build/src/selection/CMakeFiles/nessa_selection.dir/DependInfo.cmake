@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selection/src/baselines.cpp" "src/selection/CMakeFiles/nessa_selection.dir/src/baselines.cpp.o" "gcc" "src/selection/CMakeFiles/nessa_selection.dir/src/baselines.cpp.o.d"
+  "/root/repo/src/selection/src/drivers.cpp" "src/selection/CMakeFiles/nessa_selection.dir/src/drivers.cpp.o" "gcc" "src/selection/CMakeFiles/nessa_selection.dir/src/drivers.cpp.o.d"
+  "/root/repo/src/selection/src/facility_location.cpp" "src/selection/CMakeFiles/nessa_selection.dir/src/facility_location.cpp.o" "gcc" "src/selection/CMakeFiles/nessa_selection.dir/src/facility_location.cpp.o.d"
+  "/root/repo/src/selection/src/greedi.cpp" "src/selection/CMakeFiles/nessa_selection.dir/src/greedi.cpp.o" "gcc" "src/selection/CMakeFiles/nessa_selection.dir/src/greedi.cpp.o.d"
+  "/root/repo/src/selection/src/greedy.cpp" "src/selection/CMakeFiles/nessa_selection.dir/src/greedy.cpp.o" "gcc" "src/selection/CMakeFiles/nessa_selection.dir/src/greedy.cpp.o.d"
+  "/root/repo/src/selection/src/kcenter.cpp" "src/selection/CMakeFiles/nessa_selection.dir/src/kcenter.cpp.o" "gcc" "src/selection/CMakeFiles/nessa_selection.dir/src/kcenter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/nessa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa_selection.dir/src/baselines.cpp.o"
+  "CMakeFiles/nessa_selection.dir/src/baselines.cpp.o.d"
+  "CMakeFiles/nessa_selection.dir/src/drivers.cpp.o"
+  "CMakeFiles/nessa_selection.dir/src/drivers.cpp.o.d"
+  "CMakeFiles/nessa_selection.dir/src/facility_location.cpp.o"
+  "CMakeFiles/nessa_selection.dir/src/facility_location.cpp.o.d"
+  "CMakeFiles/nessa_selection.dir/src/greedi.cpp.o"
+  "CMakeFiles/nessa_selection.dir/src/greedi.cpp.o.d"
+  "CMakeFiles/nessa_selection.dir/src/greedy.cpp.o"
+  "CMakeFiles/nessa_selection.dir/src/greedy.cpp.o.d"
+  "CMakeFiles/nessa_selection.dir/src/kcenter.cpp.o"
+  "CMakeFiles/nessa_selection.dir/src/kcenter.cpp.o.d"
+  "libnessa_selection.a"
+  "libnessa_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

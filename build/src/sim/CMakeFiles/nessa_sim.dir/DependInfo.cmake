@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/engine.cpp" "src/sim/CMakeFiles/nessa_sim.dir/src/engine.cpp.o" "gcc" "src/sim/CMakeFiles/nessa_sim.dir/src/engine.cpp.o.d"
+  "/root/repo/src/sim/src/link.cpp" "src/sim/CMakeFiles/nessa_sim.dir/src/link.cpp.o" "gcc" "src/sim/CMakeFiles/nessa_sim.dir/src/link.cpp.o.d"
+  "/root/repo/src/sim/src/memory.cpp" "src/sim/CMakeFiles/nessa_sim.dir/src/memory.cpp.o" "gcc" "src/sim/CMakeFiles/nessa_sim.dir/src/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa_sim.dir/src/engine.cpp.o"
+  "CMakeFiles/nessa_sim.dir/src/engine.cpp.o.d"
+  "CMakeFiles/nessa_sim.dir/src/link.cpp.o"
+  "CMakeFiles/nessa_sim.dir/src/link.cpp.o.d"
+  "CMakeFiles/nessa_sim.dir/src/memory.cpp.o"
+  "CMakeFiles/nessa_sim.dir/src/memory.cpp.o.d"
+  "libnessa_sim.a"
+  "libnessa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

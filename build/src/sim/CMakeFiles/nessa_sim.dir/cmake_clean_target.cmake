@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnessa_sim.a"
+)

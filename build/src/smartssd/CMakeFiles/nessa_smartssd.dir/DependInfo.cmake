@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smartssd/src/channel_flash.cpp" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/channel_flash.cpp.o" "gcc" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/channel_flash.cpp.o.d"
+  "/root/repo/src/smartssd/src/device.cpp" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/device.cpp.o" "gcc" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/device.cpp.o.d"
+  "/root/repo/src/smartssd/src/flash.cpp" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/flash.cpp.o" "gcc" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/flash.cpp.o.d"
+  "/root/repo/src/smartssd/src/fpga.cpp" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/fpga.cpp.o" "gcc" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/fpga.cpp.o.d"
+  "/root/repo/src/smartssd/src/gpu_model.cpp" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/gpu_model.cpp.o" "gcc" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/gpu_model.cpp.o.d"
+  "/root/repo/src/smartssd/src/host_cache.cpp" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/host_cache.cpp.o" "gcc" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/host_cache.cpp.o.d"
+  "/root/repo/src/smartssd/src/loader_sim.cpp" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/loader_sim.cpp.o" "gcc" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/loader_sim.cpp.o.d"
+  "/root/repo/src/smartssd/src/pipeline_sim.cpp" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/pipeline_sim.cpp.o" "gcc" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/pipeline_sim.cpp.o.d"
+  "/root/repo/src/smartssd/src/resource_model.cpp" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/resource_model.cpp.o" "gcc" "src/smartssd/CMakeFiles/nessa_smartssd.dir/src/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nessa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

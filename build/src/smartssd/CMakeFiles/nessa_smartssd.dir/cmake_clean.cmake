@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa_smartssd.dir/src/channel_flash.cpp.o"
+  "CMakeFiles/nessa_smartssd.dir/src/channel_flash.cpp.o.d"
+  "CMakeFiles/nessa_smartssd.dir/src/device.cpp.o"
+  "CMakeFiles/nessa_smartssd.dir/src/device.cpp.o.d"
+  "CMakeFiles/nessa_smartssd.dir/src/flash.cpp.o"
+  "CMakeFiles/nessa_smartssd.dir/src/flash.cpp.o.d"
+  "CMakeFiles/nessa_smartssd.dir/src/fpga.cpp.o"
+  "CMakeFiles/nessa_smartssd.dir/src/fpga.cpp.o.d"
+  "CMakeFiles/nessa_smartssd.dir/src/gpu_model.cpp.o"
+  "CMakeFiles/nessa_smartssd.dir/src/gpu_model.cpp.o.d"
+  "CMakeFiles/nessa_smartssd.dir/src/host_cache.cpp.o"
+  "CMakeFiles/nessa_smartssd.dir/src/host_cache.cpp.o.d"
+  "CMakeFiles/nessa_smartssd.dir/src/loader_sim.cpp.o"
+  "CMakeFiles/nessa_smartssd.dir/src/loader_sim.cpp.o.d"
+  "CMakeFiles/nessa_smartssd.dir/src/pipeline_sim.cpp.o"
+  "CMakeFiles/nessa_smartssd.dir/src/pipeline_sim.cpp.o.d"
+  "CMakeFiles/nessa_smartssd.dir/src/resource_model.cpp.o"
+  "CMakeFiles/nessa_smartssd.dir/src/resource_model.cpp.o.d"
+  "libnessa_smartssd.a"
+  "libnessa_smartssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa_smartssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

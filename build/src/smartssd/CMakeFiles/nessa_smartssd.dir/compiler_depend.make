@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nessa_smartssd.
+# This may be replaced when dependencies are built.

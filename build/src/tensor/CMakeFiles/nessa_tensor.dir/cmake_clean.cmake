@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa_tensor.dir/src/ops.cpp.o"
+  "CMakeFiles/nessa_tensor.dir/src/ops.cpp.o.d"
+  "CMakeFiles/nessa_tensor.dir/src/tensor.cpp.o"
+  "CMakeFiles/nessa_tensor.dir/src/tensor.cpp.o.d"
+  "libnessa_tensor.a"
+  "libnessa_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa_util.dir/src/log.cpp.o"
+  "CMakeFiles/nessa_util.dir/src/log.cpp.o.d"
+  "CMakeFiles/nessa_util.dir/src/stats.cpp.o"
+  "CMakeFiles/nessa_util.dir/src/stats.cpp.o.d"
+  "CMakeFiles/nessa_util.dir/src/table.cpp.o"
+  "CMakeFiles/nessa_util.dir/src/table.cpp.o.d"
+  "CMakeFiles/nessa_util.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/nessa_util.dir/src/thread_pool.cpp.o.d"
+  "libnessa_util.a"
+  "libnessa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

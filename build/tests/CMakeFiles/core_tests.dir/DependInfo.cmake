@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/conv_pipeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/conv_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/conv_pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/edge_cases_test.cpp" "tests/CMakeFiles/core_tests.dir/core/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/core/energy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/energy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/energy_test.cpp.o.d"
+  "/root/repo/tests/core/extra_trainers_test.cpp" "tests/CMakeFiles/core_tests.dir/core/extra_trainers_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/extra_trainers_test.cpp.o.d"
+  "/root/repo/tests/core/multi_trainer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multi_trainer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multi_trainer_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/train_utils_test.cpp" "tests/CMakeFiles/core_tests.dir/core/train_utils_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/train_utils_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nessa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/nessa_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/nessa_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nessa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nessa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartssd/CMakeFiles/nessa_smartssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nessa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nessa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

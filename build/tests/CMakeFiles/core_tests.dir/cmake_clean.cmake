@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/conv_pipeline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/conv_pipeline_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/edge_cases_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/edge_cases_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/energy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/energy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/extra_trainers_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/extra_trainers_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multi_trainer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multi_trainer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/train_utils_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/train_utils_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_tests.dir/data/dataset_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/dataset_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/registry_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/registry_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/sampler_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/sampler_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/storage_format_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/storage_format_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/synthetic_images_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/synthetic_images_test.cpp.o.d"
+  "CMakeFiles/data_tests.dir/data/synthetic_test.cpp.o"
+  "CMakeFiles/data_tests.dir/data/synthetic_test.cpp.o.d"
+  "data_tests"
+  "data_tests.pdb"
+  "data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

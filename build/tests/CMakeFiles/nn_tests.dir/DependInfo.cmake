@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/activation_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/activation_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/activation_test.cpp.o.d"
+  "/root/repo/tests/nn/adam_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/adam_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/adam_test.cpp.o.d"
+  "/root/repo/tests/nn/confusion_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/confusion_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/confusion_test.cpp.o.d"
+  "/root/repo/tests/nn/conv_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/conv_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/conv_test.cpp.o.d"
+  "/root/repo/tests/nn/dense_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/dense_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/dense_test.cpp.o.d"
+  "/root/repo/tests/nn/dropout_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/dropout_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/dropout_test.cpp.o.d"
+  "/root/repo/tests/nn/embedding_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/embedding_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/embedding_test.cpp.o.d"
+  "/root/repo/tests/nn/gradient_check_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/gradient_check_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/gradient_check_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/metrics_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/metrics_test.cpp.o.d"
+  "/root/repo/tests/nn/model_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/model_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/model_test.cpp.o.d"
+  "/root/repo/tests/nn/optimizer_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/optimizer_test.cpp.o.d"
+  "/root/repo/tests/nn/serialize_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nessa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/nessa_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/nessa_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nessa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nessa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartssd/CMakeFiles/nessa_smartssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nessa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nessa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

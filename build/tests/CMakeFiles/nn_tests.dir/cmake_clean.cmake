@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/activation_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/activation_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/adam_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/adam_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/confusion_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/confusion_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/conv_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/conv_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/dense_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/dense_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/dropout_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/dropout_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/embedding_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/embedding_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/gradient_check_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/gradient_check_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/metrics_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/metrics_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/model_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/model_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/optimizer_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/optimizer_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

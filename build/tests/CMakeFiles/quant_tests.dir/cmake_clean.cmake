@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_tests.dir/quant/qmodel_test.cpp.o"
+  "CMakeFiles/quant_tests.dir/quant/qmodel_test.cpp.o.d"
+  "CMakeFiles/quant_tests.dir/quant/quant_sweep_test.cpp.o"
+  "CMakeFiles/quant_tests.dir/quant/quant_sweep_test.cpp.o.d"
+  "CMakeFiles/quant_tests.dir/quant/quantize_test.cpp.o"
+  "CMakeFiles/quant_tests.dir/quant/quantize_test.cpp.o.d"
+  "quant_tests"
+  "quant_tests.pdb"
+  "quant_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

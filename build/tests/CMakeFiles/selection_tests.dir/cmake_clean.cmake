@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_tests.dir/selection/anatomy_test.cpp.o"
+  "CMakeFiles/selection_tests.dir/selection/anatomy_test.cpp.o.d"
+  "CMakeFiles/selection_tests.dir/selection/baselines_test.cpp.o"
+  "CMakeFiles/selection_tests.dir/selection/baselines_test.cpp.o.d"
+  "CMakeFiles/selection_tests.dir/selection/drivers_test.cpp.o"
+  "CMakeFiles/selection_tests.dir/selection/drivers_test.cpp.o.d"
+  "CMakeFiles/selection_tests.dir/selection/facility_location_test.cpp.o"
+  "CMakeFiles/selection_tests.dir/selection/facility_location_test.cpp.o.d"
+  "CMakeFiles/selection_tests.dir/selection/greedi_test.cpp.o"
+  "CMakeFiles/selection_tests.dir/selection/greedi_test.cpp.o.d"
+  "CMakeFiles/selection_tests.dir/selection/greedy_test.cpp.o"
+  "CMakeFiles/selection_tests.dir/selection/greedy_test.cpp.o.d"
+  "CMakeFiles/selection_tests.dir/selection/kcenter_test.cpp.o"
+  "CMakeFiles/selection_tests.dir/selection/kcenter_test.cpp.o.d"
+  "CMakeFiles/selection_tests.dir/selection/optimality_test.cpp.o"
+  "CMakeFiles/selection_tests.dir/selection/optimality_test.cpp.o.d"
+  "selection_tests"
+  "selection_tests.pdb"
+  "selection_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

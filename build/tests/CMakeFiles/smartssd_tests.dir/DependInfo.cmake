@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/smartssd/channel_flash_test.cpp" "tests/CMakeFiles/smartssd_tests.dir/smartssd/channel_flash_test.cpp.o" "gcc" "tests/CMakeFiles/smartssd_tests.dir/smartssd/channel_flash_test.cpp.o.d"
+  "/root/repo/tests/smartssd/device_test.cpp" "tests/CMakeFiles/smartssd_tests.dir/smartssd/device_test.cpp.o" "gcc" "tests/CMakeFiles/smartssd_tests.dir/smartssd/device_test.cpp.o.d"
+  "/root/repo/tests/smartssd/flash_test.cpp" "tests/CMakeFiles/smartssd_tests.dir/smartssd/flash_test.cpp.o" "gcc" "tests/CMakeFiles/smartssd_tests.dir/smartssd/flash_test.cpp.o.d"
+  "/root/repo/tests/smartssd/fpga_test.cpp" "tests/CMakeFiles/smartssd_tests.dir/smartssd/fpga_test.cpp.o" "gcc" "tests/CMakeFiles/smartssd_tests.dir/smartssd/fpga_test.cpp.o.d"
+  "/root/repo/tests/smartssd/gpu_model_test.cpp" "tests/CMakeFiles/smartssd_tests.dir/smartssd/gpu_model_test.cpp.o" "gcc" "tests/CMakeFiles/smartssd_tests.dir/smartssd/gpu_model_test.cpp.o.d"
+  "/root/repo/tests/smartssd/host_cache_test.cpp" "tests/CMakeFiles/smartssd_tests.dir/smartssd/host_cache_test.cpp.o" "gcc" "tests/CMakeFiles/smartssd_tests.dir/smartssd/host_cache_test.cpp.o.d"
+  "/root/repo/tests/smartssd/loader_sim_test.cpp" "tests/CMakeFiles/smartssd_tests.dir/smartssd/loader_sim_test.cpp.o" "gcc" "tests/CMakeFiles/smartssd_tests.dir/smartssd/loader_sim_test.cpp.o.d"
+  "/root/repo/tests/smartssd/pipeline_sim_test.cpp" "tests/CMakeFiles/smartssd_tests.dir/smartssd/pipeline_sim_test.cpp.o" "gcc" "tests/CMakeFiles/smartssd_tests.dir/smartssd/pipeline_sim_test.cpp.o.d"
+  "/root/repo/tests/smartssd/resource_model_test.cpp" "tests/CMakeFiles/smartssd_tests.dir/smartssd/resource_model_test.cpp.o" "gcc" "tests/CMakeFiles/smartssd_tests.dir/smartssd/resource_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nessa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/nessa_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/nessa_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nessa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nessa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartssd/CMakeFiles/nessa_smartssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nessa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nessa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartssd_tests.dir/smartssd/channel_flash_test.cpp.o"
+  "CMakeFiles/smartssd_tests.dir/smartssd/channel_flash_test.cpp.o.d"
+  "CMakeFiles/smartssd_tests.dir/smartssd/device_test.cpp.o"
+  "CMakeFiles/smartssd_tests.dir/smartssd/device_test.cpp.o.d"
+  "CMakeFiles/smartssd_tests.dir/smartssd/flash_test.cpp.o"
+  "CMakeFiles/smartssd_tests.dir/smartssd/flash_test.cpp.o.d"
+  "CMakeFiles/smartssd_tests.dir/smartssd/fpga_test.cpp.o"
+  "CMakeFiles/smartssd_tests.dir/smartssd/fpga_test.cpp.o.d"
+  "CMakeFiles/smartssd_tests.dir/smartssd/gpu_model_test.cpp.o"
+  "CMakeFiles/smartssd_tests.dir/smartssd/gpu_model_test.cpp.o.d"
+  "CMakeFiles/smartssd_tests.dir/smartssd/host_cache_test.cpp.o"
+  "CMakeFiles/smartssd_tests.dir/smartssd/host_cache_test.cpp.o.d"
+  "CMakeFiles/smartssd_tests.dir/smartssd/loader_sim_test.cpp.o"
+  "CMakeFiles/smartssd_tests.dir/smartssd/loader_sim_test.cpp.o.d"
+  "CMakeFiles/smartssd_tests.dir/smartssd/pipeline_sim_test.cpp.o"
+  "CMakeFiles/smartssd_tests.dir/smartssd/pipeline_sim_test.cpp.o.d"
+  "CMakeFiles/smartssd_tests.dir/smartssd/resource_model_test.cpp.o"
+  "CMakeFiles/smartssd_tests.dir/smartssd/resource_model_test.cpp.o.d"
+  "smartssd_tests"
+  "smartssd_tests.pdb"
+  "smartssd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartssd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

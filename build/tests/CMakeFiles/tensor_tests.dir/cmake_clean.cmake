@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_tests.dir/tensor/gemm_sweep_test.cpp.o"
+  "CMakeFiles/tensor_tests.dir/tensor/gemm_sweep_test.cpp.o.d"
+  "CMakeFiles/tensor_tests.dir/tensor/ops_test.cpp.o"
+  "CMakeFiles/tensor_tests.dir/tensor/ops_test.cpp.o.d"
+  "CMakeFiles/tensor_tests.dir/tensor/tensor_test.cpp.o"
+  "CMakeFiles/tensor_tests.dir/tensor/tensor_test.cpp.o.d"
+  "tensor_tests"
+  "tensor_tests.pdb"
+  "tensor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

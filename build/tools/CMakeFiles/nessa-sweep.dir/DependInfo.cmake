@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/nessa_sweep.cpp" "tools/CMakeFiles/nessa-sweep.dir/nessa_sweep.cpp.o" "gcc" "tools/CMakeFiles/nessa-sweep.dir/nessa_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nessa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/nessa_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/nessa_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nessa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nessa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartssd/CMakeFiles/nessa_smartssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nessa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nessa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nessa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa-sweep.dir/nessa_sweep.cpp.o"
+  "CMakeFiles/nessa-sweep.dir/nessa_sweep.cpp.o.d"
+  "nessa-sweep"
+  "nessa-sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa-sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

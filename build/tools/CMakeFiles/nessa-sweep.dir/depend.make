@@ -1,0 +1,2 @@
+# Empty dependencies file for nessa-sweep.
+# This may be replaced when dependencies are built.

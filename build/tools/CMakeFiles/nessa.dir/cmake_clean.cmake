@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nessa.dir/nessa_cli.cpp.o"
+  "CMakeFiles/nessa.dir/nessa_cli.cpp.o.d"
+  "nessa"
+  "nessa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nessa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
