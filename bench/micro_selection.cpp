@@ -25,50 +25,61 @@ tensor::Tensor random_embeddings(std::size_t n, std::size_t d,
   return t;
 }
 
+// Greedy benchmarks take (n, parallel) argument pairs: /<n>/0 runs the
+// serial engine, /<n>/1 runs the same reduction on the global thread pool
+// (identical results by construction — see docs/performance.md).
+
 void BM_FacilityLocationBuild(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const bool parallel = state.range(1) != 0;
   auto emb = random_embeddings(n, 10, 1);
   for (auto _ : state) {
-    auto fl = selection::FacilityLocation::from_embeddings(emb);
+    auto fl = selection::FacilityLocation::from_embeddings(emb, parallel);
     benchmark::DoNotOptimize(fl.ground_size());
   }
   state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
 }
-BENCHMARK(BM_FacilityLocationBuild)->Range(64, 1024)->Complexity();
+BENCHMARK(BM_FacilityLocationBuild)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1}})
+    ->Complexity();
 
 void BM_NaiveGreedy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const bool parallel = state.range(1) != 0;
   auto fl = selection::FacilityLocation::from_embeddings(
       random_embeddings(n, 10, 2));
   for (auto _ : state) {
-    auto result = selection::naive_greedy(fl, n / 10);
+    auto result = selection::naive_greedy(fl, n / 10, parallel);
     benchmark::DoNotOptimize(result.objective);
   }
 }
-BENCHMARK(BM_NaiveGreedy)->Range(64, 512);
+BENCHMARK(BM_NaiveGreedy)->ArgsProduct({{64, 256, 1024}, {0, 1}});
 
 void BM_LazyGreedy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const bool parallel = state.range(1) != 0;
   auto fl = selection::FacilityLocation::from_embeddings(
       random_embeddings(n, 10, 2));
   for (auto _ : state) {
-    auto result = selection::lazy_greedy(fl, n / 10);
+    auto result = selection::lazy_greedy(fl, n / 10, parallel);
     benchmark::DoNotOptimize(result.objective);
   }
 }
-BENCHMARK(BM_LazyGreedy)->Range(64, 512);
+BENCHMARK(BM_LazyGreedy)->ArgsProduct({{64, 256, 512, 1024}, {0, 1}});
 
 void BM_StochasticGreedy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const bool parallel = state.range(1) != 0;
   auto fl = selection::FacilityLocation::from_embeddings(
       random_embeddings(n, 10, 2));
   util::Rng rng(3);
   for (auto _ : state) {
-    auto result = selection::stochastic_greedy(fl, n / 10, rng);
+    auto result =
+        selection::stochastic_greedy(fl, n / 10, rng, 0.1, parallel);
     benchmark::DoNotOptimize(result.objective);
   }
 }
-BENCHMARK(BM_StochasticGreedy)->Range(64, 512);
+BENCHMARK(BM_StochasticGreedy)->ArgsProduct({{64, 256, 512}, {0, 1}});
 
 void BM_KCenterGreedy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

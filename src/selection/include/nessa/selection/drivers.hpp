@@ -32,6 +32,18 @@ struct DriverConfig {
   /// partitioning ("Vanilla" in Table 3).
   std::size_t partition_quota = 0;
   std::uint64_t seed = 1234;
+  /// Run the selection engine on the global thread pool: per-class /
+  /// per-partition subproblems fan out across workers, and the greedy
+  /// inner loops evaluate candidate gains in parallel blocks. For a fixed
+  /// value of this flag, results are identical for any thread count: the
+  /// greedy reductions are deterministic by construction, and parallel
+  /// mode pre-forks one rng per subproblem in task order. Deterministic
+  /// configs (naive/lazy greedy, no partitioning) are additionally
+  /// bit-identical between parallel and serial mode; stochastic or
+  /// partitioned configs consume rng streams differently across the two
+  /// modes (serial threads one stream through tasks sequentially), so
+  /// their selections are equally valid but not identical across modes.
+  bool parallel = false;
 };
 
 struct CoresetResult {

@@ -28,12 +28,21 @@ using tensor::Tensor;
 class FacilityLocation {
  public:
   /// Build from embeddings (rows are examples). O(n^2 d) via a GEMM.
+  /// `parallel` both parallelizes the build and becomes the instance's
+  /// parallel knob (see set_parallel).
   static FacilityLocation from_embeddings(const Tensor& embeddings,
                                           bool parallel = true);
 
   /// Build directly from a precomputed similarity matrix (must be square,
   /// non-negative; used by tests).
   static FacilityLocation from_similarity(Tensor similarity);
+
+  /// Parallel knob: when set, value()/add()/medoid_weights() dispatch their
+  /// reductions onto the global thread pool. Results are bit-identical to
+  /// the serial path for any thread count — reductions always use the same
+  /// fixed-grain block structure (see util::chunked_reduce).
+  void set_parallel(bool parallel) noexcept { parallel_ = parallel; }
+  [[nodiscard]] bool parallel() const noexcept { return parallel_; }
 
   [[nodiscard]] std::size_t ground_size() const noexcept { return n_; }
   [[nodiscard]] float similarity(std::size_t i, std::size_t j) const {
@@ -74,6 +83,7 @@ class FacilityLocation {
 
   std::size_t n_ = 0;
   float c0_ = 0.0f;
+  bool parallel_ = false;
   Tensor sim_;  // [n, n]
 };
 

@@ -10,6 +10,14 @@
 //                        random sample of size (n/k) ln(1/eps), giving a
 //                        (1 - 1/e - eps) guarantee in O(n log 1/eps) total.
 //
+// Every maximizer takes a `parallel` knob. When set, candidate gains are
+// evaluated in contiguous blocks on the global thread pool with a
+// deterministic argmax reduction (block partials combined in block order,
+// ties broken toward the smaller index) — the selected sequence, objective,
+// and weights are bit-identical to the serial path for any thread count.
+// Only `gain_evaluations` may differ for the parallel lazy variant, which
+// re-evaluates stale heap entries in batches.
+//
 // Every maximizer returns the selected indices in selection order plus the
 // number of marginal-gain evaluations performed (the operational-intensity
 // signal the FPGA timing model charges for).
@@ -31,13 +39,20 @@ struct GreedyResult {
 };
 
 /// Plain greedy. k is clamped to the ground-set size.
-GreedyResult naive_greedy(const FacilityLocation& fl, std::size_t k);
+GreedyResult naive_greedy(const FacilityLocation& fl, std::size_t k,
+                          bool parallel = false);
 
-/// Lazy (accelerated) greedy; output identical to naive_greedy.
-GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k);
+/// Lazy (accelerated) greedy; output identical to naive_greedy. With
+/// `parallel`, stale heap entries are re-evaluated in batches across the
+/// pool (same selections; evaluation count may exceed the serial path's).
+GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k,
+                         bool parallel = false);
 
-/// Stochastic greedy with sample size ceil((n/k) * ln(1/epsilon)).
+/// Stochastic greedy with sample size ceil((n/k) * ln(1/epsilon)). Sampling
+/// always happens on the calling thread, so `parallel` does not perturb the
+/// rng stream.
 GreedyResult stochastic_greedy(const FacilityLocation& fl, std::size_t k,
-                               util::Rng& rng, double epsilon = 0.1);
+                               util::Rng& rng, double epsilon = 0.1,
+                               bool parallel = false);
 
 }  // namespace nessa::selection

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nessa/tensor/ops.hpp"
+#include "nessa/util/thread_pool.hpp"
 
 namespace nessa::selection {
 
@@ -16,11 +17,12 @@ GreedyResult run_greedy(const FacilityLocation& fl, std::size_t k,
                         const DriverConfig& cfg, util::Rng& rng) {
   switch (cfg.greedy) {
     case GreedyKind::kNaive:
-      return naive_greedy(fl, k);
+      return naive_greedy(fl, k, cfg.parallel);
     case GreedyKind::kLazy:
-      return lazy_greedy(fl, k);
+      return lazy_greedy(fl, k, cfg.parallel);
     case GreedyKind::kStochastic:
-      return stochastic_greedy(fl, k, rng, cfg.stochastic_epsilon);
+      return stochastic_greedy(fl, k, rng, cfg.stochastic_epsilon,
+                               cfg.parallel);
   }
   throw std::logic_error("run_greedy: unknown greedy kind");
 }
@@ -40,6 +42,7 @@ void select_from_rows(const Tensor& embeddings,
                 embeddings.cols(), sub.data() + r * embeddings.cols());
   }
   auto fl = FacilityLocation::from_embeddings(sub);
+  fl.set_parallel(cfg.parallel);
   result.peak_kernel_bytes =
       std::max(result.peak_kernel_bytes, fl.memory_bytes());
   result.similarity_ops += static_cast<std::uint64_t>(rows.size()) *
@@ -87,6 +90,69 @@ void select_partitioned(const Tensor& embeddings,
                      q, cfg, rng, result);
     cursor += items;
   }
+}
+
+/// One independent selection subproblem (a class, or the whole set).
+struct SelectTask {
+  std::vector<std::size_t> rows;
+  std::size_t quota = 0;
+  util::Rng rng{0};
+};
+
+/// Run every task and merge the per-task results in task order.
+///
+/// Serial mode threads the caller's rng through the tasks sequentially —
+/// exactly the legacy behavior. Parallel mode gives each task its own fork
+/// of the caller's rng, drawn in task order up front, so the fan-out is
+/// deterministic for any pool size (but, for stochastic or partitioned
+/// configs, not stream-identical to serial mode). The fork/no-fork choice
+/// depends only on cfg.parallel — never on the machine's thread count — so
+/// a given (config, seed) always produces the same selection.
+CoresetResult run_tasks(const Tensor& embeddings, std::vector<SelectTask> tasks,
+                        const DriverConfig& cfg, util::Rng& rng) {
+  const auto run_one = [&](std::size_t t, util::Rng& task_rng,
+                           CoresetResult& out) {
+    if (cfg.partition_quota > 0) {
+      select_partitioned(embeddings, std::move(tasks[t].rows), tasks[t].quota,
+                         cfg, task_rng, out);
+    } else {
+      select_from_rows(embeddings, tasks[t].rows, tasks[t].quota, cfg,
+                       task_rng, out);
+    }
+  };
+  if (!cfg.parallel) {
+    CoresetResult result;
+    for (std::size_t t = 0; t < tasks.size(); ++t) run_one(t, rng, result);
+    return result;
+  }
+
+  for (auto& task : tasks) task.rng = rng.fork();
+  std::vector<CoresetResult> partial(tasks.size());
+  auto& pool = util::ThreadPool::global();
+  const auto sweep = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      run_one(t, tasks[t].rng, partial[t]);
+    }
+  };
+  if (tasks.size() > 1 && pool.size() > 1) {
+    pool.parallel_for_chunked(0, tasks.size(), 1, sweep);
+  } else {
+    sweep(0, tasks.size());
+  }
+  CoresetResult result;
+  for (auto& p : partial) {
+    result.indices.insert(result.indices.end(), p.indices.begin(),
+                          p.indices.end());
+    result.weights.insert(result.weights.end(), p.weights.begin(),
+                          p.weights.end());
+    result.objective += p.objective;
+    result.gain_evaluations += p.gain_evaluations;
+    result.peak_kernel_bytes =
+        std::max(result.peak_kernel_bytes, p.peak_kernel_bytes);
+    result.similarity_ops += p.similarity_ops;
+    result.greedy_ops += p.greedy_ops;
+  }
+  return result;
 }
 
 }  // namespace
@@ -146,53 +212,43 @@ CoresetResult select_coreset(const Tensor& embeddings,
   CoresetResult result;
   if (n == 0 || k_total == 0) return result;
 
-  auto emit = [&](CoresetResult& r) {
-    if (!global_ids.empty()) {
-      for (auto& idx : r.indices) idx = global_ids[idx];
-    }
-  };
-
+  std::vector<SelectTask> tasks;
   if (!config.per_class) {
-    std::vector<std::size_t> rows(n);
-    std::iota(rows.begin(), rows.end(), 0);
-    if (config.partition_quota > 0) {
-      select_partitioned(embeddings, std::move(rows), k_total, config, rng,
-                         result);
-    } else {
-      select_from_rows(embeddings, rows, k_total, config, rng, result);
+    SelectTask task;
+    task.rows.resize(n);
+    std::iota(task.rows.begin(), task.rows.end(), 0);
+    task.quota = k_total;
+    tasks.push_back(std::move(task));
+  } else {
+    // Group candidate rows by class label.
+    std::int32_t max_label = 0;
+    for (auto y : labels) max_label = std::max(max_label, y);
+    std::vector<std::vector<std::size_t>> by_class(
+        static_cast<std::size_t>(max_label) + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (labels[i] < 0) {
+        throw std::invalid_argument("select_coreset: negative label");
+      }
+      by_class[static_cast<std::size_t>(labels[i])].push_back(i);
     }
-    emit(result);
-    return result;
+    std::vector<std::size_t> sizes(by_class.size());
+    for (std::size_t c = 0; c < by_class.size(); ++c) {
+      sizes[c] = by_class[c].size();
+    }
+    auto budgets = proportional_budgets(sizes, k_total);
+    for (std::size_t c = 0; c < by_class.size(); ++c) {
+      if (budgets[c] == 0 || by_class[c].empty()) continue;
+      SelectTask task;
+      task.rows = std::move(by_class[c]);
+      task.quota = budgets[c];
+      tasks.push_back(std::move(task));
+    }
   }
 
-  // Group candidate rows by class label.
-  std::int32_t max_label = 0;
-  for (auto y : labels) max_label = std::max(max_label, y);
-  std::vector<std::vector<std::size_t>> by_class(
-      static_cast<std::size_t>(max_label) + 1);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (labels[i] < 0) {
-      throw std::invalid_argument("select_coreset: negative label");
-    }
-    by_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  result = run_tasks(embeddings, std::move(tasks), config, rng);
+  if (!global_ids.empty()) {
+    for (auto& idx : result.indices) idx = global_ids[idx];
   }
-  std::vector<std::size_t> sizes(by_class.size());
-  for (std::size_t c = 0; c < by_class.size(); ++c) {
-    sizes[c] = by_class[c].size();
-  }
-  auto budgets = proportional_budgets(sizes, k_total);
-
-  for (std::size_t c = 0; c < by_class.size(); ++c) {
-    if (budgets[c] == 0 || by_class[c].empty()) continue;
-    if (config.partition_quota > 0) {
-      select_partitioned(embeddings, by_class[c], budgets[c], config, rng,
-                         result);
-    } else {
-      select_from_rows(embeddings, by_class[c], budgets[c], config, rng,
-                       result);
-    }
-  }
-  emit(result);
   return result;
 }
 

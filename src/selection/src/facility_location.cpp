@@ -4,8 +4,148 @@
 #include <stdexcept>
 
 #include "nessa/tensor/ops.hpp"
+#include "nessa/util/parallel_reduce.hpp"
+#include "nessa/util/thread_pool.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__GNUC__) && defined(__x86_64__)
+#include <immintrin.h>
+#define NESSA_AVX_DISPATCH 1
+#endif
 
 namespace nessa::selection {
+
+namespace {
+
+/// Block size for the deterministic chunked reductions over the ground set.
+/// Fixed (never derived from the thread count) so serial and parallel runs
+/// share one accumulation order.
+constexpr std::size_t kReduceGrain = 4096;
+
+// The positive-part sum below is THE selection hot loop (one call per
+// marginal_gain). It uses sixteen double accumulator lanes — lane l sums
+// the elements at offset l mod 16 — combined in a fixed pairwise tree,
+// with the tail folded into lane 0. The compiler will not vectorize a
+// strict float→double reduction on its own, so the SSE2 and AVX paths
+// spell out the same lane structure with intrinsics; every path is
+// bit-identical (data is finite, so max(d, 0) and `d > 0 ? d : 0` agree),
+// which keeps results independent of the machine the binary runs on.
+//
+// `pf` is a prefetch hint: the same offsets of `pf` are pulled toward L1
+// while `srow` streams. Similarity rows are ~one page each, so the
+// hardware prefetcher re-ramps at every candidate row; hinting the next
+// candidate's row hides that. Prefetching never changes results — pass
+// `srow` itself when there is no meaningful next row.
+
+/// Shared tail + lane-combine for all clamped_delta_sum implementations.
+inline double finish_lanes(double* lane, const float* srow, const float* cov,
+                           std::size_t i, std::size_t hi) noexcept {
+  for (; i < hi; ++i) {
+    const float d = srow[i] - cov[i];
+    lane[0] += d > 0.0f ? d : 0.0f;
+  }
+  const double q0 = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  const double q1 = (lane[4] + lane[5]) + (lane[6] + lane[7]);
+  const double q2 = (lane[8] + lane[9]) + (lane[10] + lane[11]);
+  const double q3 = (lane[12] + lane[13]) + (lane[14] + lane[15]);
+  return (q0 + q1) + (q2 + q3);
+}
+
+#if defined(NESSA_AVX_DISPATCH)
+/// AVX variant, selected at runtime: four independent 4-wide accumulator
+/// chains hide the vector-add latency that bounds the SSE2 version.
+__attribute__((target("avx"))) double clamped_delta_sum_avx(
+    const float* srow, const float* cov, const float* pf, std::size_t lo,
+    std::size_t hi) noexcept {
+  std::size_t i = lo;
+  __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+  const __m256 zero = _mm256_setzero_ps();
+  for (; i + 16 <= hi; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(pf + i), _MM_HINT_T0);
+    const __m256 d07 = _mm256_max_ps(
+        _mm256_sub_ps(_mm256_loadu_ps(srow + i), _mm256_loadu_ps(cov + i)),
+        zero);
+    const __m256 d8f = _mm256_max_ps(
+        _mm256_sub_ps(_mm256_loadu_ps(srow + i + 8),
+                      _mm256_loadu_ps(cov + i + 8)),
+        zero);
+    a0 = _mm256_add_pd(a0, _mm256_cvtps_pd(_mm256_castps256_ps128(d07)));
+    a1 = _mm256_add_pd(a1, _mm256_cvtps_pd(_mm256_extractf128_ps(d07, 1)));
+    a2 = _mm256_add_pd(a2, _mm256_cvtps_pd(_mm256_castps256_ps128(d8f)));
+    a3 = _mm256_add_pd(a3, _mm256_cvtps_pd(_mm256_extractf128_ps(d8f, 1)));
+  }
+  alignas(32) double lane[16];
+  _mm256_store_pd(lane + 0, a0);
+  _mm256_store_pd(lane + 4, a1);
+  _mm256_store_pd(lane + 8, a2);
+  _mm256_store_pd(lane + 12, a3);
+  return finish_lanes(lane, srow, cov, i, hi);
+}
+
+const bool kHasAvx = [] {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx") != 0;
+}();
+#endif
+
+double clamped_delta_sum(const float* srow, const float* cov, const float* pf,
+                         std::size_t lo, std::size_t hi) noexcept {
+#if defined(NESSA_AVX_DISPATCH)
+  if (kHasAvx) return clamped_delta_sum_avx(srow, cov, pf, lo, hi);
+#endif
+  std::size_t i = lo;
+#if defined(__SSE2__)
+  __m128d acc[8];
+  for (auto& a : acc) a = _mm_setzero_pd();
+  const __m128 zero = _mm_setzero_ps();
+  for (; i + 16 <= hi; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(pf + i), _MM_HINT_T0);
+    for (std::size_t q = 0; q < 4; ++q) {
+      const __m128 d = _mm_max_ps(
+          _mm_sub_ps(_mm_loadu_ps(srow + i + 4 * q),
+                     _mm_loadu_ps(cov + i + 4 * q)),
+          zero);
+      acc[2 * q] = _mm_add_pd(acc[2 * q], _mm_cvtps_pd(d));
+      acc[2 * q + 1] =
+          _mm_add_pd(acc[2 * q + 1], _mm_cvtps_pd(_mm_movehl_ps(d, d)));
+    }
+  }
+  alignas(16) double lane[16];
+  for (std::size_t q = 0; q < 8; ++q) _mm_store_pd(lane + 2 * q, acc[q]);
+#else
+  double lane[16] = {};
+  for (; i + 16 <= hi; i += 16) {
+    __builtin_prefetch(pf + i);
+    for (std::size_t l = 0; l < 16; ++l) {
+      const float d = srow[i + l] - cov[i + l];
+      lane[l] += d > 0.0f ? d : 0.0f;
+    }
+  }
+#endif
+  return finish_lanes(lane, srow, cov, i, hi);
+}
+
+/// Max over [lo, hi) of a non-negative buffer. Max is associative and
+/// commutative, so the lane split is exact — SSE2 and scalar paths agree
+/// bit for bit.
+float max_block(const float* v, std::size_t lo, std::size_t hi) noexcept {
+  float mx = 0.0f;
+  std::size_t i = lo;
+#if defined(__SSE2__)
+  __m128 mx4 = _mm_setzero_ps();
+  for (; i + 4 <= hi; i += 4) mx4 = _mm_max_ps(mx4, _mm_loadu_ps(v + i));
+  alignas(16) float lane[4];
+  _mm_store_ps(lane, mx4);
+  mx = std::max(std::max(lane[0], lane[1]), std::max(lane[2], lane[3]));
+#endif
+  for (; i < hi; ++i) mx = std::max(mx, v[i]);
+  return mx;
+}
+
+}  // namespace
 
 FacilityLocation FacilityLocation::from_embeddings(const Tensor& embeddings,
                                                    bool parallel) {
@@ -15,17 +155,34 @@ FacilityLocation FacilityLocation::from_embeddings(const Tensor& embeddings,
   }
   Tensor dists = tensor::pairwise_sq_dists(embeddings, parallel);
   const std::size_t n = dists.rows();
-  float c0 = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      c0 = std::max(c0, dists(i, j));
-    }
+  // c0 is the max pairwise distance. The diagonal is zero and distances are
+  // non-negative, so a single sweep over the flat buffer equals the old
+  // upper-triangle double loop; the sweep and the c0 - x rewrite both run
+  // as chunked passes over flat().
+  float* flat = dists.flat().data();
+  const std::size_t total = n * n;
+  const float c0 = util::chunked_reduce(
+      total, kReduceGrain, parallel, 0.0f,
+      [flat](std::size_t lo, std::size_t hi) {
+        return max_block(flat, lo, hi);
+      },
+      [](float a, float b) { return std::max(a, b); });
+
+  auto& pool = util::ThreadPool::global();
+  const auto rewrite = [flat, c0](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) flat[i] = c0 - flat[i];
+  };
+  if (parallel && pool.size() > 1) {
+    pool.parallel_for_chunked(0, total, kReduceGrain, rewrite);
+  } else {
+    rewrite(0, total);
   }
+
   FacilityLocation fl;
   fl.n_ = n;
   fl.c0_ = c0;
+  fl.parallel_ = parallel;
   fl.sim_ = std::move(dists);
-  for (float& x : fl.sim_.flat()) x = c0 - x;
   return fl;
 }
 
@@ -59,20 +216,23 @@ std::uint64_t FacilityLocation::memory_bytes() const noexcept {
 
 double FacilityLocation::value(std::span<const std::size_t> set) const {
   if (set.empty()) return 0.0;
-  double total = 0.0;
-  for (std::size_t i = 0; i < n_; ++i) {
-    float best = 0.0f;
-    bool first = true;
-    for (std::size_t j : set) {
-      const float s = sim_(i, j);
-      if (first || s > best) {
-        best = s;
-        first = false;
-      }
-    }
-    total += best;
-  }
-  return total;
+  const float* sim = sim_.data();
+  const std::size_t n = n_;
+  return util::chunked_reduce(
+      n, kReduceGrain, parallel_, 0.0,
+      [sim, n, set](std::size_t lo, std::size_t hi) {
+        double total = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* srow = sim + i * n;
+          float best = srow[set[0]];
+          for (std::size_t p = 1; p < set.size(); ++p) {
+            best = std::max(best, srow[set[p]]);
+          }
+          total += best;
+        }
+        return total;
+      },
+      [](double a, double b) { return a + b; });
 }
 
 FacilityLocation::State FacilityLocation::empty_state() const {
@@ -86,27 +246,30 @@ FacilityLocation::State FacilityLocation::empty_state() const {
 double FacilityLocation::marginal_gain(const State& state,
                                        std::size_t j) const {
   if (j >= n_) throw std::out_of_range("marginal_gain: index out of range");
-  double gain = 0.0;
   // sim_ is symmetric, so column j == row j; walk the row for locality.
+  // No internal pool dispatch: the greedy drivers parallelize across
+  // candidates, and the fixed lane structure keeps the value identical on
+  // every thread. The greedy argmax scans candidates in ascending order,
+  // so hint row j+1 (self for the last row — prefetch is only a hint).
   const float* srow = sim_.data() + j * n_;
-  for (std::size_t i = 0; i < n_; ++i) {
-    const float delta = srow[i] - state.coverage[i];
-    if (delta > 0.0f) gain += delta;
-  }
-  return gain;
+  const float* pf = (j + 1 < n_) ? srow + n_ : srow;
+  return clamped_delta_sum(srow, state.coverage.data(), pf, 0, n_);
 }
 
 void FacilityLocation::add(State& state, std::size_t j) const {
   if (j >= n_) throw std::out_of_range("add: index out of range");
   const float* srow = sim_.data() + j * n_;
-  double gain = 0.0;
-  for (std::size_t i = 0; i < n_; ++i) {
-    const float delta = srow[i] - state.coverage[i];
-    if (delta > 0.0f) {
-      gain += delta;
-      state.coverage[i] = srow[i];
-    }
-  }
+  float* cov = state.coverage.data();
+  const double gain = util::chunked_reduce(
+      n_, kReduceGrain, parallel_, 0.0,
+      [srow, cov](std::size_t lo, std::size_t hi) {
+        const double g = clamped_delta_sum(srow, cov, srow, lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) {
+          cov[i] = std::max(cov[i], srow[i]);
+        }
+        return g;
+      },
+      [](double a, double b) { return a + b; });
   state.value += gain;
   state.selected.push_back(j);
 }
@@ -115,19 +278,31 @@ std::vector<std::size_t> FacilityLocation::medoid_weights(
     std::span<const std::size_t> selected) const {
   std::vector<std::size_t> weights(selected.size(), 0);
   if (selected.empty()) return weights;
-  for (std::size_t i = 0; i < n_; ++i) {
-    std::size_t best_pos = 0;
-    float best = sim_(i, selected[0]);
-    for (std::size_t p = 1; p < selected.size(); ++p) {
-      const float s = sim_(i, selected[p]);
-      if (s > best) {
-        best = s;
-        best_pos = p;
-      }
-    }
-    ++weights[best_pos];
-  }
-  return weights;
+  const float* sim = sim_.data();
+  const std::size_t n = n_;
+  return util::chunked_reduce(
+      n, kReduceGrain, parallel_, std::move(weights),
+      [sim, n, selected](std::size_t lo, std::size_t hi) {
+        std::vector<std::size_t> local(selected.size(), 0);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* srow = sim + i * n;
+          std::size_t best_pos = 0;
+          float best = srow[selected[0]];
+          for (std::size_t p = 1; p < selected.size(); ++p) {
+            const float s = srow[selected[p]];
+            if (s > best) {
+              best = s;
+              best_pos = p;
+            }
+          }
+          ++local[best_pos];
+        }
+        return local;
+      },
+      [](std::vector<std::size_t> a, std::vector<std::size_t> b) {
+        for (std::size_t p = 0; p < a.size(); ++p) a[p] += b[p];
+        return a;
+      });
 }
 
 }  // namespace nessa::selection

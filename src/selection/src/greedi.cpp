@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nessa/util/rng.hpp"
+#include "nessa/util/thread_pool.hpp"
 
 namespace nessa::selection {
 
@@ -59,25 +60,41 @@ GreediResult greedi_select(const Tensor& embeddings,
   k = std::min(k, n);
 
   // Round 1: shard candidates uniformly at random, one greedy per device.
+  // Each device already derives its own seed, so the shards are independent
+  // subproblems — fan them out across the pool when the driver config asks
+  // for parallelism. Locals are merged in partition order either way, so
+  // the result is identical to the serial sweep.
   util::Rng rng(config.driver.seed ^ 0x9e3779b97f4a7c15ULL);
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   rng.shuffle(order);
 
-  std::vector<std::size_t> union_rows;
-  result.local.reserve(parts);
-  for (std::size_t p = 0; p < parts; ++p) {
+  result.local.resize(parts);
+  const auto run_partition = [&](std::size_t p) {
     std::vector<std::size_t> shard;
     for (std::size_t i = p; i < n; i += parts) shard.push_back(order[i]);
     auto sub = gather(embeddings, labels, std::move(shard));
 
     DriverConfig local_cfg = config.driver;
     local_cfg.seed = config.driver.seed * 31 + p;
-    auto local = select_coreset(sub.embeddings, sub.labels, sub.rows,
-                                std::min(k, sub.rows.size()), local_cfg);
+    result.local[p] = select_coreset(sub.embeddings, sub.labels, sub.rows,
+                                     std::min(k, sub.rows.size()), local_cfg);
+  };
+  auto& pool = util::ThreadPool::global();
+  if (config.driver.parallel && parts > 1 && pool.size() > 1) {
+    pool.parallel_for_chunked(0, parts, 1,
+                              [&](std::size_t lo, std::size_t hi) {
+                                for (std::size_t p = lo; p < hi; ++p) {
+                                  run_partition(p);
+                                }
+                              });
+  } else {
+    for (std::size_t p = 0; p < parts; ++p) run_partition(p);
+  }
+  std::vector<std::size_t> union_rows;
+  for (const auto& local : result.local) {
     union_rows.insert(union_rows.end(), local.indices.begin(),
                       local.indices.end());
-    result.local.push_back(std::move(local));
   }
   std::sort(union_rows.begin(), union_rows.end());
   union_rows.erase(std::unique(union_rows.begin(), union_rows.end()),

@@ -5,9 +5,17 @@
 #include <queue>
 #include <stdexcept>
 
+#include "nessa/util/parallel_reduce.hpp"
+#include "nessa/util/thread_pool.hpp"
+
 namespace nessa::selection {
 
 namespace {
+
+/// Candidates per argmax block. Each candidate evaluation is O(n), so a
+/// small grain still amortizes dispatch while keeping many chunks in
+/// flight. Fixed (not thread-count-derived) for deterministic reduction.
+constexpr std::size_t kCandidateGrain = 16;
 
 GreedyResult finish(const FacilityLocation& fl,
                     FacilityLocation::State state,
@@ -20,34 +28,50 @@ GreedyResult finish(const FacilityLocation& fl,
   return out;
 }
 
+/// Deterministic argmax of marginal gains over candidates [0, n) that pass
+/// `eligible`, evaluated in blocks (parallel when asked). Equivalent to an
+/// ascending serial scan with strict-improvement updates: ties go to the
+/// smallest index.
+template <typename Eligible>
+util::BestGain best_candidate(const FacilityLocation& fl,
+                              const FacilityLocation::State& state,
+                              std::size_t n, bool parallel,
+                              const Eligible& eligible) {
+  return util::chunked_reduce(
+      n, kCandidateGrain, parallel, util::BestGain{},
+      [&](std::size_t lo, std::size_t hi) {
+        util::BestGain best;
+        for (std::size_t j = lo; j < hi; ++j) {
+          if (!eligible(j)) continue;
+          best = util::better_gain(best, {fl.marginal_gain(state, j), j});
+        }
+        return best;
+      },
+      util::better_gain);
+}
+
 }  // namespace
 
-GreedyResult naive_greedy(const FacilityLocation& fl, std::size_t k) {
+GreedyResult naive_greedy(const FacilityLocation& fl, std::size_t k,
+                          bool parallel) {
   const std::size_t n = fl.ground_size();
   k = std::min(k, n);
   auto state = fl.empty_state();
   std::vector<bool> in_set(n, false);
   std::size_t evals = 0;
   for (std::size_t step = 0; step < k; ++step) {
-    double best_gain = -1.0;
-    std::size_t best = n;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (in_set[j]) continue;
-      const double gain = fl.marginal_gain(state, j);
-      ++evals;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = j;
-      }
-    }
-    if (best == n) break;
-    fl.add(state, best);
-    in_set[best] = true;
+    const auto best = best_candidate(
+        fl, state, n, parallel, [&](std::size_t j) { return !in_set[j]; });
+    evals += n - step;
+    if (best.index >= n) break;
+    fl.add(state, best.index);
+    in_set[best.index] = true;
   }
   return finish(fl, std::move(state), evals);
 }
 
-GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k) {
+GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k,
+                         bool parallel) {
   const std::size_t n = fl.ground_size();
   k = std::min(k, n);
   auto state = fl.empty_state();
@@ -63,17 +87,42 @@ GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k) {
     }
   };
   std::priority_queue<Entry> heap;
-  for (std::size_t j = 0; j < n; ++j) {
-    heap.push({fl.marginal_gain(state, j), j, 0});
-    ++evals;
+  {
+    // Initial gains are independent of each other — evaluate as one batch.
+    std::vector<Entry> init(n);
+    auto& pool = util::ThreadPool::global();
+    const auto fill = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        init[j] = {fl.marginal_gain(state, j), j, 0};
+      }
+    };
+    if (parallel && pool.size() > 1) {
+      pool.parallel_for_chunked(0, n, kCandidateGrain, fill);
+    } else {
+      fill(0, n);
+    }
+    for (auto& e : init) heap.push(e);
+    evals += n;
   }
 
+  // Parallel mode pulls up to `batch` stale entries per round and
+  // re-evaluates them together; their refreshed (exact) gains re-enter the
+  // heap, so the popped fresh top is the true argmax — the selected
+  // sequence matches the serial path bit for bit, only the evaluation
+  // count differs.
+  const std::size_t batch =
+      parallel ? std::max<std::size_t>(2 * util::ThreadPool::global().size(),
+                                       kCandidateGrain)
+               : 1;
+  std::vector<Entry> stale;
   while (state.selected.size() < k && !heap.empty()) {
     Entry top = heap.top();
     heap.pop();
     if (top.stamp == state.selected.size()) {
       fl.add(state, top.index);
-    } else {
+      continue;
+    }
+    if (!parallel) {
       top.gain = fl.marginal_gain(state, top.index);
       ++evals;
       top.stamp = state.selected.size();
@@ -86,13 +135,35 @@ GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k) {
       } else {
         heap.push(top);
       }
+      continue;
     }
+    stale.clear();
+    stale.push_back(top);
+    while (stale.size() < batch && !heap.empty() &&
+           heap.top().stamp != state.selected.size()) {
+      stale.push_back(heap.top());
+      heap.pop();
+    }
+    auto& pool = util::ThreadPool::global();
+    const auto refresh = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t b = lo; b < hi; ++b) {
+        stale[b].gain = fl.marginal_gain(state, stale[b].index);
+        stale[b].stamp = state.selected.size();
+      }
+    };
+    if (pool.size() > 1 && stale.size() > 1) {
+      pool.parallel_for_chunked(0, stale.size(), 1, refresh);
+    } else {
+      refresh(0, stale.size());
+    }
+    evals += stale.size();
+    for (const auto& e : stale) heap.push(e);
   }
   return finish(fl, std::move(state), evals);
 }
 
 GreedyResult stochastic_greedy(const FacilityLocation& fl, std::size_t k,
-                               util::Rng& rng, double epsilon) {
+                               util::Rng& rng, double epsilon, bool parallel) {
   const std::size_t n = fl.ground_size();
   k = std::min(k, n);
   if (k == 0) return finish(fl, fl.empty_state(), 0);
@@ -122,19 +193,22 @@ GreedyResult stochastic_greedy(const FacilityLocation& fl, std::size_t k,
           i + static_cast<std::size_t>(rng.uniform_int(available - i));
       std::swap(pool[i], pool[j]);
     }
-    double best_gain = -1.0;
-    std::size_t best_pos = available;
-    for (std::size_t i = 0; i < draw; ++i) {
-      const double gain = fl.marginal_gain(state, pool[i]);
-      ++evals;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_pos = i;
-      }
-    }
-    if (best_pos == available) break;
-    fl.add(state, pool[best_pos]);
-    pool[best_pos] = pool.back();
+    // Argmax over sample positions: ties break toward the earlier draw,
+    // matching the serial ascending scan.
+    const auto best = util::chunked_reduce(
+        draw, kCandidateGrain, parallel, util::BestGain{},
+        [&](std::size_t lo, std::size_t hi) {
+          util::BestGain blk;
+          for (std::size_t i = lo; i < hi; ++i) {
+            blk = util::better_gain(blk, {fl.marginal_gain(state, pool[i]), i});
+          }
+          return blk;
+        },
+        util::better_gain);
+    evals += draw;
+    if (best.index >= available) break;
+    fl.add(state, pool[best.index]);
+    pool[best.index] = pool.back();
     pool.pop_back();
   }
   return finish(fl, std::move(state), evals);

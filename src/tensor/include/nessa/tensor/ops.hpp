@@ -58,8 +58,10 @@ float dot(std::span<const float> a, std::span<const float> b) noexcept;
 float l2_norm(std::span<const float> a) noexcept;
 
 /// Pairwise squared-L2 distance matrix between rows of X (m x d) -> (m x m).
-/// Uses the ||x||^2 + ||y||^2 - 2<x,y> expansion with a GEMM for the cross
-/// term; clamps tiny negatives from cancellation to zero.
+/// Uses the ||x||^2 + ||y||^2 - 2<x,y> expansion with the X*X^T cross term
+/// fused into the distance finalize (one pass per output row); clamps tiny
+/// negatives from cancellation to zero. The result is exactly symmetric and
+/// independent of `parallel` and the thread count.
 Tensor pairwise_sq_dists(const Tensor& x, bool parallel = true);
 
 }  // namespace nessa::tensor

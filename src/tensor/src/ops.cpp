@@ -13,11 +13,33 @@ namespace {
 
 constexpr std::size_t kBlock = 64;
 constexpr std::size_t kParallelThresholdFlops = 1u << 22;  // ~4 MFLOP
+/// B-row tile for the A*B^T kernels: 32 rows of up-to-kBlock floats stay
+/// resident in L1 while one A row streams against them.
+constexpr std::size_t kRowTile = 32;
+/// Independent float accumulator lanes per dot product. Eight lanes break
+/// the serial FP dependency chain so the compiler can keep one full SIMD
+/// register of partial sums without reassociating a single accumulator.
+constexpr std::size_t kLanes = 8;
 
 void require_rank2(const Tensor& t, const char* who) {
   if (t.rank() != 2) {
     throw std::invalid_argument(std::string(who) + ": tensor must be rank 2");
   }
+}
+
+/// Lane-unrolled dot product of two contiguous float rows. Fixed
+/// accumulation order: lane partials combined pairwise, tail appended last.
+float dot_lanes(const float* a, const float* b, std::size_t k) noexcept {
+  float acc[kLanes] = {};
+  std::size_t p = 0;
+  for (; p + kLanes <= k; p += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) acc[l] += a[p + l] * b[p + l];
+  }
+  float tail = 0.0f;
+  for (; p < k; ++p) tail += a[p] * b[p];
+  return (((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+          ((acc[4] + acc[5]) + (acc[6] + acc[7]))) +
+         tail;
 }
 
 /// Inner kernel: C[r0:r1) += A-rows * B, blocked over k and n.
@@ -39,6 +61,23 @@ void gemm_rows(const float* a, const float* b, float* c, std::size_t r0,
   }
 }
 
+/// A*B^T kernel for rows [r0, r1): tiles over B rows so a kRowTile slab of
+/// B stays cache-hot while each A row streams against it; every output
+/// element is a lane-unrolled dot product.
+void gemm_abt_rows(const float* a, const float* b, float* c, std::size_t r0,
+                   std::size_t r1, std::size_t k, std::size_t n) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kRowTile) {
+    const std::size_t j1 = std::min(n, j0 + kRowTile);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::size_t j = j0; j < j1; ++j) {
+        crow[j] = dot_lanes(arow, b + j * k, k);
+      }
+    }
+  }
+}
+
 void run_row_blocks(std::size_t m, std::size_t flops, bool parallel,
                     const std::function<void(std::size_t, std::size_t)>& fn) {
   auto& pool = util::ThreadPool::global();
@@ -47,13 +86,12 @@ void run_row_blocks(std::size_t m, std::size_t flops, bool parallel,
     fn(0, m);
     return;
   }
-  const std::size_t chunks = std::min(m, pool.size());
-  const std::size_t per = (m + chunks - 1) / chunks;
-  pool.parallel_for(0, chunks, [&](std::size_t c) {
-    const std::size_t lo = c * per;
-    const std::size_t hi = std::min(m, lo + per);
-    if (lo < hi) fn(lo, hi);
-  });
+  // Split into ~4 chunks per thread so a large matrix load-balances across
+  // the pool instead of one oversized chunk per worker.
+  const std::size_t target_chunks = pool.size() * 4;
+  const std::size_t grain =
+      std::max<std::size_t>(1, (m + target_chunks - 1) / target_chunks);
+  pool.parallel_for_chunked(0, m, grain, fn);
 }
 
 }  // namespace
@@ -104,13 +142,7 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b, bool parallel) {
   }
   Tensor c({m, n});
   run_row_blocks(m, m * n * k, parallel, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* arow = a.data() + i * k;
-      float* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] = dot({arow, k}, {b.data() + j * k, k});
-      }
-    }
+    gemm_abt_rows(a.data(), b.data(), c.data(), r0, r1, k, n);
   });
   return c;
 }
@@ -239,19 +271,48 @@ float l2_norm(std::span<const float> a) noexcept {
 
 Tensor pairwise_sq_dists(const Tensor& x, bool parallel) {
   require_rank2(x, "pairwise_sq_dists");
-  const std::size_t m = x.rows();
+  const std::size_t m = x.rows(), k = x.cols();
   std::vector<float> sq(m);
   for (std::size_t i = 0; i < m; ++i) {
-    sq[i] = dot(x.row(i), x.row(i));
+    sq[i] = dot_lanes(x.data() + i * k, x.data() + i * k, k);
   }
-  Tensor cross = matmul_a_bt(x, x, parallel);
+  // Each output row is built with contiguous saxpy passes over X^T:
+  //   d[i][j] = sq[i] + sq[j];  d[i][j] += (-2 x[i][t]) * x[j][t] for each t
+  // Gradient embeddings are short (k ~ 10s), so a per-pair dot product is
+  // pure call overhead; the saxpy form streams whole rows through SIMD
+  // units instead. Every row is produced independently with a fixed
+  // accumulation order, so the result does not depend on the row chunking,
+  // and d(i,j) == d(j,i) exactly: -2*a is exact in floating point, so the
+  // term sequences are bit-identical either way.
+  std::vector<float> xt(k * m);  // X^T, so the inner saxpy loop is unit-stride
+  for (std::size_t j = 0; j < m; ++j) {
+    const float* row = x.data() + j * k;
+    for (std::size_t t = 0; t < k; ++t) xt[t * m + j] = row[t];
+  }
   Tensor d({m, m});
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < m; ++j) {
-      d(i, j) = std::max(0.0f, sq[i] + sq[j] - 2.0f * cross(i, j));
-    }
-    d(i, i) = 0.0f;
-  }
+  run_row_blocks(m, m * m * (k + 2), parallel,
+                 [&](std::size_t r0, std::size_t r1) {
+                   const float* sqv = sq.data();
+                   for (std::size_t i = r0; i < r1; ++i) {
+                     const float* arow = x.data() + i * k;
+                     float* drow = d.data() + i * m;
+                     const float sqi = sqv[i];
+                     for (std::size_t j = 0; j < m; ++j) {
+                       drow[j] = sqi + sqv[j];
+                     }
+                     for (std::size_t t = 0; t < k; ++t) {
+                       const float av = -2.0f * arow[t];
+                       const float* xtrow = xt.data() + t * m;
+                       for (std::size_t j = 0; j < m; ++j) {
+                         drow[j] += av * xtrow[j];
+                       }
+                     }
+                     for (std::size_t j = 0; j < m; ++j) {
+                       drow[j] = std::max(0.0f, drow[j]);
+                     }
+                     drow[i] = 0.0f;
+                   }
+                 });
   return d;
 }
 

@@ -1,0 +1,58 @@
+// Deterministic chunked reductions over [0, n).
+//
+// The range is cut into fixed blocks of `grain` elements; `block(lo, hi)`
+// produces one partial per block and the partials are combined strictly in
+// block order. Because the block boundaries depend only on (n, grain) and
+// every block is evaluated by exactly one thread, the result is
+// bit-identical whether the blocks run serially, on the global pool, or on
+// pools of different sizes. This is the primitive that lets the parallel
+// selection engine promise "same bits as serial".
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "nessa/util/thread_pool.hpp"
+
+namespace nessa::util {
+
+template <typename T, typename BlockFn, typename CombineFn>
+T chunked_reduce(std::size_t n, std::size_t grain, bool parallel, T init,
+                 BlockFn&& block, CombineFn&& combine) {
+  if (n == 0) return init;
+  if (grain == 0) grain = 1;
+  const std::size_t nblocks = (n + grain - 1) / grain;
+  if (nblocks == 1) return combine(std::move(init), block(0, n));
+
+  std::vector<T> partials(nblocks, init);
+  auto& pool = ThreadPool::global();
+  const auto run = [&](std::size_t lo, std::size_t hi) {
+    partials[lo / grain] = block(lo, hi);
+  };
+  if (parallel && pool.size() > 1 && !ThreadPool::in_parallel_region()) {
+    pool.parallel_for_chunked(0, n, grain, run);
+  } else {
+    for (std::size_t lo = 0; lo < n; lo += grain) {
+      run(lo, std::min(n, lo + grain));
+    }
+  }
+  T acc = std::move(init);
+  for (auto& p : partials) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+/// Argmax candidate for deterministic parallel greedy: larger gain wins,
+/// ties break toward the smaller index (matching an ascending serial scan).
+struct BestGain {
+  double gain = -1.0;
+  std::size_t index = static_cast<std::size_t>(-1);
+};
+
+inline BestGain better_gain(BestGain a, BestGain b) noexcept {
+  if (b.gain > a.gain || (b.gain == a.gain && b.index < a.index)) return b;
+  return a;
+}
+
+}  // namespace nessa::util

@@ -1,8 +1,25 @@
 #include "nessa/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <latch>
+#include <memory>
 
 namespace nessa::util {
+
+namespace {
+
+thread_local bool tl_in_parallel_region = false;
+
+/// RAII flag so nested parallel sections degrade to inline execution.
+struct ParallelRegionGuard {
+  bool saved = tl_in_parallel_region;
+  ParallelRegionGuard() { tl_in_parallel_region = true; }
+  ~ParallelRegionGuard() { tl_in_parallel_region = saved; }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -24,11 +41,14 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  auto future = packaged.get_future();
+  // std::function must be copyable, so the move-only packaged_task rides in
+  // a shared_ptr.
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  auto future = packaged->get_future();
   {
     std::lock_guard lock(mutex_);
-    tasks_.push(std::move(packaged));
+    tasks_.push([packaged] { (*packaged)(); });
   }
   cv_.notify_one();
   return future;
@@ -38,28 +58,78 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, workers_.size());
-  if (chunks <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+  const std::size_t grain =
+      std::max<std::size_t>(1, (n + workers_.size() - 1) / workers_.size());
+  parallel_for_chunked(begin, end, grain,
+                       [&fn](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) fn(i);
+                       });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  const std::size_t nchunks = (n + grain - 1) / grain;
+  if (nchunks <= 1 || workers_.size() <= 1 || tl_in_parallel_region) {
+    // Inline path still walks chunk by chunk so chunk-indexed callers see
+    // the same decomposition as the threaded path.
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(end, lo + grain));
+    }
     return;
   }
-  const std::size_t per = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * per;
-    const std::size_t hi = std::min(end, lo + per);
-    if (lo >= hi) break;
-    futures.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
+
+  struct Control {
+    explicit Control(std::ptrdiff_t chunks) : done(chunks) {}
+    std::atomic<std::size_t> next{0};
+    std::latch done;
+    std::size_t begin = 0, end = 0, grain = 1, nchunks = 0;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  };
+  auto ctl = std::make_shared<Control>(static_cast<std::ptrdiff_t>(nchunks));
+  ctl->begin = begin;
+  ctl->end = end;
+  ctl->grain = grain;
+  ctl->nchunks = nchunks;
+  ctl->fn = &fn;
+
+  // Helpers drain chunks from the shared counter. `fn` stays alive until
+  // the latch releases the caller, and a helper only dereferences it after
+  // claiming a chunk — which implies the latch has not released yet.
+  auto work = [ctl] {
+    ParallelRegionGuard guard;
+    for (;;) {
+      const std::size_t c = ctl->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= ctl->nchunks) return;
+      const std::size_t lo = ctl->begin + c * ctl->grain;
+      const std::size_t hi = std::min(ctl->end, lo + ctl->grain);
+      (*ctl->fn)(lo, hi);
+      ctl->done.count_down();
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size() - 1, nchunks - 1);
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) tasks_.push(work);
   }
-  for (auto& f : futures) f.get();
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+  work();  // the caller claims chunks too
+  ctl->done.wait();
 }
+
+bool ThreadPool::in_parallel_region() noexcept { return tl_in_parallel_region; }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -72,7 +142,13 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("NESSA_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return std::size_t{0};
+  }());
   return pool;
 }
 

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace nessa::util {
@@ -69,6 +72,69 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }  // destructor must run remaining tasks or wait for them
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForChunkedCoversRangeForAnyPoolSize) {
+  for (const std::size_t threads : std::vector<std::size_t>{1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for_chunked(0, 1000, 7,
+                              [&](std::size_t lo, std::size_t hi) {
+                                for (std::size_t i = lo; i < hi; ++i) {
+                                  ++hits[i];
+                                }
+                              });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, ParallelForChunkedDecompositionIsGrainAligned) {
+  // The block boundaries must depend only on (begin, end, grain), never on
+  // the pool size — this is what makes chunk-indexed reductions
+  // deterministic across serial and threaded runs.
+  for (const std::size_t threads : std::vector<std::size_t>{1, 4}) {
+    ThreadPool pool(threads);
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for_chunked(5, 100, 16,
+                              [&](std::size_t lo, std::size_t hi) {
+                                std::lock_guard lock(m);
+                                chunks.emplace_back(lo, hi);
+                              });
+    std::sort(chunks.begin(), chunks.end());
+    std::vector<std::pair<std::size_t, std::size_t>> expected;
+    for (std::size_t lo = 5; lo < 100; lo += 16) {
+      expected.emplace_back(lo, std::min<std::size_t>(100, lo + 16));
+    }
+    EXPECT_EQ(chunks, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, ParallelForChunkedEmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for_chunked(5, 5, 4,
+                            [&](std::size_t, std::size_t) { ++count; });
+  pool.parallel_for_chunked(9, 2, 4,
+                            [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForChunkedNestedRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<long> inner_total{0};
+  std::atomic<bool> saw_region{false};
+  pool.parallel_for_chunked(0, 4, 1, [&](std::size_t, std::size_t) {
+    if (ThreadPool::in_parallel_region()) saw_region = true;
+    // A nested parallel section must degrade to inline execution instead
+    // of deadlocking on the already-busy workers.
+    pool.parallel_for_chunked(0, 10, 2,
+                              [&](std::size_t lo, std::size_t hi) {
+                                inner_total += static_cast<long>(hi - lo);
+                              });
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+  EXPECT_TRUE(saw_region.load());
 }
 
 }  // namespace
