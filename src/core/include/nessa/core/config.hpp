@@ -16,6 +16,7 @@
 
 #include "nessa/nn/optimizer.hpp"
 #include "nessa/selection/drivers.hpp"
+#include "nessa/util/parallelism.hpp"
 
 namespace nessa::core {
 
@@ -78,6 +79,10 @@ struct NessaConfig {
   /// selection needs. Set to 1.0 to charge a full-fidelity forward (the
   /// regime where multi-SmartSSD scaling becomes necessary).
   double selection_proxy_factor = 1.0 / 16.0;
+
+  /// Run the selection engine on the global thread pool (see
+  /// selection::DriverConfig::parallelism for the determinism contract).
+  util::Parallelism parallelism = false;
 };
 
 }  // namespace nessa::core

@@ -15,6 +15,7 @@
 
 #include "nessa/core/config.hpp"
 #include "nessa/core/cost.hpp"
+#include "nessa/core/run_config.hpp"
 #include "nessa/data/dataset.hpp"
 #include "nessa/data/registry.hpp"
 #include "nessa/nn/model.hpp"
@@ -42,6 +43,18 @@ RunResult run_full(const PipelineInputs& inputs,
 
 /// NeSSA (§3): near-storage quantized selection + GPU subset training.
 RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
+                    smartssd::SmartSsdSystem& system);
+
+// --- RunConfig entry points -------------------------------------------
+// Preferred API: one validated RunConfig drives the whole run. The
+// config's `train` section overrides `inputs.train`, and its parallelism
+// knob flows into the selection engine. The piecewise overloads above are
+// retained as compatibility shims.
+
+RunResult run_full(const PipelineInputs& inputs, const RunConfig& config,
+                   smartssd::SmartSsdSystem& system);
+
+RunResult run_nessa(const PipelineInputs& inputs, const RunConfig& config,
                     smartssd::SmartSsdSystem& system);
 
 /// CRAIG [20]: float-model gradient embeddings + per-class facility

@@ -1,0 +1,108 @@
+// Unified run configuration — ONE struct that carries everything an
+// end-to-end NeSSA run needs:
+//
+//   - the hardware being modeled      (smartssd::SystemConfig),
+//   - the batch-granular workload     (smartssd::EpochWorkload),
+//   - substrate training knobs       (core::TrainConfig),
+//   - the §3.2 optimization toggles  (core::NessaConfig),
+//   - execution knobs                (util::Parallelism, TelemetryConfig).
+//
+// Entry points that used to take these pieces separately now have RunConfig
+// overloads (see below and pipeline.hpp); the old signatures remain as thin
+// shims so existing call sites keep compiling, but new code should build a
+// RunConfig — typically with the fluent with_*() chain — call validate()
+// once, and hand the same object to every stage of the run.
+//
+//   auto rc = core::RunConfig{}
+//                 .with_parallelism(true)
+//                 .with_pipeline_epochs(12);
+//   rc.nessa.subset_fraction = 0.25;
+//   if (auto errors = rc.validate(); !errors.empty()) { ... }
+//   auto trace = core::simulate_pipeline(rc);
+//   auto run = core::run_nessa(inputs, rc, system);
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nessa/core/config.hpp"
+#include "nessa/selection/drivers.hpp"
+#include "nessa/smartssd/device.hpp"
+#include "nessa/smartssd/pipeline_sim.hpp"
+#include "nessa/util/parallelism.hpp"
+
+namespace nessa::core {
+
+/// Where a run's telemetry goes. `enabled` gates recording entirely (the
+/// disabled path is a single relaxed atomic load per instrumented phase);
+/// the paths name the artifacts a tool should export afterwards — empty
+/// means "record but don't write".
+struct TelemetryConfig {
+  bool enabled = false;
+  std::string trace_path;    ///< Chrome trace-event JSON (chrome://tracing)
+  std::string metrics_path;  ///< flat counters/gauges/histograms JSON
+};
+
+struct RunConfig {
+  smartssd::SystemConfig system{};
+  smartssd::EpochWorkload workload{};
+  TrainConfig train{};
+  NessaConfig nessa{};
+  util::Parallelism parallelism{};
+  TelemetryConfig telemetry{};
+  /// Epochs for the batch-granular pipeline simulation (>= 2; the first
+  /// epoch has no overlap, so the steady-state estimate averages the rest).
+  std::size_t pipeline_epochs = 8;
+
+  // --- fluent builder -------------------------------------------------
+  RunConfig& with_system(smartssd::SystemConfig value) {
+    system = std::move(value);
+    return *this;
+  }
+  RunConfig& with_workload(smartssd::EpochWorkload value) {
+    workload = value;
+    return *this;
+  }
+  RunConfig& with_train(TrainConfig value) {
+    train = value;
+    return *this;
+  }
+  RunConfig& with_nessa(NessaConfig value) {
+    nessa = value;
+    return *this;
+  }
+  RunConfig& with_parallelism(util::Parallelism value) {
+    parallelism = value;
+    return *this;
+  }
+  RunConfig& with_telemetry(TelemetryConfig value) {
+    telemetry = std::move(value);
+    return *this;
+  }
+  RunConfig& with_pipeline_epochs(std::size_t value) {
+    pipeline_epochs = value;
+    return *this;
+  }
+
+  /// The selection-driver configuration this run implies (greedy kind,
+  /// partitioning, parallelism). Seed is the nessa trainer's per-epoch
+  /// derivation base.
+  [[nodiscard]] selection::DriverConfig driver() const;
+
+  /// Check every field and return ALL problems found, one human-readable
+  /// message each ("field: why"). Empty means the config is valid. Unlike a
+  /// throwing check, this lets a CLI report the complete list at once.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Throws std::invalid_argument listing every validation error (joined
+  /// with "; ") if validate() is non-empty.
+  void validate_or_throw() const;
+};
+
+/// Batch-granular pipeline simulation driven by a RunConfig (validates
+/// first). Equivalent to smartssd::simulate_pipeline(config.system,
+/// config.workload, config.pipeline_epochs).
+smartssd::PipelineTrace simulate_pipeline(const RunConfig& config);
+
+}  // namespace nessa::core

@@ -1,0 +1,67 @@
+// Umbrella header: the whole public NeSSA surface in one include.
+//
+//   #include "nessa/nessa.hpp"
+//
+// pulls in the system model (smartssd), the selection engine (selection),
+// the training pipelines (core), the event-driven substrate (sim), the
+// telemetry layer, and the shared utilities. Fine-grained includes remain
+// available (and preferable inside the library itself); this header is for
+// tools, benches, and downstream experiments that want everything.
+#pragma once
+
+// util: clocks, rng, thread pool, parallelism knob
+#include "nessa/util/log.hpp"
+#include "nessa/util/parallel_reduce.hpp"
+#include "nessa/util/parallelism.hpp"
+#include "nessa/util/rng.hpp"
+#include "nessa/util/stats.hpp"
+#include "nessa/util/thread_pool.hpp"
+#include "nessa/util/timer.hpp"
+#include "nessa/util/units.hpp"
+
+// telemetry: tracing + metrics
+#include "nessa/telemetry/metrics.hpp"
+#include "nessa/telemetry/telemetry.hpp"
+#include "nessa/telemetry/trace.hpp"
+
+// tensor + nn substrate
+#include "nessa/nn/metrics.hpp"
+#include "nessa/nn/model.hpp"
+#include "nessa/nn/optimizer.hpp"
+#include "nessa/tensor/ops.hpp"
+#include "nessa/tensor/tensor.hpp"
+
+// data + quantization
+#include "nessa/data/dataset.hpp"
+#include "nessa/data/registry.hpp"
+#include "nessa/quant/qmodel.hpp"
+#include "nessa/quant/quantize.hpp"
+
+// event-driven simulation substrate
+#include "nessa/sim/engine.hpp"
+#include "nessa/sim/link.hpp"
+#include "nessa/sim/memory.hpp"
+
+// the SmartSSD system model
+#include "nessa/smartssd/device.hpp"
+#include "nessa/smartssd/flash.hpp"
+#include "nessa/smartssd/fpga.hpp"
+#include "nessa/smartssd/gpu_model.hpp"
+#include "nessa/smartssd/host_cache.hpp"
+#include "nessa/smartssd/pipeline_sim.hpp"
+
+// selection engine
+#include "nessa/selection/baselines.hpp"
+#include "nessa/selection/drivers.hpp"
+#include "nessa/selection/facility_location.hpp"
+#include "nessa/selection/greedi.hpp"
+#include "nessa/selection/greedy.hpp"
+#include "nessa/selection/kcenter.hpp"
+
+// training pipelines + unified run configuration
+#include "nessa/core/config.hpp"
+#include "nessa/core/cost.hpp"
+#include "nessa/core/energy.hpp"
+#include "nessa/core/pipeline.hpp"
+#include "nessa/core/report.hpp"
+#include "nessa/core/run_config.hpp"

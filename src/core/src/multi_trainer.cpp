@@ -68,6 +68,7 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
   greedi.driver.stochastic_epsilon = config.stochastic_epsilon;
   greedi.driver.per_class = true;
   greedi.driver.partition_quota = config.partition_quota;
+  greedi.driver.parallelism = config.parallelism;
 
   RunResult result;
   for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {

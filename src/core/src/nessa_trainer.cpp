@@ -22,6 +22,7 @@
 #include "nessa/nn/optimizer.hpp"
 #include "nessa/quant/qmodel.hpp"
 #include "nessa/selection/drivers.hpp"
+#include "nessa/telemetry/telemetry.hpp"
 #include "nessa/util/stats.hpp"
 #include "pipeline_common.hpp"
 
@@ -72,6 +73,7 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
   driver.stochastic_epsilon = config.stochastic_epsilon;
   driver.per_class = true;
   driver.partition_quota = config.partition_quota;
+  driver.parallelism = config.parallelism;
 
   const std::size_t interval = std::max<std::size_t>(
       1, config.selection_interval);
@@ -88,6 +90,7 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
     const bool reselect = epoch % interval == 0 || coreset.indices.empty();
     if (reselect) {
       // ---- near-storage selection pass (FPGA) -----------------------
+      auto span = telemetry::wall_span("nessa-selection-pass", "core");
       auto emb = kernel->score(ds.train(), pool, config.scaled_embeddings,
                                inputs.train.batch_size);
       for (std::size_t i = 0; i < pool.size(); ++i) {
@@ -119,6 +122,7 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
 
     // ---- feedback: quantized weights back to the FPGA (§3.2.1) ------
     if (config.weight_feedback) {
+      auto span = telemetry::wall_span("nessa-feedback", "core");
       kernel->refresh(model);
     }
 
@@ -159,6 +163,7 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
     // ---- §3.2.2 subset biasing: drop learned samples -----------------
     if (config.subset_biasing && epoch + 1 < inputs.train.epochs &&
         (epoch + 1) % config.drop_interval_epochs == 0) {
+      auto span = telemetry::wall_span("nessa-subset-biasing", "core");
       std::vector<double> means(pool.size());
       for (std::size_t i = 0; i < pool.size(); ++i) {
         means[i] = history.windowed_mean(pool[i]);
@@ -200,6 +205,7 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
     }
 
     result.epochs.push_back(std::move(report));
+    telemetry::count("core.epochs");
   }
 
   result.interconnect_bytes =

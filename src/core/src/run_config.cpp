@@ -1,0 +1,157 @@
+#include "nessa/core/run_config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "nessa/core/pipeline.hpp"
+
+namespace nessa::core {
+
+namespace {
+
+void check_system(const smartssd::SystemConfig& sys,
+                  std::vector<std::string>& errors) {
+  if (sys.p2p_bw_bps <= 0.0) {
+    errors.push_back("system.p2p_bw_bps: must be positive");
+  }
+  if (sys.host_link_bw_bps <= 0.0) {
+    errors.push_back("system.host_link_bw_bps: must be positive");
+  }
+  if (sys.gpu_link_bw_bps <= 0.0) {
+    errors.push_back("system.gpu_link_bw_bps: must be positive");
+  }
+  if (sys.staging_chunk_bytes == 0) {
+    errors.push_back("system.staging_chunk_bytes: must be > 0");
+  }
+  if (sys.gpu.empty()) {
+    errors.push_back("system.gpu: GPU name must not be empty");
+  }
+}
+
+void check_workload(const smartssd::EpochWorkload& w,
+                    std::vector<std::string>& errors) {
+  if (w.batch_size == 0) {
+    errors.push_back("workload.batch_size: must be > 0");
+  }
+  if (w.pool_records == 0) {
+    errors.push_back("workload.pool_records: must be > 0");
+  }
+  if (w.subset_records == 0) {
+    errors.push_back("workload.subset_records: must be > 0");
+  }
+  if (w.subset_records > w.pool_records) {
+    errors.push_back(
+        "workload.subset_records: must not exceed workload.pool_records");
+  }
+  if (w.record_bytes == 0) {
+    errors.push_back("workload.record_bytes: must be > 0");
+  }
+}
+
+void check_train(const TrainConfig& t, std::vector<std::string>& errors) {
+  if (t.epochs == 0) {
+    errors.push_back("train.epochs: must be > 0");
+  }
+  if (t.batch_size == 0) {
+    errors.push_back("train.batch_size: must be > 0");
+  }
+}
+
+void check_nessa(const NessaConfig& n, std::vector<std::string>& errors) {
+  if (n.subset_fraction <= 0.0 || n.subset_fraction > 1.0) {
+    errors.push_back("nessa.subset_fraction: must be in (0, 1]");
+  }
+  if (n.min_subset_fraction <= 0.0 ||
+      n.min_subset_fraction > n.subset_fraction) {
+    errors.push_back(
+        "nessa.min_subset_fraction: must be in (0, subset_fraction]");
+  }
+  if (n.greedy == selection::GreedyKind::kStochastic &&
+      (n.stochastic_epsilon <= 0.0 || n.stochastic_epsilon >= 1.0)) {
+    errors.push_back("nessa.stochastic_epsilon: must be in (0, 1)");
+  }
+  if (n.subset_biasing && n.drop_interval_epochs == 0) {
+    errors.push_back(
+        "nessa.drop_interval_epochs: must be > 0 when subset_biasing is on");
+  }
+  if (n.subset_biasing &&
+      (n.drop_quantile < 0.0 || n.drop_quantile > 1.0)) {
+    errors.push_back("nessa.drop_quantile: must be in [0, 1]");
+  }
+  if (n.subset_biasing && n.min_pool_factor < 1.0) {
+    errors.push_back("nessa.min_pool_factor: must be >= 1");
+  }
+  if (n.selection_interval == 0) {
+    errors.push_back("nessa.selection_interval: must be > 0");
+  }
+  if (n.dynamic_sizing &&
+      (n.shrink_step <= 0.0 || n.shrink_step >= 1.0)) {
+    errors.push_back("nessa.shrink_step: must be in (0, 1)");
+  }
+  if (n.selection_proxy_factor <= 0.0) {
+    errors.push_back("nessa.selection_proxy_factor: must be positive");
+  }
+}
+
+}  // namespace
+
+selection::DriverConfig RunConfig::driver() const {
+  selection::DriverConfig cfg;
+  cfg.greedy = nessa.greedy;
+  cfg.stochastic_epsilon = nessa.stochastic_epsilon;
+  cfg.per_class = true;
+  cfg.partition_quota = nessa.partition_quota;
+  cfg.parallelism = parallelism;
+  cfg.seed = train.seed;
+  return cfg;
+}
+
+std::vector<std::string> RunConfig::validate() const {
+  std::vector<std::string> errors;
+  check_system(system, errors);
+  check_workload(workload, errors);
+  check_train(train, errors);
+  check_nessa(nessa, errors);
+  if (pipeline_epochs < 2) {
+    errors.push_back("pipeline_epochs: must be >= 2");
+  }
+  return errors;
+}
+
+void RunConfig::validate_or_throw() const {
+  const auto errors = validate();
+  if (errors.empty()) return;
+  std::ostringstream out;
+  out << "RunConfig: " << errors.size() << " error(s): ";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) out << "; ";
+    out << errors[i];
+  }
+  throw std::invalid_argument(out.str());
+}
+
+smartssd::PipelineTrace simulate_pipeline(const RunConfig& config) {
+  config.validate_or_throw();
+  return smartssd::simulate_pipeline(config.system, config.workload,
+                                     config.pipeline_epochs);
+}
+
+RunResult run_full(const PipelineInputs& inputs, const RunConfig& config,
+                   smartssd::SmartSsdSystem& system) {
+  config.validate_or_throw();
+  PipelineInputs staged = inputs;
+  staged.train = config.train;
+  return run_full(staged, system);
+}
+
+RunResult run_nessa(const PipelineInputs& inputs, const RunConfig& config,
+                    smartssd::SmartSsdSystem& system) {
+  config.validate_or_throw();
+  PipelineInputs staged = inputs;
+  staged.train = config.train;
+  NessaConfig nessa = config.nessa;
+  nessa.parallelism = config.parallelism;
+  return run_nessa(staged, nessa, system);
+}
+
+}  // namespace nessa::core

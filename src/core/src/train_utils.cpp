@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nessa/nn/loss.hpp"
+#include "nessa/telemetry/telemetry.hpp"
 
 namespace nessa::core {
 
@@ -16,6 +17,8 @@ double train_one_epoch(nn::Sequential& model, nn::Sgd& optimizer,
   if (!weights.empty() && weights.size() != indices.size()) {
     throw std::invalid_argument("train_one_epoch: weight count mismatch");
   }
+  auto span = telemetry::wall_span("train-epoch", "core");
+  telemetry::count("core.train.samples", indices.size());
 
   // Shuffle positions (not the caller's index array) so weights stay
   // aligned with their samples.
@@ -66,6 +69,7 @@ double train_one_epoch(nn::Sequential& model, nn::Sgd& optimizer,
     loss_sum += loss.mean_loss;
     ++batches;
   }
+  telemetry::count("core.train.batches", batches);
   return batches ? loss_sum / static_cast<double>(batches) : 0.0;
 }
 

@@ -15,6 +15,7 @@
 
 #include "nessa/selection/facility_location.hpp"
 #include "nessa/selection/greedy.hpp"
+#include "nessa/util/parallelism.hpp"
 #include "nessa/util/rng.hpp"
 
 namespace nessa::selection {
@@ -35,7 +36,7 @@ struct DriverConfig {
   /// Run the selection engine on the global thread pool: per-class /
   /// per-partition subproblems fan out across workers, and the greedy
   /// inner loops evaluate candidate gains in parallel blocks. For a fixed
-  /// value of this flag, results are identical for any thread count: the
+  /// value of this knob, results are identical for any thread count: the
   /// greedy reductions are deterministic by construction, and parallel
   /// mode pre-forks one rng per subproblem in task order. Deterministic
   /// configs (naive/lazy greedy, no partitioning) are additionally
@@ -43,7 +44,9 @@ struct DriverConfig {
   /// partitioned configs consume rng streams differently across the two
   /// modes (serial threads one stream through tasks sequentially), so
   /// their selections are equally valid but not identical across modes.
-  bool parallel = false;
+  /// Bool assignments keep working via util::Parallelism's implicit
+  /// conversions (this field was previously `bool parallel`).
+  util::Parallelism parallelism = false;
 };
 
 struct CoresetResult {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "nessa/tensor/tensor.hpp"
+#include "nessa/util/parallelism.hpp"
 
 namespace nessa::selection {
 
@@ -28,10 +29,11 @@ using tensor::Tensor;
 class FacilityLocation {
  public:
   /// Build from embeddings (rows are examples). O(n^2 d) via a GEMM.
-  /// `parallel` both parallelizes the build and becomes the instance's
-  /// parallel knob (see set_parallel).
-  static FacilityLocation from_embeddings(const Tensor& embeddings,
-                                          bool parallel = true);
+  /// `parallelism` both parallelizes the build and becomes the instance's
+  /// parallel knob (see set_parallel). Bool call sites keep working through
+  /// util::Parallelism's implicit conversions.
+  static FacilityLocation from_embeddings(
+      const Tensor& embeddings, util::Parallelism parallelism = true);
 
   /// Build directly from a precomputed similarity matrix (must be square,
   /// non-negative; used by tests).
@@ -40,8 +42,11 @@ class FacilityLocation {
   /// Parallel knob: when set, value()/add()/medoid_weights() dispatch their
   /// reductions onto the global thread pool. Results are bit-identical to
   /// the serial path for any thread count — reductions always use the same
-  /// fixed-grain block structure (see util::chunked_reduce).
-  void set_parallel(bool parallel) noexcept { parallel_ = parallel; }
+  /// fixed-grain block structure (see util::chunked_reduce). Accepts a
+  /// util::Parallelism (or bool, via its implicit conversion).
+  void set_parallel(util::Parallelism parallelism) noexcept {
+    parallel_ = parallelism.enabled;
+  }
   [[nodiscard]] bool parallel() const noexcept { return parallel_; }
 
   [[nodiscard]] std::size_t ground_size() const noexcept { return n_; }

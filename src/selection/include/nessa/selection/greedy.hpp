@@ -10,7 +10,8 @@
 //                        random sample of size (n/k) ln(1/eps), giving a
 //                        (1 - 1/e - eps) guarantee in O(n log 1/eps) total.
 //
-// Every maximizer takes a `parallel` knob. When set, candidate gains are
+// Every maximizer takes a util::Parallelism knob (bool call sites keep
+// working through its implicit conversions). When set, candidate gains are
 // evaluated in contiguous blocks on the global thread pool with a
 // deterministic argmax reduction (block partials combined in block order,
 // ties broken toward the smaller index) — the selected sequence, objective,
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "nessa/selection/facility_location.hpp"
+#include "nessa/util/parallelism.hpp"
 #include "nessa/util/rng.hpp"
 
 namespace nessa::selection {
@@ -40,19 +42,20 @@ struct GreedyResult {
 
 /// Plain greedy. k is clamped to the ground-set size.
 GreedyResult naive_greedy(const FacilityLocation& fl, std::size_t k,
-                          bool parallel = false);
+                          util::Parallelism parallelism = false);
 
 /// Lazy (accelerated) greedy; output identical to naive_greedy. With
-/// `parallel`, stale heap entries are re-evaluated in batches across the
-/// pool (same selections; evaluation count may exceed the serial path's).
+/// parallel dispatch, stale heap entries are re-evaluated in batches across
+/// the pool (same selections; evaluation count may exceed the serial
+/// path's).
 GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k,
-                         bool parallel = false);
+                         util::Parallelism parallelism = false);
 
 /// Stochastic greedy with sample size ceil((n/k) * ln(1/epsilon)). Sampling
-/// always happens on the calling thread, so `parallel` does not perturb the
-/// rng stream.
+/// always happens on the calling thread, so parallel dispatch does not
+/// perturb the rng stream.
 GreedyResult stochastic_greedy(const FacilityLocation& fl, std::size_t k,
                                util::Rng& rng, double epsilon = 0.1,
-                               bool parallel = false);
+                               util::Parallelism parallelism = false);
 
 }  // namespace nessa::selection

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "nessa/telemetry/telemetry.hpp"
 #include "nessa/tensor/ops.hpp"
 #include "nessa/util/thread_pool.hpp"
 
@@ -17,12 +18,12 @@ GreedyResult run_greedy(const FacilityLocation& fl, std::size_t k,
                         const DriverConfig& cfg, util::Rng& rng) {
   switch (cfg.greedy) {
     case GreedyKind::kNaive:
-      return naive_greedy(fl, k, cfg.parallel);
+      return naive_greedy(fl, k, cfg.parallelism);
     case GreedyKind::kLazy:
-      return lazy_greedy(fl, k, cfg.parallel);
+      return lazy_greedy(fl, k, cfg.parallelism);
     case GreedyKind::kStochastic:
       return stochastic_greedy(fl, k, rng, cfg.stochastic_epsilon,
-                               cfg.parallel);
+                               cfg.parallelism);
   }
   throw std::logic_error("run_greedy: unknown greedy kind");
 }
@@ -42,7 +43,7 @@ void select_from_rows(const Tensor& embeddings,
                 embeddings.cols(), sub.data() + r * embeddings.cols());
   }
   auto fl = FacilityLocation::from_embeddings(sub);
-  fl.set_parallel(cfg.parallel);
+  fl.set_parallel(cfg.parallelism);
   result.peak_kernel_bytes =
       std::max(result.peak_kernel_bytes, fl.memory_bytes());
   result.similarity_ops += static_cast<std::uint64_t>(rows.size()) *
@@ -106,7 +107,7 @@ struct SelectTask {
 /// of the caller's rng, drawn in task order up front, so the fan-out is
 /// deterministic for any pool size (but, for stochastic or partitioned
 /// configs, not stream-identical to serial mode). The fork/no-fork choice
-/// depends only on cfg.parallel — never on the machine's thread count — so
+/// depends only on cfg.parallelism — never on the machine's thread count — so
 /// a given (config, seed) always produces the same selection.
 CoresetResult run_tasks(const Tensor& embeddings, std::vector<SelectTask> tasks,
                         const DriverConfig& cfg, util::Rng& rng) {
@@ -120,7 +121,7 @@ CoresetResult run_tasks(const Tensor& embeddings, std::vector<SelectTask> tasks,
                        task_rng, out);
     }
   };
-  if (!cfg.parallel) {
+  if (!cfg.parallelism) {
     CoresetResult result;
     for (std::size_t t = 0; t < tasks.size(); ++t) run_one(t, rng, result);
     return result;
@@ -211,6 +212,7 @@ CoresetResult select_coreset(const Tensor& embeddings,
   util::Rng rng(config.seed);
   CoresetResult result;
   if (n == 0 || k_total == 0) return result;
+  auto span = telemetry::wall_span("select-coreset", "selection");
 
   std::vector<SelectTask> tasks;
   if (!config.per_class) {
@@ -249,6 +251,9 @@ CoresetResult select_coreset(const Tensor& embeddings,
   if (!global_ids.empty()) {
     for (auto& idx : result.indices) idx = global_ids[idx];
   }
+  telemetry::count("selection.gain_evaluations", result.gain_evaluations);
+  telemetry::count("selection.similarity_ops", result.similarity_ops);
+  telemetry::count("selection.greedy_ops", result.greedy_ops);
   return result;
 }
 

@@ -147,8 +147,9 @@ float max_block(const float* v, std::size_t lo, std::size_t hi) noexcept {
 
 }  // namespace
 
-FacilityLocation FacilityLocation::from_embeddings(const Tensor& embeddings,
-                                                   bool parallel) {
+FacilityLocation FacilityLocation::from_embeddings(
+    const Tensor& embeddings, util::Parallelism parallelism) {
+  const bool parallel = parallelism.enabled;
   if (embeddings.rank() != 2 || embeddings.rows() == 0) {
     throw std::invalid_argument(
         "FacilityLocation: embeddings must be non-empty rank 2");

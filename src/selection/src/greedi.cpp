@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "nessa/telemetry/telemetry.hpp"
 #include "nessa/util/rng.hpp"
 #include "nessa/util/thread_pool.hpp"
 
@@ -81,15 +82,18 @@ GreediResult greedi_select(const Tensor& embeddings,
                                      std::min(k, sub.rows.size()), local_cfg);
   };
   auto& pool = util::ThreadPool::global();
-  if (config.driver.parallel && parts > 1 && pool.size() > 1) {
-    pool.parallel_for_chunked(0, parts, 1,
-                              [&](std::size_t lo, std::size_t hi) {
-                                for (std::size_t p = lo; p < hi; ++p) {
-                                  run_partition(p);
-                                }
-                              });
-  } else {
-    for (std::size_t p = 0; p < parts; ++p) run_partition(p);
+  {
+    auto span = telemetry::wall_span("greedi-partition-round", "selection");
+    if (config.driver.parallelism && parts > 1 && pool.size() > 1) {
+      pool.parallel_for_chunked(0, parts, 1,
+                                [&](std::size_t lo, std::size_t hi) {
+                                  for (std::size_t p = lo; p < hi; ++p) {
+                                    run_partition(p);
+                                  }
+                                });
+    } else {
+      for (std::size_t p = 0; p < parts; ++p) run_partition(p);
+    }
   }
   std::vector<std::size_t> union_rows;
   for (const auto& local : result.local) {
@@ -108,8 +112,11 @@ GreediResult greedi_select(const Tensor& embeddings,
   // The merge runs on a single device over an already-small union; chunking
   // is unnecessary and would only degrade quality.
   merge_cfg.partition_quota = 0;
-  result.merge = select_coreset(merged.embeddings, merged.labels, merged.rows,
-                                k, merge_cfg);
+  {
+    auto span = telemetry::wall_span("greedi-merge-round", "selection");
+    result.merge = select_coreset(merged.embeddings, merged.labels,
+                                  merged.rows, k, merge_cfg);
+  }
 
   result.indices = result.merge.indices;
   result.weights = result.merge.weights;

@@ -5,8 +5,10 @@
 #include <queue>
 #include <stdexcept>
 
+#include "nessa/telemetry/telemetry.hpp"
 #include "nessa/util/parallel_reduce.hpp"
 #include "nessa/util/thread_pool.hpp"
+#include "nessa/util/timer.hpp"
 
 namespace nessa::selection {
 
@@ -25,8 +27,29 @@ GreedyResult finish(const FacilityLocation& fl,
   out.objective = state.value;
   out.gain_evaluations = gain_evaluations;
   out.weights = fl.medoid_weights(out.selected);
+  telemetry::count("selection.greedy.rounds", out.selected.size());
+  telemetry::count("selection.greedy.gain_evaluations", gain_evaluations);
   return out;
 }
+
+/// Per-round stopwatch -> histogram, resolved once per maximizer call.
+/// Disabled telemetry makes this a null pointer and a dead branch per round.
+class RoundTimer {
+ public:
+  RoundTimer()
+      : hist_(telemetry::histogram_ptr("selection.greedy.round_seconds")) {}
+
+  void note_round() {
+    if (hist_ != nullptr) {
+      hist_->record(watch_.elapsed_seconds());
+      watch_.reset();
+    }
+  }
+
+ private:
+  telemetry::Histogram* hist_;
+  util::Stopwatch watch_;
+};
 
 /// Deterministic argmax of marginal gains over candidates [0, n) that pass
 /// `eligible`, evaluated in blocks (parallel when asked). Equivalent to an
@@ -53,12 +76,14 @@ util::BestGain best_candidate(const FacilityLocation& fl,
 }  // namespace
 
 GreedyResult naive_greedy(const FacilityLocation& fl, std::size_t k,
-                          bool parallel) {
+                          util::Parallelism parallelism) {
+  const bool parallel = parallelism.enabled;
   const std::size_t n = fl.ground_size();
   k = std::min(k, n);
   auto state = fl.empty_state();
   std::vector<bool> in_set(n, false);
   std::size_t evals = 0;
+  RoundTimer rounds;
   for (std::size_t step = 0; step < k; ++step) {
     const auto best = best_candidate(
         fl, state, n, parallel, [&](std::size_t j) { return !in_set[j]; });
@@ -66,12 +91,14 @@ GreedyResult naive_greedy(const FacilityLocation& fl, std::size_t k,
     if (best.index >= n) break;
     fl.add(state, best.index);
     in_set[best.index] = true;
+    rounds.note_round();
   }
   return finish(fl, std::move(state), evals);
 }
 
 GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k,
-                         bool parallel) {
+                         util::Parallelism parallelism) {
+  const bool parallel = parallelism.enabled;
   const std::size_t n = fl.ground_size();
   k = std::min(k, n);
   auto state = fl.empty_state();
@@ -115,11 +142,13 @@ GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k,
                                        kCandidateGrain)
                : 1;
   std::vector<Entry> stale;
+  RoundTimer rounds;
   while (state.selected.size() < k && !heap.empty()) {
     Entry top = heap.top();
     heap.pop();
     if (top.stamp == state.selected.size()) {
       fl.add(state, top.index);
+      rounds.note_round();
       continue;
     }
     if (!parallel) {
@@ -132,6 +161,7 @@ GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k,
           top.gain > heap.top().gain ||
           (top.gain == heap.top().gain && top.index < heap.top().index)) {
         fl.add(state, top.index);
+        rounds.note_round();
       } else {
         heap.push(top);
       }
@@ -163,7 +193,9 @@ GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k,
 }
 
 GreedyResult stochastic_greedy(const FacilityLocation& fl, std::size_t k,
-                               util::Rng& rng, double epsilon, bool parallel) {
+                               util::Rng& rng, double epsilon,
+                               util::Parallelism parallelism) {
+  const bool parallel = parallelism.enabled;
   const std::size_t n = fl.ground_size();
   k = std::min(k, n);
   if (k == 0) return finish(fl, fl.empty_state(), 0);
@@ -178,6 +210,7 @@ GreedyResult stochastic_greedy(const FacilityLocation& fl, std::size_t k,
 
   auto state = fl.empty_state();
   std::size_t evals = 0;
+  RoundTimer rounds;
   // Not-yet-selected candidates, kept compact as elements are chosen.
   std::vector<std::size_t> pool(n);
   for (std::size_t i = 0; i < n; ++i) pool[i] = i;
@@ -210,6 +243,7 @@ GreedyResult stochastic_greedy(const FacilityLocation& fl, std::size_t k,
     fl.add(state, pool[best.index]);
     pool[best.index] = pool.back();
     pool.pop_back();
+    rounds.note_round();
   }
   return finish(fl, std::move(state), evals);
 }

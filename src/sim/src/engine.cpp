@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nessa/telemetry/telemetry.hpp"
+
 namespace nessa::sim {
 
 std::uint64_t Simulator::schedule_at(SimTime when, Callback fn) {
@@ -52,6 +54,7 @@ std::size_t Simulator::run() {
     ++count;
     node.mapped()();
   }
+  telemetry::count("sim.engine.events", count);
   return count;
 }
 
@@ -73,6 +76,7 @@ std::size_t Simulator::run_until(SimTime deadline) {
     node.mapped()();
   }
   if (now_ < deadline) now_ = deadline;
+  telemetry::count("sim.engine.events", count);
   return count;
 }
 

@@ -4,7 +4,27 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nessa/telemetry/telemetry.hpp"
+
 namespace nessa::sim {
+
+namespace {
+
+/// Telemetry for one transfer: an occupancy span on the link's track plus a
+/// bytes-moved counter. Both sinks are null-checked by the helpers, so the
+/// disabled cost is two relaxed loads per *transfer* (not per byte).
+void record_transfer(const std::string& link, std::uint64_t bytes,
+                     SimTime start, SimTime finish) {
+  if (telemetry::trace() != nullptr) {
+    telemetry::trace()->span(telemetry::Domain::kSim, "transfer", "link", link,
+                             start, finish - start);
+  }
+  if (telemetry::metrics() != nullptr) {
+    telemetry::metrics()->counter("sim.link." + link + ".bytes").add(bytes);
+  }
+}
+
+}  // namespace
 
 Link::Link(std::string name, double bytes_per_second, SimTime latency)
     : name_(std::move(name)), bandwidth_(bytes_per_second), latency_(latency) {
@@ -28,6 +48,7 @@ SimTime Link::submit(Simulator& sim, std::uint64_t bytes,
   ++stats_.transfers;
   stats_.bytes += bytes;
   stats_.busy_time += finish - start;
+  record_transfer(name_, bytes, start, finish);
   if (done) {
     sim.schedule_at(finish, std::move(done));
   }
@@ -41,6 +62,7 @@ SimTime Link::occupy(std::uint64_t bytes, SimTime earliest) {
   ++stats_.transfers;
   stats_.bytes += bytes;
   stats_.busy_time += finish - start;
+  record_transfer(name_, bytes, start, finish);
   return finish;
 }
 

@@ -4,15 +4,37 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nessa/telemetry/telemetry.hpp"
+
 namespace nessa::sim {
+
+namespace {
+
+void record_occupancy(const std::string& region, std::uint64_t used) {
+  if (telemetry::metrics() != nullptr) {
+    telemetry::metrics()
+        ->gauge("sim.mem." + region + ".used_bytes")
+        .set(static_cast<double>(used));
+  }
+}
+
+}  // namespace
 
 MemoryRegion::MemoryRegion(std::string name, std::uint64_t capacity_bytes)
     : name_(std::move(name)), capacity_(capacity_bytes) {}
 
 bool MemoryRegion::allocate(std::uint64_t bytes) noexcept {
-  if (!fits(bytes)) return false;
+  if (!fits(bytes)) {
+    if (telemetry::metrics() != nullptr) {
+      telemetry::metrics()
+          ->counter("sim.mem." + name_ + ".alloc_failures")
+          .add(1);
+    }
+    return false;
+  }
   used_ += bytes;
   peak_ = std::max(peak_, used_);
+  record_occupancy(name_, used_);
   return true;
 }
 
@@ -21,6 +43,7 @@ void MemoryRegion::release(std::uint64_t bytes) {
     throw std::logic_error("MemoryRegion::release: double free on " + name_);
   }
   used_ -= bytes;
+  record_occupancy(name_, used_);
 }
 
 }  // namespace nessa::sim

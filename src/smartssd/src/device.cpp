@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nessa/telemetry/telemetry.hpp"
+
 namespace nessa::smartssd {
 
 SmartSsdSystem::SmartSsdSystem(SystemConfig config)
@@ -25,6 +27,7 @@ util::SimTime SmartSsdSystem::flash_to_fpga(std::size_t records,
                                             std::uint64_t record_bytes) {
   const std::uint64_t bytes = records * record_bytes;
   traffic_.p2p_bytes += bytes;
+  telemetry::count("system.p2p.bytes", bytes);
   // The flash's sustained rate (2.31 GB/s) is below the P2P ceiling
   // (3 GB/s), so the batched flash read time is the end-to-end time.
   const util::SimTime flash_time = flash_.read_batch(records, record_bytes);
@@ -37,6 +40,7 @@ util::SimTime SmartSsdSystem::flash_to_host(std::size_t records,
                                             std::uint64_t record_bytes) {
   const std::uint64_t bytes = records * record_bytes;
   traffic_.interconnect_bytes += bytes;
+  telemetry::count("system.interconnect.bytes", bytes);
   // Store-and-forward through a host bounce buffer: each staging chunk pays
   // flash read + drive->host hop + per-chunk CPU staging overhead. The two
   // hops are not overlapped (no P2P), which is exactly why the paper sees
@@ -52,6 +56,8 @@ util::SimTime SmartSsdSystem::flash_to_host(std::size_t records,
 util::SimTime SmartSsdSystem::subset_to_gpu(std::uint64_t bytes) {
   traffic_.interconnect_bytes += bytes;
   traffic_.gpu_bytes += bytes;
+  telemetry::count("system.interconnect.bytes", bytes);
+  telemetry::count("system.gpu.bytes", bytes);
   return config_.link_latency +
          util::transfer_time(bytes, config_.host_link_bw_bps) +
          util::transfer_time(bytes, config_.gpu_link_bw_bps);
@@ -59,12 +65,15 @@ util::SimTime SmartSsdSystem::subset_to_gpu(std::uint64_t bytes) {
 
 util::SimTime SmartSsdSystem::host_to_gpu(std::uint64_t bytes) {
   traffic_.gpu_bytes += bytes;
+  telemetry::count("system.gpu.bytes", bytes);
   return config_.link_latency +
          util::transfer_time(bytes, config_.gpu_link_bw_bps);
 }
 
 util::SimTime SmartSsdSystem::weights_to_fpga(std::uint64_t bytes) {
   traffic_.interconnect_bytes += bytes;
+  telemetry::count("system.interconnect.bytes", bytes);
+  telemetry::count("system.feedback.bytes", bytes);
   return config_.link_latency +
          util::transfer_time(bytes, config_.host_link_bw_bps);
 }

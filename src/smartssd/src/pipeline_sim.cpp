@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nessa/telemetry/telemetry.hpp"
+
 namespace nessa::smartssd {
 
 namespace {
@@ -10,14 +12,20 @@ namespace {
 using util::SimTime;
 
 /// Serialized compute/storage resource: list-scheduling free-at pointer.
+/// Each occupancy is recorded as a sim-clock span (phase name on the
+/// resource's track) when telemetry is enabled.
 struct Resource {
+  const char* track;
   SimTime free_at = 0;
+
+  explicit Resource(const char* track_name) : track(track_name) {}
 
   /// Occupy for `duration` starting no earlier than `earliest`; returns the
   /// completion time.
-  SimTime run(SimTime earliest, SimTime duration) {
+  SimTime run(SimTime earliest, SimTime duration, const char* phase) {
     const SimTime start = std::max(earliest, free_at);
     free_at = start + duration;
+    telemetry::sim_span(phase, "pipeline", track, start, duration);
     return free_at;
   }
 };
@@ -37,7 +45,8 @@ PipelineTrace simulate_pipeline(const SystemConfig& config,
   FpgaModel fpga(config.fpga);
   const GpuSpec& gpu = gpu_spec(config.gpu);
 
-  Resource flash_bus, fpga_compute, host_link, gpu_link, gpu_compute;
+  Resource flash_bus("flash_bus"), fpga_compute("fpga"),
+      host_link("host_link"), gpu_link("gpu_link"), gpu_compute("gpu");
 
   const std::size_t scan_batches =
       (w.pool_records + w.batch_size - 1) / w.batch_size;
@@ -77,23 +86,38 @@ PipelineTrace simulate_pipeline(const SystemConfig& config,
     const SimTime scan_gate = prev_selection_done;
     SimTime fwd_done = 0;
     for (std::size_t b = 0; b < scan_batches; ++b) {
-      const SimTime read_done = flash_bus.run(scan_gate, t_flash);
-      fwd_done = fpga_compute.run(read_done, t_fwd);
+      const SimTime read_done = flash_bus.run(scan_gate, t_flash, "flash-read");
+      fwd_done = fpga_compute.run(read_done, t_fwd, "fpga-forward");
     }
-    const SimTime selection_done = fpga_compute.run(fwd_done, t_select);
+    const SimTime selection_done =
+        fpga_compute.run(fwd_done, t_select, "selection");
     prev_selection_done = selection_done;
 
     // --- GPU side: subset stream + training ----------------------------
     SimTime train_done = selection_done;
     for (std::size_t b = 0; b < train_batches; ++b) {
-      const SimTime host_done = host_link.run(selection_done, t_host);
-      const SimTime onto_gpu = gpu_link.run(host_done, t_gpu_link);
-      train_done = gpu_compute.run(onto_gpu, t_train);
+      const SimTime host_done =
+          host_link.run(selection_done, t_host, "host-link");
+      const SimTime onto_gpu = gpu_link.run(host_done, t_gpu_link, "gpu-link");
+      train_done = gpu_compute.run(onto_gpu, t_train, "gpu-train");
     }
 
     // --- feedback --------------------------------------------------------
-    const SimTime feedback_done = host_link.run(train_done, t_feedback);
+    const SimTime feedback_done =
+        host_link.run(train_done, t_feedback, "feedback");
+    telemetry::sim_instant("epoch-done", "pipeline", "host_link",
+                           feedback_done);
     trace.epoch_done.push_back(feedback_done);
+
+    // Bytes-moved accounting per link, once per epoch.
+    telemetry::count("pipeline.p2p.bytes",
+                     static_cast<std::uint64_t>(scan_batches) * batch_bytes);
+    telemetry::count("pipeline.host_link.bytes",
+                     static_cast<std::uint64_t>(train_batches) * batch_bytes +
+                         w.feedback_bytes);
+    telemetry::count("pipeline.gpu_link.bytes",
+                     static_cast<std::uint64_t>(train_batches) * batch_bytes);
+    telemetry::count("pipeline.feedback.bytes", w.feedback_bytes);
   }
 
   trace.first_epoch_time = trace.epoch_done.front();

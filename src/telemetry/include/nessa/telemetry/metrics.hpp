@@ -1,0 +1,103 @@
+// Named counters, gauges, and histograms for the telemetry layer.
+//
+// A MetricsRegistry hands out references to metric objects keyed by name;
+// the references stay valid for the registry's lifetime, so hot loops can
+// resolve a metric once and update it lock-free afterwards (counters and
+// gauges are single atomics; histograms take a small per-histogram lock).
+//
+// Naming convention (dot-separated, coarse to fine):
+//   <subsystem>.<object>.<quantity>[.<unit>]
+//   e.g. "pipeline.host_link.bytes", "selection.greedy.gain_evaluations",
+//        "sim.engine.events". Byte-moved counters always end in ".bytes".
+//
+// write_json() dumps everything as one flat JSON object:
+//   { "counters": {name: value}, "gauges": {...},
+//     "histograms": {name: {count, sum, min, max, mean}} }
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace nessa::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    [[nodiscard]] double mean() const noexcept {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+
+  void record(double v);
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot data_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; the returned reference is stable for the registry's
+  /// lifetime and safe to update concurrently.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Read a counter without creating it; 0 if absent.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Snapshot of every counter (name -> value), for tests and reports.
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
+
+  void write_json(std::ostream& os) const;
+
+  /// Throws std::runtime_error if the file cannot be opened.
+  void write_json_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace nessa::telemetry

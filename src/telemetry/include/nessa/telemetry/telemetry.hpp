@@ -1,0 +1,93 @@
+// Global telemetry sinks and the null-sink fast path.
+//
+// The library is instrumented unconditionally, but the sinks default to
+// nullptr: every helper below starts with one relaxed atomic load and a
+// branch, so a run with telemetry disabled pays a couple of instructions
+// per *phase* (never per inner-loop element) — the contract the selection
+// benchmarks hold the layer to (see docs/telemetry.md).
+//
+// Enable by installing sinks, most conveniently with a Session:
+//
+//   telemetry::Session session;                  // installs on construction
+//   ... run a workload ...
+//   session.trace().write_chrome_trace_file("trace.json");
+//   session.metrics().write_json_file("metrics.json");
+//   // ~Session uninstalls
+//
+// Only one set of sinks can be installed at a time (last install wins);
+// instrumented code never takes ownership.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "nessa/telemetry/metrics.hpp"
+#include "nessa/telemetry/trace.hpp"
+#include "nessa/util/units.hpp"
+
+namespace nessa::telemetry {
+
+/// Currently installed sinks; nullptr when telemetry is disabled.
+[[nodiscard]] TraceRecorder* trace() noexcept;
+[[nodiscard]] MetricsRegistry* metrics() noexcept;
+
+/// Install/replace the global sinks. Callers keep ownership and must keep
+/// the objects alive until uninstall (or a replacing install).
+void install(TraceRecorder* trace_sink, MetricsRegistry* metrics_sink) noexcept;
+void uninstall() noexcept;
+
+/// Owns one recorder + one registry and installs them for its lifetime.
+class Session {
+ public:
+  Session();
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] TraceRecorder& trace() noexcept { return *trace_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return *metrics_; }
+
+ private:
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+};
+
+// --- null-safe instrumentation helpers -------------------------------
+
+/// Bump a counter (no-op when disabled).
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (auto* m = metrics()) m->counter(name).add(delta);
+}
+
+/// Set a gauge (no-op when disabled).
+inline void gauge_set(std::string_view name, double value) {
+  if (auto* m = metrics()) m->gauge(name).set(value);
+}
+
+/// Resolve a histogram once before a loop; nullptr when disabled.
+[[nodiscard]] inline Histogram* histogram_ptr(std::string_view name) {
+  auto* m = metrics();
+  return m != nullptr ? &m->histogram(name) : nullptr;
+}
+
+/// Record a sim-clock span on a resource track (no-op when disabled).
+inline void sim_span(const char* name, const char* category, const char* track,
+                     util::SimTime start, util::SimTime duration) {
+  if (auto* t = trace()) {
+    t->span(Domain::kSim, name, category, track, start, duration);
+  }
+}
+
+/// Record a sim-clock instant event (no-op when disabled).
+inline void sim_instant(const char* name, const char* category,
+                        const char* track, util::SimTime at) {
+  if (auto* t = trace()) t->instant(Domain::kSim, name, category, track, at);
+}
+
+/// Open a wall-clock span against the global sink (no-op when disabled).
+[[nodiscard]] inline ScopedSpan wall_span(const char* name,
+                                          const char* category) {
+  return ScopedSpan(trace(), name, category);
+}
+
+}  // namespace nessa::telemetry

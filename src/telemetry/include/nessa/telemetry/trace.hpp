@@ -1,0 +1,134 @@
+// Timestamped span/instant recording for the telemetry layer.
+//
+// A TraceRecorder collects events from two clock domains:
+//  - kWall: wall-clock nanoseconds since the recorder's construction,
+//    measured on std::chrono::steady_clock — used by the selection engine,
+//    the trainers, and anything else that runs for real on the host;
+//  - kSim:  simulated picoseconds (util::SimTime) — used by the
+//    discrete-event/analytic models in nessa::sim and nessa::smartssd.
+//
+// Every event carries a `track` (a lane in the viewer): wall events default
+// to a per-thread track, sim events use the modeled resource's name
+// ("flash_bus", "fpga", "host_link", ...). write_chrome_trace() emits the
+// Chrome trace-event JSON format, loadable in chrome://tracing or Perfetto;
+// the two clock domains are exported as two separate "processes" so their
+// unrelated time axes are never visually conflated.
+//
+// Thread safety: record/span/instant may be called concurrently from any
+// thread (one mutex around the event vector; events are coarse — pipeline
+// phases, selection rounds — so contention is negligible).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::telemetry {
+
+enum class Domain : std::uint8_t {
+  kWall,  ///< nanoseconds of real time since the recorder's epoch
+  kSim,   ///< simulated picoseconds (util::SimTime)
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::string track;  ///< viewer lane: thread for wall, resource for sim
+  Domain domain = Domain::kWall;
+  std::int64_t start = 0;     ///< kWall: ns since epoch; kSim: SimTime (ps)
+  std::int64_t duration = 0;  ///< same unit as start; 0 for instants
+  bool instant = false;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Wall-clock nanoseconds since this recorder was constructed.
+  [[nodiscard]] std::int64_t now_ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void record(TraceEvent event);
+
+  void span(Domain domain, std::string name, std::string category,
+            std::string track, std::int64_t start, std::int64_t duration);
+
+  void instant(Domain domain, std::string name, std::string category,
+               std::string track, std::int64_t at);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Snapshot of all events recorded so far (copied under the lock).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete/instant
+  /// events plus process/thread-name metadata). Timestamps are emitted in
+  /// microseconds as the format requires.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Throws std::runtime_error if the file cannot be opened.
+  void write_chrome_trace_file(const std::string& path) const;
+
+  /// Stable per-thread track name ("t0", "t1", ... in first-use order).
+  [[nodiscard]] static const std::string& thread_track();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII wall-clock span: records [construction, destruction) into the given
+/// recorder on the current thread's track. A null recorder makes every
+/// operation a no-op, so call sites can pass the (possibly disabled) global
+/// sink unconditionally.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, const char* name, const char* category)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) {
+      name_ = name;
+      category_ = category;
+      start_ = recorder_->now_ns();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : recorder_(other.recorder_),
+        name_(std::move(other.name_)),
+        category_(std::move(other.category_)),
+        start_(other.start_) {
+    other.recorder_ = nullptr;
+  }
+  ScopedSpan& operator=(ScopedSpan&&) = delete;
+
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->span(Domain::kWall, std::move(name_), std::move(category_),
+                      TraceRecorder::thread_track(), start_,
+                      recorder_->now_ns() - start_);
+    }
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::string category_;
+  std::int64_t start_ = 0;
+};
+
+}  // namespace nessa::telemetry

@@ -1,0 +1,146 @@
+#include "nessa/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nessa::telemetry {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+/// Doubles formatted so the output is valid JSON (no inf/nan) and
+/// round-trips typical byte counts and second-scale durations.
+void write_double(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(15);
+  tmp << v;
+  const std::string text = tmp.str();
+  if (text.find("inf") != std::string::npos ||
+      text.find("nan") != std::string::npos) {
+    os << "null";
+  } else {
+    os << text;
+  }
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.count == 0) {
+    data_.min = v;
+    data_.max = v;
+  } else {
+    data_.min = std::min(data_.min, v);
+    data_.max = std::max(data_.max, v);
+  }
+  ++data_.count;
+  data_.sum += v;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    write_escaped(os, name);
+    os << ": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    write_escaped(os, name);
+    os << ": ";
+    write_double(os, g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h->snapshot();
+    os << (first ? "\n" : ",\n") << "    ";
+    write_escaped(os, name);
+    os << ": {\"count\": " << s.count << ", \"sum\": ";
+    write_double(os, s.sum);
+    os << ", \"min\": ";
+    write_double(os, s.min);
+    os << ", \"max\": ";
+    write_double(os, s.max);
+    os << ", \"mean\": ";
+    write_double(os, s.mean());
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("MetricsRegistry: cannot write " + path);
+  }
+  write_json(os);
+}
+
+}  // namespace nessa::telemetry

@@ -1,0 +1,44 @@
+#include "nessa/telemetry/telemetry.hpp"
+
+#include <atomic>
+
+namespace nessa::telemetry {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_trace{nullptr};
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+
+}  // namespace
+
+TraceRecorder* trace() noexcept {
+  return g_trace.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry* metrics() noexcept {
+  return g_metrics.load(std::memory_order_relaxed);
+}
+
+void install(TraceRecorder* trace_sink,
+             MetricsRegistry* metrics_sink) noexcept {
+  g_trace.store(trace_sink, std::memory_order_relaxed);
+  g_metrics.store(metrics_sink, std::memory_order_relaxed);
+}
+
+void uninstall() noexcept { install(nullptr, nullptr); }
+
+Session::Session()
+    : trace_(std::make_unique<TraceRecorder>()),
+      metrics_(std::make_unique<MetricsRegistry>()) {
+  install(trace_.get(), metrics_.get());
+}
+
+Session::~Session() {
+  // Only tear down the globals if they still point at this session.
+  if (telemetry::trace() == trace_.get() ||
+      telemetry::metrics() == metrics_.get()) {
+    uninstall();
+  }
+}
+
+}  // namespace nessa::telemetry

@@ -1,0 +1,162 @@
+#include "nessa/telemetry/trace.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace nessa::telemetry {
+
+namespace {
+
+/// Chrome trace JSON string escaping (names come from code, but link names
+/// are user-configurable strings).
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Timestamps in the chrome format are microseconds; emit with sub-us
+/// precision (wall events are ns, sim events are ps).
+double to_us(Domain domain, std::int64_t t) {
+  return domain == Domain::kWall ? static_cast<double>(t) / 1e3
+                                 : static_cast<double>(t) / 1e6;
+}
+
+constexpr int pid_of(Domain domain) {
+  return domain == Domain::kWall ? 1 : 2;
+}
+
+}  // namespace
+
+void TraceRecorder::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::span(Domain domain, std::string name, std::string category,
+                         std::string track, std::int64_t start,
+                         std::int64_t duration) {
+  record(TraceEvent{std::move(name), std::move(category), std::move(track),
+                    domain, start, duration, /*instant=*/false});
+}
+
+void TraceRecorder::instant(Domain domain, std::string name,
+                            std::string category, std::string track,
+                            std::int64_t at) {
+  record(TraceEvent{std::move(name), std::move(category), std::move(track),
+                    domain, at, 0, /*instant=*/true});
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> snapshot = events();
+
+  // Assign a small integer tid to each (domain, track) lane, in first-seen
+  // order, and name the lanes via metadata events.
+  std::map<std::pair<int, std::string>, int> tids;
+  for (const auto& ev : snapshot) {
+    tids.try_emplace({pid_of(ev.domain), ev.track},
+                     static_cast<int>(tids.size()));
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  for (const int pid : {1, 2}) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":"
+       << (pid == 1 ? "\"wall-clock\"" : "\"sim-clock\"") << "}}";
+  }
+  for (const auto& [key, tid] : tids) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":";
+    write_escaped(os, key.second);
+    os << "}}";
+  }
+
+  for (const auto& ev : snapshot) {
+    const int pid = pid_of(ev.domain);
+    const int tid = tids.at({pid, ev.track});
+    sep();
+    os << "{\"name\":";
+    write_escaped(os, ev.name);
+    os << ",\"cat\":";
+    write_escaped(os, ev.category);
+    os << ",\"ph\":\"" << (ev.instant ? 'i' : 'X') << "\"";
+    os << ",\"ts\":" << to_us(ev.domain, ev.start);
+    if (ev.instant) {
+      os << ",\"s\":\"t\"";
+    } else {
+      os << ",\"dur\":" << to_us(ev.domain, ev.duration);
+    }
+    os << ",\"pid\":" << pid << ",\"tid\":" << tid << "}";
+  }
+  os << "\n]}\n";
+}
+
+void TraceRecorder::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("TraceRecorder: cannot write " + path);
+  }
+  write_chrome_trace(os);
+}
+
+const std::string& TraceRecorder::thread_track() {
+  static std::atomic<int> next{0};
+  thread_local const std::string track =
+      "t" + std::to_string(next.fetch_add(1, std::memory_order_relaxed));
+  return track;
+}
+
+}  // namespace nessa::telemetry

@@ -1,0 +1,49 @@
+// The library-wide parallelism knob.
+//
+// Before this struct existed, each layer had its own spelling: a bool
+// `parallel` on FacilityLocation / the greedy maximizers / DriverConfig,
+// a `threads` count on ThreadPool, and the NESSA_THREADS environment
+// variable on the global pool. Parallelism unifies them: every public knob
+// is now this struct, and the bool call sites keep compiling through the
+// implicit conversions below.
+//
+// `threads` is advisory: the shared global pool (ThreadPool::global()) is
+// sized once at first use from hardware_concurrency / NESSA_THREADS, and
+// the deterministic chunked reductions are thread-count-independent by
+// construction, so a per-call thread count would buy nothing but pool
+// churn. A non-zero value documents intent and is validated (see
+// core::RunConfig::validate()), and sizes any pool the caller constructs
+// explicitly.
+#pragma once
+
+#include <cstddef>
+
+namespace nessa::util {
+
+struct Parallelism {
+  /// Dispatch parallel sections onto the global thread pool.
+  bool enabled = false;
+  /// Preferred worker count; 0 = the global pool's size (hardware
+  /// concurrency, overridable via NESSA_THREADS).
+  std::size_t threads = 0;
+
+  constexpr Parallelism() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): bool knobs migrate in place.
+  constexpr Parallelism(bool enable) noexcept : enabled(enable) {}
+
+  [[nodiscard]] static constexpr Parallelism serial() noexcept {
+    return Parallelism{false};
+  }
+  [[nodiscard]] static constexpr Parallelism pooled(
+      std::size_t threads = 0) noexcept {
+    Parallelism p{true};
+    p.threads = threads;
+    return p;
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): `if (cfg.parallelism)` reads
+  // as "is parallel dispatch on", matching the old bool semantics.
+  [[nodiscard]] constexpr operator bool() const noexcept { return enabled; }
+};
+
+}  // namespace nessa::util

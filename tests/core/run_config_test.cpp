@@ -1,0 +1,142 @@
+// RunConfig: fluent construction, exhaustive validation, the implied
+// selection driver, and equivalence of the RunConfig entry points with the
+// legacy piecewise overloads.
+#include "nessa/core/run_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nessa/core/pipeline.hpp"
+#include "nessa/data/synthetic.hpp"
+
+namespace nessa::core {
+namespace {
+
+bool any_error_mentions(const std::vector<std::string>& errors,
+                        const std::string& needle) {
+  return std::any_of(errors.begin(), errors.end(), [&](const auto& e) {
+    return e.find(needle) != std::string::npos;
+  });
+}
+
+TEST(RunConfig, DefaultIsValid) {
+  EXPECT_TRUE(RunConfig{}.validate().empty());
+}
+
+TEST(RunConfig, ValidateReturnsEveryError) {
+  RunConfig rc;
+  rc.system.host_link_bw_bps = 0.0;
+  rc.workload.batch_size = 0;
+  rc.workload.subset_records = rc.workload.pool_records + 1;
+  rc.train.epochs = 0;
+  rc.nessa.subset_fraction = 1.5;
+  rc.nessa.selection_interval = 0;
+  rc.pipeline_epochs = 1;
+
+  const auto errors = rc.validate();
+  EXPECT_GE(errors.size(), 7u);
+  EXPECT_TRUE(any_error_mentions(errors, "system.host_link_bw_bps"));
+  EXPECT_TRUE(any_error_mentions(errors, "workload.batch_size"));
+  EXPECT_TRUE(any_error_mentions(errors, "workload.subset_records"));
+  EXPECT_TRUE(any_error_mentions(errors, "train.epochs"));
+  EXPECT_TRUE(any_error_mentions(errors, "nessa.subset_fraction"));
+  EXPECT_TRUE(any_error_mentions(errors, "nessa.selection_interval"));
+  EXPECT_TRUE(any_error_mentions(errors, "pipeline_epochs"));
+}
+
+TEST(RunConfig, ValidateOrThrowListsAllErrors) {
+  RunConfig rc;
+  rc.train.epochs = 0;
+  rc.pipeline_epochs = 0;
+  try {
+    rc.validate_or_throw();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("train.epochs"), std::string::npos);
+    EXPECT_NE(what.find("pipeline_epochs"), std::string::npos);
+  }
+}
+
+TEST(RunConfig, FluentBuilderChains) {
+  TrainConfig train;
+  train.epochs = 5;
+  train.seed = 99;
+  const auto rc = RunConfig{}
+                      .with_train(train)
+                      .with_parallelism(true)
+                      .with_pipeline_epochs(12)
+                      .with_telemetry({true, "t.json", "m.json"});
+  EXPECT_EQ(rc.train.epochs, 5u);
+  EXPECT_TRUE(rc.parallelism.enabled);
+  EXPECT_EQ(rc.pipeline_epochs, 12u);
+  EXPECT_TRUE(rc.telemetry.enabled);
+  EXPECT_EQ(rc.telemetry.trace_path, "t.json");
+}
+
+TEST(RunConfig, DriverReflectsSelectionAndParallelismKnobs) {
+  RunConfig rc;
+  rc.nessa.greedy = selection::GreedyKind::kStochastic;
+  rc.nessa.stochastic_epsilon = 0.2;
+  rc.nessa.partition_quota = 64;
+  rc.parallelism = true;
+  rc.train.seed = 17;
+  const auto driver = rc.driver();
+  EXPECT_EQ(driver.greedy, selection::GreedyKind::kStochastic);
+  EXPECT_DOUBLE_EQ(driver.stochastic_epsilon, 0.2);
+  EXPECT_EQ(driver.partition_quota, 64u);
+  EXPECT_TRUE(driver.parallelism.enabled);
+  EXPECT_EQ(driver.seed, 17u);
+}
+
+TEST(RunConfig, SimulatePipelineMatchesDirectCall) {
+  RunConfig rc;
+  rc.pipeline_epochs = 5;
+  const auto via_config = simulate_pipeline(rc);
+  const auto direct =
+      smartssd::simulate_pipeline(rc.system, rc.workload, rc.pipeline_epochs);
+  EXPECT_EQ(via_config.steady_epoch_time, direct.steady_epoch_time);
+  EXPECT_EQ(via_config.epoch_done, direct.epoch_done);
+}
+
+TEST(RunConfig, SimulatePipelineRejectsInvalidConfig) {
+  RunConfig rc;
+  rc.pipeline_epochs = 1;
+  EXPECT_THROW(simulate_pipeline(rc), std::invalid_argument);
+}
+
+TEST(RunConfig, RunNessaOverloadMatchesLegacyPath) {
+  data::SyntheticConfig ds_cfg;
+  ds_cfg.num_classes = 4;
+  ds_cfg.train_size = 400;
+  ds_cfg.test_size = 100;
+  ds_cfg.feature_dim = 12;
+  ds_cfg.seed = 5;
+  const auto ds = data::make_synthetic(ds_cfg);
+
+  PipelineInputs inputs;
+  inputs.dataset = &ds;
+  inputs.info = data::dataset_info("CIFAR-10");
+  inputs.model = nn::model_spec("ResNet-20");
+  inputs.train.epochs = 3;
+  inputs.train.batch_size = 32;
+  inputs.train.seed = 3;
+
+  RunConfig rc;
+  rc.train = inputs.train;
+  rc.nessa.subset_fraction = 0.3;
+  rc.nessa.partition_quota = 32;
+  rc.nessa.drop_interval_epochs = 3;
+  rc.nessa.loss_window_epochs = 2;
+
+  smartssd::SmartSsdSystem sys_new(rc.system), sys_old(rc.system);
+  const auto via_config = run_nessa(inputs, rc, sys_new);
+  const auto legacy = run_nessa(inputs, rc.nessa, sys_old);
+  ASSERT_EQ(via_config.epochs.size(), legacy.epochs.size());
+  EXPECT_DOUBLE_EQ(via_config.final_accuracy, legacy.final_accuracy);
+  EXPECT_EQ(via_config.interconnect_bytes, legacy.interconnect_bytes);
+}
+
+}  // namespace
+}  // namespace nessa::core

@@ -145,9 +145,9 @@ TEST(GreedyParallel, DriverParallelKnobKeepsLazyConfigIdentical) {
     labels[i] = static_cast<std::int32_t>(i % 3);
   }
   DriverConfig serial_cfg;  // kLazy + per_class: consumes no rng
-  serial_cfg.parallel = false;
+  serial_cfg.parallelism = false;
   DriverConfig parallel_cfg = serial_cfg;
-  parallel_cfg.parallel = true;
+  parallel_cfg.parallelism = true;
   auto a = select_coreset(emb, labels, {}, 30, serial_cfg);
   auto b = select_coreset(emb, labels, {}, 30, parallel_cfg);
   EXPECT_EQ(a.indices, b.indices);
@@ -164,9 +164,9 @@ TEST(GreedyParallel, GreediParallelKnobKeepsResultIdentical) {
   }
   GreediConfig serial_cfg;
   serial_cfg.num_partitions = 4;
-  serial_cfg.driver.parallel = false;
+  serial_cfg.driver.parallelism = false;
   GreediConfig parallel_cfg = serial_cfg;
-  parallel_cfg.driver.parallel = true;
+  parallel_cfg.driver.parallelism = true;
   auto a = greedi_select(emb, labels, {}, 20, serial_cfg);
   auto b = greedi_select(emb, labels, {}, 20, parallel_cfg);
   // Partitions derive independent seeds either way, and locals merge in

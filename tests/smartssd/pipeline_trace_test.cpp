@@ -1,0 +1,125 @@
+// Telemetry contract of the batch-granular pipeline simulation: the traced
+// spans name every modeled phase, the bottleneck resource's traced busy
+// time reproduces PipelineTrace::steady_epoch_time, and the per-link byte
+// counters account exactly for the scheduled traffic.
+#include "nessa/smartssd/pipeline_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "nessa/telemetry/telemetry.hpp"
+
+namespace nessa::smartssd {
+namespace {
+
+TEST(PipelineTelemetry, EmitsEveryPhaseOnItsResourceTrack) {
+  telemetry::Session session;
+  const SystemConfig cfg;
+  const EpochWorkload w;
+  simulate_pipeline(cfg, w, 3);
+
+  std::set<std::string> seen;
+  std::set<std::string> tracks;
+  for (const auto& e : session.trace().events()) {
+    EXPECT_EQ(e.domain, telemetry::Domain::kSim);
+    seen.insert(e.name);
+    tracks.insert(e.track);
+  }
+  for (const char* phase :
+       {"flash-read", "fpga-forward", "selection", "host-link", "gpu-link",
+        "gpu-train", "feedback", "epoch-done"}) {
+    EXPECT_TRUE(seen.count(phase)) << "missing phase " << phase;
+  }
+  for (const char* track :
+       {"flash_bus", "fpga", "host_link", "gpu_link", "gpu"}) {
+    EXPECT_TRUE(tracks.count(track)) << "missing track " << track;
+  }
+}
+
+TEST(PipelineTelemetry, TracedGpuBusyTimeMatchesSteadyEpochTime) {
+  telemetry::Session session;
+  const SystemConfig cfg;
+  EpochWorkload w;
+  // Make the GPU the clear bottleneck so the steady-state period equals
+  // its per-epoch busy time (the steady period of a saturated pipeline is
+  // the bottleneck resource's work per epoch).
+  w.train_gflops_per_sample = 2.0;
+  const std::size_t epochs = 8;
+  const auto trace = simulate_pipeline(cfg, w, epochs);
+
+  util::SimTime gpu_busy = 0;
+  for (const auto& e : session.trace().events()) {
+    if (e.name == "gpu-train") gpu_busy += e.duration;
+  }
+  const auto busy_per_epoch =
+      static_cast<double>(gpu_busy) / static_cast<double>(epochs);
+  EXPECT_NEAR(busy_per_epoch / static_cast<double>(trace.steady_epoch_time),
+              1.0, 0.05);
+}
+
+TEST(PipelineTelemetry, PerEpochSpanDurationsSumToEpochWork) {
+  telemetry::Session session;
+  const SystemConfig cfg;
+  const EpochWorkload w;
+  const std::size_t epochs = 4;
+  simulate_pipeline(cfg, w, epochs);
+
+  // Whatever the schedule interleaving, the total traced occupancy must be
+  // exactly epochs x (per-epoch stage work): spans are emitted once per
+  // scheduled stage, never duplicated or dropped.
+  const std::size_t scan_batches =
+      (w.pool_records + w.batch_size - 1) / w.batch_size;
+  const std::size_t train_batches =
+      (w.subset_records + w.batch_size - 1) / w.batch_size;
+  std::size_t flash_spans = 0, train_spans = 0, feedback_spans = 0;
+  for (const auto& e : session.trace().events()) {
+    if (e.name == "flash-read") ++flash_spans;
+    if (e.name == "gpu-train") ++train_spans;
+    if (e.name == "feedback") ++feedback_spans;
+  }
+  EXPECT_EQ(flash_spans, epochs * scan_batches);
+  EXPECT_EQ(train_spans, epochs * train_batches);
+  EXPECT_EQ(feedback_spans, epochs);
+}
+
+TEST(PipelineTelemetry, ByteCountersAccountExactly) {
+  telemetry::Session session;
+  const SystemConfig cfg;
+  const EpochWorkload w;
+  const std::size_t epochs = 3;
+  simulate_pipeline(cfg, w, epochs);
+
+  const std::size_t scan_batches =
+      (w.pool_records + w.batch_size - 1) / w.batch_size;
+  const std::size_t train_batches =
+      (w.subset_records + w.batch_size - 1) / w.batch_size;
+  const std::uint64_t batch_bytes =
+      static_cast<std::uint64_t>(w.batch_size) * w.record_bytes;
+
+  const auto& m = session.metrics();
+  EXPECT_EQ(m.counter_value("pipeline.p2p.bytes"),
+            epochs * scan_batches * batch_bytes);
+  EXPECT_EQ(m.counter_value("pipeline.gpu_link.bytes"),
+            epochs * train_batches * batch_bytes);
+  EXPECT_EQ(m.counter_value("pipeline.host_link.bytes"),
+            epochs * (train_batches * batch_bytes + w.feedback_bytes));
+  EXPECT_EQ(m.counter_value("pipeline.feedback.bytes"),
+            epochs * w.feedback_bytes);
+}
+
+TEST(PipelineTelemetry, DisabledTelemetryChangesNothing) {
+  const SystemConfig cfg;
+  const EpochWorkload w;
+  telemetry::uninstall();
+  const auto bare = simulate_pipeline(cfg, w, 4);
+  telemetry::Session session;
+  const auto traced = simulate_pipeline(cfg, w, 4);
+  EXPECT_EQ(bare.steady_epoch_time, traced.steady_epoch_time);
+  EXPECT_EQ(bare.first_epoch_time, traced.first_epoch_time);
+  EXPECT_EQ(bare.epoch_done, traced.epoch_done);
+}
+
+}  // namespace
+}  // namespace nessa::smartssd

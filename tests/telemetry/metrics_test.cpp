@@ -1,0 +1,129 @@
+// MetricsRegistry: find-or-create semantics, thread safety under the global
+// pool, the JSON exporter, and the global-sink helpers' null fast path.
+#include "nessa/telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nessa/telemetry/telemetry.hpp"
+#include "nessa/util/thread_pool.hpp"
+
+namespace nessa::telemetry {
+namespace {
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("pipeline.p2p.bytes");
+  Counter& b = reg.counter("pipeline.p2p.bytes");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counter_value("pipeline.p2p.bytes"), 3u);
+  EXPECT_EQ(reg.counter_value("never.created"), 0u);
+}
+
+TEST(MetricsRegistry, CounterUpdatesAreLosslessAcrossPoolThreads) {
+  MetricsRegistry reg;
+  auto& pool = util::ThreadPool::global();
+  constexpr std::size_t kIncrements = 100'000;
+  // Mix pre-resolved and name-resolved updates from every worker.
+  Counter& fast = reg.counter("test.fast");
+  pool.parallel_for_chunked(0, kIncrements, 64,
+                            [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i) {
+                                fast.add(1);
+                                reg.counter("test.named").add(1);
+                              }
+                            });
+  EXPECT_EQ(reg.counter_value("test.fast"), kIncrements);
+  EXPECT_EQ(reg.counter_value("test.named"), kIncrements);
+}
+
+TEST(MetricsRegistry, HistogramAggregatesUnderConcurrency) {
+  MetricsRegistry reg;
+  auto& pool = util::ThreadPool::global();
+  Histogram& h = reg.histogram("test.latency");
+  constexpr std::size_t kSamples = 10'000;
+  pool.parallel_for_chunked(0, kSamples, 64,
+                            [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i) {
+                                h.record(static_cast<double>(i % 100));
+                              }
+                            });
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, kSamples);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 99.0);
+  EXPECT_NEAR(snap.mean(), 49.5, 1e-9);
+}
+
+TEST(MetricsRegistry, GaugeKeepsLastValue) {
+  MetricsRegistry reg;
+  reg.gauge("sim.mem.fpga-dram.used_bytes").set(123.0);
+  reg.gauge("sim.mem.fpga-dram.used_bytes").set(77.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_NE(os.str().find("\"sim.mem.fpga-dram.used_bytes\": 77"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExportHasAllThreeSections) {
+  MetricsRegistry reg;
+  reg.counter("a.bytes").add(42);
+  reg.gauge("b.level").set(0.5);
+  reg.histogram("c.seconds").record(1.25);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"a.bytes\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"b.level\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"c.seconds\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": 1.25"), std::string::npos);
+}
+
+TEST(GlobalSinks, HelpersAreNoOpsWhenDisabled) {
+  uninstall();
+  EXPECT_EQ(trace(), nullptr);
+  EXPECT_EQ(metrics(), nullptr);
+  count("nothing.happens", 5);           // must not crash
+  gauge_set("nothing.level", 1.0);
+  EXPECT_EQ(histogram_ptr("nothing.hist"), nullptr);
+  sim_span("x", "y", "z", 0, 1);
+  { auto span = wall_span("x", "y"); }
+}
+
+TEST(GlobalSinks, SessionInstallsAndUninstalls) {
+  {
+    Session session;
+    EXPECT_EQ(trace(), &session.trace());
+    EXPECT_EQ(metrics(), &session.metrics());
+    count("session.counter", 2);
+    { auto span = wall_span("session-span", "test"); }
+    EXPECT_EQ(session.metrics().counter_value("session.counter"), 2u);
+    EXPECT_EQ(session.trace().size(), 1u);
+  }
+  EXPECT_EQ(trace(), nullptr);
+  EXPECT_EQ(metrics(), nullptr);
+}
+
+TEST(GlobalSinks, InstrumentedHelpersRouteToInstalledSinks) {
+  Session session;
+  count("pipeline.host_link.bytes", 100);
+  count("pipeline.host_link.bytes", 20);
+  sim_span("host-link", "pipeline", "host_link", 10, 5);
+  auto* h = histogram_ptr("selection.greedy.round_seconds");
+  ASSERT_NE(h, nullptr);
+  h->record(0.5);
+  EXPECT_EQ(session.metrics().counter_value("pipeline.host_link.bytes"),
+            120u);
+  EXPECT_EQ(session.trace().size(), 1u);
+  EXPECT_EQ(
+      session.metrics().histogram("selection.greedy.round_seconds")
+          .snapshot().count,
+      1u);
+}
+
+}  // namespace
+}  // namespace nessa::telemetry

@@ -1,0 +1,137 @@
+// TraceRecorder: event recording, span nesting, thread safety, and the
+// Chrome trace-event exporter.
+#include "nessa/telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "nessa/util/thread_pool.hpp"
+#include "nessa/util/units.hpp"
+
+namespace nessa::telemetry {
+namespace {
+
+TEST(TraceRecorder, RecordsSpansAndInstants) {
+  TraceRecorder rec;
+  rec.span(Domain::kSim, "flash-read", "pipeline", "flash_bus",
+           0, 5 * util::kMillisecond);
+  rec.instant(Domain::kSim, "epoch-done", "pipeline", "host_link",
+              7 * util::kMillisecond);
+  ASSERT_EQ(rec.size(), 2u);
+  const auto events = rec.events();
+  EXPECT_EQ(events[0].name, "flash-read");
+  EXPECT_EQ(events[0].track, "flash_bus");
+  EXPECT_EQ(events[0].duration, 5 * util::kMillisecond);
+  EXPECT_FALSE(events[0].instant);
+  EXPECT_TRUE(events[1].instant);
+  EXPECT_EQ(events[1].duration, 0);
+}
+
+TEST(TraceRecorder, ScopedSpansNestAndContain) {
+  TraceRecorder rec;
+  {
+    ScopedSpan outer(&rec, "outer", "test");
+    {
+      ScopedSpan inner(&rec, "inner", "test");
+    }
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order records the inner span first.
+  const auto& inner = events[0];
+  const auto& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  // The inner span's interval is contained in the outer's.
+  EXPECT_GE(inner.start, outer.start);
+  EXPECT_LE(inner.start + inner.duration, outer.start + outer.duration);
+  // Same thread -> same track.
+  EXPECT_EQ(inner.track, outer.track);
+}
+
+TEST(TraceRecorder, NullRecorderSpanIsNoOp) {
+  ScopedSpan span(nullptr, "nothing", "test");  // must not crash
+  ScopedSpan moved = std::move(span);
+  (void)moved;
+}
+
+TEST(TraceRecorder, MovedFromSpanDoesNotDoubleRecord) {
+  TraceRecorder rec;
+  {
+    ScopedSpan span(&rec, "once", "test");
+    ScopedSpan moved = std::move(span);
+  }
+  EXPECT_EQ(rec.size(), 1u);
+}
+
+TEST(TraceRecorder, ConcurrentRecordingFromPoolIsLossless) {
+  TraceRecorder rec;
+  auto& pool = util::ThreadPool::global();
+  constexpr std::size_t kEvents = 2000;
+  pool.parallel_for_chunked(0, kEvents, 16,
+                            [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i) {
+                                ScopedSpan span(&rec, "work", "test");
+                              }
+                            });
+  EXPECT_EQ(rec.size(), kEvents);
+  // Every worker thread that recorded got its own stable track.
+  const auto events = rec.events();
+  for (const auto& e : events) {
+    EXPECT_EQ(e.track.rfind("t", 0), 0u) << e.track;
+  }
+}
+
+TEST(TraceRecorder, ChromeExportShapeAndTimestamps) {
+  TraceRecorder rec;
+  // 3 ms sim span -> 3000 us in the export; sim domain is its own process.
+  rec.span(Domain::kSim, "gpu-train", "pipeline", "gpu", util::kMillisecond,
+           3 * util::kMillisecond);
+  rec.instant(Domain::kSim, "epoch-done", "pipeline", "gpu",
+              4 * util::kMillisecond);
+  {
+    ScopedSpan wall(&rec, "select-coreset", "selection");
+  }
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+  EXPECT_NE(json.find("\"name\":\"gpu-train\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("\"dur\":3000"), std::string::npos);  // ps -> us
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"select-coreset\""), std::string::npos);
+  // Braces/brackets balance (cheap well-formedness check; CI runs a real
+  // JSON parser over the trace-dump output).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceRecorder, EscapesControlAndQuoteCharacters) {
+  TraceRecorder rec;
+  rec.span(Domain::kWall, "we\"ird\\name\n", "test", "t0", 0, 1);
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("we\\\"ird\\\\name\\n"), std::string::npos);
+}
+
+TEST(TraceRecorder, ClearEmptiesTheBuffer) {
+  TraceRecorder rec;
+  rec.span(Domain::kWall, "x", "y", "t0", 0, 1);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+}  // namespace
+}  // namespace nessa::telemetry

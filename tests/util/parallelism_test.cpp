@@ -1,0 +1,42 @@
+// util::Parallelism: the one knob every parallel-capable API takes, with
+// bool interop in both directions so legacy call sites keep compiling.
+#include "nessa/util/parallelism.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::util {
+namespace {
+
+TEST(Parallelism, DefaultIsSerial) {
+  const Parallelism p;
+  EXPECT_FALSE(p.enabled);
+  EXPECT_FALSE(static_cast<bool>(p));
+  EXPECT_EQ(p.threads, 0u);
+}
+
+TEST(Parallelism, ImplicitBoolConversionsBothWays) {
+  const Parallelism on = true;   // bool -> Parallelism
+  const Parallelism off = false;
+  EXPECT_TRUE(on.enabled);
+  EXPECT_FALSE(off.enabled);
+  if (on) {
+    SUCCEED();
+  } else {
+    FAIL() << "Parallelism -> bool conversion broken";
+  }
+  EXPECT_TRUE(!off);
+}
+
+TEST(Parallelism, Factories) {
+  const auto serial = Parallelism::serial();
+  EXPECT_FALSE(serial.enabled);
+  const auto pooled = Parallelism::pooled();
+  EXPECT_TRUE(pooled.enabled);
+  EXPECT_EQ(pooled.threads, 0u);  // 0 = global pool default
+  const auto sized = Parallelism::pooled(4);
+  EXPECT_TRUE(sized.enabled);
+  EXPECT_EQ(sized.threads, 4u);
+}
+
+}  // namespace
+}  // namespace nessa::util

@@ -14,17 +14,22 @@
 //     --no-biasing        disable §3.2.2 subset biasing
 //     --no-partitioning   disable §3.2.3 dataset partitioning
 //     --no-dynamic        disable dynamic subset sizing
+//     --parallel          run the selection engine on the thread pool
+//     --trace PATH        write a Chrome trace-event JSON of the run
+//     --metrics PATH      write the counters/gauges/histograms JSON
 //     --csv PATH          also write the per-epoch table as CSV
 //     --json PATH         also write the full run report as JSON
 //     --help
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "nessa/core/energy.hpp"
 #include "nessa/core/report.hpp"
 #include "nessa/core/pipeline.hpp"
+#include "nessa/telemetry/telemetry.hpp"
 #include "nessa/util/table.hpp"
 
 using namespace nessa;
@@ -44,6 +49,9 @@ struct Options {
   bool biasing = true;
   bool partitioning = true;
   bool dynamic_sizing = true;
+  bool parallel = false;
+  std::string trace_path;
+  std::string metrics_path;
   std::string csv_path;
   std::string json_path;
 };
@@ -55,6 +63,7 @@ void print_usage() {
       "             [--fraction F] [--epochs N] [--scale S] [--devices D]\n"
       "             [--gpu A100|V100|K1200] [--seed N] [--no-feedback]\n"
       "             [--no-biasing] [--no-partitioning] [--no-dynamic]\n"
+      "             [--parallel] [--trace PATH] [--metrics PATH]\n"
       "             [--csv PATH] [--json PATH]\n";
 }
 
@@ -111,6 +120,16 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.partitioning = false;
     } else if (arg == "--no-dynamic") {
       opt.dynamic_sizing = false;
+    } else if (arg == "--parallel") {
+      opt.parallel = true;
+    } else if (arg == "--trace") {
+      const char* v = next("--trace");
+      if (!v) return false;
+      opt.trace_path = v;
+    } else if (arg == "--metrics") {
+      const char* v = next("--metrics");
+      if (!v) return false;
+      opt.metrics_path = v;
     } else if (arg == "--csv") {
       const char* v = next("--csv");
       if (!v) return false;
@@ -145,30 +164,47 @@ int main(int argc, char** argv) {
   inputs.train.batch_size = 128;
   inputs.train.seed = opt.seed;
 
-  smartssd::SystemConfig sys_cfg;
-  sys_cfg.gpu = opt.gpu;
-  smartssd::SmartSsdSystem system(sys_cfg);
+  // One validated RunConfig drives the run end to end.
+  core::RunConfig rc;
+  rc.system.gpu = opt.gpu;
+  rc.train = inputs.train;
+  rc.nessa.subset_fraction = opt.fraction;
+  rc.nessa.weight_feedback = opt.feedback;
+  rc.nessa.subset_biasing = opt.biasing;
+  rc.nessa.partition_quota = opt.partitioning ? 8 : 0;
+  rc.nessa.dynamic_sizing = opt.dynamic_sizing;
+  rc.nessa.drop_interval_epochs = std::max<std::size_t>(3, opt.epochs / 4);
+  rc.nessa.loss_window_epochs = std::max<std::size_t>(2, opt.epochs / 40);
+  rc.parallelism = opt.parallel;
+  rc.telemetry.enabled =
+      !opt.trace_path.empty() || !opt.metrics_path.empty();
+  rc.telemetry.trace_path = opt.trace_path;
+  rc.telemetry.metrics_path = opt.metrics_path;
+  if (const auto errors = rc.validate(); !errors.empty()) {
+    for (const auto& e : errors) std::cerr << "config error: " << e << "\n";
+    return 1;
+  }
 
-  core::NessaConfig nessa_cfg;
-  nessa_cfg.subset_fraction = opt.fraction;
-  nessa_cfg.weight_feedback = opt.feedback;
-  nessa_cfg.subset_biasing = opt.biasing;
-  nessa_cfg.partition_quota = opt.partitioning ? 8 : 0;
-  nessa_cfg.dynamic_sizing = opt.dynamic_sizing;
-  nessa_cfg.drop_interval_epochs = std::max<std::size_t>(3, opt.epochs / 4);
-  nessa_cfg.loss_window_epochs = std::max<std::size_t>(2, opt.epochs / 40);
+  std::optional<telemetry::Session> session;
+  if (rc.telemetry.enabled) session.emplace();
+
+  smartssd::SmartSsdSystem system(rc.system);
 
   core::RunResult run;
   auto site = core::SelectionSite::kNone;
   if (opt.pipeline == "nessa") {
     site = core::SelectionSite::kFpga;
-    run = opt.devices > 1
-              ? core::run_nessa_multi(inputs, nessa_cfg,
-                                      core::MultiDeviceConfig{opt.devices},
-                                      system)
-              : core::run_nessa(inputs, nessa_cfg, system);
+    if (opt.devices > 1) {
+      core::NessaConfig nessa_cfg = rc.nessa;
+      nessa_cfg.parallelism = rc.parallelism;
+      run = core::run_nessa_multi(inputs, nessa_cfg,
+                                  core::MultiDeviceConfig{opt.devices},
+                                  system);
+    } else {
+      run = core::run_nessa(inputs, rc, system);
+    }
   } else if (opt.pipeline == "full") {
-    run = core::run_full(inputs, system);
+    run = core::run_full(inputs, rc, system);
   } else if (opt.pipeline == "full-cached") {
     run = core::run_full_cached(inputs, smartssd::HostCache{}, system);
   } else if (opt.pipeline == "craig") {
@@ -239,6 +275,18 @@ int main(int argc, char** argv) {
     }
     table.write_csv(csv);
     std::cout << "per-epoch CSV       : " << opt.csv_path << "\n";
+  }
+  if (session) {
+    if (!rc.telemetry.trace_path.empty()) {
+      session->trace().write_chrome_trace_file(rc.telemetry.trace_path);
+      std::cout << "trace JSON          : " << rc.telemetry.trace_path
+                << "\n";
+    }
+    if (!rc.telemetry.metrics_path.empty()) {
+      session->metrics().write_json_file(rc.telemetry.metrics_path);
+      std::cout << "metrics JSON        : " << rc.telemetry.metrics_path
+                << "\n";
+    }
   }
   return 0;
 }
