@@ -1,0 +1,106 @@
+// Google-benchmark microbenchmarks for the two performance models behind
+// core::PerformanceModel on the paper's six Table-1 dataset workloads:
+//
+//   BM_AnalyticEpoch/<i>  closed-form overlapped epoch pricing (a handful
+//                         of arithmetic primitive calls);
+//   BM_EventEpoch/<i>     the discrete-event DeviceGraph probe that prices
+//                         the same epoch by actually scheduling every
+//                         batch through the component pipeline.
+//
+// The interesting number is the gap: the event model buys contention
+// fidelity with simulation work proportional to batches-per-epoch, which
+// is why the trainers memoize its result per demand shape.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "nessa/core/perf_model.hpp"
+#include "nessa/data/registry.hpp"
+#include "nessa/nn/model.hpp"
+#include "nessa/smartssd/device.hpp"
+#include "nessa/smartssd/pipeline_sim.hpp"
+
+using namespace nessa;
+
+namespace {
+
+const std::vector<std::string>& paper_datasets() {
+  static const std::vector<std::string> names = {
+      "CIFAR-10",  "SVHN",         "CINIC-10",
+      "CIFAR-100", "TinyImageNet", "ImageNet-100"};
+  return names;
+}
+
+/// Paper-default NeSSA epoch demand at 30% subset (mirrors the trainers).
+core::NessaEpochDemand paper_demand(const std::string& dataset) {
+  const auto& info = data::dataset_info(dataset);
+  const auto spec = nn::model_spec(info.paper_network);
+  core::NessaEpochDemand d;
+  d.pool_records = info.paper_train_size;
+  d.subset_records = info.paper_train_size * 3 / 10;
+  d.record_bytes = info.stored_bytes_per_sample;
+  const auto macs_per_sample = static_cast<std::uint64_t>(
+      spec.paper_gflops_per_sample * 1e9 / 2.0);
+  d.forward_macs =
+      static_cast<std::uint64_t>(d.pool_records) * macs_per_sample;
+  d.selection_ops = static_cast<std::uint64_t>(d.pool_records) * 500;
+  d.train_gflops_per_sample = spec.paper_gflops_per_sample;
+  d.batch_size = 128;
+  d.weight_feedback = true;
+  d.feedback_bytes =
+      static_cast<std::uint64_t>(spec.paper_params_millions * 1e6);
+  return d;
+}
+
+smartssd::EpochWorkload to_workload(const core::NessaEpochDemand& d) {
+  smartssd::EpochWorkload w;
+  w.pool_records = d.pool_records;
+  w.subset_records = d.subset_records;
+  w.record_bytes = d.record_bytes;
+  w.macs_per_record = d.forward_macs / d.pool_records;
+  w.selection_ops = d.selection_ops;
+  w.train_gflops_per_sample = d.train_gflops_per_sample;
+  w.batch_size = d.batch_size;
+  w.feedback_bytes = d.feedback_bytes;
+  return w;
+}
+
+void BM_AnalyticEpoch(benchmark::State& state) {
+  const auto& dataset = paper_datasets()[
+      static_cast<std::size_t>(state.range(0))];
+  const auto demand = paper_demand(dataset);
+  smartssd::SystemConfig cfg;
+  smartssd::SmartSsdSystem system(cfg);
+  auto model = core::make_performance_model(core::PerfModelKind::kAnalytic);
+  util::SimTime last = 0;
+  for (auto _ : state) {
+    const auto cost = model->nessa_epoch(system, demand);
+    last = cost.total();
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetLabel(dataset);
+  state.counters["epoch_s"] = util::to_seconds(last);
+}
+BENCHMARK(BM_AnalyticEpoch)->DenseRange(0, 5);
+
+void BM_EventEpoch(benchmark::State& state) {
+  const auto& dataset = paper_datasets()[
+      static_cast<std::size_t>(state.range(0))];
+  const auto workload = to_workload(paper_demand(dataset));
+  smartssd::SystemConfig cfg;
+  // The probe the event model runs per unseen demand shape: 5 epochs of
+  // batch-granular scheduling on a fresh DeviceGraph (no memoization here —
+  // this measures the raw simulation throughput).
+  util::SimTime last = 0;
+  for (auto _ : state) {
+    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5);
+    last = trace.steady_epoch_time;
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetLabel(dataset);
+  state.counters["epoch_s"] = util::to_seconds(last);
+}
+BENCHMARK(BM_EventEpoch)->DenseRange(0, 5);
+
+}  // namespace

@@ -22,6 +22,13 @@ struct EpochCost {
   /// of epoch t (both devices are independent), so its epoch critical path
   /// is max(fpga phase, gpu phase). CPU-side baselines are serial.
   bool selection_overlapped = false;
+  /// Epoch total measured by the event-driven performance model (steady-
+  /// state period on the component DeviceGraph). 0 = not measured; then
+  /// total() falls back to the piecewise analytic combination. The per-
+  /// phase fields above stay analytic either way — this overrides only how
+  /// they combine (queueing and contention are not attributable to a
+  /// single phase).
+  SimTime modeled_total = 0;
 
   [[nodiscard]] SimTime fpga_phase() const noexcept {
     return storage_scan + selection;
@@ -30,6 +37,7 @@ struct EpochCost {
     return subset_transfer + gpu_compute + feedback;
   }
   [[nodiscard]] SimTime total() const noexcept {
+    if (modeled_total > 0) return modeled_total;
     if (selection_overlapped) {
       return fpga_phase() > gpu_phase() ? fpga_phase() : gpu_phase();
     }

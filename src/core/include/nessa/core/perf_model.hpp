@@ -1,0 +1,124 @@
+// The single performance-model interface in front of the simulation stack.
+//
+// Every trainer in src/core prices an epoch by describing WHAT moves and
+// computes (a *demand* struct at paper scale) and asking a PerformanceModel
+// HOW LONG it takes. Two implementations share the interface:
+//
+//  - AnalyticPerformanceModel: the closed-form steady-state arithmetic the
+//    trainers historically inlined — serial sums within each phase,
+//    max(fpga phase, gpu phase) across them when overlapped. Fast path;
+//    byte accounting goes through the SmartSsdSystem primitives exactly as
+//    before, so results are bit-identical to the pre-refactor trainers.
+//
+//  - EventPerformanceModel: prices the overlapped NeSSA epoch by running a
+//    short steady-state probe on the discrete-event DeviceGraph
+//    (smartssd::simulate_pipeline), where shared-link queueing and batch-
+//    granular overlap are produced by the event engine. The measured steady
+//    period lands in EpochCost::modeled_total, overriding the piecewise
+//    max() while every per-phase field (and all byte accounting) stays
+//    analytic. Serial epochs (host-side baselines, conventional training,
+//    non-reselect epochs) delegate to the analytic model — their closed
+//    form is exact because nothing overlaps.
+//
+// The two models are cross-checked by tests: on paper-default
+// configurations they agree within 5%; contended-host-link scenarios are
+// where the event model says something the analytic max() cannot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nessa/core/cost.hpp"
+#include "nessa/smartssd/device.hpp"
+
+namespace nessa::core {
+
+enum class PerfModelKind {
+  kAnalytic,
+  kEventDriven,
+};
+
+[[nodiscard]] const char* to_string(PerfModelKind kind) noexcept;
+/// Parses "analytic" / "event". Throws std::invalid_argument otherwise.
+[[nodiscard]] PerfModelKind perf_model_from_string(const std::string& name);
+
+/// One overlapped NeSSA epoch at paper scale (FPGA selection of epoch t+1
+/// pipelined with GPU training of epoch t).
+struct NessaEpochDemand {
+  bool reselect = true;            ///< false: reuse last subset, no scan
+  std::size_t pool_records = 0;    ///< candidates scanned when reselecting
+  std::size_t subset_records = 0;  ///< selected and trained on
+  std::uint64_t record_bytes = 0;
+  std::uint64_t forward_macs = 0;  ///< int8 MACs over the whole pool
+  std::uint64_t selection_ops = 0; ///< similarity + greedy (rescaled)
+  double train_gflops_per_sample = 0.0;
+  std::size_t batch_size = 128;
+  bool weight_feedback = false;      ///< charge the feedback transfer?
+  std::uint64_t feedback_bytes = 0;  ///< quantized-weight payload
+};
+
+/// A serial host-side selection epoch (CRAIG / K-centers / loss-top-k):
+/// full scan to the host, GPU inference pass, optional CPU selection work,
+/// subset in, train.
+struct HostSelectionDemand {
+  std::size_t scan_records = 0;
+  std::size_t subset_records = 0;
+  std::uint64_t record_bytes = 0;
+  double train_gflops_per_sample = 0.0;
+  std::size_t batch_size = 128;
+  double cpu_selection_ops = 0.0;  ///< 0 = no CPU-side selection term
+};
+
+/// A conventional training epoch through the host input pipeline (full-data
+/// or random-subset training).
+struct ConventionalDemand {
+  std::size_t train_records = 0;
+  std::uint64_t record_bytes = 0;
+  double train_gflops_per_sample = 0.0;
+  std::size_t batch_size = 128;
+  /// When >= 0, replaces the GPU model's input-pipeline time (used by the
+  /// host-cache pipeline, whose data path is the cache's to price).
+  util::SimTime data_time_override = -1;
+};
+
+/// One multi-SmartSSD (GreeDi) epoch: `devices` shards scanned in parallel,
+/// local rounds, union merge on one device, broadcast feedback.
+struct MultiEpochDemand {
+  std::size_t devices = 1;
+  std::size_t shard_records = 0;  ///< per device
+  std::size_t subset_records = 0;
+  std::uint64_t record_bytes = 0;
+  std::uint64_t shard_forward_macs = 0;   ///< per device
+  std::uint64_t local_selection_ops = 0;  ///< slowest device, rescaled
+  std::uint64_t merge_union_bytes = 0;    ///< winners' embeddings + ids
+  std::uint64_t merge_ops = 0;            ///< union re-selection, rescaled
+  double train_gflops_per_sample = 0.0;
+  std::size_t batch_size = 128;
+  std::uint64_t feedback_bytes_per_device = 0;  ///< 0 = no feedback
+};
+
+class PerformanceModel {
+ public:
+  virtual ~PerformanceModel() = default;
+
+  [[nodiscard]] virtual PerfModelKind kind() const noexcept = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Price one epoch. Byte accounting flows through `system`'s data-
+  /// movement primitives (identically for every implementation), so
+  /// RunResult traffic deltas are model-independent.
+  virtual EpochCost nessa_epoch(smartssd::SmartSsdSystem& system,
+                                const NessaEpochDemand& demand) = 0;
+  virtual EpochCost host_selection_epoch(smartssd::SmartSsdSystem& system,
+                                         const HostSelectionDemand& demand) = 0;
+  virtual EpochCost conventional_epoch(smartssd::SmartSsdSystem& system,
+                                       const ConventionalDemand& demand) = 0;
+  virtual EpochCost multi_epoch(smartssd::SmartSsdSystem& system,
+                                const MultiEpochDemand& demand) = 0;
+};
+
+[[nodiscard]] std::unique_ptr<PerformanceModel> make_performance_model(
+    PerfModelKind kind);
+
+}  // namespace nessa::core

@@ -15,6 +15,7 @@
 
 #include "nessa/core/config.hpp"
 #include "nessa/core/cost.hpp"
+#include "nessa/core/perf_model.hpp"
 #include "nessa/core/run_config.hpp"
 #include "nessa/data/dataset.hpp"
 #include "nessa/data/registry.hpp"
@@ -35,6 +36,10 @@ struct PipelineInputs {
   /// to the float variant automatically when the architecture cannot be
   /// expressed by the int8 MLP kernel.
   std::function<nn::Sequential(util::Rng&)> model_factory;
+  /// Which performance model prices the paper-scale epoch costs: the
+  /// closed-form analytic fast path (default) or the event-driven
+  /// DeviceGraph probe (see perf_model.hpp).
+  PerfModelKind perf_model = PerfModelKind::kAnalytic;
 };
 
 /// Conventional full-dataset training (paper "All Data" / Table 3 "Goal").

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "nessa/core/config.hpp"
+#include "nessa/core/perf_model.hpp"
 #include "nessa/selection/drivers.hpp"
 #include "nessa/smartssd/device.hpp"
 #include "nessa/smartssd/pipeline_sim.hpp"
@@ -54,6 +55,11 @@ struct RunConfig {
   /// Epochs for the batch-granular pipeline simulation (>= 2; the first
   /// epoch has no overlap, so the steady-state estimate averages the rest).
   std::size_t pipeline_epochs = 8;
+  /// How trainer epoch costs are priced: the closed-form analytic model or
+  /// the discrete-event DeviceGraph probe (see core::PerformanceModel).
+  PerfModelKind perf_model = PerfModelKind::kAnalytic;
+  /// Routing/credit knobs for the discrete-event pipeline simulation.
+  smartssd::PipelineOptions pipeline_options{};
 
   // --- fluent builder -------------------------------------------------
   RunConfig& with_system(smartssd::SystemConfig value) {
@@ -82,6 +88,14 @@ struct RunConfig {
   }
   RunConfig& with_pipeline_epochs(std::size_t value) {
     pipeline_epochs = value;
+    return *this;
+  }
+  RunConfig& with_perf_model(PerfModelKind value) {
+    perf_model = value;
+    return *this;
+  }
+  RunConfig& with_pipeline_options(smartssd::PipelineOptions value) {
+    pipeline_options = value;
     return *this;
   }
 

@@ -38,12 +38,14 @@
 #include "nessa/quant/quantize.hpp"
 
 // event-driven simulation substrate
+#include "nessa/sim/component.hpp"
 #include "nessa/sim/engine.hpp"
 #include "nessa/sim/link.hpp"
 #include "nessa/sim/memory.hpp"
 
 // the SmartSSD system model
 #include "nessa/smartssd/device.hpp"
+#include "nessa/smartssd/device_graph.hpp"
 #include "nessa/smartssd/flash.hpp"
 #include "nessa/smartssd/fpga.hpp"
 #include "nessa/smartssd/gpu_model.hpp"
@@ -62,6 +64,7 @@
 #include "nessa/core/config.hpp"
 #include "nessa/core/cost.hpp"
 #include "nessa/core/energy.hpp"
+#include "nessa/core/perf_model.hpp"
 #include "nessa/core/pipeline.hpp"
 #include "nessa/core/report.hpp"
 #include "nessa/core/run_config.hpp"

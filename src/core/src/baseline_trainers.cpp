@@ -20,7 +20,6 @@
 #include "nessa/selection/baselines.hpp"
 #include "nessa/selection/drivers.hpp"
 #include "nessa/selection/kcenter.hpp"
-#include "nessa/smartssd/cpu_model.hpp"
 #include "pipeline_common.hpp"
 
 namespace nessa::core {
@@ -61,12 +60,11 @@ RunResult run_craig(const PipelineInputs& inputs, double subset_fraction,
   const data::Dataset& ds = *inputs.dataset;
   const std::size_t n = ds.train_size();
   auto st = make_state(inputs);
-  smartssd::CpuSpec cpu;
+  auto perf = make_performance_model(inputs.perf_model);
 
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::round(subset_fraction *
                                              static_cast<double>(n))));
-  const auto& gpu = system.gpu();
   const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
   const std::size_t paper_n = inputs.info.paper_train_size;
   const std::size_t paper_k = detail::paper_count(inputs, subset_fraction);
@@ -111,27 +109,18 @@ RunResult run_craig(const PipelineInputs& inputs, double subset_fraction,
     // or record decode for the embedding pass, whichever dominates), GPU
     // embedding pass, CPU greedy (quadratic per class — no partitioning),
     // subset in.
-    const auto scan_link = system.flash_to_host(paper_n, sample_bytes);
-    const auto scan_decode =
-        smartssd::epoch_cost(gpu, paper_n, sample_bytes, 0.0,
-                             inputs.train.batch_size)
-            .data_time;
-    report.cost.storage_scan = std::max(scan_link, scan_decode);
-    result.interconnect_bytes +=
-        static_cast<std::uint64_t>(paper_n) * sample_bytes;
-    const double cpu_ops =
+    HostSelectionDemand demand;
+    demand.scan_records = paper_n;
+    demand.subset_records = paper_k;
+    demand.record_bytes = sample_bytes;
+    demand.train_gflops_per_sample = inputs.model.paper_gflops_per_sample;
+    demand.batch_size = inputs.train.batch_size;
+    demand.cpu_selection_ops =
         static_cast<double>(coreset.similarity_ops + coreset.greedy_ops) *
         ratio * ratio;
-    report.cost.selection =
-        smartssd::inference_time(gpu, paper_n,
-                                 inputs.model.paper_gflops_per_sample,
-                                 inputs.train.batch_size) +
-        smartssd::cpu_compute_time(cpu, cpu_ops);
-    report.cost.subset_transfer = system.host_to_gpu(
-        static_cast<std::uint64_t>(paper_k) * sample_bytes);
-    report.cost.gpu_compute = smartssd::train_compute_time(
-        gpu, paper_k, inputs.model.paper_gflops_per_sample,
-        inputs.train.batch_size);
+    report.cost = perf->host_selection_epoch(system, demand);
+    result.interconnect_bytes +=
+        static_cast<std::uint64_t>(paper_n) * sample_bytes;
 
     result.epochs.push_back(std::move(report));
   }
@@ -145,12 +134,11 @@ RunResult run_kcenter(const PipelineInputs& inputs, double subset_fraction,
   const data::Dataset& ds = *inputs.dataset;
   const std::size_t n = ds.train_size();
   auto st = make_state(inputs);
-  smartssd::CpuSpec cpu;
+  auto perf = make_performance_model(inputs.perf_model);
 
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::round(subset_fraction *
                                              static_cast<double>(n))));
-  const auto& gpu = system.gpu();
   const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
   const std::size_t paper_n = inputs.info.paper_train_size;
   const std::size_t paper_k = detail::paper_count(inputs, subset_fraction);
@@ -179,34 +167,25 @@ RunResult run_kcenter(const PipelineInputs& inputs, double subset_fraction,
     // Paper-scale cost: full scan to host (link or decode, whichever
     // dominates), GPU feature pass, CPU farthest-first O(n k d_feat)
     // distance work, subset in. The distance term is what makes K-centers
-    // the slowest bar in Fig. 4.
-    const auto scan_link = system.flash_to_host(paper_n, sample_bytes);
-    const auto scan_decode =
-        smartssd::epoch_cost(gpu, paper_n, sample_bytes, 0.0,
-                             inputs.train.batch_size)
-            .data_time;
-    report.cost.storage_scan = std::max(scan_link, scan_decode);
+    // the slowest bar in Fig. 4. Sener & Savarese's method is the *robust*
+    // k-center: after the greedy seed it runs several rounds of feasibility
+    // checks over the distance matrix. We charge kRobustRounds passes over
+    // the greedy's O(n k d) distance work, which is what makes K-centers
+    // slower end-to-end than full-data training (Fig. 4).
+    constexpr double kRobustRounds = 2.5;
+    HostSelectionDemand demand;
+    demand.scan_records = paper_n;
+    demand.subset_records = paper_k;
+    demand.record_bytes = sample_bytes;
+    demand.train_gflops_per_sample = inputs.model.paper_gflops_per_sample;
+    demand.batch_size = inputs.train.batch_size;
+    demand.cpu_selection_ops = static_cast<double>(paper_n) *
+                               static_cast<double>(paper_k) *
+                               static_cast<double>(feat_dim) * 3.0 *
+                               kRobustRounds;
+    report.cost = perf->host_selection_epoch(system, demand);
     result.interconnect_bytes +=
         static_cast<std::uint64_t>(paper_n) * sample_bytes;
-    // Sener & Savarese's method is the *robust* k-center: after the greedy
-    // seed it runs several rounds of feasibility checks over the distance
-    // matrix. We charge kRobustRounds passes over the greedy's O(n k d)
-    // distance work, which is what makes K-centers slower end-to-end than
-    // full-data training (Fig. 4).
-    constexpr double kRobustRounds = 2.5;
-    const double kc_ops = static_cast<double>(paper_n) *
-                          static_cast<double>(paper_k) *
-                          static_cast<double>(feat_dim) * 3.0 * kRobustRounds;
-    report.cost.selection =
-        smartssd::inference_time(gpu, paper_n,
-                                 inputs.model.paper_gflops_per_sample,
-                                 inputs.train.batch_size) +
-        smartssd::cpu_compute_time(cpu, kc_ops);
-    report.cost.subset_transfer = system.host_to_gpu(
-        static_cast<std::uint64_t>(paper_k) * sample_bytes);
-    report.cost.gpu_compute = smartssd::train_compute_time(
-        gpu, paper_k, inputs.model.paper_gflops_per_sample,
-        inputs.train.batch_size);
 
     result.epochs.push_back(std::move(report));
   }
@@ -220,11 +199,11 @@ RunResult run_random(const PipelineInputs& inputs, double subset_fraction,
   const data::Dataset& ds = *inputs.dataset;
   const std::size_t n = ds.train_size();
   auto st = make_state(inputs);
+  auto perf = make_performance_model(inputs.perf_model);
 
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::round(subset_fraction *
                                              static_cast<double>(n))));
-  const auto& gpu = system.gpu();
   const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
   const std::size_t paper_k = detail::paper_count(inputs, subset_fraction);
 
@@ -245,14 +224,14 @@ RunResult run_random(const PipelineInputs& inputs, double subset_fraction,
     report.test_accuracy =
         nn::evaluate(st.model, ds.test().features, ds.test().labels).accuracy;
 
-    auto gpu_cost = smartssd::epoch_cost(gpu, paper_k, sample_bytes,
-                                         inputs.model.paper_gflops_per_sample,
-                                         inputs.train.batch_size);
-    report.cost.subset_transfer = gpu_cost.data_time;
-    report.cost.gpu_compute = gpu_cost.compute_time;
+    ConventionalDemand demand;
+    demand.train_records = paper_k;
+    demand.record_bytes = sample_bytes;
+    demand.train_gflops_per_sample = inputs.model.paper_gflops_per_sample;
+    demand.batch_size = inputs.train.batch_size;
+    report.cost = perf->conventional_epoch(system, demand);
     result.interconnect_bytes +=
         static_cast<std::uint64_t>(paper_k) * sample_bytes;
-    (void)system;
 
     result.epochs.push_back(std::move(report));
   }

@@ -31,6 +31,7 @@ RunResult run_full_cached(const PipelineInputs& inputs,
                       : nn::StepLrSchedule::paper_default();
 
   const auto indices = iota_indices(ds.train_size());
+  auto perf = make_performance_model(inputs.perf_model);
   const auto& gpu = system.gpu();
   const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
   const std::size_t paper_n = inputs.info.paper_train_size;
@@ -52,17 +53,19 @@ RunResult run_full_cached(const PipelineInputs& inputs,
 
     // Identical gradient work; the cache only shortens the input pipeline
     // and shrinks interconnect traffic to the miss set.
-    report.cost.subset_transfer =
-        cache.epoch_data_time(gpu, paper_n, sample_bytes);
-    report.cost.gpu_compute = smartssd::train_compute_time(
-        gpu, paper_n, inputs.model.paper_gflops_per_sample,
-        inputs.train.batch_size);
+    ConventionalDemand demand;
+    demand.train_records = paper_n;
+    demand.record_bytes = sample_bytes;
+    demand.train_gflops_per_sample = inputs.model.paper_gflops_per_sample;
+    demand.batch_size = inputs.train.batch_size;
+    demand.data_time_override = cache.epoch_data_time(gpu, paper_n,
+                                                      sample_bytes);
+    report.cost = perf->conventional_epoch(system, demand);
     result.interconnect_bytes +=
         cache.epoch_miss_bytes(paper_n, sample_bytes);
 
     result.epochs.push_back(std::move(report));
   }
-  (void)system;
   result.finalize();
   return result;
 }
@@ -82,7 +85,7 @@ RunResult run_loss_topk(const PipelineInputs& inputs, double subset_fraction,
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::round(subset_fraction *
                                              static_cast<double>(n))));
-  const auto& gpu = system.gpu();
+  auto perf = make_performance_model(inputs.perf_model);
   const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
   const std::size_t paper_n = inputs.info.paper_train_size;
   const std::size_t paper_k = detail::paper_count(inputs, subset_fraction);
@@ -109,22 +112,17 @@ RunResult run_loss_topk(const PipelineInputs& inputs, double subset_fraction,
     report.test_accuracy =
         nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
 
-    const auto scan_link = system.flash_to_host(paper_n, sample_bytes);
-    const auto scan_decode =
-        smartssd::epoch_cost(gpu, paper_n, sample_bytes, 0.0,
-                             inputs.train.batch_size)
-            .data_time;
-    report.cost.storage_scan = std::max(scan_link, scan_decode);
+    // Loss ranking needs only the GPU loss pass — no CPU greedy phase.
+    HostSelectionDemand demand;
+    demand.scan_records = paper_n;
+    demand.subset_records = paper_k;
+    demand.record_bytes = sample_bytes;
+    demand.train_gflops_per_sample = inputs.model.paper_gflops_per_sample;
+    demand.batch_size = inputs.train.batch_size;
+    demand.cpu_selection_ops = 0.0;
+    report.cost = perf->host_selection_epoch(system, demand);
     result.interconnect_bytes +=
         static_cast<std::uint64_t>(paper_n) * sample_bytes;
-    report.cost.selection = smartssd::inference_time(
-        gpu, paper_n, inputs.model.paper_gflops_per_sample,
-        inputs.train.batch_size);
-    report.cost.subset_transfer = system.host_to_gpu(
-        static_cast<std::uint64_t>(paper_k) * sample_bytes);
-    report.cost.gpu_compute = smartssd::train_compute_time(
-        gpu, paper_k, inputs.model.paper_gflops_per_sample,
-        inputs.train.batch_size);
 
     result.epochs.push_back(std::move(report));
   }

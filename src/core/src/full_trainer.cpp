@@ -18,7 +18,7 @@ RunResult run_full(const PipelineInputs& inputs,
                       : nn::StepLrSchedule::paper_default();
 
   const auto indices = iota_indices(ds.train_size());
-  const auto& gpu = system.gpu();
+  auto perf = make_performance_model(inputs.perf_model);
   const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
   const std::size_t paper_n = inputs.info.paper_train_size;
 
@@ -40,11 +40,12 @@ RunResult run_full(const PipelineInputs& inputs,
     // Paper-scale cost: the whole dataset streams SSD -> host -> GPU every
     // epoch (at these scales training data is re-read and re-decoded per
     // epoch; the GPU model's data_time covers the host input pipeline).
-    auto gpu_cost = smartssd::epoch_cost(gpu, paper_n, sample_bytes,
-                                         inputs.model.paper_gflops_per_sample,
-                                         inputs.train.batch_size);
-    report.cost.subset_transfer = gpu_cost.data_time;
-    report.cost.gpu_compute = gpu_cost.compute_time;
+    ConventionalDemand demand;
+    demand.train_records = paper_n;
+    demand.record_bytes = sample_bytes;
+    demand.train_gflops_per_sample = inputs.model.paper_gflops_per_sample;
+    demand.batch_size = inputs.train.batch_size;
+    report.cost = perf->conventional_epoch(system, demand);
     result.interconnect_bytes +=
         static_cast<std::uint64_t>(paper_n) * sample_bytes;
 

@@ -53,7 +53,7 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
   double fraction = config.subset_fraction;
   double prev_loss = -1.0;
 
-  const auto& gpu = system.gpu();
+  auto perf = make_performance_model(inputs.perf_model);
   const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
   const double ratio = detail::scale_ratio(inputs);
   const std::uint64_t macs_per_sample = std::max<std::uint64_t>(
@@ -122,15 +122,6 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
         detail::paper_count(inputs, report.subset_fraction);
     const std::size_t shard = (paper_pool + devices - 1) / devices;
 
-    report.cost.selection_overlapped = true;
-    // Devices scan their shards in parallel: per-epoch scan time is one
-    // shard's time, while every device's bytes are accounted.
-    util::SimTime scan = 0;
-    for (std::size_t d = 0; d < devices; ++d) {
-      scan = std::max(scan, system.flash_to_fpga(shard, sample_bytes));
-    }
-    report.cost.storage_scan = scan;
-
     // Local phase: quantized forwards + the slowest device's local greedy.
     std::uint64_t worst_local_ops = 0;
     for (const auto& local : selected.local) {
@@ -139,11 +130,6 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
     }
     const double op_ratio =
         config.partition_quota > 0 ? ratio : ratio * ratio;
-    util::SimTime selection_time =
-        system.fpga_forward_time(static_cast<std::uint64_t>(shard) *
-                                 macs_per_sample) +
-        system.fpga_selection_time(static_cast<std::uint64_t>(
-            static_cast<double>(worst_local_ops) * op_ratio));
 
     // Merge: local winners' int8 embeddings + ids cross the interconnect
     // to the merge device, which re-selects over the union.
@@ -151,36 +137,33 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
         paper_pool,
         static_cast<std::size_t>(static_cast<double>(selected.union_size) *
                                  ratio));
-    const std::uint64_t union_bytes =
-        static_cast<std::uint64_t>(paper_union) *
-        (ds.num_classes() + sizeof(std::uint64_t));
-    selection_time += system.weights_to_fpga(union_bytes);
     const double merge_scale =
         selected.union_size > 0
             ? std::pow(static_cast<double>(paper_union) /
                            static_cast<double>(selected.union_size),
                        2.0)
             : 0.0;
-    selection_time += system.fpga_selection_time(static_cast<std::uint64_t>(
+
+    MultiEpochDemand demand;
+    demand.devices = devices;
+    demand.shard_records = shard;
+    demand.subset_records = paper_subset;
+    demand.record_bytes = sample_bytes;
+    demand.shard_forward_macs =
+        static_cast<std::uint64_t>(shard) * macs_per_sample;
+    demand.local_selection_ops = static_cast<std::uint64_t>(
+        static_cast<double>(worst_local_ops) * op_ratio);
+    demand.merge_union_bytes = static_cast<std::uint64_t>(paper_union) *
+                               (ds.num_classes() + sizeof(std::uint64_t));
+    demand.merge_ops = static_cast<std::uint64_t>(
         static_cast<double>(selected.merge.similarity_ops +
                             selected.merge.greedy_ops) *
-        merge_scale));
-    report.cost.selection = selection_time;
-
-    report.cost.subset_transfer = system.subset_to_gpu(
-        static_cast<std::uint64_t>(paper_subset) * sample_bytes);
-    report.cost.gpu_compute = smartssd::train_compute_time(
-        gpu, paper_subset, inputs.model.paper_gflops_per_sample,
-        inputs.train.batch_size);
-    if (config.weight_feedback) {
-      // Broadcast the refreshed quantized weights to every device.
-      util::SimTime feedback = 0;
-      for (std::size_t d = 0; d < devices; ++d) {
-        feedback = std::max(feedback, system.weights_to_fpga(
-                                          detail::paper_qweight_bytes(inputs)));
-      }
-      report.cost.feedback = feedback;
-    }
+        merge_scale);
+    demand.train_gflops_per_sample = inputs.model.paper_gflops_per_sample;
+    demand.batch_size = inputs.train.batch_size;
+    demand.feedback_bytes_per_device =
+        config.weight_feedback ? detail::paper_qweight_bytes(inputs) : 0;
+    report.cost = perf->multi_epoch(system, demand);
 
     // ---- subset biasing + dynamic sizing (global pool) -----------------
     if (config.subset_biasing && epoch + 1 < inputs.train.epochs &&

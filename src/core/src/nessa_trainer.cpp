@@ -50,7 +50,6 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
   double fraction = config.subset_fraction;
   double prev_loss = -1.0;
 
-  const auto& gpu = system.gpu();
   const std::uint64_t sample_bytes = inputs.info.stored_bytes_per_sample;
   const double ratio = detail::scale_ratio(inputs);
   const std::uint64_t macs_per_sample = std::max<std::uint64_t>(
@@ -67,6 +66,7 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
       std::max(1.0, bytes_per_param));
 
   const smartssd::TrafficStats traffic0 = system.traffic();
+  auto perf = make_performance_model(inputs.perf_model);
 
   selection::DriverConfig driver;
   driver.greedy = config.greedy;
@@ -133,32 +133,26 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
     const std::size_t paper_subset =
         detail::paper_count(inputs, report.subset_fraction);
 
-    report.cost.selection_overlapped = true;
-    if (reselect) {
-      report.cost.storage_scan =
-          system.flash_to_fpga(paper_pool, sample_bytes);
-      // Selection compute: quantized forwards over the pool + similarity
-      // and greedy ops. Substrate op counts are rescaled: chunked
-      // selection work grows linearly with pool size, monolithic
-      // quadratically.
-      const double op_ratio =
-          config.partition_quota > 0 ? ratio : ratio * ratio;
-      report.cost.selection =
-          system.fpga_forward_time(static_cast<std::uint64_t>(paper_pool) *
-                                   macs_per_sample) +
-          system.fpga_selection_time(static_cast<std::uint64_t>(
-              static_cast<double>(coreset.similarity_ops +
-                                  coreset.greedy_ops) *
-              op_ratio));
-    }
-    report.cost.subset_transfer = system.subset_to_gpu(
-        static_cast<std::uint64_t>(paper_subset) * sample_bytes);
-    report.cost.gpu_compute = smartssd::train_compute_time(
-        gpu, paper_subset, inputs.model.paper_gflops_per_sample,
-        inputs.train.batch_size);
-    if (config.weight_feedback) {
-      report.cost.feedback = system.weights_to_fpga(paper_feedback_bytes);
-    }
+    // Selection compute: quantized forwards over the pool + similarity and
+    // greedy ops. Substrate op counts are rescaled: chunked selection work
+    // grows linearly with pool size, monolithic quadratically.
+    const double op_ratio =
+        config.partition_quota > 0 ? ratio : ratio * ratio;
+    NessaEpochDemand demand;
+    demand.reselect = reselect;
+    demand.pool_records = paper_pool;
+    demand.subset_records = paper_subset;
+    demand.record_bytes = sample_bytes;
+    demand.forward_macs =
+        static_cast<std::uint64_t>(paper_pool) * macs_per_sample;
+    demand.selection_ops = static_cast<std::uint64_t>(
+        static_cast<double>(coreset.similarity_ops + coreset.greedy_ops) *
+        op_ratio);
+    demand.train_gflops_per_sample = inputs.model.paper_gflops_per_sample;
+    demand.batch_size = inputs.train.batch_size;
+    demand.weight_feedback = config.weight_feedback;
+    demand.feedback_bytes = paper_feedback_bytes;
+    report.cost = perf->nessa_epoch(system, demand);
 
     // ---- §3.2.2 subset biasing: drop learned samples -----------------
     if (config.subset_biasing && epoch + 1 < inputs.train.epochs &&

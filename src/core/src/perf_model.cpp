@@ -1,0 +1,268 @@
+#include "nessa/core/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "nessa/smartssd/cpu_model.hpp"
+#include "nessa/smartssd/pipeline_sim.hpp"
+#include "nessa/telemetry/telemetry.hpp"
+
+namespace nessa::core {
+
+const char* to_string(PerfModelKind kind) noexcept {
+  switch (kind) {
+    case PerfModelKind::kAnalytic:
+      return "analytic";
+    case PerfModelKind::kEventDriven:
+      return "event";
+  }
+  return "unknown";
+}
+
+PerfModelKind perf_model_from_string(const std::string& name) {
+  if (name == "analytic") return PerfModelKind::kAnalytic;
+  if (name == "event" || name == "event-driven") {
+    return PerfModelKind::kEventDriven;
+  }
+  throw std::invalid_argument(
+      "perf_model_from_string: unknown performance model '" + name +
+      "' (expected analytic|event)");
+}
+
+namespace {
+
+using util::SimTime;
+
+/// The closed-form steady-state model the trainers historically inlined.
+/// Every SmartSsdSystem primitive call (and therefore every traffic-stats
+/// update and telemetry counter) is kept in the original order, so runs are
+/// bit-identical to the pre-refactor trainers.
+class AnalyticPerformanceModel final : public PerformanceModel {
+ public:
+  [[nodiscard]] PerfModelKind kind() const noexcept override {
+    return PerfModelKind::kAnalytic;
+  }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "analytic";
+  }
+
+  EpochCost nessa_epoch(smartssd::SmartSsdSystem& system,
+                        const NessaEpochDemand& d) override {
+    EpochCost cost;
+    cost.selection_overlapped = true;
+    if (d.reselect) {
+      cost.storage_scan = system.flash_to_fpga(d.pool_records, d.record_bytes);
+      cost.selection = system.fpga_forward_time(d.forward_macs) +
+                       system.fpga_selection_time(d.selection_ops);
+    }
+    cost.subset_transfer = system.subset_to_gpu(
+        static_cast<std::uint64_t>(d.subset_records) * d.record_bytes);
+    cost.gpu_compute = smartssd::train_compute_time(
+        system.gpu(), d.subset_records, d.train_gflops_per_sample,
+        d.batch_size);
+    if (d.weight_feedback) {
+      cost.feedback = system.weights_to_fpga(d.feedback_bytes);
+    }
+    return cost;
+  }
+
+  EpochCost host_selection_epoch(smartssd::SmartSsdSystem& system,
+                                 const HostSelectionDemand& d) override {
+    const auto& gpu = system.gpu();
+    EpochCost cost;  // serial phases: selection_overlapped stays false
+    // Full scan to the host: raw link time or record decode for the GPU
+    // pass, whichever dominates.
+    const auto scan_link = system.flash_to_host(d.scan_records, d.record_bytes);
+    const auto scan_decode =
+        smartssd::epoch_cost(gpu, d.scan_records, d.record_bytes, 0.0,
+                             d.batch_size)
+            .data_time;
+    cost.storage_scan = std::max(scan_link, scan_decode);
+    cost.selection = smartssd::inference_time(
+        gpu, d.scan_records, d.train_gflops_per_sample, d.batch_size);
+    if (d.cpu_selection_ops > 0.0) {
+      cost.selection += smartssd::cpu_compute_time(cpu_, d.cpu_selection_ops);
+    }
+    cost.subset_transfer = system.host_to_gpu(
+        static_cast<std::uint64_t>(d.subset_records) * d.record_bytes);
+    cost.gpu_compute = smartssd::train_compute_time(
+        gpu, d.subset_records, d.train_gflops_per_sample, d.batch_size);
+    return cost;
+  }
+
+  EpochCost conventional_epoch(smartssd::SmartSsdSystem& system,
+                               const ConventionalDemand& d) override {
+    const auto gpu_cost = smartssd::epoch_cost(
+        system.gpu(), d.train_records, d.record_bytes,
+        d.train_gflops_per_sample, d.batch_size);
+    EpochCost cost;
+    cost.subset_transfer =
+        d.data_time_override >= 0 ? d.data_time_override : gpu_cost.data_time;
+    cost.gpu_compute = gpu_cost.compute_time;
+    return cost;
+  }
+
+  EpochCost multi_epoch(smartssd::SmartSsdSystem& system,
+                        const MultiEpochDemand& d) override {
+    EpochCost cost;
+    cost.selection_overlapped = true;
+    // Devices scan their shards in parallel: per-epoch scan time is one
+    // shard's time, while every device's bytes are accounted.
+    SimTime scan = 0;
+    for (std::size_t dev = 0; dev < d.devices; ++dev) {
+      scan = std::max(scan,
+                      system.flash_to_fpga(d.shard_records, d.record_bytes));
+    }
+    cost.storage_scan = scan;
+
+    SimTime selection = system.fpga_forward_time(d.shard_forward_macs) +
+                        system.fpga_selection_time(d.local_selection_ops);
+    // Merge: local winners' embeddings + ids cross the interconnect to the
+    // merge device, which re-selects over the union.
+    selection += system.weights_to_fpga(d.merge_union_bytes);
+    selection += system.fpga_selection_time(d.merge_ops);
+    cost.selection = selection;
+
+    cost.subset_transfer = system.subset_to_gpu(
+        static_cast<std::uint64_t>(d.subset_records) * d.record_bytes);
+    cost.gpu_compute = smartssd::train_compute_time(
+        system.gpu(), d.subset_records, d.train_gflops_per_sample,
+        d.batch_size);
+    if (d.feedback_bytes_per_device > 0) {
+      // Broadcast the refreshed quantized weights to every device.
+      SimTime feedback = 0;
+      for (std::size_t dev = 0; dev < d.devices; ++dev) {
+        feedback =
+            std::max(feedback, system.weights_to_fpga(
+                                   d.feedback_bytes_per_device));
+      }
+      cost.feedback = feedback;
+    }
+    return cost;
+  }
+
+ private:
+  smartssd::CpuSpec cpu_{};
+};
+
+/// Detaches the global telemetry sinks for a scope: the event model's
+/// steady-state probes are internal measurements, not part of the caller's
+/// run, so their spans/counters must not leak into an installed Session.
+class TelemetryMute {
+ public:
+  TelemetryMute()
+      : trace_(telemetry::trace()), metrics_(telemetry::metrics()) {
+    telemetry::uninstall();
+  }
+  ~TelemetryMute() {
+    if (trace_ != nullptr || metrics_ != nullptr) {
+      telemetry::install(trace_, metrics_);
+    }
+  }
+  TelemetryMute(const TelemetryMute&) = delete;
+  TelemetryMute& operator=(const TelemetryMute&) = delete;
+
+ private:
+  telemetry::TraceRecorder* trace_;
+  telemetry::MetricsRegistry* metrics_;
+};
+
+/// Prices the overlapped NeSSA epoch with a discrete-event steady-state
+/// probe on the DeviceGraph; everything serial delegates to the analytic
+/// model (its closed form is exact when nothing overlaps).
+class EventPerformanceModel final : public PerformanceModel {
+ public:
+  [[nodiscard]] PerfModelKind kind() const noexcept override {
+    return PerfModelKind::kEventDriven;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "event"; }
+
+  EpochCost nessa_epoch(smartssd::SmartSsdSystem& system,
+                        const NessaEpochDemand& d) override {
+    EpochCost cost = analytic_.nessa_epoch(system, d);
+    // Without a scan there is no FPGA/GPU overlap to model — the analytic
+    // gpu_phase sum is exact.
+    if (!d.reselect || d.pool_records == 0 || d.subset_records == 0 ||
+        d.batch_size == 0) {
+      return cost;
+    }
+    cost.modeled_total = steady_epoch_time(system.config(), d);
+    return cost;
+  }
+
+  EpochCost host_selection_epoch(smartssd::SmartSsdSystem& system,
+                                 const HostSelectionDemand& d) override {
+    return analytic_.host_selection_epoch(system, d);
+  }
+
+  EpochCost conventional_epoch(smartssd::SmartSsdSystem& system,
+                               const ConventionalDemand& d) override {
+    return analytic_.conventional_epoch(system, d);
+  }
+
+  EpochCost multi_epoch(smartssd::SmartSsdSystem& system,
+                        const MultiEpochDemand& d) override {
+    return analytic_.multi_epoch(system, d);
+  }
+
+ private:
+  // Demands repeat across epochs whenever the pool and subset are stable,
+  // so probe results are memoized per demand shape.
+  using Key = std::tuple<std::size_t, std::size_t, std::uint64_t,
+                         std::uint64_t, std::uint64_t, double, std::size_t,
+                         std::uint64_t>;
+
+  SimTime steady_epoch_time(const smartssd::SystemConfig& config,
+                            const NessaEpochDemand& d) {
+    const Key key{d.pool_records,  d.subset_records,
+                  d.record_bytes,  d.forward_macs,
+                  d.selection_ops, d.train_gflops_per_sample,
+                  d.batch_size,    d.weight_feedback ? d.feedback_bytes : 0};
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      return it->second;
+    }
+
+    smartssd::EpochWorkload w;
+    w.pool_records = d.pool_records;
+    w.subset_records = d.subset_records;
+    w.record_bytes = d.record_bytes;
+    w.macs_per_record = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::llround(static_cast<double>(d.forward_macs) /
+                            static_cast<double>(d.pool_records))));
+    w.selection_ops = d.selection_ops;
+    w.train_gflops_per_sample = d.train_gflops_per_sample;
+    w.batch_size = d.batch_size;
+    w.feedback_bytes = d.weight_feedback ? d.feedback_bytes : 0;
+
+    // A handful of identical epochs reaches steady state (the first epoch
+    // is excluded by the steady-period formula); the probe's own telemetry
+    // is muted so it never pollutes the caller's trace.
+    constexpr std::size_t kProbeEpochs = 5;
+    TelemetryMute mute;
+    const auto trace =
+        smartssd::simulate_pipeline(config, w, kProbeEpochs);
+    cache_.emplace(key, trace.steady_epoch_time);
+    return trace.steady_epoch_time;
+  }
+
+  AnalyticPerformanceModel analytic_;
+  std::map<Key, SimTime> cache_;
+};
+
+}  // namespace
+
+std::unique_ptr<PerformanceModel> make_performance_model(PerfModelKind kind) {
+  switch (kind) {
+    case PerfModelKind::kAnalytic:
+      return std::make_unique<AnalyticPerformanceModel>();
+    case PerfModelKind::kEventDriven:
+      return std::make_unique<EventPerformanceModel>();
+  }
+  throw std::invalid_argument("make_performance_model: unknown kind");
+}
+
+}  // namespace nessa::core

@@ -18,7 +18,10 @@ void RunResult::finalize() {
     total_time += e.cost.total();
   }
   mean_subset_fraction = frac_sum / static_cast<double>(epochs.size());
-  mean_epoch_time = total_time / static_cast<SimTime>(epochs.size());
+  // Round to the nearest picosecond instead of truncating toward zero —
+  // at a few epochs the truncation error is a visible fraction of a tick.
+  const auto n = static_cast<SimTime>(epochs.size());
+  mean_epoch_time = (total_time + n / 2) / n;
 }
 
 namespace detail {

@@ -115,6 +115,9 @@ std::vector<std::string> RunConfig::validate() const {
   if (pipeline_epochs < 2) {
     errors.push_back("pipeline_epochs: must be >= 2");
   }
+  if (pipeline_options.max_inflight == 0) {
+    errors.push_back("pipeline_options.max_inflight: must be >= 1");
+  }
   return errors;
 }
 
@@ -133,7 +136,8 @@ void RunConfig::validate_or_throw() const {
 smartssd::PipelineTrace simulate_pipeline(const RunConfig& config) {
   config.validate_or_throw();
   return smartssd::simulate_pipeline(config.system, config.workload,
-                                     config.pipeline_epochs);
+                                     config.pipeline_epochs,
+                                     config.pipeline_options);
 }
 
 RunResult run_full(const PipelineInputs& inputs, const RunConfig& config,
@@ -141,6 +145,7 @@ RunResult run_full(const PipelineInputs& inputs, const RunConfig& config,
   config.validate_or_throw();
   PipelineInputs staged = inputs;
   staged.train = config.train;
+  staged.perf_model = config.perf_model;
   return run_full(staged, system);
 }
 
@@ -149,6 +154,7 @@ RunResult run_nessa(const PipelineInputs& inputs, const RunConfig& config,
   config.validate_or_throw();
   PipelineInputs staged = inputs;
   staged.train = config.train;
+  staged.perf_model = config.perf_model;
   NessaConfig nessa = config.nessa;
   nessa.parallelism = config.parallelism;
   return run_nessa(staged, nessa, system);

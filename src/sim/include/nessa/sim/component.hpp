@@ -1,0 +1,122 @@
+// Component: a serialized, queue-fronted simulator resource.
+//
+// Every modeled device in the NeSSA topology (flash array, PCIe links, the
+// FPGA compute unit, the host staging bridge, the GPU) is a Component: it
+// owns a FIFO request queue, serves one request at a time on a Simulator,
+// and accounts its own utilization (busy time, bytes, queue wait, peak
+// depth). Shared-resource contention therefore falls out of the event
+// engine: two producers posting onto the same component queue behind each
+// other instead of being summed or max'ed by hand.
+//
+// Backpressure: a component may be constructed with a bounded queue.
+// submit() then returns false when the queue (including the in-service
+// request) is full; producers either retry from when_accepting(), which
+// runs a callback as soon as a slot frees (immediately if one is free now),
+// or throttle themselves with an in-flight credit scheme.
+//
+// Telemetry: every completed request is traced automatically as a sim-clock
+// span (phase name on the component's track) and counted on the
+// "sim.<name>.bytes" / "sim.<name>.requests" counters, so any workload
+// driven through a DeviceGraph traces itself with no per-call-site
+// instrumentation.
+//
+// Lifetime: completion callbacks capture `this`; a Component must outlive
+// any Simulator run that still has its events pending.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "nessa/sim/engine.hpp"
+
+namespace nessa::sim {
+
+struct ComponentStats {
+  std::uint64_t completed = 0;      ///< requests fully served
+  std::uint64_t rejected = 0;       ///< submissions bounced by backpressure
+  std::uint64_t bytes = 0;          ///< payload bytes of completed requests
+  SimTime busy_time = 0;            ///< total in-service time
+  SimTime queue_wait = 0;           ///< total time spent queued before service
+  std::size_t peak_queue_depth = 0; ///< max queued+in-service observed
+
+  /// Busy fraction of a horizon (e.g. sim.now() at end of run).
+  [[nodiscard]] double utilization(SimTime horizon) const noexcept {
+    return horizon > 0 ? static_cast<double>(busy_time) /
+                             static_cast<double>(horizon)
+                       : 0.0;
+  }
+
+  /// Achieved throughput over busy time, bytes/second.
+  [[nodiscard]] double achieved_bps() const noexcept {
+    const double s = util::to_seconds(busy_time);
+    return s > 0.0 ? static_cast<double>(bytes) / s : 0.0;
+  }
+};
+
+class Component {
+ public:
+  using Callback = Simulator::Callback;
+
+  /// `queue_capacity` bounds queued + in-service requests; 0 = unbounded.
+  Component(Simulator& sim, std::string name, std::size_t queue_capacity = 0);
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] const ComponentStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool busy() const noexcept { return in_service_; }
+  /// Queued requests including the one in service.
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] bool accepting() const noexcept {
+    return capacity_ == 0 || queue_.size() < capacity_;
+  }
+
+  /// Post a request occupying the component for `service_time` and moving
+  /// `bytes` of payload. `phase` labels the traced span (must outlive the
+  /// request — pass a string literal). `done` runs at completion, after the
+  /// next request (if any) has been started. Returns false — and does
+  /// nothing — when the bounded queue is full.
+  bool submit(SimTime service_time, std::uint64_t bytes, const char* phase,
+              Callback done = {});
+
+  /// Run `fn` as soon as a submission would be accepted: immediately if a
+  /// slot is free now, otherwise when one frees up (FIFO among waiters; one
+  /// waiter is released per freed slot).
+  void when_accepting(Callback fn);
+
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  struct Request {
+    SimTime service;
+    std::uint64_t bytes;
+    const char* phase;
+    Callback done;
+    SimTime enqueued_at;
+  };
+
+  void begin_service();
+  void complete();
+
+  Simulator& sim_;
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<Request> queue_;  ///< front is in service when busy()
+  bool in_service_ = false;
+  SimTime service_start_ = 0;
+  std::deque<Callback> waiters_;
+  ComponentStats stats_;
+  std::string bytes_counter_;
+  std::string requests_counter_;
+};
+
+}  // namespace nessa::sim

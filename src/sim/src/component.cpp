@@ -1,0 +1,80 @@
+#include "nessa/sim/component.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "nessa/telemetry/telemetry.hpp"
+
+namespace nessa::sim {
+
+Component::Component(Simulator& sim, std::string name,
+                     std::size_t queue_capacity)
+    : sim_(sim),
+      name_(std::move(name)),
+      capacity_(queue_capacity),
+      bytes_counter_("sim." + name_ + ".bytes"),
+      requests_counter_("sim." + name_ + ".requests") {
+  if (name_.empty()) {
+    throw std::invalid_argument("Component: name must not be empty");
+  }
+}
+
+bool Component::submit(SimTime service_time, std::uint64_t bytes,
+                       const char* phase, Callback done) {
+  if (service_time < 0) {
+    throw std::invalid_argument("Component::submit: negative service time");
+  }
+  if (!accepting()) {
+    ++stats_.rejected;
+    return false;
+  }
+  queue_.push_back(Request{service_time, bytes, phase, std::move(done),
+                           sim_.now()});
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+  if (!in_service_) begin_service();
+  return true;
+}
+
+void Component::when_accepting(Callback fn) {
+  if (!fn) {
+    throw std::invalid_argument("Component::when_accepting: null callback");
+  }
+  if (accepting()) {
+    fn();
+    return;
+  }
+  waiters_.push_back(std::move(fn));
+}
+
+void Component::begin_service() {
+  in_service_ = true;
+  service_start_ = sim_.now();
+  const Request& req = queue_.front();
+  stats_.queue_wait += service_start_ - req.enqueued_at;
+  sim_.schedule_after(req.service, [this] { complete(); });
+}
+
+void Component::complete() {
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  in_service_ = false;
+
+  stats_.busy_time += req.service;
+  stats_.bytes += req.bytes;
+  ++stats_.completed;
+  telemetry::sim_span(req.phase, "component", name_.c_str(), service_start_,
+                      req.service);
+  telemetry::count(bytes_counter_, req.bytes);
+  telemetry::count(requests_counter_);
+
+  if (!queue_.empty()) begin_service();
+  // One slot freed: release one waiter (it may immediately re-fill it).
+  if (capacity_ != 0 && !waiters_.empty() && accepting()) {
+    Callback waiter = std::move(waiters_.front());
+    waiters_.pop_front();
+    waiter();
+  }
+  if (req.done) req.done();
+}
+
+}  // namespace nessa::sim

@@ -1,0 +1,192 @@
+// The SmartSSD + host + GPU topology as first-class simulator components.
+//
+// DeviceGraph instantiates one sim::Component per modeled device of paper
+// Fig. 3 and wires them to a single discrete-event Simulator:
+//
+//   FlashArray "flash_bus" --PcieLink "p2p"--> FpgaComputeUnit "fpga"
+//        |                                          ^
+//        +--(host-mediated fallback: PcieLink "host_link" up,
+//        |   HostBridge "host_bridge" staging, "host_link" back down)
+//        v                                          v
+//   PcieLink "host_link"  ------------------> PcieLink "gpu_link" --> GpuModel "gpu"
+//
+// The host link is ONE component shared by subset shipment, quantized-
+// weight feedback and (in the host-mediated configuration) the scan itself,
+// so queueing between those traffic classes is produced by the event
+// engine rather than approximated by closed-form sums. Each component
+// traces its own spans and byte counters (see sim/component.hpp).
+//
+// Timing primitives reuse the calibrated NandFlash / FpgaModel / GpuSpec
+// models; this header only changes WHERE the arithmetic runs (inside
+// serialized, contended components) — not the constants.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nessa/sim/component.hpp"
+#include "nessa/smartssd/device.hpp"
+
+namespace nessa::smartssd {
+
+/// NAND flash array serving batched record reads.
+class FlashArray : public sim::Component {
+ public:
+  FlashArray(sim::Simulator& sim, const FlashConfig& config,
+             std::size_t queue_capacity = 0);
+
+  /// Time of one batched read, ignoring queueing.
+  [[nodiscard]] util::SimTime read_time(std::size_t records,
+                                        std::uint64_t record_bytes) const {
+    return model_.batch_read_time(records, record_bytes);
+  }
+
+  bool submit_read(std::size_t records, std::uint64_t record_bytes,
+                   const char* phase, Callback done = {});
+
+  [[nodiscard]] const NandFlash& model() const noexcept { return model_; }
+
+ private:
+  NandFlash model_;
+};
+
+/// Bandwidth/latency-limited serialized interconnect hop.
+class PcieLink : public sim::Component {
+ public:
+  PcieLink(sim::Simulator& sim, std::string name, double bandwidth_bps,
+           util::SimTime latency, std::size_t queue_capacity = 0);
+
+  [[nodiscard]] double bandwidth_bps() const noexcept { return bandwidth_; }
+  [[nodiscard]] util::SimTime latency() const noexcept { return latency_; }
+
+  /// Time of one transfer, ignoring queueing.
+  [[nodiscard]] util::SimTime transfer_time(std::uint64_t bytes) const {
+    return latency_ + util::transfer_time(bytes, bandwidth_);
+  }
+
+  bool submit_transfer(std::uint64_t bytes, const char* phase,
+                       Callback done = {});
+
+ private:
+  double bandwidth_;
+  util::SimTime latency_;
+};
+
+/// Host-CPU staging for the conventional (non-P2P) path: bounce-buffer
+/// chunking pays a fixed per-chunk overhead (syscall + interrupt + copy
+/// scheduling) on the host core.
+class HostBridge : public sim::Component {
+ public:
+  HostBridge(sim::Simulator& sim, std::uint64_t chunk_bytes,
+             util::SimTime per_chunk_overhead, std::size_t queue_capacity = 0);
+
+  [[nodiscard]] util::SimTime staging_time(std::uint64_t bytes) const;
+
+  bool submit_staging(std::uint64_t bytes, const char* phase,
+                      Callback done = {});
+
+ private:
+  std::uint64_t chunk_bytes_;
+  util::SimTime per_chunk_overhead_;
+};
+
+/// The KU15P selection kernel: int8 MAC forward passes and SIMD
+/// similarity/greedy ops share one serialized compute unit.
+class FpgaComputeUnit : public sim::Component {
+ public:
+  FpgaComputeUnit(sim::Simulator& sim, const FpgaConfig& config,
+                  std::size_t queue_capacity = 0);
+
+  [[nodiscard]] util::SimTime forward_time(std::uint64_t macs) const {
+    return model_.int8_mac_time(macs);
+  }
+  [[nodiscard]] util::SimTime selection_time(std::uint64_t ops) const {
+    return model_.simd_time(ops);
+  }
+
+  bool submit_forward(std::uint64_t macs, const char* phase,
+                      Callback done = {});
+  bool submit_selection(std::uint64_t ops, const char* phase,
+                        Callback done = {});
+
+  [[nodiscard]] const FpgaModel& model() const noexcept { return model_; }
+
+ private:
+  FpgaModel model_;
+};
+
+/// The training GPU as a serialized compute component (mini-batch steps).
+class GpuModel : public sim::Component {
+ public:
+  GpuModel(sim::Simulator& sim, const GpuSpec& spec,
+           std::size_t queue_capacity = 0);
+
+  [[nodiscard]] util::SimTime train_time(std::size_t samples,
+                                         double gflops_per_sample,
+                                         std::size_t batch_size) const {
+    return train_compute_time(spec_, samples, gflops_per_sample, batch_size);
+  }
+
+  bool submit_train(std::size_t samples, double gflops_per_sample,
+                    std::size_t batch_size, const char* phase,
+                    Callback done = {});
+
+  [[nodiscard]] const GpuSpec& spec() const noexcept { return spec_; }
+
+ private:
+  GpuSpec spec_;
+};
+
+/// The assembled component graph. Owns the Simulator and every component;
+/// construct one per simulation (components are stateful resources).
+class DeviceGraph {
+ public:
+  explicit DeviceGraph(const SystemConfig& config);
+
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  [[nodiscard]] FlashArray& flash() noexcept { return *flash_; }
+  [[nodiscard]] PcieLink& p2p_link() noexcept { return *p2p_; }
+  [[nodiscard]] PcieLink& host_link() noexcept { return *host_link_; }
+  [[nodiscard]] PcieLink& gpu_link() noexcept { return *gpu_link_; }
+  [[nodiscard]] HostBridge& host_bridge() noexcept { return *host_bridge_; }
+  [[nodiscard]] FpgaComputeUnit& fpga() noexcept { return *fpga_; }
+  [[nodiscard]] GpuModel& gpu() noexcept { return *gpu_; }
+
+  [[nodiscard]] const FlashArray& flash() const noexcept { return *flash_; }
+  [[nodiscard]] const PcieLink& p2p_link() const noexcept { return *p2p_; }
+  [[nodiscard]] const PcieLink& host_link() const noexcept {
+    return *host_link_;
+  }
+  [[nodiscard]] const PcieLink& gpu_link() const noexcept {
+    return *gpu_link_;
+  }
+  [[nodiscard]] const HostBridge& host_bridge() const noexcept {
+    return *host_bridge_;
+  }
+  [[nodiscard]] const FpgaComputeUnit& fpga() const noexcept { return *fpga_; }
+  [[nodiscard]] const GpuModel& gpu() const noexcept { return *gpu_; }
+
+  /// Byte totals per traffic class, derived from component stats: P2P =
+  /// p2p link, interconnect = host link, GPU = gpu link.
+  [[nodiscard]] TrafficStats traffic() const;
+
+  /// Run every pending event (convenience passthrough).
+  std::size_t run() { return sim_.run(); }
+
+  void reset_stats();
+
+ private:
+  SystemConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<FlashArray> flash_;
+  std::unique_ptr<PcieLink> p2p_;
+  std::unique_ptr<PcieLink> host_link_;
+  std::unique_ptr<PcieLink> gpu_link_;
+  std::unique_ptr<HostBridge> host_bridge_;
+  std::unique_ptr<FpgaComputeUnit> fpga_;
+  std::unique_ptr<GpuModel> gpu_;
+};
+
+}  // namespace nessa::smartssd

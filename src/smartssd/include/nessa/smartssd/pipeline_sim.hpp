@@ -1,22 +1,31 @@
-// Batch-level pipeline simulation of the NeSSA training loop.
+// Batch-level discrete-event simulation of the NeSSA training loop.
 //
 // The trainers in src/core use an analytic steady-state model: with the
 // FPGA preparing epoch t+1's subset while the GPU trains epoch t, the
 // per-epoch critical path is max(fpga phase, gpu phase). This module checks
-// that claim from below: it schedules every batch-granular stage of several
-// consecutive epochs onto serialized resources —
+// that claim from below by driving epoch "processes" over a DeviceGraph of
+// serialized components (see device_graph.hpp):
 //
-//   flash --(P2P)--> FPGA int8 forward --> selection ops      (FPGA side)
-//   subset: host link --> GPU link --> GPU train batches      (GPU side)
-//   quantized weights: host link back to the FPGA             (feedback)
+//   flash --(P2P link)--> FPGA int8 forward --> selection ops  (FPGA side)
+//   subset: host link --> GPU link --> GPU train batches       (GPU side)
+//   quantized weights: host link back to the FPGA              (feedback)
 //
-// with cross-epoch overlap (epoch e+1's scan starts as soon as the FPGA is
-// free and epoch e's feedback has landed), and reports the steady-state
-// epoch time. The pipeline_sim tests assert it converges to the analytic
-// max() within a few percent.
+// Each batch's stages chain through component completion callbacks with a
+// bounded number of in-flight batches per stream (PipelineOptions::
+// max_inflight), and cross-epoch overlap (epoch e+1's scan starts as soon
+// as epoch e's selection lands) comes from posting the next epoch's
+// requests at the selection-done event. Because every transfer is a real
+// queued request on a shared component, link contention — e.g. the host
+// link carrying subset shipment, weight feedback, AND the scan itself in
+// the host-mediated configuration (PipelineOptions::p2p_scan = false) — is
+// produced by the event engine instead of being summed by hand. The
+// pipeline_sim tests assert the P2P configuration converges to the analytic
+// max() within a few percent; the contention tests show the host-mediated
+// configuration diverging in ways the analytic max() cannot express.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "nessa/smartssd/device.hpp"
@@ -34,6 +43,28 @@ struct EpochWorkload {
   std::uint64_t feedback_bytes = 270'000;
 };
 
+struct PipelineOptions {
+  /// true: the scan streams flash -> FPGA over the on-board P2P link.
+  /// false: conventional host-mediated scan — every scanned batch crosses
+  /// the drive-host link twice (up to a host bounce buffer, back down to
+  /// the FPGA) and pays per-chunk CPU staging, contending with subset
+  /// shipment and weight feedback on the same link.
+  bool p2p_scan = true;
+  /// Batches in flight per stream (scan, subset) before the producer waits
+  /// for a completion; >= 2 keeps the bottleneck stage saturated.
+  std::size_t max_inflight = 4;
+};
+
+/// End-of-run accounting for one DeviceGraph component.
+struct ComponentUsage {
+  std::string name;
+  util::SimTime busy_time = 0;
+  util::SimTime queue_wait = 0;   ///< total request time spent queued
+  std::uint64_t bytes = 0;
+  std::uint64_t requests = 0;
+  double utilization = 0.0;       ///< busy fraction of the simulated horizon
+};
+
 struct PipelineTrace {
   /// Completion time of each simulated epoch's GPU+feedback phase.
   std::vector<util::SimTime> epoch_done;
@@ -41,14 +72,28 @@ struct PipelineTrace {
   util::SimTime steady_epoch_time = 0;
   /// First-epoch latency (no overlap available yet).
   util::SimTime first_epoch_time = 0;
-  /// The analytic model's prediction for comparison.
+  /// The analytic model's prediction for comparison, computed for the same
+  /// scan routing (P2P or host-mediated) but with every phase serial and
+  /// every link dedicated — the structural assumptions of the core
+  /// trainers' max(fpga, gpu) model.
   util::SimTime analytic_fpga_phase = 0;
   util::SimTime analytic_gpu_phase = 0;
+  /// Per-component busy/queue/byte accounting over the whole run.
+  std::vector<ComponentUsage> usage;
+
+  /// Usage row by component name; nullptr when absent.
+  [[nodiscard]] const ComponentUsage* component(const std::string& n) const;
 };
 
 /// Simulate `epochs` consecutive epochs of the workload on the system.
 /// Throws std::invalid_argument for degenerate workloads (zero batches or
-/// fewer than 2 epochs).
+/// fewer than 2 epochs) or options (max_inflight == 0).
+PipelineTrace simulate_pipeline(const SystemConfig& config,
+                                const EpochWorkload& workload,
+                                std::size_t epochs,
+                                const PipelineOptions& options);
+
+/// Compatibility shim: default options (P2P scan, in-flight window of 4).
 PipelineTrace simulate_pipeline(const SystemConfig& config,
                                 const EpochWorkload& workload,
                                 std::size_t epochs);

@@ -1,0 +1,124 @@
+#include "nessa/smartssd/device_graph.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nessa::smartssd {
+
+FlashArray::FlashArray(sim::Simulator& sim, const FlashConfig& config,
+                       std::size_t queue_capacity)
+    : Component(sim, "flash_bus", queue_capacity), model_(config) {}
+
+bool FlashArray::submit_read(std::size_t records, std::uint64_t record_bytes,
+                             const char* phase, Callback done) {
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(records) * record_bytes;
+  return submit(model_.batch_read_time(records, record_bytes), bytes, phase,
+                std::move(done));
+}
+
+PcieLink::PcieLink(sim::Simulator& sim, std::string name, double bandwidth_bps,
+                   util::SimTime latency, std::size_t queue_capacity)
+    : Component(sim, std::move(name), queue_capacity),
+      bandwidth_(bandwidth_bps),
+      latency_(latency) {
+  if (bandwidth_ <= 0.0) {
+    throw std::invalid_argument("PcieLink: bandwidth must be positive");
+  }
+  if (latency_ < 0) {
+    throw std::invalid_argument("PcieLink: latency must be non-negative");
+  }
+}
+
+bool PcieLink::submit_transfer(std::uint64_t bytes, const char* phase,
+                               Callback done) {
+  return submit(transfer_time(bytes), bytes, phase, std::move(done));
+}
+
+HostBridge::HostBridge(sim::Simulator& sim, std::uint64_t chunk_bytes,
+                       util::SimTime per_chunk_overhead,
+                       std::size_t queue_capacity)
+    : Component(sim, "host_bridge", queue_capacity),
+      chunk_bytes_(chunk_bytes),
+      per_chunk_overhead_(per_chunk_overhead) {
+  if (chunk_bytes_ == 0) {
+    throw std::invalid_argument("HostBridge: chunk size must be > 0");
+  }
+}
+
+util::SimTime HostBridge::staging_time(std::uint64_t bytes) const {
+  const std::uint64_t chunks = (bytes + chunk_bytes_ - 1) / chunk_bytes_;
+  return static_cast<util::SimTime>(chunks) * per_chunk_overhead_;
+}
+
+bool HostBridge::submit_staging(std::uint64_t bytes, const char* phase,
+                                Callback done) {
+  return submit(staging_time(bytes), bytes, phase, std::move(done));
+}
+
+FpgaComputeUnit::FpgaComputeUnit(sim::Simulator& sim, const FpgaConfig& config,
+                                 std::size_t queue_capacity)
+    : Component(sim, "fpga", queue_capacity), model_(config) {}
+
+bool FpgaComputeUnit::submit_forward(std::uint64_t macs, const char* phase,
+                                     Callback done) {
+  return submit(model_.int8_mac_time(macs), 0, phase, std::move(done));
+}
+
+bool FpgaComputeUnit::submit_selection(std::uint64_t ops, const char* phase,
+                                       Callback done) {
+  return submit(model_.simd_time(ops), 0, phase, std::move(done));
+}
+
+GpuModel::GpuModel(sim::Simulator& sim, const GpuSpec& spec,
+                   std::size_t queue_capacity)
+    : Component(sim, "gpu", queue_capacity), spec_(spec) {}
+
+bool GpuModel::submit_train(std::size_t samples, double gflops_per_sample,
+                            std::size_t batch_size, const char* phase,
+                            Callback done) {
+  return submit(train_time(samples, gflops_per_sample, batch_size), 0, phase,
+                std::move(done));
+}
+
+DeviceGraph::DeviceGraph(const SystemConfig& config) : config_(config) {
+  if (config_.p2p_bw_bps <= 0.0 || config_.host_link_bw_bps <= 0.0 ||
+      config_.gpu_link_bw_bps <= 0.0) {
+    throw std::invalid_argument("DeviceGraph: bandwidths must be positive");
+  }
+  flash_ = std::make_unique<FlashArray>(sim_, config_.flash);
+  p2p_ = std::make_unique<PcieLink>(sim_, "p2p", config_.p2p_bw_bps,
+                                    util::SimTime{0});
+  // The host link carries subset shipment, weight feedback and (in the
+  // host-mediated configuration) the scan itself; its fixed per-transfer
+  // latency matches the analytic model's link_latency term.
+  host_link_ = std::make_unique<PcieLink>(
+      sim_, "host_link", config_.host_link_bw_bps, config_.link_latency);
+  gpu_link_ = std::make_unique<PcieLink>(sim_, "gpu_link",
+                                         config_.gpu_link_bw_bps,
+                                         util::SimTime{0});
+  host_bridge_ = std::make_unique<HostBridge>(sim_, config_.staging_chunk_bytes,
+                                              config_.staging_overhead);
+  fpga_ = std::make_unique<FpgaComputeUnit>(sim_, config_.fpga);
+  gpu_ = std::make_unique<GpuModel>(sim_, gpu_spec(config_.gpu));
+}
+
+TrafficStats DeviceGraph::traffic() const {
+  TrafficStats t;
+  t.p2p_bytes = p2p_->stats().bytes;
+  t.interconnect_bytes = host_link_->stats().bytes;
+  t.gpu_bytes = gpu_link_->stats().bytes;
+  return t;
+}
+
+void DeviceGraph::reset_stats() {
+  flash_->reset_stats();
+  p2p_->reset_stats();
+  host_link_->reset_stats();
+  gpu_link_->reset_stats();
+  host_bridge_->reset_stats();
+  fpga_->reset_stats();
+  gpu_->reset_stats();
+}
+
+}  // namespace nessa::smartssd

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nessa/smartssd/device_graph.hpp"
 #include "nessa/telemetry/telemetry.hpp"
 
 namespace nessa::smartssd {
@@ -11,138 +12,287 @@ namespace {
 
 using util::SimTime;
 
-/// Serialized compute/storage resource: list-scheduling free-at pointer.
-/// Each occupancy is recorded as a sim-clock span (phase name on the
-/// resource's track) when telemetry is enabled.
-struct Resource {
-  const char* track;
-  SimTime free_at = 0;
+/// One run's epoch processes over a DeviceGraph. Each batch chains through
+/// its stages via component completion callbacks; per-stream credits bound
+/// how many batches are in flight at once.
+class PipelineRun {
+ public:
+  PipelineRun(const SystemConfig& config, const EpochWorkload& w,
+              std::size_t epochs, const PipelineOptions& opts)
+      : graph_(config), w_(w), opts_(opts), epochs_(epochs), state_(epochs) {
+    scan_batches_ = (w.pool_records + w.batch_size - 1) / w.batch_size;
+    train_batches_ = (w.subset_records + w.batch_size - 1) / w.batch_size;
+    batch_bytes_ = static_cast<std::uint64_t>(w.batch_size) * w.record_bytes;
 
-  explicit Resource(const char* track_name) : track(track_name) {}
-
-  /// Occupy for `duration` starting no earlier than `earliest`; returns the
-  /// completion time.
-  SimTime run(SimTime earliest, SimTime duration, const char* phase) {
-    const SimTime start = std::max(earliest, free_at);
-    free_at = start + duration;
-    telemetry::sim_span(phase, "pipeline", track, start, duration);
-    return free_at;
+    // Per-batch stage durations, computed once with the full batch size
+    // (partial final batches are charged a full batch, matching the
+    // analytic model's granularity).
+    t_flash_ = graph_.flash().read_time(w.batch_size, w.record_bytes);
+    t_p2p_ = graph_.p2p_link().transfer_time(batch_bytes_);
+    t_host_ = graph_.host_link().transfer_time(batch_bytes_);
+    t_stage_ = graph_.host_bridge().staging_time(batch_bytes_);
+    t_gpu_link_ = graph_.gpu_link().transfer_time(batch_bytes_);
+    t_fwd_ = graph_.fpga().forward_time(
+        static_cast<std::uint64_t>(w.batch_size) * w.macs_per_record);
+    t_select_ = graph_.fpga().selection_time(w.selection_ops);
+    t_train_ = graph_.gpu().train_time(w.batch_size,
+                                       w.train_gflops_per_sample,
+                                       w.batch_size);
+    t_feedback_ = graph_.host_link().transfer_time(w.feedback_bytes);
   }
+
+  PipelineTrace run() {
+    PipelineTrace trace;
+    trace.epoch_done.reserve(epochs_);
+    trace_ = &trace;
+    maybe_start_scan(0);
+    graph_.run();
+
+    trace.first_epoch_time = trace.epoch_done.front();
+    trace.steady_epoch_time =
+        (trace.epoch_done.back() - trace.epoch_done.front()) /
+        static_cast<SimTime>(epochs_ - 1);
+    fill_analytics(trace);
+    fill_usage(trace);
+    return trace;
+  }
+
+ private:
+  struct EpochState {
+    std::size_t scans_issued = 0;
+    std::size_t scans_inflight = 0;
+    std::size_t forwards_done = 0;
+    std::size_t trains_issued = 0;
+    std::size_t trains_inflight = 0;
+    std::size_t trains_done = 0;
+    bool scan_started = false;
+    bool subset_started = false;
+    bool selection_done = false;
+    bool trains_complete = false;
+    bool feedback_done = false;
+  };
+
+  // --- epoch gating ----------------------------------------------------
+  // The FPGA may look ahead one epoch (selection for e+1 overlaps GPU
+  // training of e), but no further: selecting epoch e needs the quantized
+  // weights fed back after epoch e-2's training, and the single GPU trains
+  // epochs in order, so the subset stream of e waits for e-1's last batch.
+
+  void maybe_start_scan(std::size_t e) {
+    if (e >= epochs_ || state_[e].scan_started) return;
+    if (e >= 1 && !state_[e - 1].selection_done) return;
+    if (e >= 2 && !state_[e - 2].feedback_done) return;
+    state_[e].scan_started = true;
+    pump_scan(e);
+  }
+
+  void maybe_start_subset(std::size_t e) {
+    if (e >= epochs_ || state_[e].subset_started) return;
+    if (!state_[e].selection_done) return;
+    if (e >= 1 && !state_[e - 1].trains_complete) return;
+    state_[e].subset_started = true;
+    pump_subset(e);
+  }
+
+  // --- FPGA side: scan + forward, batch-pipelined ----------------------
+
+  void pump_scan(std::size_t e) {
+    auto& st = state_[e];
+    while (st.scans_issued < scan_batches_ &&
+           st.scans_inflight < opts_.max_inflight) {
+      ++st.scans_issued;
+      ++st.scans_inflight;
+      issue_scan_batch(e);
+    }
+  }
+
+  void issue_scan_batch(std::size_t e) {
+    if (opts_.p2p_scan) {
+      graph_.flash().submit(t_flash_, batch_bytes_, "flash-read", [this, e] {
+        graph_.p2p_link().submit(t_p2p_, batch_bytes_, "p2p-transfer",
+                                 [this, e] { issue_forward(e); });
+      });
+    } else {
+      // Conventional path: up to a host bounce buffer, CPU staging, back
+      // down to the FPGA. Both hops occupy the SAME host link.
+      graph_.flash().submit(t_flash_, batch_bytes_, "flash-read", [this, e] {
+        graph_.host_link().submit(
+            t_host_, batch_bytes_, "scan-upload", [this, e] {
+              graph_.host_bridge().submit(
+                  t_stage_, batch_bytes_, "host-staging", [this, e] {
+                    graph_.host_link().submit(t_host_, batch_bytes_,
+                                              "scan-return",
+                                              [this, e] { issue_forward(e); });
+                  });
+            });
+      });
+    }
+  }
+
+  void issue_forward(std::size_t e) {
+    graph_.fpga().submit(t_fwd_, 0, "fpga-forward",
+                         [this, e] { on_forward_done(e); });
+  }
+
+  void on_forward_done(std::size_t e) {
+    auto& st = state_[e];
+    ++st.forwards_done;
+    --st.scans_inflight;
+    pump_scan(e);
+    if (st.forwards_done == scan_batches_) {
+      graph_.fpga().submit(t_select_, 0, "selection",
+                           [this, e] { on_selection_done(e); });
+    }
+  }
+
+  void on_selection_done(std::size_t e) {
+    state_[e].selection_done = true;
+    maybe_start_scan(e + 1);
+    maybe_start_subset(e);
+  }
+
+  // --- GPU side: subset stream + training ------------------------------
+
+  void pump_subset(std::size_t e) {
+    auto& st = state_[e];
+    while (st.trains_issued < train_batches_ &&
+           st.trains_inflight < opts_.max_inflight) {
+      ++st.trains_issued;
+      ++st.trains_inflight;
+      graph_.host_link().submit(
+          t_host_, batch_bytes_, "host-link", [this, e] {
+            graph_.gpu_link().submit(
+                t_gpu_link_, batch_bytes_, "gpu-link", [this, e] {
+                  graph_.gpu().submit(t_train_, 0, "gpu-train",
+                                      [this, e] { on_train_done(e); });
+                });
+          });
+    }
+  }
+
+  void on_train_done(std::size_t e) {
+    auto& st = state_[e];
+    ++st.trains_done;
+    --st.trains_inflight;
+    pump_subset(e);
+    if (st.trains_done == train_batches_) {
+      st.trains_complete = true;
+      graph_.host_link().submit(t_feedback_, w_.feedback_bytes, "feedback",
+                                [this, e] { on_feedback_done(e); });
+      maybe_start_subset(e + 1);
+    }
+  }
+
+  void on_feedback_done(std::size_t e) {
+    state_[e].feedback_done = true;
+    maybe_start_scan(e + 2);
+    const SimTime done = graph_.simulator().now();
+    telemetry::sim_instant("epoch-done", "component", "host_link", done);
+    trace_->epoch_done.push_back(done);
+
+    // Bytes-moved accounting per link, once per epoch.
+    const auto scan_bytes =
+        static_cast<std::uint64_t>(scan_batches_) * batch_bytes_;
+    const auto subset_bytes =
+        static_cast<std::uint64_t>(train_batches_) * batch_bytes_;
+    std::uint64_t host_link_bytes = subset_bytes + w_.feedback_bytes;
+    if (opts_.p2p_scan) {
+      telemetry::count("pipeline.p2p.bytes", scan_bytes);
+    } else {
+      host_link_bytes += 2 * scan_bytes;
+    }
+    telemetry::count("pipeline.host_link.bytes", host_link_bytes);
+    telemetry::count("pipeline.gpu_link.bytes", subset_bytes);
+    telemetry::count("pipeline.feedback.bytes", w_.feedback_bytes);
+  }
+
+  // --- end-of-run reporting --------------------------------------------
+
+  void fill_analytics(PipelineTrace& trace) const {
+    // What the core trainers' analytic model charges for the same scan
+    // routing: serial phases, dedicated links, no queueing.
+    const auto& cfg = graph_.config();
+    const std::uint64_t pool_bytes =
+        static_cast<std::uint64_t>(w_.pool_records) * w_.record_bytes;
+    SimTime scan = graph_.flash().read_time(w_.pool_records, w_.record_bytes);
+    if (!opts_.p2p_scan) {
+      scan += 2 * util::transfer_time(pool_bytes, cfg.host_link_bw_bps);
+      scan += graph_.host_bridge().staging_time(pool_bytes);
+    }
+    trace.analytic_fpga_phase =
+        scan +
+        graph_.fpga().forward_time(
+            static_cast<std::uint64_t>(w_.pool_records) * w_.macs_per_record) +
+        t_select_;
+
+    const std::uint64_t subset_bytes =
+        static_cast<std::uint64_t>(w_.subset_records) * w_.record_bytes;
+    trace.analytic_gpu_phase =
+        cfg.link_latency +
+        util::transfer_time(subset_bytes, cfg.host_link_bw_bps) +
+        util::transfer_time(subset_bytes, cfg.gpu_link_bw_bps) +
+        graph_.gpu().train_time(w_.subset_records, w_.train_gflops_per_sample,
+                                w_.batch_size) +
+        t_feedback_;
+  }
+
+  void fill_usage(PipelineTrace& trace) {
+    const SimTime horizon = graph_.simulator().now();
+    const sim::Component* components[] = {
+        &graph_.flash(),      &graph_.p2p_link(), &graph_.host_link(),
+        &graph_.host_bridge(), &graph_.fpga(),     &graph_.gpu_link(),
+        &graph_.gpu()};
+    for (const auto* c : components) {
+      const auto& s = c->stats();
+      trace.usage.push_back(ComponentUsage{c->name(), s.busy_time,
+                                           s.queue_wait, s.bytes, s.completed,
+                                           s.utilization(horizon)});
+    }
+  }
+
+  DeviceGraph graph_;
+  const EpochWorkload& w_;
+  PipelineOptions opts_;
+  std::size_t epochs_;
+  std::vector<EpochState> state_;
+  PipelineTrace* trace_ = nullptr;
+
+  std::size_t scan_batches_ = 0;
+  std::size_t train_batches_ = 0;
+  std::uint64_t batch_bytes_ = 0;
+  SimTime t_flash_ = 0, t_p2p_ = 0, t_host_ = 0, t_stage_ = 0, t_gpu_link_ = 0,
+          t_fwd_ = 0, t_select_ = 0, t_train_ = 0, t_feedback_ = 0;
 };
 
 }  // namespace
 
+const ComponentUsage* PipelineTrace::component(const std::string& n) const {
+  for (const auto& u : usage) {
+    if (u.name == n) return &u;
+  }
+  return nullptr;
+}
+
 PipelineTrace simulate_pipeline(const SystemConfig& config,
-                                const EpochWorkload& w, std::size_t epochs) {
+                                const EpochWorkload& w, std::size_t epochs,
+                                const PipelineOptions& options) {
   if (epochs < 2) {
     throw std::invalid_argument("simulate_pipeline: need at least 2 epochs");
   }
   if (w.batch_size == 0 || w.pool_records == 0 || w.subset_records == 0) {
     throw std::invalid_argument("simulate_pipeline: degenerate workload");
   }
-
-  NandFlash flash(config.flash);
-  FpgaModel fpga(config.fpga);
-  const GpuSpec& gpu = gpu_spec(config.gpu);
-
-  Resource flash_bus("flash_bus"), fpga_compute("fpga"),
-      host_link("host_link"), gpu_link("gpu_link"), gpu_compute("gpu");
-
-  const std::size_t scan_batches =
-      (w.pool_records + w.batch_size - 1) / w.batch_size;
-  const std::size_t train_batches =
-      (w.subset_records + w.batch_size - 1) / w.batch_size;
-
-  // Per-batch stage durations.
-  const SimTime t_flash = flash.batch_read_time(w.batch_size, w.record_bytes);
-  const SimTime t_fwd =
-      fpga.int8_mac_time(static_cast<std::uint64_t>(w.batch_size) *
-                         w.macs_per_record);
-  const SimTime t_select = fpga.simd_time(w.selection_ops);
-  const std::uint64_t batch_bytes =
-      static_cast<std::uint64_t>(w.batch_size) * w.record_bytes;
-  const SimTime t_host =
-      config.link_latency + util::transfer_time(batch_bytes,
-                                                config.host_link_bw_bps);
-  const SimTime t_gpu_link =
-      util::transfer_time(batch_bytes, config.gpu_link_bw_bps);
-  const SimTime t_train =
-      train_compute_time(gpu, w.batch_size, w.train_gflops_per_sample,
-                         w.batch_size);
-  const SimTime t_feedback =
-      config.link_latency + util::transfer_time(w.feedback_bytes,
-                                                config.host_link_bw_bps);
-
-  PipelineTrace trace;
-  // Double-buffered overlap: the FPGA prepares epoch e while the GPU trains
-  // epoch e-1, applying whatever quantized weights last landed (one-epoch-
-  // stale feedback, as in the paper's asynchronous loop). The FPGA looks
-  // ahead at most one epoch: scan(e) may not start before the GPU side of
-  // epoch e-1 has been released.
-  SimTime prev_selection_done = 0;
-
-  for (std::size_t e = 0; e < epochs; ++e) {
-    // --- FPGA side: scan + forward, batch-pipelined ---------------------
-    const SimTime scan_gate = prev_selection_done;
-    SimTime fwd_done = 0;
-    for (std::size_t b = 0; b < scan_batches; ++b) {
-      const SimTime read_done = flash_bus.run(scan_gate, t_flash, "flash-read");
-      fwd_done = fpga_compute.run(read_done, t_fwd, "fpga-forward");
-    }
-    const SimTime selection_done =
-        fpga_compute.run(fwd_done, t_select, "selection");
-    prev_selection_done = selection_done;
-
-    // --- GPU side: subset stream + training ----------------------------
-    SimTime train_done = selection_done;
-    for (std::size_t b = 0; b < train_batches; ++b) {
-      const SimTime host_done =
-          host_link.run(selection_done, t_host, "host-link");
-      const SimTime onto_gpu = gpu_link.run(host_done, t_gpu_link, "gpu-link");
-      train_done = gpu_compute.run(onto_gpu, t_train, "gpu-train");
-    }
-
-    // --- feedback --------------------------------------------------------
-    const SimTime feedback_done =
-        host_link.run(train_done, t_feedback, "feedback");
-    telemetry::sim_instant("epoch-done", "pipeline", "host_link",
-                           feedback_done);
-    trace.epoch_done.push_back(feedback_done);
-
-    // Bytes-moved accounting per link, once per epoch.
-    telemetry::count("pipeline.p2p.bytes",
-                     static_cast<std::uint64_t>(scan_batches) * batch_bytes);
-    telemetry::count("pipeline.host_link.bytes",
-                     static_cast<std::uint64_t>(train_batches) * batch_bytes +
-                         w.feedback_bytes);
-    telemetry::count("pipeline.gpu_link.bytes",
-                     static_cast<std::uint64_t>(train_batches) * batch_bytes);
-    telemetry::count("pipeline.feedback.bytes", w.feedback_bytes);
+  if (options.max_inflight == 0) {
+    throw std::invalid_argument("simulate_pipeline: max_inflight must be > 0");
   }
+  PipelineRun run(config, w, epochs, options);
+  return run.run();
+}
 
-  trace.first_epoch_time = trace.epoch_done.front();
-  trace.steady_epoch_time =
-      (trace.epoch_done.back() - trace.epoch_done.front()) /
-      static_cast<SimTime>(epochs - 1);
-
-  // Analytic phases for comparison (what the core trainers charge).
-  trace.analytic_fpga_phase =
-      flash.batch_read_time(w.pool_records, w.record_bytes) +
-      fpga.int8_mac_time(static_cast<std::uint64_t>(w.pool_records) *
-                         w.macs_per_record) +
-      t_select;
-  trace.analytic_gpu_phase =
-      config.link_latency +
-      util::transfer_time(static_cast<std::uint64_t>(w.subset_records) *
-                              w.record_bytes,
-                          config.host_link_bw_bps) +
-      util::transfer_time(static_cast<std::uint64_t>(w.subset_records) *
-                              w.record_bytes,
-                          config.gpu_link_bw_bps) +
-      train_compute_time(gpu, w.subset_records, w.train_gflops_per_sample,
-                         w.batch_size) +
-      t_feedback;
-  return trace;
+PipelineTrace simulate_pipeline(const SystemConfig& config,
+                                const EpochWorkload& workload,
+                                std::size_t epochs) {
+  return simulate_pipeline(config, workload, epochs, PipelineOptions{});
 }
 
 }  // namespace nessa::smartssd

@@ -31,6 +31,31 @@ RunMetadata meta() {
   return {"nessa", "CIFAR-10", "ResNet-20", "V100", 2, 42};
 }
 
+TEST(RunResultFinalize, MeanEpochTimeRoundsToNearestPicosecond) {
+  // Regression: mean_epoch_time used to integer-truncate total/epochs,
+  // biasing every reported mean downward by up to one picosecond short of
+  // a full unit. It must round to nearest.
+  RunResult run;
+  for (SimTime t : {10, 10, 11}) {  // total 31, mean 10.33 -> 10
+    EpochReport epoch;
+    epoch.cost.gpu_compute = t;
+    run.epochs.push_back(epoch);
+  }
+  run.finalize();
+  EXPECT_EQ(run.total_time, 31);
+  EXPECT_EQ(run.mean_epoch_time, 10);
+
+  RunResult up;
+  for (SimTime t : {10, 11, 11}) {  // total 32, mean 10.67 -> 11 (not 10)
+    EpochReport epoch;
+    epoch.cost.gpu_compute = t;
+    up.epochs.push_back(epoch);
+  }
+  up.finalize();
+  EXPECT_EQ(up.total_time, 32);
+  EXPECT_EQ(up.mean_epoch_time, 11);
+}
+
 TEST(Report, ContainsMetadataAndSummary) {
   std::ostringstream os;
   write_json_report(meta(), sample_run(), os);

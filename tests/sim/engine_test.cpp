@@ -115,6 +115,52 @@ TEST(Simulator, ProcessedCounter) {
   EXPECT_EQ(sim.processed(), 7u);
 }
 
+TEST(Simulator, CancelledEventAtDeadlineDoesNotFire) {
+  // An event sitting exactly on the run_until deadline must not fire if it
+  // was cancelled, while a live event at the same timestamp still does.
+  Simulator sim;
+  bool cancelled_fired = false;
+  bool live_fired = false;
+  auto id = sim.schedule_at(25, [&] { cancelled_fired = true; });
+  sim.schedule_at(25, [&] { live_fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.run_until(25), 1u);
+  EXPECT_FALSE(cancelled_fired);
+  EXPECT_TRUE(live_fired);
+  EXPECT_EQ(sim.now(), 25);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelFromInsideCallbackDuringRunUntil) {
+  // A callback firing inside run_until cancels a later event that is still
+  // within the deadline window; the tombstone must be skipped, not run.
+  Simulator sim;
+  bool victim_fired = false;
+  auto victim = sim.schedule_at(20, [&] { victim_fired = true; });
+  sim.schedule_at(10, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  sim.run_until(30);
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, DoubleCancelAcrossRunUntilBoundary) {
+  // Cancelling twice is a no-op regardless of run_until segments in
+  // between, and an id that already fired cannot be cancelled either.
+  Simulator sim;
+  bool fired_early = false;
+  auto early = sim.schedule_at(10, [&] { fired_early = true; });
+  auto late = sim.schedule_at(40, [] { FAIL() << "cancelled event ran"; });
+  EXPECT_TRUE(sim.cancel(late));
+  EXPECT_EQ(sim.run_until(20), 1u);
+  EXPECT_TRUE(fired_early);
+  EXPECT_FALSE(sim.cancel(late));   // double cancel after a partial run
+  EXPECT_FALSE(sim.cancel(early));  // already executed
+  EXPECT_EQ(sim.run(), 0u);  // only the tombstone remains
+  EXPECT_EQ(sim.now(), 20);  // a cancelled event never advances the clock
+  EXPECT_TRUE(sim.empty());
+}
+
 TEST(Simulator, CausalityNeverViolated) {
   // Property: with random scheduling (including event-from-event), observed
   // times are monotone non-decreasing.

@@ -15,6 +15,7 @@
 //     --no-partitioning   disable §3.2.3 dataset partitioning
 //     --no-dynamic        disable dynamic subset sizing
 //     --parallel          run the selection engine on the thread pool
+//     --perf-model NAME   analytic | event epoch-cost model (default analytic)
 //     --trace PATH        write a Chrome trace-event JSON of the run
 //     --metrics PATH      write the counters/gauges/histograms JSON
 //     --csv PATH          also write the per-epoch table as CSV
@@ -50,6 +51,7 @@ struct Options {
   bool partitioning = true;
   bool dynamic_sizing = true;
   bool parallel = false;
+  std::string perf_model = "analytic";
   std::string trace_path;
   std::string metrics_path;
   std::string csv_path;
@@ -63,7 +65,8 @@ void print_usage() {
       "             [--fraction F] [--epochs N] [--scale S] [--devices D]\n"
       "             [--gpu A100|V100|K1200] [--seed N] [--no-feedback]\n"
       "             [--no-biasing] [--no-partitioning] [--no-dynamic]\n"
-      "             [--parallel] [--trace PATH] [--metrics PATH]\n"
+      "             [--parallel] [--perf-model analytic|event]\n"
+      "             [--trace PATH] [--metrics PATH]\n"
       "             [--csv PATH] [--json PATH]\n";
 }
 
@@ -122,6 +125,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.dynamic_sizing = false;
     } else if (arg == "--parallel") {
       opt.parallel = true;
+    } else if (arg == "--perf-model") {
+      const char* v = next("--perf-model");
+      if (!v) return false;
+      opt.perf_model = v;
     } else if (arg == "--trace") {
       const char* v = next("--trace");
       if (!v) return false;
@@ -176,6 +183,12 @@ int main(int argc, char** argv) {
   rc.nessa.drop_interval_epochs = std::max<std::size_t>(3, opt.epochs / 4);
   rc.nessa.loss_window_epochs = std::max<std::size_t>(2, opt.epochs / 40);
   rc.parallelism = opt.parallel;
+  try {
+    rc.perf_model = core::perf_model_from_string(opt.perf_model);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return 1;
+  }
   rc.telemetry.enabled =
       !opt.trace_path.empty() || !opt.metrics_path.empty();
   rc.telemetry.trace_path = opt.trace_path;
@@ -184,6 +197,7 @@ int main(int argc, char** argv) {
     for (const auto& e : errors) std::cerr << "config error: " << e << "\n";
     return 1;
   }
+  inputs.perf_model = rc.perf_model;
 
   std::optional<telemetry::Session> session;
   if (rc.telemetry.enabled) session.emplace();

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "nessa/nessa.hpp"
+#include "nessa/util/table.hpp"
 
 using namespace nessa;
 
@@ -107,11 +108,24 @@ int main(int argc, char** argv) {
 
   telemetry::Session session;
 
-  // (1) Sim-clock domain: batch-granular pipeline schedule.
+  // (1) Sim-clock domain: batch-granular pipeline schedule over the
+  // component DeviceGraph.
   const auto trace = core::simulate_pipeline(rc);
   std::cout << "pipeline: steady epoch "
             << util::to_seconds(trace.steady_epoch_time) << " s over "
             << rc.pipeline_epochs << " epochs\n";
+
+  util::Table usage("device-graph utilization");
+  usage.set_header({"component", "busy (s)", "queue wait (s)", "util (%)",
+                    "requests", "GB moved"});
+  for (const auto& u : trace.usage) {
+    usage.add_row({u.name, util::Table::num(util::to_seconds(u.busy_time), 3),
+                   util::Table::num(util::to_seconds(u.queue_wait), 3),
+                   util::Table::pct(u.utilization),
+                   util::Table::num(u.requests),
+                   util::Table::num(static_cast<double>(u.bytes) / 1e9, 2)});
+  }
+  usage.print(std::cout);
 
   // (2) Wall-clock domain: a short substrate NeSSA training run.
   const auto& info = data::dataset_info("CIFAR-10");
