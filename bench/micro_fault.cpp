@@ -1,0 +1,124 @@
+// Google-benchmark microbenchmarks for the fault-injection seam. The
+// subsystem's zero-cost contract: with no plan installed, the FaultHook
+// interception is one pointer test per submit/service, so the event-driven
+// pipeline must run within noise (~2%) of the pre-seam BM_EventEpoch
+// baseline in BENCH_pipeline.json.
+//
+//   BM_EventEpochNoFaultPlan    the CIFAR-10 event-model probe with no
+//                               plan — directly comparable to
+//                               BM_EventEpoch/0;
+//   BM_EventEpochDisabledPlan   a plan pointer whose fault list is empty
+//                               (must take the exact no-plan path);
+//   BM_EventEpochFlakyP2p       the flaky-p2p chaos preset: what injected
+//                               failures + retries + the host-path
+//                               fallback actually cost;
+//   BM_ComponentNoHook          raw component submit/serve throughput,
+//                               hook pointer null;
+//   BM_ComponentIdleHook        same traffic with an Injector installed
+//                               whose plan never targets this component
+//                               (the per-event dispatch miss).
+#include <benchmark/benchmark.h>
+
+#include "nessa/fault/fault_plan.hpp"
+#include "nessa/fault/injector.hpp"
+#include "nessa/sim/component.hpp"
+#include "nessa/sim/engine.hpp"
+#include "nessa/smartssd/device.hpp"
+#include "nessa/smartssd/pipeline_sim.hpp"
+
+using namespace nessa;
+
+namespace {
+
+/// The CIFAR-10 / ResNet-20 epoch shape (EpochWorkload defaults).
+smartssd::EpochWorkload cifar10_workload() { return smartssd::EpochWorkload{}; }
+
+void BM_EventEpochNoFaultPlan(benchmark::State& state) {
+  const auto workload = cifar10_workload();
+  smartssd::SystemConfig cfg;
+  util::SimTime last = 0;
+  for (auto _ : state) {
+    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5);
+    last = trace.steady_epoch_time;
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["epoch_s"] = util::to_seconds(last);
+}
+BENCHMARK(BM_EventEpochNoFaultPlan);
+
+void BM_EventEpochDisabledPlan(benchmark::State& state) {
+  const auto workload = cifar10_workload();
+  smartssd::SystemConfig cfg;
+  const fault::FaultPlan disabled;  // no faults: enabled() == false
+  smartssd::PipelineOptions opts;
+  opts.fault_plan = &disabled;
+  util::SimTime last = 0;
+  for (auto _ : state) {
+    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5, opts);
+    last = trace.steady_epoch_time;
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["epoch_s"] = util::to_seconds(last);
+}
+BENCHMARK(BM_EventEpochDisabledPlan);
+
+void BM_EventEpochFlakyP2p(benchmark::State& state) {
+  const auto workload = cifar10_workload();
+  smartssd::SystemConfig cfg;
+  const auto plan = fault::FaultPlan::preset("flaky-p2p");
+  smartssd::PipelineOptions opts;
+  opts.fault_plan = &plan;
+  util::SimTime last = 0;
+  std::uint64_t injected = 0;
+  for (auto _ : state) {
+    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5, opts);
+    last = trace.steady_epoch_time;
+    injected = trace.fault.injected_total();
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["epoch_s"] = util::to_seconds(last);
+  state.counters["injected"] = static_cast<double>(injected);
+}
+BENCHMARK(BM_EventEpochFlakyP2p);
+
+constexpr int kRequestsPerIteration = 4096;
+
+void drive_component(sim::Component& c, sim::Simulator& sim) {
+  for (int i = 0; i < kRequestsPerIteration; ++i) {
+    c.submit(100, 4096, "req");
+  }
+  sim.run();
+}
+
+void BM_ComponentNoHook(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Component c(sim, "gpu");
+  for (auto _ : state) {
+    drive_component(c, sim);
+  }
+  state.SetItemsProcessed(state.iterations() * kRequestsPerIteration);
+}
+BENCHMARK(BM_ComponentNoHook);
+
+void BM_ComponentIdleHook(benchmark::State& state) {
+  // The plan targets p2p; this component is gpu, so every submit/service
+  // pays the hook dispatch and misses the spec lookup — the worst case for
+  // a component the chaos scenario never touches.
+  fault::FaultPlan plan;
+  fault::FaultSpec spec;
+  spec.component = "p2p";
+  spec.rate = 0.5;
+  plan.faults.push_back(spec);
+  fault::Injector injector(plan);
+
+  sim::Simulator sim;
+  sim::Component c(sim, "gpu");
+  c.set_fault_hook(&injector);
+  for (auto _ : state) {
+    drive_component(c, sim);
+  }
+  state.SetItemsProcessed(state.iterations() * kRequestsPerIteration);
+}
+BENCHMARK(BM_ComponentIdleHook);
+
+}  // namespace

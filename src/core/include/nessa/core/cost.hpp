@@ -68,6 +68,12 @@ struct RunResult {
   std::uint64_t interconnect_bytes = 0;
   /// Bytes moved on-board over P2P (NeSSA only).
   std::uint64_t p2p_bytes = 0;
+  /// Degraded-mode accounting under a fault plan (zero otherwise):
+  /// epochs whose scan was re-priced over the host-mediated path, and
+  /// epochs trained on a carried-forward (stale) subset after a missed
+  /// selection deadline.
+  std::uint64_t fault_fallback_epochs = 0;
+  std::uint64_t fault_stale_epochs = 0;
 
   void finalize();
 };

@@ -56,6 +56,18 @@ struct NessaEpochDemand {
   std::size_t batch_size = 128;
   bool weight_feedback = false;      ///< charge the feedback transfer?
   std::uint64_t feedback_bytes = 0;  ///< quantized-weight payload
+
+  // --- degraded-mode repricing (set by the trainers from a
+  //     fault::EpochSchedule; defaults price the healthy system) ---------
+
+  /// P2P path down this epoch: the scan is re-priced over the host-
+  /// mediated path (flash -> host staging -> back down to the FPGA), the
+  /// pool bytes legitimately crossing the interconnect twice.
+  bool scan_via_host = false;
+  /// Flash service-time multiplier (slow/degraded NAND); 1.0 = nominal.
+  double scan_slowdown = 1.0;
+  /// Injected FPGA dead time serialized into this epoch's selection.
+  util::SimTime selection_stall = 0;
 };
 
 /// A serial host-side selection epoch (CRAIG / K-centers / loss-top-k):

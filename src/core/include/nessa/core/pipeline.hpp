@@ -40,6 +40,12 @@ struct PipelineInputs {
   /// closed-form analytic fast path (default) or the event-driven
   /// DeviceGraph probe (see perf_model.hpp).
   PerfModelKind perf_model = PerfModelKind::kAnalytic;
+  /// Fault schedule for the run (disabled by default). The NeSSA trainer
+  /// replays it at epoch granularity (fault::EpochSchedule): P2P outages
+  /// re-price the scan over the host path, degraded NAND slows it, FPGA
+  /// stalls that blow the selection deadline carry the previous subset
+  /// forward as a stale epoch.
+  fault::FaultPlan fault_plan{};
 };
 
 /// Conventional full-dataset training (paper "All Data" / Table 3 "Goal").

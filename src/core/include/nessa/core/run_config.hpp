@@ -28,6 +28,7 @@
 
 #include "nessa/core/config.hpp"
 #include "nessa/core/perf_model.hpp"
+#include "nessa/fault/fault_plan.hpp"
 #include "nessa/selection/drivers.hpp"
 #include "nessa/smartssd/device.hpp"
 #include "nessa/smartssd/pipeline_sim.hpp"
@@ -59,7 +60,14 @@ struct RunConfig {
   /// the discrete-event DeviceGraph probe (see core::PerformanceModel).
   PerfModelKind perf_model = PerfModelKind::kAnalytic;
   /// Routing/credit knobs for the discrete-event pipeline simulation.
+  /// (fault_plan below is wired into pipeline_options.fault_plan by the
+  /// entry points; do not set the raw pointer here.)
   smartssd::PipelineOptions pipeline_options{};
+  /// Fault schedule for the run (see fault/fault_plan.hpp). Disabled by
+  /// default; populate from FaultPlan::preset()/parse() or by hand. Drives
+  /// request-level injection in the pipeline simulation and epoch-level
+  /// degraded-mode pricing in the trainers.
+  fault::FaultPlan fault_plan{};
 
   // --- fluent builder -------------------------------------------------
   RunConfig& with_system(smartssd::SystemConfig value) {
@@ -96,6 +104,10 @@ struct RunConfig {
   }
   RunConfig& with_pipeline_options(smartssd::PipelineOptions value) {
     pipeline_options = value;
+    return *this;
+  }
+  RunConfig& with_fault_plan(fault::FaultPlan value) {
+    fault_plan = std::move(value);
     return *this;
   }
 

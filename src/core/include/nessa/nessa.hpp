@@ -43,6 +43,13 @@
 #include "nessa/sim/link.hpp"
 #include "nessa/sim/memory.hpp"
 
+// fault injection + reliability policies
+#include "nessa/fault/epoch_schedule.hpp"
+#include "nessa/fault/fault_plan.hpp"
+#include "nessa/fault/injector.hpp"
+#include "nessa/fault/report.hpp"
+#include "nessa/fault/retry_policy.hpp"
+
 // the SmartSSD system model
 #include "nessa/smartssd/device.hpp"
 #include "nessa/smartssd/device_graph.hpp"

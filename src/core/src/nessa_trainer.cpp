@@ -13,8 +13,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "nessa/core/near_storage.hpp"
+#include "nessa/fault/epoch_schedule.hpp"
 #include "nessa/core/pipeline.hpp"
 #include "nessa/tensor/ops.hpp"
 #include "nessa/core/train_utils.hpp"
@@ -68,6 +70,17 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
   const smartssd::TrafficStats traffic0 = system.traffic();
   auto perf = make_performance_model(inputs.perf_model);
 
+  // Epoch-granularity fault replay (see fault/epoch_schedule.hpp). The
+  // deadline decision needs a nominal (fault-free) FPGA-phase basis; the
+  // last reselect epoch's demand provides it, so the first selection can
+  // never be skipped as stale.
+  std::optional<fault::EpochSchedule> fault_schedule;
+  if (inputs.fault_plan.enabled() ||
+      inputs.fault_plan.selection_deadline_factor > 0.0) {
+    fault_schedule.emplace(inputs.fault_plan);
+  }
+  util::SimTime nominal_fpga_phase = 0;
+
   selection::DriverConfig driver;
   driver.greedy = config.greedy;
   driver.stochastic_epsilon = config.stochastic_epsilon;
@@ -87,7 +100,16 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
     const std::size_t k = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::round(fraction *
                                                static_cast<double>(n))));
-    const bool reselect = epoch % interval == 0 || coreset.indices.empty();
+    bool reselect = epoch % interval == 0 || coreset.indices.empty();
+    // Degraded mode: an FPGA stall that blows the selection deadline means
+    // this epoch trains on the carried-forward subset instead of waiting.
+    if (fault_schedule && reselect && !coreset.indices.empty() &&
+        nominal_fpga_phase > 0 &&
+        fault_schedule->selection_timeout(epoch, nominal_fpga_phase)) {
+      reselect = false;
+      ++result.fault_stale_epochs;
+      telemetry::count("fault.stale_epochs");
+    }
     if (reselect) {
       // ---- near-storage selection pass (FPGA) -----------------------
       auto span = telemetry::wall_span("nessa-selection-pass", "core");
@@ -152,7 +174,24 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
     demand.batch_size = inputs.train.batch_size;
     demand.weight_feedback = config.weight_feedback;
     demand.feedback_bytes = paper_feedback_bytes;
+    if (fault_schedule && reselect) {
+      if (fault_schedule->p2p_outage(epoch)) {
+        demand.scan_via_host = true;
+        ++result.fault_fallback_epochs;
+        telemetry::count("fault.fallback.host_path");
+      }
+      demand.scan_slowdown = fault_schedule->scan_slowdown(epoch);
+      demand.selection_stall = fault_schedule->selection_stall(epoch);
+    }
     report.cost = perf->nessa_epoch(system, demand);
+    if (reselect) {
+      // Refresh the deadline basis with this epoch's fault-free FPGA
+      // phase (const timing queries — no byte accounting).
+      nominal_fpga_phase =
+          system.flash().batch_read_time(paper_pool, sample_bytes) +
+          system.fpga_forward_time(demand.forward_macs) +
+          system.fpga_selection_time(demand.selection_ops);
+    }
 
     // ---- §3.2.2 subset biasing: drop learned samples -----------------
     if (config.subset_biasing && epoch + 1 < inputs.train.epochs &&

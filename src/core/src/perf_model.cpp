@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "nessa/fault/fault_plan.hpp"
 #include "nessa/smartssd/cpu_model.hpp"
 #include "nessa/smartssd/pipeline_sim.hpp"
 #include "nessa/telemetry/telemetry.hpp"
@@ -54,9 +55,26 @@ class AnalyticPerformanceModel final : public PerformanceModel {
     EpochCost cost;
     cost.selection_overlapped = true;
     if (d.reselect) {
-      cost.storage_scan = system.flash_to_fpga(d.pool_records, d.record_bytes);
+      if (d.scan_via_host) {
+        // Degraded routing: the pool goes up to a host bounce buffer and
+        // back down to the FPGA over the shared interconnect.
+        const std::uint64_t pool_bytes =
+            static_cast<std::uint64_t>(d.pool_records) * d.record_bytes;
+        cost.storage_scan =
+            system.flash_to_host(d.pool_records, d.record_bytes) +
+            system.host_to_fpga(pool_bytes);
+      } else {
+        cost.storage_scan =
+            system.flash_to_fpga(d.pool_records, d.record_bytes);
+      }
+      if (d.scan_slowdown > 1.0) {
+        cost.storage_scan = static_cast<SimTime>(
+            std::llround(static_cast<double>(cost.storage_scan) *
+                         d.scan_slowdown));
+      }
       cost.selection = system.fpga_forward_time(d.forward_macs) +
-                       system.fpga_selection_time(d.selection_ops);
+                       system.fpga_selection_time(d.selection_ops) +
+                       d.selection_stall;
     }
     cost.subset_transfer = system.subset_to_gpu(
         static_cast<std::uint64_t>(d.subset_records) * d.record_bytes);
@@ -210,17 +228,20 @@ class EventPerformanceModel final : public PerformanceModel {
 
  private:
   // Demands repeat across epochs whenever the pool and subset are stable,
-  // so probe results are memoized per demand shape.
+  // so probe results are memoized per demand shape (including the
+  // degraded-mode knobs — a faulted epoch shape probes separately).
   using Key = std::tuple<std::size_t, std::size_t, std::uint64_t,
                          std::uint64_t, std::uint64_t, double, std::size_t,
-                         std::uint64_t>;
+                         std::uint64_t, bool, double, SimTime>;
 
   SimTime steady_epoch_time(const smartssd::SystemConfig& config,
                             const NessaEpochDemand& d) {
     const Key key{d.pool_records,  d.subset_records,
                   d.record_bytes,  d.forward_macs,
                   d.selection_ops, d.train_gflops_per_sample,
-                  d.batch_size,    d.weight_feedback ? d.feedback_bytes : 0};
+                  d.batch_size,    d.weight_feedback ? d.feedback_bytes : 0,
+                  d.scan_via_host, d.scan_slowdown,
+                  d.selection_stall};
     if (const auto it = cache_.find(key); it != cache_.end()) {
       return it->second;
     }
@@ -243,10 +264,28 @@ class EventPerformanceModel final : public PerformanceModel {
     // is muted so it never pollutes the caller's trace.
     constexpr std::size_t kProbeEpochs = 5;
     TelemetryMute mute;
+    smartssd::PipelineOptions opts;
+    // Degraded routing probes over the host-mediated path.
+    opts.p2p_scan = !d.scan_via_host;
+    // Degraded NAND probes with every flash read slowed by the factor
+    // (a rate-1.0 slowdown spec hits every request deterministically).
+    fault::FaultPlan probe_plan;
+    if (d.scan_slowdown > 1.0) {
+      fault::FaultSpec slow;
+      slow.component = "flash_bus";
+      slow.kind = fault::FaultKind::kSlowdown;
+      slow.rate = 1.0;
+      slow.slowdown = d.scan_slowdown;
+      probe_plan.faults.push_back(std::move(slow));
+      opts.fault_plan = &probe_plan;
+    }
     const auto trace =
-        smartssd::simulate_pipeline(config, w, kProbeEpochs);
-    cache_.emplace(key, trace.steady_epoch_time);
-    return trace.steady_epoch_time;
+        smartssd::simulate_pipeline(config, w, kProbeEpochs, opts);
+    // An injected FPGA stall serializes into the selection pass, which the
+    // overlapped schedule places on the epoch's FPGA phase.
+    const SimTime steady = trace.steady_epoch_time + d.selection_stall;
+    cache_.emplace(key, steady);
+    return steady;
   }
 
   AnalyticPerformanceModel analytic_;

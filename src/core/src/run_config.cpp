@@ -118,6 +118,15 @@ std::vector<std::string> RunConfig::validate() const {
   if (pipeline_options.max_inflight == 0) {
     errors.push_back("pipeline_options.max_inflight: must be >= 1");
   }
+  if (pipeline_options.fault_plan != nullptr &&
+      pipeline_options.fault_plan != &fault_plan) {
+    errors.push_back(
+        "pipeline_options.fault_plan: set RunConfig::fault_plan instead of "
+        "the raw pointer (the entry points wire it up)");
+  }
+  for (const auto& err : fault_plan.validate()) {
+    errors.push_back("fault_plan." + err);
+  }
   return errors;
 }
 
@@ -135,9 +144,13 @@ void RunConfig::validate_or_throw() const {
 
 smartssd::PipelineTrace simulate_pipeline(const RunConfig& config) {
   config.validate_or_throw();
+  smartssd::PipelineOptions options = config.pipeline_options;
+  if (config.fault_plan.enabled() ||
+      config.fault_plan.selection_deadline_factor > 0.0) {
+    options.fault_plan = &config.fault_plan;
+  }
   return smartssd::simulate_pipeline(config.system, config.workload,
-                                     config.pipeline_epochs,
-                                     config.pipeline_options);
+                                     config.pipeline_epochs, options);
 }
 
 RunResult run_full(const PipelineInputs& inputs, const RunConfig& config,
@@ -155,6 +168,7 @@ RunResult run_nessa(const PipelineInputs& inputs, const RunConfig& config,
   PipelineInputs staged = inputs;
   staged.train = config.train;
   staged.perf_model = config.perf_model;
+  staged.fault_plan = config.fault_plan;
   NessaConfig nessa = config.nessa;
   nessa.parallelism = config.parallelism;
   return run_nessa(staged, nessa, system);

@@ -1,0 +1,55 @@
+// EpochSchedule: the trainer-granularity view of a FaultPlan.
+//
+// The analytic trainers (NessaTrainer and friends) do not push individual
+// requests through the event engine — they price whole epochs. For them a
+// FaultPlan is replayed per epoch: each spec's `rate` becomes the
+// probability that the fault bites a given epoch, decided by the same
+// stateless (seed, spec index, epoch) hash the Injector uses per request,
+// and the spec's [start_epoch, end_epoch) window is honored.
+//
+// The queries mirror the degraded-mode policies:
+//   p2p_outage(e)        p2p error/reject fault bites → the epoch's scan is
+//                        re-priced over the host-mediated path;
+//   scan_slowdown(e)     combined flash_bus slowdown factor for the epoch;
+//   selection_stall(e)   total FPGA stall time added to the epoch;
+//   selection_timeout(e) the stalled selection also missed the deadline
+//                        (plan.selection_deadline_factor > 0) → the trainer
+//                        carries the previous subset forward (stale epoch).
+#pragma once
+
+#include <cstddef>
+
+#include "nessa/fault/fault_plan.hpp"
+
+namespace nessa::fault {
+
+class EpochSchedule {
+ public:
+  /// The plan must outlive the schedule.
+  explicit EpochSchedule(const FaultPlan& plan) noexcept : plan_(&plan) {}
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
+
+  /// Persistent P2P trouble this epoch (error or reject fault on "p2p").
+  [[nodiscard]] bool p2p_outage(std::size_t epoch) const;
+
+  /// Combined service-time multiplier for the flash scan this epoch
+  /// (product of active flash_bus slowdown factors; 1.0 = nominal).
+  [[nodiscard]] double scan_slowdown(std::size_t epoch) const;
+
+  /// Total stall time added to the FPGA selection phase this epoch.
+  [[nodiscard]] util::SimTime selection_stall(std::size_t epoch) const;
+
+  /// True when a selection deadline is configured and this epoch's stalled
+  /// selection misses it — the trainer should reuse the previous subset.
+  [[nodiscard]] bool selection_timeout(std::size_t epoch,
+                                       util::SimTime nominal_fpga_phase) const;
+
+ private:
+  /// Does spec #index fire in `epoch`? (window + hashed per-epoch draw)
+  [[nodiscard]] bool fires(std::size_t index, std::size_t epoch) const;
+
+  const FaultPlan* plan_;
+};
+
+}  // namespace nessa::fault

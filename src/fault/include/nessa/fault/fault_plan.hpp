@@ -1,0 +1,134 @@
+// FaultPlan: a deterministic, seed-driven schedule of device faults.
+//
+// A plan is a list of FaultSpec entries, each naming one DeviceGraph
+// component (flash_bus, p2p, host_link, gpu_link, host_bridge, fpga, gpu)
+// and one fault kind:
+//
+//   error   the request consumes its service time, then fails (NAND read
+//           error, dropped P2P transfer) — the producer's retry policy
+//           decides what happens next;
+//   slow    the service time is multiplied (slow pages, link bandwidth
+//           degradation);
+//   stall   a fixed dead time is added to the request (FPGA compute stall);
+//   reject  the submission is bounced at post time (host bridge shedding
+//           load), exactly like a full bounded queue.
+//
+// Whether a given request is hit is decided by a stateless splitmix64 hash
+// of (plan seed, spec index, per-spec event counter), so the same plan +
+// seed produces bit-identical fault schedules on every run — chaos
+// scenarios are reproducible experiments, not flaky ones.
+//
+// Two consumers read the plan at different granularities:
+//  - fault::Injector replays it request by request inside the discrete-
+//    event pipeline simulation (sim::FaultHook seam);
+//  - fault::EpochSchedule replays it epoch by epoch for the analytic
+//    trainers, where `rate` is the per-epoch probability that the fault
+//    bites that epoch (the [start_epoch, end_epoch) window applies here).
+//
+// Plans come from presets (flaky-p2p, slow-nand, fpga-stall), from a small
+// line-oriented text format (see from_stream), or are built in code.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::fault {
+
+enum class FaultKind : std::uint8_t {
+  kTransientError,  ///< request fails after consuming its service time
+  kSlowdown,        ///< service time multiplied by `slowdown`
+  kStall,           ///< `stall_time` of dead time added to the request
+  kReject,          ///< submission bounced at post time
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+/// Parses "error" / "slow" (alias "degrade") / "stall" / "reject".
+/// Throws std::invalid_argument otherwise.
+[[nodiscard]] FaultKind fault_kind_from_string(std::string_view token);
+
+/// One fault source on one DeviceGraph component.
+struct FaultSpec {
+  std::string component;  ///< flash_bus | p2p | host_link | gpu_link |
+                          ///< host_bridge | fpga | gpu
+  FaultKind kind = FaultKind::kTransientError;
+  /// Hit probability: per request in the event-driven pipeline, per epoch
+  /// in the trainers. Must be in (0, 1].
+  double rate = 0.0;
+  double slowdown = 1.0;          ///< kSlowdown service-time multiplier (> 1)
+  util::SimTime stall_time = 0;   ///< kStall added dead time (> 0)
+  /// Trainer-granularity active window [start_epoch, end_epoch). The
+  /// request-level Injector treats every spec as always active (requests
+  /// from adjacent epochs interleave in the pipelined schedule).
+  std::size_t start_epoch = 0;
+  std::size_t end_epoch = kNoEpochLimit;
+
+  static constexpr std::size_t kNoEpochLimit = ~std::size_t{0};
+};
+
+/// Bounded-retry knobs applied by DeviceGraph::post_with_retry.
+struct RetryConfig {
+  std::size_t max_attempts = 4;   ///< total attempts, including the first
+  util::SimTime base_backoff = 50 * util::kMicrosecond;
+  double multiplier = 2.0;        ///< exponential backoff growth
+  util::SimTime max_backoff = 10 * util::kMillisecond;
+  double jitter = 0.25;           ///< +- fraction, deterministically hashed
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 42;        ///< drives every fault decision
+  std::vector<FaultSpec> faults;  ///< empty = no faults (plan disabled)
+  RetryConfig retry{};
+  /// Selection deadline as a multiple of the nominal (fault-free) FPGA
+  /// phase. When > 0 and selection for an epoch has not landed by the
+  /// deadline, the pipeline carries the previous epoch's subset forward
+  /// (telemetry-visible staleness) instead of stalling the GPU. 0 disables
+  /// the deadline.
+  double selection_deadline_factor = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !faults.empty(); }
+
+  /// Check every field and return ALL problems found, one human-readable
+  /// message each ("field: why") — same all-errors contract as
+  /// core::RunConfig::validate().
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// One-line description for CLI echo, e.g.
+  /// "seed 42, 1 fault (p2p error @0.35), retry x3".
+  [[nodiscard]] std::string summary() const;
+
+  /// Built-in scenario names: flaky-p2p, slow-nand, fpga-stall.
+  static const std::vector<std::string>& preset_names();
+  [[nodiscard]] static bool is_preset(std::string_view name);
+  /// Throws std::invalid_argument for unknown names.
+  static FaultPlan preset(std::string_view name);
+
+  /// Parse the line-oriented plan format ('#' comments, blank lines ok):
+  ///
+  ///   seed 7
+  ///   retry max_attempts=3 base_backoff_us=50 multiplier=2
+  ///         max_backoff_us=5000 jitter=0.25
+  ///   selection_deadline_factor 1.25
+  ///   fault p2p error rate=0.35
+  ///   fault flash_bus slow rate=0.3 factor=6 start=2 end=8
+  ///   fault fpga stall rate=0.2 stall_us=50000
+  ///
+  /// Throws std::invalid_argument on malformed input (the message names
+  /// the offending line).
+  static FaultPlan from_stream(std::istream& in,
+                               const std::string& origin = "<stream>");
+  /// Throws std::runtime_error when the file cannot be opened.
+  static FaultPlan from_file(const std::string& path);
+  /// Preset name or path to a plan file (presets win on collision).
+  static FaultPlan parse(const std::string& name_or_path);
+};
+
+/// Component names a FaultSpec may target (the DeviceGraph topology).
+[[nodiscard]] const std::vector<std::string>& known_component_names();
+[[nodiscard]] bool is_known_component(std::string_view name);
+
+}  // namespace nessa::fault

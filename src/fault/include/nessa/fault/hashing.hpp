@@ -1,0 +1,35 @@
+// Stateless deterministic hashing shared by the fault subsystem.
+//
+// Every fault decision — does this request fail, how much jitter does this
+// backoff get, does the outage bite this epoch — is a pure function of
+// (plan seed, stream id, event counter) pushed through splitmix64. No
+// generator state is threaded through the pipeline, so decisions are
+// independent of evaluation order and bit-identical across runs, thread
+// counts, and sanitizer builds.
+#pragma once
+
+#include <cstdint>
+
+#include "nessa/util/rng.hpp"
+
+namespace nessa::fault {
+
+/// Mix three words into one well-distributed 64-bit hash.
+[[nodiscard]] constexpr std::uint64_t mix(std::uint64_t seed,
+                                          std::uint64_t stream,
+                                          std::uint64_t counter) noexcept {
+  std::uint64_t state = seed;
+  util::splitmix64(state);
+  state ^= stream * 0x9e3779b97f4a7c15ULL;
+  util::splitmix64(state);
+  state ^= counter * 0xd1b54a32d192ed03ULL;
+  return util::splitmix64(state);
+}
+
+/// Uniform double in [0, 1) derived from mix().
+[[nodiscard]] constexpr double u01(std::uint64_t seed, std::uint64_t stream,
+                                   std::uint64_t counter) noexcept {
+  return static_cast<double>(mix(seed, stream, counter) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace nessa::fault

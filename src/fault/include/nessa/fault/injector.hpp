@@ -1,0 +1,79 @@
+// Injector: replays a FaultPlan against live sim::Component traffic.
+//
+// One Injector is installed (via Component::set_fault_hook) on every
+// component of a DeviceGraph. At each submit / service-start event it looks
+// up the specs targeting that component and decides — by stateless hash of
+// (plan seed, spec index, per-spec event counter) — whether the fault
+// bites. Decisions are therefore bit-identical across runs for the same
+// plan, independent of wall time or host RNG state.
+//
+// Effects map onto the sim::FaultDecision vocabulary:
+//   error  → Outcome::kFail (request consumes service time, then fails)
+//   slow   → service_delta = service * (factor - 1)
+//   stall  → service_delta = stall_time
+//   reject → Outcome::kReject at submit
+//
+// Every injected event is tallied in InjectorStats, counted on
+// fault.injected.<kind> telemetry counters, and (for service-side faults)
+// visible in the trace as the lengthened/failed component span.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "nessa/fault/fault_plan.hpp"
+#include "nessa/sim/component.hpp"
+
+namespace nessa::fault {
+
+struct InjectorStats {
+  std::uint64_t failures = 0;    ///< requests marked kFail
+  std::uint64_t slowdowns = 0;   ///< requests served with multiplied service
+  std::uint64_t stalls = 0;      ///< requests hit by a fixed stall
+  std::uint64_t rejections = 0;  ///< submissions bounced
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return failures + slowdowns + stalls + rejections;
+  }
+};
+
+class Injector final : public sim::FaultHook {
+ public:
+  /// The plan must outlive the Injector. The plan is compiled into a
+  /// per-component spec index once, so per-event dispatch is a hash lookup.
+  explicit Injector(const FaultPlan& plan);
+
+  sim::FaultDecision on_submit(const sim::Component& component,
+                               sim::SimTime service,
+                               std::uint64_t bytes) override;
+  sim::FaultDecision on_service(const sim::Component& component,
+                                sim::SimTime service,
+                                std::uint64_t bytes) override;
+
+  [[nodiscard]] const InjectorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
+
+  /// True when at least one spec targets `component` — lets callers skip
+  /// installing the hook on components the plan never touches.
+  [[nodiscard]] bool targets(std::string_view component) const;
+
+ private:
+  struct CompiledSpec {
+    const FaultSpec* spec;
+    std::uint64_t index;    ///< position in plan.faults = hash stream id
+    std::uint64_t counter;  ///< events seen by this spec so far
+  };
+
+  /// True when spec #index fires for its next event (advances the counter).
+  bool roll(CompiledSpec& compiled);
+
+  const FaultPlan* plan_;
+  /// component name → specs targeting it (submit-side and service-side
+  /// kept together; kind discriminates at the call site).
+  std::unordered_map<std::string, std::vector<CompiledSpec>> by_component_;
+  InjectorStats stats_;
+};
+
+}  // namespace nessa::fault

@@ -1,0 +1,37 @@
+// FaultReport: what actually happened during a faulted run.
+//
+// Filled in by the pipeline simulation (and mirrored into telemetry as
+// fault.* counters); carried on PipelineTrace so tests and tools can assert
+// on degraded-mode behavior without a telemetry session.
+#pragma once
+
+#include <cstdint>
+
+namespace nessa::fault {
+
+struct FaultReport {
+  // Injection-side tallies (from fault::Injector).
+  std::uint64_t injected_failures = 0;   ///< requests failed (error faults)
+  std::uint64_t injected_slowdowns = 0;  ///< requests served slow
+  std::uint64_t injected_stalls = 0;     ///< requests hit by a stall
+  std::uint64_t injected_rejections = 0; ///< submissions bounced
+
+  // Policy-side tallies (from retries and degradation decisions).
+  std::uint64_t retries = 0;         ///< re-submissions after a failure
+  std::uint64_t giveups = 0;         ///< requests dead after the retry budget
+  std::uint64_t dropped_batches = 0; ///< batches abandoned after give-up
+  std::uint64_t stale_epochs = 0;    ///< epochs trained on a carried subset
+  bool host_fallback = false;        ///< P2P path abandoned for host path
+  std::uint64_t host_fallback_epoch = 0;  ///< epoch the fallback fired in
+
+  [[nodiscard]] std::uint64_t injected_total() const noexcept {
+    return injected_failures + injected_slowdowns + injected_stalls +
+           injected_rejections;
+  }
+  [[nodiscard]] bool any() const noexcept {
+    return injected_total() != 0 || retries != 0 || giveups != 0 ||
+           dropped_batches != 0 || stale_epochs != 0 || host_fallback;
+  }
+};
+
+}  // namespace nessa::fault

@@ -1,0 +1,61 @@
+// RetryPolicy: bounded retries with deterministic exponential backoff.
+//
+// Applied by DeviceGraph::post_with_retry when an installed fault plan
+// fails a request: the request is re-posted after
+//
+//   backoff(attempt) = clamp(base * multiplier^(attempt-1), max) * jitter
+//
+// where jitter is a deterministic factor in [1 - j, 1 + j) hashed from
+// (plan seed, request id, attempt) — no RNG state, so retry timing is
+// bit-identical across runs. Once `max_attempts` total attempts are spent
+// the policy gives up and the caller's failure continuation decides what
+// degrades (drop the batch, fall back to the host path, ...).
+//
+// Telemetry: every retry bumps fault.retries and records the backoff in
+// the fault.backoff_us histogram; every exhausted budget bumps
+// fault.giveups.
+#pragma once
+
+#include <cstdint>
+
+#include "nessa/fault/fault_plan.hpp"
+
+namespace nessa::fault {
+
+struct RetryStats {
+  std::uint64_t retries = 0;  ///< re-submissions scheduled
+  std::uint64_t giveups = 0;  ///< budgets exhausted
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryConfig& config,
+                       std::uint64_t seed = 42) noexcept
+      : config_(config), seed_(seed) {}
+
+  [[nodiscard]] const RetryConfig& config() const noexcept { return config_; }
+
+  /// True when `attempts` completed attempts have exhausted the budget.
+  [[nodiscard]] bool exhausted(std::size_t attempts) const noexcept {
+    return attempts >= config_.max_attempts;
+  }
+
+  /// Backoff before attempt `attempt + 1`, given `attempt` failures so far
+  /// (attempt >= 1). `request_id` individualizes the jitter stream so
+  /// concurrent retries do not thundering-herd onto the same instant.
+  [[nodiscard]] util::SimTime backoff(std::size_t attempt,
+                                      std::uint64_t request_id) const noexcept;
+
+  /// Account a scheduled retry / an exhausted budget (stats + telemetry).
+  void note_retry(util::SimTime backoff_time);
+  void note_giveup();
+
+  [[nodiscard]] const RetryStats& stats() const noexcept { return stats_; }
+
+ private:
+  RetryConfig config_;
+  std::uint64_t seed_;
+  RetryStats stats_;
+};
+
+}  // namespace nessa::fault

@@ -1,0 +1,68 @@
+#include "nessa/fault/epoch_schedule.hpp"
+
+#include "nessa/fault/hashing.hpp"
+
+namespace nessa::fault {
+namespace {
+
+/// Distinct stream offset so epoch draws never collide with the Injector's
+/// per-request draws for the same spec index.
+constexpr std::uint64_t kEpochStreamSalt = 0x45504f4348ULL;  // "EPOCH"
+
+}  // namespace
+
+bool EpochSchedule::fires(std::size_t index, std::size_t epoch) const {
+  const FaultSpec& spec = plan_->faults[index];
+  if (epoch < spec.start_epoch || epoch >= spec.end_epoch) return false;
+  const double draw = u01(plan_->seed, kEpochStreamSalt + index,
+                          static_cast<std::uint64_t>(epoch));
+  return draw < spec.rate;
+}
+
+bool EpochSchedule::p2p_outage(std::size_t epoch) const {
+  for (std::size_t i = 0; i < plan_->faults.size(); ++i) {
+    const FaultSpec& spec = plan_->faults[i];
+    if (spec.component != "p2p") continue;
+    if (spec.kind != FaultKind::kTransientError &&
+        spec.kind != FaultKind::kReject) {
+      continue;
+    }
+    if (fires(i, epoch)) return true;
+  }
+  return false;
+}
+
+double EpochSchedule::scan_slowdown(std::size_t epoch) const {
+  double factor = 1.0;
+  for (std::size_t i = 0; i < plan_->faults.size(); ++i) {
+    const FaultSpec& spec = plan_->faults[i];
+    if (spec.component != "flash_bus" || spec.kind != FaultKind::kSlowdown) {
+      continue;
+    }
+    if (fires(i, epoch)) factor *= spec.slowdown;
+  }
+  return factor;
+}
+
+util::SimTime EpochSchedule::selection_stall(std::size_t epoch) const {
+  util::SimTime stall = 0;
+  for (std::size_t i = 0; i < plan_->faults.size(); ++i) {
+    const FaultSpec& spec = plan_->faults[i];
+    if (spec.component != "fpga" || spec.kind != FaultKind::kStall) continue;
+    if (fires(i, epoch)) stall += spec.stall_time;
+  }
+  return stall;
+}
+
+bool EpochSchedule::selection_timeout(
+    std::size_t epoch, util::SimTime nominal_fpga_phase) const {
+  if (plan_->selection_deadline_factor <= 0.0) return false;
+  const util::SimTime stall = selection_stall(epoch);
+  if (stall == 0) return false;
+  const auto deadline = static_cast<util::SimTime>(
+      static_cast<double>(nominal_fpga_phase) *
+      plan_->selection_deadline_factor);
+  return nominal_fpga_phase + stall > deadline;
+}
+
+}  // namespace nessa::fault

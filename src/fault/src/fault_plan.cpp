@@ -1,0 +1,348 @@
+#include "nessa/fault/fault_plan.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nessa::fault {
+namespace {
+
+[[nodiscard]] std::string quoted(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('\'');
+  out.append(s);
+  out.push_back('\'');
+  return out;
+}
+
+[[nodiscard]] std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+/// "key=value" → {key, value}; throws when there is no '='.
+std::pair<std::string, std::string> split_kv(const std::string& token,
+                                             const std::string& where) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument(where + ": expected key=value, got " +
+                                quoted(token));
+  }
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+double parse_double(const std::string& value, const std::string& where) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument("trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(where + ": not a number: " + quoted(value));
+  }
+}
+
+std::uint64_t parse_u64(const std::string& value, const std::string& where) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long parsed = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument("trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(where + ": not a non-negative integer: " +
+                                quoted(value));
+  }
+}
+
+util::SimTime us_to_sim(double us) {
+  return static_cast<util::SimTime>(
+      std::llround(us * static_cast<double>(util::kMicrosecond)));
+}
+
+FaultSpec parse_fault_line(std::istringstream& fields,
+                           const std::string& where) {
+  FaultSpec spec;
+  if (!(fields >> spec.component)) {
+    throw std::invalid_argument(where + ": fault line missing component name");
+  }
+  std::string kind;
+  if (!(fields >> kind)) {
+    throw std::invalid_argument(where + ": fault line missing fault kind");
+  }
+  spec.kind = fault_kind_from_string(kind);
+  std::string token;
+  while (fields >> token) {
+    const auto [key, value] = split_kv(token, where);
+    if (key == "rate") {
+      spec.rate = parse_double(value, where + " rate");
+    } else if (key == "factor") {
+      spec.slowdown = parse_double(value, where + " factor");
+    } else if (key == "stall_us") {
+      spec.stall_time = us_to_sim(parse_double(value, where + " stall_us"));
+    } else if (key == "start") {
+      spec.start_epoch =
+          static_cast<std::size_t>(parse_u64(value, where + " start"));
+    } else if (key == "end") {
+      spec.end_epoch =
+          static_cast<std::size_t>(parse_u64(value, where + " end"));
+    } else {
+      throw std::invalid_argument(where + ": unknown fault option " +
+                                  quoted(key));
+    }
+  }
+  return spec;
+}
+
+void parse_retry_line(std::istringstream& fields, RetryConfig& retry,
+                      const std::string& where) {
+  std::string token;
+  while (fields >> token) {
+    const auto [key, value] = split_kv(token, where);
+    if (key == "max_attempts") {
+      retry.max_attempts =
+          static_cast<std::size_t>(parse_u64(value, where + " max_attempts"));
+    } else if (key == "base_backoff_us") {
+      retry.base_backoff =
+          us_to_sim(parse_double(value, where + " base_backoff_us"));
+    } else if (key == "multiplier") {
+      retry.multiplier = parse_double(value, where + " multiplier");
+    } else if (key == "max_backoff_us") {
+      retry.max_backoff =
+          us_to_sim(parse_double(value, where + " max_backoff_us"));
+    } else if (key == "jitter") {
+      retry.jitter = parse_double(value, where + " jitter");
+    } else {
+      throw std::invalid_argument(where + ": unknown retry option " +
+                                  quoted(key));
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kTransientError:
+      return "error";
+    case FaultKind::kSlowdown:
+      return "slow";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kReject:
+      return "reject";
+  }
+  return "?";
+}
+
+FaultKind fault_kind_from_string(std::string_view token) {
+  if (token == "error") return FaultKind::kTransientError;
+  if (token == "slow" || token == "degrade") return FaultKind::kSlowdown;
+  if (token == "stall") return FaultKind::kStall;
+  if (token == "reject") return FaultKind::kReject;
+  throw std::invalid_argument(
+      "fault kind must be error|slow|stall|reject, got " +
+      quoted(std::string(token)));
+}
+
+const std::vector<std::string>& known_component_names() {
+  static const std::vector<std::string> kNames = {
+      "flash_bus", "p2p", "host_link", "gpu_link", "host_bridge", "fpga",
+      "gpu"};
+  return kNames;
+}
+
+bool is_known_component(std::string_view name) {
+  for (const auto& known : known_component_names()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> FaultPlan::validate() const {
+  std::vector<std::string> errors;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultSpec& spec = faults[i];
+    const std::string field = "faults[" + std::to_string(i) + "]";
+    if (!is_known_component(spec.component)) {
+      errors.push_back(field + ".component: unknown component " +
+                       quoted(spec.component) + " (expected one of " +
+                       join_names(known_component_names()) + ")");
+    }
+    if (!(spec.rate > 0.0) || spec.rate > 1.0 || !std::isfinite(spec.rate)) {
+      errors.push_back(field + ".rate: must be in (0, 1], got " +
+                       std::to_string(spec.rate));
+    }
+    if (spec.kind == FaultKind::kSlowdown &&
+        (!(spec.slowdown > 1.0) || !std::isfinite(spec.slowdown))) {
+      errors.push_back(field + ".slowdown: slow fault needs factor > 1, got " +
+                       std::to_string(spec.slowdown));
+    }
+    if (spec.kind == FaultKind::kStall && spec.stall_time <= 0) {
+      errors.push_back(field + ".stall_time: stall fault needs stall_us > 0");
+    }
+    if (spec.end_epoch <= spec.start_epoch) {
+      errors.push_back(field + ".end_epoch: empty window [" +
+                       std::to_string(spec.start_epoch) + ", " +
+                       std::to_string(spec.end_epoch) + ")");
+    }
+  }
+  if (retry.max_attempts == 0) {
+    errors.emplace_back(
+        "retry.max_attempts: must be >= 1 (the first attempt counts)");
+  }
+  if (retry.base_backoff < 0) {
+    errors.emplace_back("retry.base_backoff: must be >= 0");
+  }
+  if (retry.max_backoff < retry.base_backoff) {
+    errors.emplace_back("retry.max_backoff: must be >= retry.base_backoff");
+  }
+  if (!(retry.multiplier >= 1.0) || !std::isfinite(retry.multiplier)) {
+    errors.emplace_back("retry.multiplier: must be >= 1, got " +
+                        std::to_string(retry.multiplier));
+  }
+  if (retry.jitter < 0.0 || retry.jitter >= 1.0 ||
+      !std::isfinite(retry.jitter)) {
+    errors.emplace_back("retry.jitter: must be in [0, 1), got " +
+                        std::to_string(retry.jitter));
+  }
+  if (selection_deadline_factor < 0.0 ||
+      !std::isfinite(selection_deadline_factor)) {
+    errors.emplace_back(
+        "selection_deadline_factor: must be >= 0 (0 disables), got " +
+        std::to_string(selection_deadline_factor));
+  }
+  return errors;
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream out;
+  out << "seed " << seed << ", ";
+  if (faults.empty()) {
+    out << "no faults";
+  } else {
+    out << faults.size() << (faults.size() == 1 ? " fault (" : " faults (");
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (i != 0) out << "; ";
+      out << faults[i].component << ' ' << to_string(faults[i].kind) << " @"
+          << faults[i].rate;
+    }
+    out << ")";
+  }
+  out << ", retry x" << retry.max_attempts;
+  if (selection_deadline_factor > 0.0) {
+    out << ", selection deadline x" << selection_deadline_factor;
+  }
+  return out.str();
+}
+
+const std::vector<std::string>& FaultPlan::preset_names() {
+  static const std::vector<std::string> kNames = {"flaky-p2p", "slow-nand",
+                                                  "fpga-stall"};
+  return kNames;
+}
+
+bool FaultPlan::is_preset(std::string_view name) {
+  for (const auto& known : preset_names()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+FaultPlan FaultPlan::preset(std::string_view name) {
+  FaultPlan plan;
+  if (name == "flaky-p2p") {
+    // Transient P2P drops frequent enough that some batch exhausts its
+    // retry budget within the first epochs, triggering the host-path
+    // fallback policy.
+    plan.faults.push_back(
+        {"p2p", FaultKind::kTransientError, 0.35, 1.0, 0, 0,
+         FaultSpec::kNoEpochLimit});
+    plan.retry.max_attempts = 3;
+    return plan;
+  }
+  if (name == "slow-nand") {
+    // Degraded flash: a third of reads land on slow pages (6x service
+    // time), a few fail outright and get retried.
+    plan.faults.push_back(
+        {"flash_bus", FaultKind::kSlowdown, 0.30, 6.0, 0, 0,
+         FaultSpec::kNoEpochLimit});
+    plan.faults.push_back(
+        {"flash_bus", FaultKind::kTransientError, 0.05, 1.0, 0, 0,
+         FaultSpec::kNoEpochLimit});
+    return plan;
+  }
+  if (name == "fpga-stall") {
+    // Compute stalls on the selection engine plus a selection deadline:
+    // epochs whose selection misses the deadline train on the previous
+    // subset instead of stalling the GPU.
+    plan.faults.push_back(
+        {"fpga", FaultKind::kStall, 0.20, 1.0, 50 * util::kMillisecond, 0,
+         FaultSpec::kNoEpochLimit});
+    plan.selection_deadline_factor = 1.25;
+    return plan;
+  }
+  throw std::invalid_argument("unknown fault preset " +
+                              quoted(std::string(name)) + " (known: " +
+                              join_names(preset_names()) + ")");
+}
+
+FaultPlan FaultPlan::from_stream(std::istream& in, const std::string& origin) {
+  FaultPlan plan;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank / comment-only line
+    const std::string where = origin + ":" + std::to_string(line_no);
+    if (directive == "seed") {
+      std::string value;
+      if (!(fields >> value)) {
+        throw std::invalid_argument(where + ": seed needs a value");
+      }
+      plan.seed = parse_u64(value, where + " seed");
+    } else if (directive == "selection_deadline_factor") {
+      std::string value;
+      if (!(fields >> value)) {
+        throw std::invalid_argument(
+            where + ": selection_deadline_factor needs a value");
+      }
+      plan.selection_deadline_factor =
+          parse_double(value, where + " selection_deadline_factor");
+    } else if (directive == "retry") {
+      parse_retry_line(fields, plan.retry, where);
+    } else if (directive == "fault") {
+      plan.faults.push_back(parse_fault_line(fields, where));
+    } else {
+      throw std::invalid_argument(where + ": unknown directive " +
+                                  quoted(directive) +
+                                  " (expected seed, retry, "
+                                  "selection_deadline_factor, or fault)");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("FaultPlan: cannot open " + quoted(path));
+  }
+  return from_stream(in, path);
+}
+
+FaultPlan FaultPlan::parse(const std::string& name_or_path) {
+  if (is_preset(name_or_path)) return preset(name_or_path);
+  return from_file(name_or_path);
+}
+
+}  // namespace nessa::fault

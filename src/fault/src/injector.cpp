@@ -1,0 +1,92 @@
+#include "nessa/fault/injector.hpp"
+
+#include <cmath>
+
+#include "nessa/fault/hashing.hpp"
+#include "nessa/telemetry/telemetry.hpp"
+
+namespace nessa::fault {
+namespace {
+
+constexpr const char* kFailureCounter = "fault.injected.failures";
+constexpr const char* kSlowdownCounter = "fault.injected.slowdowns";
+constexpr const char* kStallCounter = "fault.injected.stalls";
+constexpr const char* kRejectCounter = "fault.injected.rejections";
+
+}  // namespace
+
+Injector::Injector(const FaultPlan& plan) : plan_(&plan) {
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    by_component_[plan.faults[i].component].push_back(
+        CompiledSpec{&plan.faults[i], static_cast<std::uint64_t>(i), 0});
+  }
+}
+
+bool Injector::targets(std::string_view component) const {
+  return by_component_.find(std::string(component)) != by_component_.end();
+}
+
+bool Injector::roll(CompiledSpec& compiled) {
+  const double draw = u01(plan_->seed, compiled.index, compiled.counter);
+  ++compiled.counter;
+  return draw < compiled.spec->rate;
+}
+
+sim::FaultDecision Injector::on_submit(const sim::Component& component,
+                                       sim::SimTime /*service*/,
+                                       std::uint64_t /*bytes*/) {
+  sim::FaultDecision decision;
+  auto it = by_component_.find(component.name());
+  if (it == by_component_.end()) return decision;
+  for (CompiledSpec& compiled : it->second) {
+    if (compiled.spec->kind != FaultKind::kReject) continue;
+    if (!roll(compiled)) continue;
+    ++stats_.rejections;
+    telemetry::count(kRejectCounter);
+    decision.outcome = sim::FaultDecision::Outcome::kReject;
+    // First hit wins; later specs do not see this submission (their
+    // counters only advance for submissions that reach them).
+    break;
+  }
+  return decision;
+}
+
+sim::FaultDecision Injector::on_service(const sim::Component& component,
+                                        sim::SimTime service,
+                                        std::uint64_t /*bytes*/) {
+  sim::FaultDecision decision;
+  auto it = by_component_.find(component.name());
+  if (it == by_component_.end()) return decision;
+  for (CompiledSpec& compiled : it->second) {
+    const FaultSpec& spec = *compiled.spec;
+    switch (spec.kind) {
+      case FaultKind::kReject:
+        continue;  // submit-side only
+      case FaultKind::kTransientError:
+        if (roll(compiled)) {
+          ++stats_.failures;
+          telemetry::count(kFailureCounter);
+          decision.outcome = sim::FaultDecision::Outcome::kFail;
+        }
+        break;
+      case FaultKind::kSlowdown:
+        if (roll(compiled)) {
+          ++stats_.slowdowns;
+          telemetry::count(kSlowdownCounter);
+          decision.service_delta += static_cast<sim::SimTime>(std::llround(
+              static_cast<double>(service) * (spec.slowdown - 1.0)));
+        }
+        break;
+      case FaultKind::kStall:
+        if (roll(compiled)) {
+          ++stats_.stalls;
+          telemetry::count(kStallCounter);
+          decision.service_delta += spec.stall_time;
+        }
+        break;
+    }
+  }
+  return decision;
+}
+
+}  // namespace nessa::fault

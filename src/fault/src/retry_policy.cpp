@@ -1,0 +1,42 @@
+#include "nessa/fault/retry_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nessa/fault/hashing.hpp"
+#include "nessa/telemetry/telemetry.hpp"
+
+namespace nessa::fault {
+
+util::SimTime RetryPolicy::backoff(std::size_t attempt,
+                                   std::uint64_t request_id) const noexcept {
+  if (attempt == 0) attempt = 1;
+  double delay = static_cast<double>(config_.base_backoff) *
+                 std::pow(config_.multiplier,
+                          static_cast<double>(attempt - 1));
+  delay = std::min(delay, static_cast<double>(config_.max_backoff));
+  if (config_.jitter > 0.0) {
+    // Deterministic jitter factor in [1 - j, 1 + j).
+    const double draw =
+        u01(seed_, request_id, static_cast<std::uint64_t>(attempt));
+    delay *= 1.0 + config_.jitter * (2.0 * draw - 1.0);
+  }
+  return std::max<util::SimTime>(
+      0, static_cast<util::SimTime>(std::llround(delay)));
+}
+
+void RetryPolicy::note_retry(util::SimTime backoff_time) {
+  ++stats_.retries;
+  telemetry::count("fault.retries");
+  if (auto* h = telemetry::histogram_ptr("fault.backoff_us")) {
+    h->record(static_cast<double>(backoff_time) /
+              static_cast<double>(util::kMicrosecond));
+  }
+}
+
+void RetryPolicy::note_giveup() {
+  ++stats_.giveups;
+  telemetry::count("fault.giveups");
+}
+
+}  // namespace nessa::fault

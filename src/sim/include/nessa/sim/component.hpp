@@ -20,6 +20,11 @@
 // driven through a DeviceGraph traces itself with no per-call-site
 // instrumentation.
 //
+// Faults: a FaultHook (see below) can be installed to intercept submissions
+// and service starts — the seam src/fault's Injector uses to make NAND read
+// errors, slow pages, link drops and compute stalls emergent in the event
+// engine. With no hook installed the interception costs one pointer test.
+//
 // Lifetime: completion callbacks capture `this`; a Component must outlive
 // any Simulator run that still has its events pending.
 #pragma once
@@ -32,9 +37,47 @@
 
 namespace nessa::sim {
 
+class Component;
+
+/// Verdict a FaultHook returns for one request event.
+struct FaultDecision {
+  enum class Outcome : std::uint8_t {
+    kProceed,  ///< serve normally (service_delta may still perturb timing)
+    kFail,     ///< consume the service time, then complete unsuccessfully
+    kReject,   ///< bounce the submission like a full bounded queue
+  };
+  Outcome outcome = Outcome::kProceed;
+  /// Added to the request's service time (slow pages, stalls, degraded
+  /// bandwidth). Ignored for kReject; negative values are clamped to 0.
+  SimTime service_delta = 0;
+};
+
+/// Narrow interception seam for fault injection (implemented by
+/// fault::Injector in src/fault). A hook installed on a component sees
+/// every submission and every service start and may perturb, fail, or
+/// bounce the request — faults become emergent in the event engine exactly
+/// like contention does. With no hook installed the cost is one pointer
+/// test per submit/service, so the seam is free for fault-less runs.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  /// Consulted at submit() before the request is queued. kReject bounces
+  /// the submission (counted in stats().rejected, submit returns false);
+  /// service_delta is ignored here.
+  virtual FaultDecision on_submit(const Component& component, SimTime service,
+                                  std::uint64_t bytes) = 0;
+  /// Consulted when a request enters service. kFail completes the request
+  /// unsuccessfully after service + service_delta (the failure callback
+  /// runs instead of the completion callback); kProceed with a positive
+  /// delta models slow pages, compute stalls and link degradation.
+  virtual FaultDecision on_service(const Component& component, SimTime service,
+                                   std::uint64_t bytes) = 0;
+};
+
 struct ComponentStats {
   std::uint64_t completed = 0;      ///< requests fully served
   std::uint64_t rejected = 0;       ///< submissions bounced by backpressure
+  std::uint64_t failed = 0;         ///< requests failed by an injected fault
   std::uint64_t bytes = 0;          ///< payload bytes of completed requests
   SimTime busy_time = 0;            ///< total in-service time
   SimTime queue_wait = 0;           ///< total time spent queued before service
@@ -88,14 +131,33 @@ class Component {
   bool submit(SimTime service_time, std::uint64_t bytes, const char* phase,
               Callback done = {});
 
+  /// As above, with a failure continuation: when an installed FaultHook
+  /// fails the request, `fail` runs at completion instead of `done` (and
+  /// the bytes are not accounted — the transfer did not happen). Without a
+  /// hook `fail` never runs; if `fail` is empty, a failed request falls
+  /// back to invoking `done` so legacy producers cannot deadlock.
+  bool submit(SimTime service_time, std::uint64_t bytes, const char* phase,
+              Callback done, Callback fail);
+
   /// Run `fn` as soon as a submission would be accepted: immediately if a
-  /// slot is free now, otherwise when one frees up (FIFO among waiters; one
-  /// waiter is released per freed slot).
+  /// slot is free now, otherwise when one frees up. Waiters are FIFO; a
+  /// freed slot releases waiters in order until one takes it (so a waiter
+  /// that declines to submit cannot strand the waiters behind it).
   void when_accepting(Callback fn);
+
+  /// Install (or clear, with nullptr) the fault-injection hook. The hook
+  /// must outlive every request submitted while it is installed.
+  void set_fault_hook(FaultHook* hook);
+  [[nodiscard]] FaultHook* fault_hook() const noexcept { return hook_; }
 
   void reset_stats() noexcept { stats_ = {}; }
 
  private:
+  // Request stays lean — it is the unit the hot submit/serve/complete loop
+  // copies through the queue. Everything fault-related lives out-of-band:
+  // failure continuations in `fails_` (parallel to `queue_`, maintained
+  // only while a hook is installed) and the in-service request's injected
+  // verdict in two members (only one request is ever in service).
   struct Request {
     SimTime service;
     std::uint64_t bytes;
@@ -104,19 +166,43 @@ class Component {
     SimTime enqueued_at;
   };
 
+  bool admit(SimTime service_time, std::uint64_t bytes);
   void begin_service();
   void complete();
+  // Hook-engaged paths, outlined and cold so the fault-less fast path
+  // stays small (one predicted branch per step, no deque machinery for
+  // fails_ inlined into submit/complete).
+  __attribute__((cold, noinline)) bool admit_faulted(SimTime service_time,
+                                                     std::uint64_t bytes,
+                                                     Callback fail);
+  __attribute__((cold, noinline)) SimTime service_faulted(const Request& req);
+  __attribute__((cold, noinline)) void complete_faulted(Request req);
 
+  // Hot members first (read/written on every request); the fault-only
+  // state lives at the tail so the fault-less fast path touches the same
+  // cache lines it did before the seam existed, plus one flag byte.
   Simulator& sim_;
   std::string name_;
   std::size_t capacity_;
   std::deque<Request> queue_;  ///< front is in service when busy()
   bool in_service_ = false;
+  /// Raised only when a request enters service with a hook installed and
+  /// consumed (reset) by its completion — the fault-less fast path never
+  /// writes it, its whole cost is one predicted branch per completion.
+  bool in_service_faulted_ = false;
   SimTime service_start_ = 0;
   std::deque<Callback> waiters_;
+  FaultHook* hook_ = nullptr;
   ComponentStats stats_;
   std::string bytes_counter_;
   std::string requests_counter_;
+  // --- cold fault-injection state ---
+  /// Failure continuations, index-parallel to queue_ while hook_ is set
+  /// (empty otherwise — without a hook `fail` can never run).
+  std::deque<Callback> fails_;
+  bool in_service_failed_ = false;  ///< marked kFail by the hook
+  SimTime injected_delta_ = 0;      ///< service-time delta the hook added
+  std::string failed_counter_;
 };
 
 }  // namespace nessa::sim

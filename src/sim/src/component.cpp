@@ -13,14 +13,14 @@ Component::Component(Simulator& sim, std::string name,
       name_(std::move(name)),
       capacity_(queue_capacity),
       bytes_counter_("sim." + name_ + ".bytes"),
-      requests_counter_("sim." + name_ + ".requests") {
+      requests_counter_("sim." + name_ + ".requests"),
+      failed_counter_("sim." + name_ + ".failed") {
   if (name_.empty()) {
     throw std::invalid_argument("Component: name must not be empty");
   }
 }
 
-bool Component::submit(SimTime service_time, std::uint64_t bytes,
-                       const char* phase, Callback done) {
+bool Component::admit(SimTime service_time, std::uint64_t bytes) {
   if (service_time < 0) {
     throw std::invalid_argument("Component::submit: negative service time");
   }
@@ -28,8 +28,49 @@ bool Component::submit(SimTime service_time, std::uint64_t bytes,
     ++stats_.rejected;
     return false;
   }
-  queue_.push_back(Request{service_time, bytes, phase, std::move(done),
-                           sim_.now()});
+  if (hook_ != nullptr) [[unlikely]] {
+    // admit_faulted only stashes the (empty) fails_ slot for this overload.
+    return admit_faulted(service_time, bytes, {});
+  }
+  return true;
+}
+
+bool Component::admit_faulted(SimTime service_time, std::uint64_t bytes,
+                              Callback fail) {
+  if (hook_->on_submit(*this, service_time, bytes).outcome ==
+      FaultDecision::Outcome::kReject) {
+    ++stats_.rejected;
+    return false;
+  }
+  // The failure continuation is only stashed while a hook is installed —
+  // without one `fail` can never run, so the hot no-fault path keeps a
+  // single callback per request. fails_ stays index-parallel with queue_.
+  fails_.push_back(std::move(fail));
+  return true;
+}
+
+bool Component::submit(SimTime service_time, std::uint64_t bytes,
+                       const char* phase, Callback done) {
+  if (!admit(service_time, bytes)) return false;
+  queue_.emplace_back(service_time, bytes, phase, std::move(done), sim_.now());
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+  if (!in_service_) begin_service();
+  return true;
+}
+
+bool Component::submit(SimTime service_time, std::uint64_t bytes,
+                       const char* phase, Callback done, Callback fail) {
+  if (service_time < 0) {
+    throw std::invalid_argument("Component::submit: negative service time");
+  }
+  if (!accepting()) {
+    ++stats_.rejected;
+    return false;
+  }
+  if (hook_ != nullptr) [[unlikely]] {
+    if (!admit_faulted(service_time, bytes, std::move(fail))) return false;
+  }
+  queue_.emplace_back(service_time, bytes, phase, std::move(done), sim_.now());
   stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
   if (!in_service_) begin_service();
   return true;
@@ -46,35 +87,117 @@ void Component::when_accepting(Callback fn) {
   waiters_.push_back(std::move(fn));
 }
 
+void Component::set_fault_hook(FaultHook* hook) {
+  hook_ = hook;
+  if (hook == nullptr) {
+    // Dropping the hook forfeits the stashed failure continuations (they
+    // can no longer run); an in-flight injected verdict stays valid and is
+    // consumed by the pending completion.
+    fails_.clear();
+    return;
+  }
+  if (fails_.size() < queue_.size()) {
+    // Requests queued before the hook was installed carry no failure
+    // continuation; pad so fails_ stays index-parallel with queue_. The
+    // request already in service now owns a padded slot too, so its
+    // completion must consume it — mark it faulted with a clean verdict.
+    fails_.resize(queue_.size());
+    if (in_service_ && !in_service_faulted_) {
+      in_service_faulted_ = true;
+      in_service_failed_ = false;
+      injected_delta_ = 0;
+    }
+  }
+}
+
 void Component::begin_service() {
   in_service_ = true;
   service_start_ = sim_.now();
   const Request& req = queue_.front();
   stats_.queue_wait += service_start_ - req.enqueued_at;
-  sim_.schedule_after(req.service, [this] { complete(); });
+  SimTime service = req.service;
+  if (hook_ != nullptr) [[unlikely]] service = service_faulted(req);
+  sim_.schedule_after(service, [this] { complete(); });
+}
+
+SimTime Component::service_faulted(const Request& req) {
+  const FaultDecision d = hook_->on_service(*this, req.service, req.bytes);
+  SimTime service = req.service;
+  if (d.service_delta > 0) service += d.service_delta;
+  in_service_faulted_ = true;
+  in_service_failed_ = d.outcome == FaultDecision::Outcome::kFail;
+  injected_delta_ = service - req.service;
+  return service;
 }
 
 void Component::complete() {
   Request req = std::move(queue_.front());
   queue_.pop_front();
   in_service_ = false;
+  if (in_service_faulted_) [[unlikely]] {
+    complete_faulted(std::move(req));
+    return;
+  }
 
+  // Fast path: this request never saw a hook — no injected verdict to
+  // consume, no fails_ slot to keep aligned.
   stats_.busy_time += req.service;
-  stats_.bytes += req.bytes;
-  ++stats_.completed;
   telemetry::sim_span(req.phase, "component", name_.c_str(), service_start_,
                       req.service);
+  stats_.bytes += req.bytes;
+  ++stats_.completed;
   telemetry::count(bytes_counter_, req.bytes);
   telemetry::count(requests_counter_);
 
   if (!queue_.empty()) begin_service();
-  // One slot freed: release one waiter (it may immediately re-fill it).
-  if (capacity_ != 0 && !waiters_.empty() && accepting()) {
+  // One slot freed: release waiters in FIFO order until one re-fills the
+  // queue (the common case releases exactly one). A waiter that declines
+  // its slot must not strand the ones behind it — the slot is still free,
+  // so the next waiter gets it.
+  while (capacity_ != 0 && !waiters_.empty() && accepting()) {
     Callback waiter = std::move(waiters_.front());
     waiters_.pop_front();
     waiter();
   }
   if (req.done) req.done();
+}
+
+void Component::complete_faulted(Request req) {
+  in_service_faulted_ = false;
+  const SimTime served = req.service + injected_delta_;
+  const bool failed = in_service_failed_;
+  injected_delta_ = 0;
+  in_service_failed_ = false;
+  Callback fail;
+  if (!fails_.empty()) {
+    fail = std::move(fails_.front());
+    fails_.pop_front();
+  }
+
+  stats_.busy_time += served;
+  telemetry::sim_span(req.phase, "component", name_.c_str(), service_start_,
+                      served);
+  if (failed) {
+    ++stats_.failed;
+    telemetry::count(failed_counter_);
+  } else {
+    stats_.bytes += req.bytes;
+    ++stats_.completed;
+    telemetry::count(bytes_counter_, req.bytes);
+    telemetry::count(requests_counter_);
+  }
+
+  if (!queue_.empty()) begin_service();
+  while (capacity_ != 0 && !waiters_.empty() && accepting()) {
+    Callback waiter = std::move(waiters_.front());
+    waiters_.pop_front();
+    waiter();
+  }
+  if (failed && fail) {
+    fail();
+  } else if (req.done) {
+    req.done();
+  }
 }
 
 }  // namespace nessa::sim

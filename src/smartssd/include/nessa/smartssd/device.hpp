@@ -89,6 +89,12 @@ class SmartSsdSystem {
   /// Feedback: quantized weights host -> FPGA DRAM.
   util::SimTime weights_to_fpga(std::uint64_t bytes);
 
+  /// Return leg of the host-mediated scan fallback: staged pool bytes
+  /// host -> FPGA DRAM over the shared interconnect. Unlike
+  /// weights_to_fpga this is bulk scan data, not feedback, so only the
+  /// interconnect traffic class is charged.
+  util::SimTime host_to_fpga(std::uint64_t bytes);
+
   // --- compute primitives -------------------------------------------
 
   /// FPGA time for `macs` int8 MACs (quantized forward passes).

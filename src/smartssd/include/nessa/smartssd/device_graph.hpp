@@ -27,6 +27,10 @@
 #include "nessa/sim/component.hpp"
 #include "nessa/smartssd/device.hpp"
 
+namespace nessa::fault {
+class RetryPolicy;
+}  // namespace nessa::fault
+
 namespace nessa::smartssd {
 
 /// NAND flash array serving batched record reads.
@@ -172,6 +176,22 @@ class DeviceGraph {
   /// p2p link, interconnect = host link, GPU = gpu link.
   [[nodiscard]] TrafficStats traffic() const;
 
+  /// Install (or clear, with nullptr) a fault-injection hook on every
+  /// component of the graph. The hook must outlive all pending requests.
+  void install_fault_hook(sim::FaultHook* hook) noexcept;
+
+  /// Post a request on `target` under a retry policy: when an installed
+  /// fault hook fails the request (or bounces the submission), the request
+  /// is re-posted after the policy's deterministic backoff until the
+  /// attempt budget is exhausted, at which point `give_up` runs (falling
+  /// back to `done` when empty, so producers cannot lose their completion).
+  /// Without a fault hook this degenerates to a plain submit.
+  void post_with_retry(sim::Component& target, util::SimTime service,
+                       std::uint64_t bytes, const char* phase,
+                       fault::RetryPolicy& policy,
+                       sim::Component::Callback done,
+                       sim::Component::Callback give_up = {});
+
   /// Run every pending event (convenience passthrough).
   std::size_t run() { return sim_.run(); }
 
@@ -187,6 +207,7 @@ class DeviceGraph {
   std::unique_ptr<HostBridge> host_bridge_;
   std::unique_ptr<FpgaComputeUnit> fpga_;
   std::unique_ptr<GpuModel> gpu_;
+  std::uint64_t retry_request_seq_ = 0;  ///< jitter stream id per retried post
 };
 
 }  // namespace nessa::smartssd

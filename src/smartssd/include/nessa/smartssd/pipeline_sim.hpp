@@ -28,7 +28,12 @@
 #include <string>
 #include <vector>
 
+#include "nessa/fault/report.hpp"
 #include "nessa/smartssd/device.hpp"
+
+namespace nessa::fault {
+struct FaultPlan;
+}  // namespace nessa::fault
 
 namespace nessa::smartssd {
 
@@ -53,6 +58,14 @@ struct PipelineOptions {
   /// Batches in flight per stream (scan, subset) before the producer waits
   /// for a completion; >= 2 keeps the bottleneck stage saturated.
   std::size_t max_inflight = 4;
+  /// Optional fault schedule (must outlive the simulation). When set and
+  /// enabled(), a fault::Injector is installed on every component, every
+  /// batch stage is posted under the plan's retry policy, and the degraded-
+  /// mode policies engage: a scan batch that exhausts its P2P retry budget
+  /// permanently falls back to the host-mediated path, and (with
+  /// selection_deadline_factor > 0) an epoch whose selection misses the
+  /// deadline trains on the previous epoch's subset instead of stalling.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 /// End-of-run accounting for one DeviceGraph component.
@@ -62,6 +75,8 @@ struct ComponentUsage {
   util::SimTime queue_wait = 0;   ///< total request time spent queued
   std::uint64_t bytes = 0;
   std::uint64_t requests = 0;
+  std::uint64_t rejected = 0;     ///< submissions bounced (backpressure/fault)
+  std::uint64_t failed = 0;       ///< requests failed by injected faults
   double utilization = 0.0;       ///< busy fraction of the simulated horizon
 };
 
@@ -80,6 +95,8 @@ struct PipelineTrace {
   util::SimTime analytic_gpu_phase = 0;
   /// Per-component busy/queue/byte accounting over the whole run.
   std::vector<ComponentUsage> usage;
+  /// What the fault plan actually did (all zeros without a plan).
+  fault::FaultReport fault;
 
   /// Usage row by component name; nullptr when absent.
   [[nodiscard]] const ComponentUsage* component(const std::string& n) const;

@@ -78,6 +78,13 @@ util::SimTime SmartSsdSystem::weights_to_fpga(std::uint64_t bytes) {
          util::transfer_time(bytes, config_.host_link_bw_bps);
 }
 
+util::SimTime SmartSsdSystem::host_to_fpga(std::uint64_t bytes) {
+  traffic_.interconnect_bytes += bytes;
+  telemetry::count("system.interconnect.bytes", bytes);
+  return config_.link_latency +
+         util::transfer_time(bytes, config_.host_link_bw_bps);
+}
+
 double SmartSsdSystem::conventional_path_bps(std::uint64_t bytes) const {
   if (bytes == 0) return 0.0;
   const std::uint64_t chunk = config_.staging_chunk_bytes;

@@ -1,7 +1,10 @@
 #include "nessa/smartssd/device_graph.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
+
+#include "nessa/fault/retry_policy.hpp"
 
 namespace nessa::smartssd {
 
@@ -109,6 +112,75 @@ TrafficStats DeviceGraph::traffic() const {
   t.interconnect_bytes = host_link_->stats().bytes;
   t.gpu_bytes = gpu_link_->stats().bytes;
   return t;
+}
+
+void DeviceGraph::install_fault_hook(sim::FaultHook* hook) noexcept {
+  flash_->set_fault_hook(hook);
+  p2p_->set_fault_hook(hook);
+  host_link_->set_fault_hook(hook);
+  gpu_link_->set_fault_hook(hook);
+  host_bridge_->set_fault_hook(hook);
+  fpga_->set_fault_hook(hook);
+  gpu_->set_fault_hook(hook);
+}
+
+namespace {
+
+/// One retried request's state, kept alive by the callbacks of whichever
+/// attempt is pending (no cycles: each lambda holds the only long-lived
+/// reference until it runs).
+struct RetryTask {
+  sim::Component* target;
+  util::SimTime service;
+  std::uint64_t bytes;
+  const char* phase;
+  fault::RetryPolicy* policy;
+  sim::Component::Callback done;
+  sim::Component::Callback give_up;
+  std::uint64_t request_id;
+  std::size_t attempts = 0;
+};
+
+void post_attempt(const std::shared_ptr<RetryTask>& task) {
+  auto on_fail = [task] {
+    ++task->attempts;
+    auto& p = *task->policy;
+    if (p.exhausted(task->attempts)) {
+      p.note_giveup();
+      if (task->give_up) {
+        task->give_up();
+      } else if (task->done) {
+        task->done();
+      }
+      return;
+    }
+    const util::SimTime wait = p.backoff(task->attempts, task->request_id);
+    p.note_retry(wait);
+    task->target->simulator().schedule_after(wait,
+                                             [task] { post_attempt(task); });
+  };
+  const bool accepted = task->target->submit(
+      task->service, task->bytes, task->phase,
+      [task] {
+        if (task->done) task->done();
+      },
+      on_fail);
+  // A bounced submission (reject fault, or a genuinely full bounded queue)
+  // burns an attempt and backs off like a failure.
+  if (!accepted) on_fail();
+}
+
+}  // namespace
+
+void DeviceGraph::post_with_retry(sim::Component& target, util::SimTime service,
+                                  std::uint64_t bytes, const char* phase,
+                                  fault::RetryPolicy& policy,
+                                  sim::Component::Callback done,
+                                  sim::Component::Callback give_up) {
+  auto task = std::make_shared<RetryTask>(
+      RetryTask{&target, service, bytes, phase, &policy, std::move(done),
+                std::move(give_up), retry_request_seq_++});
+  post_attempt(task);
 }
 
 void DeviceGraph::reset_stats() {

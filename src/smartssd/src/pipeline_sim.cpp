@@ -1,8 +1,13 @@
 #include "nessa/smartssd/pipeline_sim.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 
+#include "nessa/fault/fault_plan.hpp"
+#include "nessa/fault/injector.hpp"
+#include "nessa/fault/retry_policy.hpp"
 #include "nessa/smartssd/device_graph.hpp"
 #include "nessa/telemetry/telemetry.hpp"
 
@@ -12,9 +17,22 @@ namespace {
 
 using util::SimTime;
 
+constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+
 /// One run's epoch processes over a DeviceGraph. Each batch chains through
 /// its stages via component completion callbacks; per-stream credits bound
 /// how many batches are in flight at once.
+///
+/// With a fault plan installed every stage is posted under the plan's retry
+/// policy, and two degraded-mode policies keep the pipeline live:
+///  - a scan batch that exhausts its P2P retry budget permanently reroutes
+///    the scan over the host-mediated path (and the batch itself is
+///    re-shipped — its flash read already happened);
+///  - an epoch whose selection misses the configured deadline proceeds on
+///    the previous epoch's subset (stale), instead of stalling the GPU;
+///  - any other exhausted budget drops that batch but still advances the
+///    epoch state machine, so an injected fault can degrade a run but never
+///    deadlock it.
 class PipelineRun {
  public:
   PipelineRun(const SystemConfig& config, const EpochWorkload& w,
@@ -39,6 +57,27 @@ class PipelineRun {
                                        w.train_gflops_per_sample,
                                        w.batch_size);
     t_feedback_ = graph_.host_link().transfer_time(w.feedback_bytes);
+
+    if (opts.fault_plan != nullptr) {
+      const fault::FaultPlan& plan = *opts.fault_plan;
+      if (plan.enabled()) {
+        injector_.emplace(plan);
+        retry_.emplace(plan.retry, plan.seed);
+        graph_.install_fault_hook(&*injector_);
+      }
+      deadline_factor_ = plan.selection_deadline_factor;
+      if (deadline_factor_ > 0.0) {
+        deadline_events_.assign(epochs_, kNoEvent);
+        // Deadline basis: the nominal (fault-free, dedicated-link) FPGA
+        // phase the analytic model charges for the P2P configuration.
+        nominal_fpga_phase_ =
+            graph_.flash().read_time(w.pool_records, w.record_bytes) +
+            graph_.fpga().forward_time(
+                static_cast<std::uint64_t>(w.pool_records) *
+                w.macs_per_record) +
+            t_select_;
+      }
+    }
   }
 
   PipelineTrace run() {
@@ -52,6 +91,7 @@ class PipelineRun {
     trace.steady_epoch_time =
         (trace.epoch_done.back() - trace.epoch_done.front()) /
         static_cast<SimTime>(epochs_ - 1);
+    fill_fault_report(trace);
     fill_analytics(trace);
     fill_usage(trace);
     return trace;
@@ -72,6 +112,27 @@ class PipelineRun {
     bool feedback_done = false;
   };
 
+  /// The P2P route, unless the degradation policy has switched it off.
+  [[nodiscard]] bool use_p2p() const noexcept {
+    return opts_.p2p_scan && !p2p_degraded_;
+  }
+
+  /// Post one stage: plain submit without a fault plan; retried under the
+  /// plan's policy otherwise. `give_up` runs when the retry budget is
+  /// exhausted (never, without a plan — templated so the fault-less path
+  /// never even type-erases the give_up lambda).
+  template <typename Done, typename GiveUp>
+  void post(sim::Component& target, SimTime service, std::uint64_t bytes,
+            const char* phase, Done&& done, GiveUp&& give_up) {
+    if (retry_) {
+      graph_.post_with_retry(target, service, bytes, phase, *retry_,
+                             std::forward<Done>(done),
+                             std::forward<GiveUp>(give_up));
+    } else {
+      target.submit(service, bytes, phase, std::forward<Done>(done));
+    }
+  }
+
   // --- epoch gating ----------------------------------------------------
   // The FPGA may look ahead one epoch (selection for e+1 overlaps GPU
   // training of e), but no further: selecting epoch e needs the quantized
@@ -83,6 +144,7 @@ class PipelineRun {
     if (e >= 1 && !state_[e - 1].selection_done) return;
     if (e >= 2 && !state_[e - 2].feedback_done) return;
     state_[e].scan_started = true;
+    arm_selection_deadline(e);
     pump_scan(e);
   }
 
@@ -107,31 +169,69 @@ class PipelineRun {
   }
 
   void issue_scan_batch(std::size_t e) {
-    if (opts_.p2p_scan) {
-      graph_.flash().submit(t_flash_, batch_bytes_, "flash-read", [this, e] {
-        graph_.p2p_link().submit(t_p2p_, batch_bytes_, "p2p-transfer",
-                                 [this, e] { issue_forward(e); });
-      });
+    post(
+        graph_.flash(), t_flash_, batch_bytes_, "flash-read",
+        [this, e] { route_scan_transfer(e); },
+        [this, e] { drop_scan_batch(e); });
+  }
+
+  /// Ship one scanned batch to the FPGA over whichever path is currently
+  /// healthy. Host-mediated route: up to a host bounce buffer, CPU
+  /// staging, back down to the FPGA — both hops on the SAME host link.
+  void route_scan_transfer(std::size_t e) {
+    if (use_p2p()) {
+      post(
+          graph_.p2p_link(), t_p2p_, batch_bytes_, "p2p-transfer",
+          [this, e] { issue_forward(e); },
+          [this, e] { on_p2p_give_up(e); });
     } else {
-      // Conventional path: up to a host bounce buffer, CPU staging, back
-      // down to the FPGA. Both hops occupy the SAME host link.
-      graph_.flash().submit(t_flash_, batch_bytes_, "flash-read", [this, e] {
-        graph_.host_link().submit(
-            t_host_, batch_bytes_, "scan-upload", [this, e] {
-              graph_.host_bridge().submit(
-                  t_stage_, batch_bytes_, "host-staging", [this, e] {
-                    graph_.host_link().submit(t_host_, batch_bytes_,
-                                              "scan-return",
-                                              [this, e] { issue_forward(e); });
-                  });
-            });
-      });
+      post(
+          graph_.host_link(), t_host_, batch_bytes_, "scan-upload",
+          [this, e] {
+            post(
+                graph_.host_bridge(), t_stage_, batch_bytes_, "host-staging",
+                [this, e] {
+                  post(
+                      graph_.host_link(), t_host_, batch_bytes_, "scan-return",
+                      [this, e] { issue_forward(e); },
+                      [this, e] { drop_scan_batch(e); });
+                },
+                [this, e] { drop_scan_batch(e); });
+          },
+          [this, e] { drop_scan_batch(e); });
     }
   }
 
+  /// Degradation policy: a batch that exhausted its P2P retry budget flips
+  /// the whole scan onto the host-mediated path (permanently — a link this
+  /// flaky is not worth re-probing mid-run) and is itself re-shipped; its
+  /// flash read already happened.
+  void on_p2p_give_up(std::size_t e) {
+    if (!p2p_degraded_) {
+      p2p_degraded_ = true;
+      report_.host_fallback = true;
+      report_.host_fallback_epoch = e;
+      telemetry::count("fault.fallback.host_path");
+      telemetry::sim_instant("p2p-fallback", "fault", "p2p",
+                             graph_.simulator().now());
+    }
+    route_scan_transfer(e);
+  }
+
+  /// A scan batch died on a non-reroutable stage: abandon it but advance
+  /// the epoch state machine so selection still runs (over the records
+  /// that did arrive).
+  void drop_scan_batch(std::size_t e) {
+    ++report_.dropped_batches;
+    telemetry::count("fault.dropped_batches");
+    on_forward_done(e);
+  }
+
   void issue_forward(std::size_t e) {
-    graph_.fpga().submit(t_fwd_, 0, "fpga-forward",
-                         [this, e] { on_forward_done(e); });
+    post(
+        graph_.fpga(), t_fwd_, 0, "fpga-forward",
+        [this, e] { on_forward_done(e); },
+        [this, e] { drop_scan_batch(e); });
   }
 
   void on_forward_done(std::size_t e) {
@@ -140,15 +240,61 @@ class PipelineRun {
     --st.scans_inflight;
     pump_scan(e);
     if (st.forwards_done == scan_batches_) {
-      graph_.fpga().submit(t_select_, 0, "selection",
-                           [this, e] { on_selection_done(e); });
+      post(
+          graph_.fpga(), t_select_, 0, "selection",
+          [this, e] { on_selection_done(e); },
+          [this, e] { on_selection_failed(e); });
     }
   }
 
   void on_selection_done(std::size_t e) {
+    if (state_[e].selection_done) return;  // deadline already released it
+    state_[e].selection_done = true;
+    cancel_selection_deadline(e);
+    maybe_start_scan(e + 1);
+    maybe_start_subset(e);
+  }
+
+  /// Selection itself exhausted its retry budget: train on the previous
+  /// epoch's subset rather than stalling the GPU.
+  void on_selection_failed(std::size_t e) {
+    if (state_[e].selection_done) return;
+    mark_stale("selection-failed");
+    on_selection_done(e);
+  }
+
+  // --- selection deadline ----------------------------------------------
+
+  void arm_selection_deadline(std::size_t e) {
+    if (deadline_factor_ <= 0.0) return;
+    const auto deadline = static_cast<SimTime>(
+        static_cast<double>(nominal_fpga_phase_) * deadline_factor_);
+    deadline_events_[e] = graph_.simulator().schedule_after(
+        deadline, [this, e] { on_selection_deadline(e); });
+  }
+
+  void cancel_selection_deadline(std::size_t e) {
+    if (deadline_events_.empty() || deadline_events_[e] == kNoEvent) return;
+    graph_.simulator().cancel(deadline_events_[e]);
+    deadline_events_[e] = kNoEvent;
+  }
+
+  /// Deadline policy: release the downstream pipeline on the previous
+  /// epoch's subset. The late selection keeps running (the FPGA really is
+  /// occupied) but its completion is ignored.
+  void on_selection_deadline(std::size_t e) {
+    deadline_events_[e] = kNoEvent;
+    if (state_[e].selection_done) return;
+    mark_stale("selection-deadline-miss");
     state_[e].selection_done = true;
     maybe_start_scan(e + 1);
     maybe_start_subset(e);
+  }
+
+  void mark_stale(const char* why) {
+    ++report_.stale_epochs;
+    telemetry::count("fault.stale_epochs");
+    telemetry::sim_instant(why, "fault", "fpga", graph_.simulator().now());
   }
 
   // --- GPU side: subset stream + training ------------------------------
@@ -159,15 +305,27 @@ class PipelineRun {
            st.trains_inflight < opts_.max_inflight) {
       ++st.trains_issued;
       ++st.trains_inflight;
-      graph_.host_link().submit(
-          t_host_, batch_bytes_, "host-link", [this, e] {
-            graph_.gpu_link().submit(
-                t_gpu_link_, batch_bytes_, "gpu-link", [this, e] {
-                  graph_.gpu().submit(t_train_, 0, "gpu-train",
-                                      [this, e] { on_train_done(e); });
-                });
-          });
+      post(
+          graph_.host_link(), t_host_, batch_bytes_, "host-link",
+          [this, e] {
+            post(
+                graph_.gpu_link(), t_gpu_link_, batch_bytes_, "gpu-link",
+                [this, e] {
+                  post(
+                      graph_.gpu(), t_train_, 0, "gpu-train",
+                      [this, e] { on_train_done(e); },
+                      [this, e] { drop_train_batch(e); });
+                },
+                [this, e] { drop_train_batch(e); });
+          },
+          [this, e] { drop_train_batch(e); });
     }
+  }
+
+  void drop_train_batch(std::size_t e) {
+    ++report_.dropped_batches;
+    telemetry::count("fault.dropped_batches");
+    on_train_done(e);
   }
 
   void on_train_done(std::size_t e) {
@@ -177,8 +335,12 @@ class PipelineRun {
     pump_subset(e);
     if (st.trains_done == train_batches_) {
       st.trains_complete = true;
-      graph_.host_link().submit(t_feedback_, w_.feedback_bytes, "feedback",
-                                [this, e] { on_feedback_done(e); });
+      // A lost feedback transfer leaves the FPGA on stale quantized
+      // weights; the pipeline still proceeds.
+      post(
+          graph_.host_link(), t_feedback_, w_.feedback_bytes, "feedback",
+          [this, e] { on_feedback_done(e); },
+          [this, e] { on_feedback_done(e); });
       maybe_start_subset(e + 1);
     }
   }
@@ -196,7 +358,7 @@ class PipelineRun {
     const auto subset_bytes =
         static_cast<std::uint64_t>(train_batches_) * batch_bytes_;
     std::uint64_t host_link_bytes = subset_bytes + w_.feedback_bytes;
-    if (opts_.p2p_scan) {
+    if (use_p2p()) {
       telemetry::count("pipeline.p2p.bytes", scan_bytes);
     } else {
       host_link_bytes += 2 * scan_bytes;
@@ -208,9 +370,25 @@ class PipelineRun {
 
   // --- end-of-run reporting --------------------------------------------
 
+  void fill_fault_report(PipelineTrace& trace) {
+    if (injector_) {
+      const fault::InjectorStats& is = injector_->stats();
+      report_.injected_failures = is.failures;
+      report_.injected_slowdowns = is.slowdowns;
+      report_.injected_stalls = is.stalls;
+      report_.injected_rejections = is.rejections;
+      report_.retries = retry_->stats().retries;
+      report_.giveups = retry_->stats().giveups;
+    }
+    trace.fault = report_;
+  }
+
   void fill_analytics(PipelineTrace& trace) const {
     // What the core trainers' analytic model charges for the same scan
-    // routing: serial phases, dedicated links, no queueing.
+    // routing: serial phases, dedicated links, no queueing. The NOMINAL
+    // routing is used even after a mid-run fallback — the gap between this
+    // prediction and the degraded event-driven result is exactly what the
+    // chaos tests assert on.
     const auto& cfg = graph_.config();
     const std::uint64_t pool_bytes =
         static_cast<std::uint64_t>(w_.pool_records) * w_.record_bytes;
@@ -246,6 +424,7 @@ class PipelineRun {
       const auto& s = c->stats();
       trace.usage.push_back(ComponentUsage{c->name(), s.busy_time,
                                            s.queue_wait, s.bytes, s.completed,
+                                           s.rejected, s.failed,
                                            s.utilization(horizon)});
     }
   }
@@ -262,6 +441,15 @@ class PipelineRun {
   std::uint64_t batch_bytes_ = 0;
   SimTime t_flash_ = 0, t_p2p_ = 0, t_host_ = 0, t_stage_ = 0, t_gpu_link_ = 0,
           t_fwd_ = 0, t_select_ = 0, t_train_ = 0, t_feedback_ = 0;
+
+  // Fault machinery (absent without a plan).
+  std::optional<fault::Injector> injector_;
+  std::optional<fault::RetryPolicy> retry_;
+  fault::FaultReport report_;
+  bool p2p_degraded_ = false;
+  double deadline_factor_ = 0.0;
+  SimTime nominal_fpga_phase_ = 0;
+  std::vector<std::uint64_t> deadline_events_;
 };
 
 }  // namespace
@@ -284,6 +472,15 @@ PipelineTrace simulate_pipeline(const SystemConfig& config,
   }
   if (options.max_inflight == 0) {
     throw std::invalid_argument("simulate_pipeline: max_inflight must be > 0");
+  }
+  if (options.fault_plan != nullptr) {
+    const auto errors = options.fault_plan->validate();
+    if (!errors.empty()) {
+      std::ostringstream msg;
+      msg << "simulate_pipeline: invalid fault plan:";
+      for (const auto& e : errors) msg << "\n  - " << e;
+      throw std::invalid_argument(msg.str());
+    }
   }
   PipelineRun run(config, w, epochs, options);
   return run.run();

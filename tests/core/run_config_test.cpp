@@ -59,6 +59,68 @@ TEST(RunConfig, ValidateOrThrowListsAllErrors) {
   }
 }
 
+TEST(RunConfig, ValidateReportsEveryFaultPlanError) {
+  RunConfig rc;
+  fault::FaultSpec unknown;
+  unknown.component = "warp_drive";  // not a DeviceGraph component
+  unknown.rate = -0.5;               // negative rate
+  rc.fault_plan.faults.push_back(unknown);
+  rc.fault_plan.retry.max_attempts = 0;  // zero-capacity retry budget
+
+  const auto errors = rc.validate();
+  EXPECT_GE(errors.size(), 3u);
+  // Fault-plan problems are namespaced alongside the other sections.
+  EXPECT_TRUE(any_error_mentions(errors, "fault_plan.faults[0].component"));
+  EXPECT_TRUE(any_error_mentions(errors, "fault_plan.faults[0].rate"));
+  EXPECT_TRUE(any_error_mentions(errors, "fault_plan.retry.max_attempts"));
+}
+
+TEST(RunConfig, ValidateMixesFaultPlanErrorsWithOtherSections) {
+  RunConfig rc;
+  rc.train.epochs = 0;
+  fault::FaultSpec bad;
+  bad.component = "p2p";
+  bad.rate = 2.0;
+  rc.fault_plan.faults.push_back(bad);
+  const auto errors = rc.validate();
+  EXPECT_TRUE(any_error_mentions(errors, "train.epochs"));
+  EXPECT_TRUE(any_error_mentions(errors, "fault_plan.faults[0].rate"));
+}
+
+TEST(RunConfig, ValidateRejectsHandWiredFaultPlanPointer) {
+  // The raw PipelineOptions pointer is wired by the entry points; setting
+  // it by hand invites a dangling plan.
+  RunConfig rc;
+  fault::FaultPlan rogue = fault::FaultPlan::preset("flaky-p2p");
+  rc.pipeline_options.fault_plan = &rogue;
+  const auto errors = rc.validate();
+  EXPECT_TRUE(any_error_mentions(errors, "pipeline_options.fault_plan"));
+
+  // Pointing at the config's own plan (what the entry points do) is fine.
+  rc.pipeline_options.fault_plan = &rc.fault_plan;
+  EXPECT_TRUE(rc.validate().empty());
+}
+
+TEST(RunConfig, WithFaultPlanBuilderAndEntryPointWiring) {
+  const auto rc =
+      RunConfig{}.with_fault_plan(fault::FaultPlan::preset("flaky-p2p"));
+  EXPECT_TRUE(rc.fault_plan.enabled());
+  EXPECT_TRUE(rc.validate().empty());
+
+  // simulate_pipeline(RunConfig) must wire the plan into the event run:
+  // the flaky-p2p preset injects failures that show up on the trace.
+  auto cfg = rc;
+  cfg.pipeline_epochs = 6;
+  const auto trace = simulate_pipeline(cfg);
+  EXPECT_GT(trace.fault.injected_failures, 0u);
+  EXPECT_GT(trace.fault.retries, 0u);
+
+  // Without a plan the trace stays fault-free.
+  RunConfig clean;
+  clean.pipeline_epochs = 6;
+  EXPECT_FALSE(simulate_pipeline(clean).fault.any());
+}
+
 TEST(RunConfig, FluentBuilderChains) {
   TrainConfig train;
   train.epochs = 5;

@@ -1,0 +1,252 @@
+// Chaos suite: whole-pipeline behavior under injected faults. The
+// properties that matter for a reliability subsystem:
+//   - runs under any valid plan COMPLETE (degrade, never deadlock),
+//   - the same plan + seed reproduces bit-identical schedules,
+//   - the degraded-mode policies (retry, host-path fallback, batch drop,
+//     stale subsets) actually engage and are visible on the trace,
+//   - a null/disabled plan changes nothing at all.
+#include <gtest/gtest.h>
+
+#include "nessa/core/pipeline.hpp"
+#include "nessa/core/run_config.hpp"
+#include "nessa/data/synthetic.hpp"
+#include "nessa/fault/fault_plan.hpp"
+#include "nessa/smartssd/pipeline_sim.hpp"
+#include "nessa/util/units.hpp"
+
+namespace nessa {
+namespace {
+
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultSpec;
+using smartssd::EpochWorkload;
+using smartssd::PipelineOptions;
+using smartssd::SystemConfig;
+using smartssd::simulate_pipeline;
+
+FaultSpec spec_for(const char* component, FaultKind kind, double rate) {
+  FaultSpec spec;
+  spec.component = component;
+  spec.kind = kind;
+  spec.rate = rate;
+  return spec;
+}
+
+TEST(ChaosPipeline, DisabledPlanIsBitIdenticalToNoPlan) {
+  const EpochWorkload w{};
+  const auto baseline = simulate_pipeline(SystemConfig{}, w, 6);
+
+  FaultPlan disabled;  // no faults → enabled() == false
+  PipelineOptions opts;
+  opts.fault_plan = &disabled;
+  const auto with_disabled = simulate_pipeline(SystemConfig{}, w, 6, opts);
+
+  EXPECT_EQ(with_disabled.epoch_done, baseline.epoch_done);
+  EXPECT_EQ(with_disabled.steady_epoch_time, baseline.steady_epoch_time);
+  EXPECT_FALSE(with_disabled.fault.any());
+}
+
+TEST(ChaosPipeline, SamePlanSameSeedIsBitIdentical) {
+  const auto plan = FaultPlan::preset("flaky-p2p");
+  PipelineOptions opts;
+  opts.fault_plan = &plan;
+  const auto a = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8, opts);
+  const auto b = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8, opts);
+  EXPECT_EQ(a.epoch_done, b.epoch_done);
+  EXPECT_EQ(a.steady_epoch_time, b.steady_epoch_time);
+  EXPECT_EQ(a.fault.injected_failures, b.fault.injected_failures);
+  EXPECT_EQ(a.fault.retries, b.fault.retries);
+  EXPECT_EQ(a.fault.giveups, b.fault.giveups);
+  EXPECT_EQ(a.fault.host_fallback, b.fault.host_fallback);
+}
+
+TEST(ChaosPipeline, InvalidPlanIsRejected) {
+  FaultPlan bad;
+  bad.faults.push_back(spec_for("warp_drive", FaultKind::kTransientError, 2.0));
+  PipelineOptions opts;
+  opts.fault_plan = &bad;
+  EXPECT_THROW(simulate_pipeline(SystemConfig{}, EpochWorkload{}, 4, opts),
+               std::invalid_argument);
+}
+
+TEST(ChaosPipeline, FlakyP2pFallsBackToHostPath) {
+  const auto plan = FaultPlan::preset("flaky-p2p");
+  PipelineOptions opts;
+  opts.fault_plan = &plan;
+  const auto trace = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8, opts);
+
+  // The run completes all epochs in order despite the chaos.
+  ASSERT_EQ(trace.epoch_done.size(), 8u);
+  for (std::size_t e = 1; e < trace.epoch_done.size(); ++e) {
+    EXPECT_GT(trace.epoch_done[e], trace.epoch_done[e - 1]);
+  }
+  // A 35% drop rate with a 3-attempt budget exhausts some batch's retries
+  // within a few hundred transfers — the pipeline must abandon P2P.
+  EXPECT_GT(trace.fault.injected_failures, 0u);
+  EXPECT_GT(trace.fault.retries, 0u);
+  EXPECT_GE(trace.fault.giveups, 1u);
+  EXPECT_TRUE(trace.fault.host_fallback);
+  // After the fallback, scan traffic rides the host link; the run is
+  // slower than the clean P2P baseline.
+  const auto clean = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8);
+  EXPECT_GT(trace.epoch_done.back(), clean.epoch_done.back());
+  // The p2p component recorded the injected failures.
+  const auto* p2p = trace.component("p2p");
+  ASSERT_NE(p2p, nullptr);
+  EXPECT_EQ(p2p->failed, trace.fault.injected_failures);
+}
+
+TEST(ChaosPipeline, SlowNandStretchesTheScanPhase) {
+  const auto plan = FaultPlan::preset("slow-nand");
+  PipelineOptions opts;
+  opts.fault_plan = &plan;
+  const auto slow = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8, opts);
+  const auto clean = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8);
+  EXPECT_GT(slow.fault.injected_slowdowns, 0u);
+  EXPECT_GT(slow.epoch_done.back(), clean.epoch_done.back());
+  // Slow pages burn more flash-bus busy time for the same bytes.
+  const auto* flash_slow = slow.component("flash_bus");
+  const auto* flash_clean = clean.component("flash_bus");
+  ASSERT_NE(flash_slow, nullptr);
+  ASSERT_NE(flash_clean, nullptr);
+  EXPECT_GT(flash_slow->busy_time, flash_clean->busy_time);
+}
+
+TEST(ChaosPipeline, RejectingBridgeIsRetriedNotDeadlocked) {
+  FaultPlan plan;
+  plan.faults.push_back(spec_for("host_bridge", FaultKind::kReject, 0.5));
+  PipelineOptions opts;
+  opts.p2p_scan = false;  // host-mediated scan exercises the bridge heavily
+  opts.fault_plan = &plan;
+  const auto trace = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 6, opts);
+  ASSERT_EQ(trace.epoch_done.size(), 6u);
+  EXPECT_GT(trace.fault.injected_rejections, 0u);
+  EXPECT_GT(trace.fault.retries, 0u);
+  const auto* bridge = trace.component("host_bridge");
+  ASSERT_NE(bridge, nullptr);
+  EXPECT_GT(bridge->rejected, 0u);
+}
+
+TEST(ChaosPipeline, ExhaustedGpuRetriesDropBatchesButFinish) {
+  // Every GPU batch fails and the budget is a single attempt: the drop-
+  // batch policy must keep the epoch state machine advancing.
+  FaultPlan plan;
+  plan.faults.push_back(spec_for("gpu", FaultKind::kTransientError, 1.0));
+  plan.retry.max_attempts = 1;
+  PipelineOptions opts;
+  opts.fault_plan = &plan;
+  const auto trace = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 4, opts);
+  ASSERT_EQ(trace.epoch_done.size(), 4u);
+  EXPECT_GT(trace.fault.dropped_batches, 0u);
+  EXPECT_EQ(trace.fault.retries, 0u);  // no second attempts with budget 1
+  EXPECT_EQ(trace.fault.giveups, trace.fault.dropped_batches);
+}
+
+TEST(ChaosPipeline, CertainStallPlusTightDeadlineGoesStale) {
+  FaultPlan plan;
+  auto stall = spec_for("fpga", FaultKind::kStall, 1.0);
+  stall.stall_time = 50 * util::kMillisecond;
+  plan.faults.push_back(stall);
+  plan.selection_deadline_factor = 1.05;
+  PipelineOptions opts;
+  opts.fault_plan = &plan;
+  const auto trace = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 6, opts);
+  ASSERT_EQ(trace.epoch_done.size(), 6u);
+  EXPECT_GT(trace.fault.injected_stalls, 0u);
+  EXPECT_GT(trace.fault.stale_epochs, 0u);
+}
+
+TEST(ChaosPipeline, TrainerRepricesP2pOutageOverHostPath) {
+  data::SyntheticConfig ds_cfg;
+  ds_cfg.num_classes = 4;
+  ds_cfg.train_size = 300;
+  ds_cfg.test_size = 80;
+  ds_cfg.feature_dim = 12;
+  ds_cfg.seed = 5;
+  const auto ds = data::make_synthetic(ds_cfg);
+
+  core::PipelineInputs inputs;
+  inputs.dataset = &ds;
+  inputs.info = data::dataset_info("CIFAR-10");
+  inputs.model = nn::model_spec("ResNet-20");
+  inputs.train.epochs = 3;
+  inputs.train.batch_size = 32;
+  inputs.train.seed = 3;
+
+  core::RunConfig rc;
+  rc.train = inputs.train;
+  rc.nessa.subset_fraction = 0.3;
+  rc.nessa.partition_quota = 32;
+
+  // Clean baseline, then a permanent P2P outage.
+  smartssd::SmartSsdSystem clean_sys(rc.system);
+  const auto clean = core::run_nessa(inputs, rc, clean_sys);
+
+  inputs.fault_plan.faults.push_back(
+      spec_for("p2p", FaultKind::kTransientError, 1.0));
+  rc.fault_plan = inputs.fault_plan;
+  smartssd::SmartSsdSystem faulted_sys(rc.system);
+  const auto faulted = core::run_nessa(inputs, rc, faulted_sys);
+
+  // Every selection epoch was re-priced over the host path...
+  EXPECT_EQ(faulted.fault_fallback_epochs, 3u);
+  EXPECT_EQ(clean.fault_fallback_epochs, 0u);
+  // ...which makes the scan strictly more expensive (two host-link
+  // crossings instead of the on-board read) without touching accuracy —
+  // the subset math is identical, only the pricing degrades.
+  ASSERT_EQ(faulted.epochs.size(), clean.epochs.size());
+  for (std::size_t e = 0; e < faulted.epochs.size(); ++e) {
+    EXPECT_GT(faulted.epochs[e].cost.storage_scan,
+              clean.epochs[e].cost.storage_scan)
+        << "epoch " << e;
+  }
+  EXPECT_GE(faulted.total_time, clean.total_time);
+  EXPECT_DOUBLE_EQ(faulted.final_accuracy, clean.final_accuracy);
+  // The scan bytes moved off P2P onto the interconnect.
+  EXPECT_GT(faulted.interconnect_bytes, clean.interconnect_bytes);
+  EXPECT_LT(faulted.p2p_bytes, clean.p2p_bytes);
+}
+
+TEST(ChaosPipeline, TrainerCarriesStaleSubsetPastMissedDeadlines) {
+  data::SyntheticConfig ds_cfg;
+  ds_cfg.num_classes = 4;
+  ds_cfg.train_size = 300;
+  ds_cfg.test_size = 80;
+  ds_cfg.feature_dim = 12;
+  ds_cfg.seed = 5;
+  const auto ds = data::make_synthetic(ds_cfg);
+
+  core::PipelineInputs inputs;
+  inputs.dataset = &ds;
+  inputs.info = data::dataset_info("CIFAR-10");
+  inputs.model = nn::model_spec("ResNet-20");
+  inputs.train.epochs = 4;
+  inputs.train.batch_size = 32;
+  inputs.train.seed = 3;
+
+  auto stall = spec_for("fpga", FaultKind::kStall, 1.0);
+  stall.stall_time = 10'000 * util::kMillisecond;  // dwarfs any FPGA phase
+  inputs.fault_plan.faults.push_back(stall);
+  inputs.fault_plan.selection_deadline_factor = 1.01;
+
+  core::RunConfig rc;
+  rc.train = inputs.train;
+  rc.nessa.subset_fraction = 0.3;
+  rc.nessa.partition_quota = 32;
+  rc.nessa.selection_interval = 1;  // would reselect every epoch
+  rc.fault_plan = inputs.fault_plan;
+
+  smartssd::SmartSsdSystem system(rc.system);
+  const auto result = core::run_nessa(inputs, rc, system);
+  // Epoch 0 establishes the subset (never stale); every later epoch blows
+  // the deadline and trains on the carried-forward subset.
+  EXPECT_EQ(result.fault_stale_epochs, 3u);
+  ASSERT_EQ(result.epochs.size(), 4u);
+  for (const auto& epoch : result.epochs) {
+    EXPECT_GT(epoch.subset_size, 0u);  // stale ≠ empty
+  }
+}
+
+}  // namespace
+}  // namespace nessa

@@ -1,0 +1,114 @@
+// EpochSchedule: the trainer-granularity replay of a FaultPlan — active
+// windows, outage/slowdown/stall queries, and the selection deadline.
+#include "nessa/fault/epoch_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::fault {
+namespace {
+
+FaultSpec spec_for(const char* component, FaultKind kind, double rate) {
+  FaultSpec spec;
+  spec.component = component;
+  spec.kind = kind;
+  spec.rate = rate;
+  return spec;
+}
+
+TEST(EpochSchedule, CertainOutageBitesEveryEpochInWindow) {
+  FaultPlan plan;
+  auto outage = spec_for("p2p", FaultKind::kTransientError, 1.0);
+  outage.start_epoch = 2;
+  outage.end_epoch = 5;
+  plan.faults.push_back(outage);
+  EpochSchedule schedule(plan);
+  for (std::size_t e = 0; e < 8; ++e) {
+    EXPECT_EQ(schedule.p2p_outage(e), e >= 2 && e < 5) << "epoch " << e;
+  }
+}
+
+TEST(EpochSchedule, RejectFaultsAlsoCountAsOutage) {
+  FaultPlan plan;
+  plan.faults.push_back(spec_for("p2p", FaultKind::kReject, 1.0));
+  EpochSchedule schedule(plan);
+  EXPECT_TRUE(schedule.p2p_outage(0));
+}
+
+TEST(EpochSchedule, SlowdownOnOtherComponentsDoesNotOutage) {
+  FaultPlan plan;
+  auto slow = spec_for("p2p", FaultKind::kSlowdown, 1.0);
+  slow.slowdown = 4.0;
+  plan.faults.push_back(slow);
+  EpochSchedule schedule(plan);
+  EXPECT_FALSE(schedule.p2p_outage(0));  // degraded, not down
+  EXPECT_DOUBLE_EQ(schedule.scan_slowdown(0), 1.0);  // not flash_bus
+}
+
+TEST(EpochSchedule, ScanSlowdownMultipliesActiveFactors) {
+  FaultPlan plan;
+  auto a = spec_for("flash_bus", FaultKind::kSlowdown, 1.0);
+  a.slowdown = 2.0;
+  auto b = spec_for("flash_bus", FaultKind::kSlowdown, 1.0);
+  b.slowdown = 3.0;
+  b.start_epoch = 1;  // inactive at epoch 0
+  plan.faults.push_back(a);
+  plan.faults.push_back(b);
+  EpochSchedule schedule(plan);
+  EXPECT_DOUBLE_EQ(schedule.scan_slowdown(0), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.scan_slowdown(1), 6.0);
+}
+
+TEST(EpochSchedule, SelectionStallSumsActiveStalls) {
+  FaultPlan plan;
+  auto a = spec_for("fpga", FaultKind::kStall, 1.0);
+  a.stall_time = 10 * util::kMillisecond;
+  auto b = spec_for("fpga", FaultKind::kStall, 1.0);
+  b.stall_time = 5 * util::kMillisecond;
+  plan.faults.push_back(a);
+  plan.faults.push_back(b);
+  EpochSchedule schedule(plan);
+  EXPECT_EQ(schedule.selection_stall(0), 15 * util::kMillisecond);
+}
+
+TEST(EpochSchedule, SelectionTimeoutNeedsDeadlineAndStall) {
+  FaultPlan plan;
+  auto stall = spec_for("fpga", FaultKind::kStall, 1.0);
+  stall.stall_time = 60 * util::kMillisecond;
+  plan.faults.push_back(stall);
+  const util::SimTime nominal = 100 * util::kMillisecond;
+
+  // No deadline configured: never a timeout.
+  EXPECT_FALSE(EpochSchedule(plan).selection_timeout(0, nominal));
+
+  // Deadline 1.25x: 100ms + 60ms stall > 125ms → miss.
+  plan.selection_deadline_factor = 1.25;
+  EXPECT_TRUE(EpochSchedule(plan).selection_timeout(0, nominal));
+
+  // A generous deadline absorbs the stall.
+  plan.selection_deadline_factor = 2.0;
+  EXPECT_FALSE(EpochSchedule(plan).selection_timeout(0, nominal));
+
+  // Deadline set but the stall is outside its window: no timeout.
+  plan.faults[0].start_epoch = 0;
+  plan.faults[0].end_epoch = 1;
+  plan.selection_deadline_factor = 1.25;
+  EXPECT_FALSE(EpochSchedule(plan).selection_timeout(3, nominal));
+}
+
+TEST(EpochSchedule, PartialRateIsDeterministicAndEpochVarying) {
+  FaultPlan plan;
+  plan.faults.push_back(spec_for("p2p", FaultKind::kTransientError, 0.5));
+  EpochSchedule a(plan), b(plan);
+  int hits = 0;
+  for (std::size_t e = 0; e < 64; ++e) {
+    EXPECT_EQ(a.p2p_outage(e), b.p2p_outage(e)) << e;  // pure function
+    if (a.p2p_outage(e)) ++hits;
+  }
+  EXPECT_GT(hits, 0);   // the hashed draws hit some epochs...
+  EXPECT_LT(hits, 64);  // ...and spare others
+}
+
+}  // namespace
+}  // namespace nessa::fault

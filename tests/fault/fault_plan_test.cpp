@@ -1,0 +1,201 @@
+// FaultPlan: preset catalog, the line-oriented plan format, the summary
+// line, and the all-errors validate() contract.
+#include "nessa/fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::fault {
+namespace {
+
+bool any_error_mentions(const std::vector<std::string>& errors,
+                        const std::string& needle) {
+  return std::any_of(errors.begin(), errors.end(), [&](const auto& e) {
+    return e.find(needle) != std::string::npos;
+  });
+}
+
+TEST(FaultPlan, DefaultIsDisabledAndValid) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_TRUE(plan.validate().empty());
+}
+
+TEST(FaultPlan, FaultKindRoundTrips) {
+  EXPECT_EQ(fault_kind_from_string("error"), FaultKind::kTransientError);
+  EXPECT_EQ(fault_kind_from_string("slow"), FaultKind::kSlowdown);
+  EXPECT_EQ(fault_kind_from_string("degrade"), FaultKind::kSlowdown);
+  EXPECT_EQ(fault_kind_from_string("stall"), FaultKind::kStall);
+  EXPECT_EQ(fault_kind_from_string("reject"), FaultKind::kReject);
+  EXPECT_STREQ(to_string(FaultKind::kTransientError), "error");
+  EXPECT_STREQ(to_string(FaultKind::kReject), "reject");
+  EXPECT_THROW((void)fault_kind_from_string("explode"), std::invalid_argument);
+}
+
+TEST(FaultPlan, KnownComponentsMatchDeviceGraphTopology) {
+  EXPECT_TRUE(is_known_component("flash_bus"));
+  EXPECT_TRUE(is_known_component("p2p"));
+  EXPECT_TRUE(is_known_component("gpu"));
+  EXPECT_FALSE(is_known_component("warp_drive"));
+  EXPECT_EQ(known_component_names().size(), 7u);
+}
+
+TEST(FaultPlan, EveryPresetParsesAndValidates) {
+  for (const auto& name : FaultPlan::preset_names()) {
+    EXPECT_TRUE(FaultPlan::is_preset(name));
+    const auto plan = FaultPlan::preset(name);
+    EXPECT_TRUE(plan.enabled()) << name;
+    EXPECT_TRUE(plan.validate().empty()) << name;
+    // parse() resolves preset names too.
+    EXPECT_TRUE(FaultPlan::parse(name).enabled());
+  }
+  EXPECT_FALSE(FaultPlan::is_preset("no-such-preset"));
+  EXPECT_THROW(FaultPlan::preset("no-such-preset"), std::invalid_argument);
+}
+
+TEST(FaultPlan, PresetShapesMatchTheirScenarios) {
+  const auto flaky = FaultPlan::preset("flaky-p2p");
+  ASSERT_EQ(flaky.faults.size(), 1u);
+  EXPECT_EQ(flaky.faults[0].component, "p2p");
+  EXPECT_EQ(flaky.faults[0].kind, FaultKind::kTransientError);
+
+  const auto nand = FaultPlan::preset("slow-nand");
+  ASSERT_EQ(nand.faults.size(), 2u);
+  EXPECT_EQ(nand.faults[0].component, "flash_bus");
+  EXPECT_EQ(nand.faults[0].kind, FaultKind::kSlowdown);
+  EXPECT_GT(nand.faults[0].slowdown, 1.0);
+
+  const auto stall = FaultPlan::preset("fpga-stall");
+  ASSERT_EQ(stall.faults.size(), 1u);
+  EXPECT_EQ(stall.faults[0].component, "fpga");
+  EXPECT_EQ(stall.faults[0].kind, FaultKind::kStall);
+  EXPECT_GT(stall.faults[0].stall_time, 0);
+  EXPECT_GT(stall.selection_deadline_factor, 0.0);
+}
+
+TEST(FaultPlan, FromStreamParsesTheLineFormat) {
+  std::istringstream in(
+      "# chaos scenario\n"
+      "seed 7\n"
+      "retry max_attempts=3 base_backoff_us=10 multiplier=3 "
+      "max_backoff_us=500 jitter=0.1\n"
+      "selection_deadline_factor 1.5\n"
+      "\n"
+      "fault p2p error rate=0.25\n"
+      "fault flash_bus slow rate=0.5 factor=4 start=2 end=8\n"
+      "fault fpga stall rate=0.2 stall_us=50000\n");
+  const auto plan = FaultPlan::from_stream(in, "test-plan");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_EQ(plan.retry.max_attempts, 3u);
+  EXPECT_EQ(plan.retry.base_backoff, 10 * util::kMicrosecond);
+  EXPECT_DOUBLE_EQ(plan.retry.multiplier, 3.0);
+  EXPECT_EQ(plan.retry.max_backoff, 500 * util::kMicrosecond);
+  EXPECT_DOUBLE_EQ(plan.retry.jitter, 0.1);
+  EXPECT_DOUBLE_EQ(plan.selection_deadline_factor, 1.5);
+  ASSERT_EQ(plan.faults.size(), 3u);
+  EXPECT_EQ(plan.faults[0].component, "p2p");
+  EXPECT_DOUBLE_EQ(plan.faults[0].rate, 0.25);
+  EXPECT_EQ(plan.faults[1].start_epoch, 2u);
+  EXPECT_EQ(plan.faults[1].end_epoch, 8u);
+  EXPECT_DOUBLE_EQ(plan.faults[1].slowdown, 4.0);
+  EXPECT_EQ(plan.faults[2].stall_time, 50'000 * util::kMicrosecond);
+  EXPECT_TRUE(plan.validate().empty());
+}
+
+TEST(FaultPlan, FromStreamRejectsMalformedLines) {
+  const char* bad[] = {
+      "fault p2p\n",                      // missing kind
+      "fault p2p explode rate=0.5\n",     // unknown kind
+      "fault p2p error rate\n",           // not key=value
+      "fault p2p error rate=abc\n",       // not a number
+      "fault p2p error speed=3\n",        // unknown option
+      "retry max_attempts=abc\n",         // not a non-negative integer
+      "warp 9\n",                         // unknown directive
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW(FaultPlan::from_stream(in, "bad"), std::invalid_argument)
+        << text;
+  }
+}
+
+TEST(FaultPlan, FromFileThrowsWhenMissing) {
+  EXPECT_THROW(FaultPlan::from_file("/nonexistent/plan.txt"),
+               std::runtime_error);
+  // parse() of a non-preset falls through to the file path.
+  EXPECT_THROW(FaultPlan::parse("/nonexistent/plan.txt"), std::runtime_error);
+}
+
+TEST(FaultPlan, ValidateReturnsEveryError) {
+  FaultPlan plan;
+  FaultSpec unknown;
+  unknown.component = "warp_drive";
+  unknown.rate = 2.0;  // out of (0, 1]
+  plan.faults.push_back(unknown);
+
+  FaultSpec slow;
+  slow.component = "flash_bus";
+  slow.kind = FaultKind::kSlowdown;
+  slow.rate = 0.5;
+  slow.slowdown = 1.0;  // needs > 1
+  slow.start_epoch = 5;
+  slow.end_epoch = 5;  // empty window
+  plan.faults.push_back(slow);
+
+  FaultSpec stall;
+  stall.component = "fpga";
+  stall.kind = FaultKind::kStall;
+  stall.rate = 0.5;
+  stall.stall_time = 0;  // needs > 0
+  plan.faults.push_back(stall);
+
+  plan.retry.max_attempts = 0;  // zero-capacity budget
+  plan.retry.multiplier = 0.5;
+  plan.retry.jitter = 1.5;
+  plan.retry.base_backoff = 100;
+  plan.retry.max_backoff = 50;  // < base
+  plan.selection_deadline_factor = -1.0;
+
+  const auto errors = plan.validate();
+  EXPECT_GE(errors.size(), 9u);
+  EXPECT_TRUE(any_error_mentions(errors, "faults[0].component"));
+  EXPECT_TRUE(any_error_mentions(errors, "faults[0].rate"));
+  EXPECT_TRUE(any_error_mentions(errors, "faults[1].slowdown"));
+  EXPECT_TRUE(any_error_mentions(errors, "faults[1].end_epoch"));
+  EXPECT_TRUE(any_error_mentions(errors, "faults[2].stall_time"));
+  EXPECT_TRUE(any_error_mentions(errors, "retry.max_attempts"));
+  EXPECT_TRUE(any_error_mentions(errors, "retry.multiplier"));
+  EXPECT_TRUE(any_error_mentions(errors, "retry.jitter"));
+  EXPECT_TRUE(any_error_mentions(errors, "retry.max_backoff"));
+  EXPECT_TRUE(any_error_mentions(errors, "selection_deadline_factor"));
+}
+
+TEST(FaultPlan, ValidateRejectsNegativeRate) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.component = "p2p";
+  spec.rate = -0.1;
+  plan.faults.push_back(spec);
+  const auto errors = plan.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_TRUE(any_error_mentions(errors, "faults[0].rate"));
+}
+
+TEST(FaultPlan, SummaryNamesTheScenario) {
+  const auto plan = FaultPlan::preset("flaky-p2p");
+  const auto s = plan.summary();
+  EXPECT_NE(s.find("seed 42"), std::string::npos);
+  EXPECT_NE(s.find("p2p error"), std::string::npos);
+  EXPECT_NE(s.find("retry x3"), std::string::npos);
+
+  EXPECT_NE(FaultPlan{}.summary().find("no faults"), std::string::npos);
+  const auto stall = FaultPlan::preset("fpga-stall");
+  EXPECT_NE(stall.summary().find("selection deadline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nessa::fault

@@ -1,0 +1,191 @@
+// Injector: deterministic replay of a FaultPlan against live component
+// traffic through the sim::FaultHook seam.
+#include "nessa/fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nessa/fault/hashing.hpp"
+#include "nessa/sim/engine.hpp"
+#include "nessa/telemetry/telemetry.hpp"
+
+namespace nessa::fault {
+namespace {
+
+FaultPlan one_fault(const char* component, FaultKind kind, double rate) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.component = component;
+  spec.kind = kind;
+  spec.rate = rate;
+  plan.faults.push_back(spec);
+  return plan;
+}
+
+TEST(Injector, CertainErrorFailsEveryRequest) {
+  const auto plan = one_fault("p2p", FaultKind::kTransientError, 1.0);
+  Injector injector(plan);
+  sim::Simulator sim;
+  sim::Component p2p(sim, "p2p");
+  p2p.set_fault_hook(&injector);
+
+  int done = 0, failed = 0;
+  for (int i = 0; i < 5; ++i) {
+    p2p.submit(100, 1'000, "xfer", [&] { ++done; }, [&] { ++failed; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 0);
+  EXPECT_EQ(failed, 5);
+  EXPECT_EQ(injector.stats().failures, 5u);
+  // Failed requests consume service time but move no payload.
+  EXPECT_EQ(p2p.stats().failed, 5u);
+  EXPECT_EQ(p2p.stats().completed, 0u);
+  EXPECT_EQ(p2p.stats().bytes, 0u);
+  EXPECT_EQ(p2p.stats().busy_time, 500);
+}
+
+TEST(Injector, SlowdownMultipliesServiceTime) {
+  auto plan = one_fault("flash_bus", FaultKind::kSlowdown, 1.0);
+  plan.faults[0].slowdown = 3.0;
+  Injector injector(plan);
+  sim::Simulator sim;
+  sim::Component flash(sim, "flash_bus");
+  flash.set_fault_hook(&injector);
+
+  flash.submit(100, 0, "read");
+  sim.run();
+  EXPECT_EQ(sim.now(), 300);  // 100 * 3
+  EXPECT_EQ(flash.stats().busy_time, 300);
+  EXPECT_EQ(flash.stats().completed, 1u);
+  EXPECT_EQ(injector.stats().slowdowns, 1u);
+}
+
+TEST(Injector, StallAddsFixedDeadTime) {
+  auto plan = one_fault("fpga", FaultKind::kStall, 1.0);
+  plan.faults[0].stall_time = 750;
+  Injector injector(plan);
+  sim::Simulator sim;
+  sim::Component fpga(sim, "fpga");
+  fpga.set_fault_hook(&injector);
+
+  fpga.submit(100, 0, "forward");
+  sim.run();
+  EXPECT_EQ(sim.now(), 850);
+  EXPECT_EQ(injector.stats().stalls, 1u);
+}
+
+TEST(Injector, RejectBouncesAtSubmit) {
+  const auto plan = one_fault("host_bridge", FaultKind::kReject, 1.0);
+  Injector injector(plan);
+  sim::Simulator sim;
+  sim::Component bridge(sim, "host_bridge");
+  bridge.set_fault_hook(&injector);
+
+  EXPECT_FALSE(bridge.submit(100, 0, "stage"));
+  EXPECT_EQ(bridge.stats().rejected, 1u);
+  EXPECT_EQ(bridge.queue_depth(), 0u);
+  EXPECT_EQ(injector.stats().rejections, 1u);
+}
+
+TEST(Injector, OnlyTargetedComponentsAreTouched) {
+  const auto plan = one_fault("p2p", FaultKind::kTransientError, 1.0);
+  Injector injector(plan);
+  EXPECT_TRUE(injector.targets("p2p"));
+  EXPECT_FALSE(injector.targets("gpu"));
+
+  sim::Simulator sim;
+  sim::Component gpu(sim, "gpu");
+  gpu.set_fault_hook(&injector);
+  int done = 0;
+  gpu.submit(100, 0, "train", [&] { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(injector.stats().total(), 0u);
+}
+
+TEST(Injector, PartialRateIsDeterministicAcrossRuns) {
+  const auto plan = one_fault("p2p", FaultKind::kTransientError, 0.4);
+  auto run_once = [&plan] {
+    Injector injector(plan);
+    sim::Simulator sim;
+    sim::Component p2p(sim, "p2p");
+    p2p.set_fault_hook(&injector);
+    std::vector<int> outcomes;
+    for (int i = 0; i < 50; ++i) {
+      p2p.submit(10, 0, "xfer", [&] { outcomes.push_back(0); },
+                 [&] { outcomes.push_back(1); });
+    }
+    sim.run();
+    return outcomes;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);  // bit-identical fault schedule
+  // A 0.4 rate over 50 draws hits some but not all (deterministic hash).
+  int hits = 0;
+  for (int o : first) hits += o;
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, 50);
+}
+
+TEST(Injector, DifferentSeedsGiveDifferentSchedules) {
+  auto schedule_for = [](std::uint64_t seed) {
+    auto plan = one_fault("p2p", FaultKind::kTransientError, 0.5);
+    plan.seed = seed;
+    Injector injector(plan);
+    sim::Simulator sim;
+    sim::Component p2p(sim, "p2p");
+    p2p.set_fault_hook(&injector);
+    std::vector<int> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      p2p.submit(10, 0, "xfer", [&] { outcomes.push_back(0); },
+                 [&] { outcomes.push_back(1); });
+    }
+    sim.run();
+    return outcomes;
+  };
+  // 64 draws at rate 0.5: two seeds agreeing everywhere would mean the
+  // seed is ignored (the hash makes collision astronomically unlikely,
+  // and the test is deterministic either way).
+  EXPECT_NE(schedule_for(1), schedule_for(2));
+}
+
+TEST(Injector, CountsInjectionsOnTelemetry) {
+  telemetry::Session session;
+  auto plan = one_fault("p2p", FaultKind::kTransientError, 1.0);
+  FaultSpec slow;
+  slow.component = "flash_bus";
+  slow.kind = FaultKind::kSlowdown;
+  slow.rate = 1.0;
+  slow.slowdown = 2.0;
+  plan.faults.push_back(slow);
+
+  Injector injector(plan);
+  sim::Simulator sim;
+  sim::Component p2p(sim, "p2p");
+  sim::Component flash(sim, "flash_bus");
+  p2p.set_fault_hook(&injector);
+  flash.set_fault_hook(&injector);
+  p2p.submit(10, 0, "xfer", {}, [] {});
+  flash.submit(10, 0, "read");
+  sim.run();
+  EXPECT_EQ(session.metrics().counter_value("fault.injected.failures"), 1u);
+  EXPECT_EQ(session.metrics().counter_value("fault.injected.slowdowns"), 1u);
+  // The component itself counts the failure on its own track too.
+  EXPECT_EQ(session.metrics().counter_value("sim.p2p.failed"), 1u);
+}
+
+TEST(Hashing, MixAndU01AreStatelessAndStable) {
+  EXPECT_EQ(mix(1, 2, 3), mix(1, 2, 3));
+  EXPECT_NE(mix(1, 2, 3), mix(1, 2, 4));
+  EXPECT_NE(mix(1, 2, 3), mix(2, 2, 3));
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const double u = u01(42, 7, i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace nessa::fault

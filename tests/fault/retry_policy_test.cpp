@@ -1,0 +1,89 @@
+// RetryPolicy: bounded attempt budgets and deterministic exponential
+// backoff with hashed jitter.
+#include "nessa/fault/retry_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nessa/telemetry/telemetry.hpp"
+#include "nessa/util/units.hpp"
+
+namespace nessa::fault {
+namespace {
+
+TEST(RetryPolicy, BudgetCountsTheFirstAttempt) {
+  RetryConfig cfg;
+  cfg.max_attempts = 3;
+  RetryPolicy policy(cfg);
+  EXPECT_FALSE(policy.exhausted(1));
+  EXPECT_FALSE(policy.exhausted(2));
+  EXPECT_TRUE(policy.exhausted(3));
+  EXPECT_TRUE(policy.exhausted(4));
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryConfig cfg;
+  cfg.base_backoff = 100;
+  cfg.multiplier = 2.0;
+  cfg.max_backoff = 100'000;
+  cfg.jitter = 0.0;
+  RetryPolicy policy(cfg);
+  EXPECT_EQ(policy.backoff(1, 0), 100);
+  EXPECT_EQ(policy.backoff(2, 0), 200);
+  EXPECT_EQ(policy.backoff(3, 0), 400);
+  EXPECT_EQ(policy.backoff(4, 0), 800);
+}
+
+TEST(RetryPolicy, BackoffClampsAtMax) {
+  RetryConfig cfg;
+  cfg.base_backoff = 100;
+  cfg.multiplier = 10.0;
+  cfg.max_backoff = 500;
+  cfg.jitter = 0.0;
+  RetryPolicy policy(cfg);
+  EXPECT_EQ(policy.backoff(1, 0), 100);
+  EXPECT_EQ(policy.backoff(2, 0), 500);   // 1000 clamped
+  EXPECT_EQ(policy.backoff(9, 0), 500);   // far past the clamp, no overflow
+}
+
+TEST(RetryPolicy, JitterStaysInBandAndIsDeterministic) {
+  RetryConfig cfg;
+  cfg.base_backoff = 1'000'000;
+  cfg.multiplier = 1.0;
+  cfg.max_backoff = 10'000'000;
+  cfg.jitter = 0.25;
+  RetryPolicy a(cfg, 7), b(cfg, 7), other_seed(cfg, 8);
+
+  bool any_different_from_base = false;
+  for (std::uint64_t req = 0; req < 32; ++req) {
+    const auto t = a.backoff(1, req);
+    EXPECT_GE(t, 750'000) << req;   // 1 - 0.25
+    EXPECT_LE(t, 1'250'000) << req; // 1 + 0.25
+    EXPECT_EQ(t, b.backoff(1, req)) << req;  // same seed → same jitter
+    if (t != 1'000'000) any_different_from_base = true;
+  }
+  EXPECT_TRUE(any_different_from_base);
+  // Different request ids de-synchronize concurrent retries.
+  EXPECT_NE(a.backoff(1, 0), a.backoff(1, 1));
+  // A different seed shifts the jitter stream.
+  EXPECT_NE(a.backoff(1, 0), other_seed.backoff(1, 0));
+}
+
+TEST(RetryPolicy, NotesFlowIntoStatsAndTelemetry) {
+  telemetry::Session session;
+  RetryPolicy policy(RetryConfig{});
+  policy.note_retry(200 * util::kMicrosecond);
+  policy.note_retry(400 * util::kMicrosecond);
+  policy.note_giveup();
+  EXPECT_EQ(policy.stats().retries, 2u);
+  EXPECT_EQ(policy.stats().giveups, 1u);
+  EXPECT_EQ(session.metrics().counter_value("fault.retries"), 2u);
+  EXPECT_EQ(session.metrics().counter_value("fault.giveups"), 1u);
+  const auto snap =
+      session.metrics().histogram("fault.backoff_us").snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.min, 200.0);
+  EXPECT_DOUBLE_EQ(snap.max, 400.0);
+}
+
+}  // namespace
+}  // namespace nessa::fault

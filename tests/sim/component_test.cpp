@@ -83,6 +83,73 @@ TEST(Component, WhenAcceptingRunsImmediatelyWithFreeSlot) {
   EXPECT_TRUE(ran);
 }
 
+TEST(Component, ManyWaitersOnFullQueueAllEventuallyRun) {
+  // A deep stack of concurrent waiters against a capacity-1 queue: every
+  // waiter must run exactly once, in FIFO order, with no lost wakeups even
+  // though each released waiter immediately refills the freed slot.
+  Simulator sim;
+  Component c(sim, "bottleneck", 1);
+  ASSERT_TRUE(c.submit(10, 0, "seed"));
+  std::vector<int> order;
+  constexpr int kWaiters = 8;
+  for (int i = 0; i < kWaiters; ++i) {
+    c.when_accepting([&, i] {
+      order.push_back(i);
+      EXPECT_TRUE(c.accepting());  // the freed slot is really free
+      EXPECT_TRUE(c.submit(10, 0, "refill"));
+    });
+  }
+  EXPECT_TRUE(order.empty());
+  sim.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kWaiters));
+  for (int i = 0; i < kWaiters; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(c.stats().completed, static_cast<std::uint64_t>(kWaiters) + 1);
+  // Refills landed back to back: the component never idled between them.
+  EXPECT_EQ(c.stats().busy_time, 10 * (kWaiters + 1));
+}
+
+TEST(Component, WaiterThatDeclinesItsSlotDoesNotStrandLaterWaiters) {
+  // One slot is released per completion, FIFO. A waiter that chooses not
+  // to submit leaves the slot free; the next completion (or the still-free
+  // slot at drain time) must reach the remaining waiters rather than
+  // losing them.
+  Simulator sim;
+  Component c(sim, "bridge", 1);
+  ASSERT_TRUE(c.submit(10, 0, "seed"));
+  ASSERT_TRUE(!c.accepting());
+  std::vector<int> order;
+  c.when_accepting([&] { order.push_back(1); });  // declines the slot
+  c.when_accepting([&] {
+    order.push_back(2);
+    EXPECT_TRUE(c.submit(10, 0, "late"));
+  });
+  c.when_accepting([&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(c.stats().completed, 2u);
+}
+
+TEST(Component, RejectionsWhileWaitersQueuedDoNotReleaseWaiters) {
+  // A bounced submission must not wake a waiter — only a genuinely freed
+  // slot may. Otherwise a waiter could run, submit into the still-full
+  // queue, bounce, and be lost.
+  Simulator sim;
+  Component c(sim, "gpu", 2);
+  ASSERT_TRUE(c.submit(10, 0, "a"));
+  ASSERT_TRUE(c.submit(10, 0, "b"));
+  int woken = 0;
+  c.when_accepting([&] {
+    ++woken;
+    EXPECT_TRUE(c.submit(10, 0, "c"));
+  });
+  EXPECT_FALSE(c.submit(10, 0, "bounce"));  // full: rejected, no wakeup
+  EXPECT_EQ(woken, 0);
+  EXPECT_EQ(c.stats().rejected, 1u);
+  sim.run();
+  EXPECT_EQ(woken, 1);
+  EXPECT_EQ(c.stats().completed, 3u);
+}
+
 TEST(Component, RejectsNegativeServiceTime) {
   Simulator sim;
   Component c(sim, "bad");

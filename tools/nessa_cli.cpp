@@ -16,6 +16,8 @@
 //     --no-dynamic        disable dynamic subset sizing
 //     --parallel          run the selection engine on the thread pool
 //     --perf-model NAME   analytic | event epoch-cost model (default analytic)
+//     --fault-plan X      fault preset (flaky-p2p | slow-nand | fpga-stall)
+//                         or plan-file path; faults degrade the run
 //     --trace PATH        write a Chrome trace-event JSON of the run
 //     --metrics PATH      write the counters/gauges/histograms JSON
 //     --csv PATH          also write the per-epoch table as CSV
@@ -52,6 +54,7 @@ struct Options {
   bool dynamic_sizing = true;
   bool parallel = false;
   std::string perf_model = "analytic";
+  std::string fault_plan;
   std::string trace_path;
   std::string metrics_path;
   std::string csv_path;
@@ -66,6 +69,7 @@ void print_usage() {
       "             [--gpu A100|V100|K1200] [--seed N] [--no-feedback]\n"
       "             [--no-biasing] [--no-partitioning] [--no-dynamic]\n"
       "             [--parallel] [--perf-model analytic|event]\n"
+      "             [--fault-plan flaky-p2p|slow-nand|fpga-stall|FILE]\n"
       "             [--trace PATH] [--metrics PATH]\n"
       "             [--csv PATH] [--json PATH]\n";
 }
@@ -129,6 +133,10 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next("--perf-model");
       if (!v) return false;
       opt.perf_model = v;
+    } else if (arg == "--fault-plan") {
+      const char* v = next("--fault-plan");
+      if (!v) return false;
+      opt.fault_plan = v;
     } else if (arg == "--trace") {
       const char* v = next("--trace");
       if (!v) return false;
@@ -185,7 +193,10 @@ int main(int argc, char** argv) {
   rc.parallelism = opt.parallel;
   try {
     rc.perf_model = core::perf_model_from_string(opt.perf_model);
-  } catch (const std::invalid_argument& e) {
+    if (!opt.fault_plan.empty()) {
+      rc.fault_plan = fault::FaultPlan::parse(opt.fault_plan);
+    }
+  } catch (const std::exception& e) {
     std::cerr << "config error: " << e.what() << "\n";
     return 1;
   }
@@ -243,7 +254,11 @@ int main(int argc, char** argv) {
             << info.stored_bytes_per_sample << " B, " << info.paper_network
             << ", " << opt.gpu;
   if (opt.devices > 1) std::cout << ", " << opt.devices << " SmartSSDs";
-  std::cout << ")\n\n";
+  std::cout << ")\n";
+  if (!opt.fault_plan.empty()) {
+    std::cout << "fault plan: " << rc.fault_plan.summary() << "\n";
+  }
+  std::cout << "\n";
 
   util::Table table("per-epoch report");
   table.set_header({"epoch", "acc (%)", "loss", "subset (%)", "pool",
@@ -274,6 +289,12 @@ int main(int argc, char** argv) {
             << " GB\n"
             << "energy estimate     : "
             << util::Table::num(energy.total() / 1e3, 2) << " kJ\n";
+  if (!opt.fault_plan.empty()) {
+    std::cout << "fault fallbacks     : " << run.fault_fallback_epochs
+              << " epoch(s) re-priced over the host path\n"
+              << "stale subsets       : " << run.fault_stale_epochs
+              << " epoch(s) trained on a carried-forward subset\n";
+  }
 
   if (!opt.json_path.empty()) {
     core::RunMetadata run_meta{opt.pipeline, info.name, info.paper_network,

@@ -3,6 +3,7 @@
 //
 //   trace-dump [--trace PATH] [--metrics PATH] [--pipeline-epochs N]
 //              [--train-epochs N] [--scale S] [--seed N]
+//              [--fault-plan PRESET|FILE]
 //
 // Runs (1) the batch-granular SmartSSD pipeline simulation, which emits
 // sim-clock spans for every modeled resource (flash-read, fpga-forward,
@@ -29,12 +30,15 @@ struct Options {
   std::size_t train_epochs = 3;
   double scale = 0.01;
   std::uint64_t seed = 42;
+  std::string fault_plan;
 };
 
 void print_usage() {
   std::cout << "usage: trace-dump [--trace PATH] [--metrics PATH]\n"
                "                  [--pipeline-epochs N] [--train-epochs N]\n"
-               "                  [--scale S] [--seed N]\n";
+               "                  [--scale S] [--seed N]\n"
+               "                  [--fault-plan flaky-p2p|slow-nand|"
+               "fpga-stall|FILE]\n";
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -74,6 +78,10 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next("--seed");
       if (!v) return false;
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--fault-plan") {
+      const char* v = next("--fault-plan");
+      if (!v) return false;
+      opt.fault_plan = v;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       print_usage();
@@ -101,6 +109,14 @@ int main(int argc, char** argv) {
   rc.telemetry.enabled = true;
   rc.telemetry.trace_path = opt.trace_path;
   rc.telemetry.metrics_path = opt.metrics_path;
+  if (!opt.fault_plan.empty()) {
+    try {
+      rc.fault_plan = fault::FaultPlan::parse(opt.fault_plan);
+    } catch (const std::exception& e) {
+      std::cerr << "fault plan error: " << e.what() << "\n";
+      return 1;
+    }
+  }
   if (const auto errors = rc.validate(); !errors.empty()) {
     for (const auto& e : errors) std::cerr << "config error: " << e << "\n";
     return 1;
@@ -114,18 +130,34 @@ int main(int argc, char** argv) {
   std::cout << "pipeline: steady epoch "
             << util::to_seconds(trace.steady_epoch_time) << " s over "
             << rc.pipeline_epochs << " epochs\n";
+  if (rc.fault_plan.enabled()) {
+    std::cout << "fault plan: " << rc.fault_plan.summary() << "\n";
+  }
 
   util::Table usage("device-graph utilization");
   usage.set_header({"component", "busy (s)", "queue wait (s)", "util (%)",
-                    "requests", "GB moved"});
+                    "requests", "rejected", "failed", "GB moved"});
   for (const auto& u : trace.usage) {
     usage.add_row({u.name, util::Table::num(util::to_seconds(u.busy_time), 3),
                    util::Table::num(util::to_seconds(u.queue_wait), 3),
                    util::Table::pct(u.utilization),
-                   util::Table::num(u.requests),
+                   util::Table::num(u.requests), util::Table::num(u.rejected),
+                   util::Table::num(u.failed),
                    util::Table::num(static_cast<double>(u.bytes) / 1e9, 2)});
   }
   usage.print(std::cout);
+  if (trace.fault.any()) {
+    std::cout << "faults: " << trace.fault.injected_total() << " injected ("
+              << trace.fault.injected_failures << " failures, "
+              << trace.fault.injected_slowdowns << " slowdowns, "
+              << trace.fault.injected_stalls << " stalls, "
+              << trace.fault.injected_rejections << " rejections), "
+              << trace.fault.retries << " retries, " << trace.fault.giveups
+              << " give-ups, " << trace.fault.dropped_batches
+              << " dropped batches"
+              << (trace.fault.host_fallback ? ", host-path fallback" : "")
+              << "\n";
+  }
 
   // (2) Wall-clock domain: a short substrate NeSSA training run.
   const auto& info = data::dataset_info("CIFAR-10");
