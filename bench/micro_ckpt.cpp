@@ -1,0 +1,170 @@
+// Google-benchmark microbenchmarks for the checkpoint/restore subsystem.
+// The contract mirrors the fault seam's: a run with checkpointing DISABLED
+// must price within noise (~2%) of the pre-checkpoint baselines (the
+// BM_EventEpoch rows in BENCH_pipeline.json, the trainer probes here), and
+// the enabled path's cost — state capture, payload encode, CRC, atomic
+// write — is measured so regressions in the snapshot path show up.
+//
+//   BM_EventEpochNoCheckpoint      the event-model probe with no snapshot
+//                                  hook — comparable to BM_EventEpoch/0;
+//   BM_EventEpochCheckpointed      same simulation persisting a barrier
+//                                  snapshot every epoch;
+//   BM_TrainerNoCheckpoint         a short NeSSA run, checkpointing off;
+//   BM_TrainerCheckpointEveryEpoch the same run snapshotting every epoch
+//                                  (capture + encode + CRC + write+rename);
+//   BM_SnapshotWrite/<bytes>       raw store throughput per payload size;
+//   BM_SnapshotLoadLatest/<bytes>  verify-and-load of the newest snapshot.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "nessa/ckpt/store.hpp"
+#include "nessa/core/pipeline.hpp"
+#include "nessa/core/run_config.hpp"
+#include "nessa/data/synthetic.hpp"
+#include "nessa/smartssd/pipeline_sim.hpp"
+
+using namespace nessa;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch_dir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / "nessa_bench_ckpt" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+const data::Dataset& bench_dataset() {
+  static const data::Dataset ds = [] {
+    data::SyntheticConfig cfg;
+    cfg.num_classes = 4;
+    cfg.train_size = 400;
+    cfg.test_size = 100;
+    cfg.feature_dim = 16;
+    cfg.seed = 11;
+    return data::make_synthetic(cfg);
+  }();
+  return ds;
+}
+
+core::PipelineInputs trainer_inputs() {
+  core::PipelineInputs in;
+  in.dataset = &bench_dataset();
+  in.info = data::dataset_info("CIFAR-10");
+  in.model = nn::model_spec("ResNet-20");
+  in.train.epochs = 3;
+  in.train.batch_size = 32;
+  in.train.seed = 3;
+  return in;
+}
+
+core::NessaConfig bench_nessa() {
+  core::NessaConfig cfg;
+  cfg.subset_fraction = 0.3;
+  cfg.partition_quota = 32;
+  cfg.drop_interval_epochs = 2;
+  cfg.loss_window_epochs = 2;
+  return cfg;
+}
+
+void BM_EventEpochNoCheckpoint(benchmark::State& state) {
+  const smartssd::EpochWorkload workload;
+  smartssd::SystemConfig cfg;
+  util::SimTime last = 0;
+  for (auto _ : state) {
+    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5);
+    last = trace.steady_epoch_time;
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["epoch_s"] = util::to_seconds(last);
+}
+BENCHMARK(BM_EventEpochNoCheckpoint);
+
+void BM_EventEpochCheckpointed(benchmark::State& state) {
+  const auto dir = scratch_dir("event");
+  core::RunConfig rc;
+  rc.pipeline_epochs = 5;
+  rc.checkpoint.dir = dir.string();
+  rc.checkpoint.keep = 2;
+  util::SimTime last = 0;
+  for (auto _ : state) {
+    const auto trace = core::simulate_pipeline(rc);
+    last = trace.steady_epoch_time;
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["epoch_s"] = util::to_seconds(last);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_EventEpochCheckpointed);
+
+void BM_TrainerNoCheckpoint(benchmark::State& state) {
+  const auto inputs = trainer_inputs();
+  double acc = 0.0;
+  for (auto _ : state) {
+    smartssd::SmartSsdSystem sys;
+    const auto run = core::run_nessa(inputs, bench_nessa(), sys);
+    acc = run.final_accuracy;  // kept live by the counter below
+  }
+  state.counters["final_acc"] = acc;
+}
+BENCHMARK(BM_TrainerNoCheckpoint)->Unit(benchmark::kMillisecond);
+
+void BM_TrainerCheckpointEveryEpoch(benchmark::State& state) {
+  const auto dir = scratch_dir("trainer");
+  auto inputs = trainer_inputs();
+  inputs.checkpoint.dir = dir.string();
+  inputs.checkpoint.keep = 2;
+  double acc = 0.0;
+  for (auto _ : state) {
+    smartssd::SmartSsdSystem sys;
+    const auto run = core::run_nessa(inputs, bench_nessa(), sys);
+    acc = run.final_accuracy;  // kept live by the counter below
+  }
+  state.counters["final_acc"] = acc;
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_TrainerCheckpointEveryEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotWrite(benchmark::State& state) {
+  const auto dir = scratch_dir("write");
+  ckpt::CheckpointConfig cfg;
+  cfg.dir = dir.string();
+  cfg.keep = 2;
+  ckpt::Writer writer(cfg);
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0x5a);
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    writer.write(++epoch, payload);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotWrite)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_SnapshotLoadLatest(benchmark::State& state) {
+  const auto dir = scratch_dir("load");
+  ckpt::CheckpointConfig cfg;
+  cfg.dir = dir.string();
+  ckpt::Writer writer(cfg);
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (std::uint64_t e = 1; e <= 3; ++e) writer.write(e, payload);
+  ckpt::Reader reader(dir.string());
+  for (auto _ : state) {
+    const auto snap = reader.load_latest();
+    benchmark::DoNotOptimize(snap.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotLoadLatest)->Arg(64 << 10)->Arg(1 << 20);
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Little-endian binary buffer primitives for snapshot payloads.
+//
+// BufWriter appends fixed-width scalars, strings and blobs to an in-memory
+// byte vector; BufReader walks the same layout back and throws a typed
+// SnapshotError (kTruncated) the moment a read would run past the end, so a
+// torn payload can never be silently misinterpreted. Floating-point values
+// are moved bit-exactly via their IEEE-754 representation — round-tripping a
+// snapshot reproduces the run's state to the last bit.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nessa/ckpt/errors.hpp"
+
+namespace nessa::ckpt {
+
+class BufWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw_le(v); }
+  void u64(std::uint64_t v) { raw_le(v); }
+  void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  /// Length-prefixed string / byte blob / float vector.
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void blob(const std::vector<std::uint8_t>& b) {
+    u64(b.size());
+    bytes(b.data(), b.size());
+  }
+  void f32_vec(const std::vector<float>& v) {
+    u64(v.size());
+    for (float x : v) f32(x);
+  }
+  void u64_vec(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    for (std::uint64_t x : v) u64(x);
+  }
+  void index_vec(const std::vector<std::size_t>& v) {
+    u64(v.size());
+    for (std::size_t x : v) u64(static_cast<std::uint64_t>(x));
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+
+ private:
+  template <typename T>
+  void raw_le(T v) {
+    static_assert(std::endian::native == std::endian::little,
+                  "snapshot format assumes a little-endian host");
+    std::uint8_t tmp[sizeof(T)];
+    std::memcpy(tmp, &v, sizeof(T));
+    bytes(tmp, sizeof(T));
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class BufReader {
+ public:
+  BufReader(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+  explicit BufReader(const std::vector<std::uint8_t>& buf) noexcept
+      : BufReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() { return raw_le<std::uint32_t>(); }
+  std::uint64_t u64() { return raw_le<std::uint64_t>(); }
+  float f32() { return std::bit_cast<float>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint64_t n = len(u64());
+    std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                    static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return out;
+  }
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t n = len(u64());
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + n);
+    pos_ += static_cast<std::size_t>(n);
+    return out;
+  }
+  std::vector<float> f32_vec() {
+    const std::uint64_t n = count(u64(), sizeof(float));
+    std::vector<float> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(f32());
+    return out;
+  }
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t n = count(u64(), sizeof(std::uint64_t));
+    std::vector<std::uint64_t> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(u64());
+    return out;
+  }
+  std::vector<std::size_t> index_vec() {
+    auto raw = u64_vec();
+    return {raw.begin(), raw.end()};
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T raw_le() {
+    static_assert(std::endian::native == std::endian::little,
+                  "snapshot format assumes a little-endian host");
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) {
+      throw SnapshotError(SnapshotFault::kTruncated,
+                          "snapshot payload truncated: need " +
+                              std::to_string(n) + " bytes at offset " +
+                              std::to_string(pos_) + " of " +
+                              std::to_string(size_));
+    }
+  }
+
+  /// Validate a length prefix (in bytes) against the remaining payload
+  /// before allocating, so a corrupt huge length throws instead of OOMing.
+  std::uint64_t len(std::uint64_t n) const {
+    if (n > size_ - pos_) {
+      throw SnapshotError(SnapshotFault::kTruncated,
+                          "snapshot payload truncated: length prefix " +
+                              std::to_string(n) + " exceeds remaining " +
+                              std::to_string(size_ - pos_) + " bytes");
+    }
+    return n;
+  }
+
+  /// Validate an element-count prefix (division avoids byte-size overflow).
+  std::uint64_t count(std::uint64_t n, std::size_t elem_bytes) const {
+    if (n > (size_ - pos_) / elem_bytes) {
+      throw SnapshotError(SnapshotFault::kTruncated,
+                          "snapshot payload truncated: count prefix " +
+                              std::to_string(n) + " exceeds remaining " +
+                              std::to_string(size_ - pos_) + " bytes");
+    }
+    return n;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nessa::ckpt

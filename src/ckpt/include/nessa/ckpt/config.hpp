@@ -1,0 +1,30 @@
+// Checkpoint/restore configuration shared by every run driver.
+//
+// A run with a non-empty `dir` persists a crash-consistent snapshot of its
+// trainer state at every `every_epochs`-th epoch boundary (see store.hpp for
+// the on-disk format and atomicity protocol); `resume = true` additionally
+// restores the newest valid snapshot from `dir` before the first epoch and
+// continues the run bit-identically from there.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace nessa::ckpt {
+
+struct CheckpointConfig {
+  /// Snapshot directory. Empty disables checkpointing entirely.
+  std::string dir;
+  /// Snapshot cadence: write after every Nth completed epoch (>= 1).
+  std::size_t every_epochs = 1;
+  /// Rolling retention: keep the newest N snapshots (older ones are pruned
+  /// after each successful write). 0 keeps everything.
+  std::size_t keep = 3;
+  /// Restore the newest valid snapshot from `dir` before running. Throws
+  /// SnapshotError(kNoSnapshot) when no valid snapshot exists.
+  bool resume = false;
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
+};
+
+}  // namespace nessa::ckpt

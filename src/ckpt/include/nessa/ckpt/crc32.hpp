@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range. Guards every
+// snapshot payload against torn writes and bit flips; the polynomial is part
+// of the on-disk format and must not change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nessa::ckpt {
+
+/// CRC-32 of `len` bytes, optionally continuing from a previous value
+/// (pass the prior return value as `seed` to checksum in pieces).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace nessa::ckpt

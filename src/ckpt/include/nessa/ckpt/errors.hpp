@@ -1,0 +1,35 @@
+// Typed snapshot errors: every way a checkpoint can be unusable maps to one
+// SnapshotFault so callers (trainers, the CLI, the corruption tests) can
+// distinguish "nothing to resume from" from "this file is torn" without
+// string-matching messages.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nessa::ckpt {
+
+enum class SnapshotFault {
+  kIoError,            ///< open/read/write/rename failed
+  kTruncated,          ///< file shorter than its header claims
+  kBadMagic,           ///< not a snapshot file at all
+  kBadVersion,         ///< snapshot format version not understood
+  kChecksumMismatch,   ///< payload CRC32 does not match (torn/flipped bytes)
+  kBadPayload,         ///< payload decoded but is inconsistent with the run
+  kNoSnapshot,         ///< no valid snapshot available to resume from
+};
+
+[[nodiscard]] const char* to_string(SnapshotFault fault) noexcept;
+
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(SnapshotFault fault, const std::string& message)
+      : std::runtime_error(message), fault_(fault) {}
+
+  [[nodiscard]] SnapshotFault fault() const noexcept { return fault_; }
+
+ private:
+  SnapshotFault fault_;
+};
+
+}  // namespace nessa::ckpt

@@ -1,0 +1,87 @@
+// Crash-consistent snapshot store: versioned, CRC32-checksummed snapshot
+// files with atomic writes and newest-valid-wins recovery.
+//
+// On-disk container (little-endian), one file per snapshot:
+//
+//   magic  "NSCK" (u32 0x4b43534e)
+//   u32    container version (kSnapshotVersion)
+//   u64    epoch — number of completed epochs the payload represents
+//   u64    payload size in bytes
+//   u32    CRC-32 of the payload bytes
+//   bytes  payload (opaque to the store; see core's trainer snapshot codec)
+//
+// Atomicity protocol: the Writer serializes to `snap-<epoch>.nsck.tmp` in
+// the same directory, flushes, then renames over `snap-<epoch>.nsck` — a
+// crash mid-write leaves at worst a stale .tmp that readers never consider,
+// so a visible snapshot is always complete (the CRC additionally catches
+// media-level corruption). After each successful write the Writer prunes to
+// the newest `keep` snapshots.
+//
+// The Reader scans the directory newest-epoch-first and returns the first
+// snapshot whose header and checksum verify, falling back past torn or
+// corrupt files (counted in ckpt.corrupt_snapshots); it throws
+// SnapshotError(kNoSnapshot) when nothing valid remains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nessa/ckpt/config.hpp"
+#include "nessa/ckpt/errors.hpp"
+
+namespace nessa::ckpt {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x4b43534e;  // "NSCK"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+struct Snapshot {
+  std::uint64_t epoch = 0;  ///< completed epochs (resume starts here)
+  std::vector<std::uint8_t> payload;
+};
+
+class Writer {
+ public:
+  /// Creates the snapshot directory if needed. Throws
+  /// SnapshotError(kIoError) when it cannot be created.
+  explicit Writer(CheckpointConfig config);
+
+  /// Atomically persist `payload` as the epoch-`epoch` snapshot and prune
+  /// to the keep-N policy. Returns the final snapshot path. Throws
+  /// SnapshotError(kIoError) on any filesystem failure.
+  std::string write(std::uint64_t epoch,
+                    const std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] const CheckpointConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  CheckpointConfig config_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Snapshot file paths in the directory, newest epoch first. A missing
+  /// directory yields an empty list.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Newest snapshot that verifies (magic, version, size, CRC). Corrupt or
+  /// torn files are skipped with a ckpt.corrupt_snapshots count. Throws
+  /// SnapshotError(kNoSnapshot) when no valid snapshot exists.
+  [[nodiscard]] Snapshot load_latest() const;
+
+  /// Load and verify one snapshot file. Throws the precise SnapshotError
+  /// (kIoError, kTruncated, kBadMagic, kBadVersion, kChecksumMismatch).
+  static Snapshot load_file(const std::string& path);
+
+ private:
+  std::string dir_;
+};
+
+/// "snap-<epoch, zero-padded>.nsck" filename for an epoch.
+[[nodiscard]] std::string snapshot_filename(std::uint64_t epoch);
+
+}  // namespace nessa::ckpt

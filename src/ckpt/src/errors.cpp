@@ -1,0 +1,25 @@
+#include "nessa/ckpt/errors.hpp"
+
+namespace nessa::ckpt {
+
+const char* to_string(SnapshotFault fault) noexcept {
+  switch (fault) {
+    case SnapshotFault::kIoError:
+      return "io-error";
+    case SnapshotFault::kTruncated:
+      return "truncated";
+    case SnapshotFault::kBadMagic:
+      return "bad-magic";
+    case SnapshotFault::kBadVersion:
+      return "bad-version";
+    case SnapshotFault::kChecksumMismatch:
+      return "checksum-mismatch";
+    case SnapshotFault::kBadPayload:
+      return "bad-payload";
+    case SnapshotFault::kNoSnapshot:
+      return "no-snapshot";
+  }
+  return "?";
+}
+
+}  // namespace nessa::ckpt

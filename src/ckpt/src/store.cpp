@@ -1,0 +1,193 @@
+#include "nessa/ckpt/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "nessa/ckpt/buffer.hpp"
+#include "nessa/ckpt/crc32.hpp"
+#include "nessa/telemetry/telemetry.hpp"
+
+namespace nessa::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPrefix = "snap-";
+constexpr const char* kSuffix = ".nsck";
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 4;
+
+/// Parse the epoch out of "snap-<digits>.nsck"; -1 for anything else
+/// (including .tmp leftovers, which readers must never consider).
+std::int64_t filename_epoch(const std::string& name) {
+  const std::size_t prefix_len = std::strlen(kPrefix);
+  const std::size_t suffix_len = std::strlen(kSuffix);
+  if (name.size() <= prefix_len + suffix_len) return -1;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return -1;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return -1;
+  }
+  std::uint64_t epoch = 0;
+  for (std::size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    epoch = epoch * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return static_cast<std::int64_t>(epoch);
+}
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw SnapshotError(SnapshotFault::kIoError, what + ": " + path);
+}
+
+}  // namespace
+
+std::string snapshot_filename(std::uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08llu%s", kPrefix,
+                static_cast<unsigned long long>(epoch), kSuffix);
+  return buf;
+}
+
+Writer::Writer(CheckpointConfig config) : config_(std::move(config)) {
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  if (ec && !fs::is_directory(config_.dir)) {
+    throw_io("cannot create snapshot directory", config_.dir);
+  }
+}
+
+std::string Writer::write(std::uint64_t epoch,
+                          const std::vector<std::uint8_t>& payload) {
+  auto span = telemetry::wall_span("ckpt-write", "ckpt");
+  const fs::path dir(config_.dir);
+  const fs::path final_path = dir / snapshot_filename(epoch);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+
+  BufWriter header;
+  header.u32(kSnapshotMagic);
+  header.u32(kSnapshotVersion);
+  header.u64(epoch);
+  header.u64(payload.size());
+  header.u32(crc32(payload.data(), payload.size()));
+
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw_io("cannot open snapshot temp file", tmp_path.string());
+    out.write(reinterpret_cast<const char*>(header.data().data()),
+              static_cast<std::streamsize>(header.data().size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) throw_io("short write to snapshot temp file", tmp_path.string());
+  }
+
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw_io("cannot publish snapshot", final_path.string());
+  }
+
+  telemetry::count("ckpt.snapshots_written");
+  telemetry::count("ckpt.bytes_written",
+                   static_cast<std::uint64_t>(kHeaderBytes + payload.size()));
+  telemetry::gauge_set("ckpt.last_epoch", static_cast<double>(epoch));
+
+  // Rolling keep-N retention: prune the oldest snapshots past the window.
+  if (config_.keep > 0) {
+    auto files = Reader(config_.dir).list();  // newest first
+    for (std::size_t i = config_.keep; i < files.size(); ++i) {
+      std::error_code prune_ec;
+      fs::remove(files[i], prune_ec);
+      if (!prune_ec) telemetry::count("ckpt.snapshots_pruned");
+    }
+  }
+  return final_path.string();
+}
+
+std::vector<std::string> Reader::list() const {
+  std::vector<std::pair<std::int64_t, std::string>> found;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return {};
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::int64_t epoch = filename_epoch(entry.path().filename().string());
+    if (epoch >= 0) found.emplace_back(epoch, entry.path().string());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [epoch, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+Snapshot Reader::load_latest() const {
+  std::string last_error;
+  for (const auto& path : list()) {
+    try {
+      return load_file(path);
+    } catch (const SnapshotError& e) {
+      // Torn or corrupt snapshot: fall back to the next-newest one.
+      telemetry::count("ckpt.corrupt_snapshots");
+      last_error = std::string(e.what()) + " (" + path + ")";
+    }
+  }
+  std::string msg = "no valid snapshot in " + dir_;
+  if (!last_error.empty()) msg += "; last failure: " + last_error;
+  throw SnapshotError(SnapshotFault::kNoSnapshot, msg);
+}
+
+Snapshot Reader::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw_io("cannot open snapshot", path);
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) throw_io("cannot read snapshot", path);
+
+  if (raw.size() < kHeaderBytes) {
+    throw SnapshotError(SnapshotFault::kTruncated,
+                        "snapshot header truncated: " + path + " has " +
+                            std::to_string(raw.size()) + " bytes");
+  }
+  BufReader header(raw.data(), kHeaderBytes);
+  const std::uint32_t magic = header.u32();
+  if (magic != kSnapshotMagic) {
+    throw SnapshotError(SnapshotFault::kBadMagic,
+                        "not a snapshot file (bad magic): " + path);
+  }
+  const std::uint32_t version = header.u32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError(SnapshotFault::kBadVersion,
+                        "unsupported snapshot version " +
+                            std::to_string(version) + ": " + path);
+  }
+  Snapshot snap;
+  snap.epoch = header.u64();
+  const std::uint64_t payload_size = header.u64();
+  const std::uint32_t expected_crc = header.u32();
+  if (raw.size() - kHeaderBytes < payload_size) {
+    throw SnapshotError(
+        SnapshotFault::kTruncated,
+        "snapshot payload truncated: " + path + " holds " +
+            std::to_string(raw.size() - kHeaderBytes) + " of " +
+            std::to_string(payload_size) + " payload bytes");
+  }
+  snap.payload.assign(raw.begin() + kHeaderBytes,
+                      raw.begin() + kHeaderBytes +
+                          static_cast<std::ptrdiff_t>(payload_size));
+  const std::uint32_t actual_crc = crc32(snap.payload.data(),
+                                         snap.payload.size());
+  if (actual_crc != expected_crc) {
+    throw SnapshotError(SnapshotFault::kChecksumMismatch,
+                        "snapshot checksum mismatch: " + path);
+  }
+  return snap;
+}
+
+}  // namespace nessa::ckpt

@@ -9,6 +9,7 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "nessa/data/dataset.hpp"
@@ -91,6 +92,20 @@ class LossHistory {
   }
 
   [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+  /// Raw per-sample windows, for checkpoint/restore.
+  [[nodiscard]] const std::vector<std::vector<float>>& windows()
+      const noexcept {
+    return histories_;
+  }
+  /// Restore from a snapshot; the sample count must match the history's.
+  void restore(std::vector<std::vector<float>> windows) {
+    if (windows.size() != histories_.size()) {
+      throw std::invalid_argument(
+          "LossHistory::restore: sample count mismatch");
+    }
+    histories_ = std::move(windows);
+  }
 
  private:
   std::size_t window_;

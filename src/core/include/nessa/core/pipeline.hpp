@@ -46,6 +46,11 @@ struct PipelineInputs {
   /// stalls that blow the selection deadline carry the previous subset
   /// forward as a stale epoch.
   fault::FaultPlan fault_plan{};
+  /// Checkpoint/restore (disabled by default): every run driver snapshots
+  /// its state into `checkpoint.dir` at epoch boundaries and, with
+  /// `checkpoint.resume`, restores the newest valid snapshot and continues
+  /// the run bit-identically (same RunResult as an uninterrupted run).
+  ckpt::CheckpointConfig checkpoint{};
 };
 
 /// Conventional full-dataset training (paper "All Data" / Table 3 "Goal").

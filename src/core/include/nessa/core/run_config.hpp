@@ -24,8 +24,10 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "nessa/ckpt/config.hpp"
 #include "nessa/core/config.hpp"
 #include "nessa/core/perf_model.hpp"
 #include "nessa/fault/fault_plan.hpp"
@@ -68,6 +70,10 @@ struct RunConfig {
   /// request-level injection in the pipeline simulation and epoch-level
   /// degraded-mode pricing in the trainers.
   fault::FaultPlan fault_plan{};
+  /// Checkpoint/restore (see ckpt/config.hpp): a non-empty dir snapshots
+  /// trainer state at epoch boundaries; resume restores the newest valid
+  /// snapshot and continues bit-identically. Disabled by default.
+  ckpt::CheckpointConfig checkpoint{};
 
   // --- fluent builder -------------------------------------------------
   RunConfig& with_system(smartssd::SystemConfig value) {
@@ -108,6 +114,23 @@ struct RunConfig {
   }
   RunConfig& with_fault_plan(fault::FaultPlan value) {
     fault_plan = std::move(value);
+    return *this;
+  }
+  RunConfig& with_checkpoint(ckpt::CheckpointConfig value) {
+    checkpoint = std::move(value);
+    return *this;
+  }
+  /// Enable checkpointing into `dir` every `every_epochs` epochs.
+  RunConfig& with_checkpoint(std::string dir, std::size_t every_epochs = 1) {
+    checkpoint.dir = std::move(dir);
+    checkpoint.every_epochs = every_epochs;
+    return *this;
+  }
+  /// Resume from the newest valid snapshot in `dir` (and keep
+  /// checkpointing there as the resumed run progresses).
+  RunConfig& with_resume(std::string dir) {
+    checkpoint.dir = std::move(dir);
+    checkpoint.resume = true;
     return *this;
   }
 

@@ -14,6 +14,7 @@
 
 #include "nessa/core/pipeline.hpp"
 #include "nessa/core/train_utils.hpp"
+#include "nessa/fault/crash.hpp"
 #include "nessa/nn/embedding.hpp"
 #include "nessa/nn/metrics.hpp"
 #include "nessa/nn/optimizer.hpp"
@@ -21,6 +22,7 @@
 #include "nessa/selection/drivers.hpp"
 #include "nessa/selection/kcenter.hpp"
 #include "pipeline_common.hpp"
+#include "trainer_ckpt.hpp"
 
 namespace nessa::core {
 
@@ -78,7 +80,11 @@ RunResult run_craig(const PipelineInputs& inputs, double subset_fraction,
   const auto all = iota_indices(n);
 
   RunResult result;
-  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+  detail::CommonCheckpointHook ckpt(inputs, "craig", subset_fraction, st.rng,
+                                    st.model, st.sgd, result);
+  for (std::size_t epoch = ckpt.start_epoch(); epoch < inputs.train.epochs;
+       ++epoch) {
+    fault::maybe_crash(inputs.fault_plan, epoch, ckpt.sim_elapsed());
     st.sgd.set_learning_rate(st.schedule.lr_at(epoch));
     driver.seed = inputs.train.seed * 104729 + epoch;
 
@@ -123,6 +129,7 @@ RunResult run_craig(const PipelineInputs& inputs, double subset_fraction,
         static_cast<std::uint64_t>(paper_n) * sample_bytes;
 
     result.epochs.push_back(std::move(report));
+    ckpt.epoch_done(epoch);
   }
   result.finalize();
   return result;
@@ -145,7 +152,11 @@ RunResult run_kcenter(const PipelineInputs& inputs, double subset_fraction,
   const std::size_t feat_dim = paper_feature_dim(inputs.model);
 
   RunResult result;
-  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+  detail::CommonCheckpointHook ckpt(inputs, "kcenter", subset_fraction,
+                                    st.rng, st.model, st.sgd, result);
+  for (std::size_t epoch = ckpt.start_epoch(); epoch < inputs.train.epochs;
+       ++epoch) {
+    fault::maybe_crash(inputs.fault_plan, epoch, ckpt.sim_elapsed());
     st.sgd.set_learning_rate(st.schedule.lr_at(epoch));
 
     // Penultimate features of the float model (substrate-real).
@@ -188,6 +199,7 @@ RunResult run_kcenter(const PipelineInputs& inputs, double subset_fraction,
         static_cast<std::uint64_t>(paper_n) * sample_bytes;
 
     result.epochs.push_back(std::move(report));
+    ckpt.epoch_done(epoch);
   }
   result.finalize();
   return result;
@@ -208,7 +220,11 @@ RunResult run_random(const PipelineInputs& inputs, double subset_fraction,
   const std::size_t paper_k = detail::paper_count(inputs, subset_fraction);
 
   RunResult result;
-  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+  detail::CommonCheckpointHook ckpt(inputs, "random", subset_fraction,
+                                    st.rng, st.model, st.sgd, result);
+  for (std::size_t epoch = ckpt.start_epoch(); epoch < inputs.train.epochs;
+       ++epoch) {
+    fault::maybe_crash(inputs.fault_plan, epoch, ckpt.sim_elapsed());
     st.sgd.set_learning_rate(st.schedule.lr_at(epoch));
     auto subset = selection::random_subset(n, k, st.rng);
 
@@ -234,6 +250,7 @@ RunResult run_random(const PipelineInputs& inputs, double subset_fraction,
         static_cast<std::uint64_t>(paper_k) * sample_bytes;
 
     result.epochs.push_back(std::move(report));
+    ckpt.epoch_done(epoch);
   }
   result.finalize();
   return result;

@@ -10,11 +10,13 @@
 
 #include "nessa/core/pipeline.hpp"
 #include "nessa/core/train_utils.hpp"
+#include "nessa/fault/crash.hpp"
 #include "nessa/nn/embedding.hpp"
 #include "nessa/nn/metrics.hpp"
 #include "nessa/nn/optimizer.hpp"
 #include "nessa/selection/baselines.hpp"
 #include "pipeline_common.hpp"
+#include "trainer_ckpt.hpp"
 
 namespace nessa::core {
 
@@ -37,7 +39,11 @@ RunResult run_full_cached(const PipelineInputs& inputs,
   const std::size_t paper_n = inputs.info.paper_train_size;
 
   RunResult result;
-  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+  detail::CommonCheckpointHook ckpt(inputs, "full_cached", 0.0, rng, model,
+                                    sgd, result);
+  for (std::size_t epoch = ckpt.start_epoch(); epoch < inputs.train.epochs;
+       ++epoch) {
+    fault::maybe_crash(inputs.fault_plan, epoch, ckpt.sim_elapsed());
     sgd.set_learning_rate(schedule.lr_at(epoch));
     EpochReport report;
     report.epoch = epoch;
@@ -65,6 +71,7 @@ RunResult run_full_cached(const PipelineInputs& inputs,
         cache.epoch_miss_bytes(paper_n, sample_bytes);
 
     result.epochs.push_back(std::move(report));
+    ckpt.epoch_done(epoch);
   }
   result.finalize();
   return result;
@@ -91,7 +98,11 @@ RunResult run_loss_topk(const PipelineInputs& inputs, double subset_fraction,
   const std::size_t paper_k = detail::paper_count(inputs, subset_fraction);
 
   RunResult result;
-  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+  detail::CommonCheckpointHook ckpt(inputs, "loss_topk", subset_fraction,
+                                    rng, model, sgd, result);
+  for (std::size_t epoch = ckpt.start_epoch(); epoch < inputs.train.epochs;
+       ++epoch) {
+    fault::maybe_crash(inputs.fault_plan, epoch, ckpt.sim_elapsed());
     sgd.set_learning_rate(schedule.lr_at(epoch));
 
     // Loss scan over everything (GPU inference), then a trivial top-k.
@@ -125,6 +136,7 @@ RunResult run_loss_topk(const PipelineInputs& inputs, double subset_fraction,
         static_cast<std::uint64_t>(paper_n) * sample_bytes;
 
     result.epochs.push_back(std::move(report));
+    ckpt.epoch_done(epoch);
   }
   result.finalize();
   return result;

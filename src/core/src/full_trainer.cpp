@@ -1,8 +1,10 @@
 #include "nessa/core/pipeline.hpp"
 #include "nessa/core/train_utils.hpp"
+#include "nessa/fault/crash.hpp"
 #include "nessa/nn/metrics.hpp"
 #include "nessa/nn/optimizer.hpp"
 #include "pipeline_common.hpp"
+#include "trainer_ckpt.hpp"
 
 namespace nessa::core {
 
@@ -23,7 +25,12 @@ RunResult run_full(const PipelineInputs& inputs,
   const std::size_t paper_n = inputs.info.paper_train_size;
 
   RunResult result;
-  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+  detail::CommonCheckpointHook ckpt(inputs, "full", 0.0, rng, model, sgd,
+                                    result);
+
+  for (std::size_t epoch = ckpt.start_epoch(); epoch < inputs.train.epochs;
+       ++epoch) {
+    fault::maybe_crash(inputs.fault_plan, epoch, ckpt.sim_elapsed());
     sgd.set_learning_rate(schedule.lr_at(epoch));
     EpochReport report;
     report.epoch = epoch;
@@ -50,6 +57,7 @@ RunResult run_full(const PipelineInputs& inputs,
         static_cast<std::uint64_t>(paper_n) * sample_bytes;
 
     result.epochs.push_back(std::move(report));
+    ckpt.epoch_done(epoch);
   }
   result.finalize();
   return result;

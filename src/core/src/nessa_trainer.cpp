@@ -15,7 +15,9 @@
 #include <numeric>
 #include <optional>
 
+#include "nessa/ckpt/errors.hpp"
 #include "nessa/core/near_storage.hpp"
+#include "nessa/fault/crash.hpp"
 #include "nessa/fault/epoch_schedule.hpp"
 #include "nessa/core/pipeline.hpp"
 #include "nessa/tensor/ops.hpp"
@@ -27,6 +29,7 @@
 #include "nessa/telemetry/telemetry.hpp"
 #include "nessa/util/stats.hpp"
 #include "pipeline_common.hpp"
+#include "trainer_ckpt.hpp"
 
 namespace nessa::core {
 
@@ -93,7 +96,58 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
   selection::CoresetResult coreset;
 
   RunResult result;
-  for (std::size_t epoch = 0; epoch < inputs.train.epochs; ++epoch) {
+
+  // ---- checkpoint/restore (see trainer_ckpt.hpp) ----------------------
+  detail::CheckpointSession ckpt_session(
+      inputs.checkpoint, "nessa",
+      detail::run_fingerprint("nessa", inputs, config.subset_fraction));
+  std::size_t start_epoch = 0;
+  util::SimTime sim_elapsed = 0;
+  std::uint64_t base_interconnect = 0;
+  std::uint64_t base_p2p = 0;
+  if (auto snap = ckpt_session.restore()) {
+    if (!snap->has_nessa || snap->nessa.last_correct.size() != n ||
+        snap->nessa.history.size() != n) {
+      throw ckpt::SnapshotError(
+          ckpt::SnapshotFault::kBadPayload,
+          "snapshot does not match the nessa driver's dataset");
+    }
+    for (std::size_t idx : snap->nessa.pool) {
+      if (idx >= n) {
+        throw ckpt::SnapshotError(ckpt::SnapshotFault::kBadPayload,
+                                  "snapshot pool index out of range");
+      }
+    }
+    for (std::size_t idx : snap->nessa.coreset.indices) {
+      if (idx >= n) {
+        throw ckpt::SnapshotError(ckpt::SnapshotFault::kBadPayload,
+                                  "snapshot coreset index out of range");
+      }
+    }
+    detail::restore_common(snap->common, rng, model, sgd, result);
+    pool = std::move(snap->nessa.pool);
+    history.restore(std::move(snap->nessa.history));
+    for (std::size_t i = 0; i < n; ++i) {
+      last_correct[i] = snap->nessa.last_correct[i] != 0;
+    }
+    fraction = snap->nessa.fraction;
+    prev_loss = snap->nessa.prev_loss;
+    coreset = std::move(snap->nessa.coreset);
+    nominal_fpga_phase = snap->nessa.nominal_fpga_phase;
+    base_interconnect = snap->common.traffic_interconnect;
+    base_p2p = snap->common.traffic_p2p;
+    start_epoch = static_cast<std::size_t>(snap->next_epoch);
+    // The kernel was built from the deterministic initial weights; bring it
+    // to the checkpointed state exactly as the uninterrupted run did.
+    if (config.weight_feedback && start_epoch > 0) kernel->refresh(model);
+    for (const EpochReport& report : result.epochs) {
+      sim_elapsed += report.cost.total();
+    }
+  }
+
+  for (std::size_t epoch = start_epoch; epoch < inputs.train.epochs;
+       ++epoch) {
+    fault::maybe_crash(inputs.fault_plan, epoch, sim_elapsed);
     sgd.set_learning_rate(schedule.lr_at(epoch));
     driver.seed = inputs.train.seed * 7919 + epoch;
 
@@ -237,13 +291,39 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
       prev_loss = report.train_loss;
     }
 
+    sim_elapsed += report.cost.total();
     result.epochs.push_back(std::move(report));
     telemetry::count("core.epochs");
+
+    if (ckpt_session.due(epoch + 1)) {
+      detail::TrainerSnapshot snap;
+      snap.next_epoch = epoch + 1;
+      snap.common = detail::capture_common(rng, model, sgd, result);
+      snap.common.traffic_interconnect =
+          base_interconnect +
+          (system.traffic().interconnect_bytes - traffic0.interconnect_bytes);
+      snap.common.traffic_p2p =
+          base_p2p + (system.traffic().p2p_bytes - traffic0.p2p_bytes);
+      snap.has_nessa = true;
+      snap.nessa.pool = pool;
+      snap.nessa.history = history.windows();
+      snap.nessa.last_correct.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        snap.nessa.last_correct[i] = last_correct[i] ? 1 : 0;
+      }
+      snap.nessa.fraction = fraction;
+      snap.nessa.prev_loss = prev_loss;
+      snap.nessa.coreset = coreset;
+      snap.nessa.nominal_fpga_phase = nominal_fpga_phase;
+      ckpt_session.save(std::move(snap));
+    }
   }
 
   result.interconnect_bytes =
-      system.traffic().interconnect_bytes - traffic0.interconnect_bytes;
-  result.p2p_bytes = system.traffic().p2p_bytes - traffic0.p2p_bytes;
+      base_interconnect +
+      (system.traffic().interconnect_bytes - traffic0.interconnect_bytes);
+  result.p2p_bytes =
+      base_p2p + (system.traffic().p2p_bytes - traffic0.p2p_bytes);
   result.finalize();
   return result;
 }

@@ -1,0 +1,45 @@
+// Kill-point injection: the process-death analogue of the request-level
+// faults. A FaultPlan may carry one crash point ("crash epoch=N" /
+// "crash sim_us=T" in the plan format); every run driver and the pipeline
+// simulation check it at epoch boundaries and raise InjectedCrash when it is
+// reached — modelling the process dying with whatever checkpoints were
+// already on disk. The killpoint tests catch the exception, resume from the
+// checkpoint directory, and assert the resumed run is bit-identical to an
+// uninterrupted one.
+//
+// A crash point is NOT cleared by resuming: a resumed run that reaches the
+// same point crashes again. To run past it, resume with a plan whose crash
+// point is removed (the CLI's --resume does this automatically).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::fault {
+
+struct FaultPlan;
+
+/// Thrown at the epoch boundary where a plan's crash point fires.
+class InjectedCrash : public std::runtime_error {
+ public:
+  InjectedCrash(std::size_t epoch, util::SimTime sim_time);
+
+  /// The epoch the run was about to start when it died.
+  [[nodiscard]] std::size_t epoch() const noexcept { return epoch_; }
+  /// Simulated time accumulated when the crash fired.
+  [[nodiscard]] util::SimTime sim_time() const noexcept { return sim_time_; }
+
+ private:
+  std::size_t epoch_;
+  util::SimTime sim_time_;
+};
+
+/// Raise InjectedCrash if the plan's kill point has been reached: the run is
+/// about to start `epoch`, having accumulated `sim_elapsed` of simulated
+/// time. No-op for plans without a crash point.
+void maybe_crash(const FaultPlan& plan, std::size_t epoch,
+                 util::SimTime sim_elapsed);
+
+}  // namespace nessa::fault

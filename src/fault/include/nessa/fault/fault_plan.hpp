@@ -89,8 +89,28 @@ struct FaultPlan {
   /// (telemetry-visible staleness) instead of stalling the GPU. 0 disables
   /// the deadline.
   double selection_deadline_factor = 0.0;
+  /// Kill point ("crash epoch=N" / "crash sim_us=T" in the plan format):
+  /// the run raises fault::InjectedCrash at the first epoch boundary where
+  /// the epoch about to start is >= crash_epoch, or the accumulated
+  /// simulated time is >= crash_sim_time (> 0 to enable). Models process
+  /// death for the checkpoint/restore killpoint tests; see fault/crash.hpp.
+  std::size_t crash_epoch = FaultSpec::kNoEpochLimit;
+  util::SimTime crash_sim_time = 0;
 
   [[nodiscard]] bool enabled() const noexcept { return !faults.empty(); }
+
+  [[nodiscard]] bool has_crash_point() const noexcept {
+    return crash_epoch != FaultSpec::kNoEpochLimit || crash_sim_time > 0;
+  }
+
+  /// Copy of the plan with the kill point removed — what a resumed run
+  /// should execute under so it does not re-crash at the same boundary.
+  [[nodiscard]] FaultPlan without_crash_point() const {
+    FaultPlan plan = *this;
+    plan.crash_epoch = FaultSpec::kNoEpochLimit;
+    plan.crash_sim_time = 0;
+    return plan;
+  }
 
   /// Check every field and return ALL problems found, one human-readable
   /// message each ("field: why") — same all-errors contract as

@@ -1,0 +1,35 @@
+#include "nessa/fault/crash.hpp"
+
+#include <string>
+
+#include "nessa/fault/fault_plan.hpp"
+#include "nessa/telemetry/telemetry.hpp"
+
+namespace nessa::fault {
+
+namespace {
+
+std::string describe(std::size_t epoch, util::SimTime sim_time) {
+  return "injected crash at epoch " + std::to_string(epoch) + " (sim time " +
+         std::to_string(util::to_us(sim_time)) + " us)";
+}
+
+}  // namespace
+
+InjectedCrash::InjectedCrash(std::size_t epoch, util::SimTime sim_time)
+    : std::runtime_error(describe(epoch, sim_time)),
+      epoch_(epoch),
+      sim_time_(sim_time) {}
+
+void maybe_crash(const FaultPlan& plan, std::size_t epoch,
+                 util::SimTime sim_elapsed) {
+  if (!plan.has_crash_point()) return;
+  const bool epoch_hit = epoch >= plan.crash_epoch;
+  const bool time_hit =
+      plan.crash_sim_time > 0 && sim_elapsed >= plan.crash_sim_time;
+  if (!epoch_hit && !time_hit) return;
+  telemetry::count("fault.injected.crashes");
+  throw InjectedCrash(epoch, sim_elapsed);
+}
+
+}  // namespace nessa::fault

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -38,31 +39,64 @@ std::pair<std::string, std::string> split_kv(const std::string& token,
 }
 
 double parse_double(const std::string& value, const std::string& where) {
+  if (value.empty()) {
+    throw std::invalid_argument(where + ": empty value");
+  }
+  std::size_t used = 0;
+  double parsed = 0.0;
   try {
-    std::size_t used = 0;
-    const double parsed = std::stod(value, &used);
-    if (used != value.size()) throw std::invalid_argument("trailing junk");
-    return parsed;
+    parsed = std::stod(value, &used);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument(where + ": number out of range: " +
+                                quoted(value));
   } catch (const std::exception&) {
     throw std::invalid_argument(where + ": not a number: " + quoted(value));
   }
+  if (used != value.size()) {
+    throw std::invalid_argument(where + ": trailing garbage in " +
+                                quoted(value));
+  }
+  if (!std::isfinite(parsed)) {
+    throw std::invalid_argument(where + ": not a finite number: " +
+                                quoted(value));
+  }
+  return parsed;
 }
 
 std::uint64_t parse_u64(const std::string& value, const std::string& where) {
+  if (value.empty()) {
+    throw std::invalid_argument(where + ": empty value");
+  }
+  // std::stoull silently wraps negative input; reject signs outright.
+  if (value.front() == '-' || value.front() == '+') {
+    throw std::invalid_argument(where + ": not a non-negative integer: " +
+                                quoted(value));
+  }
+  std::size_t used = 0;
+  unsigned long long parsed = 0;
   try {
-    std::size_t used = 0;
-    const unsigned long long parsed = std::stoull(value, &used);
-    if (used != value.size()) throw std::invalid_argument("trailing junk");
-    return parsed;
+    parsed = std::stoull(value, &used);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument(where + ": integer out of range: " +
+                                quoted(value));
   } catch (const std::exception&) {
     throw std::invalid_argument(where + ": not a non-negative integer: " +
                                 quoted(value));
   }
+  if (used != value.size()) {
+    throw std::invalid_argument(where + ": trailing garbage in " +
+                                quoted(value));
+  }
+  return parsed;
 }
 
 util::SimTime us_to_sim(double us) {
-  return static_cast<util::SimTime>(
-      std::llround(us * static_cast<double>(util::kMicrosecond)));
+  // Saturate instead of overflowing llround for huge (but finite) inputs.
+  const double ps = us * static_cast<double>(util::kMicrosecond);
+  constexpr auto kMax = std::numeric_limits<util::SimTime>::max();
+  if (ps >= static_cast<double>(kMax)) return kMax;
+  if (ps <= 0.0) return 0;
+  return static_cast<util::SimTime>(std::llround(ps));
 }
 
 FaultSpec parse_fault_line(std::istringstream& fields,
@@ -121,6 +155,34 @@ void parse_retry_line(std::istringstream& fields, RetryConfig& retry,
       throw std::invalid_argument(where + ": unknown retry option " +
                                   quoted(key));
     }
+  }
+}
+
+/// "crash epoch=N" / "crash sim_us=T" (at least one; both allowed).
+void parse_crash_line(std::istringstream& fields, FaultPlan& plan,
+                      const std::string& where) {
+  std::string token;
+  bool any = false;
+  while (fields >> token) {
+    const auto [key, value] = split_kv(token, where);
+    if (key == "epoch") {
+      plan.crash_epoch =
+          static_cast<std::size_t>(parse_u64(value, where + " epoch"));
+    } else if (key == "sim_us") {
+      plan.crash_sim_time = us_to_sim(parse_double(value, where + " sim_us"));
+      if (plan.crash_sim_time <= 0) {
+        throw std::invalid_argument(where + ": sim_us must be > 0, got " +
+                                    quoted(value));
+      }
+    } else {
+      throw std::invalid_argument(where + ": unknown crash option " +
+                                  quoted(key));
+    }
+    any = true;
+  }
+  if (!any) {
+    throw std::invalid_argument(where +
+                                ": crash needs epoch=N and/or sim_us=T");
   }
 }
 
@@ -217,6 +279,9 @@ std::vector<std::string> FaultPlan::validate() const {
         "selection_deadline_factor: must be >= 0 (0 disables), got " +
         std::to_string(selection_deadline_factor));
   }
+  if (crash_sim_time < 0) {
+    errors.emplace_back("crash_sim_time: must be >= 0 (0 disables)");
+  }
   return errors;
 }
 
@@ -237,6 +302,12 @@ std::string FaultPlan::summary() const {
   out << ", retry x" << retry.max_attempts;
   if (selection_deadline_factor > 0.0) {
     out << ", selection deadline x" << selection_deadline_factor;
+  }
+  if (crash_epoch != FaultSpec::kNoEpochLimit) {
+    out << ", crash @epoch " << crash_epoch;
+  }
+  if (crash_sim_time > 0) {
+    out << ", crash @" << util::to_us(crash_sim_time) << " us";
   }
   return out.str();
 }
@@ -322,11 +393,14 @@ FaultPlan FaultPlan::from_stream(std::istream& in, const std::string& origin) {
       parse_retry_line(fields, plan.retry, where);
     } else if (directive == "fault") {
       plan.faults.push_back(parse_fault_line(fields, where));
+    } else if (directive == "crash") {
+      parse_crash_line(fields, plan, where);
     } else {
       throw std::invalid_argument(where + ": unknown directive " +
                                   quoted(directive) +
                                   " (expected seed, retry, "
-                                  "selection_deadline_factor, or fault)");
+                                  "selection_deadline_factor, crash, or "
+                                  "fault)");
     }
   }
   return plan;

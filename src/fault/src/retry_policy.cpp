@@ -11,9 +11,23 @@ namespace nessa::fault {
 util::SimTime RetryPolicy::backoff(std::size_t attempt,
                                    std::uint64_t request_id) const noexcept {
   if (attempt == 0) attempt = 1;
+  // Clamp the exponent before multiplying: a huge attempt count would make
+  // pow() overflow to inf, and base_backoff == 0 would then produce
+  // 0 * inf = NaN — which min() propagates and llround() mangles. Any
+  // exponent at which base * mult^e already exceeds max_backoff yields the
+  // same clamped delay, so cap the exponent at the point of saturation.
+  double exponent = static_cast<double>(attempt - 1);
+  if (config_.multiplier > 1.0 && config_.base_backoff > 0) {
+    const double saturating =
+        std::log(static_cast<double>(config_.max_backoff) /
+                 static_cast<double>(config_.base_backoff)) /
+        std::log(config_.multiplier);
+    exponent = std::min(exponent, std::max(0.0, saturating) + 1.0);
+  } else if (config_.multiplier > 1.0) {
+    exponent = 0.0;  // base of 0 stays 0 at any exponent
+  }
   double delay = static_cast<double>(config_.base_backoff) *
-                 std::pow(config_.multiplier,
-                          static_cast<double>(attempt - 1));
+                 std::pow(config_.multiplier, exponent);
   delay = std::min(delay, static_cast<double>(config_.max_backoff));
   if (config_.jitter > 0.0) {
     // Deterministic jitter factor in [1 - j, 1 + j).

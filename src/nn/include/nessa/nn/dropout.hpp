@@ -17,6 +17,11 @@ class Dropout final : public Layer {
 
   [[nodiscard]] float rate() const noexcept { return rate_; }
 
+  /// The layer's private mask stream, exposed for checkpoint/restore (the
+  /// stream advances every training forward, so bit-identical resume must
+  /// save and restore it alongside the trainer's own rng).
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
  private:
   float rate_;
   util::Rng rng_;

@@ -32,6 +32,14 @@ class Sgd {
   }
   [[nodiscard]] const SgdConfig& config() const noexcept { return config_; }
 
+  /// Velocity buffers in `params` order, for checkpoint/restore. A slot
+  /// that has not been created yet exports as an empty vector; import
+  /// recreates exactly the exported slots keyed to the given params.
+  [[nodiscard]] std::vector<std::vector<float>> export_velocities(
+      const std::vector<ParamRef>& params) const;
+  void import_velocities(const std::vector<ParamRef>& params,
+                         const std::vector<std::vector<float>>& velocities);
+
  private:
   SgdConfig config_;
   struct Slot {

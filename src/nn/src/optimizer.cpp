@@ -1,6 +1,8 @@
 #include "nessa/nn/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace nessa::nn {
 
@@ -26,6 +28,48 @@ void Sgd::step(std::vector<ParamRef> params) {
       const float update = config_.nesterov ? grad + mu * v[i] : v[i];
       w[i] -= lr * update;
     }
+  }
+}
+
+std::vector<std::vector<float>> Sgd::export_velocities(
+    const std::vector<ParamRef>& params) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(params.size());
+  for (const auto& p : params) {
+    const Slot* found = nullptr;
+    for (const auto& slot : slots_) {
+      if (slot.key == p.value) {
+        found = &slot;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      out.emplace_back();
+    } else {
+      out.emplace_back(found->velocity.data(),
+                       found->velocity.data() + found->velocity.size());
+    }
+  }
+  return out;
+}
+
+void Sgd::import_velocities(const std::vector<ParamRef>& params,
+                            const std::vector<std::vector<float>>& velocities) {
+  if (params.size() != velocities.size()) {
+    throw std::invalid_argument(
+        "Sgd::import_velocities: parameter count mismatch");
+  }
+  slots_.clear();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (velocities[i].empty()) continue;
+    if (velocities[i].size() != params[i].value->size()) {
+      throw std::invalid_argument(
+          "Sgd::import_velocities: velocity size mismatch for " +
+          params[i].name);
+    }
+    Tensor v(params[i].value->shape());
+    std::copy(velocities[i].begin(), velocities[i].end(), v.data());
+    slots_.push_back({params[i].value, std::move(v)});
   }
 }
 

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,20 @@ struct EpochWorkload {
   std::uint64_t feedback_bytes = 270'000;
 };
 
+/// The crash-consistent boundary of the batch-granular simulation: epoch
+/// e's feedback transfer has landed, so every piece of state the epoch
+/// produced is final. Recorded per epoch in PipelineTrace::barriers and
+/// handed to PipelineOptions::on_epoch_barrier as it happens; the running
+/// fault counters let a resumed (re-simulated) run verify bit-identically
+/// that it retraced the checkpointed prefix.
+struct EpochBarrier {
+  std::size_t epoch = 0;      ///< completed epochs (1-based count)
+  util::SimTime at = 0;       ///< simulated completion time of the barrier
+  bool host_fallback = false; ///< scan re-routed over the host path by now
+  std::uint64_t dropped_batches = 0;  ///< running total at the barrier
+  std::uint64_t stale_epochs = 0;     ///< running total at the barrier
+};
+
 struct PipelineOptions {
   /// true: the scan streams flash -> FPGA over the on-board P2P link.
   /// false: conventional host-mediated scan — every scanned batch crosses
@@ -66,6 +81,11 @@ struct PipelineOptions {
   /// selection_deadline_factor > 0) an epoch whose selection misses the
   /// deadline trains on the previous epoch's subset instead of stalling.
   const fault::FaultPlan* fault_plan = nullptr;
+  /// Fired at every epoch barrier, BEFORE the fault plan's kill point (if
+  /// any) is evaluated — a checkpoint hook installed here has persisted
+  /// every completed barrier by the time an injected crash unwinds the
+  /// simulation. See core::simulate_pipeline(RunConfig) for the wiring.
+  std::function<void(const EpochBarrier&)> on_epoch_barrier;
 };
 
 /// End-of-run accounting for one DeviceGraph component.
@@ -95,6 +115,8 @@ struct PipelineTrace {
   util::SimTime analytic_gpu_phase = 0;
   /// Per-component busy/queue/byte accounting over the whole run.
   std::vector<ComponentUsage> usage;
+  /// Every epoch barrier crossed, in order (see EpochBarrier).
+  std::vector<EpochBarrier> barriers;
   /// What the fault plan actually did (all zeros without a plan).
   fault::FaultReport fault;
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nessa/fault/crash.hpp"
 #include "nessa/fault/fault_plan.hpp"
 #include "nessa/fault/injector.hpp"
 #include "nessa/fault/retry_policy.hpp"
@@ -366,6 +367,18 @@ class PipelineRun {
     telemetry::count("pipeline.host_link.bytes", host_link_bytes);
     telemetry::count("pipeline.gpu_link.bytes", subset_bytes);
     telemetry::count("pipeline.feedback.bytes", w_.feedback_bytes);
+
+    // Epoch barrier: everything epoch e produced is final. Record it, let
+    // any checkpoint hook persist it, and only then evaluate the plan's
+    // kill point — a crash injected here unwinds the simulation with every
+    // completed barrier already on disk.
+    const EpochBarrier barrier{e + 1, done, p2p_degraded_,
+                               report_.dropped_batches, report_.stale_epochs};
+    trace_->barriers.push_back(barrier);
+    if (opts_.on_epoch_barrier) opts_.on_epoch_barrier(barrier);
+    if (opts_.fault_plan != nullptr) {
+      fault::maybe_crash(*opts_.fault_plan, e + 1, done);
+    }
   }
 
   // --- end-of-run reporting --------------------------------------------

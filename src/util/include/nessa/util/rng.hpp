@@ -132,6 +132,25 @@ class Rng {
   /// Fork an independent stream (e.g. one per worker thread / per class).
   Rng fork() noexcept { return Rng((*this)()); }
 
+  /// The complete generator state (xoshiro words + cached gaussian pair),
+  /// for checkpoint/restore. Round-tripping through set_state() resumes the
+  /// stream bit-identically.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double gaussian_spare = 0.0;
+    bool gaussian_cached = false;
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    return State{state_, gaussian_spare_, gaussian_cached_};
+  }
+
+  void set_state(const State& s) noexcept {
+    state_ = s.words;
+    gaussian_spare_ = s.gaussian_spare;
+    gaussian_cached_ = s.gaussian_cached;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

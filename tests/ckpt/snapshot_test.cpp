@@ -1,0 +1,258 @@
+// Snapshot store corruption coverage: every way a checkpoint file can go
+// bad (truncation, bit flips, wrong magic/version, stale temp files, an
+// empty or missing directory) must surface as the right typed SnapshotError
+// or fall back to an older valid snapshot — never as silent garbage or UB.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nessa/ckpt/buffer.hpp"
+#include "nessa/ckpt/crc32.hpp"
+#include "nessa/ckpt/store.hpp"
+
+namespace nessa::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("nessa_snap_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+CheckpointConfig config_for(const fs::path& dir, std::size_t keep = 3) {
+  CheckpointConfig cfg;
+  cfg.dir = dir.string();
+  cfg.keep = keep;
+  return cfg;
+}
+
+std::vector<std::uint8_t> payload_for(std::uint8_t tag) {
+  return std::vector<std::uint8_t>(64, tag);
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Crc32, MatchesKnownAnswer) {
+  // The standard CRC-32 check value: crc("123456789") = 0xCBF43926.
+  const char* msg = "123456789";
+  EXPECT_EQ(crc32(msg, 9), 0xCBF43926u);
+  // Continuation: checksumming in pieces equals one pass.
+  const std::uint32_t head = crc32(msg, 4);
+  EXPECT_EQ(crc32(msg + 4, 5, head), crc32(msg, 9));
+}
+
+TEST(SnapshotStore, WriteThenLoadRoundTrips) {
+  const auto dir = fresh_dir("roundtrip");
+  Writer writer(config_for(dir));
+  const auto payload = payload_for(0xab);
+  writer.write(7, payload);
+  const Snapshot snap = Reader(dir.string()).load_latest();
+  EXPECT_EQ(snap.epoch, 7u);
+  EXPECT_EQ(snap.payload, payload);
+}
+
+TEST(SnapshotStore, NewestEpochWins) {
+  const auto dir = fresh_dir("newest");
+  Writer writer(config_for(dir));
+  writer.write(1, payload_for(1));
+  writer.write(3, payload_for(3));
+  writer.write(2, payload_for(2));
+  const Snapshot snap = Reader(dir.string()).load_latest();
+  EXPECT_EQ(snap.epoch, 3u);
+  EXPECT_EQ(snap.payload, payload_for(3));
+}
+
+TEST(SnapshotStore, KeepNPrunesOldest) {
+  const auto dir = fresh_dir("prune");
+  Writer writer(config_for(dir, 2));
+  for (std::uint64_t e = 1; e <= 5; ++e) writer.write(e, payload_for(0));
+  const auto files = Reader(dir.string()).list();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(Reader::load_file(files[0]).epoch, 5u);
+  EXPECT_EQ(Reader::load_file(files[1]).epoch, 4u);
+}
+
+TEST(SnapshotStore, KeepZeroKeepsEverything) {
+  const auto dir = fresh_dir("keepall");
+  Writer writer(config_for(dir, 0));
+  for (std::uint64_t e = 1; e <= 5; ++e) writer.write(e, payload_for(0));
+  EXPECT_EQ(Reader(dir.string()).list().size(), 5u);
+}
+
+TEST(SnapshotStore, EmptyDirThrowsNoSnapshot) {
+  const auto dir = fresh_dir("empty");
+  try {
+    Reader(dir.string()).load_latest();
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.fault(), SnapshotFault::kNoSnapshot);
+  }
+}
+
+TEST(SnapshotStore, MissingDirThrowsNoSnapshot) {
+  const auto dir = fresh_dir("missing");
+  fs::remove_all(dir);
+  EXPECT_TRUE(Reader(dir.string()).list().empty());
+  EXPECT_THROW(Reader(dir.string()).load_latest(), SnapshotError);
+}
+
+TEST(SnapshotStore, TruncatedFileDetectedAndSkipped) {
+  const auto dir = fresh_dir("truncated");
+  Writer writer(config_for(dir));
+  writer.write(1, payload_for(1));
+  const std::string newest = writer.write(2, payload_for(2));
+  auto bytes = read_file(newest);
+  bytes.resize(bytes.size() / 2);  // torn write: half the file is gone
+  write_file(newest, bytes);
+  try {
+    Reader::load_file(newest);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.fault(), SnapshotFault::kTruncated);
+  }
+  // Recovery: the reader falls back past the torn file to epoch 1.
+  const Snapshot snap = Reader(dir.string()).load_latest();
+  EXPECT_EQ(snap.epoch, 1u);
+  EXPECT_EQ(snap.payload, payload_for(1));
+}
+
+TEST(SnapshotStore, FlippedPayloadByteFailsChecksum) {
+  const auto dir = fresh_dir("bitflip");
+  Writer writer(config_for(dir));
+  writer.write(1, payload_for(1));
+  const std::string newest = writer.write(2, payload_for(2));
+  auto bytes = read_file(newest);
+  bytes.back() ^= 0x40;  // flip one payload bit
+  write_file(newest, bytes);
+  try {
+    Reader::load_file(newest);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.fault(), SnapshotFault::kChecksumMismatch);
+  }
+  EXPECT_EQ(Reader(dir.string()).load_latest().epoch, 1u);
+}
+
+TEST(SnapshotStore, WrongMagicIsBadMagic) {
+  const auto dir = fresh_dir("magic");
+  Writer writer(config_for(dir));
+  const std::string path = writer.write(1, payload_for(1));
+  auto bytes = read_file(path);
+  bytes[0] ^= 0xff;
+  write_file(path, bytes);
+  try {
+    Reader::load_file(path);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.fault(), SnapshotFault::kBadMagic);
+  }
+}
+
+TEST(SnapshotStore, UnknownVersionIsBadVersion) {
+  const auto dir = fresh_dir("version");
+  Writer writer(config_for(dir));
+  const std::string path = writer.write(1, payload_for(1));
+  auto bytes = read_file(path);
+  bytes[4] = static_cast<std::uint8_t>(kSnapshotVersion + 1);  // version u32
+  write_file(path, bytes);
+  try {
+    Reader::load_file(path);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.fault(), SnapshotFault::kBadVersion);
+  }
+}
+
+TEST(SnapshotStore, EveryFileCorruptIsNoSnapshot) {
+  const auto dir = fresh_dir("allbad");
+  Writer writer(config_for(dir));
+  for (std::uint64_t e = 1; e <= 3; ++e) {
+    const std::string path = writer.write(e, payload_for(0));
+    auto bytes = read_file(path);
+    bytes.back() ^= 0x01;
+    write_file(path, bytes);
+  }
+  try {
+    Reader(dir.string()).load_latest();
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.fault(), SnapshotFault::kNoSnapshot);
+  }
+}
+
+TEST(SnapshotStore, StaleTempFileNeverConsidered) {
+  const auto dir = fresh_dir("tmpfile");
+  Writer writer(config_for(dir));
+  writer.write(1, payload_for(1));
+  // A crash mid-write leaves a .tmp behind; readers must skip it even when
+  // its name sorts after every finished snapshot.
+  write_file(dir / (snapshot_filename(9) + ".tmp"), payload_for(9));
+  const Snapshot snap = Reader(dir.string()).load_latest();
+  EXPECT_EQ(snap.epoch, 1u);
+  for (const auto& path : Reader(dir.string()).list()) {
+    EXPECT_EQ(fs::path(path).extension(), ".nsck");
+  }
+}
+
+TEST(SnapshotStore, EmptyPayloadRoundTrips) {
+  const auto dir = fresh_dir("emptypayload");
+  Writer writer(config_for(dir));
+  writer.write(4, {});
+  const Snapshot snap = Reader(dir.string()).load_latest();
+  EXPECT_EQ(snap.epoch, 4u);
+  EXPECT_TRUE(snap.payload.empty());
+}
+
+TEST(BufferPrimitives, ReaderThrowsTruncatedPastTheEnd) {
+  BufWriter w;
+  w.u32(7);
+  const auto bytes = w.take();
+  BufReader r(bytes);
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u32(), SnapshotError);
+}
+
+TEST(BufferPrimitives, FloatsRoundTripBitExactly) {
+  BufWriter w;
+  w.f64(0.1);
+  w.f64(-0.0);
+  w.f32(1.5f);
+  const auto bytes = w.take();
+  BufReader r(bytes);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+            std::bit_cast<std::uint64_t>(0.1));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+            std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(r.f32()),
+            std::bit_cast<std::uint32_t>(1.5f));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BufferPrimitives, CorruptLengthPrefixIsTruncatedNotUB) {
+  BufWriter w;
+  w.u64(~std::uint64_t{0});  // a blob length no buffer can satisfy
+  const auto bytes = w.take();
+  BufReader r(bytes);
+  EXPECT_THROW(r.blob(), SnapshotError);
+}
+
+}  // namespace
+}  // namespace nessa::ckpt

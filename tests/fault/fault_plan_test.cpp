@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "nessa/util/units.hpp"
@@ -121,6 +122,74 @@ TEST(FaultPlan, FromStreamRejectsMalformedLines) {
     EXPECT_THROW(FaultPlan::from_stream(in, "bad"), std::invalid_argument)
         << text;
   }
+}
+
+TEST(FaultPlan, FromStreamRejectsMalformedNumerics) {
+  // Hardened numeric parsing: overflow, trailing garbage, empty values,
+  // signs on unsigned fields and non-finite doubles are all hard errors —
+  // never silently wrapped, truncated or saturated into a "valid" plan.
+  const char* bad[] = {
+      "seed 18446744073709551616\n",        // u64 overflow (2^64)
+      "seed -1\n",                          // stoull would wrap silently
+      "seed +3\n",                          // explicit sign rejected too
+      "seed 7x\n",                          // trailing garbage
+      "fault p2p error rate=\n",            // empty value
+      "fault p2p error rate=1e999\n",       // double overflow
+      "fault p2p error rate=0.3garbage\n",  // trailing garbage
+      "fault p2p error rate=nan\n",         // non-finite
+      "fault p2p error rate=inf\n",         // non-finite
+      "fault flash_bus slow rate=0.5 factor=4 start=-2\n",  // negative u64
+      "retry max_attempts=\n",              // empty value
+      "retry base_backoff_us=12us\n",       // trailing garbage
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW(FaultPlan::from_stream(in, "bad"), std::invalid_argument)
+        << text;
+  }
+}
+
+TEST(FaultPlan, CrashDirectiveParses) {
+  std::istringstream in(
+      "crash epoch=4\n"
+      "fault p2p error rate=0.25\n");
+  const auto plan = FaultPlan::from_stream(in, "crashy");
+  EXPECT_TRUE(plan.has_crash_point());
+  EXPECT_EQ(plan.crash_epoch, 4u);
+  EXPECT_EQ(plan.crash_sim_time, 0);
+  // without_crash_point() strips the kill point but keeps the faults.
+  const auto resumable = plan.without_crash_point();
+  EXPECT_FALSE(resumable.has_crash_point());
+  EXPECT_EQ(resumable.faults.size(), 1u);
+
+  std::istringstream timed("crash sim_us=1500\n");
+  const auto by_time = FaultPlan::from_stream(timed, "timed");
+  EXPECT_TRUE(by_time.has_crash_point());
+  EXPECT_EQ(by_time.crash_sim_time, 1500 * util::kMicrosecond);
+}
+
+TEST(FaultPlan, CrashDirectiveRejectsMalformedInput) {
+  const char* bad[] = {
+      "crash\n",                 // needs epoch=N and/or sim_us=T
+      "crash when=now\n",        // unknown option
+      "crash epoch=-1\n",        // negative epoch
+      "crash epoch=3.5\n",       // not an integer
+      "crash sim_us=0\n",        // zero disables, so it is rejected
+      "crash sim_us=-10\n",      // negative time
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW(FaultPlan::from_stream(in, "bad"), std::invalid_argument)
+        << text;
+  }
+}
+
+TEST(FaultPlan, HugeStallTimeSaturatesInsteadOfOverflowing) {
+  std::istringstream in("fault fpga stall rate=0.2 stall_us=1e300\n");
+  const auto plan = FaultPlan::from_stream(in, "huge");
+  ASSERT_EQ(plan.faults.size(), 1u);
+  EXPECT_EQ(plan.faults[0].stall_time,
+            std::numeric_limits<util::SimTime>::max());
 }
 
 TEST(FaultPlan, FromFileThrowsWhenMissing) {

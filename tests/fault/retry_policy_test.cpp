@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "nessa/telemetry/telemetry.hpp"
 #include "nessa/util/units.hpp"
 
@@ -43,6 +45,32 @@ TEST(RetryPolicy, BackoffClampsAtMax) {
   EXPECT_EQ(policy.backoff(1, 0), 100);
   EXPECT_EQ(policy.backoff(2, 0), 500);   // 1000 clamped
   EXPECT_EQ(policy.backoff(9, 0), 500);   // far past the clamp, no overflow
+}
+
+TEST(RetryPolicy, BackoffSaturatesAtExtremeAttemptCounts) {
+  // Regression: before the exponent clamp, mult^(attempt-1) overflowed to
+  // inf for huge attempt counts; with base_backoff == 0 that produced
+  // 0 * inf = NaN, which min() propagated and llround() mangled into a
+  // garbage (often negative) delay. Both paths must saturate cleanly.
+  RetryConfig cfg;
+  cfg.base_backoff = 50 * util::kMicrosecond;
+  cfg.multiplier = 2.0;
+  cfg.max_backoff = 10 * util::kMillisecond;
+  cfg.jitter = 0.0;
+  RetryPolicy policy(cfg);
+  EXPECT_EQ(policy.backoff(100'000, 7), cfg.max_backoff);
+  EXPECT_EQ(policy.backoff(std::numeric_limits<std::size_t>::max(), 7),
+            cfg.max_backoff);
+
+  RetryConfig zero = cfg;
+  zero.base_backoff = 0;  // 0 * inf must not become NaN
+  RetryPolicy zero_policy(zero);
+  EXPECT_EQ(zero_policy.backoff(100'000, 7), 0);
+
+  RetryConfig flat = cfg;
+  flat.multiplier = 1.0;  // no growth: every attempt waits the base
+  RetryPolicy flat_policy(flat);
+  EXPECT_EQ(flat_policy.backoff(100'000, 7), flat.base_backoff);
 }
 
 TEST(RetryPolicy, JitterStaysInBandAndIsDeterministic) {

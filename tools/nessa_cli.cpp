@@ -18,20 +18,30 @@
 //     --perf-model NAME   analytic | event epoch-cost model (default analytic)
 //     --fault-plan X      fault preset (flaky-p2p | slow-nand | fpga-stall)
 //                         or plan-file path; faults degrade the run
+//     --checkpoint-dir P  write crash-consistent snapshots into P
+//     --checkpoint-every N  snapshot cadence in epochs (default 1)
+//     --resume            resume from the newest valid snapshot in the
+//                         checkpoint dir (strips any crash kill point from
+//                         the fault plan); exits nonzero when none exists
 //     --trace PATH        write a Chrome trace-event JSON of the run
 //     --metrics PATH      write the counters/gauges/histograms JSON
 //     --csv PATH          also write the per-epoch table as CSV
 //     --json PATH         also write the full run report as JSON
 //     --help
+//
+// Exit codes: 0 success, 1 usage/config error (including --resume with no
+// valid snapshot), 3 run terminated by an injected crash kill point.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "nessa/ckpt/errors.hpp"
 #include "nessa/core/energy.hpp"
 #include "nessa/core/report.hpp"
 #include "nessa/core/pipeline.hpp"
+#include "nessa/fault/crash.hpp"
 #include "nessa/telemetry/telemetry.hpp"
 #include "nessa/util/table.hpp"
 
@@ -55,6 +65,9 @@ struct Options {
   bool parallel = false;
   std::string perf_model = "analytic";
   std::string fault_plan;
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
   std::string trace_path;
   std::string metrics_path;
   std::string csv_path;
@@ -70,11 +83,15 @@ void print_usage() {
       "             [--no-biasing] [--no-partitioning] [--no-dynamic]\n"
       "             [--parallel] [--perf-model analytic|event]\n"
       "             [--fault-plan flaky-p2p|slow-nand|fpga-stall|FILE]\n"
+      "             [--checkpoint-dir PATH] [--checkpoint-every N] "
+      "[--resume]\n"
       "             [--trace PATH] [--metrics PATH]\n"
       "             [--csv PATH] [--json PATH]\n";
 }
 
-bool parse(int argc, char** argv, Options& opt) {
+enum class ParseResult { kRun, kHelp, kError };
+
+ParseResult parse(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
@@ -86,38 +103,38 @@ bool parse(int argc, char** argv, Options& opt) {
     };
     if (arg == "--help" || arg == "-h") {
       print_usage();
-      return false;
+      return ParseResult::kHelp;
     } else if (arg == "--dataset") {
       const char* v = next("--dataset");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.dataset = v;
     } else if (arg == "--pipeline") {
       const char* v = next("--pipeline");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.pipeline = v;
     } else if (arg == "--gpu") {
       const char* v = next("--gpu");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.gpu = v;
     } else if (arg == "--fraction") {
       const char* v = next("--fraction");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.fraction = std::atof(v);
     } else if (arg == "--epochs") {
       const char* v = next("--epochs");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.epochs = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--scale") {
       const char* v = next("--scale");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.scale = std::atof(v);
     } else if (arg == "--devices") {
       const char* v = next("--devices");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.devices = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--seed") {
       const char* v = next("--seed");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
     } else if (arg == "--no-feedback") {
       opt.feedback = false;
@@ -131,42 +148,56 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.parallel = true;
     } else if (arg == "--perf-model") {
       const char* v = next("--perf-model");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.perf_model = v;
     } else if (arg == "--fault-plan") {
       const char* v = next("--fault-plan");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.fault_plan = v;
+    } else if (arg == "--checkpoint-dir") {
+      const char* v = next("--checkpoint-dir");
+      if (!v) return ParseResult::kError;
+      opt.checkpoint_dir = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next("--checkpoint-every");
+      if (!v) return ParseResult::kError;
+      opt.checkpoint_every = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--resume") {
+      opt.resume = true;
     } else if (arg == "--trace") {
       const char* v = next("--trace");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.trace_path = v;
     } else if (arg == "--metrics") {
       const char* v = next("--metrics");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.metrics_path = v;
     } else if (arg == "--csv") {
       const char* v = next("--csv");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.csv_path = v;
     } else if (arg == "--json") {
       const char* v = next("--json");
-      if (!v) return false;
+      if (!v) return ParseResult::kError;
       opt.json_path = v;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       print_usage();
-      return false;
+      return ParseResult::kError;
     }
   }
-  return true;
+  return ParseResult::kRun;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
-  if (!parse(argc, argv, opt)) return 1;
+  switch (parse(argc, argv, opt)) {
+    case ParseResult::kRun: break;
+    case ParseResult::kHelp: return 0;
+    case ParseResult::kError: return 1;
+  }
 
   const auto& info = data::dataset_info(opt.dataset);
   auto ds = data::make_substrate_dataset(info, opt.scale, 0, opt.seed);
@@ -200,6 +231,14 @@ int main(int argc, char** argv) {
     std::cerr << "config error: " << e.what() << "\n";
     return 1;
   }
+  rc.checkpoint.dir = opt.checkpoint_dir;
+  rc.checkpoint.every_epochs = opt.checkpoint_every;
+  rc.checkpoint.resume = opt.resume;
+  if (opt.resume) {
+    // The kill point belongs to the run that crashed; the resuming run
+    // finishes the remaining epochs.
+    rc.fault_plan = rc.fault_plan.without_crash_point();
+  }
   rc.telemetry.enabled =
       !opt.trace_path.empty() || !opt.metrics_path.empty();
   rc.telemetry.trace_path = opt.trace_path;
@@ -209,6 +248,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   inputs.perf_model = rc.perf_model;
+  // The non-RunConfig entry points (multi-device, baselines) read the fault
+  // plan and checkpoint config straight from the staged inputs.
+  inputs.fault_plan = rc.fault_plan;
+  inputs.checkpoint = rc.checkpoint;
 
   std::optional<telemetry::Session> session;
   if (rc.telemetry.enabled) session.emplace();
@@ -217,34 +260,47 @@ int main(int argc, char** argv) {
 
   core::RunResult run;
   auto site = core::SelectionSite::kNone;
-  if (opt.pipeline == "nessa") {
-    site = core::SelectionSite::kFpga;
-    if (opt.devices > 1) {
-      core::NessaConfig nessa_cfg = rc.nessa;
-      nessa_cfg.parallelism = rc.parallelism;
-      run = core::run_nessa_multi(inputs, nessa_cfg,
-                                  core::MultiDeviceConfig{opt.devices},
-                                  system);
+  try {
+    if (opt.pipeline == "nessa") {
+      site = core::SelectionSite::kFpga;
+      if (opt.devices > 1) {
+        core::NessaConfig nessa_cfg = rc.nessa;
+        nessa_cfg.parallelism = rc.parallelism;
+        run = core::run_nessa_multi(inputs, nessa_cfg,
+                                    core::MultiDeviceConfig{opt.devices},
+                                    system);
+      } else {
+        run = core::run_nessa(inputs, rc, system);
+      }
+    } else if (opt.pipeline == "full") {
+      run = core::run_full(inputs, rc, system);
+    } else if (opt.pipeline == "full-cached") {
+      run = core::run_full_cached(inputs, smartssd::HostCache{}, system);
+    } else if (opt.pipeline == "craig") {
+      site = core::SelectionSite::kHostCpu;
+      run = core::run_craig(inputs, opt.fraction, system);
+    } else if (opt.pipeline == "kcenter") {
+      site = core::SelectionSite::kHostCpu;
+      run = core::run_kcenter(inputs, opt.fraction, system);
+    } else if (opt.pipeline == "random") {
+      run = core::run_random(inputs, opt.fraction, system);
+    } else if (opt.pipeline == "loss-topk") {
+      run = core::run_loss_topk(inputs, opt.fraction, system);
     } else {
-      run = core::run_nessa(inputs, rc, system);
+      std::cerr << "unknown pipeline: " << opt.pipeline << "\n";
+      print_usage();
+      return 1;
     }
-  } else if (opt.pipeline == "full") {
-    run = core::run_full(inputs, rc, system);
-  } else if (opt.pipeline == "full-cached") {
-    run = core::run_full_cached(inputs, smartssd::HostCache{}, system);
-  } else if (opt.pipeline == "craig") {
-    site = core::SelectionSite::kHostCpu;
-    run = core::run_craig(inputs, opt.fraction, system);
-  } else if (opt.pipeline == "kcenter") {
-    site = core::SelectionSite::kHostCpu;
-    run = core::run_kcenter(inputs, opt.fraction, system);
-  } else if (opt.pipeline == "random") {
-    run = core::run_random(inputs, opt.fraction, system);
-  } else if (opt.pipeline == "loss-topk") {
-    run = core::run_loss_topk(inputs, opt.fraction, system);
-  } else {
-    std::cerr << "unknown pipeline: " << opt.pipeline << "\n";
-    print_usage();
+  } catch (const fault::InjectedCrash& crash) {
+    std::cerr << "run terminated by injected crash: " << crash.what() << "\n";
+    if (!opt.checkpoint_dir.empty()) {
+      std::cerr << "resume with: --checkpoint-dir " << opt.checkpoint_dir
+                << " --resume\n";
+    }
+    return 3;
+  } catch (const ckpt::SnapshotError& e) {
+    std::cerr << "checkpoint error: " << e.what() << "\n";
+    if (e.fault() == ckpt::SnapshotFault::kNoSnapshot) print_usage();
     return 1;
   }
 
