@@ -103,4 +103,19 @@ void BM_EventEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEpoch)->DenseRange(0, 5);
 
+/// Fleet-shaped stress case: the largest paper workload at an 8x smaller
+/// batch over twice the epochs, i.e. ~16x the event count of
+/// BM_EventEpoch/5. This is the regime the slab arena + calendar queue are
+/// built for — per-event cost must not grow with the pending-set size.
+void BM_EventEpochFleet(benchmark::State& state) {
+  auto workload = to_workload(paper_demand("ImageNet-100"));
+  workload.batch_size = 16;
+  smartssd::SystemConfig cfg;
+  for (auto _ : state) {
+    const auto trace = smartssd::simulate_pipeline(cfg, workload, 10);
+    benchmark::DoNotOptimize(trace.steady_epoch_time);
+  }
+}
+BENCHMARK(BM_EventEpochFleet);
+
 }  // namespace

@@ -4,6 +4,8 @@
 // quantization win.
 #include <benchmark/benchmark.h>
 
+#include <random>
+
 #include "nessa/nn/model.hpp"
 #include "nessa/quant/qmodel.hpp"
 #include "nessa/selection/drivers.hpp"
@@ -42,6 +44,66 @@ void BM_FacilityLocationBuild(benchmark::State& state) {
 BENCHMARK(BM_FacilityLocationBuild)
     ->ArgsProduct({{64, 256, 1024}, {0, 1}})
     ->Complexity();
+
+// Large-N regime (the FPGA-chunk sizes where the Gram matrix and coverage
+// vector stop fitting in cache): the column-tiled kernels engage at
+// N >= FacilityLocation::kTiledThreshold with bit-identical results.
+
+void BM_FacilityLocationBuildLarge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto emb = random_embeddings(n, 10, 1);
+  for (auto _ : state) {
+    auto fl = selection::FacilityLocation::from_embeddings(emb, false);
+    benchmark::DoNotOptimize(fl.ground_size());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_FacilityLocationBuildLarge)->Arg(4096)->Arg(8192);
+
+selection::FacilityLocation large_similarity(std::size_t n,
+                                             std::uint64_t seed) {
+  tensor::Tensor s({n, n});
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  for (float& x : s.flat()) x = dist(rng);
+  return selection::FacilityLocation::from_similarity(std::move(s));
+}
+
+/// One full-ground-set gain scan (the per-round cost of naive greedy),
+/// candidate at a time — re-fetches the coverage vector once per candidate.
+void BM_GainScanPerCandidate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto fl = large_similarity(n, 9);
+  auto st = fl.empty_state();
+  for (std::size_t j = 0; j < 4; ++j) fl.add(st, j * (n / 4) + 1);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) sum += fl.marginal_gain(st, j);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_GainScanPerCandidate)->Arg(4096)->Arg(8192);
+
+/// The same scan through the batched column-tiled kernel: one coverage tile
+/// serves 16 candidates. Results are bit-identical to the per-candidate
+/// scan; only the memory traffic differs.
+void BM_GainScanBatched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto fl = large_similarity(n, 9);
+  auto st = fl.empty_state();
+  for (std::size_t j = 0; j < 4; ++j) fl.add(st, j * (n / 4) + 1);
+  double gains[16];
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::size_t j0 = 0; j0 < n; j0 += 16) {
+      const std::size_t j1 = std::min(n, j0 + 16);
+      fl.marginal_gains(st, j0, j1, gains);
+      for (std::size_t j = j0; j < j1; ++j) sum += gains[j - j0];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_GainScanBatched)->Arg(4096)->Arg(8192);
 
 void BM_NaiveGreedy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -75,6 +75,19 @@ class FacilityLocation {
   /// Marginal gain F(S + j) - F(S) given the coverage state. O(n).
   [[nodiscard]] double marginal_gain(const State& state, std::size_t j) const;
 
+  /// Ground-set size at which batched gain evaluation switches to the
+  /// column-tiled kernel: past ~4096 elements the coverage vector (16 KB+)
+  /// no longer stays L1-resident next to a streaming similarity row, so
+  /// per-candidate evaluation re-fetches it every time.
+  static constexpr std::size_t kTiledThreshold = 4096;
+
+  /// Marginal gains of the contiguous candidate block [j0, j1), written to
+  /// out[0 .. j1-j0). Bit-identical to calling marginal_gain per candidate
+  /// for any n; for n >= kTiledThreshold the block is evaluated with one
+  /// column-tiled pass per coverage tile shared across the batch.
+  void marginal_gains(const State& state, std::size_t j0, std::size_t j1,
+                      double* out) const;
+
   /// Add j to the state, updating coverage and value. O(n).
   void add(State& state, std::size_t j) const;
 

@@ -24,6 +24,17 @@ namespace {
 /// share one accumulation order.
 constexpr std::size_t kReduceGrain = 4096;
 
+/// Column tile for the batched gain kernel: a 4096-float coverage slice
+/// (16 KB) stays L1-resident while a batch of candidate rows streams
+/// against it, instead of re-fetching the full coverage vector once per
+/// candidate. Must stay a multiple of 16 so lane l always sums elements at
+/// offset l mod 16 (see clamped_delta_accum).
+constexpr std::size_t kGainColTile = 4096;
+/// Candidates evaluated per coverage-tile pass. Matches the greedy drivers'
+/// candidate grain; 16 lane blocks of 128 B sit comfortably in L1 next to
+/// the coverage tile.
+constexpr std::size_t kGainBatch = 16;
+
 // The positive-part sum below is THE selection hot loop (one call per
 // marginal_gain). It uses sixteen double accumulator lanes — lane l sums
 // the elements at offset l mod 16 — combined in a fixed pairwise tree,
@@ -126,6 +137,81 @@ double clamped_delta_sum(const float* srow, const float* cov, const float* pf,
   }
 #endif
   return finish_lanes(lane, srow, cov, i, hi);
+}
+
+// Tiled variant of the same kernel: accumulates [lo, hi) into a caller-held
+// 16-lane block instead of producing a scalar, so one candidate's sum can be
+// built across several column tiles. With lo and hi multiples of 16, lane l
+// still receives exactly the elements at offset l mod 16 in ascending order
+// — tiling a full [0, n & ~15) range therefore reproduces the main loop of
+// clamped_delta_sum bit for bit, and finish_lanes folds the tail and
+// combines the lanes exactly as the untiled kernel does.
+
+#if defined(NESSA_AVX_DISPATCH)
+__attribute__((target("avx"))) void clamped_delta_accum_avx(
+    double* lane, const float* srow, const float* cov, const float* pf,
+    std::size_t lo, std::size_t hi) noexcept {
+  __m256d a0 = _mm256_load_pd(lane + 0), a1 = _mm256_load_pd(lane + 4);
+  __m256d a2 = _mm256_load_pd(lane + 8), a3 = _mm256_load_pd(lane + 12);
+  const __m256 zero = _mm256_setzero_ps();
+  for (std::size_t i = lo; i + 16 <= hi; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(pf + i), _MM_HINT_T0);
+    const __m256 d07 = _mm256_max_ps(
+        _mm256_sub_ps(_mm256_loadu_ps(srow + i), _mm256_loadu_ps(cov + i)),
+        zero);
+    const __m256 d8f = _mm256_max_ps(
+        _mm256_sub_ps(_mm256_loadu_ps(srow + i + 8),
+                      _mm256_loadu_ps(cov + i + 8)),
+        zero);
+    a0 = _mm256_add_pd(a0, _mm256_cvtps_pd(_mm256_castps256_ps128(d07)));
+    a1 = _mm256_add_pd(a1, _mm256_cvtps_pd(_mm256_extractf128_ps(d07, 1)));
+    a2 = _mm256_add_pd(a2, _mm256_cvtps_pd(_mm256_castps256_ps128(d8f)));
+    a3 = _mm256_add_pd(a3, _mm256_cvtps_pd(_mm256_extractf128_ps(d8f, 1)));
+  }
+  _mm256_store_pd(lane + 0, a0);
+  _mm256_store_pd(lane + 4, a1);
+  _mm256_store_pd(lane + 8, a2);
+  _mm256_store_pd(lane + 12, a3);
+}
+#endif
+
+/// Accumulate the clamped deltas of [lo, hi) into `lane` (32-byte aligned,
+/// 16 doubles). Caller guarantees lo and hi are multiples of 16.
+void clamped_delta_accum(double* lane, const float* srow, const float* cov,
+                         const float* pf, std::size_t lo,
+                         std::size_t hi) noexcept {
+#if defined(NESSA_AVX_DISPATCH)
+  if (kHasAvx) {
+    clamped_delta_accum_avx(lane, srow, cov, pf, lo, hi);
+    return;
+  }
+#endif
+#if defined(__SSE2__)
+  __m128d acc[8];
+  for (std::size_t q = 0; q < 8; ++q) acc[q] = _mm_load_pd(lane + 2 * q);
+  const __m128 zero = _mm_setzero_ps();
+  for (std::size_t i = lo; i + 16 <= hi; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(pf + i), _MM_HINT_T0);
+    for (std::size_t q = 0; q < 4; ++q) {
+      const __m128 d = _mm_max_ps(
+          _mm_sub_ps(_mm_loadu_ps(srow + i + 4 * q),
+                     _mm_loadu_ps(cov + i + 4 * q)),
+          zero);
+      acc[2 * q] = _mm_add_pd(acc[2 * q], _mm_cvtps_pd(d));
+      acc[2 * q + 1] =
+          _mm_add_pd(acc[2 * q + 1], _mm_cvtps_pd(_mm_movehl_ps(d, d)));
+    }
+  }
+  for (std::size_t q = 0; q < 8; ++q) _mm_store_pd(lane + 2 * q, acc[q]);
+#else
+  for (std::size_t i = lo; i + 16 <= hi; i += 16) {
+    __builtin_prefetch(pf + i);
+    for (std::size_t l = 0; l < 16; ++l) {
+      const float d = srow[i + l] - cov[i + l];
+      lane[l] += d > 0.0f ? d : 0.0f;
+    }
+  }
+#endif
 }
 
 /// Max over [lo, hi) of a non-negative buffer. Max is associative and
@@ -255,6 +341,43 @@ double FacilityLocation::marginal_gain(const State& state,
   const float* srow = sim_.data() + j * n_;
   const float* pf = (j + 1 < n_) ? srow + n_ : srow;
   return clamped_delta_sum(srow, state.coverage.data(), pf, 0, n_);
+}
+
+void FacilityLocation::marginal_gains(const State& state, std::size_t j0,
+                                      std::size_t j1, double* out) const {
+  if (j1 > n_ || j0 > j1) {
+    throw std::out_of_range("marginal_gains: range out of bounds");
+  }
+  if (n_ < kTiledThreshold || j1 - j0 < 2) {
+    for (std::size_t j = j0; j < j1; ++j) {
+      out[j - j0] = marginal_gain(state, j);
+    }
+    return;
+  }
+  // Column-tiled batch: each coverage tile is walked once per batch of
+  // candidates while L1-resident; every candidate keeps its own 16-lane
+  // partial sums across tiles, so per candidate the element order — and
+  // with it the result — matches marginal_gain bit for bit.
+  const float* cov = state.coverage.data();
+  const std::size_t n16 = n_ & ~static_cast<std::size_t>(15);
+  for (std::size_t b0 = j0; b0 < j1; b0 += kGainBatch) {
+    const std::size_t b1 = std::min(j1, b0 + kGainBatch);
+    alignas(32) double lanes[kGainBatch][16] = {};
+    for (std::size_t c0 = 0; c0 < n16; c0 += kGainColTile) {
+      const std::size_t c1 = std::min(n16, c0 + kGainColTile);
+      for (std::size_t j = b0; j < b1; ++j) {
+        const float* srow = sim_.data() + j * n_;
+        // Hint the next candidate's slice of the same tile (a hint only —
+        // never affects the sums).
+        const float* pf = (j + 1 < n_) ? srow + n_ : srow;
+        clamped_delta_accum(lanes[j - b0], srow, cov, pf, c0, c1);
+      }
+    }
+    for (std::size_t j = b0; j < b1; ++j) {
+      const float* srow = sim_.data() + j * n_;
+      out[j - j0] = finish_lanes(lanes[j - b0], srow, cov, n16, n_);
+    }
+  }
 }
 
 void FacilityLocation::add(State& state, std::size_t j) const {

@@ -60,10 +60,25 @@ util::BestGain best_candidate(const FacilityLocation& fl,
                               const FacilityLocation::State& state,
                               std::size_t n, bool parallel,
                               const Eligible& eligible) {
+  // Past the tiling threshold, whole candidate blocks are evaluated in one
+  // column-tiled pass (see FacilityLocation::marginal_gains). The gains are
+  // bit-identical to the per-candidate path, so the argmax and its
+  // tie-breaks are unchanged; ineligible candidates cost an extra row scan
+  // per block, which the shared coverage tiles more than repay.
+  const bool batched = n >= FacilityLocation::kTiledThreshold;
   return util::chunked_reduce(
       n, kCandidateGrain, parallel, util::BestGain{},
       [&](std::size_t lo, std::size_t hi) {
         util::BestGain best;
+        if (batched) {
+          double gains[kCandidateGrain];
+          fl.marginal_gains(state, lo, hi, gains);
+          for (std::size_t j = lo; j < hi; ++j) {
+            if (!eligible(j)) continue;
+            best = util::better_gain(best, {gains[j - lo], j});
+          }
+          return best;
+        }
         for (std::size_t j = lo; j < hi; ++j) {
           if (!eligible(j)) continue;
           best = util::better_gain(best, {fl.marginal_gain(state, j), j});
@@ -119,8 +134,13 @@ GreedyResult lazy_greedy(const FacilityLocation& fl, std::size_t k,
     std::vector<Entry> init(n);
     auto& pool = util::ThreadPool::global();
     const auto fill = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t j = lo; j < hi; ++j) {
-        init[j] = {fl.marginal_gain(state, j), j, 0};
+      // Batched evaluation (tiled for large n); sub-blocked because the
+      // serial path passes the whole range at once.
+      double gains[kCandidateGrain];
+      for (std::size_t b = lo; b < hi; b += kCandidateGrain) {
+        const std::size_t e = std::min(hi, b + kCandidateGrain);
+        fl.marginal_gains(state, b, e, gains);
+        for (std::size_t j = b; j < e; ++j) init[j] = {gains[j - b], j, 0};
       }
     };
     if (parallel && pool.size() > 1) {

@@ -30,10 +30,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
 #include "nessa/sim/engine.hpp"
+#include "nessa/util/ring_queue.hpp"
 
 namespace nessa::sim {
 
@@ -184,14 +184,18 @@ class Component {
   Simulator& sim_;
   std::string name_;
   std::size_t capacity_;
-  std::deque<Request> queue_;  ///< front is in service when busy()
+  /// Front is in service when busy(). A ring buffer, not a deque: request
+  /// traffic cycles through a deque's blocks and hits the global allocator
+  /// every few pushes, while the ring reaches a steady state after the
+  /// queue's high-water mark and never allocates again.
+  util::RingQueue<Request> queue_;
   bool in_service_ = false;
   /// Raised only when a request enters service with a hook installed and
   /// consumed (reset) by its completion — the fault-less fast path never
   /// writes it, its whole cost is one predicted branch per completion.
   bool in_service_faulted_ = false;
   SimTime service_start_ = 0;
-  std::deque<Callback> waiters_;
+  util::RingQueue<Callback> waiters_;
   FaultHook* hook_ = nullptr;
   ComponentStats stats_;
   std::string bytes_counter_;
@@ -199,7 +203,7 @@ class Component {
   // --- cold fault-injection state ---
   /// Failure continuations, index-parallel to queue_ while hook_ is set
   /// (empty otherwise — without a hook `fail` can never run).
-  std::deque<Callback> fails_;
+  util::RingQueue<Callback> fails_;
   bool in_service_failed_ = false;  ///< marked kFail by the hook
   SimTime injected_delta_ = 0;      ///< service-time delta the hook added
   std::string failed_counter_;

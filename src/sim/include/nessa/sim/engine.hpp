@@ -4,71 +4,163 @@
 // schedule callbacks at future simulated times. Events at equal timestamps
 // fire in scheduling order (FIFO), which makes runs fully deterministic.
 // Simulated time is int64 picoseconds (nessa::util::SimTime).
+//
+// Memory architecture (see event_queue.hpp): events live in a slab arena
+// with their callbacks stored inline (util::SmallFn — no allocation for
+// captures up to 40 bytes), ordered by a self-tuning calendar queue. Event
+// ids pack (generation << 32 | slot) so cancel() is O(1) with no hash map.
+// BasicSimulator is parameterized on the ordering structure so the
+// differential tests can drive the exact same engine over the reference
+// binary heap (HeapEventQueue); production code uses the Simulator alias.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 
+#include "nessa/sim/event_queue.hpp"
+#include "nessa/telemetry/telemetry.hpp"
+#include "nessa/util/small_fn.hpp"
 #include "nessa/util/units.hpp"
 
 namespace nessa::sim {
 
 using util::SimTime;
 
-class Simulator {
+template <typename Queue>
+class BasicSimulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::SmallFn;
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedule `fn` to run at absolute time `when` (must be >= now();
   /// throws std::invalid_argument otherwise). Returns an event id usable
-  /// with cancel().
-  std::uint64_t schedule_at(SimTime when, Callback fn);
+  /// with cancel(). Accepts any void() callable; the callable is stored
+  /// inline in the event node (heap fallback above SmallFn::kInlineBytes).
+  template <typename F, typename D = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  std::uint64_t schedule_at(SimTime when, F&& fn) {
+    if (when < now_) {
+      throw std::invalid_argument("Simulator::schedule_at: time in the past");
+    }
+    if constexpr (std::is_same_v<D, Callback> ||
+                  std::is_same_v<D, std::function<void()>> ||
+                  std::is_pointer_v<D> ||
+                  std::is_member_pointer_v<D>) {
+      if (!fn) {
+        throw std::invalid_argument("Simulator::schedule_at: null callback");
+      }
+    }
+    const std::uint32_t slot = arena_.allocate();
+    EventNode& n = arena_.node(slot);
+    n.when = when;
+    n.seq = next_seq_++;
+    if constexpr (std::is_same_v<D, Callback>) {
+      n.fn = std::forward<F>(fn);
+    } else {
+      n.fn.emplace(std::forward<F>(fn));
+    }
+    queue_.insert(arena_, slot);
+    return arena_.id_of(slot);
+  }
+
+  std::uint64_t schedule_at(SimTime when, std::nullptr_t) {
+    if (when < now_) {
+      throw std::invalid_argument("Simulator::schedule_at: time in the past");
+    }
+    throw std::invalid_argument("Simulator::schedule_at: null callback");
+  }
 
   /// Schedule `fn` to run `delay` after now.
-  std::uint64_t schedule_after(SimTime delay, Callback fn);
+  template <typename F>
+  std::uint64_t schedule_after(SimTime delay, F&& fn) {
+    if (delay < 0) {
+      throw std::invalid_argument("Simulator::schedule_after: negative delay");
+    }
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Cancel a pending event; returns false if it already ran or is unknown.
-  bool cancel(std::uint64_t event_id);
+  /// O(1): the id's generation tag is checked against the slot in place;
+  /// the callback is destroyed eagerly and the node becomes a tombstone the
+  /// queue reclaims lazily (compacting when tombstones outnumber live
+  /// events).
+  bool cancel(std::uint64_t event_id) {
+    const std::uint32_t slot = arena_.find(event_id);
+    if (slot == EventArena::kNil) return false;
+    EventNode& n = arena_.node(slot);
+    if (!n.fn) return false;  // already cancelled, reclaim still pending
+    n.fn.reset();
+    queue_.note_cancel(arena_, slot);
+    return true;
+  }
 
   /// Run until the queue is empty. Returns the number of events processed.
-  std::size_t run();
+  std::size_t run() {
+    std::size_t count = 0;
+    std::uint32_t slot;
+    while ((slot = queue_.pop_min(arena_)) != EventArena::kNil) {
+      ++count;
+      fire(slot);
+    }
+    telemetry::count("sim.engine.events", count);
+    return count;
+  }
 
   /// Run until simulated time reaches `deadline` (events at exactly
   /// `deadline` are processed). Returns events processed.
-  std::size_t run_until(SimTime deadline);
-
-  [[nodiscard]] bool empty() const noexcept { return callbacks_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept {
-    return callbacks_.size();
+  std::size_t run_until(SimTime deadline) {
+    std::size_t count = 0;
+    std::uint32_t slot;
+    while ((slot = queue_.peek_min(arena_)) != EventArena::kNil) {
+      if (arena_.node(slot).when > deadline) break;
+      slot = queue_.pop_min(arena_);
+      ++count;
+      fire(slot);
+    }
+    if (now_ < deadline) now_ = deadline;
+    telemetry::count("sim.engine.events", count);
+    return count;
   }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.live() == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.live(); }
   [[nodiscard]] std::size_t processed() const noexcept { return processed_; }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    std::uint64_t id;
-    // Ordered so the earliest time (then earliest scheduling order) pops
-    // first from the max-heap.
-    bool operator<(const Event& other) const noexcept {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
+  /// Returns the popped node's slot to the arena even when the callback
+  /// throws (the event is consumed either way, matching the seed engine).
+  struct ReleaseGuard {
+    EventArena& arena;
+    std::uint32_t slot;
+    ~ReleaseGuard() { arena.release(slot); }
   };
 
-  /// Pop the next live (non-cancelled) event; false if none.
-  bool pop_next(Event& out);
+  void fire(std::uint32_t slot) {
+    EventNode& n = arena_.node(slot);
+    now_ = n.when;
+    ++processed_;
+    // Kill the public id before invoking: a cancel() of this event from
+    // inside its own callback must report false, not destroy the running
+    // closure.
+    arena_.invalidate(slot);
+    ReleaseGuard guard{arena_, slot};
+    n.fn();
+  }
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
-  std::priority_queue<Event> queue_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
   std::size_t processed_ = 0;
+  EventArena arena_;
+  Queue queue_;
 };
+
+/// The production engine: slab arena + calendar queue.
+using Simulator = BasicSimulator<CalendarQueue>;
 
 }  // namespace nessa::sim

@@ -101,7 +101,7 @@ void Component::set_fault_hook(FaultHook* hook) {
     // continuation; pad so fails_ stays index-parallel with queue_. The
     // request already in service now owns a padded slot too, so its
     // completion must consume it — mark it faulted with a clean verdict.
-    fails_.resize(queue_.size());
+    fails_.resize_up(queue_.size());
     if (in_service_ && !in_service_faulted_) {
       in_service_faulted_ = true;
       in_service_failed_ = false;

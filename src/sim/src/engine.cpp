@@ -1,83 +1,12 @@
 #include "nessa/sim/engine.hpp"
 
-#include <stdexcept>
-#include <utility>
-
-#include "nessa/telemetry/telemetry.hpp"
-
 namespace nessa::sim {
 
-std::uint64_t Simulator::schedule_at(SimTime when, Callback fn) {
-  if (when < now_) {
-    throw std::invalid_argument("Simulator::schedule_at: time in the past");
-  }
-  if (!fn) {
-    throw std::invalid_argument("Simulator::schedule_at: null callback");
-  }
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
-}
-
-std::uint64_t Simulator::schedule_after(SimTime delay, Callback fn) {
-  if (delay < 0) {
-    throw std::invalid_argument("Simulator::schedule_after: negative delay");
-  }
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-bool Simulator::cancel(std::uint64_t event_id) {
-  return callbacks_.erase(event_id) > 0;
-}
-
-bool Simulator::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (callbacks_.find(ev.id) != callbacks_.end()) {
-      out = ev;
-      return true;
-    }
-    // Cancelled event: tombstone, skip.
-  }
-  return false;
-}
-
-std::size_t Simulator::run() {
-  std::size_t count = 0;
-  Event ev;
-  while (pop_next(ev)) {
-    now_ = ev.when;
-    auto node = callbacks_.extract(ev.id);
-    ++processed_;
-    ++count;
-    node.mapped()();
-  }
-  telemetry::count("sim.engine.events", count);
-  return count;
-}
-
-std::size_t Simulator::run_until(SimTime deadline) {
-  std::size_t count = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (callbacks_.find(top.id) == callbacks_.end()) {
-      queue_.pop();
-      continue;
-    }
-    if (top.when > deadline) break;
-    Event ev = top;
-    queue_.pop();
-    now_ = ev.when;
-    auto node = callbacks_.extract(ev.id);
-    ++processed_;
-    ++count;
-    node.mapped()();
-  }
-  if (now_ < deadline) now_ = deadline;
-  telemetry::count("sim.engine.events", count);
-  return count;
-}
+// Compile every member of both engine variants in one TU: the calendar
+// production engine and the reference-heap engine the differential tests
+// drive. Keeps template breakage visible even to targets that only touch a
+// subset of the API.
+template class BasicSimulator<CalendarQueue>;
+template class BasicSimulator<HeapEventQueue>;
 
 }  // namespace nessa::sim

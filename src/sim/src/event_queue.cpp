@@ -1,0 +1,184 @@
+// Cold maintenance paths of the event queues; the hot insert/pop paths are
+// inline in event_queue.hpp so they fold into the engine loops.
+#include "nessa/sim/event_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace nessa::sim {
+
+// ---------------------------------------------------------------------------
+// EventArena
+
+void EventArena::grow() {
+  const std::uint32_t base = capacity_;
+  slabs_.push_back(std::make_unique<EventNode[]>(kSlabSlots));
+  capacity_ += kSlabSlots;
+  // Chain the fresh slab onto the free list so slots pop in ascending
+  // order (deterministic allocation order).
+  for (std::uint32_t i = kSlabSlots; i-- > 0;) {
+    EventNode& n = node(base + i);
+    n.next = free_head_;
+    free_head_ = base + i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CalendarQueue
+
+void CalendarQueue::seed_width(SimTime when) noexcept {
+  // Seed the bucket width from the very first timestamp: a width around
+  // when/64 puts the early schedule within one calendar year, and the
+  // pop-gap tuner refines it once real spacing is observed.
+  seeded_ = true;
+  const auto w = static_cast<std::uint64_t>(when);
+  if (w > 0) {
+    const std::uint32_t bw = std::bit_width(w);
+    shift_ = bw > 6 ? std::min<std::uint32_t>(bw - 6, kMaxShift) : 0;
+  }
+}
+
+std::uint32_t CalendarQueue::find_min_slow(EventArena& arena,
+                                           std::uint64_t& out_day) {
+  // Direct minimum over all bucket heads. Chains are sorted, so the min
+  // head is the global min.
+  std::uint32_t best = kNilBucket;
+  for (std::uint32_t w = 0; w < bits_.size(); ++w) {
+    std::uint64_t word = bits_[w];
+    while (word != 0) {
+      const std::uint32_t b =
+          (w << 6) + static_cast<std::uint32_t>(std::countr_zero(word));
+      word &= word - 1;
+      while (heads_[b] != EventArena::kNil && !arena.node(heads_[b]).fn) {
+        reclaim_head(arena, b);
+      }
+      if (heads_[b] == EventArena::kNil) continue;
+      if (best == kNilBucket ||
+          arena.node(heads_[b]).before(arena.node(heads_[best]))) {
+        best = b;
+      }
+    }
+  }
+  if (best == kNilBucket) return kNilBucket;
+  out_day = day_of(arena.node(heads_[best]).when);
+  return best;
+}
+
+void CalendarQueue::compact(EventArena& arena) {
+  for (auto& head : heads_) {
+    std::uint32_t* link = &head;
+    while (*link != EventArena::kNil) {
+      EventNode& n = arena.node(*link);
+      if (!n.fn) {
+        const std::uint32_t slot = *link;
+        *link = n.next;
+        arena.release(slot);
+      } else {
+        link = &n.next;
+      }
+    }
+  }
+  for (std::uint32_t b = 0; b <= bucket_mask_; ++b) {
+    if (heads_[b] == EventArena::kNil) clear_bit(b);
+  }
+  dead_ = 0;
+  cache_valid_ = false;
+}
+
+void CalendarQueue::rebuild(EventArena& arena, std::uint32_t new_shift,
+                            std::uint32_t new_bucket_count) {
+  std::vector<std::uint32_t> slots;
+  slots.reserve(live_);
+  for (auto& head : heads_) {
+    std::uint32_t s = head;
+    while (s != EventArena::kNil) {
+      const std::uint32_t nx = arena.node(s).next;
+      if (arena.node(s).fn) {
+        slots.push_back(s);
+      } else {
+        arena.release(s);  // rebuild doubles as a compaction
+      }
+      s = nx;
+    }
+    head = EventArena::kNil;
+  }
+  dead_ = 0;
+  shift_ = new_shift;
+  heads_.assign(new_bucket_count, EventArena::kNil);
+  bits_.assign((new_bucket_count + 63) / 64, 0);
+  bucket_mask_ = new_bucket_count - 1;
+  cur_day_ = day_of(last_pop_when_);
+  cache_valid_ = false;
+  for (const std::uint32_t s : slots) link_sorted(arena, s);
+}
+
+void CalendarQueue::maybe_retune(EventArena& arena) {
+  const auto span =
+      static_cast<std::uint64_t>(last_pop_when_ - tune_anchor_when_);
+  const std::uint64_t avg_gap = span / pops_since_tune_;
+  std::uint32_t desired = avg_gap > 0 ? std::bit_width(avg_gap) - 1 : 0;
+  if (desired > kMaxShift) desired = kMaxShift;
+  tuned_once_ = true;
+  tune_anchor_when_ = last_pop_when_;
+  pops_since_tune_ = 0;
+  // Hysteresis: re-bucket only when the width is off by >= 4x, so jitter
+  // in the gap average cannot thrash rebuilds.
+  const std::uint32_t diff =
+      desired > shift_ ? desired - shift_ : shift_ - desired;
+  if (diff >= 2) rebuild(arena, desired, bucket_mask_ + 1);
+}
+
+// ---------------------------------------------------------------------------
+// HeapEventQueue
+
+void HeapEventQueue::insert(EventArena& arena, std::uint32_t slot) {
+  const EventNode& n = arena.node(slot);
+  heap_.push_back(Entry{n.when, n.seq, slot});
+  std::push_heap(heap_.begin(), heap_.end());
+  ++live_;
+}
+
+std::uint32_t HeapEventQueue::pop_min(EventArena& arena) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const std::uint32_t slot = heap_.back().slot;
+    heap_.pop_back();
+    if (arena.node(slot).fn) {
+      --live_;
+      return slot;
+    }
+    arena.release(slot);  // tombstone reached the top: reclaim
+    --dead_;
+  }
+  return EventArena::kNil;
+}
+
+std::uint32_t HeapEventQueue::peek_min(EventArena& arena) {
+  while (!heap_.empty()) {
+    const std::uint32_t slot = heap_.front().slot;
+    if (arena.node(slot).fn) return slot;
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    arena.release(slot);
+    --dead_;
+  }
+  return EventArena::kNil;
+}
+
+void HeapEventQueue::note_cancel(EventArena& arena, std::uint32_t /*slot*/) {
+  ++dead_;
+  --live_;
+  if (dead_ > live_) compact(arena);
+}
+
+void HeapEventQueue::compact(EventArena& arena) {
+  std::erase_if(heap_, [&arena](const Entry& e) {
+    if (arena.node(e.slot).fn) return false;
+    arena.release(e.slot);
+    return true;
+  });
+  std::make_heap(heap_.begin(), heap_.end());
+  dead_ = 0;
+}
+
+}  // namespace nessa::sim

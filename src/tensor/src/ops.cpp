@@ -20,6 +20,14 @@ constexpr std::size_t kRowTile = 32;
 /// the serial FP dependency chain so the compiler can keep one full SIMD
 /// register of partial sums without reassociating a single accumulator.
 constexpr std::size_t kLanes = 8;
+/// Row width at which pairwise_sq_dists switches to its column-tiled kernel:
+/// past ~4096 columns an output row (16 KB+) no longer shares L1 with the
+/// streaming X^T row. Bit-identical either way (see the kernel comment);
+/// measured tile-size tradeoffs live in docs/performance.md.
+constexpr std::size_t kDistTileMinCols = 4096;
+/// Column tile for that kernel: a 4096-float slice of the output row (16 KB)
+/// takes all k saxpy passes while cache-resident.
+constexpr std::size_t kDistColTile = 4096;
 
 void require_rank2(const Tensor& t, const char* who) {
   if (t.rank() != 2) {
@@ -293,22 +301,33 @@ Tensor pairwise_sq_dists(const Tensor& x, bool parallel) {
   run_row_blocks(m, m * m * (k + 2), parallel,
                  [&](std::size_t r0, std::size_t r1) {
                    const float* sqv = sq.data();
+                   // Large rows run column-tiled: each drow slice receives
+                   // all its k saxpy terms while L1-resident instead of the
+                   // whole row streaming through cache once per embedding
+                   // dimension. Per element the t-accumulation order is the
+                   // loop-interchange of the untiled kernel with identical
+                   // term order, so the result is bit-identical.
+                   const std::size_t jtile =
+                       m >= kDistTileMinCols ? kDistColTile : m;
                    for (std::size_t i = r0; i < r1; ++i) {
                      const float* arow = x.data() + i * k;
                      float* drow = d.data() + i * m;
                      const float sqi = sqv[i];
-                     for (std::size_t j = 0; j < m; ++j) {
-                       drow[j] = sqi + sqv[j];
-                     }
-                     for (std::size_t t = 0; t < k; ++t) {
-                       const float av = -2.0f * arow[t];
-                       const float* xtrow = xt.data() + t * m;
-                       for (std::size_t j = 0; j < m; ++j) {
-                         drow[j] += av * xtrow[j];
+                     for (std::size_t j0 = 0; j0 < m; j0 += jtile) {
+                       const std::size_t j1 = std::min(m, j0 + jtile);
+                       for (std::size_t j = j0; j < j1; ++j) {
+                         drow[j] = sqi + sqv[j];
                        }
-                     }
-                     for (std::size_t j = 0; j < m; ++j) {
-                       drow[j] = std::max(0.0f, drow[j]);
+                       for (std::size_t t = 0; t < k; ++t) {
+                         const float av = -2.0f * arow[t];
+                         const float* xtrow = xt.data() + t * m;
+                         for (std::size_t j = j0; j < j1; ++j) {
+                           drow[j] += av * xtrow[j];
+                         }
+                       }
+                       for (std::size_t j = j0; j < j1; ++j) {
+                         drow[j] = std::max(0.0f, drow[j]);
+                       }
                      }
                      drow[i] = 0.0f;
                    }

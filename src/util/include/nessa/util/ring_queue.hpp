@@ -1,0 +1,135 @@
+// RingQueue: a power-of-two circular FIFO that never allocates in steady
+// state.
+//
+// std::deque cycles through its 512-byte blocks as elements flow front to
+// back, so a long-lived FIFO (a component request queue under fleet-scale
+// traffic) hits the global allocator every few pushes. RingQueue keeps one
+// flat buffer, doubles it on overflow (amortized, and only until the queue
+// has seen its high-water mark), and otherwise performs zero allocations.
+// Elements need only be move-constructible.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace nessa::util {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() noexcept = default;
+
+  RingQueue(RingQueue&& other) noexcept
+      : buf_(other.buf_), cap_(other.cap_), head_(other.head_),
+        size_(other.size_) {
+    other.buf_ = nullptr;
+    other.cap_ = other.head_ = other.size_ = 0;
+  }
+
+  RingQueue& operator=(RingQueue&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      buf_ = other.buf_;
+      cap_ = other.cap_;
+      head_ = other.head_;
+      size_ = other.size_;
+      other.buf_ = nullptr;
+      other.cap_ = other.head_ = other.size_ = 0;
+    }
+    return *this;
+  }
+
+  RingQueue(const RingQueue&) = delete;
+  RingQueue& operator=(const RingQueue&) = delete;
+
+  ~RingQueue() { destroy(); }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] T& front() noexcept { return slot(head_); }
+  [[nodiscard]] const T& front() const noexcept { return slot(head_); }
+  [[nodiscard]] T& back() noexcept { return slot(head_ + size_ - 1); }
+  [[nodiscard]] const T& back() const noexcept {
+    return slot(head_ + size_ - 1);
+  }
+  /// Element `i` positions behind the front (0 == front).
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    return slot(head_ + i);
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return slot(head_ + i);
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* p = ::new (static_cast<void*>(&slot_raw(head_ + size_)))
+        T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void push_back(T value) { emplace_back(std::move(value)); }
+
+  void pop_front() noexcept {
+    slot(head_).~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  /// Default-construct elements at the back until `size() == n` (n must be
+  /// >= size()). Mirrors the deque::resize use in fault padding.
+  void resize_up(std::size_t n) {
+    while (size_ < n) emplace_back();
+  }
+
+  void clear() noexcept {
+    while (size_ != 0) pop_front();
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = cap_ == 0 ? 8 : cap_ * 2;
+    T* nb = static_cast<T*>(::operator new(new_cap * sizeof(T),
+                                           std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(nb + i)) T(std::move(slot(head_ + i)));
+      slot(head_ + i).~T();
+    }
+    if (buf_ != nullptr) {
+      ::operator delete(buf_, std::align_val_t{alignof(T)});
+    }
+    buf_ = nb;
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  void destroy() noexcept {
+    clear();
+    if (buf_ != nullptr) {
+      ::operator delete(buf_, std::align_val_t{alignof(T)});
+      buf_ = nullptr;
+      cap_ = 0;
+    }
+  }
+
+  [[nodiscard]] T& slot(std::size_t i) noexcept {
+    return buf_[i & (cap_ - 1)];
+  }
+  [[nodiscard]] const T& slot(std::size_t i) const noexcept {
+    return buf_[i & (cap_ - 1)];
+  }
+  [[nodiscard]] T& slot_raw(std::size_t i) noexcept {
+    return buf_[i & (cap_ - 1)];
+  }
+
+  T* buf_ = nullptr;
+  std::size_t cap_ = 0;   ///< always zero or a power of two
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nessa::util

@@ -1,0 +1,161 @@
+// SmallFn: a lean, move-only replacement for std::function<void()> on the
+// simulation hot paths.
+//
+// Every simulator event and every component request carries one completion
+// callback. std::function's small-object buffer on the common ABIs holds
+// only two pointers, so the moment a callback captures (this, epoch, retry
+// state) it heap-allocates — one malloc/free pair per event at fleet scale.
+// SmallFn widens the inline buffer to kInlineBytes (every callback in this
+// codebase fits) and dispatches through a single function pointer, so
+// invoking costs one indirect call and storing costs zero allocations.
+//
+// Oversized or throwing-move callables still work: they fall back to one
+// heap allocation, exactly like std::function. SmallFn is move-only; call
+// sites that used to copy a std::function instead construct a fresh SmallFn
+// from the callable (the callable itself is copied, not the wrapper).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nessa::util {
+
+class SmallFn {
+ public:
+  /// Inline capture budget. 40 bytes holds a std::function (32 on the
+  /// common ABIs), a shared_ptr-carrying retry lambda (16), or five raw
+  /// words of captures; anything bigger degrades to one heap allocation.
+  static constexpr std::size_t kInlineBytes = 40;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { steal(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  /// Destroy the current target (if any) and hold `f` in its place.
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::remove_cvref_t<F>;
+    reset();
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<D> &&
+                  std::is_trivially_destructible_v<D>) {
+      // Trivial captures (the overwhelmingly common case on the simulator
+      // hot path: a couple of pointers/ints) need no manager at all —
+      // moving is a memcpy and destroying is forgetting. Saves an indirect
+      // call on every event release.
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<D*>(p))(); };
+      manage_ = nullptr;
+    } else if constexpr (sizeof(D) <= kInlineBytes &&
+                         alignof(D) <= alignof(std::max_align_t) &&
+                         std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<D*>(p))(); };
+      manage_ = [](Op op, void* dst, void* src) {
+        switch (op) {
+          case Op::kMove:
+            ::new (dst) D(std::move(*static_cast<D*>(src)));
+            static_cast<D*>(src)->~D();
+            break;
+          case Op::kDestroy:
+            static_cast<D*>(dst)->~D();
+            break;
+        }
+      };
+    } else {
+      // Heap fallback: the buffer holds a single owning pointer.
+      ::new (static_cast<void*>(buf_))
+          D*(new D(std::forward<F>(f)));
+      invoke_ = [](void* p) { (**static_cast<D**>(p))(); };
+      manage_ = [](Op op, void* dst, void* src) {
+        switch (op) {
+          case Op::kMove:
+            ::new (dst) D*(*static_cast<D**>(src));
+            break;
+          case Op::kDestroy:
+            delete *static_cast<D**>(dst);
+            break;
+        }
+      };
+    }
+  }
+
+  void reset() noexcept {
+    if (invoke_ != nullptr) {
+      if (manage_ != nullptr) manage_(Op::kDestroy, buf_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  void operator()() { invoke_(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  friend bool operator==(const SmallFn& f, std::nullptr_t) noexcept {
+    return !f;
+  }
+  friend bool operator!=(const SmallFn& f, std::nullptr_t) noexcept {
+    return static_cast<bool>(f);
+  }
+
+ private:
+  enum class Op { kMove, kDestroy };
+  using Invoke = void (*)(void*);
+  using Manage = void (*)(Op, void* dst, void* src);
+
+  void steal(SmallFn& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (invoke_ != nullptr) {
+      if (manage_ != nullptr) {
+        manage_(Op::kMove, buf_, other.buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      }
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace nessa::util

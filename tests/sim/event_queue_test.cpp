@@ -1,0 +1,242 @@
+// Differential tests: the production calendar-queue engine against the
+// reference binary-heap engine (same arena, same engine template, different
+// ordering structure). Any schedule must produce identical firing order,
+// identical clocks, and identical cancel semantics on both.
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nessa/sim/engine.hpp"
+
+namespace nessa::sim {
+namespace {
+
+using CalendarSim = BasicSimulator<CalendarQueue>;
+using HeapSim = BasicSimulator<HeapEventQueue>;
+
+struct Fired {
+  util::SimTime when;
+  int tag;
+  bool operator==(const Fired&) const = default;
+};
+
+/// Schedule `times` on a fresh simulator (tag = position), cancel the
+/// entries selected by `cancel_mask` up front, run to completion, and
+/// return the firing trace.
+template <typename Sim>
+std::vector<Fired> run_script(const std::vector<util::SimTime>& times,
+                              const std::vector<bool>& cancel_mask) {
+  Sim sim;
+  std::vector<Fired> trace;
+  std::vector<std::uint64_t> ids(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const int tag = static_cast<int>(i);
+    ids[i] = sim.schedule_at(times[i],
+                             [&trace, &sim, tag] {
+                               trace.push_back({sim.now(), tag});
+                             });
+  }
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (cancel_mask[i]) {
+      EXPECT_TRUE(sim.cancel(ids[i]));
+    }
+  }
+  sim.run();
+  return trace;
+}
+
+TEST(EventQueueDifferential, RandomizedSchedulesMatchReferenceHeap) {
+  for (std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    std::mt19937_64 rng(seed);
+    std::vector<util::SimTime> times;
+    util::SimTime base = 0;
+    for (int i = 0; i < 600; ++i) {
+      // Mix tight clusters (exercises intra-bucket chains) with occasional
+      // large jumps (exercises bucket wraparound and the pop-gap retuner).
+      switch (rng() % 4) {
+        case 0: base += static_cast<util::SimTime>(rng() % 3); break;
+        case 1: base += static_cast<util::SimTime>(rng() % 1000); break;
+        case 2: base += static_cast<util::SimTime>(rng() % 100000); break;
+        default: base += static_cast<util::SimTime>(rng() % 50000000); break;
+      }
+      times.push_back(base);
+    }
+    std::shuffle(times.begin(), times.end(), rng);
+    std::vector<bool> cancel_mask(times.size());
+    for (auto&& c : cancel_mask) c = rng() % 3 == 0;
+
+    const auto calendar = run_script<CalendarSim>(times, cancel_mask);
+    const auto heap = run_script<HeapSim>(times, cancel_mask);
+    ASSERT_EQ(calendar.size(), heap.size()) << "seed " << seed;
+    EXPECT_EQ(calendar, heap) << "seed " << seed;
+  }
+}
+
+TEST(EventQueueDifferential, EqualTimestampsFireInSchedulingOrder) {
+  // Many events on few distinct timestamps: ordering within a timestamp is
+  // purely the FIFO tie-break.
+  std::mt19937_64 rng(99);
+  std::vector<util::SimTime> times;
+  for (int i = 0; i < 400; ++i) {
+    times.push_back(static_cast<util::SimTime>(10 * (rng() % 8)));
+  }
+  const std::vector<bool> no_cancel(times.size(), false);
+  const auto calendar = run_script<CalendarSim>(times, no_cancel);
+  const auto heap = run_script<HeapSim>(times, no_cancel);
+  EXPECT_EQ(calendar, heap);
+  // Explicit FIFO check, independent of the reference engine.
+  for (std::size_t i = 1; i < calendar.size(); ++i) {
+    ASSERT_GE(calendar[i].when, calendar[i - 1].when);
+    if (calendar[i].when == calendar[i - 1].when) {
+      EXPECT_GT(calendar[i].tag, calendar[i - 1].tag);
+    }
+  }
+}
+
+/// Both engines run a schedule whose callbacks cancel other pending events
+/// mid-run; traces and cancel outcomes must match.
+template <typename Sim>
+std::vector<Fired> run_cancelling_script() {
+  Sim sim;
+  std::vector<Fired> trace;
+  std::vector<std::uint64_t> ids(300);
+  for (int i = 0; i < 300; ++i) {
+    const util::SimTime when = 5 * (i + 1);
+    ids[i] = sim.schedule_at(when, [&, i] {
+      trace.push_back({sim.now(), i});
+      // Cancel the event three ahead of this one (when it exists). Some
+      // targets are themselves already cancelled: both engines must agree
+      // the second cancel returns false.
+      if (i + 3 < 300) {
+        const bool ok = sim.cancel(ids[i + 3]);
+        trace.push_back({sim.now(), ok ? 100000 + i : -(100000 + i)});
+      }
+    });
+  }
+  sim.run();
+  return trace;
+}
+
+TEST(EventQueueDifferential, CancelDuringRunMatchesReferenceHeap) {
+  EXPECT_EQ(run_cancelling_script<CalendarSim>(),
+            run_cancelling_script<HeapSim>());
+}
+
+template <typename Sim>
+std::vector<Fired> run_until_script() {
+  Sim sim;
+  std::vector<Fired> trace;
+  for (int i = 0; i < 120; ++i) {
+    sim.schedule_at(7 * i, [&, i] { trace.push_back({sim.now(), i}); });
+  }
+  // Deadlines landing exactly on, just before, and between event times:
+  // events at the deadline are inclusive on both engines.
+  util::SimTime deadline = 0;
+  std::mt19937_64 rng(5);
+  while (!sim.empty()) {
+    deadline += static_cast<util::SimTime>(rng() % 40);
+    const std::size_t fired = sim.run_until(deadline);
+    trace.push_back({sim.now(), -static_cast<int>(fired) - 1});
+    EXPECT_GE(sim.now(), deadline);
+  }
+  return trace;
+}
+
+TEST(EventQueueDifferential, RunUntilBoundariesMatchReferenceHeap) {
+  EXPECT_EQ(run_until_script<CalendarSim>(), run_until_script<HeapSim>());
+}
+
+TEST(EventQueueDifferential, WideTimeJumpsWrapCalendarBuckets) {
+  // Timestamps spread over many orders of magnitude force the calendar to
+  // wrap its bucket ring repeatedly and trigger rebuilds; ordering must
+  // survive all of it.
+  std::mt19937_64 rng(2026);
+  std::vector<util::SimTime> times;
+  util::SimTime base = 0;
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 25; ++i) {
+      times.push_back(base + static_cast<util::SimTime>(rng() % 64));
+    }
+    base += static_cast<util::SimTime>(1) << (20 + 2 * (burst % 12));
+  }
+  std::shuffle(times.begin(), times.end(), rng);
+  std::vector<bool> cancel_mask(times.size());
+  for (auto&& c : cancel_mask) c = rng() % 4 == 0;
+  EXPECT_EQ(run_script<CalendarSim>(times, cancel_mask),
+            run_script<HeapSim>(times, cancel_mask));
+}
+
+/// Regression for tombstone accumulation: cancel the bulk of a large
+/// same-bucket cohort from inside run_until. Deep chains push cancels past
+/// the calendar's bounded eager unlink into the tombstone + compaction
+/// path; the heap engine takes the compaction path for every cancel.
+template <typename Sim>
+void heavy_cancel_inside_run_until() {
+  Sim sim;
+  std::vector<int> fired;
+  std::vector<std::uint64_t> ids(5000);
+  // One tight cluster => long chains in few calendar buckets.
+  for (int i = 0; i < 5000; ++i) {
+    ids[i] = sim.schedule_at(1000 + i % 7,
+                             [&fired, i] { fired.push_back(i); });
+  }
+  std::size_t cancelled = 0;
+  sim.schedule_at(10, [&] {
+    for (int i = 0; i < 5000; ++i) {
+      if (i % 10 != 0) cancelled += sim.cancel(ids[i]) ? 1 : 0;
+    }
+  });
+  const std::size_t processed = sim.run_until(2000);
+  EXPECT_EQ(cancelled, 4500u);
+  EXPECT_EQ(processed, 501u);  // the canceller + the 500 survivors
+  EXPECT_EQ(fired.size(), 500u);
+  EXPECT_TRUE(sim.empty());
+  // Survivors fire in (time, scheduling-order) order.
+  std::vector<int> expect;
+  for (int r = 0; r < 7; ++r) {
+    for (int i = 0; i < 5000; ++i) {
+      if (i % 10 == 0 && i % 7 == r) expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(EventQueueCompaction, HeavyCancelInsideRunUntilCalendar) {
+  heavy_cancel_inside_run_until<CalendarSim>();
+}
+
+TEST(EventQueueCompaction, HeavyCancelInsideRunUntilHeap) {
+  heavy_cancel_inside_run_until<HeapSim>();
+}
+
+TEST(EventQueueCompaction, RepeatedCancelWavesKeepQueueUsable) {
+  // Several cancel/run waves: compaction and slab reuse must never lose or
+  // duplicate events across waves.
+  CalendarSim sim;
+  std::size_t total_fired = 0;
+  for (int wave = 0; wave < 20; ++wave) {
+    std::vector<std::uint64_t> ids;
+    const util::SimTime start = sim.now();
+    for (int i = 0; i < 400; ++i) {
+      ids.push_back(
+          sim.schedule_at(start + 1 + i % 13, [&] { ++total_fired; }));
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i % 4 != 0) {
+        EXPECT_TRUE(sim.cancel(ids[i]));
+      }
+    }
+    // A slot freed by cancel is reused by later schedules; the stale id
+    // must stay dead (generation tag mismatch).
+    EXPECT_FALSE(sim.cancel(ids[1]));
+    sim.run();
+    EXPECT_TRUE(sim.empty());
+  }
+  EXPECT_EQ(total_fired, 20u * 100u);
+}
+
+}  // namespace
+}  // namespace nessa::sim

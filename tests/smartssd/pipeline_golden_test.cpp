@@ -1,0 +1,59 @@
+// Golden end-to-end determinism pins: epoch times for the six Table-1
+// dataset workloads, captured from the seed engine (priority_queue +
+// std::function) before the slab-arena/calendar-queue rewrite. The rewrite
+// — and any future event-queue change — must reproduce these picosecond
+// values exactly; a one-tick drift means event ordering changed somewhere.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nessa/data/registry.hpp"
+#include "nessa/nn/model.hpp"
+#include "nessa/smartssd/device.hpp"
+#include "nessa/smartssd/pipeline_sim.hpp"
+
+namespace nessa::smartssd {
+namespace {
+
+struct Golden {
+  const char* dataset;
+  std::int64_t first_epoch_time;
+  std::int64_t steady_epoch_time;
+};
+
+// Captured with the seed engine at commit 609297d (5 epochs, batch 128,
+// default SystemConfig, paper workload scaling below).
+constexpr Golden kGolden[] = {
+    {"CIFAR-10", 4427685344182, 2462328091166},
+    {"SVHN", 152331925191816, 127356342241144},
+    {"CINIC-10", 187658474908185, 157020688135849},
+    {"CIFAR-100", 104344715681637, 87209107253269},
+    {"TinyImageNet", 208541381715828, 174418705822468},
+    {"ImageNet-100", 601936870339098, 509258542393483},
+};
+
+TEST(PipelineGolden, EpochTimesBitIdenticalToSeedEngine) {
+  for (const Golden& g : kGolden) {
+    const auto& info = data::dataset_info(g.dataset);
+    const auto spec = nn::model_spec(info.paper_network);
+    EpochWorkload w;
+    w.pool_records = info.paper_train_size;
+    w.subset_records = info.paper_train_size * 3 / 10;
+    w.record_bytes = info.stored_bytes_per_sample;
+    w.macs_per_record = static_cast<std::uint64_t>(
+        spec.paper_gflops_per_sample * 1e9 / 2.0);
+    w.selection_ops = static_cast<std::uint64_t>(w.pool_records) * 500;
+    w.train_gflops_per_sample = spec.paper_gflops_per_sample;
+    w.batch_size = 128;
+    w.feedback_bytes =
+        static_cast<std::uint64_t>(spec.paper_params_millions * 1e6);
+
+    const auto t = simulate_pipeline(SystemConfig{}, w, 5);
+    EXPECT_EQ(t.first_epoch_time, g.first_epoch_time) << g.dataset;
+    EXPECT_EQ(t.steady_epoch_time, g.steady_epoch_time) << g.dataset;
+  }
+}
+
+}  // namespace
+}  // namespace nessa::smartssd

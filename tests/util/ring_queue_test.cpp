@@ -1,0 +1,102 @@
+#include "nessa/util/ring_queue.hpp"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace nessa::util {
+namespace {
+
+TEST(RingQueueTest, FifoAcrossGrowth) {
+  RingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 100u);
+  EXPECT_EQ(q.front(), 0);
+  EXPECT_EQ(q.back(), 99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueueTest, WrappedBufferSurvivesGrow) {
+  RingQueue<int> q;
+  // Fill to capacity 8, drain the front half, refill past the seam so the
+  // live range wraps, then push beyond capacity to force the unwrap-copy.
+  for (int i = 0; i < 8; ++i) q.push_back(i);
+  for (int i = 0; i < 5; ++i) q.pop_front();
+  for (int i = 8; i < 13; ++i) q.push_back(i);  // wraps: head near the end
+  for (int i = 13; i < 30; ++i) q.push_back(i);  // grows while wrapped
+  EXPECT_EQ(q.size(), 25u);
+  for (int i = 5; i < 30; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+}
+
+TEST(RingQueueTest, IndexingIsFrontRelative) {
+  RingQueue<int> q;
+  for (int i = 0; i < 12; ++i) q.push_back(i);
+  for (int i = 0; i < 6; ++i) q.pop_front();
+  for (int i = 12; i < 18; ++i) q.push_back(i);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(q[i], static_cast<int>(6 + i));
+  }
+}
+
+TEST(RingQueueTest, HoldsMoveOnlyElements) {
+  RingQueue<std::unique_ptr<int>> q;
+  for (int i = 0; i < 20; ++i) q.push_back(std::make_unique<int>(i));
+  auto first = std::move(q.front());
+  q.pop_front();
+  EXPECT_EQ(*first, 0);
+  EXPECT_EQ(*q.front(), 1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueueTest, ResizeUpDefaultConstructsAtBack) {
+  RingQueue<std::string> q;
+  q.push_back("a");
+  q.resize_up(4);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q[0], "a");
+  EXPECT_EQ(q[3], "");
+  q.resize_up(4);  // no-op at target size
+  EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(RingQueueTest, MoveTransfersOwnership) {
+  RingQueue<int> a;
+  for (int i = 0; i < 5; ++i) a.push_back(i);
+  RingQueue<int> b = std::move(a);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.size(), 5u);
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.front(), 0);
+}
+
+struct Counted {
+  static inline int live = 0;
+  Counted() { ++live; }
+  Counted(Counted&&) noexcept { ++live; }
+  ~Counted() { --live; }
+};
+
+TEST(RingQueueTest, DestroysAllElements) {
+  {
+    RingQueue<Counted> q;
+    for (int i = 0; i < 37; ++i) q.emplace_back();
+    for (int i = 0; i < 17; ++i) q.pop_front();
+    EXPECT_EQ(Counted::live, 20);
+  }
+  EXPECT_EQ(Counted::live, 0);
+}
+
+}  // namespace
+}  // namespace nessa::util
