@@ -33,7 +33,7 @@ int main() {
 
   auto run = [&](const std::string& name, core::NessaConfig nessa_cfg) {
     smartssd::SmartSsdSystem sys;
-    rows.push_back({name, core::run_nessa(inputs, nessa_cfg, sys)});
+    rows.push_back({name, bench::nessa_run(inputs, nessa_cfg, sys)});
     std::cerr << "[ablation] " << name << " done\n";
   };
 

@@ -11,7 +11,7 @@
 #include <iostream>
 #include <string>
 
-#include "nessa/core/pipeline.hpp"
+#include "nessa/core/run.hpp"
 #include "nessa/util/table.hpp"
 #include "nessa/util/units.hpp"
 
@@ -78,6 +78,33 @@ inline core::NessaConfig scaled_nessa(double fraction,
   nessa.loss_window_epochs = std::max<std::size_t>(2, cfg.epochs / 40);
   nessa.partition_quota = 8;
   return nessa;
+}
+
+/// Drivers over the unified core::run dispatcher, staging the inputs' run
+/// knobs the way the retired piecewise entry points did implicitly.
+inline core::RunResult full_run(const core::PipelineInputs& in,
+                                smartssd::SmartSsdSystem& sys) {
+  core::RunConfig rc;
+  rc.pipeline = core::PipelineKind::kFull;
+  rc.train = in.train;
+  rc.perf_model = in.perf_model;
+  rc.fault_plan = in.fault_plan;
+  rc.checkpoint = in.checkpoint;
+  return core::run(in, rc, sys);
+}
+
+inline core::RunResult nessa_run(const core::PipelineInputs& in,
+                                 const core::NessaConfig& cfg,
+                                 smartssd::SmartSsdSystem& sys) {
+  core::RunConfig rc;
+  rc.pipeline = core::PipelineKind::kNessa;
+  rc.train = in.train;
+  rc.perf_model = in.perf_model;
+  rc.fault_plan = in.fault_plan;
+  rc.checkpoint = in.checkpoint;
+  rc.nessa = cfg;
+  rc.parallelism = cfg.parallelism;
+  return core::run(in, rc, sys);
 }
 
 inline void print_banner(const std::string& what, const BenchConfig& cfg) {

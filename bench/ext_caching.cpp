@@ -21,9 +21,9 @@ int main() {
     auto& inputs = c.bind();
 
     smartssd::SmartSsdSystem s1, s2, s3;
-    auto full = core::run_full(inputs, s1);
+    auto full = bench::full_run(inputs, s1);
     auto cached = core::run_full_cached(inputs, cache, s2);
-    auto nessa = core::run_nessa(inputs, bench::scaled_nessa(0.30, cfg), s3);
+    auto nessa = bench::nessa_run(inputs, bench::scaled_nessa(0.30, cfg), s3);
 
     const auto& info = inputs.info;
     const double ds_gb = static_cast<double>(info.paper_train_size) *

@@ -18,10 +18,10 @@ int main() {
   const auto& gpu = smartssd::gpu_spec("V100");
 
   smartssd::SmartSsdSystem s1, s2, s3, s4;
-  auto nessa = core::run_nessa(inputs, bench::scaled_nessa(0.30, cfg), s1);
+  auto nessa = bench::nessa_run(inputs, bench::scaled_nessa(0.30, cfg), s1);
   auto craig = core::run_craig(inputs, 0.30, s2);
   auto kcenter = core::run_kcenter(inputs, 0.30, s3);
-  auto full = core::run_full(inputs, s4);
+  auto full = bench::full_run(inputs, s4);
 
   auto e_nessa = core::estimate_energy(nessa, gpu, core::SelectionSite::kFpga);
   auto e_craig =

@@ -22,13 +22,13 @@ int main() {
   core::NessaConfig nessa_cfg = bench::scaled_nessa(0.30, cfg);
 
   smartssd::SmartSsdSystem s1, s2, s3, s4;
-  auto nessa = core::run_nessa(inputs, nessa_cfg, s1);
+  auto nessa = bench::nessa_run(inputs, nessa_cfg, s1);
   std::cerr << "[fig4] nessa done\n";
   auto craig = core::run_craig(inputs, 0.30, s2);
   std::cerr << "[fig4] craig done\n";
   auto kcenter = core::run_kcenter(inputs, 0.30, s3);
   std::cerr << "[fig4] k-centers done\n";
-  auto full = core::run_full(inputs, s4);
+  auto full = bench::full_run(inputs, s4);
   std::cerr << "[fig4] full done\n";
 
   auto seconds = [](util::SimTime t) { return util::to_seconds(t); };
@@ -79,8 +79,8 @@ int main() {
     auto dc = bench::make_case(info.name, cfg);
     auto& dinputs = dc.bind();
     smartssd::SmartSsdSystem sa, sb;
-    auto dfull = core::run_full(dinputs, sa);
-    auto dnessa = core::run_nessa(dinputs, bench::scaled_nessa(0.30, cfg), sb);
+    auto dfull = bench::full_run(dinputs, sa);
+    auto dnessa = bench::nessa_run(dinputs, bench::scaled_nessa(0.30, cfg), sb);
     const double speedup = static_cast<double>(dfull.mean_epoch_time) /
                            static_cast<double>(dnessa.mean_epoch_time);
     const double reduction =

@@ -18,9 +18,9 @@ int main() {
     auto& inputs = c.bind();
 
     smartssd::SmartSsdSystem s_full, s_nessa;
-    auto full = core::run_full(inputs, s_full);
+    auto full = bench::full_run(inputs, s_full);
     core::NessaConfig nessa_cfg = bench::scaled_nessa(0.35, cfg);
-    auto nessa = core::run_nessa(inputs, nessa_cfg, s_nessa);
+    auto nessa = bench::nessa_run(inputs, nessa_cfg, s_nessa);
 
     util::Table table(info.name + " (accuracy %, per epoch)");
     table.set_header({"epoch", "NeSSA", "All data"});

@@ -20,9 +20,8 @@
 #include <filesystem>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "nessa/ckpt/store.hpp"
-#include "nessa/core/pipeline.hpp"
-#include "nessa/core/run_config.hpp"
 #include "nessa/data/synthetic.hpp"
 #include "nessa/smartssd/pipeline_sim.hpp"
 
@@ -77,7 +76,7 @@ void BM_EventEpochNoCheckpoint(benchmark::State& state) {
   smartssd::SystemConfig cfg;
   util::SimTime last = 0;
   for (auto _ : state) {
-    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5);
+    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5, smartssd::PipelineOptions{});
     last = trace.steady_epoch_time;
     benchmark::DoNotOptimize(last);
   }
@@ -93,7 +92,7 @@ void BM_EventEpochCheckpointed(benchmark::State& state) {
   rc.checkpoint.keep = 2;
   util::SimTime last = 0;
   for (auto _ : state) {
-    const auto trace = core::simulate_pipeline(rc);
+    const auto trace = core::simulate(rc);
     last = trace.steady_epoch_time;
     benchmark::DoNotOptimize(last);
   }
@@ -107,7 +106,7 @@ void BM_TrainerNoCheckpoint(benchmark::State& state) {
   double acc = 0.0;
   for (auto _ : state) {
     smartssd::SmartSsdSystem sys;
-    const auto run = core::run_nessa(inputs, bench_nessa(), sys);
+    const auto run = bench::nessa_run(inputs, bench_nessa(), sys);
     acc = run.final_accuracy;  // kept live by the counter below
   }
   state.counters["final_acc"] = acc;
@@ -122,7 +121,7 @@ void BM_TrainerCheckpointEveryEpoch(benchmark::State& state) {
   double acc = 0.0;
   for (auto _ : state) {
     smartssd::SmartSsdSystem sys;
-    const auto run = core::run_nessa(inputs, bench_nessa(), sys);
+    const auto run = bench::nessa_run(inputs, bench_nessa(), sys);
     acc = run.final_accuracy;  // kept live by the counter below
   }
   state.counters["final_acc"] = acc;

@@ -38,7 +38,7 @@ void BM_EventEpochNoFaultPlan(benchmark::State& state) {
   smartssd::SystemConfig cfg;
   util::SimTime last = 0;
   for (auto _ : state) {
-    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5);
+    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5, smartssd::PipelineOptions{});
     last = trace.steady_epoch_time;
     benchmark::DoNotOptimize(last);
   }

@@ -1,0 +1,98 @@
+// Google-benchmark microbenchmarks for the multi-tenant fleet simulator.
+// Measures the host-side cost of simulating a fleet (event throughput of
+// the shared engine under N device graphs + fair queues), not simulated
+// time:
+//
+//   BM_FleetPoisson/<jobs>     end-to-end run_fleet over a seeded Poisson
+//                              stream on a 4-SmartSSD / 2-GPU rack;
+//   BM_FleetPreemptive/<jobs>  the same rack with quantum-1 time slicing —
+//                              every epoch barrier snapshots through the
+//                              ckpt codec and round-robins the queue;
+//   BM_FleetHeapEngine/<jobs>  the reference binary-heap engine on the
+//                              same workload (calendar-vs-heap overhead);
+//   BM_FairQueueDispatch       raw FairQueue submit->complete throughput
+//                              with 8 contending flows on one component.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "nessa/fleet/fleet_sim.hpp"
+#include "nessa/sim/component.hpp"
+#include "nessa/sim/fair_queue.hpp"
+
+using namespace nessa;
+
+namespace {
+
+fleet::FleetConfig rack_config() {
+  fleet::FleetConfig config;
+  config.devices = 4;
+  config.gpus = 2;
+  config.jobs_per_device = 4;
+  config.queue_capacity = 64;
+  config.job.pipeline_epochs = 3;
+  return config;
+}
+
+std::vector<fleet::Arrival> stream(std::size_t jobs) {
+  fleet::PoissonConfig cfg;
+  cfg.jobs = jobs;
+  cfg.tenants = 8;
+  cfg.rate_per_s = 100.0;
+  cfg.seed = 42;
+  return fleet::poisson_arrivals(cfg);
+}
+
+void BM_FleetPoisson(benchmark::State& state) {
+  const auto config = rack_config();
+  const auto arrivals = stream(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = fleet::run_fleet(config, arrivals);
+    benchmark::DoNotOptimize(result.completed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetPoisson)->Arg(100)->Arg(1000);
+
+void BM_FleetPreemptive(benchmark::State& state) {
+  auto config = rack_config();
+  config.preempt_quantum_epochs = 1;
+  const auto arrivals = stream(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = fleet::run_fleet(config, arrivals);
+    benchmark::DoNotOptimize(result.preemptions);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetPreemptive)->Arg(100)->Arg(1000);
+
+void BM_FleetHeapEngine(benchmark::State& state) {
+  auto config = rack_config();
+  config.engine = sim::QueueKind::kHeap;
+  const auto arrivals = stream(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = fleet::run_fleet(config, arrivals);
+    benchmark::DoNotOptimize(result.completed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetHeapEngine)->Arg(1000);
+
+void BM_FairQueueDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Component c(sim, "dev");
+    sim::FairQueue q(c);
+    std::vector<sim::FairQueue::FlowId> flows;
+    for (std::uint32_t w = 1; w <= 8; ++w) flows.push_back(q.add_flow(w));
+    for (int round = 0; round < 125; ++round) {
+      for (const auto f : flows) q.submit(f, 100, 64, "req");
+    }
+    sim.run();
+    benchmark::DoNotOptimize(q.jain_index());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FairQueueDispatch);
+
+}  // namespace

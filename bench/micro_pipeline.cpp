@@ -94,7 +94,7 @@ void BM_EventEpoch(benchmark::State& state) {
   // this measures the raw simulation throughput).
   util::SimTime last = 0;
   for (auto _ : state) {
-    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5);
+    const auto trace = smartssd::simulate_pipeline(cfg, workload, 5, smartssd::PipelineOptions{});
     last = trace.steady_epoch_time;
     benchmark::DoNotOptimize(last);
   }
@@ -112,7 +112,7 @@ void BM_EventEpochFleet(benchmark::State& state) {
   workload.batch_size = 16;
   smartssd::SystemConfig cfg;
   for (auto _ : state) {
-    const auto trace = smartssd::simulate_pipeline(cfg, workload, 10);
+    const auto trace = smartssd::simulate_pipeline(cfg, workload, 10, smartssd::PipelineOptions{});
     benchmark::DoNotOptimize(trace.steady_epoch_time);
   }
 }

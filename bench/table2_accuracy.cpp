@@ -33,11 +33,11 @@ int main() {
       auto& inputs = c.bind();
 
       smartssd::SmartSsdSystem full_sys, nessa_sys;
-      auto full = core::run_full(inputs, full_sys);
+      auto full = bench::full_run(inputs, full_sys);
 
       core::NessaConfig nessa_cfg = bench::scaled_nessa(0.40, seeded);
       nessa_cfg.min_subset_fraction = 0.12;
-      auto nessa = core::run_nessa(inputs, nessa_cfg, nessa_sys);
+      auto nessa = bench::nessa_run(inputs, nessa_cfg, nessa_sys);
       full_acc.add(full.final_accuracy);
       nessa_acc.add(nessa.final_accuracy);
       subset.add(nessa.mean_subset_fraction);

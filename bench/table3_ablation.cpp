@@ -41,7 +41,7 @@ int main() {
   auto& inputs = c.bind();
 
   smartssd::SmartSsdSystem goal_sys;
-  const auto goal = core::run_full(inputs, goal_sys);
+  const auto goal = bench::full_run(inputs, goal_sys);
   std::cerr << "[table3] goal done\n";
 
   util::Table table;
@@ -50,7 +50,7 @@ int main() {
   for (double fraction : {0.10, 0.30, 0.50}) {
     auto run_variant = [&](bool sb, bool pa) {
       smartssd::SmartSsdSystem sys;
-      return core::run_nessa(inputs, variant(fraction, sb, pa, cfg), sys)
+      return bench::nessa_run(inputs, variant(fraction, sb, pa, cfg), sys)
           .final_accuracy;
     };
     const double vanilla = run_variant(false, false);

@@ -5,7 +5,7 @@
 //   $ ./examples/dataset_pruning
 #include <iostream>
 
-#include "nessa/core/pipeline.hpp"
+#include "nessa/core/run.hpp"
 #include "nessa/util/table.hpp"
 
 using namespace nessa;
@@ -21,8 +21,12 @@ core::RunResult run_with(const core::PipelineInputs& inputs,
   cfg.drop_interval_epochs = 4;
   cfg.loss_window_epochs = 3;
   cfg.partition_quota = 64;
+  core::RunConfig rc;
+  rc.pipeline = core::PipelineKind::kNessa;
+  rc.train = inputs.train;
+  rc.nessa = cfg;
   smartssd::SmartSsdSystem sys;
-  return core::run_nessa(inputs, cfg, sys);
+  return core::run(inputs, rc, sys);
 }
 
 }  // namespace

@@ -7,7 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "nessa/core/pipeline.hpp"
+#include "nessa/core/run.hpp"
 #include "nessa/util/table.hpp"
 #include "nessa/util/units.hpp"
 
@@ -37,8 +37,12 @@ int main(int argc, char** argv) {
             << info.stored_bytes_per_sample / 1000 << " KB, "
             << info.paper_network << ")\n\n";
 
+  core::RunConfig rc;
+  rc.pipeline = core::PipelineKind::kNessa;
+  rc.train = inputs.train;
+  rc.nessa = cfg;
   smartssd::SmartSsdSystem nessa_sys;
-  auto nessa = core::run_nessa(inputs, cfg, nessa_sys);
+  auto nessa = core::run(inputs, rc, nessa_sys);
 
   util::Table per_epoch("per-epoch report (simulated times at paper scale)");
   per_epoch.set_header({"epoch", "acc (%)", "subset (%)", "pool", "scan (ms)",
@@ -57,8 +61,9 @@ int main(int argc, char** argv) {
   }
   per_epoch.print(std::cout);
 
+  rc.pipeline = core::PipelineKind::kFull;
   smartssd::SmartSsdSystem full_sys;
-  auto full = core::run_full(inputs, full_sys);
+  auto full = core::run(inputs, rc, full_sys);
 
   std::cout << "\n";
   util::Table summary("NeSSA vs conventional full-data training");

@@ -1,0 +1,93 @@
+// JobSpec — the value-type description of ONE training job.
+//
+// A JobSpec is everything that defines *what* to run and on *what modeled
+// hardware*, independent of where it executes: the dataset (by registry
+// name + substrate scale), the pipeline to run, device count, the modeled
+// system, the batch-granular workload, substrate training knobs, the §3.2
+// optimization toggles, the performance model, the fault plan and the
+// checkpoint policy. A single interactive run (core::run) and a fleet job
+// (fleet::FleetConfig's tenants) share this one validated spec — the fleet
+// scheduler queues JobSpecs exactly as the CLI runs them.
+//
+// Host-side *execution* options (thread-pool parallelism, telemetry export
+// paths) are NOT part of the spec: they belong to core::RunConfig, which
+// is JobSpec + those options (see run_config.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nessa/ckpt/config.hpp"
+#include "nessa/core/config.hpp"
+#include "nessa/core/perf_model.hpp"
+#include "nessa/fault/fault_plan.hpp"
+#include "nessa/smartssd/device.hpp"
+#include "nessa/smartssd/pipeline_sim.hpp"
+
+namespace nessa::core {
+
+/// Which training pipeline a job runs (the paper's comparison systems).
+enum class PipelineKind : std::uint8_t {
+  kNessa,       ///< §3 SmartSSD+GPU system (multi-device when devices > 1)
+  kFull,        ///< conventional all-data training ("Goal" column)
+  kFullCached,  ///< all-data behind a SHADE/iCache-style host cache
+  kCraig,       ///< CRAIG host-CPU per-epoch coreset selection
+  kKCenter,     ///< greedy k-center host-CPU core-set
+  kRandom,      ///< uniform random subset (sanity baseline)
+  kLossTopk,    ///< "biggest losers" top-k loss baseline
+};
+
+/// CLI-facing name ("nessa", "full", "full-cached", ...).
+[[nodiscard]] const char* to_string(PipelineKind kind) noexcept;
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] PipelineKind pipeline_kind_from_string(std::string_view name);
+
+struct JobSpec {
+  /// Dataset registry name (see data::dataset_info) the substrate data is
+  /// built from.
+  std::string dataset = "CIFAR-10";
+  /// Substrate scale: fraction of the paper train-set size actually
+  /// trained on (paper-scale costing is unaffected).
+  double dataset_scale = 0.03;
+  /// Which pipeline this job runs.
+  PipelineKind pipeline = PipelineKind::kNessa;
+  /// SmartSSD count: > 1 shards the nessa pipeline across devices
+  /// (run_nessa_multi); baselines require 1.
+  std::size_t devices = 1;
+
+  smartssd::SystemConfig system{};
+  smartssd::EpochWorkload workload{};
+  TrainConfig train{};
+  NessaConfig nessa{};
+  /// Epochs for the batch-granular pipeline simulation (>= 2; the first
+  /// epoch has no overlap, so the steady-state estimate averages the rest).
+  std::size_t pipeline_epochs = 8;
+  /// How trainer epoch costs are priced: the closed-form analytic model or
+  /// the discrete-event DeviceGraph probe (see core::PerformanceModel).
+  PerfModelKind perf_model = PerfModelKind::kAnalytic;
+  /// Routing/credit knobs for the discrete-event pipeline simulation.
+  /// (fault_plan below is wired into pipeline_options.fault_plan by the
+  /// entry points; do not set the raw pointer here.)
+  smartssd::PipelineOptions pipeline_options{};
+  /// Fault schedule for the run (see fault/fault_plan.hpp). Disabled by
+  /// default; populate from FaultPlan::preset()/parse() or by hand.
+  fault::FaultPlan fault_plan{};
+  /// Checkpoint/restore (see ckpt/config.hpp): a non-empty dir snapshots
+  /// trainer state at epoch boundaries; resume restores the newest valid
+  /// snapshot and continues bit-identically. Disabled by default.
+  ckpt::CheckpointConfig checkpoint{};
+
+  /// Check every field and return ALL problems found, one human-readable
+  /// message each ("field: why"). Empty means the spec is valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Throws std::invalid_argument listing every validation error (joined
+  /// with "; ") if validate() is non-empty.
+  void validate_or_throw() const;
+};
+
+}  // namespace nessa::core

@@ -53,23 +53,31 @@ struct PipelineInputs {
   ckpt::CheckpointConfig checkpoint{};
 };
 
+// --- legacy entry points (PR-2 era, deprecated) -----------------------
+// The unified API is core::run(const RunConfig&) / core::run(inputs,
+// config, system) in run.hpp: one validated spec drives the whole run and
+// dispatches on config.pipeline. These piecewise overloads remain as
+// compatibility shims only; every in-repo call site has been migrated.
+
 /// Conventional full-dataset training (paper "All Data" / Table 3 "Goal").
+[[deprecated("use core::run(inputs, config, system) with "
+             "config.pipeline = PipelineKind::kFull")]]
 RunResult run_full(const PipelineInputs& inputs,
                    smartssd::SmartSsdSystem& system);
 
 /// NeSSA (§3): near-storage quantized selection + GPU subset training.
+[[deprecated("use core::run(inputs, config, system) with "
+             "config.pipeline = PipelineKind::kNessa")]]
 RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
                     smartssd::SmartSsdSystem& system);
 
-// --- RunConfig entry points -------------------------------------------
-// Preferred API: one validated RunConfig drives the whole run. The
-// config's `train` section overrides `inputs.train`, and its parallelism
-// knob flows into the selection engine. The piecewise overloads above are
-// retained as compatibility shims.
-
+[[deprecated("use core::run(inputs, config, system) with "
+             "config.pipeline = PipelineKind::kFull")]]
 RunResult run_full(const PipelineInputs& inputs, const RunConfig& config,
                    smartssd::SmartSsdSystem& system);
 
+[[deprecated("use core::run(inputs, config, system) with "
+             "config.pipeline = PipelineKind::kNessa")]]
 RunResult run_nessa(const PipelineInputs& inputs, const RunConfig& config,
                     smartssd::SmartSsdSystem& system);
 

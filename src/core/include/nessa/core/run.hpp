@@ -1,0 +1,40 @@
+// The unified run API: one validated RunConfig in, one RunResult out.
+//
+// core::run() replaces the PR-2-era per-pipeline entry points
+// (run_nessa/run_full overloads, now [[deprecated]] in pipeline.hpp): the
+// RunConfig's JobSpec half says WHAT to run — dataset, pipeline kind,
+// device count, modeled hardware, fault plan, checkpoint policy — and the
+// dispatcher routes to the right trainer. core::simulate() (run_config.hpp)
+// is the paired batch-granular DES entry point.
+//
+//   auto rc = core::RunConfig{}.with_dataset("CIFAR-10", 0.03)
+//                              .with_pipeline(core::PipelineKind::kNessa);
+//   auto result = core::run(rc);                 // self-contained
+//
+// The three-argument overload serves callers that build their own
+// substrate dataset or custom model factory (conv stand-ins, sweeps):
+//
+//   auto result = core::run(inputs, rc, system); // custom inputs
+#pragma once
+
+#include "nessa/core/pipeline.hpp"
+#include "nessa/core/run_config.hpp"
+
+namespace nessa::core {
+
+/// Run `config`'s job on caller-built inputs and system. Validates first;
+/// stages config.train / perf_model / fault_plan / checkpoint into the
+/// inputs and dispatches on config.pipeline (and config.devices for the
+/// multi-SmartSSD nessa pipeline). Baseline subset pipelines (craig,
+/// kcenter, random, loss-topk) take their fraction from
+/// config.nessa.subset_fraction.
+RunResult run(const PipelineInputs& inputs, const RunConfig& config,
+              smartssd::SmartSsdSystem& system);
+
+/// Self-contained overload: builds the substrate dataset from the spec's
+/// registry entry (config.dataset / dataset_scale, seeded by
+/// config.train.seed), the paper-scale model spec, and the modeled
+/// SmartSsdSystem from config.system, then runs as above.
+RunResult run(const RunConfig& config);
+
+}  // namespace nessa::core

@@ -1,25 +1,24 @@
-// Unified run configuration — ONE struct that carries everything an
-// end-to-end NeSSA run needs:
+// Unified run configuration — JobSpec + host-side execution options.
 //
-//   - the hardware being modeled      (smartssd::SystemConfig),
-//   - the batch-granular workload     (smartssd::EpochWorkload),
-//   - substrate training knobs       (core::TrainConfig),
-//   - the §3.2 optimization toggles  (core::NessaConfig),
-//   - execution knobs                (util::Parallelism, TelemetryConfig).
+// The *what to run* half (dataset, pipeline, devices, modeled hardware,
+// workload, training and §3.2 knobs, fault plan, checkpoint policy) lives
+// in the core::JobSpec base (see job_spec.hpp) — the same validated value
+// a fleet job queues. RunConfig adds the *how to execute here* half:
 //
-// Entry points that used to take these pieces separately now have RunConfig
-// overloads (see below and pipeline.hpp); the old signatures remain as thin
-// shims so existing call sites keep compiling, but new code should build a
-// RunConfig — typically with the fluent with_*() chain — call validate()
-// once, and hand the same object to every stage of the run.
+//   - execution parallelism           (util::Parallelism),
+//   - telemetry export                (TelemetryConfig).
+//
+// New code builds a RunConfig — typically with the fluent with_*() chain —
+// calls validate() once, and hands the same object to core::run() /
+// core::simulate() (see run.hpp):
 //
 //   auto rc = core::RunConfig{}
 //                 .with_parallelism(true)
 //                 .with_pipeline_epochs(12);
 //   rc.nessa.subset_fraction = 0.25;
 //   if (auto errors = rc.validate(); !errors.empty()) { ... }
-//   auto trace = core::simulate_pipeline(rc);
-//   auto run = core::run_nessa(inputs, rc, system);
+//   auto trace = core::simulate(rc);
+//   auto run = core::run(rc);
 #pragma once
 
 #include <cstddef>
@@ -27,13 +26,8 @@
 #include <utility>
 #include <vector>
 
-#include "nessa/ckpt/config.hpp"
-#include "nessa/core/config.hpp"
-#include "nessa/core/perf_model.hpp"
-#include "nessa/fault/fault_plan.hpp"
+#include "nessa/core/job_spec.hpp"
 #include "nessa/selection/drivers.hpp"
-#include "nessa/smartssd/device.hpp"
-#include "nessa/smartssd/pipeline_sim.hpp"
 #include "nessa/util/parallelism.hpp"
 
 namespace nessa::core {
@@ -48,34 +42,24 @@ struct TelemetryConfig {
   std::string metrics_path;  ///< flat counters/gauges/histograms JSON
 };
 
-struct RunConfig {
-  smartssd::SystemConfig system{};
-  smartssd::EpochWorkload workload{};
-  TrainConfig train{};
-  NessaConfig nessa{};
+struct RunConfig : JobSpec {
   util::Parallelism parallelism{};
   TelemetryConfig telemetry{};
-  /// Epochs for the batch-granular pipeline simulation (>= 2; the first
-  /// epoch has no overlap, so the steady-state estimate averages the rest).
-  std::size_t pipeline_epochs = 8;
-  /// How trainer epoch costs are priced: the closed-form analytic model or
-  /// the discrete-event DeviceGraph probe (see core::PerformanceModel).
-  PerfModelKind perf_model = PerfModelKind::kAnalytic;
-  /// Routing/credit knobs for the discrete-event pipeline simulation.
-  /// (fault_plan below is wired into pipeline_options.fault_plan by the
-  /// entry points; do not set the raw pointer here.)
-  smartssd::PipelineOptions pipeline_options{};
-  /// Fault schedule for the run (see fault/fault_plan.hpp). Disabled by
-  /// default; populate from FaultPlan::preset()/parse() or by hand. Drives
-  /// request-level injection in the pipeline simulation and epoch-level
-  /// degraded-mode pricing in the trainers.
-  fault::FaultPlan fault_plan{};
-  /// Checkpoint/restore (see ckpt/config.hpp): a non-empty dir snapshots
-  /// trainer state at epoch boundaries; resume restores the newest valid
-  /// snapshot and continues bit-identically. Disabled by default.
-  ckpt::CheckpointConfig checkpoint{};
 
   // --- fluent builder -------------------------------------------------
+  RunConfig& with_dataset(std::string name, double scale = 0.03) {
+    dataset = std::move(name);
+    dataset_scale = scale;
+    return *this;
+  }
+  RunConfig& with_pipeline(PipelineKind value) {
+    pipeline = value;
+    return *this;
+  }
+  RunConfig& with_devices(std::size_t value) {
+    devices = value;
+    return *this;
+  }
   RunConfig& with_system(smartssd::SystemConfig value) {
     system = std::move(value);
     return *this;
@@ -139,9 +123,10 @@ struct RunConfig {
   /// derivation base.
   [[nodiscard]] selection::DriverConfig driver() const;
 
-  /// Check every field and return ALL problems found, one human-readable
-  /// message each ("field: why"). Empty means the config is valid. Unlike a
-  /// throwing check, this lets a CLI report the complete list at once.
+  /// Check every field — the JobSpec half plus the host-side options —
+  /// and return ALL problems found, one human-readable message each
+  /// ("field: why"). Empty means the config is valid. Unlike a throwing
+  /// check, this lets a CLI report the complete list at once.
   [[nodiscard]] std::vector<std::string> validate() const;
 
   /// Throws std::invalid_argument listing every validation error (joined
@@ -150,8 +135,14 @@ struct RunConfig {
 };
 
 /// Batch-granular pipeline simulation driven by a RunConfig (validates
-/// first). Equivalent to smartssd::simulate_pipeline(config.system,
-/// config.workload, config.pipeline_epochs).
-smartssd::PipelineTrace simulate_pipeline(const RunConfig& config);
+/// first); with a checkpoint dir configured it snapshots at every epoch
+/// barrier and resumes bit-identically. See run.hpp for the paired
+/// core::run() entry point.
+smartssd::PipelineTrace simulate(const RunConfig& config);
+
+[[deprecated("use core::simulate(config)")]]
+inline smartssd::PipelineTrace simulate_pipeline(const RunConfig& config) {
+  return simulate(config);
+}
 
 }  // namespace nessa::core

@@ -74,4 +74,5 @@
 #include "nessa/core/perf_model.hpp"
 #include "nessa/core/pipeline.hpp"
 #include "nessa/core/report.hpp"
+#include "nessa/core/run.hpp"
 #include "nessa/core/run_config.hpp"

@@ -1,0 +1,66 @@
+#include "nessa/core/run.hpp"
+
+#include "nessa/data/registry.hpp"
+#include "nessa/nn/model.hpp"
+#include "nessa/smartssd/host_cache.hpp"
+
+namespace nessa::core {
+
+// The dispatcher is the one sanctioned caller of the deprecated piecewise
+// entry points until their bodies fold in here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+RunResult run(const PipelineInputs& inputs, const RunConfig& config,
+              smartssd::SmartSsdSystem& system) {
+  config.validate_or_throw();
+  PipelineInputs staged = inputs;
+  staged.train = config.train;
+  staged.perf_model = config.perf_model;
+  staged.fault_plan = config.fault_plan;
+  staged.checkpoint = config.checkpoint;
+  switch (config.pipeline) {
+    case PipelineKind::kNessa: {
+      NessaConfig nessa = config.nessa;
+      nessa.parallelism = config.parallelism;
+      if (config.devices > 1) {
+        return run_nessa_multi(staged, nessa,
+                               MultiDeviceConfig{config.devices}, system);
+      }
+      return run_nessa(staged, nessa, system);
+    }
+    case PipelineKind::kFull:
+      return run_full(staged, system);
+    case PipelineKind::kFullCached:
+      return run_full_cached(staged, smartssd::HostCache{}, system);
+    case PipelineKind::kCraig:
+      return run_craig(staged, config.nessa.subset_fraction, system);
+    case PipelineKind::kKCenter:
+      return run_kcenter(staged, config.nessa.subset_fraction, system);
+    case PipelineKind::kRandom:
+      return run_random(staged, config.nessa.subset_fraction, system);
+    case PipelineKind::kLossTopk:
+      return run_loss_topk(staged, config.nessa.subset_fraction, system);
+  }
+  throw std::invalid_argument("core::run: unknown pipeline kind");
+}
+
+#pragma GCC diagnostic pop
+
+RunResult run(const RunConfig& config) {
+  config.validate_or_throw();
+  const data::DatasetInfo& info = data::dataset_info(config.dataset);
+  const data::Dataset dataset = data::make_substrate_dataset(
+      info, config.dataset_scale, 0, config.train.seed);
+
+  PipelineInputs inputs;
+  inputs.dataset = &dataset;
+  inputs.info = info;
+  inputs.model = nn::model_spec(info.paper_network);
+  inputs.train = config.train;
+
+  smartssd::SmartSsdSystem system(config.system);
+  return run(inputs, config, system);
+}
+
+}  // namespace nessa::core

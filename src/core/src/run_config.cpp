@@ -11,94 +11,6 @@
 
 namespace nessa::core {
 
-namespace {
-
-void check_system(const smartssd::SystemConfig& sys,
-                  std::vector<std::string>& errors) {
-  if (sys.p2p_bw_bps <= 0.0) {
-    errors.push_back("system.p2p_bw_bps: must be positive");
-  }
-  if (sys.host_link_bw_bps <= 0.0) {
-    errors.push_back("system.host_link_bw_bps: must be positive");
-  }
-  if (sys.gpu_link_bw_bps <= 0.0) {
-    errors.push_back("system.gpu_link_bw_bps: must be positive");
-  }
-  if (sys.staging_chunk_bytes == 0) {
-    errors.push_back("system.staging_chunk_bytes: must be > 0");
-  }
-  if (sys.gpu.empty()) {
-    errors.push_back("system.gpu: GPU name must not be empty");
-  }
-}
-
-void check_workload(const smartssd::EpochWorkload& w,
-                    std::vector<std::string>& errors) {
-  if (w.batch_size == 0) {
-    errors.push_back("workload.batch_size: must be > 0");
-  }
-  if (w.pool_records == 0) {
-    errors.push_back("workload.pool_records: must be > 0");
-  }
-  if (w.subset_records == 0) {
-    errors.push_back("workload.subset_records: must be > 0");
-  }
-  if (w.subset_records > w.pool_records) {
-    errors.push_back(
-        "workload.subset_records: must not exceed workload.pool_records");
-  }
-  if (w.record_bytes == 0) {
-    errors.push_back("workload.record_bytes: must be > 0");
-  }
-}
-
-void check_train(const TrainConfig& t, std::vector<std::string>& errors) {
-  if (t.epochs == 0) {
-    errors.push_back("train.epochs: must be > 0");
-  }
-  if (t.batch_size == 0) {
-    errors.push_back("train.batch_size: must be > 0");
-  }
-}
-
-void check_nessa(const NessaConfig& n, std::vector<std::string>& errors) {
-  if (n.subset_fraction <= 0.0 || n.subset_fraction > 1.0) {
-    errors.push_back("nessa.subset_fraction: must be in (0, 1]");
-  }
-  if (n.min_subset_fraction <= 0.0 ||
-      n.min_subset_fraction > n.subset_fraction) {
-    errors.push_back(
-        "nessa.min_subset_fraction: must be in (0, subset_fraction]");
-  }
-  if (n.greedy == selection::GreedyKind::kStochastic &&
-      (n.stochastic_epsilon <= 0.0 || n.stochastic_epsilon >= 1.0)) {
-    errors.push_back("nessa.stochastic_epsilon: must be in (0, 1)");
-  }
-  if (n.subset_biasing && n.drop_interval_epochs == 0) {
-    errors.push_back(
-        "nessa.drop_interval_epochs: must be > 0 when subset_biasing is on");
-  }
-  if (n.subset_biasing &&
-      (n.drop_quantile < 0.0 || n.drop_quantile > 1.0)) {
-    errors.push_back("nessa.drop_quantile: must be in [0, 1]");
-  }
-  if (n.subset_biasing && n.min_pool_factor < 1.0) {
-    errors.push_back("nessa.min_pool_factor: must be >= 1");
-  }
-  if (n.selection_interval == 0) {
-    errors.push_back("nessa.selection_interval: must be > 0");
-  }
-  if (n.dynamic_sizing &&
-      (n.shrink_step <= 0.0 || n.shrink_step >= 1.0)) {
-    errors.push_back("nessa.shrink_step: must be in (0, 1)");
-  }
-  if (n.selection_proxy_factor <= 0.0) {
-    errors.push_back("nessa.selection_proxy_factor: must be positive");
-  }
-}
-
-}  // namespace
-
 selection::DriverConfig RunConfig::driver() const {
   selection::DriverConfig cfg;
   cfg.greedy = nessa.greedy;
@@ -111,34 +23,9 @@ selection::DriverConfig RunConfig::driver() const {
 }
 
 std::vector<std::string> RunConfig::validate() const {
-  std::vector<std::string> errors;
-  check_system(system, errors);
-  check_workload(workload, errors);
-  check_train(train, errors);
-  check_nessa(nessa, errors);
-  if (pipeline_epochs < 2) {
-    errors.push_back("pipeline_epochs: must be >= 2");
-  }
-  if (pipeline_options.max_inflight == 0) {
-    errors.push_back("pipeline_options.max_inflight: must be >= 1");
-  }
-  if (pipeline_options.fault_plan != nullptr &&
-      pipeline_options.fault_plan != &fault_plan) {
-    errors.push_back(
-        "pipeline_options.fault_plan: set RunConfig::fault_plan instead of "
-        "the raw pointer (the entry points wire it up)");
-  }
-  for (const auto& err : fault_plan.validate()) {
-    errors.push_back("fault_plan." + err);
-  }
-  if (checkpoint.enabled() && checkpoint.every_epochs == 0) {
-    errors.push_back(
-        "checkpoint.every_epochs: must be > 0 when a checkpoint dir is set");
-  }
-  if (checkpoint.resume && !checkpoint.enabled()) {
-    errors.push_back("checkpoint.resume: requires a checkpoint dir");
-  }
-  return errors;
+  // The JobSpec half carries every spec-side constraint; the host-side
+  // options (parallelism, telemetry paths) have no invalid states today.
+  return JobSpec::validate();
 }
 
 void RunConfig::validate_or_throw() const {
@@ -231,7 +118,7 @@ std::vector<smartssd::EpochBarrier> decode_pipeline_snapshot(
 
 }  // namespace
 
-smartssd::PipelineTrace simulate_pipeline(const RunConfig& config) {
+smartssd::PipelineTrace simulate(const RunConfig& config) {
   config.validate_or_throw();
   smartssd::PipelineOptions options = config.pipeline_options;
   if (config.fault_plan.enabled() ||
@@ -288,6 +175,11 @@ smartssd::PipelineTrace simulate_pipeline(const RunConfig& config) {
                                      config.pipeline_epochs, options);
 }
 
+// Deprecated shims forwarding to the deprecated piecewise entry points;
+// the sanctioned path is core::run (run.cpp).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 RunResult run_full(const PipelineInputs& inputs, const RunConfig& config,
                    smartssd::SmartSsdSystem& system) {
   config.validate_or_throw();
@@ -311,5 +203,7 @@ RunResult run_nessa(const PipelineInputs& inputs, const RunConfig& config,
   nessa.parallelism = config.parallelism;
   return run_nessa(staged, nessa, system);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace nessa::core

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "nessa/fault/fault_plan.hpp"
@@ -56,7 +57,8 @@ class Injector final : public sim::FaultHook {
   [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
 
   /// True when at least one spec targets `component` — lets callers skip
-  /// installing the hook on components the plan never touches.
+  /// installing the hook on components the plan never touches. Matching is
+  /// prefix-aware (see find_specs).
   [[nodiscard]] bool targets(std::string_view component) const;
 
  private:
@@ -68,6 +70,19 @@ class Injector final : public sim::FaultHook {
 
   /// True when spec #index fires for its next event (advances the counter).
   bool roll(CompiledSpec& compiled);
+
+  /// Specs targeting `name`, or nullptr. Exact match wins; otherwise fleet
+  /// device prefixes are stripped — a graph built with a name prefix calls
+  /// its components "ssd3.flash_bus", and a canonical plan target
+  /// ("flash_bus") matches the suffix after the last '.'. An exact entry
+  /// for the prefixed name therefore overrides the canonical one, which is
+  /// how per-device plans coexist with fleet-wide ones.
+  [[nodiscard]] const std::vector<CompiledSpec>* find_specs(
+      std::string_view name) const;
+  [[nodiscard]] std::vector<CompiledSpec>* find_specs(std::string_view name) {
+    return const_cast<std::vector<CompiledSpec>*>(
+        std::as_const(*this).find_specs(name));
+  }
 
   const FaultPlan* plan_;
   /// component name → specs targeting it (submit-side and service-side

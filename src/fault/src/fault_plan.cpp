@@ -220,6 +220,11 @@ const std::vector<std::string>& known_component_names() {
 }
 
 bool is_known_component(std::string_view name) {
+  // Fleet graphs prefix component names per device ("ssd3.flash_bus");
+  // a spec may target one device that way, so validate the suffix after
+  // the last '.' against the canonical set.
+  const auto dot = name.rfind('.');
+  if (dot != std::string_view::npos) name = name.substr(dot + 1);
   for (const auto& known : known_component_names()) {
     if (known == name) return true;
   }

@@ -23,7 +23,19 @@ Injector::Injector(const FaultPlan& plan) : plan_(&plan) {
 }
 
 bool Injector::targets(std::string_view component) const {
-  return by_component_.find(std::string(component)) != by_component_.end();
+  return find_specs(component) != nullptr;
+}
+
+const std::vector<Injector::CompiledSpec>* Injector::find_specs(
+    std::string_view name) const {
+  auto it = by_component_.find(std::string(name));
+  if (it == by_component_.end()) {
+    const auto dot = name.rfind('.');
+    if (dot == std::string_view::npos) return nullptr;
+    it = by_component_.find(std::string(name.substr(dot + 1)));
+    if (it == by_component_.end()) return nullptr;
+  }
+  return &it->second;
 }
 
 bool Injector::roll(CompiledSpec& compiled) {
@@ -36,9 +48,9 @@ sim::FaultDecision Injector::on_submit(const sim::Component& component,
                                        sim::SimTime /*service*/,
                                        std::uint64_t /*bytes*/) {
   sim::FaultDecision decision;
-  auto it = by_component_.find(component.name());
-  if (it == by_component_.end()) return decision;
-  for (CompiledSpec& compiled : it->second) {
+  std::vector<CompiledSpec>* specs = find_specs(component.name());
+  if (specs == nullptr) return decision;
+  for (CompiledSpec& compiled : *specs) {
     if (compiled.spec->kind != FaultKind::kReject) continue;
     if (!roll(compiled)) continue;
     ++stats_.rejections;
@@ -55,9 +67,9 @@ sim::FaultDecision Injector::on_service(const sim::Component& component,
                                         sim::SimTime service,
                                         std::uint64_t /*bytes*/) {
   sim::FaultDecision decision;
-  auto it = by_component_.find(component.name());
-  if (it == by_component_.end()) return decision;
-  for (CompiledSpec& compiled : it->second) {
+  std::vector<CompiledSpec>* specs = find_specs(component.name());
+  if (specs == nullptr) return decision;
+  for (CompiledSpec& compiled : *specs) {
     const FaultSpec& spec = *compiled.spec;
     switch (spec.kind) {
       case FaultKind::kReject:

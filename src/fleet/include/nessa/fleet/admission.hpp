@@ -1,0 +1,87 @@
+// AdmissionController: the bounded front door of the fleet.
+//
+// Jobs arrive faster than devices free up, so something must decide which
+// jobs wait and which never run. The controller keeps a bounded FIFO of
+// job ids waiting for dispatch; when the queue is full, the configured
+// policy decides the overflow's fate:
+//
+//   kReject  the arrival is refused outright (counted, never runs) — the
+//            load-shedding configuration for latency-sensitive fleets;
+//   kDefer   the arrival parks in an unbounded overflow list and is
+//            promoted into the bounded queue as dispatches drain it —
+//            nothing is lost, but deferred jobs absorb the backlog delay.
+//
+// Preempted jobs re-enter through requeue(): a job yielding at an epoch
+// barrier holds its snapshot and goes to the BACK of the bounded queue —
+// classic round-robin time slicing — but BYPASSES the bound, because a
+// preemption must never turn into a rejection.
+//
+// The controller is pure bookkeeping over job ids — no simulator types —
+// so admission policy is unit-testable without an event engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nessa/util/ring_queue.hpp"
+
+namespace nessa::fleet {
+
+enum class AdmissionPolicy : std::uint8_t { kReject, kDefer };
+
+enum class AdmissionOutcome : std::uint8_t { kAdmitted, kRejected, kDeferred };
+
+struct AdmissionStats {
+  std::uint64_t offered = 0;    ///< arrivals presented to the controller
+  std::uint64_t admitted = 0;   ///< entered the bounded queue (directly or
+                                ///< after a deferral)
+  std::uint64_t rejected = 0;   ///< refused by kReject overflow
+  std::uint64_t deferred = 0;   ///< parked at least once by kDefer overflow
+  std::size_t peak_depth = 0;   ///< max bounded-queue depth observed
+  std::size_t peak_overflow = 0;  ///< max overflow-list length (kDefer)
+};
+
+class AdmissionController {
+ public:
+  using JobId = std::uint32_t;
+
+  /// `capacity` bounds the waiting queue (>= 1 enforced by clamping).
+  AdmissionController(std::size_t capacity, AdmissionPolicy policy)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  /// Present one arrival. Admitted and deferred jobs are owned by the
+  /// controller until popped; rejected jobs never will be.
+  AdmissionOutcome offer(JobId job);
+
+  /// Re-admit a preempted job at the back of the queue, bypassing the
+  /// bound (a preemption must never turn into a rejection).
+  void requeue(JobId job);
+
+  /// True when a job is waiting for dispatch.
+  [[nodiscard]] bool has_waiting() const noexcept { return !queue_.empty(); }
+  /// Next job to dispatch; promotes one overflow entry into the freed slot.
+  JobId pop();
+
+  [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t overflow_depth() const noexcept {
+    return overflow_.size() - overflow_head_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] AdmissionPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] const AdmissionStats& stats() const noexcept { return stats_; }
+
+ private:
+  void note_depth() {
+    if (queue_.size() > stats_.peak_depth) stats_.peak_depth = queue_.size();
+  }
+
+  std::size_t capacity_;
+  AdmissionPolicy policy_;
+  util::RingQueue<JobId> queue_;
+  /// kDefer overflow; consumed from overflow_head_ to avoid O(n) erases.
+  std::vector<JobId> overflow_;
+  std::size_t overflow_head_ = 0;
+  AdmissionStats stats_;
+};
+
+}  // namespace nessa::fleet

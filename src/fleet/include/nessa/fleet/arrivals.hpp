@@ -1,0 +1,67 @@
+// Job-arrival streams for the fleet simulator.
+//
+// A fleet run is driven by a flat, pre-materialized arrival list: every
+// entry says WHEN a job shows up, which TENANT owns it, the tenant's fair-
+// share WEIGHT, and (optionally) how many simulated epochs the job runs —
+// the rest of the job is the fleet's base core::JobSpec. Materializing the
+// stream up front (instead of sampling inside the event loop) is what makes
+// fleet runs bit-identical across engines: the same list replayed over the
+// calendar and heap event queues must produce the same telemetry.
+//
+// Two sources:
+//   poisson_arrivals()  seeded Poisson process — exponential inter-arrival
+//                       times, tenants and weights drawn deterministically
+//                       from the same util::Rng stream;
+//   load_arrival_trace() a whitespace text format, one job per line:
+//
+//                         <at_us> <tenant> [weight] [epochs]
+//
+//                       '#' starts a comment; blank lines are skipped;
+//                       arrival times are microseconds of simulated time
+//                       and must be non-decreasing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nessa/util/units.hpp"
+
+namespace nessa::fleet {
+
+struct Arrival {
+  util::SimTime at = 0;       ///< simulated arrival time
+  std::uint32_t tenant = 0;   ///< owning tenant (dense ids from 0)
+  std::uint32_t weight = 1;   ///< fair-queueing weight (>= 1)
+  std::size_t epochs = 0;     ///< 0 = use the fleet's base spec epochs
+};
+
+struct PoissonConfig {
+  double rate_per_s = 50.0;   ///< mean arrival rate (jobs / simulated s)
+  std::size_t jobs = 1000;    ///< total arrivals to materialize
+  std::uint32_t tenants = 8;  ///< tenant ids are drawn from [0, tenants)
+  /// Tenant weights cycle 1..max_weight by tenant id (tenant t gets weight
+  /// 1 + t % max_weight), so weighted sharing is exercised without a
+  /// second RNG stream.
+  std::uint32_t max_weight = 4;
+  std::uint64_t seed = 42;
+};
+
+/// Materialize a seeded Poisson arrival stream. Throws std::invalid_argument
+/// for a non-positive rate, zero jobs or zero tenants.
+[[nodiscard]] std::vector<Arrival> poisson_arrivals(const PoissonConfig& cfg);
+
+/// Parse the text trace format above. Throws std::invalid_argument on
+/// malformed lines, decreasing timestamps, or zero weights.
+[[nodiscard]] std::vector<Arrival> parse_arrival_trace(std::istream& in);
+
+/// Convenience: open `path` and parse_arrival_trace. Throws
+/// std::runtime_error when the file cannot be opened.
+[[nodiscard]] std::vector<Arrival> load_arrival_trace(const std::string& path);
+
+/// Write `arrivals` in the trace format (round-trips with parse).
+void write_arrival_trace(std::ostream& out,
+                         const std::vector<Arrival>& arrivals);
+
+}  // namespace nessa::fleet

@@ -1,0 +1,146 @@
+// Multi-tenant SmartSSD fleet simulator.
+//
+// run_fleet() serves a stream of selection/training jobs (see arrivals.hpp)
+// on a modeled rack: N simulated SmartSSDs — each a smartssd::DeviceGraph
+// built in shared-engine mode with a "ssdK." name prefix — and M training
+// GPUs, all under ONE discrete-event engine, so cross-tenant contention on
+// every shared resource is produced by the event queue rather than summed
+// analytically.
+//
+// The moving parts:
+//
+//   admission   a bounded queue with reject/defer overflow policies
+//               (admission.hpp) fronts the fleet; arrivals the bound turns
+//               away never run.
+//   placement   dispatch picks the least-loaded SmartSSD and GPU (ties by
+//               lowest index) — deterministic, so a seed + arrival list
+//               fully determines the run.
+//   fairness    every shared component (flash bus, P2P link, drive-host
+//               link, FPGA, each GPU) is fronted by a sim::FairQueue with
+//               one flow per tenant: start-time fair queueing in integer
+//               virtual time shares each resource in proportion to tenant
+//               weight, independent of burst patterns.
+//   jobs        each job runs its core::JobSpec epoch-granularly: scan ->
+//               P2P -> FPGA select -> subset ship -> GPU train -> feedback,
+//               chained through component completions. kFull/kFullCached
+//               specs skip selection and ship the whole pool host->GPU.
+//   preemption  a job may run at most `preempt_quantum_epochs` epochs per
+//               dispatch; at the epoch barrier it snapshots its progress
+//               through the ckpt Buf codec (fingerprint-verified on
+//               restore, ckpt::SnapshotError on mismatch) and round-robins
+//               through the admission queue. 0 disables time slicing.
+//
+// Everything downstream of the arrival list is integer simulated time and
+// FIFO/flow-id tie-breaks, so a fleet run is bit-identical across repeats
+// AND across the calendar/heap event-queue engines (FleetConfig::engine).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nessa/core/job_spec.hpp"
+#include "nessa/fleet/admission.hpp"
+#include "nessa/fleet/arrivals.hpp"
+#include "nessa/sim/event_queue.hpp"
+
+namespace nessa::fleet {
+
+struct FleetConfig {
+  std::size_t devices = 4;  ///< simulated SmartSSDs
+  std::size_t gpus = 2;     ///< shared training GPUs
+  /// Active jobs a single SmartSSD serves concurrently; beyond this, jobs
+  /// wait in the admission queue.
+  std::size_t jobs_per_device = 4;
+  /// Admission bound + overflow policy (see admission.hpp).
+  std::size_t queue_capacity = 64;
+  AdmissionPolicy policy = AdmissionPolicy::kDefer;
+  /// Epochs a job may run per dispatch before it checkpoint-yields;
+  /// 0 = run to completion (no preemption).
+  std::size_t preempt_quantum_epochs = 0;
+  /// The base job: what every arrival runs (per-arrival `epochs` overrides
+  /// spec.pipeline_epochs). The spec's system describes each SmartSSD; its
+  /// fault plan (targets optionally "ssdK."-prefixed) is injected on every
+  /// device graph.
+  core::JobSpec job{};
+  /// Event-queue engine; the determinism tests run both.
+  sim::QueueKind engine = sim::QueueKind::kCalendar;
+};
+
+/// One job's life, arrival to finish. Times are simulated picoseconds;
+/// -1 marks "never happened".
+struct JobRecord {
+  std::uint32_t tenant = 0;
+  std::uint32_t weight = 1;
+  util::SimTime arrival = 0;
+  util::SimTime first_dispatch = -1;
+  util::SimTime finish = -1;
+  std::size_t epochs = 0;        ///< total epochs the job was asked to run
+  std::size_t epochs_done = 0;
+  std::uint32_t preemptions = 0;
+  std::uint32_t resumes = 0;
+  std::uint32_t device = 0;      ///< last SmartSSD the job ran on
+  std::uint32_t gpu = 0;         ///< last GPU the job trained on
+  bool admitted = false;
+  bool completed = false;
+
+  [[nodiscard]] util::SimTime latency() const noexcept {
+    return completed ? finish - arrival : -1;
+  }
+};
+
+struct TenantStats {
+  std::uint32_t tenant = 0;
+  std::uint32_t weight = 1;
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t preemptions = 0;
+  double p50_latency_s = 0.0;  ///< over completed jobs; 0 when none
+  double p99_latency_s = 0.0;
+  double gpu_service_s = 0.0;  ///< GPU time received across the run
+};
+
+struct ComponentUtilization {
+  std::string name;           ///< full prefixed component name
+  double utilization = 0.0;   ///< busy fraction of the fleet makespan
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct FleetResult {
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;   ///< eventually dispatched at least once
+  std::uint64_t rejected = 0;
+  std::uint64_t deferred = 0;   ///< parked by the kDefer overflow
+  std::uint64_t completed = 0;
+  std::uint64_t preemptions = 0;  ///< checkpoint-yields across all jobs
+  std::uint64_t resumes = 0;      ///< snapshot restores (== preemptions)
+  util::SimTime makespan = 0;     ///< last event's simulated time
+  double p50_latency_s = 0.0;     ///< aggregate completed-job latency
+  double p99_latency_s = 0.0;
+  double mean_latency_s = 0.0;
+  /// Jain index over per-tenant weighted GPU service (service / weight),
+  /// tenants with at least one completed job: 1.0 = perfectly
+  /// weight-proportional sharing.
+  double jain_fairness = 1.0;
+  std::size_t peak_queue_depth = 0;
+  std::size_t peak_overflow_depth = 0;
+  std::vector<TenantStats> tenants;
+  std::vector<ComponentUtilization> components;
+  std::vector<JobRecord> jobs;  ///< indexed by arrival order
+
+  /// Machine-readable summary (totals, latency, fairness, per-tenant and
+  /// per-component sections) for tools/fleet_cli and the CI smoke check.
+  void write_summary_json(std::ostream& out) const;
+};
+
+/// Run `arrivals` through the fleet described by `config`. Validates the
+/// base JobSpec (throws std::invalid_argument with every error listed) and
+/// requires a non-empty arrival list sorted by time.
+[[nodiscard]] FleetResult run_fleet(const FleetConfig& config,
+                                    const std::vector<Arrival>& arrivals);
+
+}  // namespace nessa::fleet

@@ -1,0 +1,50 @@
+#include "nessa/fleet/admission.hpp"
+
+namespace nessa::fleet {
+
+AdmissionOutcome AdmissionController::offer(JobId job) {
+  ++stats_.offered;
+  if (queue_.size() < capacity_) {
+    queue_.push_back(job);
+    ++stats_.admitted;
+    note_depth();
+    return AdmissionOutcome::kAdmitted;
+  }
+  if (policy_ == AdmissionPolicy::kReject) {
+    ++stats_.rejected;
+    return AdmissionOutcome::kRejected;
+  }
+  overflow_.push_back(job);
+  ++stats_.deferred;
+  if (overflow_depth() > stats_.peak_overflow) {
+    stats_.peak_overflow = overflow_depth();
+  }
+  return AdmissionOutcome::kDeferred;
+}
+
+void AdmissionController::requeue(JobId job) {
+  // Deliberately not counted as offered/admitted: the job was already
+  // admitted once; this is the same job cycling through a time slice.
+  queue_.push_back(job);
+  note_depth();
+}
+
+AdmissionController::JobId AdmissionController::pop() {
+  const JobId job = queue_.front();
+  queue_.pop_front();
+  // Promote one deferred arrival into the freed bounded slot, preserving
+  // overflow FIFO order.
+  if (overflow_head_ < overflow_.size() && queue_.size() < capacity_) {
+    queue_.push_back(overflow_[overflow_head_]);
+    ++overflow_head_;
+    ++stats_.admitted;
+    note_depth();
+    if (overflow_head_ == overflow_.size()) {
+      overflow_.clear();
+      overflow_head_ = 0;
+    }
+  }
+  return job;
+}
+
+}  // namespace nessa::fleet

@@ -1,0 +1,105 @@
+#include "nessa/fleet/arrivals.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "nessa/util/rng.hpp"
+
+namespace nessa::fleet {
+
+std::vector<Arrival> poisson_arrivals(const PoissonConfig& cfg) {
+  if (!(cfg.rate_per_s > 0.0) || !std::isfinite(cfg.rate_per_s)) {
+    throw std::invalid_argument("poisson_arrivals: rate_per_s must be > 0");
+  }
+  if (cfg.jobs == 0) {
+    throw std::invalid_argument("poisson_arrivals: jobs must be > 0");
+  }
+  if (cfg.tenants == 0) {
+    throw std::invalid_argument("poisson_arrivals: tenants must be > 0");
+  }
+  const std::uint32_t max_weight = cfg.max_weight == 0 ? 1 : cfg.max_weight;
+  util::Rng rng(cfg.seed);
+  std::vector<Arrival> out;
+  out.reserve(cfg.jobs);
+  double t_seconds = 0.0;
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    // Exponential inter-arrival via inverse transform; 1-u keeps the
+    // argument in (0, 1] so log() never sees zero.
+    const double u = 1.0 - rng.uniform();
+    t_seconds += -std::log(u) / cfg.rate_per_s;
+    Arrival a;
+    a.at = static_cast<util::SimTime>(t_seconds * 1e12);  // ps
+    a.tenant = static_cast<std::uint32_t>(rng.uniform_int(cfg.tenants));
+    a.weight = 1 + a.tenant % max_weight;
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Arrival> parse_arrival_trace(std::istream& in) {
+  std::vector<Arrival> out;
+  std::string line;
+  std::size_t lineno = 0;
+  util::SimTime prev = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::int64_t at_us = 0;
+    if (!(fields >> at_us)) continue;  // blank / comment-only line
+    Arrival a;
+    std::int64_t tenant = -1;
+    if (!(fields >> tenant) || at_us < 0 || tenant < 0) {
+      throw std::invalid_argument("arrival trace line " +
+                                  std::to_string(lineno) +
+                                  ": expected '<at_us> <tenant>'");
+    }
+    a.at = at_us * util::kMicrosecond;
+    a.tenant = static_cast<std::uint32_t>(tenant);
+    std::int64_t weight = 1;
+    if (fields >> weight) {
+      if (weight < 1) {
+        throw std::invalid_argument("arrival trace line " +
+                                    std::to_string(lineno) +
+                                    ": weight must be >= 1");
+      }
+      a.weight = static_cast<std::uint32_t>(weight);
+      std::int64_t epochs = 0;
+      if (fields >> epochs && epochs > 0) {
+        a.epochs = static_cast<std::size_t>(epochs);
+      }
+    }
+    if (a.at < prev) {
+      throw std::invalid_argument("arrival trace line " +
+                                  std::to_string(lineno) +
+                                  ": timestamps must be non-decreasing");
+    }
+    prev = a.at;
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Arrival> load_arrival_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open arrival trace: " + path);
+  }
+  return parse_arrival_trace(in);
+}
+
+void write_arrival_trace(std::ostream& out,
+                         const std::vector<Arrival>& arrivals) {
+  out << "# <at_us> <tenant> <weight> <epochs-or-0>\n";
+  for (const Arrival& a : arrivals) {
+    out << a.at / util::kMicrosecond << ' ' << a.tenant << ' ' << a.weight
+        << ' ' << a.epochs << '\n';
+  }
+}
+
+}  // namespace nessa::fleet

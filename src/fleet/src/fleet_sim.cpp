@@ -1,0 +1,593 @@
+#include "nessa/fleet/fleet_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+
+#include "nessa/ckpt/buffer.hpp"
+#include "nessa/ckpt/errors.hpp"
+#include "nessa/fault/injector.hpp"
+#include "nessa/sim/fair_queue.hpp"
+#include "nessa/smartssd/device_graph.hpp"
+#include "nessa/telemetry/telemetry.hpp"
+#include "nessa/util/rng.hpp"
+#include "nessa/util/stats.hpp"
+#include "nessa/util/units.hpp"
+
+namespace nessa::fleet {
+namespace {
+
+/// Per-epoch service times a job charges to each resource, computed once
+/// per dispatch from its JobSpec (the same calibrated device models the
+/// single-run pipelines use — only WHERE the time is spent changes).
+struct EpochCosts {
+  util::SimTime scan = 0;      ///< flash bus
+  util::SimTime p2p = 0;       ///< on-board P2P link
+  util::SimTime select = 0;    ///< FPGA forward + selection
+  util::SimTime ship = 0;      ///< drive-host link, subset up
+  util::SimTime train = 0;     ///< GPU mini-batch steps
+  util::SimTime feedback = 0;  ///< drive-host link, weights down
+  std::uint64_t scan_bytes = 0;
+  std::uint64_t ship_bytes = 0;
+  std::uint64_t feedback_bytes = 0;
+  bool near_storage = true;    ///< false: full-data path, no selection
+};
+
+/// Where in the epoch chain a running job currently is.
+enum class Stage : std::uint8_t {
+  kScan,
+  kP2p,
+  kSelect,
+  kShip,
+  kTrain,
+  kFeedback,
+};
+
+enum class JobState : std::uint8_t { kWaiting, kRunning, kDone };
+
+struct JobRuntime {
+  JobRecord record;
+  EpochCosts costs;
+  JobState state = JobState::kWaiting;
+  Stage stage = Stage::kScan;
+  std::size_t slice_epochs = 0;  ///< epochs completed in this dispatch
+  /// Checkpoint payload from the last preemption (empty = fresh job).
+  std::vector<std::uint8_t> snapshot;
+};
+
+/// One SmartSSD's shared resources, each fronted by a per-tenant WFQ.
+struct SsdNode {
+  std::unique_ptr<smartssd::DeviceGraph> graph;
+  std::unique_ptr<sim::FairQueue> flash;
+  std::unique_ptr<sim::FairQueue> p2p;
+  std::unique_ptr<sim::FairQueue> fpga;
+  std::unique_ptr<sim::FairQueue> host_link;
+  std::size_t active_jobs = 0;
+};
+
+/// One fleet GPU, named "gpuK.gpu" so fault plans can target "gpu" on it
+/// the same way they target components behind a DeviceGraph prefix.
+struct GpuNode {
+  std::unique_ptr<smartssd::GpuModel> gpu;
+  std::unique_ptr<sim::FairQueue> queue;
+  std::size_t active_jobs = 0;
+};
+
+std::uint64_t job_fingerprint(std::uint32_t job_id, std::uint32_t tenant,
+                              std::size_t epochs) {
+  std::uint64_t s = 0x666c656574ULL ^
+                    (static_cast<std::uint64_t>(job_id) << 32) ^ tenant;
+  const std::uint64_t h = util::splitmix64(s);
+  s ^= static_cast<std::uint64_t>(epochs);
+  return h ^ util::splitmix64(s);
+}
+
+class FleetEngine {
+ public:
+  FleetEngine(const FleetConfig& config, const std::vector<Arrival>& arrivals)
+      : config_(config),
+        arrivals_(arrivals),
+        sim_(sim::RuntimeQueue{config.engine}),
+        admission_(config.queue_capacity, config.policy) {
+    if (arrivals_.empty()) {
+      throw std::invalid_argument("run_fleet: empty arrival list");
+    }
+    if (config_.devices == 0 || config_.gpus == 0 ||
+        config_.jobs_per_device == 0) {
+      throw std::invalid_argument(
+          "run_fleet: devices, gpus and jobs_per_device must be > 0");
+    }
+    config_.job.validate_or_throw();
+    for (std::size_t i = 1; i < arrivals_.size(); ++i) {
+      if (arrivals_[i].at < arrivals_[i - 1].at) {
+        throw std::invalid_argument("run_fleet: arrivals must be sorted");
+      }
+    }
+    for (const Arrival& a : arrivals_) {
+      tenant_count_ = std::max<std::size_t>(tenant_count_, a.tenant + 1);
+    }
+    build_fleet();
+  }
+
+  FleetResult run();
+
+ private:
+  void build_fleet();
+  void register_flows();
+  [[nodiscard]] EpochCosts compute_costs(const SsdNode& ssd,
+                                         const GpuNode& gpu) const;
+  void arrive(std::uint32_t job_id);
+  void try_dispatch();
+  void start_slice(std::uint32_t job_id);
+  void submit_stage(std::uint32_t job_id);
+  void stage_done(std::uint32_t job_id);
+  void at_barrier(std::uint32_t job_id);
+  void finish_slice(std::uint32_t job_id, bool completed);
+
+  FleetConfig config_;
+  const std::vector<Arrival>& arrivals_;
+  sim::Simulator sim_;
+  AdmissionController admission_;
+  std::size_t tenant_count_ = 0;
+  /// Fixed per tenant: the first arrival carrying a weight > 1 wins.
+  std::vector<std::uint32_t> tenant_weight_;
+  std::vector<SsdNode> ssds_;
+  std::vector<GpuNode> gpus_;
+  std::vector<JobRuntime> jobs_;
+  std::optional<fault::Injector> injector_;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t resumes_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+void FleetEngine::build_fleet() {
+  tenant_weight_.assign(tenant_count_, 1);
+  for (const Arrival& a : arrivals_) {
+    if (tenant_weight_[a.tenant] == 1 && a.weight > 1) {
+      tenant_weight_[a.tenant] = a.weight;
+    }
+  }
+
+  const smartssd::SystemConfig& sys = config_.job.system;
+  ssds_.resize(config_.devices);
+  for (std::size_t d = 0; d < config_.devices; ++d) {
+    SsdNode& node = ssds_[d];
+    node.graph = std::make_unique<smartssd::DeviceGraph>(
+        sys, sim_, "ssd" + std::to_string(d));
+    node.flash = std::make_unique<sim::FairQueue>(node.graph->flash());
+    node.p2p = std::make_unique<sim::FairQueue>(node.graph->p2p_link());
+    node.fpga = std::make_unique<sim::FairQueue>(node.graph->fpga());
+    node.host_link =
+        std::make_unique<sim::FairQueue>(node.graph->host_link());
+  }
+  gpus_.resize(config_.gpus);
+  for (std::size_t g = 0; g < config_.gpus; ++g) {
+    GpuNode& node = gpus_[g];
+    node.gpu = std::make_unique<smartssd::GpuModel>(
+        sim_, smartssd::gpu_spec(sys.gpu), /*queue_capacity=*/0,
+        "gpu" + std::to_string(g) + ".gpu");
+    node.queue = std::make_unique<sim::FairQueue>(*node.gpu);
+  }
+  register_flows();
+
+  if (config_.job.fault_plan.enabled()) {
+    injector_.emplace(config_.job.fault_plan);
+    for (SsdNode& node : ssds_) {
+      node.graph->install_fault_hook(&*injector_);
+    }
+    for (GpuNode& node : gpus_) {
+      node.gpu->set_fault_hook(&*injector_);
+    }
+  }
+}
+
+void FleetEngine::register_flows() {
+  // Flows are registered on every FairQueue in tenant order, so flow id ==
+  // tenant id fleet-wide.
+  auto add_all = [this](sim::FairQueue& q) {
+    for (std::size_t t = 0; t < tenant_count_; ++t) {
+      q.add_flow(tenant_weight_[t]);
+    }
+  };
+  for (SsdNode& node : ssds_) {
+    add_all(*node.flash);
+    add_all(*node.p2p);
+    add_all(*node.fpga);
+    add_all(*node.host_link);
+  }
+  for (GpuNode& node : gpus_) add_all(*node.queue);
+}
+
+EpochCosts FleetEngine::compute_costs(const SsdNode& ssd,
+                                      const GpuNode& gpu) const {
+  const smartssd::EpochWorkload& w = config_.job.workload;
+  EpochCosts c;
+  c.scan_bytes = static_cast<std::uint64_t>(w.pool_records) * w.record_bytes;
+  c.scan = ssd.graph->flash().read_time(w.pool_records, w.record_bytes);
+  switch (config_.job.pipeline) {
+    case core::PipelineKind::kFull:
+    case core::PipelineKind::kFullCached:
+      // Full-data path: the whole pool crosses the drive-host link and the
+      // GPU trains on it; no near-storage selection, no feedback.
+      c.near_storage = false;
+      c.ship_bytes = c.scan_bytes;
+      c.ship = ssd.graph->host_link().transfer_time(c.ship_bytes);
+      c.train = gpu.gpu->train_time(w.pool_records, w.train_gflops_per_sample,
+                                    w.batch_size);
+      return c;
+    default:
+      break;
+  }
+  c.ship_bytes =
+      static_cast<std::uint64_t>(w.subset_records) * w.record_bytes;
+  c.feedback_bytes = w.feedback_bytes;
+  c.p2p = ssd.graph->p2p_link().transfer_time(c.scan_bytes);
+  c.select = ssd.graph->fpga().forward_time(
+                 static_cast<std::uint64_t>(w.pool_records) *
+                 w.macs_per_record) +
+             ssd.graph->fpga().selection_time(w.selection_ops);
+  c.ship = ssd.graph->host_link().transfer_time(c.ship_bytes);
+  c.train = gpu.gpu->train_time(w.subset_records, w.train_gflops_per_sample,
+                                w.batch_size);
+  c.feedback = ssd.graph->host_link().transfer_time(c.feedback_bytes);
+  return c;
+}
+
+void FleetEngine::arrive(std::uint32_t job_id) {
+  switch (admission_.offer(job_id)) {
+    case AdmissionOutcome::kAdmitted:
+      telemetry::count("fleet.jobs.admitted");
+      break;
+    case AdmissionOutcome::kDeferred:
+      telemetry::count("fleet.jobs.deferred");
+      break;
+    case AdmissionOutcome::kRejected:
+      telemetry::count("fleet.jobs.rejected");
+      jobs_[job_id].state = JobState::kDone;
+      return;
+  }
+  try_dispatch();
+}
+
+void FleetEngine::try_dispatch() {
+  while (admission_.has_waiting()) {
+    // Least-loaded SmartSSD with a free slot, ties to the lowest index —
+    // deterministic placement, so the arrival list fully determines a run.
+    std::size_t best = ssds_.size();
+    for (std::size_t d = 0; d < ssds_.size(); ++d) {
+      if (ssds_[d].active_jobs >= config_.jobs_per_device) continue;
+      if (best == ssds_.size() ||
+          ssds_[d].active_jobs < ssds_[best].active_jobs) {
+        best = d;
+      }
+    }
+    if (best == ssds_.size()) return;  // fleet saturated
+    std::size_t gpu = 0;
+    for (std::size_t g = 1; g < gpus_.size(); ++g) {
+      if (gpus_[g].active_jobs < gpus_[gpu].active_jobs) gpu = g;
+    }
+
+    const std::uint32_t job_id = admission_.pop();
+    JobRuntime& job = jobs_[job_id];
+    job.record.device = static_cast<std::uint32_t>(best);
+    job.record.gpu = static_cast<std::uint32_t>(gpu);
+    job.record.admitted = true;
+    if (job.record.first_dispatch < 0) {
+      job.record.first_dispatch = sim_.now();
+    }
+    ++ssds_[best].active_jobs;
+    ++gpus_[gpu].active_jobs;
+    job.state = JobState::kRunning;
+    start_slice(job_id);
+  }
+}
+
+void FleetEngine::start_slice(std::uint32_t job_id) {
+  JobRuntime& job = jobs_[job_id];
+  job.slice_epochs = 0;
+  job.costs = compute_costs(ssds_[job.record.device], gpus_[job.record.gpu]);
+  if (!job.snapshot.empty()) {
+    // Restore through the ckpt codec: the payload must belong to THIS job
+    // or the fleet scheduler has crossed snapshots between tenants.
+    ckpt::BufReader r(job.snapshot);
+    const std::uint64_t fp = r.u64();
+    if (fp != job_fingerprint(job_id, job.record.tenant, job.record.epochs)) {
+      throw ckpt::SnapshotError(
+          ckpt::SnapshotFault::kBadPayload,
+          "fleet job snapshot fingerprint mismatch for job " +
+              std::to_string(job_id));
+    }
+    job.record.epochs_done = static_cast<std::size_t>(r.u64());
+    job.record.preemptions = static_cast<std::uint32_t>(r.u64());
+    if (!r.done()) {
+      throw ckpt::SnapshotError(ckpt::SnapshotFault::kBadPayload,
+                                "fleet job snapshot has trailing bytes");
+    }
+    job.snapshot.clear();
+    ++job.record.resumes;
+    ++resumes_;
+    telemetry::count("fleet.jobs.resumed");
+  }
+  job.stage = Stage::kScan;
+  submit_stage(job_id);
+}
+
+void FleetEngine::submit_stage(std::uint32_t job_id) {
+  JobRuntime& job = jobs_[job_id];
+  SsdNode& ssd = ssds_[job.record.device];
+  GpuNode& gpu = gpus_[job.record.gpu];
+  const auto flow = static_cast<sim::FairQueue::FlowId>(job.record.tenant);
+  const EpochCosts& c = job.costs;
+  // Injected faults fall through FairQueue's empty-fail fallback into the
+  // same continuation: the stage's time was still spent, so a degraded job
+  // limps forward instead of wedging the fleet.
+  auto next = [this, job_id] { stage_done(job_id); };
+  switch (job.stage) {
+    case Stage::kScan:
+      ssd.flash->submit(flow, c.scan, c.scan_bytes, "fleet.scan", next);
+      break;
+    case Stage::kP2p:
+      ssd.p2p->submit(flow, c.p2p, c.scan_bytes, "fleet.p2p", next);
+      break;
+    case Stage::kSelect:
+      ssd.fpga->submit(flow, c.select, 0, "fleet.select", next);
+      break;
+    case Stage::kShip:
+      ssd.host_link->submit(flow, c.ship, c.ship_bytes, "fleet.ship", next);
+      break;
+    case Stage::kTrain:
+      gpu.queue->submit(flow, c.train, 0, "fleet.train", next);
+      break;
+    case Stage::kFeedback:
+      ssd.host_link->submit(flow, c.feedback, c.feedback_bytes,
+                            "fleet.feedback", next);
+      break;
+  }
+}
+
+void FleetEngine::stage_done(std::uint32_t job_id) {
+  JobRuntime& job = jobs_[job_id];
+  switch (job.stage) {
+    case Stage::kScan:
+      // Full-data specs skip the on-board selection leg entirely.
+      job.stage = job.costs.near_storage ? Stage::kP2p : Stage::kShip;
+      break;
+    case Stage::kP2p:
+      job.stage = Stage::kSelect;
+      break;
+    case Stage::kSelect:
+      job.stage = Stage::kShip;
+      break;
+    case Stage::kShip:
+      job.stage = Stage::kTrain;
+      break;
+    case Stage::kTrain:
+      if (!job.costs.near_storage) {
+        at_barrier(job_id);
+        return;
+      }
+      job.stage = Stage::kFeedback;
+      break;
+    case Stage::kFeedback:
+      at_barrier(job_id);
+      return;
+  }
+  submit_stage(job_id);
+}
+
+void FleetEngine::at_barrier(std::uint32_t job_id) {
+  JobRuntime& job = jobs_[job_id];
+  ++job.record.epochs_done;
+  ++job.slice_epochs;
+  if (job.record.epochs_done >= job.record.epochs) {
+    finish_slice(job_id, /*completed=*/true);
+    return;
+  }
+  if (config_.preempt_quantum_epochs > 0 &&
+      job.slice_epochs >= config_.preempt_quantum_epochs) {
+    // Checkpoint-yield: snapshot progress through the ckpt codec and
+    // round-robin through the admission queue.
+    ++job.record.preemptions;
+    ++preemptions_;
+    ckpt::BufWriter w;
+    w.u64(job_fingerprint(job_id, job.record.tenant, job.record.epochs));
+    w.u64(job.record.epochs_done);
+    w.u64(job.record.preemptions);
+    job.snapshot = w.take();
+    telemetry::count("fleet.jobs.preempted");
+    finish_slice(job_id, /*completed=*/false);
+    return;
+  }
+  job.stage = Stage::kScan;
+  submit_stage(job_id);
+}
+
+void FleetEngine::finish_slice(std::uint32_t job_id, bool completed) {
+  JobRuntime& job = jobs_[job_id];
+  --ssds_[job.record.device].active_jobs;
+  --gpus_[job.record.gpu].active_jobs;
+  if (completed) {
+    job.state = JobState::kDone;
+    job.record.completed = true;
+    job.record.finish = sim_.now();
+    ++completed_;
+    telemetry::count("fleet.jobs.completed");
+  } else {
+    job.state = JobState::kWaiting;
+    admission_.requeue(job_id);
+  }
+  try_dispatch();
+}
+
+FleetResult FleetEngine::run() {
+  jobs_.resize(arrivals_.size());
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    const Arrival& a = arrivals_[i];
+    JobRuntime& job = jobs_[i];
+    job.record.tenant = a.tenant;
+    job.record.weight = tenant_weight_[a.tenant];
+    job.record.arrival = a.at;
+    job.record.epochs = a.epochs > 0 ? a.epochs : config_.job.pipeline_epochs;
+    const auto job_id = static_cast<std::uint32_t>(i);
+    sim_.schedule_at(a.at, [this, job_id] { arrive(job_id); });
+  }
+  sim_.run();
+
+  FleetResult result;
+  result.arrivals = arrivals_.size();
+  result.rejected = admission_.stats().rejected;
+  result.admitted = result.arrivals - result.rejected;
+  result.deferred = admission_.stats().deferred;
+  result.completed = completed_;
+  result.preemptions = preemptions_;
+  result.resumes = resumes_;
+  result.makespan = sim_.now();
+  result.peak_queue_depth = admission_.stats().peak_depth;
+  result.peak_overflow_depth = admission_.stats().peak_overflow;
+
+  result.tenants.resize(tenant_count_);
+  std::vector<std::vector<double>> tenant_latency(tenant_count_);
+  std::vector<double> all_latency;
+  for (std::size_t t = 0; t < tenant_count_; ++t) {
+    result.tenants[t].tenant = static_cast<std::uint32_t>(t);
+    result.tenants[t].weight = tenant_weight_[t];
+  }
+  for (const JobRuntime& job : jobs_) {
+    TenantStats& ts = result.tenants[job.record.tenant];
+    ++ts.arrivals;
+    if (job.record.admitted) {
+      ++ts.admitted;
+    } else {
+      ++ts.rejected;
+    }
+    ts.preemptions += job.record.preemptions;
+    if (job.record.completed) {
+      ++ts.completed;
+      const double s = util::to_seconds(job.record.latency());
+      tenant_latency[job.record.tenant].push_back(s);
+      all_latency.push_back(s);
+    }
+  }
+  for (std::size_t t = 0; t < tenant_count_; ++t) {
+    if (tenant_latency[t].empty()) continue;
+    result.tenants[t].p50_latency_s =
+        util::percentile_of(tenant_latency[t], 50.0);
+    result.tenants[t].p99_latency_s =
+        util::percentile_of(std::move(tenant_latency[t]), 99.0);
+  }
+  if (!all_latency.empty()) {
+    double sum = 0.0;
+    for (double s : all_latency) sum += s;
+    result.mean_latency_s = sum / static_cast<double>(all_latency.size());
+    result.p50_latency_s = util::percentile_of(all_latency, 50.0);
+    result.p99_latency_s = util::percentile_of(std::move(all_latency), 99.0);
+  }
+
+  // GPU service per tenant (summed across the GPU fair queues) feeds the
+  // fleet-level Jain index over weighted service, restricted to tenants
+  // that completed at least one job.
+  for (std::size_t t = 0; t < tenant_count_; ++t) {
+    util::SimTime service = 0;
+    for (const GpuNode& node : gpus_) {
+      service +=
+          node.queue->flow_stats(static_cast<sim::FairQueue::FlowId>(t))
+              .service_time;
+    }
+    result.tenants[t].gpu_service_s = util::to_seconds(service);
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const TenantStats& ts : result.tenants) {
+    if (ts.completed == 0) continue;
+    const double x = ts.gpu_service_s / ts.weight;
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+  }
+  if (n >= 2 && sum_sq > 0.0) {
+    result.jain_fairness = (sum * sum) / (static_cast<double>(n) * sum_sq);
+  }
+
+  auto add_component = [&result](const sim::Component& c) {
+    ComponentUtilization u;
+    u.name = c.name();
+    u.utilization = c.stats().utilization(result.makespan);
+    u.requests = c.stats().completed;
+    u.bytes = c.stats().bytes;
+    result.components.push_back(std::move(u));
+  };
+  for (const SsdNode& node : ssds_) {
+    add_component(node.graph->flash());
+    add_component(node.graph->p2p_link());
+    add_component(node.graph->fpga());
+    add_component(node.graph->host_link());
+  }
+  for (const GpuNode& node : gpus_) add_component(*node.gpu);
+
+  result.jobs.reserve(jobs_.size());
+  for (const JobRuntime& job : jobs_) result.jobs.push_back(job.record);
+  return result;
+}
+
+void json_escape(std::ostream& out, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out << '\\';
+    out << ch;
+  }
+}
+
+}  // namespace
+
+void FleetResult::write_summary_json(std::ostream& out) const {
+  out << "{\n";
+  out << "  \"arrivals\": " << arrivals << ",\n";
+  out << "  \"admitted\": " << admitted << ",\n";
+  out << "  \"rejected\": " << rejected << ",\n";
+  out << "  \"deferred\": " << deferred << ",\n";
+  out << "  \"completed\": " << completed << ",\n";
+  out << "  \"preemptions\": " << preemptions << ",\n";
+  out << "  \"resumes\": " << resumes << ",\n";
+  out << "  \"makespan_s\": " << util::to_seconds(makespan) << ",\n";
+  out << "  \"latency\": {\"p50_s\": " << p50_latency_s
+      << ", \"p99_s\": " << p99_latency_s
+      << ", \"mean_s\": " << mean_latency_s << "},\n";
+  out << "  \"jain_fairness\": " << jain_fairness << ",\n";
+  out << "  \"peak_queue_depth\": " << peak_queue_depth << ",\n";
+  out << "  \"peak_overflow_depth\": " << peak_overflow_depth << ",\n";
+  out << "  \"tenants\": [\n";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantStats& t = tenants[i];
+    out << "    {\"tenant\": " << t.tenant << ", \"weight\": " << t.weight
+        << ", \"arrivals\": " << t.arrivals << ", \"admitted\": " << t.admitted
+        << ", \"rejected\": " << t.rejected
+        << ", \"completed\": " << t.completed
+        << ", \"preemptions\": " << t.preemptions
+        << ", \"p50_s\": " << t.p50_latency_s
+        << ", \"p99_s\": " << t.p99_latency_s
+        << ", \"gpu_service_s\": " << t.gpu_service_s << "}"
+        << (i + 1 < tenants.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"components\": [\n";
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const ComponentUtilization& c = components[i];
+    out << "    {\"name\": \"";
+    json_escape(out, c.name);
+    out << "\", \"utilization\": " << c.utilization
+        << ", \"requests\": " << c.requests << ", \"bytes\": " << c.bytes
+        << "}" << (i + 1 < components.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+FleetResult run_fleet(const FleetConfig& config,
+                      const std::vector<Arrival>& arrivals) {
+  FleetEngine engine(config, arrivals);
+  return engine.run();
+}
+
+}  // namespace nessa::fleet

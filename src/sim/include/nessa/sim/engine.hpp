@@ -35,6 +35,12 @@ class BasicSimulator {
  public:
   using Callback = util::SmallFn;
 
+  BasicSimulator() = default;
+  /// Construct with a pre-configured ordering structure — used with
+  /// RuntimeQueue to pick the engine kind at run time (fleet determinism
+  /// tests run the same graph over calendar and heap orderings).
+  explicit BasicSimulator(Queue queue) : queue_(std::move(queue)) {}
+
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedule `fn` to run at absolute time `when` (must be >= now();
@@ -160,7 +166,11 @@ class BasicSimulator {
   Queue queue_;
 };
 
-/// The production engine: slab arena + calendar queue.
-using Simulator = BasicSimulator<CalendarQueue>;
+/// The production engine: slab arena + runtime-selected ordering structure
+/// (calendar queue by default; construct with
+/// `Simulator{RuntimeQueue{QueueKind::kHeap}}` to run the reference heap).
+/// Differential tests that want the statically-typed variants still use
+/// BasicSimulator<CalendarQueue> / BasicSimulator<HeapEventQueue> directly.
+using Simulator = BasicSimulator<RuntimeQueue>;
 
 }  // namespace nessa::sim

@@ -234,6 +234,12 @@ class CalendarQueue {
   std::uint64_t cache_day_ = 0;
 };
 
+/// Which ordering structure a runtime-selectable engine should use. The
+/// calendar queue is the production default; the heap is the reference
+/// implementation the differential and fleet-determinism tests pit it
+/// against.
+enum class QueueKind : std::uint8_t { kCalendar, kHeap };
+
 /// The seed engine's binary-heap ordering rebuilt over the arena; reference
 /// implementation for the differential tests and a drop-in fallback.
 class HeapEventQueue {
@@ -386,6 +392,58 @@ inline std::uint32_t CalendarQueue::peek_min(EventArena& arena) {
   cache_day_ = day;
   return heads_[b];
 }
+
+/// Runtime-selectable ordering structure: holds both queues and forwards to
+/// the one picked at construction. The production Simulator alias is built
+/// on this so a *fleet* (or a differential test) can run the exact same
+/// component graph over the calendar and the reference heap without
+/// recompiling the world; the cost on the hot path is one predicted branch
+/// per queue operation (the calendar body still inlines below).
+class RuntimeQueue {
+ public:
+  RuntimeQueue() = default;
+  explicit RuntimeQueue(QueueKind kind) : kind_(kind) {}
+
+  [[nodiscard]] QueueKind kind() const noexcept { return kind_; }
+
+  void insert(EventArena& arena, std::uint32_t slot) {
+    if (kind_ == QueueKind::kCalendar) [[likely]] {
+      calendar_.insert(arena, slot);
+    } else {
+      heap_.insert(arena, slot);
+    }
+  }
+  std::uint32_t pop_min(EventArena& arena) {
+    if (kind_ == QueueKind::kCalendar) [[likely]] {
+      return calendar_.pop_min(arena);
+    }
+    return heap_.pop_min(arena);
+  }
+  std::uint32_t peek_min(EventArena& arena) {
+    if (kind_ == QueueKind::kCalendar) [[likely]] {
+      return calendar_.peek_min(arena);
+    }
+    return heap_.peek_min(arena);
+  }
+  void note_cancel(EventArena& arena, std::uint32_t slot) {
+    if (kind_ == QueueKind::kCalendar) [[likely]] {
+      calendar_.note_cancel(arena, slot);
+    } else {
+      heap_.note_cancel(arena, slot);
+    }
+  }
+  [[nodiscard]] std::size_t live() const noexcept {
+    return kind_ == QueueKind::kCalendar ? calendar_.live() : heap_.live();
+  }
+  [[nodiscard]] std::size_t dead() const noexcept {
+    return kind_ == QueueKind::kCalendar ? calendar_.dead() : heap_.dead();
+  }
+
+ private:
+  QueueKind kind_ = QueueKind::kCalendar;
+  CalendarQueue calendar_;
+  HeapEventQueue heap_;
+};
 
 inline void CalendarQueue::note_cancel(EventArena& arena, std::uint32_t slot) {
   --live_;

@@ -1,0 +1,134 @@
+// FairQueue: per-flow weighted fair queueing in front of one Component.
+//
+// A Component serves its FIFO strictly in arrival order, so a tenant that
+// posts a burst of requests onto a shared resource (the flash bus, a PCIe
+// link) starves everyone behind it. FairQueue fronts a component with
+// per-flow backlogs and dispatches by start-time fair queueing (SFQ):
+// each request is tagged with a virtual start time
+//
+//   start = max(V, flow.finish_tag)
+//   flow.finish_tag = start + service_time / weight
+//
+// and the backlogged request with the smallest start tag is dispatched
+// next (ties broken by flow id, then per-flow FIFO order). V, the queue's
+// virtual clock, advances to the start tag of each dispatched request.
+// Over any backlogged interval each flow then receives service time in
+// proportion to its weight, independent of burst patterns.
+//
+// Determinism: tags use integer virtual time — weights are mapped to a
+// 16.16 fixed-point inverse (tag increment = service * inv_weight >> 16,
+// widened through 128 bits) so there is no floating-point state anywhere
+// in the scheduling decision, and equal tags resolve by (flow id, FIFO)
+// which is stable across runs and across event-queue engines.
+//
+// Exactly one request is in flight at the component at a time; the next
+// dispatch happens from the completion callback, which the event engine
+// delivers at the same timestamp the component frees, so serialization
+// adds no simulated time.
+//
+// Lifetime: like Component, a FairQueue must outlive any simulator run
+// that still has its requests pending.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nessa/sim/component.hpp"
+#include "nessa/util/ring_queue.hpp"
+
+namespace nessa::sim {
+
+class FairQueue {
+ public:
+  using Callback = Simulator::Callback;
+  using FlowId = std::uint32_t;
+
+  explicit FairQueue(Component& component) : component_(component) {}
+
+  FairQueue(const FairQueue&) = delete;
+  FairQueue& operator=(const FairQueue&) = delete;
+
+  /// Register a flow with the given scheduling weight (>= 1; a weight-2
+  /// flow receives twice the service time of a weight-1 flow over any
+  /// interval both are backlogged). Returns the flow's id.
+  FlowId add_flow(std::uint32_t weight = 1);
+
+  /// Queue a request on `flow` for the fronted component. `phase` labels
+  /// the traced span (string literal). `done` runs at completion; `fail`
+  /// runs instead when an installed FaultHook fails the request (empty
+  /// `fail` falls back to `done`, matching Component).
+  void submit(FlowId flow, SimTime service_time, std::uint64_t bytes,
+              const char* phase, Callback done = {}, Callback fail = {});
+
+  [[nodiscard]] Component& component() noexcept { return component_; }
+  [[nodiscard]] std::size_t flow_count() const noexcept {
+    return flows_.size();
+  }
+  /// Requests queued in FairQueue backlogs (excludes the one in flight).
+  [[nodiscard]] std::size_t backlog() const noexcept { return backlog_; }
+  [[nodiscard]] std::size_t backlog(FlowId flow) const {
+    return flows_.at(flow).items.size();
+  }
+  [[nodiscard]] bool idle() const noexcept {
+    return !in_flight_ && backlog_ == 0;
+  }
+
+  struct FlowStats {
+    std::uint32_t weight = 1;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t bytes = 0;       ///< payload bytes of completed requests
+    SimTime service_time = 0;      ///< total component service time received
+  };
+  [[nodiscard]] const FlowStats& flow_stats(FlowId flow) const {
+    return flows_.at(flow).stats;
+  }
+
+  /// Jain fairness index over per-flow *weighted* service time
+  /// (service_time / weight), across flows that submitted at least one
+  /// request: 1.0 = perfectly proportional sharing, 1/n = one flow got
+  /// everything. Returns 1.0 when fewer than two flows have traffic.
+  [[nodiscard]] double jain_index() const;
+
+ private:
+  struct Item {
+    SimTime service;
+    std::uint64_t bytes;
+    const char* phase;
+    Callback done;
+    Callback fail;
+    std::uint64_t start_tag;
+  };
+  struct Flow {
+    std::uint32_t weight = 1;
+    std::uint32_t inv_weight = 1 << 16;  ///< 16.16 fixed-point 1/weight
+    std::uint64_t finish_tag = 0;
+    util::RingQueue<Item> items;
+    FlowStats stats;
+  };
+
+  /// Integer virtual-time increment: service / weight in 16.16 fixed
+  /// point, widened so picosecond-scale services cannot overflow.
+  [[nodiscard]] static std::uint64_t tag_delta(
+      SimTime service, std::uint32_t inv_weight) noexcept {
+    const auto wide =
+        static_cast<unsigned __int128>(static_cast<std::uint64_t>(service)) *
+        inv_weight;
+    return static_cast<std::uint64_t>(wide >> 16);
+  }
+
+  void pump();
+  void dispatch();
+  void on_complete(bool failed);
+
+  Component& component_;
+  std::vector<Flow> flows_;
+  std::uint64_t virtual_time_ = 0;
+  std::size_t backlog_ = 0;
+  bool in_flight_ = false;
+  FlowId in_flight_flow_ = 0;
+  Item in_flight_item_{};
+};
+
+}  // namespace nessa::sim

@@ -8,5 +8,6 @@ namespace nessa::sim {
 // subset of the API.
 template class BasicSimulator<CalendarQueue>;
 template class BasicSimulator<HeapEventQueue>;
+template class BasicSimulator<RuntimeQueue>;
 
 }  // namespace nessa::sim

@@ -1,0 +1,113 @@
+#include "nessa/sim/fair_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nessa::sim {
+
+FairQueue::FlowId FairQueue::add_flow(std::uint32_t weight) {
+  if (weight == 0) {
+    throw std::invalid_argument("FairQueue::add_flow: weight must be >= 1");
+  }
+  Flow f;
+  f.weight = weight;
+  f.stats.weight = weight;
+  // 16.16 fixed-point inverse, clamped away from zero so very heavy flows
+  // still advance their finish tags (and can still be overtaken).
+  f.inv_weight = std::max<std::uint32_t>(1, (std::uint32_t{1} << 16) / weight);
+  flows_.push_back(std::move(f));
+  return static_cast<FlowId>(flows_.size() - 1);
+}
+
+void FairQueue::submit(FlowId flow, SimTime service_time, std::uint64_t bytes,
+                       const char* phase, Callback done, Callback fail) {
+  Flow& f = flows_.at(flow);
+  if (service_time < 0) {
+    throw std::invalid_argument("FairQueue::submit: negative service time");
+  }
+  const std::uint64_t start = std::max(virtual_time_, f.finish_tag);
+  f.finish_tag = start + tag_delta(service_time, f.inv_weight);
+  f.items.push_back(Item{service_time, bytes, phase, std::move(done),
+                    std::move(fail), start});
+  ++f.stats.submitted;
+  ++backlog_;
+  if (!in_flight_) pump();
+}
+
+void FairQueue::pump() {
+  // Smallest head start tag wins; ties resolve by flow id (heads within a
+  // flow are already FIFO). Linear scan: the flow count at one shared
+  // component is bounded by the jobs concurrently placed on its device,
+  // not by the tenant population.
+  FlowId best = 0;
+  std::uint64_t best_tag = 0;
+  bool found = false;
+  for (FlowId i = 0; i < flows_.size(); ++i) {
+    const Flow& f = flows_[i];
+    if (f.items.empty()) continue;
+    const std::uint64_t tag = f.items.front().start_tag;
+    if (!found || tag < best_tag) {
+      found = true;
+      best = i;
+      best_tag = tag;
+    }
+  }
+  if (!found) return;
+
+  Flow& f = flows_[best];
+  in_flight_ = true;
+  in_flight_flow_ = best;
+  in_flight_item_ = std::move(f.items.front());
+  f.items.pop_front();
+  --backlog_;
+  virtual_time_ = std::max(virtual_time_, best_tag);
+  dispatch();
+}
+
+void FairQueue::dispatch() {
+  const Item& it = in_flight_item_;
+  const bool accepted = component_.submit(
+      it.service, it.bytes, it.phase, Callback([this] { on_complete(false); }),
+      Callback([this] { on_complete(true); }));
+  if (!accepted) {
+    // Bounded component queue is full (another producer posts directly, or
+    // a fault hook bounced the submission). Retry as soon as a slot frees;
+    // the in-flight item stays parked so ordering is preserved.
+    component_.when_accepting(Callback([this] { dispatch(); }));
+  }
+}
+
+void FairQueue::on_complete(bool failed) {
+  Flow& f = flows_[in_flight_flow_];
+  Item it = std::move(in_flight_item_);
+  if (failed) {
+    ++f.stats.failed;
+  } else {
+    ++f.stats.completed;
+    f.stats.bytes += it.bytes;
+    f.stats.service_time += it.service;
+  }
+  in_flight_ = false;
+  // Start the successor before running the continuation, mirroring
+  // Component's "done runs after the next request has been started".
+  pump();
+  Callback cont = failed && it.fail ? std::move(it.fail) : std::move(it.done);
+  if (cont) cont();
+}
+
+double FairQueue::jain_index() const {
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const Flow& f : flows_) {
+    if (f.stats.submitted == 0) continue;
+    const double x =
+        static_cast<double>(f.stats.service_time) / f.stats.weight;
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+  }
+  if (n < 2 || sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+}  // namespace nessa::sim

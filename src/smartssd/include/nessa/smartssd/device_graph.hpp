@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "nessa/sim/component.hpp"
 #include "nessa/smartssd/device.hpp"
@@ -37,7 +38,7 @@ namespace nessa::smartssd {
 class FlashArray : public sim::Component {
  public:
   FlashArray(sim::Simulator& sim, const FlashConfig& config,
-             std::size_t queue_capacity = 0);
+             std::size_t queue_capacity = 0, std::string name = "flash_bus");
 
   /// Time of one batched read, ignoring queueing.
   [[nodiscard]] util::SimTime read_time(std::size_t records,
@@ -82,7 +83,8 @@ class PcieLink : public sim::Component {
 class HostBridge : public sim::Component {
  public:
   HostBridge(sim::Simulator& sim, std::uint64_t chunk_bytes,
-             util::SimTime per_chunk_overhead, std::size_t queue_capacity = 0);
+             util::SimTime per_chunk_overhead, std::size_t queue_capacity = 0,
+             std::string name = "host_bridge");
 
   [[nodiscard]] util::SimTime staging_time(std::uint64_t bytes) const;
 
@@ -99,7 +101,7 @@ class HostBridge : public sim::Component {
 class FpgaComputeUnit : public sim::Component {
  public:
   FpgaComputeUnit(sim::Simulator& sim, const FpgaConfig& config,
-                  std::size_t queue_capacity = 0);
+                  std::size_t queue_capacity = 0, std::string name = "fpga");
 
   [[nodiscard]] util::SimTime forward_time(std::uint64_t macs) const {
     return model_.int8_mac_time(macs);
@@ -123,7 +125,7 @@ class FpgaComputeUnit : public sim::Component {
 class GpuModel : public sim::Component {
  public:
   GpuModel(sim::Simulator& sim, const GpuSpec& spec,
-           std::size_t queue_capacity = 0);
+           std::size_t queue_capacity = 0, std::string name = "gpu");
 
   [[nodiscard]] util::SimTime train_time(std::size_t samples,
                                          double gflops_per_sample,
@@ -141,14 +143,29 @@ class GpuModel : public sim::Component {
   GpuSpec spec_;
 };
 
-/// The assembled component graph. Owns the Simulator and every component;
-/// construct one per simulation (components are stateful resources).
+/// The assembled component graph. Owns every component and (by default)
+/// the Simulator; construct one per simulation (components are stateful
+/// resources). The shared-engine constructor instead wires the graph onto
+/// an externally owned Simulator with a per-device name prefix — the fleet
+/// mode, where N SmartSSD graphs coexist under one event engine.
 class DeviceGraph {
  public:
   explicit DeviceGraph(const SystemConfig& config);
 
+  /// Fleet mode: build on `shared` (which must outlive this graph) with
+  /// every component named "<name_prefix>.<canonical>" — e.g. prefix
+  /// "ssd0" yields "ssd0.flash_bus", "ssd0.p2p", ... An empty prefix keeps
+  /// the canonical names.
+  DeviceGraph(const SystemConfig& config, sim::Simulator& shared,
+              const std::string& name_prefix);
+
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  /// The "<prefix>." component-name prefix ("" for a graph that owns its
+  /// engine or was built with an empty prefix).
+  [[nodiscard]] const std::string& name_prefix() const noexcept {
+    return prefix_;
+  }
 
   [[nodiscard]] FlashArray& flash() noexcept { return *flash_; }
   [[nodiscard]] PcieLink& p2p_link() noexcept { return *p2p_; }
@@ -198,8 +215,12 @@ class DeviceGraph {
   void reset_stats();
 
  private:
+  void build();
+
   SystemConfig config_;
-  sim::Simulator sim_;
+  std::unique_ptr<sim::Simulator> owned_sim_;  ///< null in shared-engine mode
+  sim::Simulator& sim_;
+  std::string prefix_;  ///< "<name>." or "" — prepended to component names
   std::unique_ptr<FlashArray> flash_;
   std::unique_ptr<PcieLink> p2p_;
   std::unique_ptr<PcieLink> host_link_;

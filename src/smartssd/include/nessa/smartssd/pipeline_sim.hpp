@@ -133,6 +133,8 @@ PipelineTrace simulate_pipeline(const SystemConfig& config,
                                 const PipelineOptions& options);
 
 /// Compatibility shim: default options (P2P scan, in-flight window of 4).
+[[deprecated("pass PipelineOptions explicitly, or drive the run through "
+             "core::simulate(const RunConfig&)")]]
 PipelineTrace simulate_pipeline(const SystemConfig& config,
                                 const EpochWorkload& workload,
                                 std::size_t epochs);

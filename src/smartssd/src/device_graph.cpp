@@ -9,8 +9,8 @@
 namespace nessa::smartssd {
 
 FlashArray::FlashArray(sim::Simulator& sim, const FlashConfig& config,
-                       std::size_t queue_capacity)
-    : Component(sim, "flash_bus", queue_capacity), model_(config) {}
+                       std::size_t queue_capacity, std::string name)
+    : Component(sim, std::move(name), queue_capacity), model_(config) {}
 
 bool FlashArray::submit_read(std::size_t records, std::uint64_t record_bytes,
                              const char* phase, Callback done) {
@@ -40,8 +40,8 @@ bool PcieLink::submit_transfer(std::uint64_t bytes, const char* phase,
 
 HostBridge::HostBridge(sim::Simulator& sim, std::uint64_t chunk_bytes,
                        util::SimTime per_chunk_overhead,
-                       std::size_t queue_capacity)
-    : Component(sim, "host_bridge", queue_capacity),
+                       std::size_t queue_capacity, std::string name)
+    : Component(sim, std::move(name), queue_capacity),
       chunk_bytes_(chunk_bytes),
       per_chunk_overhead_(per_chunk_overhead) {
   if (chunk_bytes_ == 0) {
@@ -60,8 +60,8 @@ bool HostBridge::submit_staging(std::uint64_t bytes, const char* phase,
 }
 
 FpgaComputeUnit::FpgaComputeUnit(sim::Simulator& sim, const FpgaConfig& config,
-                                 std::size_t queue_capacity)
-    : Component(sim, "fpga", queue_capacity), model_(config) {}
+                                 std::size_t queue_capacity, std::string name)
+    : Component(sim, std::move(name), queue_capacity), model_(config) {}
 
 bool FpgaComputeUnit::submit_forward(std::uint64_t macs, const char* phase,
                                      Callback done) {
@@ -74,8 +74,8 @@ bool FpgaComputeUnit::submit_selection(std::uint64_t ops, const char* phase,
 }
 
 GpuModel::GpuModel(sim::Simulator& sim, const GpuSpec& spec,
-                   std::size_t queue_capacity)
-    : Component(sim, "gpu", queue_capacity), spec_(spec) {}
+                   std::size_t queue_capacity, std::string name)
+    : Component(sim, std::move(name), queue_capacity), spec_(spec) {}
 
 bool GpuModel::submit_train(std::size_t samples, double gflops_per_sample,
                             std::size_t batch_size, const char* phase,
@@ -84,26 +84,46 @@ bool GpuModel::submit_train(std::size_t samples, double gflops_per_sample,
                 std::move(done));
 }
 
-DeviceGraph::DeviceGraph(const SystemConfig& config) : config_(config) {
+DeviceGraph::DeviceGraph(const SystemConfig& config)
+    : config_(config),
+      owned_sim_(std::make_unique<sim::Simulator>()),
+      sim_(*owned_sim_) {
+  build();
+}
+
+DeviceGraph::DeviceGraph(const SystemConfig& config, sim::Simulator& shared,
+                         const std::string& name_prefix)
+    : config_(config),
+      sim_(shared),
+      prefix_(name_prefix.empty() ? std::string{} : name_prefix + ".") {
+  build();
+}
+
+void DeviceGraph::build() {
   if (config_.p2p_bw_bps <= 0.0 || config_.host_link_bw_bps <= 0.0 ||
       config_.gpu_link_bw_bps <= 0.0) {
     throw std::invalid_argument("DeviceGraph: bandwidths must be positive");
   }
-  flash_ = std::make_unique<FlashArray>(sim_, config_.flash);
-  p2p_ = std::make_unique<PcieLink>(sim_, "p2p", config_.p2p_bw_bps,
+  flash_ = std::make_unique<FlashArray>(sim_, config_.flash, 0,
+                                        prefix_ + "flash_bus");
+  p2p_ = std::make_unique<PcieLink>(sim_, prefix_ + "p2p", config_.p2p_bw_bps,
                                     util::SimTime{0});
   // The host link carries subset shipment, weight feedback and (in the
   // host-mediated configuration) the scan itself; its fixed per-transfer
   // latency matches the analytic model's link_latency term.
-  host_link_ = std::make_unique<PcieLink>(
-      sim_, "host_link", config_.host_link_bw_bps, config_.link_latency);
-  gpu_link_ = std::make_unique<PcieLink>(sim_, "gpu_link",
+  host_link_ = std::make_unique<PcieLink>(sim_, prefix_ + "host_link",
+                                          config_.host_link_bw_bps,
+                                          config_.link_latency);
+  gpu_link_ = std::make_unique<PcieLink>(sim_, prefix_ + "gpu_link",
                                          config_.gpu_link_bw_bps,
                                          util::SimTime{0});
   host_bridge_ = std::make_unique<HostBridge>(sim_, config_.staging_chunk_bytes,
-                                              config_.staging_overhead);
-  fpga_ = std::make_unique<FpgaComputeUnit>(sim_, config_.fpga);
-  gpu_ = std::make_unique<GpuModel>(sim_, gpu_spec(config_.gpu));
+                                              config_.staging_overhead, 0,
+                                              prefix_ + "host_bridge");
+  fpga_ = std::make_unique<FpgaComputeUnit>(sim_, config_.fpga, 0,
+                                            prefix_ + "fpga");
+  gpu_ = std::make_unique<GpuModel>(sim_, gpu_spec(config_.gpu), 0,
+                                    prefix_ + "gpu");
 }
 
 TrafficStats DeviceGraph::traffic() const {

@@ -14,8 +14,7 @@
 #include <vector>
 
 #include "nessa/ckpt/errors.hpp"
-#include "nessa/core/pipeline.hpp"
-#include "nessa/core/run_config.hpp"
+#include "../support/run_helpers.hpp"
 #include "nessa/data/synthetic.hpp"
 #include "nessa/fault/crash.hpp"
 
@@ -109,12 +108,12 @@ using Driver = RunResult (*)(const PipelineInputs&,
 
 RunResult drive_nessa(const PipelineInputs& in,
                       smartssd::SmartSsdSystem& sys) {
-  return run_nessa(in, fast_nessa(), sys);
+  return nessa_run(in, fast_nessa(), sys);
 }
 
 RunResult drive_full(const PipelineInputs& in,
                      smartssd::SmartSsdSystem& sys) {
-  return run_full(in, sys);
+  return full_run(in, sys);
 }
 
 RunResult drive_multi(const PipelineInputs& in,
@@ -324,19 +323,19 @@ TEST(Killpoint, SparserCadenceResumesFromTheLastMultiple) {
 TEST(Killpoint, PipelineSimulationReplaysBarriersBitIdentically) {
   RunConfig rc;
   rc.pipeline_epochs = 6;
-  const smartssd::PipelineTrace golden = simulate_pipeline(rc);
+  const smartssd::PipelineTrace golden = simulate(rc);
   ASSERT_EQ(golden.barriers.size(), 6u);
 
   const auto dir = fresh_dir("pipeline");
   RunConfig crashed = rc;
   crashed.checkpoint.dir = dir.string();
   crashed.fault_plan.crash_epoch = 4;
-  EXPECT_THROW(simulate_pipeline(crashed), fault::InjectedCrash);
+  EXPECT_THROW(simulate(crashed), fault::InjectedCrash);
 
   RunConfig resumed = rc;
   resumed.checkpoint.dir = dir.string();
   resumed.checkpoint.resume = true;
-  const smartssd::PipelineTrace replay = simulate_pipeline(resumed);
+  const smartssd::PipelineTrace replay = simulate(resumed);
   ASSERT_EQ(replay.barriers.size(), golden.barriers.size());
   for (std::size_t i = 0; i < golden.barriers.size(); ++i) {
     EXPECT_EQ(replay.barriers[i].epoch, golden.barriers[i].epoch);
@@ -355,14 +354,14 @@ TEST(Killpoint, PipelineReplayRejectsAChangedConfiguration) {
   RunConfig crashed = rc;
   crashed.checkpoint.dir = dir.string();
   crashed.fault_plan.crash_epoch = 4;
-  EXPECT_THROW(simulate_pipeline(crashed), fault::InjectedCrash);
+  EXPECT_THROW(simulate(crashed), fault::InjectedCrash);
 
   RunConfig resumed = rc;
   resumed.checkpoint.dir = dir.string();
   resumed.checkpoint.resume = true;
   resumed.workload.batch_size *= 2;  // not the run that was checkpointed
   try {
-    simulate_pipeline(resumed);
+    simulate(resumed);
     FAIL() << "expected SnapshotError";
   } catch (const ckpt::SnapshotError& e) {
     EXPECT_EQ(e.fault(), ckpt::SnapshotFault::kBadPayload);

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "nessa/core/near_storage.hpp"
-#include "nessa/core/pipeline.hpp"
+#include "../support/run_helpers.hpp"
 #include "nessa/data/synthetic_images.hpp"
 
 namespace nessa::core {
@@ -72,7 +72,7 @@ TEST(ConvPipeline, NessaTrainsConvTargetEndToEnd) {
   cfg.subset_fraction = 0.35;
   cfg.partition_quota = 16;
   cfg.dynamic_sizing = false;
-  auto result = run_nessa(conv_inputs(), cfg, sys);
+  auto result = nessa_run(conv_inputs(), cfg, sys);
   EXPECT_EQ(result.epochs.size(), 5u);
   EXPECT_GT(result.final_accuracy, 0.5);
   // Float kernel: feedback cost is the 4-bytes/param payload (> the int8
@@ -82,7 +82,7 @@ TEST(ConvPipeline, NessaTrainsConvTargetEndToEnd) {
 
 TEST(ConvPipeline, FullTrainerHonoursFactory) {
   smartssd::SmartSsdSystem sys;
-  auto result = run_full(conv_inputs(6), sys);
+  auto result = full_run(conv_inputs(6), sys);
   EXPECT_GT(result.final_accuracy, 0.6);
 }
 
@@ -94,8 +94,8 @@ TEST(ConvPipeline, ConvNessaTracksConvFull) {
   cfg.partition_quota = 16;
   cfg.dynamic_sizing = false;
   cfg.min_subset_fraction = 0.4;
-  auto full = run_full(inputs, s1);
-  auto nessa = run_nessa(inputs, cfg, s2);
+  auto full = full_run(inputs, s1);
+  auto nessa = nessa_run(inputs, cfg, s2);
   EXPECT_GT(nessa.final_accuracy, full.final_accuracy - 0.12);
 }
 

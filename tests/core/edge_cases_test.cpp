@@ -2,7 +2,7 @@
 // integration tests do not cover.
 #include <gtest/gtest.h>
 
-#include "nessa/core/pipeline.hpp"
+#include "../support/run_helpers.hpp"
 #include "nessa/data/synthetic.hpp"
 #include "nessa/nn/optimizer.hpp"
 
@@ -48,7 +48,7 @@ TEST(EdgeCases, NessaWithFullFractionStillWorks) {
   cfg.dynamic_sizing = false;
   cfg.min_subset_fraction = 1.0;
   cfg.subset_biasing = false;
-  auto result = run_nessa(make_inputs(), cfg, sys);
+  auto result = nessa_run(make_inputs(), cfg, sys);
   for (const auto& e : result.epochs) {
     EXPECT_EQ(e.subset_size, tiny_dataset().train_size());
   }
@@ -60,7 +60,7 @@ TEST(EdgeCases, TinyFractionClampsToAtLeastOneSample) {
   cfg.subset_fraction = 1e-9;
   cfg.dynamic_sizing = false;
   cfg.min_subset_fraction = 1e-9;
-  auto result = run_nessa(make_inputs(2), cfg, sys);
+  auto result = nessa_run(make_inputs(2), cfg, sys);
   for (const auto& e : result.epochs) {
     EXPECT_GE(e.subset_size, 1u);
   }
@@ -74,7 +74,7 @@ TEST(EdgeCases, RandomPipelineAtFullFraction) {
 
 TEST(EdgeCases, SingleEpochRunFinalizes) {
   smartssd::SmartSsdSystem sys;
-  auto result = run_full(make_inputs(1), sys);
+  auto result = full_run(make_inputs(1), sys);
   EXPECT_EQ(result.epochs.size(), 1u);
   EXPECT_EQ(result.mean_epoch_time, result.total_time);
   EXPECT_DOUBLE_EQ(result.final_accuracy, result.epochs[0].test_accuracy);
@@ -82,7 +82,7 @@ TEST(EdgeCases, SingleEpochRunFinalizes) {
 
 TEST(EdgeCases, BestAccuracyIsRunningMaximum) {
   smartssd::SmartSsdSystem sys;
-  auto result = run_full(make_inputs(5), sys);
+  auto result = full_run(make_inputs(5), sys);
   double best = 0.0;
   for (const auto& e : result.epochs) {
     best = std::max(best, e.test_accuracy);

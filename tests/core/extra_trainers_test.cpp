@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "nessa/core/pipeline.hpp"
+#include "../support/run_helpers.hpp"
 #include "nessa/data/synthetic.hpp"
 
 namespace nessa::core {
@@ -36,7 +36,7 @@ TEST(FullCached, SameAccuracyAsUncachedFull) {
   // The cache changes the input pipeline, not the learning.
   smartssd::SmartSsdSystem s1, s2;
   auto inputs = make_inputs("CIFAR-10");
-  auto plain = run_full(inputs, s1);
+  auto plain = full_run(inputs, s1);
   auto cached = run_full_cached(inputs, smartssd::HostCache{}, s2);
   ASSERT_EQ(plain.epochs.size(), cached.epochs.size());
   for (std::size_t e = 0; e < plain.epochs.size(); ++e) {
@@ -50,12 +50,12 @@ TEST(FullCached, FasterThanUncachedButNotThanNessa) {
   // gradient work stays, so NeSSA's subset training still wins.
   smartssd::SmartSsdSystem s1, s2, s3;
   auto inputs = make_inputs("CIFAR-10", 8);
-  auto plain = run_full(inputs, s1);
+  auto plain = full_run(inputs, s1);
   auto cached = run_full_cached(inputs, smartssd::HostCache{}, s2);
   NessaConfig cfg;
   cfg.subset_fraction = 0.3;
   cfg.partition_quota = 16;
-  auto nessa = run_nessa(inputs, cfg, s3);
+  auto nessa = nessa_run(inputs, cfg, s3);
   EXPECT_LT(cached.mean_epoch_time, plain.mean_epoch_time);
   EXPECT_LT(nessa.mean_epoch_time, cached.mean_epoch_time);
 }
@@ -109,7 +109,7 @@ TEST(LossTopk, ChasesNoiseWhereNessaIsRobust) {
   cfg.dynamic_sizing = false;
   cfg.min_subset_fraction = 0.25;
   cfg.partition_quota = 16;
-  auto nessa = run_nessa(inputs, cfg, s2);
+  auto nessa = nessa_run(inputs, cfg, s2);
   EXPECT_GE(nessa.final_accuracy + 0.03, topk.final_accuracy);
 }
 

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "nessa/core/near_storage.hpp"
-#include "nessa/core/pipeline.hpp"
+#include "../support/run_helpers.hpp"
 #include "nessa/data/synthetic.hpp"
 
 namespace nessa::core {
@@ -55,7 +55,7 @@ TEST(MultiTrainer, RunsAndLearns) {
 TEST(MultiTrainer, AccuracyComparableToSingleDevice) {
   smartssd::SmartSsdSystem s1, s2;
   auto inputs = make_inputs(8);
-  auto single = run_nessa(inputs, fast_config(), s1);
+  auto single = nessa_run(inputs, fast_config(), s1);
   auto multi =
       run_nessa_multi(inputs, fast_config(), MultiDeviceConfig{4}, s2);
   EXPECT_NEAR(multi.final_accuracy, single.final_accuracy, 0.06);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/run_helpers.hpp"
 #include "nessa/data/synthetic.hpp"
 
 namespace nessa::core {
@@ -45,7 +46,7 @@ NessaConfig fast_nessa() {
 
 TEST(Pipelines, FullTrainingLearns) {
   smartssd::SmartSsdSystem sys;
-  auto result = run_full(make_inputs(shared_dataset()), sys);
+  auto result = full_run(make_inputs(shared_dataset()), sys);
   EXPECT_EQ(result.epochs.size(), 8u);
   EXPECT_GT(result.final_accuracy, 0.70);
   EXPECT_DOUBLE_EQ(result.mean_subset_fraction, 1.0);
@@ -54,8 +55,8 @@ TEST(Pipelines, FullTrainingLearns) {
 TEST(Pipelines, NessaTracksFullAccuracy) {
   smartssd::SmartSsdSystem sys_full, sys_nessa;
   auto inputs = make_inputs(shared_dataset(), 10);
-  auto full = run_full(inputs, sys_full);
-  auto nessa = run_nessa(inputs, fast_nessa(), sys_nessa);
+  auto full = full_run(inputs, sys_full);
+  auto nessa = nessa_run(inputs, fast_nessa(), sys_nessa);
   // Paper Table 2: 1-2 points of accuracy loss; at test scale allow more
   // slack but demand the gap stays small.
   EXPECT_GT(nessa.final_accuracy, full.final_accuracy - 0.08);
@@ -69,7 +70,7 @@ TEST(Pipelines, NessaBeatsRandomAtSameBudget) {
   cfg.dynamic_sizing = false;
   cfg.subset_biasing = false;  // fix the budget for a fair comparison
   cfg.subset_fraction = 0.15;
-  auto nessa = run_nessa(inputs, cfg, sys_a);
+  auto nessa = nessa_run(inputs, cfg, sys_a);
   auto random = run_random(inputs, 0.15, sys_b);
   EXPECT_GE(nessa.final_accuracy + 0.02, random.final_accuracy);
 }
@@ -77,8 +78,8 @@ TEST(Pipelines, NessaBeatsRandomAtSameBudget) {
 TEST(Pipelines, NessaMovesFarFewerBytes) {
   smartssd::SmartSsdSystem sys_full, sys_nessa;
   auto inputs = make_inputs(shared_dataset());
-  auto full = run_full(inputs, sys_full);
-  auto nessa = run_nessa(inputs, fast_nessa(), sys_nessa);
+  auto full = full_run(inputs, sys_full);
+  auto nessa = nessa_run(inputs, fast_nessa(), sys_nessa);
   ASSERT_GT(nessa.interconnect_bytes, 0u);
   const double reduction = static_cast<double>(full.interconnect_bytes) /
                            static_cast<double>(nessa.interconnect_bytes);
@@ -89,8 +90,8 @@ TEST(Pipelines, NessaMovesFarFewerBytes) {
 TEST(Pipelines, NessaEpochsFasterThanFull) {
   smartssd::SmartSsdSystem sys_full, sys_nessa;
   auto inputs = make_inputs(shared_dataset());
-  auto full = run_full(inputs, sys_full);
-  auto nessa = run_nessa(inputs, fast_nessa(), sys_nessa);
+  auto full = full_run(inputs, sys_full);
+  auto nessa = nessa_run(inputs, fast_nessa(), sys_nessa);
   EXPECT_LT(nessa.mean_epoch_time, full.mean_epoch_time);
 }
 
@@ -100,7 +101,7 @@ TEST(Pipelines, SubsetBiasingShrinksPool) {
   NessaConfig cfg = fast_nessa();
   cfg.subset_biasing = true;
   cfg.drop_interval_epochs = 2;
-  auto result = run_nessa(inputs, cfg, sys);
+  auto result = nessa_run(inputs, cfg, sys);
   EXPECT_LT(result.epochs.back().pool_size,
             result.epochs.front().pool_size);
 }
@@ -110,7 +111,7 @@ TEST(Pipelines, BiasingDisabledKeepsPool) {
   auto inputs = make_inputs(shared_dataset(), 6);
   NessaConfig cfg = fast_nessa();
   cfg.subset_biasing = false;
-  auto result = run_nessa(inputs, cfg, sys);
+  auto result = nessa_run(inputs, cfg, sys);
   EXPECT_EQ(result.epochs.back().pool_size,
             result.epochs.front().pool_size);
 }
@@ -122,7 +123,7 @@ TEST(Pipelines, DynamicSizingShrinksSubsetWhenLearning) {
   cfg.dynamic_sizing = true;
   cfg.subset_biasing = false;
   cfg.min_subset_fraction = 0.10;
-  auto result = run_nessa(inputs, cfg, sys);
+  auto result = nessa_run(inputs, cfg, sys);
   EXPECT_LT(result.epochs.back().subset_fraction,
             result.epochs.front().subset_fraction + 1e-9);
 }
@@ -132,7 +133,7 @@ TEST(Pipelines, NessaPoolNeverBelowSubset) {
   auto inputs = make_inputs(shared_dataset(), 12);
   NessaConfig cfg = fast_nessa();
   cfg.drop_interval_epochs = 2;
-  auto result = run_nessa(inputs, cfg, sys);
+  auto result = nessa_run(inputs, cfg, sys);
   for (const auto& e : result.epochs) {
     EXPECT_GE(e.pool_size, e.subset_size);
   }
@@ -157,9 +158,9 @@ TEST(Pipelines, Figure4Ordering) {
   // Per-epoch time ordering (Fig. 4): NeSSA < CRAIG < full < K-centers.
   smartssd::SmartSsdSystem s1, s2, s3, s4;
   auto inputs = make_inputs(shared_dataset(), 4);
-  auto nessa = run_nessa(inputs, fast_nessa(), s1);
+  auto nessa = nessa_run(inputs, fast_nessa(), s1);
   auto craig = run_craig(inputs, 0.3, s2);
-  auto full = run_full(inputs, s3);
+  auto full = full_run(inputs, s3);
   auto kcenter = run_kcenter(inputs, 0.3, s4);
   EXPECT_LT(nessa.mean_epoch_time, craig.mean_epoch_time);
   EXPECT_LT(craig.mean_epoch_time, full.mean_epoch_time);
@@ -169,7 +170,7 @@ TEST(Pipelines, Figure4Ordering) {
 TEST(Pipelines, NessaCostPhasesPopulated) {
   smartssd::SmartSsdSystem sys;
   auto inputs = make_inputs(shared_dataset(), 3);
-  auto result = run_nessa(inputs, fast_nessa(), sys);
+  auto result = nessa_run(inputs, fast_nessa(), sys);
   for (const auto& e : result.epochs) {
     EXPECT_GT(e.cost.storage_scan, 0);
     EXPECT_GT(e.cost.selection, 0);
@@ -185,7 +186,7 @@ TEST(Pipelines, FeedbackDisabledHasNoFeedbackCost) {
   auto inputs = make_inputs(shared_dataset(), 3);
   NessaConfig cfg = fast_nessa();
   cfg.weight_feedback = false;
-  auto result = run_nessa(inputs, cfg, sys);
+  auto result = nessa_run(inputs, cfg, sys);
   for (const auto& e : result.epochs) {
     EXPECT_EQ(e.cost.feedback, 0);
   }
@@ -194,10 +195,10 @@ TEST(Pipelines, FeedbackDisabledHasNoFeedbackCost) {
 TEST(Pipelines, InputValidation) {
   smartssd::SmartSsdSystem sys;
   PipelineInputs bad;
-  EXPECT_THROW(run_full(bad, sys), std::invalid_argument);
+  EXPECT_THROW(full_run(bad, sys), std::invalid_argument);
   auto inputs = make_inputs(shared_dataset());
   inputs.train.epochs = 0;
-  EXPECT_THROW(run_nessa(inputs, fast_nessa(), sys), std::invalid_argument);
+  EXPECT_THROW(nessa_run(inputs, fast_nessa(), sys), std::invalid_argument);
 }
 
 TEST(Pipelines, SelectionIntervalSkipsScanCost) {
@@ -207,8 +208,8 @@ TEST(Pipelines, SelectionIntervalSkipsScanCost) {
   every.selection_interval = 1;
   NessaConfig sparse = fast_nessa();
   sparse.selection_interval = 4;
-  auto a = run_nessa(inputs, every, s1);
-  auto b = run_nessa(inputs, sparse, s2);
+  auto a = nessa_run(inputs, every, s1);
+  auto b = nessa_run(inputs, sparse, s2);
   // Off-interval epochs pay no scan/selection...
   std::size_t free_epochs = 0;
   for (const auto& e : b.epochs) {
@@ -223,8 +224,8 @@ TEST(Pipelines, SelectionIntervalSkipsScanCost) {
 TEST(Pipelines, DeterministicForSeed) {
   smartssd::SmartSsdSystem s1, s2;
   auto inputs = make_inputs(shared_dataset(), 4);
-  auto a = run_nessa(inputs, fast_nessa(), s1);
-  auto b = run_nessa(inputs, fast_nessa(), s2);
+  auto a = nessa_run(inputs, fast_nessa(), s1);
+  auto b = nessa_run(inputs, fast_nessa(), s2);
   ASSERT_EQ(a.epochs.size(), b.epochs.size());
   for (std::size_t e = 0; e < a.epochs.size(); ++e) {
     EXPECT_DOUBLE_EQ(a.epochs[e].test_accuracy, b.epochs[e].test_accuracy);

@@ -1,13 +1,14 @@
 // RunConfig: fluent construction, exhaustive validation, the implied
-// selection driver, and equivalence of the RunConfig entry points with the
-// legacy piecewise overloads.
+// selection driver, and equivalence of the unified core::run()/simulate()
+// entry points with the legacy piecewise overloads (the one test that
+// still calls a deprecated shim does so deliberately, under a pragma).
 #include "nessa/core/run_config.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
-#include "nessa/core/pipeline.hpp"
+#include "nessa/core/run.hpp"
 #include "nessa/data/synthetic.hpp"
 
 namespace nessa::core {
@@ -107,18 +108,18 @@ TEST(RunConfig, WithFaultPlanBuilderAndEntryPointWiring) {
   EXPECT_TRUE(rc.fault_plan.enabled());
   EXPECT_TRUE(rc.validate().empty());
 
-  // simulate_pipeline(RunConfig) must wire the plan into the event run:
-  // the flaky-p2p preset injects failures that show up on the trace.
+  // simulate(RunConfig) must wire the plan into the event run: the
+  // flaky-p2p preset injects failures that show up on the trace.
   auto cfg = rc;
   cfg.pipeline_epochs = 6;
-  const auto trace = simulate_pipeline(cfg);
+  const auto trace = simulate(cfg);
   EXPECT_GT(trace.fault.injected_failures, 0u);
   EXPECT_GT(trace.fault.retries, 0u);
 
   // Without a plan the trace stays fault-free.
   RunConfig clean;
   clean.pipeline_epochs = 6;
-  EXPECT_FALSE(simulate_pipeline(clean).fault.any());
+  EXPECT_FALSE(simulate(clean).fault.any());
 }
 
 TEST(RunConfig, FluentBuilderChains) {
@@ -152,23 +153,24 @@ TEST(RunConfig, DriverReflectsSelectionAndParallelismKnobs) {
   EXPECT_EQ(driver.seed, 17u);
 }
 
-TEST(RunConfig, SimulatePipelineMatchesDirectCall) {
+TEST(RunConfig, SimulateMatchesDirectCall) {
   RunConfig rc;
   rc.pipeline_epochs = 5;
-  const auto via_config = simulate_pipeline(rc);
+  const auto via_config = simulate(rc);
   const auto direct =
-      smartssd::simulate_pipeline(rc.system, rc.workload, rc.pipeline_epochs);
+      smartssd::simulate_pipeline(rc.system, rc.workload, rc.pipeline_epochs,
+                                  smartssd::PipelineOptions{});
   EXPECT_EQ(via_config.steady_epoch_time, direct.steady_epoch_time);
   EXPECT_EQ(via_config.epoch_done, direct.epoch_done);
 }
 
-TEST(RunConfig, SimulatePipelineRejectsInvalidConfig) {
+TEST(RunConfig, SimulateRejectsInvalidConfig) {
   RunConfig rc;
   rc.pipeline_epochs = 1;
-  EXPECT_THROW(simulate_pipeline(rc), std::invalid_argument);
+  EXPECT_THROW(simulate(rc), std::invalid_argument);
 }
 
-TEST(RunConfig, RunNessaOverloadMatchesLegacyPath) {
+TEST(RunConfig, UnifiedRunMatchesLegacyPath) {
   data::SyntheticConfig ds_cfg;
   ds_cfg.num_classes = 4;
   ds_cfg.train_size = 400;
@@ -193,8 +195,15 @@ TEST(RunConfig, RunNessaOverloadMatchesLegacyPath) {
   rc.nessa.loss_window_epochs = 2;
 
   smartssd::SmartSsdSystem sys_new(rc.system), sys_old(rc.system);
-  const auto via_config = run_nessa(inputs, rc, sys_new);
+  rc.pipeline = PipelineKind::kNessa;
+  rc.parallelism = rc.nessa.parallelism;
+  const auto via_config = run(inputs, rc, sys_new);
+  // Intentional deprecated-shim coverage: the unified dispatcher must keep
+  // matching the PR-2 era piecewise overload until the shim is deleted.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto legacy = run_nessa(inputs, rc.nessa, sys_old);
+#pragma GCC diagnostic pop
   ASSERT_EQ(via_config.epochs.size(), legacy.epochs.size());
   EXPECT_DOUBLE_EQ(via_config.final_accuracy, legacy.final_accuracy);
   EXPECT_EQ(via_config.interconnect_bytes, legacy.interconnect_bytes);

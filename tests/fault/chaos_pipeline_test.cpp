@@ -7,8 +7,7 @@
 //   - a null/disabled plan changes nothing at all.
 #include <gtest/gtest.h>
 
-#include "nessa/core/pipeline.hpp"
-#include "nessa/core/run_config.hpp"
+#include "nessa/core/run.hpp"
 #include "nessa/data/synthetic.hpp"
 #include "nessa/fault/fault_plan.hpp"
 #include "nessa/smartssd/pipeline_sim.hpp"
@@ -35,7 +34,7 @@ FaultSpec spec_for(const char* component, FaultKind kind, double rate) {
 
 TEST(ChaosPipeline, DisabledPlanIsBitIdenticalToNoPlan) {
   const EpochWorkload w{};
-  const auto baseline = simulate_pipeline(SystemConfig{}, w, 6);
+  const auto baseline = simulate_pipeline(SystemConfig{}, w, 6, PipelineOptions{});
 
   FaultPlan disabled;  // no faults → enabled() == false
   PipelineOptions opts;
@@ -89,7 +88,7 @@ TEST(ChaosPipeline, FlakyP2pFallsBackToHostPath) {
   EXPECT_TRUE(trace.fault.host_fallback);
   // After the fallback, scan traffic rides the host link; the run is
   // slower than the clean P2P baseline.
-  const auto clean = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8);
+  const auto clean = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8, PipelineOptions{});
   EXPECT_GT(trace.epoch_done.back(), clean.epoch_done.back());
   // The p2p component recorded the injected failures.
   const auto* p2p = trace.component("p2p");
@@ -102,7 +101,7 @@ TEST(ChaosPipeline, SlowNandStretchesTheScanPhase) {
   PipelineOptions opts;
   opts.fault_plan = &plan;
   const auto slow = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8, opts);
-  const auto clean = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8);
+  const auto clean = simulate_pipeline(SystemConfig{}, EpochWorkload{}, 8, PipelineOptions{});
   EXPECT_GT(slow.fault.injected_slowdowns, 0u);
   EXPECT_GT(slow.epoch_done.back(), clean.epoch_done.back());
   // Slow pages burn more flash-bus busy time for the same bytes.
@@ -181,13 +180,13 @@ TEST(ChaosPipeline, TrainerRepricesP2pOutageOverHostPath) {
 
   // Clean baseline, then a permanent P2P outage.
   smartssd::SmartSsdSystem clean_sys(rc.system);
-  const auto clean = core::run_nessa(inputs, rc, clean_sys);
+  const auto clean = core::run(inputs, rc, clean_sys);
 
   inputs.fault_plan.faults.push_back(
       spec_for("p2p", FaultKind::kTransientError, 1.0));
   rc.fault_plan = inputs.fault_plan;
   smartssd::SmartSsdSystem faulted_sys(rc.system);
-  const auto faulted = core::run_nessa(inputs, rc, faulted_sys);
+  const auto faulted = core::run(inputs, rc, faulted_sys);
 
   // Every selection epoch was re-priced over the host path...
   EXPECT_EQ(faulted.fault_fallback_epochs, 3u);
@@ -238,7 +237,7 @@ TEST(ChaosPipeline, TrainerCarriesStaleSubsetPastMissedDeadlines) {
   rc.fault_plan = inputs.fault_plan;
 
   smartssd::SmartSsdSystem system(rc.system);
-  const auto result = core::run_nessa(inputs, rc, system);
+  const auto result = core::run(inputs, rc, system);
   // Epoch 0 establishes the subset (never stale); every later epoch blows
   // the deadline and trains on the carried-forward subset.
   EXPECT_EQ(result.fault_stale_epochs, 3u);

@@ -1,0 +1,74 @@
+#include "nessa/fleet/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nessa::fleet {
+namespace {
+
+TEST(Admission, AdmitsUpToCapacityThenRejects) {
+  AdmissionController ctl(2, AdmissionPolicy::kReject);
+  EXPECT_EQ(ctl.offer(0), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(ctl.offer(1), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(ctl.offer(2), AdmissionOutcome::kRejected);
+  EXPECT_EQ(ctl.depth(), 2u);
+  EXPECT_EQ(ctl.stats().offered, 3u);
+  EXPECT_EQ(ctl.stats().admitted, 2u);
+  EXPECT_EQ(ctl.stats().rejected, 1u);
+  // A freed slot does not resurrect a rejected job.
+  EXPECT_EQ(ctl.pop(), 0u);
+  EXPECT_EQ(ctl.depth(), 1u);
+  EXPECT_EQ(ctl.offer(3), AdmissionOutcome::kAdmitted);
+}
+
+TEST(Admission, DeferParksOverflowAndPromotesInFifoOrder) {
+  AdmissionController ctl(1, AdmissionPolicy::kDefer);
+  EXPECT_EQ(ctl.offer(10), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(ctl.offer(11), AdmissionOutcome::kDeferred);
+  EXPECT_EQ(ctl.offer(12), AdmissionOutcome::kDeferred);
+  EXPECT_EQ(ctl.overflow_depth(), 2u);
+  EXPECT_EQ(ctl.stats().peak_overflow, 2u);
+  // Each pop frees one bounded slot and promotes exactly one deferral.
+  EXPECT_EQ(ctl.pop(), 10u);
+  EXPECT_EQ(ctl.depth(), 1u);
+  EXPECT_EQ(ctl.overflow_depth(), 1u);
+  EXPECT_EQ(ctl.pop(), 11u);
+  EXPECT_EQ(ctl.pop(), 12u);
+  EXPECT_FALSE(ctl.has_waiting());
+  // Every deferred job was eventually admitted; nothing rejected.
+  EXPECT_EQ(ctl.stats().admitted, 3u);
+  EXPECT_EQ(ctl.stats().deferred, 2u);
+  EXPECT_EQ(ctl.stats().rejected, 0u);
+}
+
+TEST(Admission, RequeueBypassesTheBound) {
+  AdmissionController ctl(1, AdmissionPolicy::kReject);
+  EXPECT_EQ(ctl.offer(0), AdmissionOutcome::kAdmitted);
+  // Preempted jobs go to the back regardless of the bound: a preemption
+  // must never turn into a rejection.
+  ctl.requeue(7);
+  EXPECT_EQ(ctl.depth(), 2u);
+  EXPECT_EQ(ctl.pop(), 0u);
+  EXPECT_EQ(ctl.pop(), 7u);
+  // requeue is not an arrival: offered/admitted are unchanged.
+  EXPECT_EQ(ctl.stats().offered, 1u);
+  EXPECT_EQ(ctl.stats().admitted, 1u);
+}
+
+TEST(Admission, ZeroCapacityClampsToOne) {
+  AdmissionController ctl(0, AdmissionPolicy::kReject);
+  EXPECT_EQ(ctl.capacity(), 1u);
+  EXPECT_EQ(ctl.offer(0), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(ctl.offer(1), AdmissionOutcome::kRejected);
+}
+
+TEST(Admission, PeakDepthTracksHighWaterMark) {
+  AdmissionController ctl(8, AdmissionPolicy::kReject);
+  for (AdmissionController::JobId j = 0; j < 5; ++j) ctl.offer(j);
+  ctl.pop();
+  ctl.pop();
+  EXPECT_EQ(ctl.depth(), 3u);
+  EXPECT_EQ(ctl.stats().peak_depth, 5u);
+}
+
+}  // namespace
+}  // namespace nessa::fleet

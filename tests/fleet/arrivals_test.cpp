@@ -1,0 +1,97 @@
+#include "nessa/fleet/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nessa::fleet {
+namespace {
+
+TEST(PoissonArrivals, IsSortedSeededAndInRange) {
+  PoissonConfig cfg;
+  cfg.jobs = 200;
+  cfg.tenants = 5;
+  cfg.seed = 7;
+  const auto a = poisson_arrivals(cfg);
+  const auto b = poisson_arrivals(cfg);
+  ASSERT_EQ(a.size(), 200u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_LT(a[i].tenant, 5u);
+    EXPECT_GE(a[i].weight, 1u);
+    if (i > 0) {
+      EXPECT_GE(a[i].at, a[i - 1].at);
+    }
+  }
+  cfg.seed = 8;
+  const auto c = poisson_arrivals(cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].at != c[i].at || a[i].tenant != c[i].tenant) differs = true;
+  }
+  EXPECT_TRUE(differs) << "different seeds must give different streams";
+}
+
+TEST(PoissonArrivals, RejectsBadConfig) {
+  PoissonConfig cfg;
+  cfg.rate_per_s = 0.0;
+  EXPECT_THROW(poisson_arrivals(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.jobs = 0;
+  EXPECT_THROW(poisson_arrivals(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.tenants = 0;
+  EXPECT_THROW(poisson_arrivals(cfg), std::invalid_argument);
+}
+
+TEST(ArrivalTrace, ParsesCommentsAndOptionalFields) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "100 0\n"
+      "250 1 3\n"
+      "250 2 2 6   # same timestamp is fine\n");
+  const auto a = parse_arrival_trace(in);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].at, 100 * util::kMicrosecond);
+  EXPECT_EQ(a[0].tenant, 0u);
+  EXPECT_EQ(a[0].weight, 1u);
+  EXPECT_EQ(a[0].epochs, 0u);
+  EXPECT_EQ(a[1].weight, 3u);
+  EXPECT_EQ(a[2].tenant, 2u);
+  EXPECT_EQ(a[2].epochs, 6u);
+}
+
+TEST(ArrivalTrace, RejectsMalformedLines) {
+  std::istringstream missing_tenant("100\n");
+  EXPECT_THROW(parse_arrival_trace(missing_tenant), std::invalid_argument);
+  std::istringstream bad_weight("100 0 0\n");
+  EXPECT_THROW(parse_arrival_trace(bad_weight), std::invalid_argument);
+  std::istringstream decreasing("200 0\n100 1\n");
+  EXPECT_THROW(parse_arrival_trace(decreasing), std::invalid_argument);
+  std::istringstream negative("-5 0\n");
+  EXPECT_THROW(parse_arrival_trace(negative), std::invalid_argument);
+}
+
+TEST(ArrivalTrace, RoundTripsThroughWriter) {
+  PoissonConfig cfg;
+  cfg.jobs = 50;
+  const auto original = poisson_arrivals(cfg);
+  std::stringstream buf;
+  write_arrival_trace(buf, original);
+  const auto parsed = parse_arrival_trace(buf);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    // The writer rounds to whole microseconds; everything else is exact.
+    EXPECT_EQ(parsed[i].at, original[i].at / util::kMicrosecond *
+                                util::kMicrosecond);
+    EXPECT_EQ(parsed[i].tenant, original[i].tenant);
+    EXPECT_EQ(parsed[i].weight, original[i].weight);
+    EXPECT_EQ(parsed[i].epochs, original[i].epochs);
+  }
+}
+
+}  // namespace
+}  // namespace nessa::fleet

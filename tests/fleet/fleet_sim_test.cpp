@@ -1,0 +1,245 @@
+#include "nessa/fleet/fleet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nessa::fleet {
+namespace {
+
+FleetConfig small_fleet() {
+  FleetConfig config;
+  config.devices = 2;
+  config.gpus = 2;
+  config.jobs_per_device = 3;
+  config.queue_capacity = 16;
+  config.job.pipeline_epochs = 3;
+  return config;
+}
+
+std::vector<Arrival> small_stream(std::size_t jobs = 60) {
+  PoissonConfig cfg;
+  cfg.jobs = jobs;
+  cfg.tenants = 4;
+  cfg.rate_per_s = 100.0;
+  cfg.seed = 11;
+  return poisson_arrivals(cfg);
+}
+
+std::string summary_of(const FleetResult& r) {
+  std::ostringstream out;
+  r.write_summary_json(out);
+  return out.str();
+}
+
+/// Bit-level equality: the full summary JSON (totals, latency percentiles,
+/// fairness, per-tenant and per-component sections) plus every per-job
+/// record, including simulated timestamps.
+void expect_identical(const FleetResult& a, const FleetResult& b) {
+  EXPECT_EQ(summary_of(a), summary_of(b));
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const JobRecord& x = a.jobs[i];
+    const JobRecord& y = b.jobs[i];
+    EXPECT_EQ(x.tenant, y.tenant) << "job " << i;
+    EXPECT_EQ(x.arrival, y.arrival) << "job " << i;
+    EXPECT_EQ(x.first_dispatch, y.first_dispatch) << "job " << i;
+    EXPECT_EQ(x.finish, y.finish) << "job " << i;
+    EXPECT_EQ(x.epochs_done, y.epochs_done) << "job " << i;
+    EXPECT_EQ(x.preemptions, y.preemptions) << "job " << i;
+    EXPECT_EQ(x.resumes, y.resumes) << "job " << i;
+    EXPECT_EQ(x.device, y.device) << "job " << i;
+    EXPECT_EQ(x.gpu, y.gpu) << "job " << i;
+    EXPECT_EQ(x.admitted, y.admitted) << "job " << i;
+    EXPECT_EQ(x.completed, y.completed) << "job " << i;
+  }
+}
+
+TEST(FleetSim, SameSeedIsBitIdentical) {
+  const auto config = small_fleet();
+  const auto arrivals = small_stream();
+  expect_identical(run_fleet(config, arrivals), run_fleet(config, arrivals));
+}
+
+TEST(FleetSim, CalendarAndHeapEnginesAgree) {
+  auto config = small_fleet();
+  const auto arrivals = small_stream();
+  config.engine = sim::QueueKind::kCalendar;
+  const auto calendar = run_fleet(config, arrivals);
+  config.engine = sim::QueueKind::kHeap;
+  const auto heap = run_fleet(config, arrivals);
+  expect_identical(calendar, heap);
+}
+
+TEST(FleetSim, EnginesAgreeUnderPreemption) {
+  auto config = small_fleet();
+  config.preempt_quantum_epochs = 1;
+  const auto arrivals = small_stream();
+  config.engine = sim::QueueKind::kCalendar;
+  const auto calendar = run_fleet(config, arrivals);
+  config.engine = sim::QueueKind::kHeap;
+  const auto heap = run_fleet(config, arrivals);
+  EXPECT_GT(calendar.preemptions, 0u);
+  expect_identical(calendar, heap);
+}
+
+TEST(FleetSim, EveryJobCompletesUnderDefer) {
+  const auto result = run_fleet(small_fleet(), small_stream());
+  EXPECT_EQ(result.arrivals, 60u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(result.admitted + result.rejected, result.arrivals);
+  EXPECT_EQ(result.completed, result.admitted);
+  for (const auto& job : result.jobs) {
+    EXPECT_TRUE(job.completed);
+    EXPECT_EQ(job.epochs_done, job.epochs);
+    EXPECT_GE(job.first_dispatch, job.arrival);
+    EXPECT_GT(job.finish, job.first_dispatch);
+  }
+  EXPECT_GE(result.p99_latency_s, result.p50_latency_s);
+  EXPECT_GT(result.jain_fairness, 0.0);
+  EXPECT_LE(result.jain_fairness, 1.0 + 1e-12);
+}
+
+TEST(FleetSim, RejectPolicyShedsLoadButNeverLosesAccounting) {
+  auto config = small_fleet();
+  config.policy = AdmissionPolicy::kReject;
+  config.queue_capacity = 2;
+  config.jobs_per_device = 1;
+  const auto result = run_fleet(config, small_stream(120));
+  EXPECT_GT(result.rejected, 0u) << "a 2-deep queue under burst must shed";
+  EXPECT_EQ(result.admitted + result.rejected, result.arrivals);
+  EXPECT_EQ(result.completed, result.admitted);
+  std::uint64_t tenant_admitted = 0;
+  std::uint64_t tenant_rejected = 0;
+  for (const auto& t : result.tenants) {
+    tenant_admitted += t.admitted;
+    tenant_rejected += t.rejected;
+  }
+  EXPECT_EQ(tenant_admitted, result.admitted);
+  EXPECT_EQ(tenant_rejected, result.rejected);
+  for (const auto& job : result.jobs) {
+    if (!job.admitted) {
+      EXPECT_FALSE(job.completed);
+    }
+  }
+}
+
+TEST(FleetSim, PreemptAtEveryEpochStillFinishesAllWork) {
+  // The fleet analogue of the ckpt kill-point harness: force a checkpoint-
+  // yield at EVERY epoch barrier and require the same work to complete as
+  // an unpreempted run — progress must round-trip through the snapshot
+  // codec at every opportunity without loss or duplication.
+  auto config = small_fleet();
+  const auto arrivals = small_stream();
+  const auto baseline = run_fleet(config, arrivals);
+
+  config.preempt_quantum_epochs = 1;
+  const auto sliced = run_fleet(config, arrivals);
+  EXPECT_EQ(sliced.completed, baseline.completed);
+  EXPECT_EQ(sliced.resumes, sliced.preemptions);
+  ASSERT_EQ(sliced.jobs.size(), baseline.jobs.size());
+  for (std::size_t i = 0; i < sliced.jobs.size(); ++i) {
+    const JobRecord& job = sliced.jobs[i];
+    EXPECT_TRUE(job.completed) << "job " << i;
+    EXPECT_EQ(job.epochs_done, baseline.jobs[i].epochs_done) << "job " << i;
+    // Quantum 1 = one yield at every barrier except the last.
+    EXPECT_EQ(job.preemptions, job.epochs - 1) << "job " << i;
+    EXPECT_EQ(job.resumes, job.preemptions) << "job " << i;
+  }
+}
+
+TEST(FleetSim, PerArrivalEpochsOverrideTheBaseSpec) {
+  auto config = small_fleet();
+  std::vector<Arrival> arrivals;
+  arrivals.push_back({0, 0, 1, 5});
+  arrivals.push_back({util::kMicrosecond, 1, 1, 0});  // 0 = spec default
+  const auto result = run_fleet(config, arrivals);
+  EXPECT_EQ(result.jobs[0].epochs, 5u);
+  EXPECT_EQ(result.jobs[0].epochs_done, 5u);
+  EXPECT_EQ(result.jobs[1].epochs, config.job.pipeline_epochs);
+  EXPECT_EQ(result.jobs[1].epochs_done, config.job.pipeline_epochs);
+}
+
+TEST(FleetSim, HeavierTenantFinishesFasterUnderContention) {
+  // One device, one GPU, both tenants fully backlogged from t=0: the
+  // weight-4 tenant must get a proportionally larger share of every shared
+  // component and therefore lower completion latency.
+  FleetConfig config;
+  config.devices = 1;
+  config.gpus = 1;
+  config.jobs_per_device = 8;
+  config.queue_capacity = 64;
+  config.job.pipeline_epochs = 3;
+  std::vector<Arrival> arrivals;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    arrivals.push_back({0, 0, 1, 0});  // tenant 0, weight 1
+    arrivals.push_back({0, 1, 4, 0});  // tenant 1, weight 4
+  }
+  const auto result = run_fleet(config, arrivals);
+  ASSERT_EQ(result.tenants.size(), 2u);
+  EXPECT_EQ(result.completed, 16u);
+  EXPECT_LT(result.tenants[1].p50_latency_s, result.tenants[0].p50_latency_s);
+  EXPECT_GT(result.jain_fairness, 0.0);
+  EXPECT_LE(result.jain_fairness, 1.0 + 1e-12);
+}
+
+TEST(FleetSim, FullPipelineSkipsTheSelectionLeg) {
+  auto config = small_fleet();
+  config.job.pipeline = core::PipelineKind::kFull;
+  const auto result = run_fleet(config, small_stream(20));
+  EXPECT_EQ(result.completed, 20u);
+  for (const auto& c : result.components) {
+    if (c.name.find("fpga") != std::string::npos ||
+        c.name.find("p2p") != std::string::npos) {
+      EXPECT_EQ(c.requests, 0u) << c.name;
+    }
+  }
+}
+
+TEST(FleetSim, UtilizationAndTelemetryAreAccounted) {
+  const auto result = run_fleet(small_fleet(), small_stream());
+  bool some_component_busy = false;
+  for (const auto& c : result.components) {
+    EXPECT_GE(c.utilization, 0.0);
+    EXPECT_LE(c.utilization, 1.0 + 1e-12);
+    if (c.utilization > 0.0) some_component_busy = true;
+  }
+  EXPECT_TRUE(some_component_busy);
+  // 2 devices x 4 shared components + 2 GPUs.
+  EXPECT_EQ(result.components.size(), 2u * 4u + 2u);
+  EXPECT_EQ(result.components.front().name, "ssd0.flash_bus");
+  EXPECT_EQ(result.components.back().name, "gpu1.gpu");
+}
+
+TEST(FleetSim, ValidatesItsInputs) {
+  const auto config = small_fleet();
+  EXPECT_THROW(run_fleet(config, {}), std::invalid_argument);
+
+  std::vector<Arrival> unsorted;
+  unsorted.push_back({100, 0, 1, 0});
+  unsorted.push_back({50, 1, 1, 0});
+  EXPECT_THROW(run_fleet(config, unsorted), std::invalid_argument);
+
+  auto zero_gpus = small_fleet();
+  zero_gpus.gpus = 0;
+  EXPECT_THROW(run_fleet(zero_gpus, small_stream(5)), std::invalid_argument);
+
+  auto bad_spec = small_fleet();
+  bad_spec.job.dataset_scale = -1.0;
+  EXPECT_THROW(run_fleet(bad_spec, small_stream(5)), std::invalid_argument);
+}
+
+TEST(FleetSim, SummaryJsonCarriesTheInvariantFields) {
+  const auto result = run_fleet(small_fleet(), small_stream(30));
+  const std::string json = summary_of(result);
+  EXPECT_NE(json.find("\"arrivals\": 30"), std::string::npos);
+  EXPECT_NE(json.find("\"jain_fairness\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(json.find("\"components\""), std::string::npos);
+  EXPECT_NE(json.find("ssd0.flash_bus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nessa::fleet

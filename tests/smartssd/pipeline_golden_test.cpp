@@ -49,7 +49,7 @@ TEST(PipelineGolden, EpochTimesBitIdenticalToSeedEngine) {
     w.feedback_bytes =
         static_cast<std::uint64_t>(spec.paper_params_millions * 1e6);
 
-    const auto t = simulate_pipeline(SystemConfig{}, w, 5);
+    const auto t = simulate_pipeline(SystemConfig{}, w, 5, PipelineOptions{});
     EXPECT_EQ(t.first_epoch_time, g.first_epoch_time) << g.dataset;
     EXPECT_EQ(t.steady_epoch_time, g.steady_epoch_time) << g.dataset;
   }

@@ -11,15 +11,15 @@ EpochWorkload cifar10_workload() {
 
 TEST(PipelineSim, ValidatesArguments) {
   SystemConfig cfg;
-  EXPECT_THROW(simulate_pipeline(cfg, cifar10_workload(), 1),
+  EXPECT_THROW(simulate_pipeline(cfg, cifar10_workload(), 1, PipelineOptions{}),
                std::invalid_argument);
   EpochWorkload bad = cifar10_workload();
   bad.batch_size = 0;
-  EXPECT_THROW(simulate_pipeline(cfg, bad, 4), std::invalid_argument);
+  EXPECT_THROW(simulate_pipeline(cfg, bad, 4, PipelineOptions{}), std::invalid_argument);
 }
 
 TEST(PipelineSim, EpochCompletionsMonotone) {
-  auto trace = simulate_pipeline(SystemConfig{}, cifar10_workload(), 6);
+  auto trace = simulate_pipeline(SystemConfig{}, cifar10_workload(), 6, PipelineOptions{});
   ASSERT_EQ(trace.epoch_done.size(), 6u);
   for (std::size_t e = 1; e < 6; ++e) {
     EXPECT_GT(trace.epoch_done[e], trace.epoch_done[e - 1]);
@@ -31,7 +31,7 @@ TEST(PipelineSim, SteadyStateMatchesAnalyticMax) {
   // state; the batch-level simulation must converge to that within ~10 %
   // (it can only be faster, since batch pipelining overlaps flash reads
   // with FPGA compute inside the fpga phase).
-  auto trace = simulate_pipeline(SystemConfig{}, cifar10_workload(), 12);
+  auto trace = simulate_pipeline(SystemConfig{}, cifar10_workload(), 12, PipelineOptions{});
   const auto analytic =
       std::max(trace.analytic_fpga_phase, trace.analytic_gpu_phase);
   EXPECT_LE(trace.steady_epoch_time, analytic + analytic / 20);
@@ -44,7 +44,7 @@ TEST(PipelineSim, GpuBoundWorkloadPacedByGpu) {
   w.pool_records = 2'000;
   w.subset_records = 15'000;
   w.train_gflops_per_sample = 4.0;
-  auto trace = simulate_pipeline(SystemConfig{}, w, 8);
+  auto trace = simulate_pipeline(SystemConfig{}, w, 8, PipelineOptions{});
   EXPECT_GT(trace.analytic_gpu_phase, trace.analytic_fpga_phase);
   EXPECT_NEAR(static_cast<double>(trace.steady_epoch_time),
               static_cast<double>(trace.analytic_gpu_phase),
@@ -60,7 +60,7 @@ TEST(PipelineSim, FpgaBoundWorkloadPacedByFpga) {
   w.macs_per_record = 2'045'000'000;
   w.train_gflops_per_sample = 4.09;
   w.feedback_bytes = 25'600'000;
-  auto trace = simulate_pipeline(SystemConfig{}, w, 8);
+  auto trace = simulate_pipeline(SystemConfig{}, w, 8, PipelineOptions{});
   EXPECT_GT(trace.analytic_fpga_phase, trace.analytic_gpu_phase);
   EXPECT_NEAR(static_cast<double>(trace.steady_epoch_time),
               static_cast<double>(trace.analytic_fpga_phase),
@@ -70,13 +70,13 @@ TEST(PipelineSim, FpgaBoundWorkloadPacedByFpga) {
 TEST(PipelineSim, OverlapBeatsFirstEpochLatency) {
   // The first epoch has no overlap partner; steady-state epochs must be
   // strictly cheaper whenever both phases are non-trivial.
-  auto trace = simulate_pipeline(SystemConfig{}, cifar10_workload(), 10);
+  auto trace = simulate_pipeline(SystemConfig{}, cifar10_workload(), 10, PipelineOptions{});
   EXPECT_LT(trace.steady_epoch_time, trace.first_epoch_time);
 }
 
 TEST(PipelineSim, MoreEpochsRefineSteadyEstimate) {
-  auto short_trace = simulate_pipeline(SystemConfig{}, cifar10_workload(), 3);
-  auto long_trace = simulate_pipeline(SystemConfig{}, cifar10_workload(), 20);
+  auto short_trace = simulate_pipeline(SystemConfig{}, cifar10_workload(), 3, PipelineOptions{});
+  auto long_trace = simulate_pipeline(SystemConfig{}, cifar10_workload(), 20, PipelineOptions{});
   // Both estimates should agree within a few percent.
   const double ratio = static_cast<double>(short_trace.steady_epoch_time) /
                        static_cast<double>(long_trace.steady_epoch_time);

@@ -18,7 +18,7 @@ TEST(PipelineTelemetry, EmitsEveryPhaseOnItsResourceTrack) {
   telemetry::Session session;
   const SystemConfig cfg;
   const EpochWorkload w;
-  simulate_pipeline(cfg, w, 3);
+  simulate_pipeline(cfg, w, 3, PipelineOptions{});
 
   std::set<std::string> seen;
   std::set<std::string> tracks;
@@ -47,7 +47,7 @@ TEST(PipelineTelemetry, TracedGpuBusyTimeMatchesSteadyEpochTime) {
   // the bottleneck resource's work per epoch).
   w.train_gflops_per_sample = 2.0;
   const std::size_t epochs = 8;
-  const auto trace = simulate_pipeline(cfg, w, epochs);
+  const auto trace = simulate_pipeline(cfg, w, epochs, PipelineOptions{});
 
   util::SimTime gpu_busy = 0;
   for (const auto& e : session.trace().events()) {
@@ -64,7 +64,7 @@ TEST(PipelineTelemetry, PerEpochSpanDurationsSumToEpochWork) {
   const SystemConfig cfg;
   const EpochWorkload w;
   const std::size_t epochs = 4;
-  simulate_pipeline(cfg, w, epochs);
+  simulate_pipeline(cfg, w, epochs, PipelineOptions{});
 
   // Whatever the schedule interleaving, the total traced occupancy must be
   // exactly epochs x (per-epoch stage work): spans are emitted once per
@@ -89,7 +89,7 @@ TEST(PipelineTelemetry, ByteCountersAccountExactly) {
   const SystemConfig cfg;
   const EpochWorkload w;
   const std::size_t epochs = 3;
-  simulate_pipeline(cfg, w, epochs);
+  simulate_pipeline(cfg, w, epochs, PipelineOptions{});
 
   const std::size_t scan_batches =
       (w.pool_records + w.batch_size - 1) / w.batch_size;
@@ -113,9 +113,9 @@ TEST(PipelineTelemetry, DisabledTelemetryChangesNothing) {
   const SystemConfig cfg;
   const EpochWorkload w;
   telemetry::uninstall();
-  const auto bare = simulate_pipeline(cfg, w, 4);
+  const auto bare = simulate_pipeline(cfg, w, 4, PipelineOptions{});
   telemetry::Session session;
-  const auto traced = simulate_pipeline(cfg, w, 4);
+  const auto traced = simulate_pipeline(cfg, w, 4, PipelineOptions{});
   EXPECT_EQ(bare.steady_epoch_time, traced.steady_epoch_time);
   EXPECT_EQ(bare.first_epoch_time, traced.first_epoch_time);
   EXPECT_EQ(bare.epoch_done, traced.epoch_done);

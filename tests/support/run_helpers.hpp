@@ -1,0 +1,38 @@
+// Shared test drivers over the unified core::run dispatcher. Tests that
+// used to call the PR-2 era piecewise entry points (run_full(inputs, sys),
+// run_nessa(inputs, cfg, sys)) route through these helpers instead: each
+// stages the inputs' run knobs into a RunConfig exactly the way the legacy
+// overloads did implicitly, then dispatches through core::run. Keeping the
+// staging in one place means a dispatcher regression fails every suite the
+// same way instead of hiding behind per-file copies.
+#pragma once
+
+#include "nessa/core/run.hpp"
+
+namespace nessa::core {
+
+inline RunResult full_run(const PipelineInputs& in,
+                          smartssd::SmartSsdSystem& sys) {
+  RunConfig rc;
+  rc.pipeline = PipelineKind::kFull;
+  rc.train = in.train;
+  rc.perf_model = in.perf_model;
+  rc.fault_plan = in.fault_plan;
+  rc.checkpoint = in.checkpoint;
+  return run(in, rc, sys);
+}
+
+inline RunResult nessa_run(const PipelineInputs& in, const NessaConfig& cfg,
+                           smartssd::SmartSsdSystem& sys) {
+  RunConfig rc;
+  rc.pipeline = PipelineKind::kNessa;
+  rc.train = in.train;
+  rc.perf_model = in.perf_model;
+  rc.fault_plan = in.fault_plan;
+  rc.checkpoint = in.checkpoint;
+  rc.nessa = cfg;
+  rc.parallelism = cfg.parallelism;
+  return run(in, rc, sys);
+}
+
+}  // namespace nessa::core

@@ -1,0 +1,237 @@
+// fleet — drive the multi-tenant SmartSSD fleet simulator.
+//
+//   fleet [--devices N] [--gpus M] [--jobs-per-device N]
+//         [--jobs N] [--tenants N] [--rate R] [--seed N]     (Poisson source)
+//         [--arrivals FILE]                                  (trace source)
+//         [--pipeline NAME] [--epochs N]
+//         [--queue-capacity N] [--policy reject|defer] [--quantum N]
+//         [--engine calendar|heap] [--summary PATH] [--metrics PATH]
+//
+// Builds the arrival stream (a seeded Poisson process by default, or a
+// `<at_us> <tenant> [weight] [epochs]` text trace via --arrivals), runs it
+// through fleet::run_fleet, prints the per-tenant and per-component tables,
+// and optionally writes the machine-readable summary JSON that the CI
+// fleet-smoke job validates.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "nessa/fleet/fleet_sim.hpp"
+#include "nessa/nessa.hpp"
+#include "nessa/util/table.hpp"
+
+using namespace nessa;
+
+namespace {
+
+struct Options {
+  std::size_t devices = 4;
+  std::size_t gpus = 2;
+  std::size_t jobs_per_device = 4;
+  std::size_t jobs = 1000;
+  std::uint32_t tenants = 8;
+  double rate = 50.0;
+  std::uint64_t seed = 42;
+  std::string arrivals_path;
+  std::string pipeline = "nessa";
+  std::size_t epochs = 4;
+  std::size_t queue_capacity = 64;
+  std::string policy = "defer";
+  std::size_t quantum = 0;
+  std::string engine = "calendar";
+  std::string summary_path;
+  std::string metrics_path;
+};
+
+void print_usage() {
+  std::cout
+      << "usage: fleet [--devices N] [--gpus M] [--jobs-per-device N]\n"
+         "             [--jobs N] [--tenants N] [--rate R] [--seed N]\n"
+         "             [--arrivals FILE] [--pipeline NAME] [--epochs N]\n"
+         "             [--queue-capacity N] [--policy reject|defer]\n"
+         "             [--quantum N] [--engine calendar|heap]\n"
+         "             [--summary PATH] [--metrics PATH]\n";
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    } else if (arg == "--devices" && (v = next("--devices"))) {
+      opt.devices = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--gpus" && (v = next("--gpus"))) {
+      opt.gpus = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--jobs-per-device" && (v = next("--jobs-per-device"))) {
+      opt.jobs_per_device = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--jobs" && (v = next("--jobs"))) {
+      opt.jobs = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--tenants" && (v = next("--tenants"))) {
+      opt.tenants = static_cast<std::uint32_t>(std::atol(v));
+    } else if (arg == "--rate" && (v = next("--rate"))) {
+      opt.rate = std::atof(v);
+    } else if (arg == "--seed" && (v = next("--seed"))) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--arrivals" && (v = next("--arrivals"))) {
+      opt.arrivals_path = v;
+    } else if (arg == "--pipeline" && (v = next("--pipeline"))) {
+      opt.pipeline = v;
+    } else if (arg == "--epochs" && (v = next("--epochs"))) {
+      opt.epochs = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--queue-capacity" && (v = next("--queue-capacity"))) {
+      opt.queue_capacity = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--policy" && (v = next("--policy"))) {
+      opt.policy = v;
+    } else if (arg == "--quantum" && (v = next("--quantum"))) {
+      opt.quantum = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--engine" && (v = next("--engine"))) {
+      opt.engine = v;
+    } else if (arg == "--summary" && (v = next("--summary"))) {
+      opt.summary_path = v;
+    } else if (arg == "--metrics" && (v = next("--metrics"))) {
+      opt.metrics_path = v;
+    } else if (v == nullptr && arg.rfind("--", 0) == 0 && i + 1 >= argc) {
+      return false;  // `next` already printed the missing-value error
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      print_usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 1;
+
+  fleet::FleetConfig config;
+  config.devices = opt.devices;
+  config.gpus = opt.gpus;
+  config.jobs_per_device = opt.jobs_per_device;
+  config.queue_capacity = opt.queue_capacity;
+  config.preempt_quantum_epochs = opt.quantum;
+  config.job.pipeline_epochs = opt.epochs < 2 ? 2 : opt.epochs;
+  if (opt.policy == "reject") {
+    config.policy = fleet::AdmissionPolicy::kReject;
+  } else if (opt.policy == "defer") {
+    config.policy = fleet::AdmissionPolicy::kDefer;
+  } else {
+    std::cerr << "unknown policy: " << opt.policy << "\n";
+    return 1;
+  }
+  if (opt.engine == "calendar") {
+    config.engine = sim::QueueKind::kCalendar;
+  } else if (opt.engine == "heap") {
+    config.engine = sim::QueueKind::kHeap;
+  } else {
+    std::cerr << "unknown engine: " << opt.engine << "\n";
+    return 1;
+  }
+  try {
+    config.job.pipeline = core::pipeline_kind_from_string(opt.pipeline);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+
+  std::vector<fleet::Arrival> arrivals;
+  try {
+    if (!opt.arrivals_path.empty()) {
+      arrivals = fleet::load_arrival_trace(opt.arrivals_path);
+    } else {
+      fleet::PoissonConfig poisson;
+      poisson.rate_per_s = opt.rate;
+      poisson.jobs = opt.jobs;
+      poisson.tenants = opt.tenants;
+      poisson.seed = opt.seed;
+      arrivals = fleet::poisson_arrivals(poisson);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "arrival stream error: " << e.what() << "\n";
+    return 1;
+  }
+
+  telemetry::Session session;
+  fleet::FleetResult result;
+  try {
+    result = fleet::run_fleet(config, arrivals);
+  } catch (const std::exception& e) {
+    std::cerr << "fleet error: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "fleet: " << config.devices << " SmartSSDs, " << config.gpus
+            << " GPUs, " << result.arrivals << " arrivals ("
+            << (opt.arrivals_path.empty() ? "poisson" : opt.arrivals_path)
+            << "), engine " << opt.engine << "\n"
+            << "jobs: " << result.admitted << " admitted, " << result.rejected
+            << " rejected, " << result.deferred << " deferred, "
+            << result.completed << " completed, " << result.preemptions
+            << " preemptions, " << result.resumes << " resumes\n"
+            << "latency: p50 " << result.p50_latency_s << " s, p99 "
+            << result.p99_latency_s << " s, mean " << result.mean_latency_s
+            << " s over " << util::to_seconds(result.makespan)
+            << " s makespan\n"
+            << "fairness: Jain " << result.jain_fairness
+            << ", peak queue depth " << result.peak_queue_depth
+            << ", peak overflow " << result.peak_overflow_depth << "\n";
+
+  util::Table tenants("per-tenant");
+  tenants.set_header({"tenant", "weight", "arrivals", "admitted", "rejected",
+                      "completed", "preempted", "p50 (s)", "p99 (s)",
+                      "gpu (s)"});
+  for (const auto& t : result.tenants) {
+    tenants.add_row({util::Table::num(static_cast<std::size_t>(t.tenant)), util::Table::num(static_cast<std::size_t>(t.weight)),
+                     util::Table::num(t.arrivals),
+                     util::Table::num(t.admitted),
+                     util::Table::num(t.rejected),
+                     util::Table::num(t.completed),
+                     util::Table::num(t.preemptions),
+                     util::Table::num(t.p50_latency_s, 3),
+                     util::Table::num(t.p99_latency_s, 3),
+                     util::Table::num(t.gpu_service_s, 3)});
+  }
+  tenants.print(std::cout);
+
+  util::Table components("per-component utilization");
+  components.set_header({"component", "util (%)", "requests", "GB moved"});
+  for (const auto& c : result.components) {
+    components.add_row(
+        {c.name, util::Table::pct(c.utilization), util::Table::num(c.requests),
+         util::Table::num(static_cast<double>(c.bytes) / 1e9, 2)});
+  }
+  components.print(std::cout);
+
+  if (!opt.summary_path.empty()) {
+    std::ofstream out(opt.summary_path);
+    if (!out) {
+      std::cerr << "cannot write summary: " << opt.summary_path << "\n";
+      return 1;
+    }
+    result.write_summary_json(out);
+    std::cout << "summary JSON: " << opt.summary_path << "\n";
+  }
+  if (!opt.metrics_path.empty()) {
+    try {
+      session.metrics().write_json_file(opt.metrics_path);
+    } catch (const std::exception& e) {
+      std::cerr << "metrics export failed: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "metrics JSON: " << opt.metrics_path << "\n";
+  }
+  return 0;
+}

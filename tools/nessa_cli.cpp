@@ -40,7 +40,7 @@
 #include "nessa/ckpt/errors.hpp"
 #include "nessa/core/energy.hpp"
 #include "nessa/core/report.hpp"
-#include "nessa/core/pipeline.hpp"
+#include "nessa/core/run.hpp"
 #include "nessa/fault/crash.hpp"
 #include "nessa/telemetry/telemetry.hpp"
 #include "nessa/util/table.hpp"
@@ -222,13 +222,18 @@ int main(int argc, char** argv) {
   rc.nessa.drop_interval_epochs = std::max<std::size_t>(3, opt.epochs / 4);
   rc.nessa.loss_window_epochs = std::max<std::size_t>(2, opt.epochs / 40);
   rc.parallelism = opt.parallel;
+  rc.dataset = opt.dataset;
+  rc.dataset_scale = opt.scale;
+  rc.devices = opt.devices;
   try {
+    rc.pipeline = core::pipeline_kind_from_string(opt.pipeline);
     rc.perf_model = core::perf_model_from_string(opt.perf_model);
     if (!opt.fault_plan.empty()) {
       rc.fault_plan = fault::FaultPlan::parse(opt.fault_plan);
     }
   } catch (const std::exception& e) {
     std::cerr << "config error: " << e.what() << "\n";
+    print_usage();
     return 1;
   }
   rc.checkpoint.dir = opt.checkpoint_dir;
@@ -259,38 +264,21 @@ int main(int argc, char** argv) {
   smartssd::SmartSsdSystem system(rc.system);
 
   core::RunResult run;
+  // The energy report prices the selection pass by where it ran.
   auto site = core::SelectionSite::kNone;
-  try {
-    if (opt.pipeline == "nessa") {
+  switch (rc.pipeline) {
+    case core::PipelineKind::kNessa:
       site = core::SelectionSite::kFpga;
-      if (opt.devices > 1) {
-        core::NessaConfig nessa_cfg = rc.nessa;
-        nessa_cfg.parallelism = rc.parallelism;
-        run = core::run_nessa_multi(inputs, nessa_cfg,
-                                    core::MultiDeviceConfig{opt.devices},
-                                    system);
-      } else {
-        run = core::run_nessa(inputs, rc, system);
-      }
-    } else if (opt.pipeline == "full") {
-      run = core::run_full(inputs, rc, system);
-    } else if (opt.pipeline == "full-cached") {
-      run = core::run_full_cached(inputs, smartssd::HostCache{}, system);
-    } else if (opt.pipeline == "craig") {
+      break;
+    case core::PipelineKind::kCraig:
+    case core::PipelineKind::kKCenter:
       site = core::SelectionSite::kHostCpu;
-      run = core::run_craig(inputs, opt.fraction, system);
-    } else if (opt.pipeline == "kcenter") {
-      site = core::SelectionSite::kHostCpu;
-      run = core::run_kcenter(inputs, opt.fraction, system);
-    } else if (opt.pipeline == "random") {
-      run = core::run_random(inputs, opt.fraction, system);
-    } else if (opt.pipeline == "loss-topk") {
-      run = core::run_loss_topk(inputs, opt.fraction, system);
-    } else {
-      std::cerr << "unknown pipeline: " << opt.pipeline << "\n";
-      print_usage();
-      return 1;
-    }
+      break;
+    default:
+      break;
+  }
+  try {
+    run = core::run(inputs, rc, system);
   } catch (const fault::InjectedCrash& crash) {
     std::cerr << "run terminated by injected crash: " << crash.what() << "\n";
     if (!opt.checkpoint_dir.empty()) {

@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "nessa/core/pipeline.hpp"
+#include "nessa/core/run.hpp"
 #include "nessa/util/table.hpp"
 
 using namespace nessa;
@@ -81,8 +81,11 @@ int main(int argc, char** argv) {
             << " substrate samples, " << epochs << " epochs)\n\n";
 
   // The full-data reference.
+  core::RunConfig base_rc;
+  base_rc.train = inputs.train;
+  base_rc.pipeline = core::PipelineKind::kFull;
   smartssd::SmartSsdSystem full_sys;
-  auto full = core::run_full(inputs, full_sys);
+  auto full = core::run(inputs, base_rc, full_sys);
 
   util::Table table;
   table.set_header({"pipeline", "fraction", "accuracy (%)", "epoch (s)",
@@ -100,28 +103,22 @@ int main(int argc, char** argv) {
         continue;
       }
       smartssd::SmartSsdSystem sys;
-      core::RunResult run;
-      if (pipeline == "nessa") {
-        core::NessaConfig cfg;
-        cfg.subset_fraction = fraction;
-        cfg.dynamic_sizing = false;
-        cfg.min_subset_fraction = fraction;
-        cfg.partition_quota = 8;
-        cfg.drop_interval_epochs = std::max<std::size_t>(3, epochs / 4);
-        cfg.loss_window_epochs = std::max<std::size_t>(2, epochs / 40);
-        run = core::run_nessa(inputs, cfg, sys);
-      } else if (pipeline == "random") {
-        run = core::run_random(inputs, fraction, sys);
-      } else if (pipeline == "craig") {
-        run = core::run_craig(inputs, fraction, sys);
-      } else if (pipeline == "kcenter") {
-        run = core::run_kcenter(inputs, fraction, sys);
-      } else if (pipeline == "loss-topk") {
-        run = core::run_loss_topk(inputs, fraction, sys);
-      } else {
+      core::RunConfig rc = base_rc;
+      try {
+        rc.pipeline = core::pipeline_kind_from_string(pipeline);
+      } catch (const std::exception&) {
         std::cerr << "unknown pipeline " << pipeline << "\n";
         return 1;
       }
+      rc.nessa.subset_fraction = fraction;
+      if (rc.pipeline == core::PipelineKind::kNessa) {
+        rc.nessa.dynamic_sizing = false;
+        rc.nessa.min_subset_fraction = fraction;
+        rc.nessa.partition_quota = 8;
+        rc.nessa.drop_interval_epochs = std::max<std::size_t>(3, epochs / 4);
+        rc.nessa.loss_window_epochs = std::max<std::size_t>(2, epochs / 40);
+      }
+      core::RunResult run = core::run(inputs, rc, sys);
       table.add_row(
           {pipeline, util::Table::num(fraction, 2),
            util::Table::pct(run.final_accuracy),

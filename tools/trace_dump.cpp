@@ -3,19 +3,25 @@
 //
 //   trace-dump [--trace PATH] [--metrics PATH] [--pipeline-epochs N]
 //              [--train-epochs N] [--scale S] [--seed N]
-//              [--fault-plan PRESET|FILE]
+//              [--fault-plan PRESET|FILE] [--fleet-jobs N]
 //
 // Runs (1) the batch-granular SmartSSD pipeline simulation, which emits
 // sim-clock spans for every modeled resource (flash-read, fpga-forward,
-// selection, host-link, gpu-link, gpu-train, feedback), and (2) a short
+// selection, host-link, gpu-link, gpu-train, feedback), (2) a short
 // substrate NeSSA training run, which emits wall-clock spans from the
-// selection engine and the trainers plus the bytes-moved counters. Then
-// writes the Chrome trace-event JSON (load in chrome://tracing or Perfetto)
-// and the flat metrics JSON. CI parses both and checks the phase names.
+// selection engine and the trainers plus the bytes-moved counters, and —
+// with --fleet-jobs — (3) a small multi-tenant fleet run, which adds the
+// prefixed per-device spans ("ssd0.flash_bus", "gpu1.gpu", ...) and the
+// fleet.jobs.* counters. A trace file therefore holds spans from however
+// many pipelines and device graphs ran in the session, NOT one pipeline
+// trace per file. Then writes the Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto) and the flat metrics JSON. CI parses both
+// and checks the phase names.
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "nessa/fleet/fleet_sim.hpp"
 #include "nessa/nessa.hpp"
 #include "nessa/util/table.hpp"
 
@@ -31,6 +37,7 @@ struct Options {
   double scale = 0.01;
   std::uint64_t seed = 42;
   std::string fault_plan;
+  std::size_t fleet_jobs = 0;  ///< 0 = skip the fleet stage
 };
 
 void print_usage() {
@@ -38,7 +45,8 @@ void print_usage() {
                "                  [--pipeline-epochs N] [--train-epochs N]\n"
                "                  [--scale S] [--seed N]\n"
                "                  [--fault-plan flaky-p2p|slow-nand|"
-               "fpga-stall|FILE]\n";
+               "fpga-stall|FILE]\n"
+               "                  [--fleet-jobs N]\n";
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -82,6 +90,10 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next("--fault-plan");
       if (!v) return false;
       opt.fault_plan = v;
+    } else if (arg == "--fleet-jobs") {
+      const char* v = next("--fleet-jobs");
+      if (!v) return false;
+      opt.fleet_jobs = static_cast<std::size_t>(std::atol(v));
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       print_usage();
@@ -126,7 +138,7 @@ int main(int argc, char** argv) {
 
   // (1) Sim-clock domain: batch-granular pipeline schedule over the
   // component DeviceGraph.
-  const auto trace = core::simulate_pipeline(rc);
+  const auto trace = core::simulate(rc);
   std::cout << "pipeline: steady epoch "
             << util::to_seconds(trace.steady_epoch_time) << " s over "
             << rc.pipeline_epochs << " epochs\n";
@@ -168,9 +180,39 @@ int main(int argc, char** argv) {
   inputs.model = nn::model_spec(info.paper_network);
   inputs.train = rc.train;
   smartssd::SmartSsdSystem system(rc.system);
-  const auto run = core::run_nessa(inputs, rc, system);
+  const auto run = core::run(inputs, rc, system);
   std::cout << "train: " << run.epochs.size() << " epochs, final accuracy "
             << run.final_accuracy * 100.0 << " %\n";
+
+  // (3) Fleet domain: a small multi-tenant run adds the per-device
+  // prefixed component spans and the per-tenant job columns below.
+  if (opt.fleet_jobs > 0) {
+    fleet::FleetConfig fc;
+    fc.devices = 2;
+    fc.gpus = 2;
+    fc.preempt_quantum_epochs = 2;
+    fc.job.pipeline_epochs = 4;
+    fleet::PoissonConfig poisson;
+    poisson.jobs = opt.fleet_jobs;
+    poisson.tenants = 4;
+    poisson.rate_per_s = 200.0;
+    poisson.seed = opt.seed;
+    const auto fr = fleet::run_fleet(fc, fleet::poisson_arrivals(poisson));
+    std::cout << "fleet: " << fr.arrivals << " arrivals, " << fr.completed
+              << " completed, Jain " << fr.jain_fairness << "\n";
+    util::Table tenants("fleet per-tenant");
+    tenants.set_header({"tenant", "admitted", "rejected", "preempted",
+                        "p50 (s)", "p99 (s)"});
+    for (const auto& t : fr.tenants) {
+      tenants.add_row({util::Table::num(static_cast<std::size_t>(t.tenant)),
+                       util::Table::num(t.admitted),
+                       util::Table::num(t.rejected),
+                       util::Table::num(t.preemptions),
+                       util::Table::num(t.p50_latency_s, 3),
+                       util::Table::num(t.p99_latency_s, 3)});
+    }
+    tenants.print(std::cout);
+  }
 
   try {
     session.trace().write_chrome_trace_file(rc.telemetry.trace_path);
