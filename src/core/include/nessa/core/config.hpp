@@ -28,6 +28,15 @@ struct TrainConfig {
   /// to `epochs`.
   bool scale_lr_schedule = true;
   std::uint64_t seed = 7;
+
+  /// Streaming-chunk budget: rows per chunk window when the near-storage
+  /// scan pulls the candidate pool through data::ChunkedDataset instead of
+  /// touching the resident split. 0 = monolithic (single-chunk zero-copy
+  /// path, bit-identical to the pre-streaming behavior). When > 0, the
+  /// selection scan fetches only the chunks that still hold candidate-pool
+  /// members, so subset biasing translates into fewer chunk fetches — the
+  /// emergent scan saving the paper's §3.2.2 promises.
+  std::size_t chunk_samples = 0;
 };
 
 /// Toggles for NeSSA's §3.2 optimizations — Table 3's ablation axes.

@@ -52,6 +52,17 @@ struct EpochReport {
   std::size_t subset_size = 0;   ///< substrate-scale samples trained on
   std::size_t pool_size = 0;     ///< candidate pool after biasing drops
   double subset_fraction = 0.0;  ///< subset / original train size
+  /// |selected(e) ∩ selected(e-1)| / |selected(e)| for subset pipelines
+  /// (1.0 at epoch 0 and on carried/stale epochs; 1.0 for full-data runs).
+  /// Under a non-stationary stream this is the direct read on how fast the
+  /// selector turns its subset over as the data moves.
+  double selection_overlap = 1.0;
+  /// Chunk windows pulled through data::ChunkedDataset for this epoch's
+  /// scan (0 on the monolithic path).
+  std::uint64_t chunk_fetches = 0;
+  /// Per-class counts of the training pool visible this epoch. Populated
+  /// only for scenario-stream runs (empty otherwise).
+  std::vector<std::uint32_t> class_mix;
   EpochCost cost;
 };
 

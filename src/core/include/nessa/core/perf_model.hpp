@@ -56,6 +56,10 @@ struct NessaEpochDemand {
   std::size_t batch_size = 128;
   bool weight_feedback = false;      ///< charge the feedback transfer?
   std::uint64_t feedback_bytes = 0;  ///< quantized-weight payload
+  /// Paper-scale records per streaming-loader chunk; 0 = monolithic scan.
+  /// The analytic model prices both the same (total bytes are equal); the
+  /// event model feeds the scan from per-chunk flash fetches.
+  std::size_t chunk_records = 0;
 
   // --- degraded-mode repricing (set by the trainers from a
   //     fault::EpochSchedule; defaults price the healthy system) ---------

@@ -19,6 +19,7 @@
 #include "nessa/core/run_config.hpp"
 #include "nessa/data/dataset.hpp"
 #include "nessa/data/registry.hpp"
+#include "nessa/data/scenario.hpp"
 #include "nessa/nn/model.hpp"
 #include "nessa/smartssd/device.hpp"
 #include "nessa/smartssd/host_cache.hpp"
@@ -30,6 +31,12 @@ struct PipelineInputs {
   data::DatasetInfo info;                  ///< paper-scale metadata
   nn::ModelSpec model;                     ///< target network spec
   TrainConfig train;
+  /// Optional non-stationary workload: when set, every run driver trains
+  /// and selects against `stream->at(epoch)` instead of the static
+  /// `dataset` (which must be `&stream->base()` so sizes/metadata agree).
+  /// The stream's fingerprint is mixed into checkpoint fingerprints, and
+  /// per-epoch class histograms land in EpochReport::class_mix.
+  const data::scenario::EpochStream* stream = nullptr;
   /// Optional custom target architecture (e.g. a conv mini-ResNet). When
   /// set, it replaces the spec's MLP; the paper-scale FLOP/parameter
   /// numbers still come from `model`. NeSSA's selection kernel falls back
@@ -53,33 +60,25 @@ struct PipelineInputs {
   ckpt::CheckpointConfig checkpoint{};
 };
 
-// --- legacy entry points (PR-2 era, deprecated) -----------------------
 // The unified API is core::run(const RunConfig&) / core::run(inputs,
 // config, system) in run.hpp: one validated spec drives the whole run and
-// dispatches on config.pipeline. These piecewise overloads remain as
-// compatibility shims only; every in-repo call site has been migrated.
+// dispatches on config.pipeline. The PR-2 era piecewise run_full/run_nessa
+// overloads (and their RunConfig-staging shims) are gone; the two drivers
+// below live in detail:: with core::run as their one sanctioned caller.
+
+namespace detail {
 
 /// Conventional full-dataset training (paper "All Data" / Table 3 "Goal").
-[[deprecated("use core::run(inputs, config, system) with "
-             "config.pipeline = PipelineKind::kFull")]]
+/// Internal driver — call core::run with PipelineKind::kFull.
 RunResult run_full(const PipelineInputs& inputs,
                    smartssd::SmartSsdSystem& system);
 
 /// NeSSA (§3): near-storage quantized selection + GPU subset training.
-[[deprecated("use core::run(inputs, config, system) with "
-             "config.pipeline = PipelineKind::kNessa")]]
+/// Internal driver — call core::run with PipelineKind::kNessa.
 RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
                     smartssd::SmartSsdSystem& system);
 
-[[deprecated("use core::run(inputs, config, system) with "
-             "config.pipeline = PipelineKind::kFull")]]
-RunResult run_full(const PipelineInputs& inputs, const RunConfig& config,
-                   smartssd::SmartSsdSystem& system);
-
-[[deprecated("use core::run(inputs, config, system) with "
-             "config.pipeline = PipelineKind::kNessa")]]
-RunResult run_nessa(const PipelineInputs& inputs, const RunConfig& config,
-                    smartssd::SmartSsdSystem& system);
+}  // namespace detail
 
 /// CRAIG [20]: float-model gradient embeddings + per-class facility
 /// location, selection on the host CPU each epoch, weighted subset SGD.

@@ -1,7 +1,8 @@
 // The unified run API: one validated RunConfig in, one RunResult out.
 //
 // core::run() replaces the PR-2-era per-pipeline entry points
-// (run_nessa/run_full overloads, now [[deprecated]] in pipeline.hpp): the
+// (run_nessa/run_full overloads, since removed; the surviving drivers live
+// in detail:: inside pipeline.hpp with core::run as the one caller): the
 // RunConfig's JobSpec half says WHAT to run — dataset, pipeline kind,
 // device count, modeled hardware, fault plan, checkpoint policy — and the
 // dispatcher routes to the right trainer. core::simulate() (run_config.hpp)

@@ -140,9 +140,4 @@ struct RunConfig : JobSpec {
 /// core::run() entry point.
 smartssd::PipelineTrace simulate(const RunConfig& config);
 
-[[deprecated("use core::simulate(config)")]]
-inline smartssd::PipelineTrace simulate_pipeline(const RunConfig& config) {
-  return simulate(config);
-}
-
 }  // namespace nessa::core

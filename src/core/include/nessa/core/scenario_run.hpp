@@ -1,0 +1,55 @@
+// Non-stationary end-to-end drivers: one scenario stream (drift, imbalance,
+// noise bursts, duplicates — see data/scenario.hpp) drives several pipelines
+// over the SAME per-epoch data, so their accuracy trajectories, selection
+// overlap, and chunk-fetch traffic are directly comparable. This is the
+// entry point behind `nessa --scenario <preset>` and the CI scenario-smoke
+// job.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nessa/core/run.hpp"
+#include "nessa/data/scenario.hpp"
+
+namespace nessa::core {
+
+struct ScenarioRunConfig {
+  data::scenario::ScenarioConfig scenario;
+  /// Table-1 dataset whose paper-scale metadata (sizes, bytes/sample,
+  /// network) prices the runs; the substrate data comes from the stream.
+  std::string dataset = "CIFAR-10";
+  std::vector<PipelineKind> pipelines = {
+      PipelineKind::kNessa, PipelineKind::kRandom, PipelineKind::kFull};
+  TrainConfig train;  ///< seed / epochs / batch size / chunk budget
+  NessaConfig nessa;
+  PerfModelKind perf_model = PerfModelKind::kAnalytic;
+  smartssd::SystemConfig system;
+};
+
+struct ScenarioOutcome {
+  PipelineKind pipeline = PipelineKind::kNessa;
+  RunResult result;
+};
+
+struct ScenarioRunResult {
+  data::scenario::ScenarioConfig scenario;
+  std::size_t chunk_samples = 0;
+  std::vector<ScenarioOutcome> outcomes;  ///< config.pipelines order
+};
+
+/// Run every configured pipeline over the scenario stream (each on a fresh
+/// SmartSsdSystem so byte accounting never crosses runs). Throws
+/// std::invalid_argument for invalid configs.
+[[nodiscard]] ScenarioRunResult run_scenario(const ScenarioRunConfig& config);
+
+/// Summary JSON for dashboards / the CI scenario-smoke invariants: scenario
+/// identity, then one entry per pipeline with aggregate metrics and the
+/// per-epoch accuracy / selection-overlap / chunk-fetch / class-mix rows.
+void write_scenario_summary_json(const ScenarioRunResult& result,
+                                 std::ostream& os);
+void write_scenario_summary_json_file(const ScenarioRunResult& result,
+                                      const std::string& path);
+
+}  // namespace nessa::core

@@ -31,9 +31,12 @@
 #include "nessa/tensor/ops.hpp"
 #include "nessa/tensor/tensor.hpp"
 
-// data + quantization
+// data + quantization (chunked streaming + non-stationary scenarios)
+#include "nessa/data/chunked.hpp"
 #include "nessa/data/dataset.hpp"
+#include "nessa/data/loader.hpp"
 #include "nessa/data/registry.hpp"
+#include "nessa/data/scenario.hpp"
 #include "nessa/quant/qmodel.hpp"
 #include "nessa/quant/quantize.hpp"
 
@@ -76,3 +79,4 @@
 #include "nessa/core/report.hpp"
 #include "nessa/core/run.hpp"
 #include "nessa/core/run_config.hpp"
+#include "nessa/core/scenario_run.hpp"

@@ -80,20 +80,22 @@ RunResult run_craig(const PipelineInputs& inputs, double subset_fraction,
   const auto all = iota_indices(n);
 
   RunResult result;
+  std::vector<std::size_t> prev_subset;
   detail::CommonCheckpointHook ckpt(inputs, "craig", subset_fraction, st.rng,
-                                    st.model, st.sgd, result);
+                                    st.model, st.sgd, result, &prev_subset);
   for (std::size_t epoch = ckpt.start_epoch(); epoch < inputs.train.epochs;
        ++epoch) {
     fault::maybe_crash(inputs.fault_plan, epoch, ckpt.sim_elapsed());
     st.sgd.set_learning_rate(st.schedule.lr_at(epoch));
     driver.seed = inputs.train.seed * 104729 + epoch;
+    const data::Dataset& eds = detail::epoch_data(inputs, epoch);
 
     // Float gradient embeddings over the full dataset (GPU inference).
-    auto emb = nn::compute_embeddings(st.model, ds.train().features,
-                                      ds.train().labels,
+    auto emb = nn::compute_embeddings(st.model, eds.train().features,
+                                      eds.train().labels,
                                       nn::EmbeddingKind::kLogitGrad);
-    std::vector<std::int32_t> labels(ds.train().labels.begin(),
-                                     ds.train().labels.end());
+    std::vector<std::int32_t> labels(eds.train().labels.begin(),
+                                     eds.train().labels.end());
     auto coreset =
         selection::select_coreset(emb.embeddings, labels, all, k, driver);
 
@@ -105,11 +107,18 @@ RunResult run_craig(const PipelineInputs& inputs, double subset_fraction,
     report.pool_size = n;
     report.subset_fraction =
         static_cast<double>(coreset.indices.size()) / static_cast<double>(n);
+    report.selection_overlap =
+        prev_subset.empty()
+            ? 1.0
+            : detail::selection_overlap(coreset.indices, prev_subset);
+    report.class_mix = detail::stream_class_mix(inputs, epoch);
     report.train_loss =
-        train_one_epoch(st.model, st.sgd, ds.train(), coreset.indices,
+        train_one_epoch(st.model, st.sgd, eds.train(), coreset.indices,
                         weights, inputs.train.batch_size, st.rng);
     report.test_accuracy =
-        nn::evaluate(st.model, ds.test().features, ds.test().labels).accuracy;
+        nn::evaluate(st.model, eds.test().features, eds.test().labels)
+            .accuracy;
+    prev_subset = coreset.indices;
 
     // Paper-scale cost (serial phases): full scan to host (raw link time
     // or record decode for the embedding pass, whichever dominates), GPU
@@ -152,15 +161,18 @@ RunResult run_kcenter(const PipelineInputs& inputs, double subset_fraction,
   const std::size_t feat_dim = paper_feature_dim(inputs.model);
 
   RunResult result;
+  std::vector<std::size_t> prev_subset;
   detail::CommonCheckpointHook ckpt(inputs, "kcenter", subset_fraction,
-                                    st.rng, st.model, st.sgd, result);
+                                    st.rng, st.model, st.sgd, result,
+                                    &prev_subset);
   for (std::size_t epoch = ckpt.start_epoch(); epoch < inputs.train.epochs;
        ++epoch) {
     fault::maybe_crash(inputs.fault_plan, epoch, ckpt.sim_elapsed());
     st.sgd.set_learning_rate(st.schedule.lr_at(epoch));
+    const data::Dataset& eds = detail::epoch_data(inputs, epoch);
 
     // Penultimate features of the float model (substrate-real).
-    auto fwd = nn::forward_with_penultimate(st.model, ds.train().features);
+    auto fwd = nn::forward_with_penultimate(st.model, eds.train().features);
     auto centers = selection::kcenter_greedy(fwd.penultimate, k);
 
     EpochReport report;
@@ -169,11 +181,18 @@ RunResult run_kcenter(const PipelineInputs& inputs, double subset_fraction,
     report.pool_size = n;
     report.subset_fraction = static_cast<double>(centers.selected.size()) /
                              static_cast<double>(n);
+    report.selection_overlap =
+        prev_subset.empty()
+            ? 1.0
+            : detail::selection_overlap(centers.selected, prev_subset);
+    report.class_mix = detail::stream_class_mix(inputs, epoch);
     report.train_loss =
-        train_one_epoch(st.model, st.sgd, ds.train(), centers.selected, {},
+        train_one_epoch(st.model, st.sgd, eds.train(), centers.selected, {},
                         inputs.train.batch_size, st.rng);
     report.test_accuracy =
-        nn::evaluate(st.model, ds.test().features, ds.test().labels).accuracy;
+        nn::evaluate(st.model, eds.test().features, eds.test().labels)
+            .accuracy;
+    prev_subset = centers.selected;
 
     // Paper-scale cost: full scan to host (link or decode, whichever
     // dominates), GPU feature pass, CPU farthest-first O(n k d_feat)
@@ -220,12 +239,15 @@ RunResult run_random(const PipelineInputs& inputs, double subset_fraction,
   const std::size_t paper_k = detail::paper_count(inputs, subset_fraction);
 
   RunResult result;
+  std::vector<std::size_t> prev_subset;
   detail::CommonCheckpointHook ckpt(inputs, "random", subset_fraction,
-                                    st.rng, st.model, st.sgd, result);
+                                    st.rng, st.model, st.sgd, result,
+                                    &prev_subset);
   for (std::size_t epoch = ckpt.start_epoch(); epoch < inputs.train.epochs;
        ++epoch) {
     fault::maybe_crash(inputs.fault_plan, epoch, ckpt.sim_elapsed());
     st.sgd.set_learning_rate(st.schedule.lr_at(epoch));
+    const data::Dataset& eds = detail::epoch_data(inputs, epoch);
     auto subset = selection::random_subset(n, k, st.rng);
 
     EpochReport report;
@@ -234,11 +256,17 @@ RunResult run_random(const PipelineInputs& inputs, double subset_fraction,
     report.pool_size = n;
     report.subset_fraction =
         static_cast<double>(subset.size()) / static_cast<double>(n);
+    report.selection_overlap =
+        prev_subset.empty() ? 1.0
+                            : detail::selection_overlap(subset, prev_subset);
+    report.class_mix = detail::stream_class_mix(inputs, epoch);
     report.train_loss =
-        train_one_epoch(st.model, st.sgd, ds.train(), subset, {},
+        train_one_epoch(st.model, st.sgd, eds.train(), subset, {},
                         inputs.train.batch_size, st.rng);
     report.test_accuracy =
-        nn::evaluate(st.model, ds.test().features, ds.test().labels).accuracy;
+        nn::evaluate(st.model, eds.test().features, eds.test().labels)
+            .accuracy;
+    prev_subset = std::move(subset);
 
     ConventionalDemand demand;
     demand.train_records = paper_k;

@@ -50,12 +50,14 @@ RunResult run_full_cached(const PipelineInputs& inputs,
     report.subset_size = indices.size();
     report.pool_size = indices.size();
     report.subset_fraction = 1.0;
+    report.class_mix = detail::stream_class_mix(inputs, epoch);
 
+    const data::Dataset& eds = detail::epoch_data(inputs, epoch);
     report.train_loss =
-        train_one_epoch(model, sgd, ds.train(), indices, {},
+        train_one_epoch(model, sgd, eds.train(), indices, {},
                         inputs.train.batch_size, rng);
     report.test_accuracy =
-        nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
+        nn::evaluate(model, eds.test().features, eds.test().labels).accuracy;
 
     // Identical gradient work; the cache only shortens the input pipeline
     // and shrinks interconnect traffic to the miss set.
@@ -98,16 +100,18 @@ RunResult run_loss_topk(const PipelineInputs& inputs, double subset_fraction,
   const std::size_t paper_k = detail::paper_count(inputs, subset_fraction);
 
   RunResult result;
+  std::vector<std::size_t> prev_subset;
   detail::CommonCheckpointHook ckpt(inputs, "loss_topk", subset_fraction,
-                                    rng, model, sgd, result);
+                                    rng, model, sgd, result, &prev_subset);
   for (std::size_t epoch = ckpt.start_epoch(); epoch < inputs.train.epochs;
        ++epoch) {
     fault::maybe_crash(inputs.fault_plan, epoch, ckpt.sim_elapsed());
     sgd.set_learning_rate(schedule.lr_at(epoch));
+    const data::Dataset& eds = detail::epoch_data(inputs, epoch);
 
     // Loss scan over everything (GPU inference), then a trivial top-k.
-    auto emb = nn::compute_embeddings(model, ds.train().features,
-                                      ds.train().labels,
+    auto emb = nn::compute_embeddings(model, eds.train().features,
+                                      eds.train().labels,
                                       nn::EmbeddingKind::kLogitGrad);
     auto subset = selection::loss_topk(emb.losses, k);
 
@@ -117,11 +121,16 @@ RunResult run_loss_topk(const PipelineInputs& inputs, double subset_fraction,
     report.pool_size = n;
     report.subset_fraction =
         static_cast<double>(subset.size()) / static_cast<double>(n);
+    report.selection_overlap =
+        prev_subset.empty() ? 1.0
+                            : detail::selection_overlap(subset, prev_subset);
+    report.class_mix = detail::stream_class_mix(inputs, epoch);
     report.train_loss =
-        train_one_epoch(model, sgd, ds.train(), subset, {},
+        train_one_epoch(model, sgd, eds.train(), subset, {},
                         inputs.train.batch_size, rng);
     report.test_accuracy =
-        nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
+        nn::evaluate(model, eds.test().features, eds.test().labels).accuracy;
+    prev_subset = std::move(subset);
 
     // Loss ranking needs only the GPU loss pass — no CPU greedy phase.
     HostSelectionDemand demand;

@@ -6,7 +6,7 @@
 #include "pipeline_common.hpp"
 #include "trainer_ckpt.hpp"
 
-namespace nessa::core {
+namespace nessa::core::detail {
 
 RunResult run_full(const PipelineInputs& inputs,
                    smartssd::SmartSsdSystem& system) {
@@ -37,12 +37,14 @@ RunResult run_full(const PipelineInputs& inputs,
     report.subset_size = indices.size();
     report.pool_size = indices.size();
     report.subset_fraction = 1.0;
+    report.class_mix = detail::stream_class_mix(inputs, epoch);
 
+    const data::Dataset& eds = detail::epoch_data(inputs, epoch);
     report.train_loss =
-        train_one_epoch(model, sgd, ds.train(), indices, {},
+        train_one_epoch(model, sgd, eds.train(), indices, {},
                         inputs.train.batch_size, rng);
     report.test_accuracy =
-        nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
+        nn::evaluate(model, eds.test().features, eds.test().labels).accuracy;
 
     // Paper-scale cost: the whole dataset streams SSD -> host -> GPU every
     // epoch (at these scales training data is re-read and re-decoded per
@@ -63,4 +65,4 @@ RunResult run_full(const PipelineInputs& inputs,
   return result;
 }
 
-}  // namespace nessa::core
+}  // namespace nessa::core::detail

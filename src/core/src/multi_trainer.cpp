@@ -86,6 +86,7 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
   util::SimTime sim_elapsed = 0;
   std::uint64_t base_interconnect = 0;
   std::uint64_t base_p2p = 0;
+  std::vector<std::size_t> prev_subset;
   if (auto snap = ckpt_session.restore()) {
     if (!snap->has_nessa || snap->nessa.last_correct.size() != n ||
         snap->nessa.history.size() != n) {
@@ -107,6 +108,7 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
     }
     fraction = snap->nessa.fraction;
     prev_loss = snap->nessa.prev_loss;
+    prev_subset = std::move(snap->common.prev_subset);
     base_interconnect = snap->common.traffic_interconnect;
     base_p2p = snap->common.traffic_p2p;
     start_epoch = static_cast<std::size_t>(snap->next_epoch);
@@ -124,9 +126,10 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
     fault::maybe_crash(inputs.fault_plan, epoch, sim_elapsed);
     sgd.set_learning_rate(schedule.lr_at(epoch));
     greedi.driver.seed = inputs.train.seed * 6151 + epoch;
+    const data::Dataset& eds = detail::epoch_data(inputs, epoch);
 
     // ---- distributed near-storage selection --------------------------
-    auto emb = compute_q_embeddings(qmodel, ds.train(), pool,
+    auto emb = compute_q_embeddings(qmodel, eds.train(), pool,
                                     config.scaled_embeddings,
                                     inputs.train.batch_size);
     for (std::size_t i = 0; i < pool.size(); ++i) {
@@ -139,7 +142,7 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
                                                static_cast<double>(n))));
     std::vector<std::int32_t> pool_labels(pool.size());
     for (std::size_t i = 0; i < pool.size(); ++i) {
-      pool_labels[i] = ds.train().labels[pool[i]];
+      pool_labels[i] = eds.train().labels[pool[i]];
     }
     auto selected = selection::greedi_select(emb.embeddings, pool_labels,
                                              pool, std::min(k, pool.size()),
@@ -154,11 +157,17 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
     report.pool_size = pool.size();
     report.subset_fraction = static_cast<double>(selected.indices.size()) /
                              static_cast<double>(n);
+    report.selection_overlap =
+        prev_subset.empty()
+            ? 1.0
+            : detail::selection_overlap(selected.indices, prev_subset);
+    report.class_mix = detail::stream_class_mix(inputs, epoch);
     report.train_loss =
-        train_one_epoch(model, sgd, ds.train(), selected.indices, weights,
+        train_one_epoch(model, sgd, eds.train(), selected.indices, weights,
                         inputs.train.batch_size, rng);
     report.test_accuracy =
-        nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
+        nn::evaluate(model, eds.test().features, eds.test().labels).accuracy;
+    prev_subset = selected.indices;
 
     if (config.weight_feedback) {
       qmodel.refresh_from(model);
@@ -268,6 +277,7 @@ RunResult run_nessa_multi(const PipelineInputs& inputs,
           (system.traffic().interconnect_bytes - traffic0.interconnect_bytes);
       snap.common.traffic_p2p =
           base_p2p + (system.traffic().p2p_bytes - traffic0.p2p_bytes);
+      snap.common.prev_subset = prev_subset;
       snap.has_nessa = true;
       snap.nessa.pool = pool;
       snap.nessa.history = history.windows();

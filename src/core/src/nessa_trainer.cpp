@@ -31,7 +31,7 @@
 #include "pipeline_common.hpp"
 #include "trainer_ckpt.hpp"
 
-namespace nessa::core {
+namespace nessa::core::detail {
 
 RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
                     smartssd::SmartSsdSystem& system) {
@@ -145,9 +145,17 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
     }
   }
 
+  // Previous epoch's trained subset, for the selection-overlap telemetry.
+  // After a restore the carried coreset IS the last epoch's subset, so the
+  // resumed overlap matches the uninterrupted run.
+  std::vector<std::size_t> prev_subset = coreset.indices;
+
   for (std::size_t epoch = start_epoch; epoch < inputs.train.epochs;
        ++epoch) {
     fault::maybe_crash(inputs.fault_plan, epoch, sim_elapsed);
+    // The data visible this epoch: the static split, or the scenario
+    // stream's view when one is attached (non-stationary workloads).
+    const data::Dataset& eds = detail::epoch_data(inputs, epoch);
     sgd.set_learning_rate(schedule.lr_at(epoch));
     driver.seed = inputs.train.seed * 7919 + epoch;
 
@@ -164,18 +172,26 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
       ++result.fault_stale_epochs;
       telemetry::count("fault.stale_epochs");
     }
+    std::uint64_t chunk_fetches = 0;
     if (reselect) {
       // ---- near-storage selection pass (FPGA) -----------------------
+      // The scan pulls the pool through the chunked streaming interface;
+      // chunk_samples == 0 is the monolithic single-chunk fast path
+      // (bit-identical to the pre-streaming scan, zero fetches charged).
       auto span = telemetry::wall_span("nessa-selection-pass", "core");
-      auto emb = kernel->score(ds.train(), pool, config.scaled_embeddings,
-                               inputs.train.batch_size);
+      auto scored = detail::score_pool(
+          *kernel, eds.train(), pool, config.scaled_embeddings,
+          inputs.train.batch_size, inputs.train.chunk_samples,
+          eds.stored_bytes_per_sample());
+      const auto& emb = scored.emb;
+      chunk_fetches = scored.chunk_fetches;
       for (std::size_t i = 0; i < pool.size(); ++i) {
         history.record(pool[i], emb.losses[i]);
         last_correct[pool[i]] = emb.correct[i];
       }
       std::vector<std::int32_t> pool_labels(pool.size());
       for (std::size_t i = 0; i < pool.size(); ++i) {
-        pool_labels[i] = ds.train().labels[pool[i]];
+        pool_labels[i] = eds.train().labels[pool[i]];
       }
       coreset = selection::select_coreset(emb.embeddings, pool_labels, pool,
                                           std::min(k, pool.size()), driver);
@@ -190,11 +206,18 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
     report.pool_size = pool.size();
     report.subset_fraction =
         static_cast<double>(coreset.indices.size()) / static_cast<double>(n);
+    report.chunk_fetches = chunk_fetches;
+    report.selection_overlap =
+        (reselect && !prev_subset.empty())
+            ? detail::selection_overlap(coreset.indices, prev_subset)
+            : 1.0;  // first or carried subset: nothing turned over
+    report.class_mix = detail::stream_class_mix(inputs, epoch);
+    prev_subset = coreset.indices;
     report.train_loss =
-        train_one_epoch(model, sgd, ds.train(), coreset.indices, weights,
+        train_one_epoch(model, sgd, eds.train(), coreset.indices, weights,
                         inputs.train.batch_size, rng);
     report.test_accuracy =
-        nn::evaluate(model, ds.test().features, ds.test().labels).accuracy;
+        nn::evaluate(model, eds.test().features, eds.test().labels).accuracy;
 
     // ---- feedback: quantized weights back to the FPGA (§3.2.1) ------
     if (config.weight_feedback) {
@@ -228,6 +251,16 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
     demand.batch_size = inputs.train.batch_size;
     demand.weight_feedback = config.weight_feedback;
     demand.feedback_bytes = paper_feedback_bytes;
+    // Chunk budget at paper scale: the substrate chunk size rescaled by the
+    // dataset ratio. The event-driven model streams the scan as per-chunk
+    // flash fetches instead of per-batch reads (flash-bus "chunk-fetch").
+    demand.chunk_records =
+        inputs.train.chunk_samples > 0
+            ? std::max<std::size_t>(
+                  1, static_cast<std::size_t>(std::llround(
+                         static_cast<double>(inputs.train.chunk_samples) *
+                         ratio)))
+            : 0;
     if (fault_schedule && reselect) {
       if (fault_schedule->p2p_outage(epoch)) {
         demand.scan_via_host = true;
@@ -328,4 +361,4 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
   return result;
 }
 
-}  // namespace nessa::core
+}  // namespace nessa::core::detail

@@ -232,7 +232,7 @@ class EventPerformanceModel final : public PerformanceModel {
   // degraded-mode knobs — a faulted epoch shape probes separately).
   using Key = std::tuple<std::size_t, std::size_t, std::uint64_t,
                          std::uint64_t, std::uint64_t, double, std::size_t,
-                         std::uint64_t, bool, double, SimTime>;
+                         std::uint64_t, std::size_t, bool, double, SimTime>;
 
   SimTime steady_epoch_time(const smartssd::SystemConfig& config,
                             const NessaEpochDemand& d) {
@@ -240,8 +240,8 @@ class EventPerformanceModel final : public PerformanceModel {
                   d.record_bytes,  d.forward_macs,
                   d.selection_ops, d.train_gflops_per_sample,
                   d.batch_size,    d.weight_feedback ? d.feedback_bytes : 0,
-                  d.scan_via_host, d.scan_slowdown,
-                  d.selection_stall};
+                  d.chunk_records, d.scan_via_host,
+                  d.scan_slowdown, d.selection_stall};
     if (const auto it = cache_.find(key); it != cache_.end()) {
       return it->second;
     }
@@ -258,6 +258,7 @@ class EventPerformanceModel final : public PerformanceModel {
     w.train_gflops_per_sample = d.train_gflops_per_sample;
     w.batch_size = d.batch_size;
     w.feedback_bytes = d.weight_feedback ? d.feedback_bytes : 0;
+    w.chunk_records = d.chunk_records;
 
     // A handful of identical epochs reaches steady state (the first epoch
     // is excluded by the steady-period formula); the probe's own telemetry

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "nessa/data/chunked.hpp"
 
 namespace nessa::core {
 
@@ -37,6 +40,100 @@ void check_inputs(const PipelineInputs& inputs) {
       inputs.info.stored_bytes_per_sample == 0) {
     throw std::invalid_argument("pipeline: paper-scale metadata is required");
   }
+  if (inputs.stream != nullptr && inputs.dataset != &inputs.stream->base()) {
+    throw std::invalid_argument(
+        "pipeline: with a scenario stream, dataset must be &stream->base()");
+  }
+}
+
+const data::Dataset& epoch_data(const PipelineInputs& inputs,
+                                std::size_t epoch) {
+  return inputs.stream != nullptr ? inputs.stream->at(epoch)
+                                  : *inputs.dataset;
+}
+
+double selection_overlap(std::span<const std::size_t> current,
+                         std::span<const std::size_t> previous) {
+  if (current.empty()) return 1.0;
+  std::unordered_set<std::size_t> prev(previous.begin(), previous.end());
+  std::size_t shared = 0;
+  for (const std::size_t idx : current) shared += prev.count(idx);
+  return static_cast<double>(shared) / static_cast<double>(current.size());
+}
+
+std::vector<std::uint32_t> stream_class_mix(const PipelineInputs& inputs,
+                                            std::size_t epoch) {
+  std::vector<std::uint32_t> mix;
+  if (inputs.stream == nullptr) return mix;
+  const auto histogram = inputs.stream->class_histogram(epoch);
+  mix.reserve(histogram.size());
+  for (const std::size_t count : histogram) {
+    mix.push_back(static_cast<std::uint32_t>(count));
+  }
+  return mix;
+}
+
+ChunkedScore score_pool(SelectionModel& kernel, const data::Split& split,
+                        std::span<const std::size_t> pool, bool scaled,
+                        std::size_t batch_size, std::size_t chunk_samples,
+                        std::size_t stored_bytes_per_sample) {
+  ChunkedScore out;
+  if (chunk_samples == 0 || pool.empty()) {
+    out.emb = kernel.score(split, pool, scaled, batch_size);
+    return out;
+  }
+
+  data::SplitStore store(split, stored_bytes_per_sample);
+  data::ChunkedDataset chunks(store, chunk_samples);
+
+  out.emb.losses.resize(pool.size());
+  out.emb.correct.resize(pool.size());
+  std::size_t classes = 0;
+
+  // Walk the pool in EXACTLY the monolithic batch order, fetching chunks as
+  // the walk crosses chunk boundaries. Batch composition must be preserved
+  // — the int8 kernel quantizes activations per batch, so regrouping rows
+  // by chunk would change the math. With an ascending pool (the drivers'
+  // invariant) every chunk still holding pool members is fetched exactly
+  // once, and fully biased-out chunks are never fetched.
+  const std::size_t dim = split.dim();
+  constexpr auto kNone = static_cast<std::size_t>(-1);
+  std::size_t current = kNone;  // chunk held in the one-deep window
+  data::ChunkView view;
+  data::Split staging;
+  std::vector<std::size_t> local;
+  for (std::size_t start = 0; start < pool.size(); start += batch_size) {
+    const std::size_t n = std::min(batch_size, pool.size() - start);
+    staging.features = tensor::Tensor({n, dim});
+    staging.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = pool[start + i];
+      const std::size_t chunk = chunks.chunk_of(row);
+      if (chunk != current) {  // refetches of a revisited chunk are charged
+        view = chunks.fetch(chunk);
+        current = chunk;
+      }
+      const std::size_t offset = row - view.begin;
+      std::copy_n(view.samples->features.data() + offset * dim, dim,
+                  staging.features.data() + i * dim);
+      staging.labels[i] = view.samples->labels[offset];
+    }
+    local.resize(n);
+    for (std::size_t i = 0; i < n; ++i) local[i] = i;
+    QEmbeddings part = kernel.score(staging, local, scaled, batch_size);
+    if (classes == 0 && part.embeddings.rank() == 2) {
+      classes = part.embeddings.cols();
+      out.emb.embeddings = tensor::Tensor({pool.size(), classes});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out.emb.losses[start + i] = part.losses[i];
+      out.emb.correct[start + i] = part.correct[i];
+      std::copy_n(part.embeddings.data() + i * classes, classes,
+                  out.emb.embeddings.data() + (start + i) * classes);
+    }
+  }
+  out.chunk_fetches = chunks.fetches();
+  return out;
 }
 
 double scale_ratio(const PipelineInputs& inputs) {

@@ -2,13 +2,50 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
+#include "nessa/core/near_storage.hpp"
 #include "nessa/core/pipeline.hpp"
 
 namespace nessa::core::detail {
 
 /// Validate required pipeline inputs; throws std::invalid_argument.
 void check_inputs(const PipelineInputs& inputs);
+
+/// Training data visible at `epoch`: the scenario stream's view when one is
+/// attached, else the static dataset. Every run driver's epoch loop goes
+/// through this, so non-stationary workloads thread through all pipelines.
+const data::Dataset& epoch_data(const PipelineInputs& inputs,
+                                std::size_t epoch);
+
+/// |current ∩ previous| / |current| — the per-epoch selection-overlap
+/// telemetry (1.0 when current is empty, i.e. nothing to turn over).
+double selection_overlap(std::span<const std::size_t> current,
+                         std::span<const std::size_t> previous);
+
+/// Per-class histogram of the epoch's visible pool for scenario-stream
+/// runs; empty when no stream is attached.
+std::vector<std::uint32_t> stream_class_mix(const PipelineInputs& inputs,
+                                            std::size_t epoch);
+
+/// A selection scan routed through the chunked streaming interface.
+struct ChunkedScore {
+  QEmbeddings emb;
+  std::uint64_t chunk_fetches = 0;  ///< 0 on the monolithic path
+};
+
+/// Score `pool` with `kernel`. chunk_samples == 0 is the monolithic path
+/// (exactly the legacy kernel.score call, zero fetches). Otherwise the pool
+/// streams through data::ChunkedDataset in the monolithic batch order —
+/// batch composition is preserved because the int8 kernel quantizes
+/// activations per batch, so the results are bit-identical to the
+/// monolithic scan. Chunks no longer holding pool members are never
+/// fetched (subset biasing therefore saves real chunk fetches).
+ChunkedScore score_pool(SelectionModel& kernel, const data::Split& split,
+                        std::span<const std::size_t> pool, bool scaled,
+                        std::size_t batch_size, std::size_t chunk_samples,
+                        std::size_t stored_bytes_per_sample);
 
 /// Substrate-to-paper scale ratio (paper train size / substrate train size).
 double scale_ratio(const PipelineInputs& inputs);

@@ -72,8 +72,17 @@ void write_json_report(const RunMetadata& meta, const RunResult& run,
        << ", \"transfer_s\": " << secs(epoch.cost.subset_transfer)
        << ", \"gpu_s\": " << secs(epoch.cost.gpu_compute)
        << ", \"feedback_s\": " << secs(epoch.cost.feedback)
-       << ", \"epoch_s\": " << secs(epoch.cost.total()) << "}"
-       << (e + 1 < run.epochs.size() ? "," : "") << "\n";
+       << ", \"epoch_s\": " << secs(epoch.cost.total())
+       << ", \"selection_overlap\": " << epoch.selection_overlap
+       << ", \"chunk_fetches\": " << epoch.chunk_fetches;
+    if (!epoch.class_mix.empty()) {
+      os << ", \"class_mix\": [";
+      for (std::size_t c = 0; c < epoch.class_mix.size(); ++c) {
+        os << (c > 0 ? ", " : "") << epoch.class_mix[c];
+      }
+      os << "]";
+    }
+    os << "}" << (e + 1 < run.epochs.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
   os << "}\n";

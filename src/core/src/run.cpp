@@ -6,11 +6,6 @@
 
 namespace nessa::core {
 
-// The dispatcher is the one sanctioned caller of the deprecated piecewise
-// entry points until their bodies fold in here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 RunResult run(const PipelineInputs& inputs, const RunConfig& config,
               smartssd::SmartSsdSystem& system) {
   config.validate_or_throw();
@@ -27,10 +22,10 @@ RunResult run(const PipelineInputs& inputs, const RunConfig& config,
         return run_nessa_multi(staged, nessa,
                                MultiDeviceConfig{config.devices}, system);
       }
-      return run_nessa(staged, nessa, system);
+      return detail::run_nessa(staged, nessa, system);
     }
     case PipelineKind::kFull:
-      return run_full(staged, system);
+      return detail::run_full(staged, system);
     case PipelineKind::kFullCached:
       return run_full_cached(staged, smartssd::HostCache{}, system);
     case PipelineKind::kCraig:
@@ -44,8 +39,6 @@ RunResult run(const PipelineInputs& inputs, const RunConfig& config,
   }
   throw std::invalid_argument("core::run: unknown pipeline kind");
 }
-
-#pragma GCC diagnostic pop
 
 RunResult run(const RunConfig& config) {
   config.validate_or_throw();

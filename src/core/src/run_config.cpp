@@ -66,6 +66,7 @@ std::uint64_t pipeline_fingerprint(const RunConfig& config) {
   mix(config.workload.macs_per_record);
   mix(config.workload.selection_ops);
   mix(config.workload.feedback_bytes);
+  mix(config.workload.chunk_records);
   mix(config.pipeline_options.p2p_scan ? 1 : 0);
   mix(config.pipeline_options.max_inflight);
   mix(config.fault_plan.seed);
@@ -174,36 +175,5 @@ smartssd::PipelineTrace simulate(const RunConfig& config) {
   return smartssd::simulate_pipeline(config.system, config.workload,
                                      config.pipeline_epochs, options);
 }
-
-// Deprecated shims forwarding to the deprecated piecewise entry points;
-// the sanctioned path is core::run (run.cpp).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-RunResult run_full(const PipelineInputs& inputs, const RunConfig& config,
-                   smartssd::SmartSsdSystem& system) {
-  config.validate_or_throw();
-  PipelineInputs staged = inputs;
-  staged.train = config.train;
-  staged.perf_model = config.perf_model;
-  staged.fault_plan = config.fault_plan;
-  staged.checkpoint = config.checkpoint;
-  return run_full(staged, system);
-}
-
-RunResult run_nessa(const PipelineInputs& inputs, const RunConfig& config,
-                    smartssd::SmartSsdSystem& system) {
-  config.validate_or_throw();
-  PipelineInputs staged = inputs;
-  staged.train = config.train;
-  staged.perf_model = config.perf_model;
-  staged.fault_plan = config.fault_plan;
-  staged.checkpoint = config.checkpoint;
-  NessaConfig nessa = config.nessa;
-  nessa.parallelism = config.parallelism;
-  return run_nessa(staged, nessa, system);
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace nessa::core

@@ -1,0 +1,112 @@
+#include "nessa/core/scenario_run.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "nessa/core/report.hpp"
+#include "nessa/data/registry.hpp"
+#include "nessa/nn/model.hpp"
+
+namespace nessa::core {
+
+ScenarioRunResult run_scenario(const ScenarioRunConfig& config) {
+  if (config.pipelines.empty()) {
+    throw std::invalid_argument("run_scenario: no pipelines configured");
+  }
+  const auto stream = data::scenario::make_scenario(config.scenario);
+  const data::DatasetInfo& info = data::dataset_info(config.dataset);
+
+  PipelineInputs inputs;
+  inputs.dataset = &stream->base();
+  inputs.stream = stream.get();
+  inputs.info = info;
+  inputs.model = nn::model_spec(info.paper_network);
+  inputs.train = config.train;
+
+  ScenarioRunResult out;
+  out.scenario = config.scenario;
+  out.chunk_samples = config.train.chunk_samples;
+  for (const PipelineKind kind : config.pipelines) {
+    RunConfig rc;
+    rc.dataset = config.dataset;
+    rc.pipeline = kind;
+    rc.train = config.train;
+    rc.nessa = config.nessa;
+    rc.perf_model = config.perf_model;
+    rc.system = config.system;
+    smartssd::SmartSsdSystem system(config.system);
+    out.outcomes.push_back({kind, run(inputs, rc, system)});
+  }
+  return out;
+}
+
+void write_scenario_summary_json(const ScenarioRunResult& result,
+                                 std::ostream& os) {
+  const auto& sc = result.scenario;
+  os << "{\n";
+  os << "  \"scenario\": \""
+     << data::scenario::to_string(sc.kind) << "\",\n";
+  os << "  \"seed\": " << sc.seed << ",\n";
+  os << "  \"train_size\": " << sc.train_size << ",\n";
+  os << "  \"num_classes\": " << sc.num_classes << ",\n";
+  os << "  \"chunk_samples\": " << result.chunk_samples << ",\n";
+  os << "  \"pipelines\": [\n";
+  for (std::size_t p = 0; p < result.outcomes.size(); ++p) {
+    const auto& outcome = result.outcomes[p];
+    const RunResult& run = outcome.result;
+    std::uint64_t chunk_fetches = 0;
+    double overlap_sum = 0.0;
+    for (const auto& e : run.epochs) {
+      chunk_fetches += e.chunk_fetches;
+      overlap_sum += e.selection_overlap;
+    }
+    const double mean_overlap =
+        run.epochs.empty() ? 1.0
+                           : overlap_sum / static_cast<double>(
+                                               run.epochs.size());
+    os << "    {\n";
+    os << "      \"pipeline\": \"" << to_string(outcome.pipeline) << "\",\n";
+    os << "      \"final_accuracy\": " << run.final_accuracy << ",\n";
+    os << "      \"best_accuracy\": " << run.best_accuracy << ",\n";
+    os << "      \"mean_subset_fraction\": " << run.mean_subset_fraction
+       << ",\n";
+    os << "      \"total_seconds\": " << util::to_seconds(run.total_time)
+       << ",\n";
+    os << "      \"chunk_fetches\": " << chunk_fetches << ",\n";
+    os << "      \"mean_selection_overlap\": " << mean_overlap << ",\n";
+    os << "      \"epochs\": [\n";
+    for (std::size_t e = 0; e < run.epochs.size(); ++e) {
+      const auto& epoch = run.epochs[e];
+      os << "        {\"epoch\": " << epoch.epoch
+         << ", \"test_accuracy\": " << epoch.test_accuracy
+         << ", \"subset_fraction\": " << epoch.subset_fraction
+         << ", \"selection_overlap\": " << epoch.selection_overlap
+         << ", \"chunk_fetches\": " << epoch.chunk_fetches;
+      os << ", \"class_mix\": [";
+      for (std::size_t c = 0; c < epoch.class_mix.size(); ++c) {
+        os << (c > 0 ? ", " : "") << epoch.class_mix[c];
+      }
+      os << "]}" << (e + 1 < run.epochs.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }" << (p + 1 < result.outcomes.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  if (!os) {
+    throw std::runtime_error("write_scenario_summary_json: stream failure");
+  }
+}
+
+void write_scenario_summary_json_file(const ScenarioRunResult& result,
+                                      const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("write_scenario_summary_json_file: cannot open " +
+                             path);
+  }
+  write_scenario_summary_json(result, os);
+}
+
+}  // namespace nessa::core

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "nessa/data/loader.hpp"
 #include "nessa/nn/loss.hpp"
 #include "nessa/telemetry/telemetry.hpp"
 
@@ -20,24 +21,26 @@ double train_one_epoch(nn::Sequential& model, nn::Sgd& optimizer,
   auto span = telemetry::wall_span("train-epoch", "core");
   telemetry::count("core.train.samples", indices.size());
 
-  // Shuffle positions (not the caller's index array) so weights stay
-  // aligned with their samples.
-  std::vector<std::size_t> positions(indices.size());
-  std::iota(positions.begin(), positions.end(), 0);
-  rng.shuffle(positions);
+  // A borrowed-RNG shuffled sampler consumes exactly one Rng::shuffle of a
+  // size-n position vector from the caller's stream — the same draw the
+  // pre-Loader loop made — so the epoch's batch composition (and every
+  // checkpointed RNG state) is bit-identical to the legacy path. Positions
+  // (not the caller's index array) are shuffled so weights stay aligned
+  // with their samples.
+  data::ShuffledSampler sampler(indices.size(), rng);
+  data::LoaderOptions options;
+  options.batch_size = batch_size;
+  data::Loader loader(split, indices, sampler, options);
+  loader.begin_epoch(0);
 
   nn::SoftmaxCrossEntropy loss_fn;
   double loss_sum = 0.0;
   std::size_t batches = 0;
 
-  for (std::size_t start = 0; start < positions.size(); start += batch_size) {
-    const std::size_t count =
-        std::min(batch_size, positions.size() - start);
-    std::vector<std::size_t> batch_rows(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      batch_rows[i] = indices[positions[start + i]];
-    }
-    auto batch = data::make_batch(split, batch_rows);
+  while (auto item = loader.next()) {
+    const auto& positions = item->positions;
+    const std::size_t count = positions.size();
+    auto& batch = item->batch;
 
     model.zero_grads();
     nn::Tensor logits = model.forward(batch.features, /*train=*/true);
@@ -50,14 +53,14 @@ double train_one_epoch(nn::Sequential& model, nn::Sgd& optimizer,
       // unweighted SGD, so the same LR schedule applies.
       double wsum = 0.0;
       for (std::size_t i = 0; i < count; ++i) {
-        wsum += weights[positions[start + i]];
+        wsum += weights[positions[i]];
       }
       if (wsum > 0.0) {
         const double scale_base =
             static_cast<double>(count) / wsum;
         for (std::size_t i = 0; i < count; ++i) {
           const float s = static_cast<float>(
-              weights[positions[start + i]] * scale_base);
+              weights[positions[i]] * scale_base);
           float* row = grad.data() + i * grad.cols();
           for (std::size_t c = 0; c < grad.cols(); ++c) row[c] *= s;
         }

@@ -50,6 +50,10 @@ void put_result(ckpt::BufWriter& w, const RunResult& result) {
     put_sim_time(w, e.cost.feedback);
     w.boolean(e.cost.selection_overlapped);
     put_sim_time(w, e.cost.modeled_total);
+    w.f64(e.selection_overlap);
+    w.u64(e.chunk_fetches);
+    w.u64(e.class_mix.size());
+    for (std::uint32_t count : e.class_mix) w.u64(count);
   }
   // Derived aggregates (final/best accuracy, time totals) are recomputed by
   // finalize(); only the monotone counters need to survive.
@@ -78,7 +82,14 @@ RunResult get_result(ckpt::BufReader& r) {
     e.cost.feedback = get_sim_time(r);
     e.cost.selection_overlapped = r.boolean();
     e.cost.modeled_total = get_sim_time(r);
-    result.epochs.push_back(e);
+    e.selection_overlap = r.f64();
+    e.chunk_fetches = r.u64();
+    const std::uint64_t classes = r.u64();
+    e.class_mix.reserve(static_cast<std::size_t>(classes));
+    for (std::uint64_t c = 0; c < classes; ++c) {
+      e.class_mix.push_back(static_cast<std::uint32_t>(r.u64()));
+    }
+    result.epochs.push_back(std::move(e));
   }
   result.interconnect_bytes = r.u64();
   result.p2p_bytes = r.u64();
@@ -123,6 +134,7 @@ std::vector<std::uint8_t> encode_trainer_snapshot(
   put_result(w, snapshot.common.partial);
   w.u64(snapshot.common.traffic_interconnect);
   w.u64(snapshot.common.traffic_p2p);
+  w.index_vec(snapshot.common.prev_subset);
 
   w.boolean(snapshot.has_nessa);
   if (snapshot.has_nessa) {
@@ -163,6 +175,7 @@ TrainerSnapshot decode_trainer_snapshot(
   snapshot.common.partial = get_result(r);
   snapshot.common.traffic_interconnect = r.u64();
   snapshot.common.traffic_p2p = r.u64();
+  snapshot.common.prev_subset = r.index_vec();
 
   snapshot.has_nessa = r.boolean();
   if (snapshot.has_nessa) {
@@ -203,6 +216,11 @@ std::uint64_t run_fingerprint(std::string_view tag,
   for (std::size_t width : inputs.model.hidden) h = mix(h, width);
   h = mix(h, std::bit_cast<std::uint64_t>(knob));
   h = mix(h, extra);
+  // The streaming interface pins the trajectory too: a different chunk
+  // budget changes the scan accounting, and a different scenario stream
+  // changes every epoch's visible data.
+  h = mix(h, inputs.train.chunk_samples);
+  h = mix(h, inputs.stream != nullptr ? inputs.stream->fingerprint() : 0);
   return h;
 }
 

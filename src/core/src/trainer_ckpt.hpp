@@ -44,6 +44,9 @@ struct CommonCkpt {
   /// drivers that accumulate into RunResult directly).
   std::uint64_t traffic_interconnect = 0;
   std::uint64_t traffic_p2p = 0;
+  /// The last subset the driver trained on, for the per-epoch selection-
+  /// overlap telemetry; empty for drivers that train on everything.
+  std::vector<std::size_t> prev_subset;
 };
 
 /// Extra state of the NeSSA-family drivers (single- and multi-device).
@@ -126,16 +129,24 @@ class CheckpointSession {
 /// Drivers with extra state (the NeSSA family) wire the session directly.
 class CommonCheckpointHook {
  public:
+  /// `prev_subset`, when given, is captured into / restored from each
+  /// snapshot so the selection-overlap telemetry survives resume. It must
+  /// outlive the hook (declare it before constructing the hook).
   CommonCheckpointHook(const PipelineInputs& inputs, const char* tag,
                        double knob, util::Rng& rng, nn::Sequential& model,
-                       nn::Sgd& sgd, RunResult& result)
+                       nn::Sgd& sgd, RunResult& result,
+                       std::vector<std::size_t>* prev_subset = nullptr)
       : session_(inputs.checkpoint, tag, run_fingerprint(tag, inputs, knob)),
         rng_(rng),
         model_(model),
         sgd_(sgd),
-        result_(result) {
+        result_(result),
+        prev_subset_(prev_subset) {
     if (auto snap = session_.restore()) {
       restore_common(snap->common, rng_, model_, sgd_, result_);
+      if (prev_subset_ != nullptr) {
+        *prev_subset_ = std::move(snap->common.prev_subset);
+      }
       start_epoch_ = static_cast<std::size_t>(snap->next_epoch);
       for (const EpochReport& report : result_.epochs) {
         sim_elapsed_ += report.cost.total();
@@ -157,6 +168,7 @@ class CommonCheckpointHook {
     TrainerSnapshot snap;
     snap.next_epoch = epoch + 1;
     snap.common = capture_common(rng_, model_, sgd_, result_);
+    if (prev_subset_ != nullptr) snap.common.prev_subset = *prev_subset_;
     session_.save(std::move(snap));
   }
 
@@ -166,6 +178,7 @@ class CommonCheckpointHook {
   nn::Sequential& model_;
   nn::Sgd& sgd_;
   RunResult& result_;
+  std::vector<std::size_t>* prev_subset_ = nullptr;
   std::size_t start_epoch_ = 0;
   util::SimTime sim_elapsed_ = 0;
 };

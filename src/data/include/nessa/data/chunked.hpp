@@ -1,0 +1,122 @@
+// Chunked access to a training split that may live on (simulated) storage.
+//
+// The repo's original access pattern — hand the whole in-memory `Split` to a
+// selection driver — quietly assumes the dataset fits in device DRAM. NeSSA's
+// premise is the opposite: the pool lives on flash, and every look at it
+// costs a chunk fetch over the drive's internal bus. `ChunkedDataset` makes
+// that cost explicit: it windows a backing `ChunkStore` into fixed-budget
+// chunks of `chunk_samples` rows and charges `stored_bytes_per_sample` per
+// row fetched (data.chunk.fetches / data.chunk.bytes counters + a ledger the
+// trainers fold into the paper-scale demand).
+//
+// The in-memory path is the degenerate case: `chunk_samples == 0` means one
+// chunk spanning the whole store, and when the store is resident
+// (`SplitStore`) that fetch is zero-copy — the view aliases the original
+// split, so existing monolithic runs are bit-identical through this layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "nessa/data/dataset.hpp"
+
+namespace nessa::data {
+
+/// Backing store a ChunkedDataset windows over. Implementations are random
+/// access (read any [begin, begin+count) row range) so chunk order is a
+/// policy decision of the caller, not the store.
+class ChunkStore {
+ public:
+  virtual ~ChunkStore() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::size_t feature_dim() const = 0;
+  [[nodiscard]] virtual std::size_t stored_bytes_per_sample() const = 0;
+
+  /// Materialize rows [begin, begin + count) into `out` (features resized to
+  /// [count, dim], labels to count). Throws std::out_of_range past the end.
+  virtual void read(std::size_t begin, std::size_t count, Split& out) const = 0;
+
+  /// Non-null when the whole store is already resident in memory; lets the
+  /// single-chunk fast path alias it instead of copying.
+  [[nodiscard]] virtual const Split* resident() const { return nullptr; }
+};
+
+/// In-memory store over an existing split (non-owning; the split must
+/// outlive the store). This is how every current Dataset enters the chunked
+/// world.
+class SplitStore final : public ChunkStore {
+ public:
+  SplitStore(const Split& split, std::size_t stored_bytes_per_sample);
+
+  [[nodiscard]] std::size_t size() const override { return split_->size(); }
+  [[nodiscard]] std::size_t feature_dim() const override;
+  [[nodiscard]] std::size_t stored_bytes_per_sample() const override {
+    return stored_bytes_per_sample_;
+  }
+  void read(std::size_t begin, std::size_t count, Split& out) const override;
+  [[nodiscard]] const Split* resident() const override { return split_; }
+
+ private:
+  const Split* split_;
+  std::size_t stored_bytes_per_sample_;
+};
+
+/// One fetched window. `samples` points either at the store's resident split
+/// (zero-copy single-chunk case) or at scratch owned by the ChunkedDataset
+/// that stays valid until the next fetch().
+struct ChunkView {
+  std::size_t index = 0;  ///< chunk number
+  std::size_t begin = 0;  ///< first store row covered
+  const Split* samples = nullptr;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return samples ? samples->size() : 0;
+  }
+};
+
+/// Fixed-budget chunk windows over a ChunkStore, with fetch accounting.
+class ChunkedDataset {
+ public:
+  /// `chunk_samples == 0` collapses to a single chunk over the whole store.
+  explicit ChunkedDataset(const ChunkStore& store, std::size_t chunk_samples = 0);
+
+  [[nodiscard]] std::size_t size() const { return store_->size(); }
+  [[nodiscard]] std::size_t chunk_samples() const noexcept {
+    return chunk_samples_;
+  }
+  [[nodiscard]] std::size_t num_chunks() const noexcept { return num_chunks_; }
+
+  /// First store row of chunk `index` / rows it covers (last may be partial).
+  [[nodiscard]] std::size_t chunk_begin(std::size_t index) const;
+  [[nodiscard]] std::size_t chunk_size(std::size_t index) const;
+  /// Chunk that contains store row `row`.
+  [[nodiscard]] std::size_t chunk_of(std::size_t row) const;
+
+  /// Fetch chunk `index`, charging its stored bytes. The returned view stays
+  /// valid until the next fetch() on this dataset. A refetch of the chunk
+  /// already held is still charged: the model has no cache (the SmartSSD's
+  /// 4 GB DRAM budget holds one in-flight window, not the pool).
+  ChunkView fetch(std::size_t index);
+
+  /// Fetch ledger since construction (or the last reset_accounting()).
+  [[nodiscard]] std::uint64_t fetches() const noexcept { return fetches_; }
+  [[nodiscard]] std::uint64_t fetched_bytes() const noexcept {
+    return fetched_bytes_;
+  }
+  void reset_accounting() noexcept {
+    fetches_ = 0;
+    fetched_bytes_ = 0;
+  }
+
+ private:
+  const ChunkStore* store_;
+  std::size_t chunk_samples_;
+  std::size_t num_chunks_;
+  Split scratch_;  ///< reused buffer for non-resident fetches
+  std::uint64_t fetches_ = 0;
+  std::uint64_t fetched_bytes_ = 0;
+};
+
+}  // namespace nessa::data

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,16 @@ struct Split {
   std::vector<Label> labels;  ///< length n
 
   [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+  /// Feature dimensionality. A default-constructed (empty) split reports 0;
+  /// any non-empty split whose features are not a [n, dim] matrix is
+  /// malformed, and silently reporting dim() == 0 for it hid real bugs —
+  /// so that now throws.
   [[nodiscard]] std::size_t dim() const {
-    return features.rank() == 2 ? features.cols() : 0;
+    if (features.rank() == 2) return features.cols();
+    if (features.empty()) return 0;
+    throw std::invalid_argument(
+        "Split::dim: features must be a rank-2 [n, dim] matrix (got rank " +
+        std::to_string(features.rank()) + ")");
   }
 };
 

@@ -1,0 +1,211 @@
+// Sampler/Loader: pull-based epoch iteration, modeled on the torch C++
+// dataloader idiom, with two properties that idiom does not need but every
+// simulator layer here does:
+//
+//   determinism   every ordering is a pure function of (seed, epoch). A
+//                 Sampler's state is tiny — the RNG words captured at
+//                 begin_epoch() plus a cursor — and restore() replays the
+//                 epoch's shuffle from those words, then skips to the
+//                 cursor. That makes mid-stream resume bit-identical, which
+//                 ckpt and fleet preemption rely on.
+//   accounting    the chunked Loader pulls windows through ChunkedDataset,
+//                 so every batch it emits has a storage cost trail.
+//
+// Flat mode (`Loader(split, indices, sampler, ...)`) reproduces the exact
+// batch composition of the original train_one_epoch loop: sampler positions
+// index into `indices`, batches are consecutive runs of sampler output.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "nessa/data/chunked.hpp"
+#include "nessa/data/sampler.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::data {
+
+/// Serializable sampler cursor. `rng` is the generator state captured at the
+/// last begin_epoch() *before* any shuffling, so restore() can regenerate
+/// the epoch's permutation and skip ahead.
+struct SamplerState {
+  util::Rng::State rng{};
+  std::uint64_t epoch = 0;
+  std::uint64_t position = 0;
+
+  friend bool operator==(const SamplerState&, const SamplerState&) = default;
+};
+
+/// Deterministic index stream over [0, size). One epoch = one full pass.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Start (or restart) iteration for `epoch`; resets the cursor to 0.
+  virtual void begin_epoch(std::size_t epoch) = 0;
+
+  /// Next index, or nullopt when the epoch is exhausted.
+  virtual std::optional<std::size_t> next() = 0;
+
+  [[nodiscard]] virtual SamplerState state() const = 0;
+
+  /// Restore to `s`: replay begin_epoch(s.epoch) from s.rng, then skip to
+  /// s.position. Continuing from here is bit-identical to never stopping.
+  virtual void restore(const SamplerState& s) = 0;
+};
+
+/// 0, 1, ..., size-1 every epoch.
+class SequentialSampler final : public Sampler {
+ public:
+  explicit SequentialSampler(std::size_t size) : size_(size) {}
+
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  void begin_epoch(std::size_t epoch) override;
+  std::optional<std::size_t> next() override;
+  [[nodiscard]] SamplerState state() const override;
+  void restore(const SamplerState& s) override;
+
+ private:
+  std::size_t size_;
+  std::size_t epoch_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+/// Fisher-Yates permutation per epoch. Owns its RNG when built from a seed;
+/// alternatively borrows the caller's RNG (trainer path), in which case each
+/// begin_epoch() consumes exactly one Rng::shuffle from the borrowed stream
+/// — matching what the pre-Loader training loop drew, so existing runs stay
+/// bit-identical.
+class ShuffledSampler final : public Sampler {
+ public:
+  ShuffledSampler(std::size_t size, std::uint64_t seed);
+  /// Borrowed-RNG mode; `rng` must outlive the sampler.
+  ShuffledSampler(std::size_t size, util::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const override { return order_.size(); }
+  void begin_epoch(std::size_t epoch) override;
+  std::optional<std::size_t> next() override;
+  [[nodiscard]] SamplerState state() const override;
+  void restore(const SamplerState& s) override;
+
+ private:
+  [[nodiscard]] util::Rng& rng() noexcept {
+    return borrowed_ != nullptr ? *borrowed_ : owned_;
+  }
+
+  std::vector<std::size_t> order_;
+  util::Rng owned_;
+  util::Rng* borrowed_ = nullptr;
+  util::Rng::State epoch_start_{};  ///< rng state captured pre-shuffle
+  std::size_t epoch_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+/// Round-robin across classes, each class's index list independently
+/// shuffled per epoch; classes with no samples are skipped. A batch of size
+/// num_classes therefore holds (nearly) one sample of every present class —
+/// the stratification the paper's per-class quota wants from its input
+/// stream.
+class StratifiedSampler final : public Sampler {
+ public:
+  StratifiedSampler(std::span<const Label> labels, std::size_t num_classes,
+                    std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const override { return total_; }
+  void begin_epoch(std::size_t epoch) override;
+  std::optional<std::size_t> next() override;
+  [[nodiscard]] SamplerState state() const override;
+  void restore(const SamplerState& s) override;
+
+ private:
+  void build_order();
+
+  std::vector<std::vector<std::size_t>> by_class_;
+  std::vector<std::size_t> order_;  ///< interleaved epoch order
+  std::size_t total_ = 0;
+  util::Rng rng_;
+  util::Rng::State epoch_start_{};
+  std::size_t epoch_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+/// One emitted batch: materialized features/labels plus the sampler
+/// positions that produced it (weighted-loss training needs the positions to
+/// line up per-sample weights).
+struct LoaderBatch {
+  Batch batch;
+  std::vector<std::size_t> positions;  ///< sampler outputs, batch-aligned
+};
+
+struct LoaderOptions {
+  std::size_t batch_size = 128;
+  /// Chunked mode: fetch this many chunks ahead of the consuming cursor
+  /// (bounded window — the whole point is NOT holding the pool resident).
+  std::size_t prefetch_chunks = 1;
+};
+
+/// Serializable loader cursor: sampler state + emission counters.
+struct LoaderState {
+  SamplerState sampler{};
+  std::uint64_t batches_emitted = 0;
+  std::uint64_t chunk_cursor = 0;  ///< chunked mode: next chunk to consume
+
+  friend bool operator==(const LoaderState&, const LoaderState&) = default;
+};
+
+/// Pull-based batch iterator. Flat mode batches sampler positions over an
+/// index set into a resident split; chunked mode walks chunks in sampler
+/// order, fetching each through the ChunkedDataset ledger with a bounded
+/// prefetch window and emitting the chunk's rows as batches.
+class Loader {
+ public:
+  /// Flat mode. `split` and `indices` must outlive the loader; the sampler
+  /// must have size() == indices.size() and yield positions into `indices`.
+  Loader(const Split& split, std::span<const std::size_t> indices,
+         Sampler& sampler, LoaderOptions options);
+
+  /// Chunked mode. The sampler orders *chunks*: size() == chunks.num_chunks().
+  Loader(ChunkedDataset& chunks, Sampler& sampler, LoaderOptions options);
+
+  void begin_epoch(std::size_t epoch);
+
+  /// Next batch, or nullopt when the epoch is exhausted.
+  std::optional<LoaderBatch> next();
+
+  [[nodiscard]] std::size_t batches_per_epoch() const;
+  [[nodiscard]] const LoaderOptions& options() const noexcept {
+    return options_;
+  }
+
+  [[nodiscard]] LoaderState state() const;
+  void restore(const LoaderState& s);
+
+ private:
+  std::optional<LoaderBatch> next_flat();
+  std::optional<LoaderBatch> next_chunked();
+  void fill_prefetch();  ///< draw chunks from the sampler up to the window
+
+  const Split* split_ = nullptr;
+  std::span<const std::size_t> indices_;
+  ChunkedDataset* chunks_ = nullptr;
+  Sampler* sampler_;
+  LoaderOptions options_;
+
+  /// Chunked-mode staging window: fetched-but-unconsumed chunks, front is
+  /// being drained. Bounded by options_.prefetch_chunks (+1 for the front).
+  struct StagedChunk {
+    std::size_t begin = 0;  ///< first store row
+    Split rows;
+    std::size_t cursor = 0;  ///< rows already emitted
+  };
+  std::vector<StagedChunk> staged_;
+  std::uint64_t chunk_cursor_ = 0;  ///< chunks fully consumed this epoch
+  std::uint64_t batches_emitted_ = 0;
+};
+
+}  // namespace nessa::data

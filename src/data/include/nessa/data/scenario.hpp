@@ -1,0 +1,87 @@
+// Non-stationary workload presets the paper never tested.
+//
+// An EpochStream is a dataset that changes between epochs: `at(e)` is the
+// training pool a near-storage selector would see at epoch e, drawn
+// deterministically from a fixed synthetic population (deterministic random
+// access — `at(e)` depends only on (preset, seed, e), never on what was
+// fetched before, so crash/preempt resume mid-stream sees bit-identical
+// data). The test split is fixed and clean across every epoch, so accuracy
+// curves stay comparable.
+//
+// Presets (all built on data::make_synthetic populations):
+//
+//   drift        a Gaussian "focus window" over class ids slides as epochs
+//                pass — the class mix the selector faces keeps moving
+//                (continual-learning shape).
+//   imbalance    heavy static Zipf class skew (s = 1.2): the rare-class tail
+//                is what per-class quota selection has to protect.
+//   noise-burst  clean stream, but during a burst window a quarter of the
+//                visible labels are flipped — a labelling-pipeline outage.
+//   duplicates   web-scrape-style stream: the population is duplicate-heavy
+//                and epochs draw with replacement, so near-copies dominate.
+//
+// Scenario runs answer: does NeSSA's biasing/feedback adapt, vs. random and
+// full-data baselines? core::run_scenario drives that comparison.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nessa/data/dataset.hpp"
+
+namespace nessa::data::scenario {
+
+enum class Kind : std::uint8_t {
+  kDrift,
+  kImbalance,
+  kNoiseBurst,
+  kDuplicates,
+};
+
+[[nodiscard]] std::string_view to_string(Kind kind);
+/// Parse "drift" | "imbalance" | "noise-burst" | "duplicates"; throws
+/// std::invalid_argument listing the valid names otherwise.
+[[nodiscard]] Kind kind_from_string(std::string_view name);
+[[nodiscard]] const std::vector<std::string_view>& preset_names();
+
+/// A dataset whose training pool evolves across epochs.
+class EpochStream {
+ public:
+  virtual ~EpochStream() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  /// Identity of (preset, seed, sizes) — mixed into checkpoint fingerprints
+  /// so a snapshot can't resume against a different stream.
+  [[nodiscard]] virtual std::uint64_t fingerprint() const = 0;
+
+  /// Stationary reference: epoch 0's pool plus the fixed clean test split.
+  /// This is what PipelineInputs.dataset points at for metadata (sizes,
+  /// stored bytes, num_classes) — all constant across epochs.
+  [[nodiscard]] virtual const Dataset& base() const = 0;
+
+  /// Training data visible at `epoch`. Deterministic random access; the
+  /// returned reference stays valid until the next at() call.
+  [[nodiscard]] virtual const Dataset& at(std::size_t epoch) const = 0;
+
+  /// Per-class counts over at(epoch)'s train labels.
+  [[nodiscard]] std::vector<std::size_t> class_histogram(
+      std::size_t epoch) const;
+};
+
+struct ScenarioConfig {
+  Kind kind = Kind::kDrift;
+  std::uint64_t seed = 42;
+  std::size_t train_size = 2000;  ///< visible pool per epoch
+  std::size_t num_classes = 10;
+};
+
+[[nodiscard]] std::unique_ptr<EpochStream> make_scenario(
+    const ScenarioConfig& config);
+/// Preset with default sizes.
+[[nodiscard]] std::unique_ptr<EpochStream> make_scenario(
+    Kind kind, std::uint64_t seed = 42);
+
+}  // namespace nessa::data::scenario

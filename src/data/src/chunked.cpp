@@ -1,0 +1,87 @@
+#include "nessa/data/chunked.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "nessa/telemetry/telemetry.hpp"
+
+namespace nessa::data {
+
+SplitStore::SplitStore(const Split& split, std::size_t stored_bytes_per_sample)
+    : split_(&split), stored_bytes_per_sample_(stored_bytes_per_sample) {}
+
+std::size_t SplitStore::feature_dim() const { return split_->dim(); }
+
+void SplitStore::read(std::size_t begin, std::size_t count, Split& out) const {
+  if (begin + count > split_->size()) {
+    throw std::out_of_range("SplitStore::read: range past end of split");
+  }
+  const std::size_t dim = split_->dim();
+  out.features = Tensor({count, dim});
+  if (count > 0 && dim > 0) {
+    std::memcpy(out.features.data(), split_->features.data() + begin * dim,
+                count * dim * sizeof(float));
+  }
+  out.labels.assign(split_->labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                    split_->labels.begin() +
+                        static_cast<std::ptrdiff_t>(begin + count));
+}
+
+ChunkedDataset::ChunkedDataset(const ChunkStore& store,
+                               std::size_t chunk_samples)
+    : store_(&store), chunk_samples_(chunk_samples) {
+  const std::size_t n = store.size();
+  if (chunk_samples_ == 0 || chunk_samples_ >= n) {
+    // Degenerate single-chunk window; an empty store still exposes one
+    // (empty) chunk so iteration code needs no special case.
+    chunk_samples_ = n;
+    num_chunks_ = 1;
+  } else {
+    num_chunks_ = (n + chunk_samples_ - 1) / chunk_samples_;
+  }
+}
+
+std::size_t ChunkedDataset::chunk_begin(std::size_t index) const {
+  if (index >= num_chunks_) {
+    throw std::out_of_range("ChunkedDataset::chunk_begin: bad chunk index");
+  }
+  return index * chunk_samples_;
+}
+
+std::size_t ChunkedDataset::chunk_size(std::size_t index) const {
+  const std::size_t begin = chunk_begin(index);
+  return std::min(chunk_samples_, store_->size() - begin);
+}
+
+std::size_t ChunkedDataset::chunk_of(std::size_t row) const {
+  if (row >= store_->size()) {
+    throw std::out_of_range("ChunkedDataset::chunk_of: row past end");
+  }
+  return chunk_samples_ == 0 ? 0 : row / chunk_samples_;
+}
+
+ChunkView ChunkedDataset::fetch(std::size_t index) {
+  const std::size_t begin = chunk_begin(index);
+  const std::size_t count = chunk_size(index);
+
+  ChunkView view;
+  view.index = index;
+  view.begin = begin;
+  if (num_chunks_ == 1 && store_->resident() != nullptr) {
+    view.samples = store_->resident();  // zero-copy monolithic fast path
+  } else {
+    store_->read(begin, count, scratch_);
+    view.samples = &scratch_;
+  }
+
+  const auto bytes = static_cast<std::uint64_t>(count) *
+                     store_->stored_bytes_per_sample();
+  ++fetches_;
+  fetched_bytes_ += bytes;
+  telemetry::count("data.chunk.fetches");
+  telemetry::count("data.chunk.bytes", bytes);
+  return view;
+}
+
+}  // namespace nessa::data

@@ -1,0 +1,280 @@
+#include "nessa/data/loader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace nessa::data {
+
+// ---------------------------------------------------------------- Sequential
+
+void SequentialSampler::begin_epoch(std::size_t epoch) {
+  epoch_ = epoch;
+  cursor_ = 0;
+}
+
+std::optional<std::size_t> SequentialSampler::next() {
+  if (cursor_ >= size_) return std::nullopt;
+  return cursor_++;
+}
+
+SamplerState SequentialSampler::state() const {
+  return SamplerState{{}, epoch_, cursor_};
+}
+
+void SequentialSampler::restore(const SamplerState& s) {
+  epoch_ = s.epoch;
+  cursor_ = std::min<std::size_t>(s.position, size_);
+}
+
+// ------------------------------------------------------------------ Shuffled
+
+ShuffledSampler::ShuffledSampler(std::size_t size, std::uint64_t seed)
+    : order_(size), owned_(seed) {}
+
+ShuffledSampler::ShuffledSampler(std::size_t size, util::Rng& rng)
+    : order_(size), borrowed_(&rng) {}
+
+void ShuffledSampler::begin_epoch(std::size_t epoch) {
+  epoch_ = epoch;
+  epoch_start_ = rng().state();
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  rng().shuffle(order_);
+  cursor_ = 0;
+}
+
+std::optional<std::size_t> ShuffledSampler::next() {
+  if (cursor_ >= order_.size()) return std::nullopt;
+  return order_[cursor_++];
+}
+
+SamplerState ShuffledSampler::state() const {
+  return SamplerState{epoch_start_, epoch_, cursor_};
+}
+
+void ShuffledSampler::restore(const SamplerState& s) {
+  rng().set_state(s.rng);
+  begin_epoch(s.epoch);  // replays the identical permutation from s.rng
+  cursor_ = std::min<std::size_t>(s.position, order_.size());
+}
+
+// ---------------------------------------------------------------- Stratified
+
+StratifiedSampler::StratifiedSampler(std::span<const Label> labels,
+                                     std::size_t num_classes,
+                                     std::uint64_t seed)
+    : by_class_(num_classes), total_(labels.size()), rng_(seed) {
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(labels[i]);
+    if (cls >= num_classes) {
+      throw std::invalid_argument(
+          "StratifiedSampler: label out of range for num_classes");
+    }
+    by_class_[cls].push_back(i);
+  }
+  order_.reserve(total_);
+}
+
+void StratifiedSampler::begin_epoch(std::size_t epoch) {
+  epoch_ = epoch;
+  epoch_start_ = rng_.state();
+  for (auto& cls : by_class_) rng_.shuffle(cls);
+  build_order();
+  cursor_ = 0;
+}
+
+void StratifiedSampler::build_order() {
+  // Round-robin over classes: round r takes the r-th (shuffled) sample of
+  // every class that still has one. Absent/exhausted classes just drop out.
+  order_.clear();
+  std::size_t round = 0;
+  while (order_.size() < total_) {
+    for (const auto& cls : by_class_) {
+      if (round < cls.size()) order_.push_back(cls[round]);
+    }
+    ++round;
+  }
+}
+
+std::optional<std::size_t> StratifiedSampler::next() {
+  if (cursor_ >= order_.size()) return std::nullopt;
+  return order_[cursor_++];
+}
+
+SamplerState StratifiedSampler::state() const {
+  return SamplerState{epoch_start_, epoch_, cursor_};
+}
+
+void StratifiedSampler::restore(const SamplerState& s) {
+  rng_.set_state(s.rng);
+  begin_epoch(s.epoch);
+  cursor_ = std::min<std::size_t>(s.position, order_.size());
+}
+
+// -------------------------------------------------------------------- Loader
+
+Loader::Loader(const Split& split, std::span<const std::size_t> indices,
+               Sampler& sampler, LoaderOptions options)
+    : split_(&split),
+      indices_(indices),
+      sampler_(&sampler),
+      options_(options) {
+  if (options_.batch_size == 0) {
+    throw std::invalid_argument("Loader: batch_size must be > 0");
+  }
+  if (sampler.size() != indices.size()) {
+    throw std::invalid_argument(
+        "Loader: sampler size must match the index set");
+  }
+}
+
+Loader::Loader(ChunkedDataset& chunks, Sampler& sampler, LoaderOptions options)
+    : chunks_(&chunks), sampler_(&sampler), options_(options) {
+  if (options_.batch_size == 0) {
+    throw std::invalid_argument("Loader: batch_size must be > 0");
+  }
+  if (sampler.size() != chunks.num_chunks()) {
+    throw std::invalid_argument(
+        "Loader: chunked mode needs a sampler over the chunk count");
+  }
+}
+
+void Loader::begin_epoch(std::size_t epoch) {
+  sampler_->begin_epoch(epoch);
+  staged_.clear();
+  chunk_cursor_ = 0;
+  batches_emitted_ = 0;
+  if (chunks_ != nullptr) fill_prefetch();
+}
+
+std::size_t Loader::batches_per_epoch() const {
+  const std::size_t b = options_.batch_size;
+  if (chunks_ == nullptr) return (indices_.size() + b - 1) / b;
+  std::size_t batches = 0;
+  for (std::size_t c = 0; c < chunks_->num_chunks(); ++c) {
+    batches += (chunks_->chunk_size(c) + b - 1) / b;
+  }
+  return batches;
+}
+
+std::optional<LoaderBatch> Loader::next() {
+  return chunks_ != nullptr ? next_chunked() : next_flat();
+}
+
+std::optional<LoaderBatch> Loader::next_flat() {
+  std::vector<std::size_t> positions;
+  positions.reserve(options_.batch_size);
+  while (positions.size() < options_.batch_size) {
+    const auto pos = sampler_->next();
+    if (!pos) break;
+    positions.push_back(*pos);
+  }
+  if (positions.empty()) return std::nullopt;
+
+  std::vector<std::size_t> rows(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    rows[i] = indices_[positions[i]];
+  }
+  LoaderBatch out;
+  out.batch = make_batch(*split_, rows);
+  out.positions = std::move(positions);
+  ++batches_emitted_;
+  return out;
+}
+
+void Loader::fill_prefetch() {
+  const std::size_t window = std::max<std::size_t>(1, options_.prefetch_chunks);
+  while (staged_.size() < window) {
+    const auto c = sampler_->next();
+    if (!c) break;
+    const ChunkView view = chunks_->fetch(*c);
+    StagedChunk staged;
+    staged.begin = view.begin;
+    staged.rows.features = view.samples->features;  // own a copy: the store's
+    staged.rows.labels = view.samples->labels;      // scratch is reused
+    staged_.push_back(std::move(staged));
+  }
+}
+
+std::optional<LoaderBatch> Loader::next_chunked() {
+  for (;;) {
+    if (staged_.empty()) fill_prefetch();
+    if (staged_.empty()) return std::nullopt;
+    StagedChunk& front = staged_.front();
+    if (front.cursor >= front.rows.size()) {
+      staged_.erase(staged_.begin());
+      ++chunk_cursor_;
+      continue;
+    }
+    const std::size_t take =
+        std::min(options_.batch_size, front.rows.size() - front.cursor);
+    LoaderBatch out;
+    const std::size_t dim = front.rows.dim();
+    out.batch.features = Tensor({take, dim});
+    if (take > 0 && dim > 0) {
+      std::memcpy(out.batch.features.data(),
+                  front.rows.features.data() + front.cursor * dim,
+                  take * dim * sizeof(float));
+    }
+    out.batch.labels.assign(
+        front.rows.labels.begin() + static_cast<std::ptrdiff_t>(front.cursor),
+        front.rows.labels.begin() +
+            static_cast<std::ptrdiff_t>(front.cursor + take));
+    out.positions.resize(take);
+    out.batch.source_indices.resize(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t row = front.begin + front.cursor + i;
+      out.positions[i] = row;
+      out.batch.source_indices[i] = row;
+    }
+    front.cursor += take;
+    ++batches_emitted_;
+    return out;
+  }
+}
+
+LoaderState Loader::state() const {
+  LoaderState s;
+  s.sampler = sampler_->state();
+  s.batches_emitted = batches_emitted_;
+  s.chunk_cursor = chunk_cursor_;
+  if (chunks_ != nullptr) {
+    // The sampler may have been drawn ahead by the prefetch window; the
+    // durable cursor is how many chunks were *consumed*. restore() replays
+    // the permutation and re-draws the window.
+    s.sampler.position = chunk_cursor_;
+  }
+  return s;
+}
+
+void Loader::restore(const LoaderState& s) {
+  batches_emitted_ = s.batches_emitted;
+  chunk_cursor_ = s.chunk_cursor;
+  if (chunks_ == nullptr) {
+    sampler_->restore(s.sampler);
+    return;
+  }
+  // Replay the epoch's chunk order from position 0 to recover how many
+  // batches the consumed chunks produced, then re-stage the window.
+  SamplerState from_start = s.sampler;
+  from_start.position = 0;
+  sampler_->restore(from_start);
+  std::uint64_t consumed_batches = 0;
+  const std::size_t b = options_.batch_size;
+  for (std::uint64_t i = 0; i < s.chunk_cursor; ++i) {
+    const auto c = sampler_->next();
+    if (!c) throw std::invalid_argument("Loader::restore: cursor past epoch");
+    consumed_batches += (chunks_->chunk_size(*c) + b - 1) / b;
+  }
+  staged_.clear();
+  fill_prefetch();
+  if (!staged_.empty()) {
+    const std::uint64_t within = (s.batches_emitted - consumed_batches) * b;
+    staged_.front().cursor =
+        std::min<std::size_t>(static_cast<std::size_t>(within),
+                              staged_.front().rows.size());
+  }
+}
+
+}  // namespace nessa::data

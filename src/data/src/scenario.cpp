@@ -1,0 +1,226 @@
+#include "nessa/data/scenario.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nessa/data/synthetic.hpp"
+#include "nessa/util/rng.hpp"
+
+namespace nessa::data::scenario {
+
+namespace {
+
+/// Stateless hash of (seed, salt...) via repeated splitmix64 mixing.
+std::uint64_t mix(std::uint64_t state, std::uint64_t value) {
+  std::uint64_t s = state ^ value;
+  return util::splitmix64(s);
+}
+
+struct KindSpec {
+  Kind kind;
+  std::string_view name;
+};
+
+constexpr KindSpec kKinds[] = {
+    {Kind::kDrift, "drift"},
+    {Kind::kImbalance, "imbalance"},
+    {Kind::kNoiseBurst, "noise-burst"},
+    {Kind::kDuplicates, "duplicates"},
+};
+
+// Resampling stream: a fixed population (3x the visible pool) generated
+// once, per-epoch pools drawn with replacement under epoch-dependent class
+// weights. Draw-with-replacement is deliberate: it is what a storage scan
+// over a crawled shard looks like, and it lets the duplicates preset bite.
+class ResampledStream final : public EpochStream {
+ public:
+  explicit ResampledStream(const ScenarioConfig& config)
+      : config_(config), name_(std::string(to_string(config.kind))) {
+    SyntheticConfig syn;
+    syn.name = name_;
+    syn.num_classes = config_.num_classes;
+    syn.train_size = config_.train_size * 3;  // population the stream draws from
+    syn.test_size = std::max<std::size_t>(200, config_.train_size / 4);
+    syn.seed = config_.seed;
+    if (config_.kind == Kind::kDuplicates) {
+      syn.duplicate_fraction = 0.65;
+      syn.duplicate_jitter = 0.01;
+    }
+    population_ = make_synthetic(syn);
+
+    // Per-class population index lists for weighted class draws.
+    by_class_.resize(config_.num_classes);
+    const auto& labels = population_.train().labels;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      by_class_[static_cast<std::size_t>(labels[i])].push_back(i);
+    }
+
+    base_ = materialize(0);
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] std::uint64_t fingerprint() const override {
+    std::uint64_t f = 0x6e657373612d7374ULL;  // "nessa-st"
+    f = mix(f, static_cast<std::uint64_t>(config_.kind));
+    f = mix(f, config_.seed);
+    f = mix(f, config_.train_size);
+    f = mix(f, config_.num_classes);
+    return f;
+  }
+
+  [[nodiscard]] const Dataset& base() const override { return base_; }
+
+  [[nodiscard]] const Dataset& at(std::size_t epoch) const override {
+    if (epoch == 0) return base_;
+    if (!cached_ || cached_epoch_ != epoch) {
+      cache_ = materialize(epoch);
+      cached_epoch_ = epoch;
+      cached_ = true;
+    }
+    return cache_;
+  }
+
+ private:
+  /// Unnormalized probability of drawing class `c` at `epoch`.
+  [[nodiscard]] double class_weight(std::size_t c, std::size_t epoch) const {
+    switch (config_.kind) {
+      case Kind::kDrift: {
+        // Sliding Gaussian focus over class ids (circular distance).
+        const double classes = static_cast<double>(config_.num_classes);
+        const double focus =
+            std::fmod(static_cast<double>(epoch) * 0.7, classes);
+        double d = std::fabs(static_cast<double>(c) - focus);
+        d = std::min(d, classes - d);
+        return 0.15 + std::exp(-0.5 * (d / 1.5) * (d / 1.5));
+      }
+      case Kind::kImbalance:
+        return 1.0 / std::pow(static_cast<double>(c + 1), 1.2);
+      case Kind::kNoiseBurst:
+      case Kind::kDuplicates:
+        return 1.0;
+    }
+    return 1.0;
+  }
+
+  /// Noise-burst window: epochs [5, 10) of every 15-epoch cycle flip 25%
+  /// of visible labels.
+  [[nodiscard]] double flip_fraction(std::size_t epoch) const {
+    if (config_.kind != Kind::kNoiseBurst) return 0.0;
+    const std::size_t phase = epoch % 15;
+    return (phase >= 5 && phase < 10) ? 0.25 : 0.0;
+  }
+
+  [[nodiscard]] Dataset materialize(std::size_t epoch) const {
+    // Seeded purely by (fingerprint, epoch): random access, no history.
+    util::Rng rng(mix(fingerprint(), epoch));
+
+    std::vector<double> cumulative(config_.num_classes, 0.0);
+    double total = 0.0;
+    for (std::size_t c = 0; c < config_.num_classes; ++c) {
+      // A class with no population members can never be drawn.
+      const double w = by_class_[c].empty() ? 0.0 : class_weight(c, epoch);
+      total += w;
+      cumulative[c] = total;
+    }
+
+    std::vector<std::size_t> rows(config_.train_size);
+    for (auto& row : rows) {
+      const double u = rng.uniform() * total;
+      std::size_t c = 0;
+      while (c + 1 < config_.num_classes && u >= cumulative[c]) ++c;
+      const auto& members = by_class_[c];
+      row = members[rng.uniform_int(members.size())];
+    }
+
+    Split train;
+    train.features = gather_rows(population_.train().features, rows);
+    train.labels.resize(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      train.labels[i] = population_.train().labels[rows[i]];
+    }
+
+    const double flip = flip_fraction(epoch);
+    if (flip > 0.0) {
+      for (auto& label : train.labels) {
+        if (rng.bernoulli(flip)) {
+          const auto wrong = static_cast<Label>(
+              rng.uniform_int(config_.num_classes - 1));
+          label = wrong >= label ? static_cast<Label>(wrong + 1) : wrong;
+        }
+      }
+    }
+
+    return Dataset(name_, config_.num_classes,
+                   population_.stored_bytes_per_sample(), std::move(train),
+                   population_.test());
+  }
+
+  ScenarioConfig config_;
+  std::string name_;
+  Dataset population_;
+  std::vector<std::vector<std::size_t>> by_class_;
+  Dataset base_;
+  mutable Dataset cache_;
+  mutable std::size_t cached_epoch_ = 0;
+  mutable bool cached_ = false;
+};
+
+}  // namespace
+
+std::string_view to_string(Kind kind) {
+  for (const auto& spec : kKinds) {
+    if (spec.kind == kind) return spec.name;
+  }
+  throw std::invalid_argument("unknown scenario kind");
+}
+
+Kind kind_from_string(std::string_view name) {
+  for (const auto& spec : kKinds) {
+    if (spec.name == name) return spec.kind;
+  }
+  std::string message = "unknown scenario preset '";
+  message += name;
+  message += "' (expected one of:";
+  for (const auto& spec : kKinds) {
+    message += ' ';
+    message += spec.name;
+  }
+  message += ')';
+  throw std::invalid_argument(message);
+}
+
+const std::vector<std::string_view>& preset_names() {
+  static const std::vector<std::string_view> names = [] {
+    std::vector<std::string_view> out;
+    for (const auto& spec : kKinds) out.push_back(spec.name);
+    return out;
+  }();
+  return names;
+}
+
+std::vector<std::size_t> EpochStream::class_histogram(std::size_t epoch) const {
+  const Dataset& ds = at(epoch);
+  std::vector<std::size_t> histogram(ds.num_classes(), 0);
+  for (const auto label : ds.train().labels) {
+    ++histogram[static_cast<std::size_t>(label)];
+  }
+  return histogram;
+}
+
+std::unique_ptr<EpochStream> make_scenario(const ScenarioConfig& config) {
+  if (config.train_size == 0 || config.num_classes < 2) {
+    throw std::invalid_argument(
+        "make_scenario: train_size > 0 and num_classes >= 2 required");
+  }
+  return std::make_unique<ResampledStream>(config);
+}
+
+std::unique_ptr<EpochStream> make_scenario(Kind kind, std::uint64_t seed) {
+  ScenarioConfig config;
+  config.kind = kind;
+  config.seed = seed;
+  return make_scenario(config);
+}
+
+}  // namespace nessa::data::scenario

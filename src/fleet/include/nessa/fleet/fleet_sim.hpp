@@ -24,11 +24,17 @@
 //               P2P -> FPGA select -> subset ship -> GPU train -> feedback,
 //               chained through component completions. kFull/kFullCached
 //               specs skip selection and ship the whole pool host->GPU.
+//               When the spec's workload.chunk_records > 0 the scan stage
+//               streams the pool through sequential fixed-size chunk
+//               fetches on the flash bus instead of one monolithic read;
+//               each job keeps a rotating loader cursor so successive
+//               epochs start at successive chunk offsets.
 //   preemption  a job may run at most `preempt_quantum_epochs` epochs per
-//               dispatch; at the epoch barrier it snapshots its progress
-//               through the ckpt Buf codec (fingerprint-verified on
-//               restore, ckpt::SnapshotError on mismatch) and round-robins
-//               through the admission queue. 0 disables time slicing.
+//               dispatch; at the epoch barrier it snapshots its progress —
+//               including the chunked-loader cursor — through the ckpt Buf
+//               codec (fingerprint-verified on restore, ckpt::SnapshotError
+//               on mismatch) and round-robins through the admission queue.
+//               0 disables time slicing.
 //
 // Everything downstream of the arrival list is integer simulated time and
 // FIFO/flow-id tie-breaks, so a fleet run is bit-identical across repeats
@@ -80,6 +86,12 @@ struct JobRecord {
   std::size_t epochs_done = 0;
   std::uint32_t preemptions = 0;
   std::uint32_t resumes = 0;
+  /// Chunk fetches this job issued on the flash bus (0 unless the spec's
+  /// workload.chunk_records > 0).
+  std::uint64_t chunk_fetches = 0;
+  /// Loader cursor after the last completed epoch: the chunk index the next
+  /// epoch's scan starts from. Carried across preemption via the snapshot.
+  std::size_t next_chunk = 0;
   std::uint32_t device = 0;      ///< last SmartSSD the job ran on
   std::uint32_t gpu = 0;         ///< last GPU the job trained on
   bool admitted = false;
@@ -118,6 +130,7 @@ struct FleetResult {
   std::uint64_t completed = 0;
   std::uint64_t preemptions = 0;  ///< checkpoint-yields across all jobs
   std::uint64_t resumes = 0;      ///< snapshot restores (== preemptions)
+  std::uint64_t chunk_fetches = 0;  ///< flash-bus chunk fetches, all jobs
   util::SimTime makespan = 0;     ///< last event's simulated time
   double p50_latency_s = 0.0;     ///< aggregate completed-job latency
   double p99_latency_s = 0.0;

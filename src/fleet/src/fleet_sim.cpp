@@ -23,7 +23,7 @@ namespace {
 /// per dispatch from its JobSpec (the same calibrated device models the
 /// single-run pipelines use — only WHERE the time is spent changes).
 struct EpochCosts {
-  util::SimTime scan = 0;      ///< flash bus
+  util::SimTime scan = 0;      ///< flash bus (monolithic scan)
   util::SimTime p2p = 0;       ///< on-board P2P link
   util::SimTime select = 0;    ///< FPGA forward + selection
   util::SimTime ship = 0;      ///< drive-host link, subset up
@@ -33,6 +33,14 @@ struct EpochCosts {
   std::uint64_t ship_bytes = 0;
   std::uint64_t feedback_bytes = 0;
   bool near_storage = true;    ///< false: full-data path, no selection
+  /// Chunked scan plan (workload.chunk_records > 0): the epoch's pool
+  /// streams through `chunks_total` sequential flash fetches; the chunk at
+  /// index chunks_total-1 holds the remainder and may be shorter.
+  std::size_t chunks_total = 0;
+  util::SimTime chunk = 0;           ///< flash time per full chunk
+  util::SimTime chunk_last = 0;      ///< flash time of the final chunk
+  std::uint64_t chunk_bytes = 0;
+  std::uint64_t chunk_last_bytes = 0;
 };
 
 /// Where in the epoch chain a running job currently is.
@@ -53,6 +61,7 @@ struct JobRuntime {
   JobState state = JobState::kWaiting;
   Stage stage = Stage::kScan;
   std::size_t slice_epochs = 0;  ///< epochs completed in this dispatch
+  std::size_t chunks_left = 0;   ///< chunk fetches remaining this epoch
   /// Checkpoint payload from the last preemption (empty = fresh job).
   std::vector<std::uint8_t> snapshot;
 };
@@ -122,6 +131,7 @@ class FleetEngine {
   void try_dispatch();
   void start_slice(std::uint32_t job_id);
   void submit_stage(std::uint32_t job_id);
+  void submit_chunk(std::uint32_t job_id);
   void stage_done(std::uint32_t job_id);
   void at_barrier(std::uint32_t job_id);
   void finish_slice(std::uint32_t job_id, bool completed);
@@ -140,6 +150,7 @@ class FleetEngine {
   std::uint64_t preemptions_ = 0;
   std::uint64_t resumes_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t chunk_fetches_ = 0;
 };
 
 void FleetEngine::build_fleet() {
@@ -206,6 +217,17 @@ EpochCosts FleetEngine::compute_costs(const SsdNode& ssd,
   EpochCosts c;
   c.scan_bytes = static_cast<std::uint64_t>(w.pool_records) * w.record_bytes;
   c.scan = ssd.graph->flash().read_time(w.pool_records, w.record_bytes);
+  if (w.chunk_records > 0) {
+    c.chunks_total = (w.pool_records + w.chunk_records - 1) / w.chunk_records;
+    const std::size_t last_records =
+        w.pool_records - (c.chunks_total - 1) * w.chunk_records;
+    c.chunk_bytes =
+        static_cast<std::uint64_t>(w.chunk_records) * w.record_bytes;
+    c.chunk_last_bytes =
+        static_cast<std::uint64_t>(last_records) * w.record_bytes;
+    c.chunk = ssd.graph->flash().read_time(w.chunk_records, w.record_bytes);
+    c.chunk_last = ssd.graph->flash().read_time(last_records, w.record_bytes);
+  }
   switch (config_.job.pipeline) {
     case core::PipelineKind::kFull:
     case core::PipelineKind::kFullCached:
@@ -301,6 +323,8 @@ void FleetEngine::start_slice(std::uint32_t job_id) {
     }
     job.record.epochs_done = static_cast<std::size_t>(r.u64());
     job.record.preemptions = static_cast<std::uint32_t>(r.u64());
+    job.record.chunk_fetches = r.u64();
+    job.record.next_chunk = static_cast<std::size_t>(r.u64());
     if (!r.done()) {
       throw ckpt::SnapshotError(ckpt::SnapshotFault::kBadPayload,
                                 "fleet job snapshot has trailing bytes");
@@ -326,6 +350,13 @@ void FleetEngine::submit_stage(std::uint32_t job_id) {
   auto next = [this, job_id] { stage_done(job_id); };
   switch (job.stage) {
     case Stage::kScan:
+      if (c.chunks_total > 0) {
+        // Chunked streaming scan: the epoch's pool arrives as sequential
+        // fixed-size chunk fetches starting at the job's loader cursor.
+        job.chunks_left = c.chunks_total;
+        submit_chunk(job_id);
+        break;
+      }
       ssd.flash->submit(flow, c.scan, c.scan_bytes, "fleet.scan", next);
       break;
     case Stage::kP2p:
@@ -345,6 +376,33 @@ void FleetEngine::submit_stage(std::uint32_t job_id) {
                             "fleet.feedback", next);
       break;
   }
+}
+
+void FleetEngine::submit_chunk(std::uint32_t job_id) {
+  JobRuntime& job = jobs_[job_id];
+  SsdNode& ssd = ssds_[job.record.device];
+  const auto flow = static_cast<sim::FairQueue::FlowId>(job.record.tenant);
+  const EpochCosts& c = job.costs;
+  // The remainder lives in the last chunk index regardless of where the
+  // rotating cursor started this epoch.
+  const bool partial = job.record.next_chunk == c.chunks_total - 1;
+  const util::SimTime t = partial ? c.chunk_last : c.chunk;
+  const std::uint64_t bytes = partial ? c.chunk_last_bytes : c.chunk_bytes;
+  auto next = [this, job_id] {
+    JobRuntime& j = jobs_[job_id];
+    j.record.next_chunk = (j.record.next_chunk + 1) % j.costs.chunks_total;
+    ++j.record.chunk_fetches;
+    ++chunk_fetches_;
+    telemetry::count("fleet.chunk.fetches");
+    if (--j.chunks_left > 0) {
+      submit_chunk(job_id);
+    } else {
+      stage_done(job_id);
+    }
+  };
+  // Faults fall through FairQueue's empty-fail fallback into the same
+  // continuation, like every other stage: the chunk's time was spent.
+  ssd.flash->submit(flow, t, bytes, "fleet.chunk-fetch", next);
 }
 
 void FleetEngine::stage_done(std::uint32_t job_id) {
@@ -395,6 +453,8 @@ void FleetEngine::at_barrier(std::uint32_t job_id) {
     w.u64(job_fingerprint(job_id, job.record.tenant, job.record.epochs));
     w.u64(job.record.epochs_done);
     w.u64(job.record.preemptions);
+    w.u64(job.record.chunk_fetches);
+    w.u64(job.record.next_chunk);  // the loader cursor resumes mid-stream
     job.snapshot = w.take();
     telemetry::count("fleet.jobs.preempted");
     finish_slice(job_id, /*completed=*/false);
@@ -443,6 +503,7 @@ FleetResult FleetEngine::run() {
   result.completed = completed_;
   result.preemptions = preemptions_;
   result.resumes = resumes_;
+  result.chunk_fetches = chunk_fetches_;
   result.makespan = sim_.now();
   result.peak_queue_depth = admission_.stats().peak_depth;
   result.peak_overflow_depth = admission_.stats().peak_overflow;
@@ -550,6 +611,7 @@ void FleetResult::write_summary_json(std::ostream& out) const {
   out << "  \"completed\": " << completed << ",\n";
   out << "  \"preemptions\": " << preemptions << ",\n";
   out << "  \"resumes\": " << resumes << ",\n";
+  out << "  \"chunk_fetches\": " << chunk_fetches << ",\n";
   out << "  \"makespan_s\": " << util::to_seconds(makespan) << ",\n";
   out << "  \"latency\": {\"p50_s\": " << p50_latency_s
       << ", \"p99_s\": " << p99_latency_s

@@ -47,6 +47,12 @@ struct EpochWorkload {
   double train_gflops_per_sample = 0.041;
   std::size_t batch_size = 128;
   std::uint64_t feedback_bytes = 270'000;
+  /// Records per storage chunk of the streaming loader. 0 = monolithic scan
+  /// (the legacy per-batch flash reads). When > 0 the scan is fed by
+  /// sequential per-chunk "chunk-fetch" flash requests: a scan batch may
+  /// only issue once every record it covers has been fetched, so chunk
+  /// granularity vs. batch granularity shows up as real pipeline bubbles.
+  std::size_t chunk_records = 0;
 };
 
 /// The crash-consistent boundary of the batch-granular simulation: epoch
@@ -84,7 +90,7 @@ struct PipelineOptions {
   /// Fired at every epoch barrier, BEFORE the fault plan's kill point (if
   /// any) is evaluated — a checkpoint hook installed here has persisted
   /// every completed barrier by the time an injected crash unwinds the
-  /// simulation. See core::simulate_pipeline(RunConfig) for the wiring.
+  /// simulation. See core::simulate(const RunConfig&) for the wiring.
   std::function<void(const EpochBarrier&)> on_epoch_barrier;
 };
 
@@ -117,6 +123,9 @@ struct PipelineTrace {
   std::vector<ComponentUsage> usage;
   /// Every epoch barrier crossed, in order (see EpochBarrier).
   std::vector<EpochBarrier> barriers;
+  /// Chunk-fetch flash requests issued across the run (0 when
+  /// EpochWorkload::chunk_records == 0, i.e. the monolithic scan).
+  std::uint64_t chunk_fetches = 0;
   /// What the fault plan actually did (all zeros without a plan).
   fault::FaultReport fault;
 
@@ -131,12 +140,5 @@ PipelineTrace simulate_pipeline(const SystemConfig& config,
                                 const EpochWorkload& workload,
                                 std::size_t epochs,
                                 const PipelineOptions& options);
-
-/// Compatibility shim: default options (P2P scan, in-flight window of 4).
-[[deprecated("pass PipelineOptions explicitly, or drive the run through "
-             "core::simulate(const RunConfig&)")]]
-PipelineTrace simulate_pipeline(const SystemConfig& config,
-                                const EpochWorkload& workload,
-                                std::size_t epochs);
 
 }  // namespace nessa::smartssd

@@ -42,6 +42,14 @@ class PipelineRun {
     scan_batches_ = (w.pool_records + w.batch_size - 1) / w.batch_size;
     train_batches_ = (w.subset_records + w.batch_size - 1) / w.batch_size;
     batch_bytes_ = static_cast<std::uint64_t>(w.batch_size) * w.record_bytes;
+    if (w.chunk_records > 0) {
+      chunks_total_ = (w.pool_records + w.chunk_records - 1) / w.chunk_records;
+      chunk_bytes_ =
+          static_cast<std::uint64_t>(w.chunk_records) * w.record_bytes;
+      // Partial final chunks are charged a full chunk, matching the
+      // per-batch granularity convention below.
+      t_chunk_ = graph_.flash().read_time(w.chunk_records, w.record_bytes);
+    }
 
     // Per-batch stage durations, computed once with the full batch size
     // (partial final batches are charged a full batch, matching the
@@ -88,6 +96,7 @@ class PipelineRun {
     maybe_start_scan(0);
     graph_.run();
 
+    trace.chunk_fetches = chunk_fetches_;
     trace.first_epoch_time = trace.epoch_done.front();
     trace.steady_epoch_time =
         (trace.epoch_done.back() - trace.epoch_done.front()) /
@@ -100,6 +109,8 @@ class PipelineRun {
 
  private:
   struct EpochState {
+    std::size_t chunks_issued = 0;
+    std::size_t chunks_fetched = 0;
     std::size_t scans_issued = 0;
     std::size_t scans_inflight = 0;
     std::size_t forwards_done = 0;
@@ -146,6 +157,7 @@ class PipelineRun {
     if (e >= 2 && !state_[e - 2].feedback_done) return;
     state_[e].scan_started = true;
     arm_selection_deadline(e);
+    if (chunks_total_ > 0) issue_chunk_fetch(e);
     pump_scan(e);
   }
 
@@ -161,7 +173,7 @@ class PipelineRun {
 
   void pump_scan(std::size_t e) {
     auto& st = state_[e];
-    while (st.scans_issued < scan_batches_ &&
+    while (st.scans_issued < unlocked_scan_batches(st) &&
            st.scans_inflight < opts_.max_inflight) {
       ++st.scans_issued;
       ++st.scans_inflight;
@@ -169,11 +181,55 @@ class PipelineRun {
     }
   }
 
+  /// How many scan batches may issue given the loader's fetch progress.
+  /// Monolithic scan (chunk_records == 0): all of them — each batch does
+  /// its own flash read. Chunked scan: a batch may only start once every
+  /// record it covers has been chunk-fetched, so chunk granularity vs.
+  /// batch granularity shows up as real pipeline bubbles.
+  [[nodiscard]] std::size_t unlocked_scan_batches(
+      const EpochState& st) const noexcept {
+    if (chunks_total_ == 0 || st.chunks_fetched == chunks_total_) {
+      return scan_batches_;
+    }
+    return static_cast<std::size_t>(
+        static_cast<std::uint64_t>(st.chunks_fetched) * w_.chunk_records /
+        w_.batch_size);
+  }
+
   void issue_scan_batch(std::size_t e) {
+    if (chunks_total_ > 0) {
+      // Chunked loader: the flash time and bytes were charged by the chunk
+      // fetch, so the batch starts at the transfer stage.
+      route_scan_transfer(e);
+      return;
+    }
     post(
         graph_.flash(), t_flash_, batch_bytes_, "flash-read",
         [this, e] { route_scan_transfer(e); },
         [this, e] { drop_scan_batch(e); });
+  }
+
+  // --- chunked loader: sequential chunk fetches feed the scan -----------
+
+  void issue_chunk_fetch(std::size_t e) {
+    auto& st = state_[e];
+    if (st.chunks_issued >= chunks_total_) return;
+    ++st.chunks_issued;
+    // A fetch that exhausts its retry budget still counts as fetched: the
+    // scan batches it would unlock must not wait forever (the records it
+    // covered surface as dropped scan batches downstream, not a deadlock).
+    post(
+        graph_.flash(), t_chunk_, chunk_bytes_, "chunk-fetch",
+        [this, e] { on_chunk_fetched(e); },
+        [this, e] { on_chunk_fetched(e); });
+  }
+
+  void on_chunk_fetched(std::size_t e) {
+    ++state_[e].chunks_fetched;
+    ++chunk_fetches_;
+    telemetry::count("pipeline.chunk.fetches");
+    issue_chunk_fetch(e);  // prefetch the next chunk in sequence
+    pump_scan(e);
   }
 
   /// Ship one scanned batch to the FPGA over whichever path is currently
@@ -452,6 +508,10 @@ class PipelineRun {
   std::size_t scan_batches_ = 0;
   std::size_t train_batches_ = 0;
   std::uint64_t batch_bytes_ = 0;
+  std::size_t chunks_total_ = 0;  ///< 0 = monolithic scan
+  std::uint64_t chunk_bytes_ = 0;
+  SimTime t_chunk_ = 0;
+  std::uint64_t chunk_fetches_ = 0;
   SimTime t_flash_ = 0, t_p2p_ = 0, t_host_ = 0, t_stage_ = 0, t_gpu_link_ = 0,
           t_fwd_ = 0, t_select_ = 0, t_train_ = 0, t_feedback_ = 0;
 
@@ -497,12 +557,6 @@ PipelineTrace simulate_pipeline(const SystemConfig& config,
   }
   PipelineRun run(config, w, epochs, options);
   return run.run();
-}
-
-PipelineTrace simulate_pipeline(const SystemConfig& config,
-                                const EpochWorkload& workload,
-                                std::size_t epochs) {
-  return simulate_pipeline(config, workload, epochs, PipelineOptions{});
 }
 
 }  // namespace nessa::smartssd

@@ -139,6 +139,8 @@ class Rng {
     std::array<std::uint64_t, 4> words{};
     double gaussian_spare = 0.0;
     bool gaussian_cached = false;
+
+    friend bool operator==(const State&, const State&) = default;
   };
 
   [[nodiscard]] State state() const noexcept {

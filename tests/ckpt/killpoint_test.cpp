@@ -15,6 +15,7 @@
 
 #include "nessa/ckpt/errors.hpp"
 #include "../support/run_helpers.hpp"
+#include "nessa/data/scenario.hpp"
 #include "nessa/data/synthetic.hpp"
 #include "nessa/fault/crash.hpp"
 
@@ -90,6 +91,10 @@ void expect_identical(const RunResult& a, const RunResult& b) {
     EXPECT_EQ(x.cost.feedback, y.cost.feedback) << "epoch " << i;
     EXPECT_EQ(x.cost.selection_overlapped, y.cost.selection_overlapped);
     EXPECT_EQ(x.cost.modeled_total, y.cost.modeled_total) << "epoch " << i;
+    expect_bits(x.selection_overlap, y.selection_overlap,
+                "selection_overlap", i);
+    EXPECT_EQ(x.chunk_fetches, y.chunk_fetches) << "epoch " << i;
+    EXPECT_EQ(x.class_mix, y.class_mix) << "epoch " << i;
   }
   expect_bits(a.final_accuracy, b.final_accuracy, "final_accuracy", 0);
   expect_bits(a.best_accuracy, b.best_accuracy, "best_accuracy", 0);
@@ -146,6 +151,34 @@ TEST(Killpoint, NessaResumesBitIdenticalFromEveryEpoch) {
   for (std::size_t k = 1; k < kEpochs; ++k) {
     SCOPED_TRACE("crash at epoch " + std::to_string(k));
     const auto dir = fresh_dir("nessa_k" + std::to_string(k));
+    expect_identical(crash_and_resume(&drive_nessa, base, dir, k), golden);
+  }
+}
+
+TEST(Killpoint, StreamedChunkedRunResumesBitIdenticalFromEveryEpoch) {
+  // The hard case the streaming interface adds: a non-stationary scenario
+  // stream AND a chunked scan. A resume must rebuild the per-epoch pool from
+  // the stream (deterministic random access), restore the carried subset for
+  // the overlap telemetry, and replay the chunk-fetch accounting — all
+  // bit-exactly, at every kill point.
+  data::scenario::ScenarioConfig sc;
+  sc.kind = data::scenario::Kind::kDrift;
+  sc.seed = 9;
+  sc.train_size = 300;
+  sc.num_classes = 4;
+  const auto stream = data::scenario::make_scenario(sc);
+  PipelineInputs base = make_inputs();
+  base.dataset = &stream->base();
+  base.stream = stream.get();
+  base.train.chunk_samples = 64;
+  smartssd::SmartSsdSystem golden_sys;
+  const RunResult golden = drive_nessa(base, golden_sys);
+  ASSERT_EQ(golden.epochs.size(), kEpochs);
+  EXPECT_GT(golden.epochs.front().chunk_fetches, 0u);
+  EXPECT_FALSE(golden.epochs.front().class_mix.empty());
+  for (std::size_t k = 1; k < kEpochs; ++k) {
+    SCOPED_TRACE("crash at epoch " + std::to_string(k));
+    const auto dir = fresh_dir("stream_k" + std::to_string(k));
     expect_identical(crash_and_resume(&drive_nessa, base, dir, k), golden);
   }
 }

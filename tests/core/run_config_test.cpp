@@ -1,7 +1,6 @@
 // RunConfig: fluent construction, exhaustive validation, the implied
 // selection driver, and equivalence of the unified core::run()/simulate()
-// entry points with the legacy piecewise overloads (the one test that
-// still calls a deprecated shim does so deliberately, under a pragma).
+// entry points with direct calls into the per-pipeline drivers.
 #include "nessa/core/run_config.hpp"
 
 #include <gtest/gtest.h>
@@ -198,12 +197,8 @@ TEST(RunConfig, UnifiedRunMatchesLegacyPath) {
   rc.pipeline = PipelineKind::kNessa;
   rc.parallelism = rc.nessa.parallelism;
   const auto via_config = run(inputs, rc, sys_new);
-  // Intentional deprecated-shim coverage: the unified dispatcher must keep
-  // matching the PR-2 era piecewise overload until the shim is deleted.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto legacy = run_nessa(inputs, rc.nessa, sys_old);
-#pragma GCC diagnostic pop
+  // The unified dispatcher must match a direct call into the driver.
+  const auto legacy = detail::run_nessa(inputs, rc.nessa, sys_old);
   ASSERT_EQ(via_config.epochs.size(), legacy.epochs.size());
   EXPECT_DOUBLE_EQ(via_config.final_accuracy, legacy.final_accuracy);
   EXPECT_EQ(via_config.interconnect_bytes, legacy.interconnect_bytes);

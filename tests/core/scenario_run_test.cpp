@@ -1,0 +1,217 @@
+// Chunked scoring and scenario-stream runs through the core drivers: the
+// chunked scan must be bit-identical to the monolithic one, streams must
+// populate the new per-epoch telemetry, and run_scenario must drive several
+// pipelines over the same stream.
+#include "nessa/core/scenario_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <numeric>
+#include <sstream>
+
+#include "../../src/core/src/pipeline_common.hpp"
+#include "../support/run_helpers.hpp"
+#include "nessa/data/synthetic.hpp"
+
+namespace nessa::core {
+namespace {
+
+data::Dataset small_dataset(std::uint64_t seed = 5) {
+  data::SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.train_size = 400;
+  cfg.test_size = 100;
+  cfg.feature_dim = 12;
+  cfg.seed = seed;
+  return data::make_synthetic(cfg);
+}
+
+PipelineInputs make_inputs(const data::Dataset& ds, std::size_t epochs = 4) {
+  PipelineInputs in;
+  in.dataset = &ds;
+  in.info = data::dataset_info("CIFAR-10");
+  in.model = nn::model_spec("ResNet-20");
+  in.train.epochs = epochs;
+  in.train.batch_size = 32;
+  in.train.seed = 3;
+  return in;
+}
+
+NessaConfig fast_nessa() {
+  NessaConfig cfg;
+  cfg.subset_fraction = 0.3;
+  cfg.partition_quota = 32;
+  cfg.drop_interval_epochs = 2;
+  cfg.loss_window_epochs = 2;
+  return cfg;
+}
+
+/// Row-wise deterministic kernel: every output of row r is a pure function
+/// of row r's features/label, which is exactly the property that makes the
+/// chunked scan bit-identical to the monolithic one.
+class RowHashModel final : public SelectionModel {
+ public:
+  QEmbeddings score(const data::Split& split,
+                    std::span<const std::size_t> pool, bool /*scaled*/,
+                    std::size_t /*batch_size*/) override {
+    constexpr std::size_t kClasses = 3;
+    QEmbeddings out;
+    out.embeddings = tensor::Tensor({pool.size(), kClasses});
+    out.losses.resize(pool.size());
+    out.correct.resize(pool.size());
+    const std::size_t dim = split.dim();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      float sum = 0.0F;
+      for (std::size_t d = 0; d < dim; ++d) {
+        sum += split.features[pool[i] * dim + d];
+      }
+      for (std::size_t c = 0; c < kClasses; ++c) {
+        out.embeddings[i * kClasses + c] =
+            sum * static_cast<float>(c + 1) + split.labels[pool[i]];
+      }
+      out.losses[i] = sum;
+      out.correct[i] = split.labels[pool[i]] == 0;
+    }
+    return out;
+  }
+  void refresh(const nn::Sequential&) override {}
+  [[nodiscard]] std::size_t payload_bytes() const override { return 0; }
+  [[nodiscard]] double mac_cost_factor() const override { return 1.0; }
+};
+
+TEST(ChunkedScoring, MatchesMonolithicBitExactly) {
+  const data::Dataset ds = small_dataset();
+  // A scattered pool: some chunks dense, chunk 2 entirely absent (biased
+  // out) so the chunked path must skip its fetch.
+  std::vector<std::size_t> pool;
+  for (std::size_t i = 0; i < ds.train_size(); ++i) {
+    if (i / 64 == 2) continue;
+    if (i % 3 != 1) pool.push_back(i);
+  }
+
+  RowHashModel mono_kernel, chunk_kernel;
+  const auto mono = detail::score_pool(mono_kernel, ds.train(), pool,
+                                       /*scaled=*/false, /*batch_size=*/32,
+                                       /*chunk_samples=*/0,
+                                       ds.stored_bytes_per_sample());
+  const auto chunked = detail::score_pool(chunk_kernel, ds.train(), pool,
+                                          /*scaled=*/false, /*batch_size=*/32,
+                                          /*chunk_samples=*/64,
+                                          ds.stored_bytes_per_sample());
+
+  EXPECT_EQ(mono.chunk_fetches, 0u);
+  // 400 rows in 64-row chunks = 7 chunks, minus the biased-out chunk 2.
+  EXPECT_EQ(chunked.chunk_fetches, 6u);
+  ASSERT_EQ(chunked.emb.losses.size(), pool.size());
+  ASSERT_EQ(chunked.emb.embeddings.size(), mono.emb.embeddings.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(mono.emb.losses[i]),
+              std::bit_cast<std::uint32_t>(chunked.emb.losses[i]))
+        << "loss diverged at pool slot " << i;
+    EXPECT_EQ(mono.emb.correct[i], chunked.emb.correct[i]);
+  }
+  for (std::size_t i = 0; i < mono.emb.embeddings.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(mono.emb.embeddings[i]),
+              std::bit_cast<std::uint32_t>(chunked.emb.embeddings[i]))
+        << "embedding diverged at element " << i;
+  }
+}
+
+TEST(ChunkedScoring, ChunkedNessaRunMatchesMonolithicAccuracy) {
+  // The chunked scan only changes WHERE rows are read from, never the math:
+  // the whole accuracy/subset trajectory must be bit-identical, with the
+  // chunk-fetch ledger as the only difference.
+  const data::Dataset ds = small_dataset();
+  PipelineInputs mono_in = make_inputs(ds);
+  PipelineInputs chunk_in = make_inputs(ds);
+  chunk_in.train.chunk_samples = 100;
+
+  smartssd::SmartSsdSystem sys_a, sys_b;
+  const RunResult mono = nessa_run(mono_in, fast_nessa(), sys_a);
+  const RunResult chunked = nessa_run(chunk_in, fast_nessa(), sys_b);
+
+  ASSERT_EQ(mono.epochs.size(), chunked.epochs.size());
+  std::uint64_t fetches = 0;
+  for (std::size_t e = 0; e < mono.epochs.size(); ++e) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(mono.epochs[e].test_accuracy),
+              std::bit_cast<std::uint64_t>(chunked.epochs[e].test_accuracy))
+        << "accuracy diverged at epoch " << e;
+    EXPECT_EQ(mono.epochs[e].subset_size, chunked.epochs[e].subset_size);
+    EXPECT_EQ(mono.epochs[e].chunk_fetches, 0u);
+    fetches += chunked.epochs[e].chunk_fetches;
+  }
+  EXPECT_GT(fetches, 0u);
+}
+
+TEST(ScenarioRun, StreamRunPopulatesPerEpochTelemetry) {
+  data::scenario::ScenarioConfig sc;
+  sc.kind = data::scenario::Kind::kNoiseBurst;
+  sc.seed = 21;
+  sc.train_size = 300;
+  sc.num_classes = 4;
+  const auto stream = data::scenario::make_scenario(sc);
+
+  PipelineInputs in = make_inputs(stream->base(), /*epochs=*/5);
+  in.stream = stream.get();
+  in.train.chunk_samples = 64;
+  smartssd::SmartSsdSystem sys;
+  const RunResult run = nessa_run(in, fast_nessa(), sys);
+
+  ASSERT_EQ(run.epochs.size(), 5u);
+  // First selection has no predecessor: overlap is defined as 1.0.
+  EXPECT_DOUBLE_EQ(run.epochs.front().selection_overlap, 1.0);
+  for (const auto& e : run.epochs) {
+    EXPECT_GE(e.selection_overlap, 0.0);
+    EXPECT_LE(e.selection_overlap, 1.0);
+    ASSERT_EQ(e.class_mix.size(), sc.num_classes);
+    const std::uint64_t total = std::accumulate(
+        e.class_mix.begin(), e.class_mix.end(), std::uint64_t{0});
+    EXPECT_EQ(total, sc.train_size);  // histogram covers the whole pool
+  }
+}
+
+TEST(ScenarioRun, ComparesPipelinesOverTheSameStream) {
+  ScenarioRunConfig cfg;
+  cfg.scenario.kind = data::scenario::Kind::kImbalance;
+  cfg.scenario.seed = 4;
+  cfg.scenario.train_size = 300;
+  cfg.scenario.num_classes = 4;
+  cfg.train.epochs = 3;
+  cfg.train.batch_size = 32;
+  cfg.train.seed = 2;
+  cfg.train.chunk_samples = 64;
+  cfg.nessa = fast_nessa();
+
+  const ScenarioRunResult result = run_scenario(cfg);
+  ASSERT_EQ(result.outcomes.size(), 3u);
+  EXPECT_EQ(result.outcomes[0].pipeline, PipelineKind::kNessa);
+  EXPECT_EQ(result.outcomes[1].pipeline, PipelineKind::kRandom);
+  EXPECT_EQ(result.outcomes[2].pipeline, PipelineKind::kFull);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_EQ(outcome.result.epochs.size(), 3u)
+        << to_string(outcome.pipeline);
+    EXPECT_GT(outcome.result.final_accuracy, 0.0);
+  }
+  // Full trains on everything; the subset pipelines don't.
+  EXPECT_DOUBLE_EQ(result.outcomes[2].result.mean_subset_fraction, 1.0);
+  EXPECT_LT(result.outcomes[0].result.mean_subset_fraction, 0.8);
+
+  std::ostringstream os;
+  write_scenario_summary_json(result, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"scenario\": \"imbalance\""), std::string::npos);
+  EXPECT_NE(json.find("\"chunk_samples\": 64"), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline\": \"nessa\""), std::string::npos);
+  EXPECT_NE(json.find("\"selection_overlap\""), std::string::npos);
+  EXPECT_NE(json.find("\"class_mix\""), std::string::npos);
+}
+
+TEST(ScenarioRun, RejectsEmptyPipelineList) {
+  ScenarioRunConfig cfg;
+  cfg.pipelines.clear();
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nessa::core

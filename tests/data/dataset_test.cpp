@@ -28,6 +28,25 @@ TEST(Dataset, ConstructionAndAccessors) {
   EXPECT_EQ(ds.train_stored_bytes(), 900u);
 }
 
+TEST(SplitDim, EmptySplitReportsZero) {
+  EXPECT_EQ(Split{}.dim(), 0u);
+}
+
+TEST(SplitDim, ThrowsOnNonMatrixFeatures) {
+  // Regression: dim() used to silently report 0 for any rank != 2 tensor,
+  // which hid malformed splits (e.g. an image batch handed over un-flattened)
+  // until some far-away consumer divided by it.
+  Split rank3;
+  rank3.features = Tensor({2, 3, 3});
+  rank3.labels.assign(2, 0);
+  EXPECT_THROW(rank3.dim(), std::invalid_argument);
+
+  Split rank1;
+  rank1.features = Tensor({6});
+  rank1.labels.assign(6, 0);
+  EXPECT_THROW(rank1.dim(), std::invalid_argument);
+}
+
 TEST(Dataset, RejectsZeroClasses) {
   EXPECT_THROW(
       Dataset("x", 0, 10, make_split(3, 2, 1), make_split(1, 2, 1)),

@@ -1,0 +1,112 @@
+// Non-stationary scenario streams: deterministic random access (the
+// property crash/preempt resume leans on), preset-specific shapes, and the
+// fixed clean test split.
+#include "nessa/data/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+namespace nessa::data::scenario {
+namespace {
+
+ScenarioConfig small(Kind kind, std::uint64_t seed = 42) {
+  ScenarioConfig c;
+  c.kind = kind;
+  c.seed = seed;
+  c.train_size = 300;
+  c.num_classes = 6;
+  return c;
+}
+
+bool splits_equal(const Split& a, const Split& b) {
+  if (a.labels != b.labels) return false;
+  if (a.features.shape() != b.features.shape()) return false;
+  for (std::size_t i = 0; i < a.features.size(); ++i) {
+    if (a.features[i] != b.features[i]) return false;
+  }
+  return true;
+}
+
+TEST(Scenario, NamesRoundTrip) {
+  for (const auto name : preset_names()) {
+    EXPECT_EQ(to_string(kind_from_string(name)), name);
+  }
+  EXPECT_THROW(kind_from_string("melted-cheese"), std::invalid_argument);
+}
+
+TEST(Scenario, DeterministicRandomAccess) {
+  // at(e) must depend only on (preset, seed, e) — access order must not
+  // matter, or a resumed run would see different data than the crashed one.
+  for (const auto name : preset_names()) {
+    const auto cfg = small(kind_from_string(name));
+    const auto forward = make_scenario(cfg);
+    const auto backward = make_scenario(cfg);
+    Split epoch3 = forward->at(3).train();  // copy: at() invalidates
+    backward->at(7);
+    backward->at(0);
+    EXPECT_TRUE(splits_equal(epoch3, backward->at(3).train()))
+        << name << " epoch 3 depends on access history";
+  }
+}
+
+TEST(Scenario, SeedChangesTheStream) {
+  const auto a = make_scenario(small(Kind::kDrift, 1));
+  const auto b = make_scenario(small(Kind::kDrift, 2));
+  EXPECT_NE(a->fingerprint(), b->fingerprint());
+  EXPECT_FALSE(splits_equal(a->at(0).train(), b->at(0).train()));
+}
+
+TEST(Scenario, TestSplitIsFixedAcrossEpochs) {
+  for (const auto name : preset_names()) {
+    const auto stream = make_scenario(small(kind_from_string(name)));
+    const Split base_test = stream->base().test();
+    EXPECT_TRUE(splits_equal(base_test, stream->at(0).test())) << name;
+    EXPECT_TRUE(splits_equal(base_test, stream->at(9).test())) << name;
+  }
+}
+
+TEST(Scenario, PoolMetadataIsConstant) {
+  const auto stream = make_scenario(small(Kind::kImbalance));
+  const Dataset& base = stream->base();
+  for (std::size_t e : {0u, 4u, 11u}) {
+    const Dataset& ds = stream->at(e);
+    EXPECT_EQ(ds.train_size(), base.train_size());
+    EXPECT_EQ(ds.num_classes(), base.num_classes());
+    EXPECT_EQ(ds.stored_bytes_per_sample(), base.stored_bytes_per_sample());
+  }
+}
+
+TEST(Scenario, DriftMovesTheClassMix) {
+  const auto stream = make_scenario(small(Kind::kDrift));
+  const auto early = stream->class_histogram(0);
+  const auto late = stream->class_histogram(12);
+  ASSERT_EQ(early.size(), late.size());
+  // The focus window slides: the dominant class changes across the run.
+  const auto peak = [](const std::vector<std::size_t>& h) {
+    return std::distance(h.begin(), std::max_element(h.begin(), h.end()));
+  };
+  EXPECT_NE(peak(early), peak(late));
+}
+
+TEST(Scenario, ImbalanceIsHeavyTailed) {
+  const auto stream = make_scenario(small(Kind::kImbalance));
+  auto hist = stream->class_histogram(0);
+  std::sort(hist.begin(), hist.end());
+  // Zipf s=1.2: the most common class dwarfs the rarest.
+  EXPECT_GE(hist.back(), 4 * std::max<std::size_t>(hist.front(), 1));
+}
+
+TEST(Scenario, FingerprintsSeparatePresets) {
+  std::vector<std::uint64_t> fps;
+  for (const auto name : preset_names()) {
+    fps.push_back(make_scenario(small(kind_from_string(name)))->fingerprint());
+  }
+  std::sort(fps.begin(), fps.end());
+  EXPECT_EQ(std::adjacent_find(fps.begin(), fps.end()), fps.end());
+}
+
+}  // namespace
+}  // namespace nessa::data::scenario

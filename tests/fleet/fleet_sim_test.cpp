@@ -150,6 +150,44 @@ TEST(FleetSim, PreemptAtEveryEpochStillFinishesAllWork) {
   }
 }
 
+TEST(FleetSim, ChunkedScanSurvivesPreemptionWithExactAccounting) {
+  // Chunked jobs stream the scan pool through sequential flash chunk
+  // fetches; the loader cursor and fetch ledger are part of the preemption
+  // snapshot, so slicing at every epoch barrier must not lose, duplicate,
+  // or reorder a single fetch.
+  auto config = small_fleet();
+  config.job.workload.chunk_records = 10'000;
+  const auto arrivals = small_stream();
+  const auto baseline = run_fleet(config, arrivals);
+
+  const std::size_t chunks_per_epoch =
+      (config.job.workload.pool_records + config.job.workload.chunk_records -
+       1) /
+      config.job.workload.chunk_records;
+  std::uint64_t total = 0;
+  for (const JobRecord& job : baseline.jobs) {
+    EXPECT_EQ(job.chunk_fetches, job.epochs_done * chunks_per_epoch);
+    // Every epoch streams a whole number of pool laps, so the cursor is
+    // back at the start of the rotation at each epoch barrier.
+    EXPECT_EQ(job.next_chunk, 0u);
+    total += job.chunk_fetches;
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(baseline.chunk_fetches, total);
+
+  config.preempt_quantum_epochs = 1;
+  const auto sliced = run_fleet(config, arrivals);
+  EXPECT_EQ(sliced.chunk_fetches, baseline.chunk_fetches);
+  ASSERT_EQ(sliced.jobs.size(), baseline.jobs.size());
+  for (std::size_t i = 0; i < sliced.jobs.size(); ++i) {
+    EXPECT_EQ(sliced.jobs[i].chunk_fetches, baseline.jobs[i].chunk_fetches)
+        << "job " << i;
+    EXPECT_EQ(sliced.jobs[i].next_chunk, baseline.jobs[i].next_chunk)
+        << "job " << i;
+  }
+  EXPECT_NE(summary_of(baseline).find("\"chunk_fetches\""), std::string::npos);
+}
+
 TEST(FleetSim, PerArrivalEpochsOverrideTheBaseSpec) {
   auto config = small_fleet();
   std::vector<Arrival> arrivals;

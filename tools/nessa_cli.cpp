@@ -23,6 +23,14 @@
 //     --resume            resume from the newest valid snapshot in the
 //                         checkpoint dir (strips any crash kill point from
 //                         the fault plan); exits nonzero when none exists
+//     --scenario NAME     non-stationary stream preset (drift | imbalance |
+//                         noise-burst | duplicates) instead of a static
+//                         substrate dataset; adds a class-mix column
+//     --scenario-summary P  with --scenario: run nessa vs random vs full
+//                         over the same stream and write the comparison
+//                         summary JSON to P (used by CI scenario-smoke)
+//     --chunk-samples N   stream the selection scan through N-sample
+//                         storage chunks (0 = monolithic scan, default)
 //     --trace PATH        write a Chrome trace-event JSON of the run
 //     --metrics PATH      write the counters/gauges/histograms JSON
 //     --csv PATH          also write the per-epoch table as CSV
@@ -31,9 +39,11 @@
 //
 // Exit codes: 0 success, 1 usage/config error (including --resume with no
 // valid snapshot), 3 run terminated by an injected crash kill point.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -41,6 +51,7 @@
 #include "nessa/core/energy.hpp"
 #include "nessa/core/report.hpp"
 #include "nessa/core/run.hpp"
+#include "nessa/core/scenario_run.hpp"
 #include "nessa/fault/crash.hpp"
 #include "nessa/telemetry/telemetry.hpp"
 #include "nessa/util/table.hpp"
@@ -65,6 +76,9 @@ struct Options {
   bool parallel = false;
   std::string perf_model = "analytic";
   std::string fault_plan;
+  std::string scenario;
+  std::string scenario_summary_path;
+  std::size_t chunk_samples = 0;
   std::string checkpoint_dir;
   std::size_t checkpoint_every = 1;
   bool resume = false;
@@ -83,6 +97,8 @@ void print_usage() {
       "             [--no-biasing] [--no-partitioning] [--no-dynamic]\n"
       "             [--parallel] [--perf-model analytic|event]\n"
       "             [--fault-plan flaky-p2p|slow-nand|fpga-stall|FILE]\n"
+      "             [--scenario drift|imbalance|noise-burst|duplicates]\n"
+      "             [--scenario-summary PATH] [--chunk-samples N]\n"
       "             [--checkpoint-dir PATH] [--checkpoint-every N] "
       "[--resume]\n"
       "             [--trace PATH] [--metrics PATH]\n"
@@ -154,6 +170,18 @@ ParseResult parse(int argc, char** argv, Options& opt) {
       const char* v = next("--fault-plan");
       if (!v) return ParseResult::kError;
       opt.fault_plan = v;
+    } else if (arg == "--scenario") {
+      const char* v = next("--scenario");
+      if (!v) return ParseResult::kError;
+      opt.scenario = v;
+    } else if (arg == "--scenario-summary") {
+      const char* v = next("--scenario-summary");
+      if (!v) return ParseResult::kError;
+      opt.scenario_summary_path = v;
+    } else if (arg == "--chunk-samples") {
+      const char* v = next("--chunk-samples");
+      if (!v) return ParseResult::kError;
+      opt.chunk_samples = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--checkpoint-dir") {
       const char* v = next("--checkpoint-dir");
       if (!v) return ParseResult::kError;
@@ -189,6 +217,22 @@ ParseResult parse(int argc, char** argv, Options& opt) {
   return ParseResult::kRun;
 }
 
+/// Compact per-epoch class-distribution cell: per-class percentages of the
+/// epoch's visible pool, slash-separated ("23/9/11/...").
+std::string class_mix_cell(const std::vector<std::uint32_t>& mix) {
+  if (mix.empty()) return "-";
+  std::uint64_t total = 0;
+  for (std::uint32_t count : mix) total += count;
+  if (total == 0) return "-";
+  std::string cell;
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    if (c > 0) cell += "/";
+    cell += std::to_string(
+        (static_cast<std::uint64_t>(mix[c]) * 100 + total / 2) / total);
+  }
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,15 +244,41 @@ int main(int argc, char** argv) {
   }
 
   const auto& info = data::dataset_info(opt.dataset);
-  auto ds = data::make_substrate_dataset(info, opt.scale, 0, opt.seed);
+
+  // A scenario preset replaces the static substrate dataset with a
+  // non-stationary per-epoch stream over the same paper-scale metadata.
+  data::scenario::ScenarioConfig scenario_config;
+  std::unique_ptr<data::scenario::EpochStream> stream;
+  std::optional<data::Dataset> substrate;
+  if (!opt.scenario.empty()) {
+    try {
+      scenario_config.kind = data::scenario::kind_from_string(opt.scenario);
+    } catch (const std::exception& e) {
+      std::cerr << "config error: " << e.what() << "\n";
+      return 1;
+    }
+    scenario_config.seed = opt.seed;
+    scenario_config.train_size = std::max<std::size_t>(
+        200, static_cast<std::size_t>(
+                 static_cast<double>(info.paper_train_size) * opt.scale));
+    stream = data::scenario::make_scenario(scenario_config);
+  } else {
+    if (!opt.scenario_summary_path.empty()) {
+      std::cerr << "config error: --scenario-summary requires --scenario\n";
+      return 1;
+    }
+    substrate = data::make_substrate_dataset(info, opt.scale, 0, opt.seed);
+  }
 
   core::PipelineInputs inputs;
-  inputs.dataset = &ds;
+  inputs.dataset = stream ? &stream->base() : &*substrate;
+  inputs.stream = stream.get();
   inputs.info = info;
   inputs.model = nn::model_spec(info.paper_network);
   inputs.train.epochs = opt.epochs;
   inputs.train.batch_size = 128;
   inputs.train.seed = opt.seed;
+  inputs.train.chunk_samples = opt.chunk_samples;
 
   // One validated RunConfig drives the run end to end.
   core::RunConfig rc;
@@ -261,6 +331,59 @@ int main(int argc, char** argv) {
   std::optional<telemetry::Session> session;
   if (rc.telemetry.enabled) session.emplace();
 
+  if (!opt.scenario_summary_path.empty()) {
+    // Comparison mode: nessa vs random vs full over the SAME stream.
+    core::ScenarioRunConfig scfg;
+    scfg.scenario = scenario_config;
+    scfg.dataset = opt.dataset;
+    scfg.train = inputs.train;
+    scfg.nessa = rc.nessa;
+    scfg.perf_model = rc.perf_model;
+    scfg.system = rc.system;
+    const auto result = core::run_scenario(scfg);
+    core::write_scenario_summary_json_file(result, opt.scenario_summary_path);
+
+    std::cout << "scenario " << opt.scenario << " on " << info.name
+              << " (stream " << scenario_config.train_size
+              << " samples/epoch, seed " << scenario_config.seed;
+    if (opt.chunk_samples > 0) {
+      std::cout << ", " << opt.chunk_samples << "-sample chunks";
+    }
+    std::cout << ")\n\n";
+    util::Table cmp("scenario comparison");
+    cmp.set_header({"pipeline", "final acc (%)", "best acc (%)",
+                    "mean subset (%)", "mean overlap", "chunk fetches",
+                    "total time (s)"});
+    for (const auto& outcome : result.outcomes) {
+      const core::RunResult& r = outcome.result;
+      std::uint64_t fetches = 0;
+      double overlap = 0.0;
+      for (const auto& e : r.epochs) {
+        fetches += e.chunk_fetches;
+        overlap += e.selection_overlap;
+      }
+      if (!r.epochs.empty()) overlap /= static_cast<double>(r.epochs.size());
+      cmp.add_row({std::string(core::to_string(outcome.pipeline)),
+                   util::Table::pct(r.final_accuracy),
+                   util::Table::pct(r.best_accuracy),
+                   util::Table::pct(r.mean_subset_fraction),
+                   util::Table::num(overlap, 3), util::Table::num(fetches),
+                   util::Table::num(util::to_seconds(r.total_time), 2)});
+    }
+    cmp.print(std::cout);
+    std::cout << "\nscenario summary    : " << opt.scenario_summary_path
+              << "\n";
+    if (session) {
+      if (!rc.telemetry.trace_path.empty()) {
+        session->trace().write_chrome_trace_file(rc.telemetry.trace_path);
+      }
+      if (!rc.telemetry.metrics_path.empty()) {
+        session->metrics().write_json_file(rc.telemetry.metrics_path);
+      }
+    }
+    return 0;
+  }
+
   smartssd::SmartSsdSystem system(rc.system);
 
   core::RunResult run;
@@ -292,8 +415,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::cout << opt.pipeline << " on " << info.name << " (substrate "
-            << ds.train_size() << " samples; paper scale "
+  std::cout << opt.pipeline << " on " << info.name;
+  if (stream) std::cout << " (scenario " << opt.scenario << "; stream ";
+  else std::cout << " (substrate ";
+  std::cout << inputs.dataset->train_size() << " samples; paper scale "
             << info.paper_train_size << " x "
             << info.stored_bytes_per_sample << " B, " << info.paper_network
             << ", " << opt.gpu;
@@ -305,15 +430,20 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   util::Table table("per-epoch report");
-  table.set_header({"epoch", "acc (%)", "loss", "subset (%)", "pool",
-                    "epoch time (s)"});
+  std::vector<std::string> header = {"epoch",      "acc (%)", "loss",
+                                     "subset (%)", "pool",    "epoch time (s)"};
+  if (stream) header.push_back("class mix (%)");
+  table.set_header(header);
   for (const auto& e : run.epochs) {
-    table.add_row({util::Table::num(e.epoch),
-                   util::Table::pct(e.test_accuracy),
-                   util::Table::num(e.train_loss, 3),
-                   util::Table::pct(e.subset_fraction),
-                   util::Table::num(e.pool_size),
-                   util::Table::num(util::to_seconds(e.cost.total()), 2)});
+    std::vector<std::string> row = {
+        util::Table::num(e.epoch),
+        util::Table::pct(e.test_accuracy),
+        util::Table::num(e.train_loss, 3),
+        util::Table::pct(e.subset_fraction),
+        util::Table::num(e.pool_size),
+        util::Table::num(util::to_seconds(e.cost.total()), 2)};
+    if (stream) row.push_back(class_mix_cell(e.class_mix));
+    table.add_row(row);
   }
   table.print(std::cout);
 

@@ -4,12 +4,16 @@
 //   trace-dump [--trace PATH] [--metrics PATH] [--pipeline-epochs N]
 //              [--train-epochs N] [--scale S] [--seed N]
 //              [--fault-plan PRESET|FILE] [--fleet-jobs N]
+//              [--scenario PRESET]
 //
 // Runs (1) the batch-granular SmartSSD pipeline simulation, which emits
 // sim-clock spans for every modeled resource (flash-read, fpga-forward,
-// selection, host-link, gpu-link, gpu-train, feedback), (2) a short
-// substrate NeSSA training run, which emits wall-clock spans from the
-// selection engine and the trainers plus the bytes-moved counters, and —
+// selection, host-link, gpu-link, gpu-train, feedback — plus chunk-fetch
+// when --scenario switches the flash plan to chunked streaming), (2) a
+// short substrate NeSSA training run, which emits wall-clock spans from
+// the selection engine and the trainers plus the bytes-moved counters
+// (with --scenario the run trains on the non-stationary stream through
+// the chunked Loader and prints the per-epoch class distribution), and —
 // with --fleet-jobs — (3) a small multi-tenant fleet run, which adds the
 // prefixed per-device spans ("ssd0.flash_bus", "gpu1.gpu", ...) and the
 // fleet.jobs.* counters. A trace file therefore holds spans from however
@@ -17,8 +21,11 @@
 // trace per file. Then writes the Chrome trace-event JSON (load in
 // chrome://tracing or Perfetto) and the flat metrics JSON. CI parses both
 // and checks the phase names.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "nessa/fleet/fleet_sim.hpp"
@@ -38,6 +45,7 @@ struct Options {
   std::uint64_t seed = 42;
   std::string fault_plan;
   std::size_t fleet_jobs = 0;  ///< 0 = skip the fleet stage
+  std::string scenario;        ///< empty = static substrate dataset
 };
 
 void print_usage() {
@@ -46,7 +54,9 @@ void print_usage() {
                "                  [--scale S] [--seed N]\n"
                "                  [--fault-plan flaky-p2p|slow-nand|"
                "fpga-stall|FILE]\n"
-               "                  [--fleet-jobs N]\n";
+               "                  [--fleet-jobs N]\n"
+               "                  [--scenario drift|imbalance|noise-burst|"
+               "duplicates]\n";
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -94,6 +104,10 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next("--fleet-jobs");
       if (!v) return false;
       opt.fleet_jobs = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--scenario") {
+      const char* v = next("--scenario");
+      if (!v) return false;
+      opt.scenario = v;
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       print_usage();
@@ -112,6 +126,13 @@ int main(int argc, char** argv) {
   core::RunConfig rc;
   rc.train.epochs = opt.train_epochs;
   rc.train.seed = opt.seed;
+  if (!opt.scenario.empty()) {
+    // Scenario mode exercises the chunked streaming plan in BOTH clock
+    // domains: the DES feeds the scan from sequential chunk fetches and the
+    // substrate run pulls the scoring pool through fixed-budget chunks.
+    rc.workload.chunk_records = 2048;
+    rc.train.chunk_samples = 256;
+  }
   rc.nessa.subset_fraction = 0.3;
   rc.nessa.partition_quota = 8;
   rc.nessa.drop_interval_epochs = 2;
@@ -141,7 +162,12 @@ int main(int argc, char** argv) {
   const auto trace = core::simulate(rc);
   std::cout << "pipeline: steady epoch "
             << util::to_seconds(trace.steady_epoch_time) << " s over "
-            << rc.pipeline_epochs << " epochs\n";
+            << rc.pipeline_epochs << " epochs";
+  if (trace.chunk_fetches > 0) {
+    std::cout << " (" << trace.chunk_fetches << " chunk fetches of "
+              << rc.workload.chunk_records << " records)";
+  }
+  std::cout << "\n";
   if (rc.fault_plan.enabled()) {
     std::cout << "fault plan: " << rc.fault_plan.summary() << "\n";
   }
@@ -171,18 +197,54 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
-  // (2) Wall-clock domain: a short substrate NeSSA training run.
+  // (2) Wall-clock domain: a short substrate NeSSA training run — on the
+  // static substrate dataset, or with --scenario on the non-stationary
+  // stream through the chunked Loader.
   const auto& info = data::dataset_info("CIFAR-10");
-  auto ds = data::make_substrate_dataset(info, opt.scale, 0, opt.seed);
+  std::unique_ptr<data::scenario::EpochStream> stream;
+  std::optional<data::Dataset> substrate;
+  if (!opt.scenario.empty()) {
+    data::scenario::ScenarioConfig sc;
+    try {
+      sc.kind = data::scenario::kind_from_string(opt.scenario);
+    } catch (const std::exception& e) {
+      std::cerr << "scenario error: " << e.what() << "\n";
+      return 1;
+    }
+    sc.seed = opt.seed;
+    sc.train_size = std::max<std::size_t>(
+        200, static_cast<std::size_t>(
+                 static_cast<double>(info.paper_train_size) * opt.scale));
+    stream = data::scenario::make_scenario(sc);
+  } else {
+    substrate = data::make_substrate_dataset(info, opt.scale, 0, opt.seed);
+  }
   core::PipelineInputs inputs;
-  inputs.dataset = &ds;
+  inputs.dataset = stream ? &stream->base() : &*substrate;
+  inputs.stream = stream.get();
   inputs.info = info;
   inputs.model = nn::model_spec(info.paper_network);
   inputs.train = rc.train;
   smartssd::SmartSsdSystem system(rc.system);
   const auto run = core::run(inputs, rc, system);
   std::cout << "train: " << run.epochs.size() << " epochs, final accuracy "
-            << run.final_accuracy * 100.0 << " %\n";
+            << run.final_accuracy * 100.0 << " %";
+  if (stream) std::cout << " (scenario " << opt.scenario << ")";
+  std::cout << "\n";
+  if (stream) {
+    util::Table mix("per-epoch class distribution");
+    mix.set_header({"epoch", "pool", "class counts"});
+    for (const auto& e : run.epochs) {
+      std::string counts;
+      for (std::size_t c = 0; c < e.class_mix.size(); ++c) {
+        if (c > 0) counts += " ";
+        counts += std::to_string(e.class_mix[c]);
+      }
+      mix.add_row({util::Table::num(e.epoch), util::Table::num(e.pool_size),
+                   counts});
+    }
+    mix.print(std::cout);
+  }
 
   // (3) Fleet domain: a small multi-tenant run adds the per-device
   // prefixed component spans and the per-tenant job columns below.
