@@ -10,12 +10,19 @@
 //                              ckpt codec and round-robins the queue;
 //   BM_FleetHeapEngine/<jobs>  the reference binary-heap engine on the
 //                              same workload (calendar-vs-heap overhead);
+//   BM_FleetFailover/<jobs>    the preemptive rack with ssd0 killed mid-run
+//                              and 1% sticky chunk corruption — prices the
+//                              failure path (probe ticks, backlog aborts,
+//                              snapshot-restart migration, CRC verify +
+//                              re-fetch) on top of the preemptive baseline;
 //   BM_FairQueueDispatch       raw FairQueue submit->complete throughput
 //                              with 8 contending flows on one component.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
 #include <vector>
 
+#include "nessa/fault/fault_plan.hpp"
 #include "nessa/fleet/fleet_sim.hpp"
 #include "nessa/sim/component.hpp"
 #include "nessa/sim/fair_queue.hpp"
@@ -77,6 +84,24 @@ void BM_FleetHeapEngine(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FleetHeapEngine)->Arg(1000);
+
+void BM_FleetFailover(benchmark::State& state) {
+  auto config = rack_config();
+  config.preempt_quantum_epochs = 1;
+  config.job.workload.chunk_records = 2000;
+  std::istringstream plan(
+      "fail component=ssd0 at_us=5000000 mttr_us=0\n"
+      "corrupt rate=0.01\n");
+  config.job.fault_plan = fault::FaultPlan::from_stream(plan);
+  config.health.probe_interval = 500 * util::kMicrosecond;
+  const auto arrivals = stream(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = fleet::run_fleet(config, arrivals);
+    benchmark::DoNotOptimize(result.migrations);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetFailover)->Arg(100)->Arg(1000);
 
 void BM_FairQueueDispatch(benchmark::State& state) {
   for (auto _ : state) {

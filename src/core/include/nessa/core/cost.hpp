@@ -85,6 +85,14 @@ struct RunResult {
   /// selection deadline.
   std::uint64_t fault_fallback_epochs = 0;
   std::uint64_t fault_stale_epochs = 0;
+  /// Chunk-integrity accounting under a corrupting fault plan (zero
+  /// otherwise): CRC mismatches observed, re-fetches they triggered, and
+  /// quarantine events. A sticky-corrupt chunk re-quarantines on every
+  /// selection pass, so `quarantined_chunks` counts events, not distinct
+  /// chunks.
+  std::uint64_t chunk_corruptions = 0;
+  std::uint64_t chunk_refetches = 0;
+  std::uint64_t quarantined_chunks = 0;
 
   void finalize();
 };

@@ -84,6 +84,16 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
   }
   util::SimTime nominal_fpga_phase = 0;
 
+  // Chunk integrity (see data/integrity.hpp): with `corrupt` directives in
+  // the plan and a chunked scan, every fetch is CRC-verified and the
+  // plan's deterministic bit flips drive the re-fetch/quarantine path.
+  data::ChunkIntegrity chunk_integrity;
+  const bool use_integrity =
+      inputs.fault_plan.has_corruption() && inputs.train.chunk_samples > 0;
+  if (use_integrity) {
+    chunk_integrity.corruptor = data::corruptor_from_plan(inputs.fault_plan);
+  }
+
   selection::DriverConfig driver;
   driver.greedy = config.greedy;
   driver.stochastic_epsilon = config.stochastic_epsilon;
@@ -182,19 +192,59 @@ RunResult run_nessa(const PipelineInputs& inputs, const NessaConfig& config,
       auto scored = detail::score_pool(
           *kernel, eds.train(), pool, config.scaled_embeddings,
           inputs.train.batch_size, inputs.train.chunk_samples,
-          eds.stored_bytes_per_sample());
+          eds.stored_bytes_per_sample(),
+          use_integrity ? &chunk_integrity : nullptr);
       const auto& emb = scored.emb;
       chunk_fetches = scored.chunk_fetches;
-      for (std::size_t i = 0; i < pool.size(); ++i) {
-        history.record(pool[i], emb.losses[i]);
-        last_correct[pool[i]] = emb.correct[i];
+      result.chunk_corruptions += scored.integrity.corruptions;
+      result.chunk_refetches += scored.integrity.refetches;
+      result.quarantined_chunks += scored.integrity.quarantined;
+      if (scored.excluded.empty()) {
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          history.record(pool[i], emb.losses[i]);
+          last_correct[pool[i]] = emb.correct[i];
+        }
+        std::vector<std::int32_t> pool_labels(pool.size());
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          pool_labels[i] = eds.train().labels[pool[i]];
+        }
+        coreset = selection::select_coreset(emb.embeddings, pool_labels, pool,
+                                            std::min(k, pool.size()), driver);
+      } else {
+        // Quarantined chunks drop their rows from this pass: history and
+        // selection see only the surviving rows — bad bytes are never
+        // scored. With every chunk quarantined the previous subset is
+        // carried forward (telemetry-visible staleness).
+        std::vector<std::size_t> kept;
+        kept.reserve(pool.size());
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          if (scored.excluded[i] == 0) kept.push_back(i);
+        }
+        for (const std::size_t i : kept) {
+          history.record(pool[i], emb.losses[i]);
+          last_correct[pool[i]] = emb.correct[i];
+        }
+        if (!kept.empty()) {
+          const std::size_t classes =
+              emb.embeddings.rank() == 2 ? emb.embeddings.cols() : 0;
+          tensor::Tensor kept_emb({kept.size(), classes});
+          std::vector<std::int32_t> kept_labels(kept.size());
+          std::vector<std::size_t> kept_pool(kept.size());
+          for (std::size_t i = 0; i < kept.size(); ++i) {
+            const std::size_t src = kept[i];
+            kept_pool[i] = pool[src];
+            kept_labels[i] = eds.train().labels[pool[src]];
+            std::copy_n(emb.embeddings.data() + src * classes, classes,
+                        kept_emb.data() + i * classes);
+          }
+          coreset = selection::select_coreset(
+              kept_emb, kept_labels, kept_pool,
+              std::min(k, kept_pool.size()), driver);
+        } else if (!coreset.indices.empty()) {
+          ++result.fault_stale_epochs;
+          telemetry::count("fault.stale_epochs");
+        }
       }
-      std::vector<std::int32_t> pool_labels(pool.size());
-      for (std::size_t i = 0; i < pool.size(); ++i) {
-        pool_labels[i] = eds.train().labels[pool[i]];
-      }
-      coreset = selection::select_coreset(emb.embeddings, pool_labels, pool,
-                                          std::min(k, pool.size()), driver);
     }
 
     // ---- GPU subset training ----------------------------------------

@@ -7,6 +7,7 @@
 
 #include "nessa/core/near_storage.hpp"
 #include "nessa/core/pipeline.hpp"
+#include "nessa/data/integrity.hpp"
 
 namespace nessa::core::detail {
 
@@ -33,6 +34,12 @@ std::vector<std::uint32_t> stream_class_mix(const PipelineInputs& inputs,
 struct ChunkedScore {
   QEmbeddings emb;
   std::uint64_t chunk_fetches = 0;  ///< 0 on the monolithic path
+  /// Pool positions landing in quarantined chunks (1 = excluded; rows hold
+  /// zeros in `emb` and must not be scored/selected). Empty when integrity
+  /// is off or nothing was quarantined.
+  std::vector<std::uint8_t> excluded;
+  /// Integrity ledger of this scan (all-zero without integrity).
+  data::IntegrityStats integrity;
 };
 
 /// Score `pool` with `kernel`. chunk_samples == 0 is the monolithic path
@@ -42,10 +49,17 @@ struct ChunkedScore {
 /// activations per batch, so the results are bit-identical to the
 /// monolithic scan. Chunks no longer holding pool members are never
 /// fetched (subset biasing therefore saves real chunk fetches).
+///
+/// With `integrity` set, every fetch is CRC-verified (re-fetch then
+/// quarantine per its policy; its corruptor injects the plan's bit flips)
+/// and rows of quarantined chunks are excluded from the scan — reported in
+/// `excluded`, never silently scored. Batches are then formed from the
+/// surviving rows in pool order.
 ChunkedScore score_pool(SelectionModel& kernel, const data::Split& split,
                         std::span<const std::size_t> pool, bool scaled,
                         std::size_t batch_size, std::size_t chunk_samples,
-                        std::size_t stored_bytes_per_sample);
+                        std::size_t stored_bytes_per_sample,
+                        const data::ChunkIntegrity* integrity = nullptr);
 
 /// Substrate-to-paper scale ratio (paper train size / substrate train size).
 double scale_ratio(const PipelineInputs& inputs);

@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "nessa/data/dataset.hpp"
+#include "nessa/data/integrity.hpp"
 
 namespace nessa::data {
 
@@ -70,6 +72,10 @@ struct ChunkView {
   std::size_t index = 0;  ///< chunk number
   std::size_t begin = 0;  ///< first store row covered
   const Split* samples = nullptr;
+  /// True when the chunk failed CRC verification past its re-fetch budget
+  /// (now or on an earlier fetch): `samples` is null and the caller must
+  /// exclude the chunk's rows instead of scoring them.
+  bool quarantined = false;
 
   [[nodiscard]] std::size_t size() const noexcept {
     return samples ? samples->size() : 0;
@@ -110,6 +116,31 @@ class ChunkedDataset {
     fetched_bytes_ = 0;
   }
 
+  /// Stamp a CRC-32 over every chunk of the backing store (charged to
+  /// nobody — stamping happens at store build time, before any fetch) and
+  /// verify it on every subsequent fetch(). A mismatching fetch is re-read
+  /// up to policy.max_refetch times (each re-read charged to the ledger —
+  /// the bus really moved those bytes again); a chunk still bad after that
+  /// is quarantined: this and every later fetch of it returns a
+  /// quarantined view and charges nothing.
+  void enable_integrity(IntegrityPolicy policy = {});
+  [[nodiscard]] bool integrity_enabled() const noexcept {
+    return integrity_enabled_;
+  }
+
+  /// Install the deterministic corruption seam (see integrity.hpp). While
+  /// a corruptor is installed, fetches never alias the resident split —
+  /// every fetch copies into scratch so flipped bits cannot damage the
+  /// caller's data.
+  void set_corruptor(ChunkCorruptor corruptor);
+
+  [[nodiscard]] const IntegrityStats& integrity_stats() const noexcept {
+    return integrity_stats_;
+  }
+  [[nodiscard]] bool quarantined(std::size_t index) const {
+    return integrity_enabled_ && quarantined_.at(index) != 0;
+  }
+
  private:
   const ChunkStore* store_;
   std::size_t chunk_samples_;
@@ -117,6 +148,13 @@ class ChunkedDataset {
   Split scratch_;  ///< reused buffer for non-resident fetches
   std::uint64_t fetches_ = 0;
   std::uint64_t fetched_bytes_ = 0;
+  // --- integrity state (empty/unused until enable_integrity) ---
+  bool integrity_enabled_ = false;
+  IntegrityPolicy policy_{};
+  ChunkCorruptor corruptor_{};
+  std::vector<std::uint32_t> crcs_;        ///< per-chunk build-time CRC-32
+  std::vector<std::uint8_t> quarantined_;  ///< per-chunk quarantine flag
+  IntegrityStats integrity_stats_{};
 };
 
 }  // namespace nessa::data

@@ -1,0 +1,66 @@
+// End-to-end chunk integrity: CRC-32 stamping, verification, and the
+// deterministic corruption seam.
+//
+// A ChunkedDataset with integrity enabled stamps a CRC-32 (the checkpoint
+// subsystem's IEEE 802.3 CRC — one polynomial repo-wide) over every chunk
+// at build time and verifies it on every fetch. A fetch whose CRC
+// mismatches is re-read up to `max_refetch` times; a chunk that stays bad
+// is quarantined — later fetches return a quarantined (sample-less) view
+// so the caller excludes those rows from selection instead of silently
+// scoring garbage.
+//
+// Corruption itself enters through ChunkCorruptor, a deterministic functor
+// the fault plan compiles (`corrupt chunk=K` / `corrupt rate=R` directives
+// → corruptor_from_plan): it flips bits in the fetched window as a pure
+// function of (plan seed, chunk, attempt), so corruption scenarios are
+// bit-identical across runs and engines exactly like every other fault.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "nessa/data/dataset.hpp"
+
+namespace nessa::fault {
+struct FaultPlan;
+}
+
+namespace nessa::data {
+
+/// Called on every fetch attempt of a chunk (attempt 0 is the first read,
+/// 1.. are re-fetches). Returns true when it corrupted `out` in place.
+using ChunkCorruptor =
+    std::function<bool(std::size_t chunk, std::uint64_t attempt, Split& out)>;
+
+/// Knobs for the verify/re-fetch/quarantine policy.
+struct IntegrityPolicy {
+  /// Re-reads after a CRC mismatch before the chunk is quarantined.
+  std::size_t max_refetch = 2;
+};
+
+/// Ledger of integrity activity on one ChunkedDataset.
+struct IntegrityStats {
+  std::uint64_t verified = 0;     ///< fetches whose CRC matched
+  std::uint64_t corruptions = 0;  ///< CRC mismatches observed
+  std::uint64_t refetches = 0;    ///< extra reads triggered by mismatches
+  std::uint64_t quarantined = 0;  ///< chunks given up on
+};
+
+/// Policy + injection seam, bundled for callers (score_pool) that thread
+/// integrity through without owning the ChunkedDataset.
+struct ChunkIntegrity {
+  IntegrityPolicy policy{};
+  ChunkCorruptor corruptor{};  ///< empty = verify only, no injection
+};
+
+/// Compile a plan's `corrupt` directives into a deterministic corruptor.
+/// Returns an empty function when the plan has none. Whether a chunk is
+/// hit is a stateless hash of (plan seed, chunk) — order-independent, so
+/// the same plan corrupts the same chunks no matter how fetches
+/// interleave. Sticky specs corrupt every attempt with the same bit flip
+/// (media damage — drives quarantine); non-sticky specs corrupt only
+/// attempt 0 (transient transfer error — one re-fetch recovers).
+[[nodiscard]] ChunkCorruptor corruptor_from_plan(const fault::FaultPlan& plan);
+
+}  // namespace nessa::data

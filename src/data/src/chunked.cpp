@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
+#include "nessa/ckpt/crc32.hpp"
 #include "nessa/telemetry/telemetry.hpp"
 
 namespace nessa::data {
@@ -61,6 +63,43 @@ std::size_t ChunkedDataset::chunk_of(std::size_t row) const {
   return chunk_samples_ == 0 ? 0 : row / chunk_samples_;
 }
 
+namespace {
+
+/// CRC-32 over a split's payload: feature floats, then label words —
+/// chained through the checkpoint subsystem's CRC so the whole repo keeps
+/// one polynomial.
+[[nodiscard]] std::uint32_t split_crc(const Split& split) {
+  std::uint32_t crc = ckpt::crc32(
+      split.features.data(), split.size() * split.dim() * sizeof(float));
+  return ckpt::crc32(split.labels.data(),
+                     split.labels.size() * sizeof(split.labels[0]), crc);
+}
+
+}  // namespace
+
+void ChunkedDataset::enable_integrity(IntegrityPolicy policy) {
+  policy_ = policy;
+  integrity_enabled_ = true;
+  quarantined_.assign(num_chunks_, 0);
+  crcs_.resize(num_chunks_);
+  // Stamp straight off the store — before any corruptor sees the bytes and
+  // without touching the fetch ledger (stamping is part of building the
+  // store, not of training).
+  Split staging;
+  for (std::size_t c = 0; c < num_chunks_; ++c) {
+    if (num_chunks_ == 1 && store_->resident() != nullptr) {
+      crcs_[c] = split_crc(*store_->resident());
+      continue;
+    }
+    store_->read(chunk_begin(c), chunk_size(c), staging);
+    crcs_[c] = split_crc(staging);
+  }
+}
+
+void ChunkedDataset::set_corruptor(ChunkCorruptor corruptor) {
+  corruptor_ = std::move(corruptor);
+}
+
 ChunkView ChunkedDataset::fetch(std::size_t index) {
   const std::size_t begin = chunk_begin(index);
   const std::size_t count = chunk_size(index);
@@ -68,19 +107,54 @@ ChunkView ChunkedDataset::fetch(std::size_t index) {
   ChunkView view;
   view.index = index;
   view.begin = begin;
-  if (num_chunks_ == 1 && store_->resident() != nullptr) {
-    view.samples = store_->resident();  // zero-copy monolithic fast path
-  } else {
-    store_->read(begin, count, scratch_);
-    view.samples = &scratch_;
+
+  if (integrity_enabled_ && quarantined_[index] != 0) {
+    // Already given up on: no read, no charge — the caller must skip it.
+    view.quarantined = true;
+    return view;
   }
 
   const auto bytes = static_cast<std::uint64_t>(count) *
                      store_->stored_bytes_per_sample();
-  ++fetches_;
-  fetched_bytes_ += bytes;
-  telemetry::count("data.chunk.fetches");
-  telemetry::count("data.chunk.bytes", bytes);
+  // With a corruptor installed the resident split must never be aliased:
+  // flipped bits would damage the caller's data in place.
+  const bool alias =
+      num_chunks_ == 1 && store_->resident() != nullptr && !corruptor_;
+
+  const std::size_t attempts =
+      integrity_enabled_ ? policy_.max_refetch + 1 : 1;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (alias) {
+      view.samples = store_->resident();
+    } else {
+      store_->read(begin, count, scratch_);
+      if (corruptor_) corruptor_(index, attempt, scratch_);
+      view.samples = &scratch_;
+    }
+    ++fetches_;
+    fetched_bytes_ += bytes;
+    telemetry::count("data.chunk.fetches");
+    telemetry::count("data.chunk.bytes", bytes);
+
+    if (!integrity_enabled_) return view;
+    if (split_crc(*view.samples) == crcs_[index]) {
+      ++integrity_stats_.verified;
+      return view;
+    }
+    ++integrity_stats_.corruptions;
+    telemetry::count("data.chunk.corruptions");
+    if (attempt + 1 < attempts) {
+      ++integrity_stats_.refetches;
+      telemetry::count("data.chunk.refetches");
+    }
+  }
+
+  // Re-fetch budget exhausted: quarantine, never hand out the bad bytes.
+  quarantined_[index] = 1;
+  ++integrity_stats_.quarantined;
+  telemetry::count("data.chunk.quarantined");
+  view.samples = nullptr;
+  view.quarantined = true;
   return view;
 }
 

@@ -1,0 +1,55 @@
+#include "nessa/data/integrity.hpp"
+
+#include "nessa/fault/fault_plan.hpp"
+#include "nessa/fault/hashing.hpp"
+
+namespace nessa::data {
+namespace {
+
+/// Salt separating the corruption hash stream from the injector/backoff
+/// streams that share the plan seed.
+constexpr std::uint64_t kCorruptSalt = 0x63'68'75'6e'6bULL;  // "chunk"
+
+/// Flip one deterministic bit of the fetched window. The flip is a pure
+/// function of (seed, chunk) — NOT of the attempt — so a sticky corruption
+/// reproduces the identical damage on every re-fetch.
+void flip_bit(std::uint64_t seed, std::size_t chunk, Split& out) {
+  const std::uint64_t h = fault::mix(seed, kCorruptSalt, chunk);
+  const std::size_t feature_bytes = out.size() * out.dim() * sizeof(float);
+  if (feature_bytes > 0) {
+    auto* bytes = reinterpret_cast<unsigned char*>(out.features.data());
+    bytes[h % feature_bytes] ^=
+        static_cast<unsigned char>(1u << ((h >> 56) & 7u));
+    return;
+  }
+  if (!out.labels.empty()) {
+    auto* bytes = reinterpret_cast<unsigned char*>(out.labels.data());
+    bytes[h % (out.labels.size() * sizeof(out.labels[0]))] ^=
+        static_cast<unsigned char>(1u << ((h >> 56) & 7u));
+  }
+}
+
+}  // namespace
+
+ChunkCorruptor corruptor_from_plan(const fault::FaultPlan& plan) {
+  if (!plan.has_corruption()) return {};
+  const std::uint64_t seed = plan.seed;
+  const std::vector<fault::CorruptionSpec> specs = plan.corruptions;
+  return [seed, specs](std::size_t chunk, std::uint64_t attempt,
+                       Split& out) -> bool {
+    bool hit = false;
+    for (const fault::CorruptionSpec& spec : specs) {
+      if (!spec.sticky && attempt > 0) continue;
+      if (spec.chunk != fault::CorruptionSpec::kAllChunks) {
+        if (spec.chunk != chunk) continue;
+      } else if (fault::u01(seed, kCorruptSalt, chunk) >= spec.rate) {
+        continue;
+      }
+      hit = true;
+    }
+    if (hit) flip_bit(seed, chunk, out);
+    return hit;
+  };
+}
+
+}  // namespace nessa::data

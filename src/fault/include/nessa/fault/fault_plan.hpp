@@ -70,6 +70,39 @@ struct FaultSpec {
   static constexpr std::size_t kNoEpochLimit = ~std::size_t{0};
 };
 
+/// Whole-device (or single-component) outage: the target goes down at
+/// `at`, its in-flight request fails deterministically and queued work is
+/// drained through the failure-continuation path. `mttr == 0` means the
+/// outage is permanent; otherwise the component recovers `mttr` after it
+/// fell. Targets may be a canonical component name, a fleet-prefixed name
+/// ("ssd3.flash_bus"), or a bare device prefix ("ssd3") meaning the whole
+/// DeviceGraph.
+struct FailureSpec {
+  std::string component;
+  util::SimTime at = 0;
+  util::SimTime mttr = 0;  ///< 0 = permanent; else down for exactly this long
+};
+
+/// Explicit recovery point for a component/device downed by a FailureSpec
+/// with mttr == 0 (or to shorten/extend an outage by hand).
+struct RecoverySpec {
+  std::string component;
+  util::SimTime at = 0;
+};
+
+/// Silent-data-corruption source for the chunked data path: a fetch of a
+/// matching chunk returns flipped bits. `chunk == kAllChunks` corrupts by
+/// rate (deterministic per-chunk hash); a specific chunk index corrupts
+/// that chunk alone. `sticky` corruption survives re-fetches (media damage,
+/// drives the quarantine path); non-sticky corruption clears on the first
+/// re-fetch (transient transfer error).
+struct CorruptionSpec {
+  static constexpr std::uint64_t kAllChunks = ~std::uint64_t{0};
+  std::uint64_t chunk = kAllChunks;
+  double rate = 1.0;
+  bool sticky = true;
+};
+
 /// Bounded-retry knobs applied by DeviceGraph::post_with_retry.
 struct RetryConfig {
   std::size_t max_attempts = 4;   ///< total attempts, including the first
@@ -82,6 +115,12 @@ struct RetryConfig {
 struct FaultPlan {
   std::uint64_t seed = 42;        ///< drives every fault decision
   std::vector<FaultSpec> faults;  ///< empty = no faults (plan disabled)
+  /// Scheduled device/component outages ("fail component=… at_us=…").
+  std::vector<FailureSpec> failures;
+  /// Explicit recovery points ("recover component=… at_us=…").
+  std::vector<RecoverySpec> recoveries;
+  /// Chunk corruption sources ("corrupt chunk=… | rate=…").
+  std::vector<CorruptionSpec> corruptions;
   RetryConfig retry{};
   /// Selection deadline as a multiple of the nominal (fault-free) FPGA
   /// phase. When > 0 and selection for an epoch has not landed by the
@@ -98,6 +137,16 @@ struct FaultPlan {
   util::SimTime crash_sim_time = 0;
 
   [[nodiscard]] bool enabled() const noexcept { return !faults.empty(); }
+
+  /// True when the plan schedules at least one device/component outage.
+  [[nodiscard]] bool has_failures() const noexcept {
+    return !failures.empty();
+  }
+
+  /// True when the plan injects chunk corruption.
+  [[nodiscard]] bool has_corruption() const noexcept {
+    return !corruptions.empty();
+  }
 
   [[nodiscard]] bool has_crash_point() const noexcept {
     return crash_epoch != FaultSpec::kNoEpochLimit || crash_sim_time > 0;
@@ -136,6 +185,10 @@ struct FaultPlan {
   ///   fault p2p error rate=0.35
   ///   fault flash_bus slow rate=0.3 factor=6 start=2 end=8
   ///   fault fpga stall rate=0.2 stall_us=50000
+  ///   fail component=ssd0 at_us=40000 mttr_us=25000
+  ///   recover component=ssd1 at_us=90000
+  ///   corrupt chunk=3
+  ///   corrupt rate=0.01 sticky=0
   ///
   /// Throws std::invalid_argument on malformed input (the message names
   /// the offending line).
@@ -150,5 +203,10 @@ struct FaultPlan {
 /// Component names a FaultSpec may target (the DeviceGraph topology).
 [[nodiscard]] const std::vector<std::string>& known_component_names();
 [[nodiscard]] bool is_known_component(std::string_view name);
+
+/// True for names a FailureSpec/RecoverySpec may target: a canonical
+/// component name, a fleet-prefixed component name ("ssd3.flash_bus"), or
+/// a bare device prefix ("ssd3" / "gpu1" — the whole graph/node).
+[[nodiscard]] bool is_failure_target(std::string_view name);
 
 }  // namespace nessa::fault

@@ -158,6 +158,94 @@ void parse_retry_line(std::istringstream& fields, RetryConfig& retry,
   }
 }
 
+/// "fail component=X at_us=T [mttr_us=D]" — component and at_us required.
+FailureSpec parse_fail_line(std::istringstream& fields,
+                            const std::string& where) {
+  FailureSpec spec;
+  bool have_at = false;
+  std::string token;
+  while (fields >> token) {
+    const auto [key, value] = split_kv(token, where);
+    if (key == "component") {
+      spec.component = value;
+    } else if (key == "at_us") {
+      spec.at = us_to_sim(parse_double(value, where + " at_us"));
+      have_at = true;
+    } else if (key == "mttr_us") {
+      spec.mttr = us_to_sim(parse_double(value, where + " mttr_us"));
+    } else {
+      throw std::invalid_argument(where + ": unknown fail option " +
+                                  quoted(key));
+    }
+  }
+  if (spec.component.empty()) {
+    throw std::invalid_argument(where + ": fail needs component=NAME");
+  }
+  if (!have_at) {
+    throw std::invalid_argument(where + ": fail needs at_us=T");
+  }
+  return spec;
+}
+
+/// "recover component=X at_us=T" — both required.
+RecoverySpec parse_recover_line(std::istringstream& fields,
+                                const std::string& where) {
+  RecoverySpec spec;
+  bool have_at = false;
+  std::string token;
+  while (fields >> token) {
+    const auto [key, value] = split_kv(token, where);
+    if (key == "component") {
+      spec.component = value;
+    } else if (key == "at_us") {
+      spec.at = us_to_sim(parse_double(value, where + " at_us"));
+      have_at = true;
+    } else {
+      throw std::invalid_argument(where + ": unknown recover option " +
+                                  quoted(key));
+    }
+  }
+  if (spec.component.empty()) {
+    throw std::invalid_argument(where + ": recover needs component=NAME");
+  }
+  if (!have_at) {
+    throw std::invalid_argument(where + ": recover needs at_us=T");
+  }
+  return spec;
+}
+
+/// "corrupt chunk=K" and/or "corrupt rate=R [sticky=0|1]".
+CorruptionSpec parse_corrupt_line(std::istringstream& fields,
+                                  const std::string& where) {
+  CorruptionSpec spec;
+  bool any = false;
+  std::string token;
+  while (fields >> token) {
+    const auto [key, value] = split_kv(token, where);
+    if (key == "chunk") {
+      spec.chunk = parse_u64(value, where + " chunk");
+    } else if (key == "rate") {
+      spec.rate = parse_double(value, where + " rate");
+    } else if (key == "sticky") {
+      const std::uint64_t flag = parse_u64(value, where + " sticky");
+      if (flag > 1) {
+        throw std::invalid_argument(where + ": sticky must be 0 or 1, got " +
+                                    quoted(value));
+      }
+      spec.sticky = flag != 0;
+    } else {
+      throw std::invalid_argument(where + ": unknown corrupt option " +
+                                  quoted(key));
+    }
+    any = true;
+  }
+  if (!any) {
+    throw std::invalid_argument(where +
+                                ": corrupt needs chunk=K and/or rate=R");
+  }
+  return spec;
+}
+
 /// "crash epoch=N" / "crash sim_us=T" (at least one; both allowed).
 void parse_crash_line(std::istringstream& fields, FaultPlan& plan,
                       const std::string& where) {
@@ -231,6 +319,36 @@ bool is_known_component(std::string_view name) {
   return false;
 }
 
+namespace {
+
+/// "ssd3" / "gpu1": a fleet node prefix naming a whole device.
+[[nodiscard]] bool is_device_prefix(std::string_view name) {
+  std::string_view digits;
+  if (name.size() > 3 && name.substr(0, 3) == "ssd") {
+    digits = name.substr(3);
+  } else if (name.size() > 3 && name.substr(0, 3) == "gpu") {
+    digits = name.substr(3);
+  } else {
+    return false;
+  }
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_failure_target(std::string_view name) {
+  const auto dot = name.find('.');
+  if (dot != std::string_view::npos) {
+    // "ssd3.flash_bus": a fleet-prefixed component name.
+    return is_device_prefix(name.substr(0, dot)) &&
+           is_known_component(name.substr(dot + 1));
+  }
+  return is_device_prefix(name) || is_known_component(name);
+}
+
 std::vector<std::string> FaultPlan::validate() const {
   std::vector<std::string> errors;
   for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -257,6 +375,50 @@ std::vector<std::string> FaultPlan::validate() const {
       errors.push_back(field + ".end_epoch: empty window [" +
                        std::to_string(spec.start_epoch) + ", " +
                        std::to_string(spec.end_epoch) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const FailureSpec& spec = failures[i];
+    const std::string field = "failures[" + std::to_string(i) + "]";
+    if (!is_failure_target(spec.component)) {
+      errors.push_back(field + ".component: unknown failure target " +
+                       quoted(spec.component) +
+                       " (expected a component name, a prefixed component "
+                       "like 'ssd0.flash_bus', or a device prefix like "
+                       "'ssd0')");
+    }
+    if (spec.at <= 0) {
+      errors.push_back(field + ".at: must be > 0 (at_us)");
+    }
+    if (spec.mttr < 0) {
+      errors.push_back(field + ".mttr: must be >= 0 (0 = permanent)");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (failures[j].component == spec.component &&
+          failures[j].at == spec.at) {
+        errors.push_back(field + ": duplicate fail directive for " +
+                         quoted(spec.component) + " at the same time");
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < recoveries.size(); ++i) {
+    const RecoverySpec& spec = recoveries[i];
+    const std::string field = "recoveries[" + std::to_string(i) + "]";
+    if (!is_failure_target(spec.component)) {
+      errors.push_back(field + ".component: unknown failure target " +
+                       quoted(spec.component));
+    }
+    if (spec.at <= 0) {
+      errors.push_back(field + ".at: must be > 0 (at_us)");
+    }
+  }
+  for (std::size_t i = 0; i < corruptions.size(); ++i) {
+    const CorruptionSpec& spec = corruptions[i];
+    const std::string field = "corruptions[" + std::to_string(i) + "]";
+    if (!(spec.rate > 0.0) || spec.rate > 1.0 || !std::isfinite(spec.rate)) {
+      errors.push_back(field + ".rate: must be in (0, 1], got " +
+                       std::to_string(spec.rate));
     }
   }
   if (retry.max_attempts == 0) {
@@ -301,6 +463,36 @@ std::string FaultPlan::summary() const {
       if (i != 0) out << "; ";
       out << faults[i].component << ' ' << to_string(faults[i].kind) << " @"
           << faults[i].rate;
+    }
+    out << ")";
+  }
+  if (!failures.empty()) {
+    out << ", " << failures.size()
+        << (failures.size() == 1 ? " failure (" : " failures (");
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+      if (i != 0) out << "; ";
+      out << failures[i].component << " @"
+          << util::to_us(failures[i].at) << " us";
+      if (failures[i].mttr > 0) {
+        out << " mttr " << util::to_us(failures[i].mttr) << " us";
+      }
+    }
+    out << ")";
+  }
+  if (!recoveries.empty()) {
+    out << ", " << recoveries.size()
+        << (recoveries.size() == 1 ? " recovery" : " recoveries");
+  }
+  if (!corruptions.empty()) {
+    out << ", corruption (";
+    for (std::size_t i = 0; i < corruptions.size(); ++i) {
+      if (i != 0) out << "; ";
+      if (corruptions[i].chunk != CorruptionSpec::kAllChunks) {
+        out << "chunk " << corruptions[i].chunk;
+      } else {
+        out << "rate " << corruptions[i].rate;
+      }
+      if (!corruptions[i].sticky) out << " transient";
     }
     out << ")";
   }
@@ -398,14 +590,28 @@ FaultPlan FaultPlan::from_stream(std::istream& in, const std::string& origin) {
       parse_retry_line(fields, plan.retry, where);
     } else if (directive == "fault") {
       plan.faults.push_back(parse_fault_line(fields, where));
+    } else if (directive == "fail") {
+      FailureSpec spec = parse_fail_line(fields, where);
+      for (const FailureSpec& prior : plan.failures) {
+        if (prior.component == spec.component && prior.at == spec.at) {
+          throw std::invalid_argument(
+              where + ": duplicate fail directive for " +
+              quoted(spec.component) + " at the same at_us");
+        }
+      }
+      plan.failures.push_back(std::move(spec));
+    } else if (directive == "recover") {
+      plan.recoveries.push_back(parse_recover_line(fields, where));
+    } else if (directive == "corrupt") {
+      plan.corruptions.push_back(parse_corrupt_line(fields, where));
     } else if (directive == "crash") {
       parse_crash_line(fields, plan, where);
     } else {
       throw std::invalid_argument(where + ": unknown directive " +
                                   quoted(directive) +
                                   " (expected seed, retry, "
-                                  "selection_deadline_factor, crash, or "
-                                  "fault)");
+                                  "selection_deadline_factor, crash, fail, "
+                                  "recover, corrupt, or fault)");
     }
   }
   return plan;

@@ -59,6 +59,10 @@ class AdmissionController {
 
   /// True when a job is waiting for dispatch.
   [[nodiscard]] bool has_waiting() const noexcept { return !queue_.empty(); }
+  /// The job pop() would return, without removing it — placement looks at
+  /// the head (e.g. its failure-domain history) before committing a slot.
+  /// Undefined when nothing is waiting.
+  [[nodiscard]] JobId peek() const { return queue_.front(); }
   /// Next job to dispatch; promotes one overflow entry into the freed slot.
   JobId pop();
 

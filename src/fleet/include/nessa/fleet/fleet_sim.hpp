@@ -35,6 +35,21 @@
 //               codec (fingerprint-verified on restore, ckpt::SnapshotError
 //               on mismatch) and round-robins through the admission queue.
 //               0 disables time slicing.
+//   failures    the fault plan's `fail component=ssdK at_us=… [mttr_us=…]`
+//               directives kill whole devices mid-run: in-flight requests
+//               fail deterministically, a fleet::HealthMonitor heartbeat
+//               detects the corpse within `health.probe_interval`, and
+//               victims restart from their last epoch-barrier snapshot on
+//               a device chosen by failure-domain-aware least-loaded
+//               placement (re-admitted through the requeue bypass, so a
+//               failure can never become a rejection). Jobs with nowhere
+//               left to run are `failed_permanently` — accounted, never
+//               silently dropped (see docs/reliability.md).
+//   integrity   `corrupt chunk=… | rate=…` directives flip bits in chunk
+//               fetches; a corrupt fetch is re-fetched up to
+//               `health.max_chunk_refetch` times, then the chunk is
+//               quarantined — skipped by later scans and excluded from
+//               selection, with per-job and fleet-level counters.
 //
 // Everything downstream of the arrival list is integer simulated time and
 // FIFO/flow-id tie-breaks, so a fleet run is bit-identical across repeats
@@ -49,6 +64,7 @@
 #include "nessa/core/job_spec.hpp"
 #include "nessa/fleet/admission.hpp"
 #include "nessa/fleet/arrivals.hpp"
+#include "nessa/fleet/health.hpp"
 #include "nessa/sim/event_queue.hpp"
 
 namespace nessa::fleet {
@@ -70,6 +86,10 @@ struct FleetConfig {
   /// fault plan (targets optionally "ssdK."-prefixed) is injected on every
   /// device graph.
   core::JobSpec job{};
+  /// Failure-tolerance knobs (probe interval, failure domains, chunk
+  /// re-fetch budget); consulted only when the job's fault plan schedules
+  /// failures or corruption.
+  HealthConfig health{};
   /// Event-queue engine; the determinism tests run both.
   sim::QueueKind engine = sim::QueueKind::kCalendar;
 };
@@ -94,8 +114,25 @@ struct JobRecord {
   std::size_t next_chunk = 0;
   std::uint32_t device = 0;      ///< last SmartSSD the job ran on
   std::uint32_t gpu = 0;         ///< last GPU the job trained on
+  /// Times the job was moved off a detected-dead device and restarted from
+  /// its last epoch-barrier snapshot on another one.
+  std::uint32_t migrations = 0;
+  /// Device of the last migration's origin (-1 = never migrated); placement
+  /// prefers a different failure domain on the next dispatch.
+  std::int32_t migrated_from = -1;
+  /// Chunk-integrity ledger (zero unless the fault plan corrupts chunks):
+  /// CRC-corrupt fetches observed, re-fetches they triggered, and chunks
+  /// this job quarantined (skipped by later scans, excluded from
+  /// selection).
+  std::uint64_t chunk_corruptions = 0;
+  std::uint64_t chunk_refetches = 0;
+  std::uint64_t quarantined_chunks = 0;
   bool admitted = false;
   bool completed = false;
+  bool rejected = false;   ///< refused by the admission bound, never ran
+  /// Admitted but unfinished when the fleet drained (died with nowhere to
+  /// migrate) — failed permanently, never silently dropped.
+  bool failed = false;
 
   [[nodiscard]] util::SimTime latency() const noexcept {
     return completed ? finish - arrival : -1;
@@ -110,6 +147,8 @@ struct TenantStats {
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t preemptions = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t failed = 0;    ///< jobs failed permanently
   double p50_latency_s = 0.0;  ///< over completed jobs; 0 when none
   double p99_latency_s = 0.0;
   double gpu_service_s = 0.0;  ///< GPU time received across the run
@@ -129,9 +168,23 @@ struct FleetResult {
   std::uint64_t deferred = 0;   ///< parked by the kDefer overflow
   std::uint64_t completed = 0;
   std::uint64_t preemptions = 0;  ///< checkpoint-yields across all jobs
-  std::uint64_t resumes = 0;      ///< snapshot restores (== preemptions)
+  std::uint64_t resumes = 0;      ///< snapshot restores (>= preemptions when
+                                  ///< failures force extra restarts)
   std::uint64_t chunk_fetches = 0;  ///< flash-bus chunk fetches, all jobs
+  /// Failure-tolerance ledger (all zero without a failing/corrupting fault
+  /// plan). Invariant: completed + failed_permanently + rejected ==
+  /// admitted + rejected — every arrival is accounted for exactly once.
+  std::uint64_t migrations = 0;          ///< victim restarts on new devices
+  std::uint64_t failed_permanently = 0;  ///< admitted, never finished
+  std::uint64_t chunk_fetches_lost = 0;  ///< partial-epoch fetches redone
+                                         ///< after a migration rollback
+  std::uint64_t chunk_corruptions = 0;   ///< CRC-corrupt fetches observed
+  std::uint64_t chunk_refetches = 0;     ///< re-fetches those triggered
+  std::uint64_t quarantined_chunks = 0;  ///< chunks given up on, all jobs
   util::SimTime makespan = 0;     ///< last event's simulated time
+  /// Completed jobs per simulated second — the goodput axis of the
+  /// goodput-vs-failure-rate telemetry (0 when the makespan is 0).
+  double goodput_jobs_per_s = 0.0;
   double p50_latency_s = 0.0;     ///< aggregate completed-job latency
   double p99_latency_s = 0.0;
   double mean_latency_s = 0.0;
@@ -143,6 +196,9 @@ struct FleetResult {
   std::size_t peak_overflow_depth = 0;
   std::vector<TenantStats> tenants;
   std::vector<ComponentUtilization> components;
+  /// Per-device availability/detection/repair ledger (empty unless the
+  /// fault plan schedules failures).
+  std::vector<DeviceHealth> health;
   std::vector<JobRecord> jobs;  ///< indexed by arrival order
 
   /// Machine-readable summary (totals, latency, fairness, per-tenant and

@@ -1,0 +1,137 @@
+// HealthMonitor: deterministic failure detection for the fleet simulator.
+//
+// Devices do not announce their own death — a fail-stopped SmartSSD simply
+// goes silent. The monitor models the operational loop a fleet controller
+// runs instead: a periodic heartbeat probe (one simulator event every
+// `probe_interval`) compares each device's actual liveness against the
+// controller's belief. A device that died since the last probe is DETECTED
+// (belief flips down, the detection callback fires and drives migration);
+// a device that recovered is READMITTED (belief flips up, placement may
+// use it again). The gap between death and detection is the detection
+// window — during it the scheduler keeps placing jobs on the corpse, and
+// those jobs are exactly the ones migration must rescue.
+//
+// The probe loop self-terminates: it is armed only while some device's
+// belief disagrees with reality and at least one job is outstanding, so a
+// run with no failures schedules zero probe events and a permanently dead
+// fleet drains instead of ticking forever.
+//
+// Everything is integer simulated time on the shared event engine —
+// detection latencies, MTTR and availability are bit-identical across
+// seeds and across the calendar/heap engines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nessa/sim/engine.hpp"
+#include "nessa/util/units.hpp"
+
+namespace nessa::fleet {
+
+/// Failure-tolerance knobs of a fleet run (FleetConfig::health). Only
+/// consulted when the job's fault plan schedules failures or corruption.
+struct HealthConfig {
+  /// Heartbeat period: a dead device is detected within this window.
+  util::SimTime probe_interval = util::kMillisecond;
+  /// Devices are grouped into failure domains by index (device d lives in
+  /// domain d % failure_domains); a migrating job prefers a device outside
+  /// the domain it fled. Clamped to >= 1.
+  std::size_t failure_domains = 2;
+  /// Re-fetches granted to a CRC-corrupt chunk before it is quarantined.
+  std::size_t max_chunk_refetch = 2;
+};
+
+/// Per-device availability ledger, finalized at end of run.
+struct DeviceHealth {
+  std::uint32_t device = 0;
+  std::uint32_t failures = 0;    ///< outages begun
+  std::uint32_t recoveries = 0;  ///< outages ended (completed repairs)
+  std::uint64_t detections = 0;  ///< outages the probe loop observed
+  std::uint64_t migrations_out = 0;  ///< jobs migrated off at detection
+  util::SimTime downtime = 0;    ///< actual down time (open outage ends at
+                                 ///< the makespan)
+  double availability = 1.0;     ///< 1 - downtime / makespan
+  double mean_detection_latency_s = 0.0;  ///< death -> detecting probe
+  double mttr_s = 0.0;           ///< mean completed-outage duration
+};
+
+/// The heartbeat prober + per-device ledger. The owning engine reports
+/// ACTUAL state transitions through device_failed()/device_recovered();
+/// the monitor flips its BELIEF only at probe ticks and invokes the
+/// callbacks exactly once per transition it observes.
+class HealthMonitor {
+ public:
+  using DeviceCallback = std::function<void(std::size_t device)>;
+  using Predicate = std::function<bool()>;
+
+  /// `jobs_remaining` gates the probe loop: when it turns false the loop
+  /// stops re-arming (and retire() cancels the last pending tick).
+  HealthMonitor(sim::Simulator& sim, HealthConfig config, std::size_t devices,
+                DeviceCallback on_detected, DeviceCallback on_recovered,
+                Predicate jobs_remaining);
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Actual state change: the device just fail-stopped. Arms the probe
+  /// loop; the belief flips (and on_detected fires) at the next tick.
+  void device_failed(std::size_t device);
+  /// Actual state change: the device just came back. on_recovered fires at
+  /// the next tick, when the controller re-learns the device.
+  void device_recovered(std::size_t device);
+
+  /// The controller's belief — placement must skip believed-down devices.
+  [[nodiscard]] bool believed_up(std::size_t device) const {
+    return believed_up_[device] != 0;
+  }
+  /// Ground truth (the engine also tracks this on its nodes).
+  [[nodiscard]] bool device_down(std::size_t device) const {
+    return actual_down_[device] != 0;
+  }
+  [[nodiscard]] const HealthConfig& config() const noexcept { return config_; }
+
+  /// Ledger hook: one job migrated off `device` after a detection.
+  void note_migration(std::size_t device) {
+    ++ledger_[device].migrations_out;
+  }
+
+  /// Permanently stop probing (all jobs terminal); cancels a pending tick
+  /// so an idle tail probe cannot inflate the makespan.
+  void retire();
+
+  /// Close the books: an open outage ends at `makespan`; availability,
+  /// detection latency and MTTR become per-device summary numbers.
+  [[nodiscard]] std::vector<DeviceHealth> finalize(
+      util::SimTime makespan) const;
+
+ private:
+  void probe();
+  void arm();
+
+  struct Ledger {
+    std::uint32_t failures = 0;
+    std::uint32_t recoveries = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t migrations_out = 0;
+    util::SimTime down_since = 0;
+    util::SimTime downtime = 0;             ///< completed outages only
+    util::SimTime detection_latency_sum = 0;
+    util::SimTime repair_sum = 0;           ///< completed outage durations
+  };
+
+  sim::Simulator& sim_;
+  HealthConfig config_;
+  DeviceCallback on_detected_;
+  DeviceCallback on_recovered_;
+  Predicate jobs_remaining_;
+  std::vector<std::uint8_t> actual_down_;
+  std::vector<std::uint8_t> believed_up_;
+  std::vector<Ledger> ledger_;
+  bool armed_ = false;
+  bool retired_ = false;
+  std::uint64_t probe_event_ = 0;
+};
+
+}  // namespace nessa::fleet

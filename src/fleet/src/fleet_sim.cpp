@@ -1,14 +1,18 @@
 #include "nessa/fleet/fleet_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <ostream>
 #include <stdexcept>
+#include <string_view>
 
 #include "nessa/ckpt/buffer.hpp"
 #include "nessa/ckpt/errors.hpp"
+#include "nessa/fault/hashing.hpp"
 #include "nessa/fault/injector.hpp"
+#include "nessa/fleet/health.hpp"
 #include "nessa/sim/fair_queue.hpp"
 #include "nessa/smartssd/device_graph.hpp"
 #include "nessa/telemetry/telemetry.hpp"
@@ -53,7 +57,10 @@ enum class Stage : std::uint8_t {
   kFeedback,
 };
 
-enum class JobState : std::uint8_t { kWaiting, kRunning, kDone };
+/// kVictim: the job's device died under it; it holds its slot until the
+/// HealthMonitor detects the corpse (or the device recovers first) and the
+/// job is rolled back to its last epoch barrier and re-admitted.
+enum class JobState : std::uint8_t { kWaiting, kRunning, kVictim, kDone };
 
 struct JobRuntime {
   JobRecord record;
@@ -62,7 +69,17 @@ struct JobRuntime {
   Stage stage = Stage::kScan;
   std::size_t slice_epochs = 0;  ///< epochs completed in this dispatch
   std::size_t chunks_left = 0;   ///< chunk fetches remaining this epoch
-  /// Checkpoint payload from the last preemption (empty = fresh job).
+  std::size_t chunk_attempts = 0;  ///< CRC re-fetches of the current chunk
+  /// Chunks this job gave up on, in discovery order; scans skip them.
+  std::vector<std::uint64_t> quarantined;
+  /// Progress at the last epoch barrier (or slice start): a migration
+  /// rolls the record back here — the partial epoch is redone elsewhere.
+  std::uint64_t barrier_chunk_fetches = 0;
+  std::size_t barrier_next_chunk = 0;
+  std::uint64_t barrier_corruptions = 0;
+  std::uint64_t barrier_refetches = 0;
+  std::size_t barrier_quarantined = 0;  ///< prefix length of `quarantined`
+  /// Checkpoint payload from the last preemption/eviction (empty = fresh).
   std::vector<std::uint8_t> snapshot;
 };
 
@@ -74,6 +91,22 @@ struct SsdNode {
   std::unique_ptr<sim::FairQueue> fpga;
   std::unique_ptr<sim::FairQueue> host_link;
   std::size_t active_jobs = 0;
+  bool down = false;  ///< ground truth; the monitor's belief lags by design
+};
+
+/// Pass-through hook installed when a plan schedules failures but injects
+/// no request-level faults: Component stashes failure continuations only
+/// while a hook is present, and fail_stop() must drain through them so a
+/// device death is visible as FairQueue failures, not phantom completions.
+struct PassHook final : sim::FaultHook {
+  sim::FaultDecision on_submit(const sim::Component&, util::SimTime,
+                               std::uint64_t) override {
+    return {};
+  }
+  sim::FaultDecision on_service(const sim::Component&, util::SimTime,
+                                std::uint64_t) override {
+    return {};
+  }
 };
 
 /// One fleet GPU, named "gpuK.gpu" so fault plans can target "gpu" on it
@@ -123,6 +156,12 @@ class FleetEngine {
   FleetResult run();
 
  private:
+  /// Device index a failure/recovery target addresses: "ssdK" or
+  /// "ssdK.<component>" name device K; a bare canonical component name
+  /// means every device; "gpuK" targets are not modeled (npos).
+  static constexpr std::size_t kAllDevices = ~std::size_t{1};
+  static constexpr std::size_t kNoDevice = ~std::size_t{0};
+
   void build_fleet();
   void register_flows();
   [[nodiscard]] EpochCosts compute_costs(const SsdNode& ssd,
@@ -135,6 +174,33 @@ class FleetEngine {
   void stage_done(std::uint32_t job_id);
   void at_barrier(std::uint32_t job_id);
   void finish_slice(std::uint32_t job_id, bool completed);
+  [[nodiscard]] std::size_t target_device(std::string_view name) const;
+  void schedule_outages();
+  void fail_device(std::size_t device);
+  void recover_device(std::size_t device);
+  void on_device_detected(std::size_t device);
+  void park_victim(std::uint32_t job_id);
+  void evict_victim(std::uint32_t job_id, bool migration);
+  [[nodiscard]] std::vector<std::uint8_t> make_snapshot(
+      std::uint32_t job_id) const;
+  [[nodiscard]] bool chunk_corrupt(std::uint32_t job_id, std::size_t chunk,
+                                   std::size_t attempt) const;
+  void note_terminal();
+
+  /// Record the epoch-barrier rollback point. Only the eviction path ever
+  /// reads it, so callers skip this without failures scheduled.
+  static void save_barrier(JobRuntime& job) {
+    job.barrier_chunk_fetches = job.record.chunk_fetches;
+    job.barrier_next_chunk = job.record.next_chunk;
+    job.barrier_corruptions = job.record.chunk_corruptions;
+    job.barrier_refetches = job.record.chunk_refetches;
+    job.barrier_quarantined = job.quarantined.size();
+  }
+  static bool is_quarantined(const JobRuntime& job, std::size_t chunk) {
+    return std::find(job.quarantined.begin(), job.quarantined.end(),
+                     static_cast<std::uint64_t>(chunk)) !=
+           job.quarantined.end();
+  }
 
   FleetConfig config_;
   const std::vector<Arrival>& arrivals_;
@@ -147,10 +213,24 @@ class FleetEngine {
   std::vector<GpuNode> gpus_;
   std::vector<JobRuntime> jobs_;
   std::optional<fault::Injector> injector_;
+  std::optional<PassHook> pass_hook_;
+  std::optional<HealthMonitor> health_;
+  bool has_failures_ = false;
+  bool has_corruption_ = false;
+  /// Snapshots carry the migration/integrity fields only when the plan can
+  /// produce nonzero values for them (failures or corruption scheduled).
+  /// Constant for a whole run, so encode and decode always agree; the
+  /// failure-free preemption path keeps its slim pre-failure payload.
+  bool extended_snapshots_ = false;
+  std::size_t jobs_outstanding_ = 0;  ///< arrivals not yet terminal
   std::uint64_t preemptions_ = 0;
   std::uint64_t resumes_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t chunk_fetches_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t chunk_fetches_lost_ = 0;
+  std::uint64_t chunk_corruptions_ = 0;
+  std::uint64_t chunk_refetches_ = 0;
 };
 
 void FleetEngine::build_fleet() {
@@ -192,6 +272,214 @@ void FleetEngine::build_fleet() {
       node.gpu->set_fault_hook(&*injector_);
     }
   }
+
+  const fault::FaultPlan& plan = config_.job.fault_plan;
+  has_corruption_ = plan.has_corruption();
+  for (const fault::FailureSpec& f : plan.failures) {
+    if (target_device(f.component) != kNoDevice) has_failures_ = true;
+  }
+  extended_snapshots_ = has_failures_ || has_corruption_;
+  if (has_failures_) {
+    if (!injector_) {
+      // Failure continuations are stashed only while a hook is installed;
+      // the pass-through hook makes fail_stop() drains observable.
+      pass_hook_.emplace();
+      for (SsdNode& node : ssds_) {
+        node.graph->install_fault_hook(&*pass_hook_);
+      }
+    }
+    health_.emplace(
+        sim_, config_.health, config_.devices,
+        [this](std::size_t d) { on_device_detected(d); },
+        [this](std::size_t /*device*/) { try_dispatch(); },
+        [this] { return jobs_outstanding_ > 0; });
+  }
+}
+
+std::size_t FleetEngine::target_device(std::string_view name) const {
+  if (name.size() >= 4 && name.substr(0, 3) == "ssd" &&
+      name[3] >= '0' && name[3] <= '9') {
+    std::size_t idx = 0;
+    std::size_t i = 3;
+    for (; i < name.size() && name[i] >= '0' && name[i] <= '9'; ++i) {
+      idx = idx * 10 + static_cast<std::size_t>(name[i] - '0');
+    }
+    if (i != name.size() && name[i] != '.') return kNoDevice;
+    // Any component of a SmartSSD takes the whole device with it — a graph
+    // with one dead link cannot run an epoch, so the fleet models
+    // component-level failure targets as device death.
+    return idx < ssds_.size() ? idx : kNoDevice;
+  }
+  if (name.size() >= 4 && name.substr(0, 3) == "gpu" &&
+      name[3] >= '0' && name[3] <= '9') {
+    return kNoDevice;  // fleet GPU death is not modeled (no migration path)
+  }
+  return kAllDevices;  // canonical component name: every device
+}
+
+void FleetEngine::schedule_outages() {
+  if (!has_failures_) return;
+  const fault::FaultPlan& plan = config_.job.fault_plan;
+  auto each_target = [this](const std::string& component, auto&& fn) {
+    const std::size_t dev = target_device(component);
+    if (dev == kNoDevice) return;
+    if (dev == kAllDevices) {
+      for (std::size_t d = 0; d < ssds_.size(); ++d) fn(d);
+    } else {
+      fn(dev);
+    }
+  };
+  for (const fault::FailureSpec& f : plan.failures) {
+    each_target(f.component, [&](std::size_t d) {
+      sim_.schedule_at(f.at, [this, d] { fail_device(d); });
+      if (f.mttr > 0) {
+        sim_.schedule_at(f.at + f.mttr, [this, d] { recover_device(d); });
+      }
+    });
+  }
+  for (const fault::RecoverySpec& r : plan.recoveries) {
+    each_target(r.component, [&](std::size_t d) {
+      sim_.schedule_at(r.at, [this, d] { recover_device(d); });
+    });
+  }
+}
+
+void FleetEngine::fail_device(std::size_t device) {
+  SsdNode& node = ssds_[device];
+  if (node.down) return;  // overlapping outage directives collapse
+  node.down = true;
+  telemetry::count("fleet.device.failures");
+  // Order matters: pause the fair queues FIRST so completions delivered by
+  // the drain cannot pump fresh work into the corpse, then kill the
+  // components (the in-service request fails, queued work drains through
+  // failure continuations), then abort the fair-queue backlogs. Every
+  // continuation lands in stage_done()/submit_chunk()'s down-check and
+  // parks its job as a victim.
+  node.flash->pause();
+  node.p2p->pause();
+  node.fpga->pause();
+  node.host_link->pause();
+  node.graph->fail_stop();
+  node.flash->abort_backlog();
+  node.p2p->abort_backlog();
+  node.fpga->abort_backlog();
+  node.host_link->abort_backlog();
+  health_->device_failed(device);
+}
+
+void FleetEngine::recover_device(std::size_t device) {
+  SsdNode& node = ssds_[device];
+  if (!node.down) return;
+  node.down = false;
+  telemetry::count("fleet.device.recoveries");
+  node.graph->restore();
+  node.flash->resume();
+  node.p2p->resume();
+  node.fpga->resume();
+  node.host_link->resume();
+  // Victims the probe never saw (outage shorter than the detection window)
+  // restart here — from their barrier snapshot, on any device; this is a
+  // restart, not a migration (the controller never believed the device
+  // dead).
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    JobRuntime& job = jobs_[j];
+    if (job.state == JobState::kVictim && job.record.device == device) {
+      evict_victim(static_cast<std::uint32_t>(j), /*migration=*/false);
+    }
+  }
+  health_->device_recovered(device);
+  try_dispatch();
+}
+
+void FleetEngine::on_device_detected(std::size_t device) {
+  SsdNode& node = ssds_[device];
+  // Jobs dispatched during the detection window parked work on the paused
+  // queues; abort it so their continuations park them as victims too.
+  node.flash->abort_backlog();
+  node.p2p->abort_backlog();
+  node.fpga->abort_backlog();
+  node.host_link->abort_backlog();
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    JobRuntime& job = jobs_[j];
+    if (job.state == JobState::kVictim && job.record.device == device) {
+      evict_victim(static_cast<std::uint32_t>(j), /*migration=*/true);
+    }
+  }
+  try_dispatch();
+}
+
+void FleetEngine::park_victim(std::uint32_t job_id) {
+  JobRuntime& job = jobs_[job_id];
+  if (job.state != JobState::kRunning) return;
+  job.state = JobState::kVictim;
+  job.chunk_attempts = 0;
+  telemetry::count("fleet.jobs.victims");
+  // Parked after the corpse was already detected (e.g. a GPU-side stage
+  // completing late): migrate immediately instead of waiting for a probe
+  // that will never fire for this device again.
+  if (!health_->believed_up(job.record.device)) {
+    evict_victim(job_id, /*migration=*/true);
+  }
+}
+
+void FleetEngine::evict_victim(std::uint32_t job_id, bool migration) {
+  JobRuntime& job = jobs_[job_id];
+  const std::size_t from = job.record.device;
+  --ssds_[from].active_jobs;
+  --gpus_[job.record.gpu].active_jobs;
+  // The partial epoch is lost: roll the record back to the last epoch
+  // barrier. Fleet-wide counters follow, so per-job sums always equal the
+  // fleet totals; the redone fetches are accounted as chunk_fetches_lost.
+  const std::uint64_t lost =
+      job.record.chunk_fetches - job.barrier_chunk_fetches;
+  chunk_fetches_ -= lost;
+  chunk_fetches_lost_ += lost;
+  chunk_corruptions_ -= job.record.chunk_corruptions - job.barrier_corruptions;
+  chunk_refetches_ -= job.record.chunk_refetches - job.barrier_refetches;
+  job.record.chunk_fetches = job.barrier_chunk_fetches;
+  job.record.next_chunk = job.barrier_next_chunk;
+  job.record.chunk_corruptions = job.barrier_corruptions;
+  job.record.chunk_refetches = job.barrier_refetches;
+  job.quarantined.resize(job.barrier_quarantined);
+  job.record.quarantined_chunks = job.quarantined.size();
+  if (migration) {
+    ++job.record.migrations;
+    ++migrations_;
+    job.record.migrated_from = static_cast<std::int32_t>(from);
+    health_->note_migration(from);
+    telemetry::count("fleet.jobs.migrated");
+  } else {
+    telemetry::count("fleet.jobs.restarted");
+  }
+  // Snapshot through the same ckpt codec the preemption path uses; the
+  // resume in start_slice() restores and fingerprint-checks it.
+  job.snapshot = make_snapshot(job_id);
+  job.state = JobState::kWaiting;
+  admission_.requeue(job_id);
+  try_dispatch();
+}
+
+bool FleetEngine::chunk_corrupt(std::uint32_t job_id, std::size_t chunk,
+                                std::size_t attempt) const {
+  const fault::FaultPlan& plan = config_.job.fault_plan;
+  for (const fault::CorruptionSpec& spec : plan.corruptions) {
+    if (!spec.sticky && attempt > 0) continue;  // cleared by the re-fetch
+    if (spec.chunk != fault::CorruptionSpec::kAllChunks) {
+      if (spec.chunk == chunk) return true;
+      continue;
+    }
+    // Stateless per-(job, chunk) decision — independent of event order, so
+    // the corruption schedule is bit-identical across engines.
+    if (fault::u01(plan.seed ^ (0x636f727275ULL + job_id), 0x666c656574ULL,
+                   chunk) < spec.rate) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FleetEngine::note_terminal() {
+  if (--jobs_outstanding_ == 0 && health_) health_->retire();
 }
 
 void FleetEngine::register_flows() {
@@ -268,6 +556,8 @@ void FleetEngine::arrive(std::uint32_t job_id) {
     case AdmissionOutcome::kRejected:
       telemetry::count("fleet.jobs.rejected");
       jobs_[job_id].state = JobState::kDone;
+      jobs_[job_id].record.rejected = true;
+      note_terminal();
       return;
   }
   try_dispatch();
@@ -277,15 +567,44 @@ void FleetEngine::try_dispatch() {
   while (admission_.has_waiting()) {
     // Least-loaded SmartSSD with a free slot, ties to the lowest index —
     // deterministic placement, so the arrival list fully determines a run.
+    // Under a failing plan the placement is failure-domain-aware: devices
+    // the HealthMonitor believes dead are skipped, and a migrating job
+    // prefers a device outside the failure domain it fled (domain = index
+    // mod health.failure_domains), falling back to same-domain placement
+    // only when no cross-domain slot exists.
     std::size_t best = ssds_.size();
-    for (std::size_t d = 0; d < ssds_.size(); ++d) {
-      if (ssds_[d].active_jobs >= config_.jobs_per_device) continue;
-      if (best == ssds_.size() ||
-          ssds_[d].active_jobs < ssds_[best].active_jobs) {
-        best = d;
+    if (!has_failures_) {
+      // Failure-free fast path: plain least-loaded, lowest index on ties —
+      // the domain-aware loop below degenerates to exactly this order.
+      for (std::size_t d = 0; d < ssds_.size(); ++d) {
+        if (ssds_[d].active_jobs >= config_.jobs_per_device) continue;
+        if (best == ssds_.size() ||
+            ssds_[d].active_jobs < ssds_[best].active_jobs) {
+          best = d;
+        }
+      }
+    } else {
+      const JobRuntime& head = jobs_[admission_.peek()];
+      const std::size_t domains =
+          std::max<std::size_t>(1, config_.health.failure_domains);
+      const std::size_t avoid_domain =
+          head.record.migrated_from >= 0
+              ? static_cast<std::size_t>(head.record.migrated_from) % domains
+              : domains;  // sentinel: every device counts as cross-domain
+      bool best_cross = false;
+      for (std::size_t d = 0; d < ssds_.size(); ++d) {
+        if (ssds_[d].active_jobs >= config_.jobs_per_device) continue;
+        if (health_ && !health_->believed_up(d)) continue;
+        const bool cross = d % domains != avoid_domain;
+        if (best == ssds_.size() || (cross && !best_cross) ||
+            (cross == best_cross &&
+             ssds_[d].active_jobs < ssds_[best].active_jobs)) {
+          best = d;
+          best_cross = cross;
+        }
       }
     }
-    if (best == ssds_.size()) return;  // fleet saturated
+    if (best == ssds_.size()) return;  // fleet saturated (or believed dead)
     std::size_t gpu = 0;
     for (std::size_t g = 1; g < gpus_.size(); ++g) {
       if (gpus_[g].active_jobs < gpus_[gpu].active_jobs) gpu = g;
@@ -325,6 +644,19 @@ void FleetEngine::start_slice(std::uint32_t job_id) {
     job.record.preemptions = static_cast<std::uint32_t>(r.u64());
     job.record.chunk_fetches = r.u64();
     job.record.next_chunk = static_cast<std::size_t>(r.u64());
+    if (extended_snapshots_) {
+      // Migration provenance + integrity ledger travel with the snapshot,
+      // so a migrated job carries its history onto the new device.
+      job.record.migrations = static_cast<std::uint32_t>(r.u64());
+      job.record.migrated_from = static_cast<std::int32_t>(r.u64()) - 1;
+      job.record.chunk_corruptions = r.u64();
+      job.record.chunk_refetches = r.u64();
+      job.quarantined.clear();
+      for (std::uint64_t n = r.u64(); n > 0; --n) {
+        job.quarantined.push_back(r.u64());
+      }
+      job.record.quarantined_chunks = job.quarantined.size();
+    }
     if (!r.done()) {
       throw ckpt::SnapshotError(ckpt::SnapshotFault::kBadPayload,
                                 "fleet job snapshot has trailing bytes");
@@ -334,8 +666,31 @@ void FleetEngine::start_slice(std::uint32_t job_id) {
     ++resumes_;
     telemetry::count("fleet.jobs.resumed");
   }
+  if (has_failures_) save_barrier(job);
   job.stage = Stage::kScan;
+  job.chunk_attempts = 0;
   submit_stage(job_id);
+}
+
+std::vector<std::uint8_t> FleetEngine::make_snapshot(
+    std::uint32_t job_id) const {
+  const JobRuntime& job = jobs_[job_id];
+  ckpt::BufWriter w;
+  w.u64(job_fingerprint(job_id, job.record.tenant, job.record.epochs));
+  w.u64(job.record.epochs_done);
+  w.u64(job.record.preemptions);
+  w.u64(job.record.chunk_fetches);
+  w.u64(job.record.next_chunk);  // the loader cursor resumes mid-stream
+  if (extended_snapshots_) {
+    w.u64(job.record.migrations);
+    w.u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(job.record.migrated_from) + 1));
+    w.u64(job.record.chunk_corruptions);
+    w.u64(job.record.chunk_refetches);
+    w.u64(job.quarantined.size());
+    for (const std::uint64_t c : job.quarantined) w.u64(c);
+  }
+  return w.take();
 }
 
 void FleetEngine::submit_stage(std::uint32_t job_id) {
@@ -380,6 +735,20 @@ void FleetEngine::submit_stage(std::uint32_t job_id) {
 
 void FleetEngine::submit_chunk(std::uint32_t job_id) {
   JobRuntime& job = jobs_[job_id];
+  // Quarantined chunk slots are skipped outright — no fetch, no flash
+  // time: their rows never reach selection again.
+  while (job.chunks_left > 0 &&
+         !job.quarantined.empty() &&
+         is_quarantined(job, job.record.next_chunk)) {
+    job.record.next_chunk =
+        (job.record.next_chunk + 1) % job.costs.chunks_total;
+    --job.chunks_left;
+    telemetry::count("fleet.chunk.quarantine_skips");
+  }
+  if (job.chunks_left == 0) {
+    stage_done(job_id);
+    return;
+  }
   SsdNode& ssd = ssds_[job.record.device];
   const auto flow = static_cast<sim::FairQueue::FlowId>(job.record.tenant);
   const EpochCosts& c = job.costs;
@@ -390,10 +759,37 @@ void FleetEngine::submit_chunk(std::uint32_t job_id) {
   const std::uint64_t bytes = partial ? c.chunk_last_bytes : c.chunk_bytes;
   auto next = [this, job_id] {
     JobRuntime& j = jobs_[job_id];
-    j.record.next_chunk = (j.record.next_chunk + 1) % j.costs.chunks_total;
+    if (ssds_[j.record.device].down) {
+      park_victim(job_id);
+      return;
+    }
     ++j.record.chunk_fetches;
     ++chunk_fetches_;
     telemetry::count("fleet.chunk.fetches");
+    if (has_corruption_ &&
+        chunk_corrupt(job_id, j.record.next_chunk, j.chunk_attempts)) {
+      ++j.record.chunk_corruptions;
+      ++chunk_corruptions_;
+      telemetry::count("fleet.chunk.corruptions");
+      if (j.chunk_attempts < config_.health.max_chunk_refetch) {
+        // Re-fetch the damaged chunk: the cursor stays put, the flash pays
+        // again. Sticky corruption reproduces and burns the whole budget;
+        // transient corruption clears on the first retry.
+        ++j.chunk_attempts;
+        ++j.record.chunk_refetches;
+        ++chunk_refetches_;
+        telemetry::count("fleet.chunk.refetches");
+        submit_chunk(job_id);
+        return;
+      }
+      // Budget exhausted: quarantine. The slot is consumed (the bytes are
+      // unusable), the chunk is skipped by every later scan of this job.
+      j.quarantined.push_back(j.record.next_chunk);
+      j.record.quarantined_chunks = j.quarantined.size();
+      telemetry::count("fleet.chunk.quarantined");
+    }
+    j.chunk_attempts = 0;
+    j.record.next_chunk = (j.record.next_chunk + 1) % j.costs.chunks_total;
     if (--j.chunks_left > 0) {
       submit_chunk(job_id);
     } else {
@@ -407,6 +803,13 @@ void FleetEngine::submit_chunk(std::uint32_t job_id) {
 
 void FleetEngine::stage_done(std::uint32_t job_id) {
   JobRuntime& job = jobs_[job_id];
+  // A continuation landing after the job's device died — whether from the
+  // fail_stop drain, a backlog abort, or a late completion on the GPU side
+  // — parks the job; the HealthMonitor's detection migrates it.
+  if (has_failures_ && ssds_[job.record.device].down) {
+    park_victim(job_id);
+    return;
+  }
   switch (job.stage) {
     case Stage::kScan:
       // Full-data specs skip the on-board selection leg entirely.
@@ -439,6 +842,9 @@ void FleetEngine::at_barrier(std::uint32_t job_id) {
   JobRuntime& job = jobs_[job_id];
   ++job.record.epochs_done;
   ++job.slice_epochs;
+  // The epoch barrier is the rollback point: a migration redoes at most
+  // the partial epoch after this line.
+  if (has_failures_) save_barrier(job);
   if (job.record.epochs_done >= job.record.epochs) {
     finish_slice(job_id, /*completed=*/true);
     return;
@@ -449,13 +855,7 @@ void FleetEngine::at_barrier(std::uint32_t job_id) {
     // round-robin through the admission queue.
     ++job.record.preemptions;
     ++preemptions_;
-    ckpt::BufWriter w;
-    w.u64(job_fingerprint(job_id, job.record.tenant, job.record.epochs));
-    w.u64(job.record.epochs_done);
-    w.u64(job.record.preemptions);
-    w.u64(job.record.chunk_fetches);
-    w.u64(job.record.next_chunk);  // the loader cursor resumes mid-stream
-    job.snapshot = w.take();
+    job.snapshot = make_snapshot(job_id);
     telemetry::count("fleet.jobs.preempted");
     finish_slice(job_id, /*completed=*/false);
     return;
@@ -474,6 +874,7 @@ void FleetEngine::finish_slice(std::uint32_t job_id, bool completed) {
     job.record.finish = sim_.now();
     ++completed_;
     telemetry::count("fleet.jobs.completed");
+    note_terminal();
   } else {
     job.state = JobState::kWaiting;
     admission_.requeue(job_id);
@@ -483,6 +884,7 @@ void FleetEngine::finish_slice(std::uint32_t job_id, bool completed) {
 
 FleetResult FleetEngine::run() {
   jobs_.resize(arrivals_.size());
+  jobs_outstanding_ = arrivals_.size();
   for (std::size_t i = 0; i < arrivals_.size(); ++i) {
     const Arrival& a = arrivals_[i];
     JobRuntime& job = jobs_[i];
@@ -493,6 +895,7 @@ FleetResult FleetEngine::run() {
     const auto job_id = static_cast<std::uint32_t>(i);
     sim_.schedule_at(a.at, [this, job_id] { arrive(job_id); });
   }
+  schedule_outages();
   sim_.run();
 
   FleetResult result;
@@ -507,6 +910,24 @@ FleetResult FleetEngine::run() {
   result.makespan = sim_.now();
   result.peak_queue_depth = admission_.stats().peak_depth;
   result.peak_overflow_depth = admission_.stats().peak_overflow;
+  result.migrations = migrations_;
+  result.chunk_fetches_lost = chunk_fetches_lost_;
+  result.chunk_corruptions = chunk_corruptions_;
+  result.chunk_refetches = chunk_refetches_;
+  if (result.makespan > 0) {
+    result.goodput_jobs_per_s = static_cast<double>(completed_) /
+                                util::to_seconds(result.makespan);
+  }
+  // Jobs the drain left unfinished (the fleet died under them with nowhere
+  // to migrate) fail permanently — accounted, never silently dropped:
+  // completed + failed_permanently == admitted always holds.
+  for (JobRuntime& job : jobs_) {
+    if (!job.record.rejected && !job.record.completed) {
+      job.record.failed = true;
+      ++result.failed_permanently;
+      telemetry::count("fleet.jobs.failed");
+    }
+  }
 
   result.tenants.resize(tenant_count_);
   std::vector<std::vector<double>> tenant_latency(tenant_count_);
@@ -518,12 +939,18 @@ FleetResult FleetEngine::run() {
   for (const JobRuntime& job : jobs_) {
     TenantStats& ts = result.tenants[job.record.tenant];
     ++ts.arrivals;
-    if (job.record.admitted) {
-      ++ts.admitted;
-    } else {
+    // Mirror the fleet-level split (admitted = arrivals - rejected): a job
+    // the drain left waiting was still admitted — it failed, it was not
+    // turned away at the door.
+    if (job.record.rejected) {
       ++ts.rejected;
+    } else {
+      ++ts.admitted;
     }
     ts.preemptions += job.record.preemptions;
+    ts.migrations += job.record.migrations;
+    if (job.record.failed) ++ts.failed;
+    result.quarantined_chunks += job.record.quarantined_chunks;
     if (job.record.completed) {
       ++ts.completed;
       const double s = util::to_seconds(job.record.latency());
@@ -588,6 +1015,8 @@ FleetResult FleetEngine::run() {
   }
   for (const GpuNode& node : gpus_) add_component(*node.gpu);
 
+  if (health_) result.health = health_->finalize(result.makespan);
+
   result.jobs.reserve(jobs_.size());
   for (const JobRuntime& job : jobs_) result.jobs.push_back(job.record);
   return result;
@@ -600,6 +1029,11 @@ void json_escape(std::ostream& out, const std::string& s) {
   }
 }
 
+/// NaN/Inf are not JSON: any non-finite aggregate (e.g. a ratio over a run
+/// where zero jobs were admitted) serializes as 0 instead of breaking
+/// every downstream parser.
+double fin(double v) { return std::isfinite(v) ? v : 0.0; }
+
 }  // namespace
 
 void FleetResult::write_summary_json(std::ostream& out) const {
@@ -609,14 +1043,21 @@ void FleetResult::write_summary_json(std::ostream& out) const {
   out << "  \"rejected\": " << rejected << ",\n";
   out << "  \"deferred\": " << deferred << ",\n";
   out << "  \"completed\": " << completed << ",\n";
+  out << "  \"failed_permanently\": " << failed_permanently << ",\n";
   out << "  \"preemptions\": " << preemptions << ",\n";
   out << "  \"resumes\": " << resumes << ",\n";
+  out << "  \"migrations\": " << migrations << ",\n";
   out << "  \"chunk_fetches\": " << chunk_fetches << ",\n";
-  out << "  \"makespan_s\": " << util::to_seconds(makespan) << ",\n";
-  out << "  \"latency\": {\"p50_s\": " << p50_latency_s
-      << ", \"p99_s\": " << p99_latency_s
-      << ", \"mean_s\": " << mean_latency_s << "},\n";
-  out << "  \"jain_fairness\": " << jain_fairness << ",\n";
+  out << "  \"chunk_fetches_lost\": " << chunk_fetches_lost << ",\n";
+  out << "  \"chunk_corruptions\": " << chunk_corruptions << ",\n";
+  out << "  \"chunk_refetches\": " << chunk_refetches << ",\n";
+  out << "  \"quarantined_chunks\": " << quarantined_chunks << ",\n";
+  out << "  \"makespan_s\": " << fin(util::to_seconds(makespan)) << ",\n";
+  out << "  \"goodput_jobs_per_s\": " << fin(goodput_jobs_per_s) << ",\n";
+  out << "  \"latency\": {\"p50_s\": " << fin(p50_latency_s)
+      << ", \"p99_s\": " << fin(p99_latency_s)
+      << ", \"mean_s\": " << fin(mean_latency_s) << "},\n";
+  out << "  \"jain_fairness\": " << fin(jain_fairness) << ",\n";
   out << "  \"peak_queue_depth\": " << peak_queue_depth << ",\n";
   out << "  \"peak_overflow_depth\": " << peak_overflow_depth << ",\n";
   out << "  \"tenants\": [\n";
@@ -626,11 +1067,28 @@ void FleetResult::write_summary_json(std::ostream& out) const {
         << ", \"arrivals\": " << t.arrivals << ", \"admitted\": " << t.admitted
         << ", \"rejected\": " << t.rejected
         << ", \"completed\": " << t.completed
+        << ", \"failed\": " << t.failed
         << ", \"preemptions\": " << t.preemptions
-        << ", \"p50_s\": " << t.p50_latency_s
-        << ", \"p99_s\": " << t.p99_latency_s
-        << ", \"gpu_service_s\": " << t.gpu_service_s << "}"
+        << ", \"migrations\": " << t.migrations
+        << ", \"p50_s\": " << fin(t.p50_latency_s)
+        << ", \"p99_s\": " << fin(t.p99_latency_s)
+        << ", \"gpu_service_s\": " << fin(t.gpu_service_s) << "}"
         << (i + 1 < tenants.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"health\": [\n";
+  for (std::size_t i = 0; i < health.size(); ++i) {
+    const DeviceHealth& h = health[i];
+    out << "    {\"device\": " << h.device << ", \"failures\": " << h.failures
+        << ", \"recoveries\": " << h.recoveries
+        << ", \"detections\": " << h.detections
+        << ", \"migrations_out\": " << h.migrations_out
+        << ", \"downtime_s\": " << fin(util::to_seconds(h.downtime))
+        << ", \"availability\": " << fin(h.availability)
+        << ", \"mean_detection_latency_s\": "
+        << fin(h.mean_detection_latency_s)
+        << ", \"mttr_s\": " << fin(h.mttr_s) << "}"
+        << (i + 1 < health.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"components\": [\n";
@@ -638,7 +1096,7 @@ void FleetResult::write_summary_json(std::ostream& out) const {
     const ComponentUtilization& c = components[i];
     out << "    {\"name\": \"";
     json_escape(out, c.name);
-    out << "\", \"utilization\": " << c.utilization
+    out << "\", \"utilization\": " << fin(c.utilization)
         << ", \"requests\": " << c.requests << ", \"bytes\": " << c.bytes
         << "}" << (i + 1 < components.size() ? "," : "") << "\n";
   }

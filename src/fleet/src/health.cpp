@@ -1,0 +1,125 @@
+#include "nessa/fleet/health.hpp"
+
+#include <utility>
+
+#include "nessa/telemetry/telemetry.hpp"
+
+namespace nessa::fleet {
+
+HealthMonitor::HealthMonitor(sim::Simulator& sim, HealthConfig config,
+                             std::size_t devices, DeviceCallback on_detected,
+                             DeviceCallback on_recovered,
+                             Predicate jobs_remaining)
+    : sim_(sim),
+      config_(config),
+      on_detected_(std::move(on_detected)),
+      on_recovered_(std::move(on_recovered)),
+      jobs_remaining_(std::move(jobs_remaining)),
+      actual_down_(devices, 0),
+      believed_up_(devices, 1),
+      ledger_(devices) {
+  if (config_.probe_interval <= 0) {
+    config_.probe_interval = util::kMillisecond;
+  }
+  if (config_.failure_domains == 0) config_.failure_domains = 1;
+}
+
+void HealthMonitor::device_failed(std::size_t device) {
+  if (actual_down_[device] != 0) return;
+  actual_down_[device] = 1;
+  Ledger& l = ledger_[device];
+  ++l.failures;
+  l.down_since = sim_.now();
+  arm();
+}
+
+void HealthMonitor::device_recovered(std::size_t device) {
+  if (actual_down_[device] == 0) return;
+  actual_down_[device] = 0;
+  Ledger& l = ledger_[device];
+  ++l.recoveries;
+  const util::SimTime outage = sim_.now() - l.down_since;
+  l.downtime += outage;
+  l.repair_sum += outage;
+  arm();
+}
+
+void HealthMonitor::probe() {
+  armed_ = false;
+  probe_event_ = 0;
+  for (std::size_t d = 0; d < actual_down_.size(); ++d) {
+    if (actual_down_[d] != 0 && believed_up_[d] != 0) {
+      believed_up_[d] = 0;
+      Ledger& l = ledger_[d];
+      ++l.detections;
+      l.detection_latency_sum += sim_.now() - l.down_since;
+      telemetry::count("fleet.health.detections");
+      if (on_detected_) on_detected_(d);
+    } else if (actual_down_[d] == 0 && believed_up_[d] == 0) {
+      believed_up_[d] = 1;
+      telemetry::count("fleet.health.readmissions");
+      if (on_recovered_) on_recovered_(d);
+    }
+  }
+  arm();
+}
+
+void HealthMonitor::arm() {
+  if (armed_ || retired_) return;
+  if (jobs_remaining_ && !jobs_remaining_()) return;
+  // Probe only while some belief disagrees with reality (as 0/1 bytes:
+  // actual_down == believed_up). An outage shorter than one probe interval
+  // resolves itself before the tick and is — correctly — never detected.
+  bool mismatch = false;
+  for (std::size_t d = 0; d < actual_down_.size(); ++d) {
+    if (actual_down_[d] == believed_up_[d]) {
+      mismatch = true;
+      break;
+    }
+  }
+  if (!mismatch) return;
+  armed_ = true;
+  probe_event_ =
+      sim_.schedule_after(config_.probe_interval, [this] { probe(); });
+}
+
+void HealthMonitor::retire() {
+  retired_ = true;
+  if (armed_) {
+    sim_.cancel(probe_event_);
+    armed_ = false;
+  }
+}
+
+std::vector<DeviceHealth> HealthMonitor::finalize(
+    util::SimTime makespan) const {
+  std::vector<DeviceHealth> out(ledger_.size());
+  for (std::size_t d = 0; d < ledger_.size(); ++d) {
+    const Ledger& l = ledger_[d];
+    DeviceHealth& h = out[d];
+    h.device = static_cast<std::uint32_t>(d);
+    h.failures = l.failures;
+    h.recoveries = l.recoveries;
+    h.detections = l.detections;
+    h.migrations_out = l.migrations_out;
+    h.downtime = l.downtime;
+    if (actual_down_[d] != 0 && makespan > l.down_since) {
+      h.downtime += makespan - l.down_since;  // outage still open at drain
+    }
+    if (makespan > 0) {
+      h.availability = 1.0 - static_cast<double>(h.downtime) /
+                                 static_cast<double>(makespan);
+    }
+    if (l.detections > 0) {
+      h.mean_detection_latency_s = util::to_seconds(l.detection_latency_sum) /
+                                   static_cast<double>(l.detections);
+    }
+    if (l.recoveries > 0) {
+      h.mttr_s =
+          util::to_seconds(l.repair_sum) / static_cast<double>(l.recoveries);
+    }
+  }
+  return out;
+}
+
+}  // namespace nessa::fleet

@@ -78,9 +78,11 @@ struct ComponentStats {
   std::uint64_t completed = 0;      ///< requests fully served
   std::uint64_t rejected = 0;       ///< submissions bounced by backpressure
   std::uint64_t failed = 0;         ///< requests failed by an injected fault
+  std::uint64_t drained = 0;        ///< requests failed by a fail_stop() drain
   std::uint64_t bytes = 0;          ///< payload bytes of completed requests
   SimTime busy_time = 0;            ///< total in-service time
   SimTime queue_wait = 0;           ///< total time spent queued before service
+  SimTime down_time = 0;            ///< total time spent failed (fail_stop)
   std::size_t peak_queue_depth = 0; ///< max queued+in-service observed
 
   /// Busy fraction of a horizon (e.g. sim.now() at end of run).
@@ -120,8 +122,11 @@ class Component {
     return capacity_;
   }
   [[nodiscard]] bool accepting() const noexcept {
-    return capacity_ == 0 || queue_.size() < capacity_;
+    return !down_ && (capacity_ == 0 || queue_.size() < capacity_);
   }
+  /// True between fail_stop() and restore(): the component is dead — it
+  /// accepts nothing and serves nothing.
+  [[nodiscard]] bool down() const noexcept { return down_; }
 
   /// Post a request occupying the component for `service_time` and moving
   /// `bytes` of payload. `phase` labels the traced span (must outlive the
@@ -149,6 +154,22 @@ class Component {
   /// must outlive every request submitted while it is installed.
   void set_fault_hook(FaultHook* hook);
   [[nodiscard]] FaultHook* fault_hook() const noexcept { return hook_; }
+
+  /// Kill the component NOW (device death): the in-service request fails
+  /// immediately (partial service time is accounted as busy time, the
+  /// pending completion event is cancelled), every queued request is
+  /// drained through its failure continuation (fail if stashed, else done
+  /// — the same fallback submit()'s failure path uses), and the component
+  /// stops accepting until restore(). when_accepting() waiters stay parked
+  /// across the outage and are released on restore. Continuations run
+  /// after all queue state is consistent, in FIFO order. No-op when
+  /// already down.
+  void fail_stop();
+
+  /// Bring a failed component back up: accounts the outage in
+  /// stats().down_time, resumes accepting, and releases parked waiters in
+  /// FIFO order. No-op when not down.
+  void restore();
 
   void reset_stats() noexcept { stats_ = {}; }
 
@@ -194,7 +215,12 @@ class Component {
   /// consumed (reset) by its completion — the fault-less fast path never
   /// writes it, its whole cost is one predicted branch per completion.
   bool in_service_faulted_ = false;
+  bool down_ = false;  ///< fail_stop()..restore() window
   SimTime service_start_ = 0;
+  /// Pending completion event for the in-service request, so fail_stop()
+  /// can cancel it in O(1).
+  std::uint64_t service_event_ = 0;
+  SimTime down_since_ = 0;
   util::RingQueue<Callback> waiters_;
   FaultHook* hook_ = nullptr;
   ComponentStats stats_;

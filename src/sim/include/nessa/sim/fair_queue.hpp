@@ -91,6 +91,24 @@ class FairQueue {
   /// everything. Returns 1.0 when fewer than two flows have traffic.
   [[nodiscard]] double jain_index() const;
 
+  /// Stop dispatching (device death / outage): backlogged items stay
+  /// queued, completions are still delivered, but no new request reaches
+  /// the component until resume(). Idempotent.
+  void pause();
+  /// Resume dispatching: re-issues a parked in-flight item (one whose
+  /// component submission was refused mid-outage) or pumps the backlog.
+  void resume();
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+
+  /// Fail every queued item through its failure continuation (fail if
+  /// provided, else done — Component's fallback), in deterministic
+  /// (flow id, FIFO) order. A parked in-flight item (dispatched but never
+  /// accepted by the component) is aborted first; an item the component
+  /// actually holds is NOT touched — Component::fail_stop() owns that one.
+  /// Continuations run after all queue state is consistent. Returns the
+  /// number of items aborted.
+  std::size_t abort_backlog();
+
  private:
   struct Item {
     SimTime service;
@@ -127,6 +145,10 @@ class FairQueue {
   std::uint64_t virtual_time_ = 0;
   std::size_t backlog_ = 0;
   bool in_flight_ = false;
+  /// True once the component accepted the in-flight item; false while it
+  /// is parked on a when_accepting() retry (bounded queue full or outage).
+  bool in_flight_submitted_ = false;
+  bool paused_ = false;
   FlowId in_flight_flow_ = 0;
   Item in_flight_item_{};
 };

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "nessa/telemetry/telemetry.hpp"
 
@@ -117,7 +118,61 @@ void Component::begin_service() {
   stats_.queue_wait += service_start_ - req.enqueued_at;
   SimTime service = req.service;
   if (hook_ != nullptr) [[unlikely]] service = service_faulted(req);
-  sim_.schedule_after(service, [this] { complete(); });
+  service_event_ = sim_.schedule_after(service, [this] { complete(); });
+}
+
+void Component::fail_stop() {
+  if (down_) return;
+  down_ = true;
+  down_since_ = sim_.now();
+  // Collect every continuation before invoking any: a continuation may
+  // re-enter submit()/when_accepting() and must observe a consistent
+  // (empty, down) queue, not a half-drained one.
+  std::vector<Callback> continuations;
+  continuations.reserve(queue_.size());
+  if (in_service_) {
+    sim_.cancel(service_event_);
+    in_service_ = false;
+    in_service_faulted_ = false;
+    in_service_failed_ = false;
+    injected_delta_ = 0;
+    // The partial service the device delivered before dying is real busy
+    // time; the request itself fails (bytes never arrived).
+    stats_.busy_time += sim_.now() - service_start_;
+  }
+  while (!queue_.empty()) {
+    Request req = std::move(queue_.front());
+    queue_.pop_front();
+    Callback fail;
+    if (!fails_.empty()) {
+      fail = std::move(fails_.front());
+      fails_.pop_front();
+    }
+    ++stats_.failed;
+    ++stats_.drained;
+    telemetry::count(failed_counter_);
+    continuations.push_back(fail ? std::move(fail) : std::move(req.done));
+  }
+  // when_accepting() waiters stay parked across the outage: they asked for
+  // a free slot, and a dead component has none. restore() releases them.
+  for (Callback& cont : continuations) {
+    if (cont) cont();
+  }
+}
+
+void Component::restore() {
+  if (!down_) return;
+  down_ = false;
+  stats_.down_time += sim_.now() - down_since_;
+  // The queue is empty (fail_stop drained it), so every parked waiter can
+  // be offered the free capacity in FIFO order — same discipline as the
+  // completion path, minus the capacity guard (waiters can park on an
+  // unbounded component only while it is down).
+  while (!waiters_.empty() && accepting()) {
+    Callback waiter = std::move(waiters_.front());
+    waiters_.pop_front();
+    waiter();
+  }
 }
 
 SimTime Component::service_faulted(const Request& req) {

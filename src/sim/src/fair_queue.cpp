@@ -35,6 +35,7 @@ void FairQueue::submit(FlowId flow, SimTime service_time, std::uint64_t bytes,
 }
 
 void FairQueue::pump() {
+  if (paused_) return;
   // Smallest head start tag wins; ties resolve by flow id (heads within a
   // flow are already FIFO). Linear scan: the flow count at one shared
   // component is bounded by the jobs concurrently placed on its device,
@@ -65,6 +66,10 @@ void FairQueue::pump() {
 }
 
 void FairQueue::dispatch() {
+  // A parked retry can fire after the item it was parked for is gone
+  // (abort_backlog) or already running; a paused queue re-issues from
+  // resume() instead.
+  if (!in_flight_ || in_flight_submitted_ || paused_) return;
   const Item& it = in_flight_item_;
   const bool accepted = component_.submit(
       it.service, it.bytes, it.phase, Callback([this] { on_complete(false); }),
@@ -74,7 +79,9 @@ void FairQueue::dispatch() {
     // a fault hook bounced the submission). Retry as soon as a slot frees;
     // the in-flight item stays parked so ordering is preserved.
     component_.when_accepting(Callback([this] { dispatch(); }));
+    return;
   }
+  in_flight_submitted_ = true;
 }
 
 void FairQueue::on_complete(bool failed) {
@@ -88,11 +95,53 @@ void FairQueue::on_complete(bool failed) {
     f.stats.service_time += it.service;
   }
   in_flight_ = false;
+  in_flight_submitted_ = false;
   // Start the successor before running the continuation, mirroring
   // Component's "done runs after the next request has been started".
   pump();
   Callback cont = failed && it.fail ? std::move(it.fail) : std::move(it.done);
   if (cont) cont();
+}
+
+void FairQueue::pause() { paused_ = true; }
+
+void FairQueue::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  if (in_flight_) {
+    if (!in_flight_submitted_) dispatch();
+    return;
+  }
+  pump();
+}
+
+std::size_t FairQueue::abort_backlog() {
+  // Collect continuations first: one of them may re-submit onto this
+  // queue and must see a consistent (empty) backlog.
+  std::vector<Callback> continuations;
+  if (in_flight_ && !in_flight_submitted_) {
+    // Dispatched but never accepted by the component — the item lives
+    // here, not in the component queue, so this drain owns failing it.
+    Flow& f = flows_[in_flight_flow_];
+    ++f.stats.failed;
+    Item it = std::move(in_flight_item_);
+    in_flight_ = false;
+    continuations.push_back(it.fail ? std::move(it.fail) : std::move(it.done));
+  }
+  for (Flow& f : flows_) {
+    while (!f.items.empty()) {
+      Item it = std::move(f.items.front());
+      f.items.pop_front();
+      --backlog_;
+      ++f.stats.failed;
+      continuations.push_back(it.fail ? std::move(it.fail)
+                                      : std::move(it.done));
+    }
+  }
+  for (Callback& cont : continuations) {
+    if (cont) cont();
+  }
+  return continuations.size();
 }
 
 double FairQueue::jain_index() const {

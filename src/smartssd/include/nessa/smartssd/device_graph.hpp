@@ -197,6 +197,17 @@ class DeviceGraph {
   /// component of the graph. The hook must outlive all pending requests.
   void install_fault_hook(sim::FaultHook* hook) noexcept;
 
+  /// Whole-device death: fail_stop() every component of the graph — each
+  /// in-service request fails immediately, queued work drains through its
+  /// failure continuations, and nothing is accepted until restore(). See
+  /// sim::Component::fail_stop(). Idempotent.
+  void fail_stop();
+  /// Bring every component back up after fail_stop(); parked
+  /// when_accepting() waiters release in FIFO order. Idempotent.
+  void restore();
+  /// True while the graph is failed (fail_stop()..restore()).
+  [[nodiscard]] bool down() const noexcept { return flash_->down(); }
+
   /// Post a request on `target` under a retry policy: when an installed
   /// fault hook fails the request (or bounces the submission), the request
   /// is re-posted after the policy's deterministic backoff until the

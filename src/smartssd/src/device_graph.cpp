@@ -144,6 +144,26 @@ void DeviceGraph::install_fault_hook(sim::FaultHook* hook) noexcept {
   gpu_->set_fault_hook(hook);
 }
 
+void DeviceGraph::fail_stop() {
+  flash_->fail_stop();
+  p2p_->fail_stop();
+  host_link_->fail_stop();
+  gpu_link_->fail_stop();
+  host_bridge_->fail_stop();
+  fpga_->fail_stop();
+  gpu_->fail_stop();
+}
+
+void DeviceGraph::restore() {
+  flash_->restore();
+  p2p_->restore();
+  host_link_->restore();
+  gpu_link_->restore();
+  host_bridge_->restore();
+  fpga_->restore();
+  gpu_->restore();
+}
+
 namespace {
 
 /// One retried request's state, kept alive by the callbacks of whichever

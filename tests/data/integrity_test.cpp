@@ -1,0 +1,177 @@
+// Chunk integrity: CRC stamping/verification, the re-fetch budget, the
+// quarantine path, and the deterministic plan-compiled corruptor.
+#include "nessa/data/integrity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nessa/data/chunked.hpp"
+#include "nessa/fault/fault_plan.hpp"
+
+namespace nessa::data {
+namespace {
+
+Split make_split(std::size_t n, std::size_t dim) {
+  Split s;
+  s.features = Tensor({n, dim});
+  for (std::size_t i = 0; i < n * dim; ++i) {
+    s.features[i] = static_cast<float>(i);
+  }
+  s.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.labels[i] = static_cast<Label>(i % 2);
+  }
+  return s;
+}
+
+TEST(ChunkIntegrity, CleanFetchesVerifyAndStayBitIdentical) {
+  const Split split = make_split(10, 3);
+  SplitStore store(split, 16);
+  ChunkedDataset plain(store, 4);
+  ChunkedDataset checked(store, 4);
+  checked.enable_integrity();
+  for (std::size_t c = 0; c < checked.num_chunks(); ++c) {
+    const ChunkView a = plain.fetch(c);
+    const ChunkView b = checked.fetch(c);
+    ASSERT_FALSE(b.quarantined);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.samples->features.size(); ++i) {
+      EXPECT_EQ(a.samples->features[i], b.samples->features[i]);
+    }
+  }
+  EXPECT_EQ(checked.integrity_stats().verified, 3u);
+  EXPECT_EQ(checked.integrity_stats().corruptions, 0u);
+  EXPECT_EQ(checked.integrity_stats().quarantined, 0u);
+}
+
+TEST(ChunkIntegrity, TransientCorruptionRecoversOnRefetch) {
+  const Split split = make_split(12, 2);
+  SplitStore store(split, 8);
+  ChunkedDataset chunks(store, 4);
+  chunks.enable_integrity({.max_refetch = 2});
+  // Corrupt chunk 1 on the first read only: one re-fetch must clear it.
+  chunks.set_corruptor([](std::size_t chunk, std::uint64_t attempt,
+                          Split& out) {
+    if (chunk != 1 || attempt > 0) return false;
+    out.features[0] += 1.0F;
+    return true;
+  });
+  const ChunkView v = chunks.fetch(1);
+  EXPECT_FALSE(v.quarantined);
+  ASSERT_EQ(v.size(), 4u);
+  // The recovered data is the clean store content.
+  EXPECT_EQ(v.samples->features[0], split.features[4 * 2]);
+  const IntegrityStats& s = chunks.integrity_stats();
+  EXPECT_EQ(s.corruptions, 1u);
+  EXPECT_EQ(s.refetches, 1u);
+  EXPECT_EQ(s.quarantined, 0u);
+  // Both reads moved real bytes.
+  EXPECT_EQ(chunks.fetches(), 2u);
+  EXPECT_EQ(chunks.fetched_bytes(), 2u * 4u * 8u);
+}
+
+TEST(ChunkIntegrity, StickyCorruptionQuarantinesAfterBudget) {
+  const Split split = make_split(12, 2);
+  SplitStore store(split, 8);
+  ChunkedDataset chunks(store, 4);
+  chunks.enable_integrity({.max_refetch = 2});
+  chunks.set_corruptor([](std::size_t chunk, std::uint64_t, Split& out) {
+    if (chunk != 2) return false;
+    out.features[0] += 1.0F;  // media damage: every attempt reads it bad
+    return true;
+  });
+  const ChunkView v = chunks.fetch(2);
+  EXPECT_TRUE(v.quarantined);
+  EXPECT_EQ(v.samples, nullptr);
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(chunks.quarantined(2));
+  const IntegrityStats& s = chunks.integrity_stats();
+  EXPECT_EQ(s.corruptions, 3u);  // first read + 2 budgeted re-fetches
+  EXPECT_EQ(s.refetches, 2u);
+  EXPECT_EQ(s.quarantined, 1u);
+  // A later fetch of the quarantined chunk short-circuits: no new read,
+  // no new bytes — the caller is told to exclude those rows, not retry.
+  const std::uint64_t fetches_before = chunks.fetches();
+  const ChunkView again = chunks.fetch(2);
+  EXPECT_TRUE(again.quarantined);
+  EXPECT_EQ(chunks.fetches(), fetches_before);
+  // Healthy chunks are untouched.
+  EXPECT_FALSE(chunks.fetch(0).quarantined);
+}
+
+TEST(ChunkIntegrity, CorruptorForcesCopyOffTheResidentSplit) {
+  // While a corruptor is installed the single-chunk fast path must not
+  // alias the caller's split — flipped bits may never damage caller data.
+  const Split split = make_split(6, 2);
+  const float original = split.features[0];
+  SplitStore store(split, 8);
+  ChunkedDataset chunks(store, 0);  // one resident chunk
+  chunks.enable_integrity({.max_refetch = 0});
+  chunks.set_corruptor([](std::size_t, std::uint64_t, Split& out) {
+    out.features[0] += 5.0F;
+    return true;
+  });
+  const ChunkView v = chunks.fetch(0);
+  EXPECT_TRUE(v.quarantined);
+  EXPECT_EQ(split.features[0], original);
+}
+
+TEST(ChunkIntegrity, CorruptorFromPlanIsDeterministicAndSticky) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.corruptions.push_back({fault::CorruptionSpec::kAllChunks, 0.5, true});
+  const ChunkCorruptor corr = corruptor_from_plan(plan);
+  ASSERT_TRUE(corr);
+  Split scratch = make_split(4, 2);
+  const Split reference = make_split(4, 2);
+  // Stateless: the same (chunk, attempt) decision and bit flip every call,
+  // in any order.
+  std::vector<bool> first;
+  for (std::size_t c = 0; c < 64; ++c) {
+    Split a = reference;
+    first.push_back(corr(c, 0, a));
+  }
+  std::size_t hits = 0;
+  for (std::size_t rep = 0; rep < 2; ++rep) {
+    for (std::size_t c = 64; c-- > 0;) {  // reversed order on purpose
+      Split a = reference;
+      EXPECT_EQ(corr(c, 0, a), first[c]);
+      if (first[c]) ++hits;
+    }
+  }
+  // rate=0.5 over 64 chunks: statistically impossible to hit 0 or 64.
+  EXPECT_GT(hits, 0u);
+  EXPECT_LT(hits, 128u);
+  // Sticky: attempt > 0 corrupts identically (same verdict).
+  for (std::size_t c = 0; c < 64; ++c) {
+    Split a = reference;
+    EXPECT_EQ(corr(c, 3, a), first[c]);
+  }
+  // A transient spec clears on re-fetch.
+  fault::FaultPlan transient;
+  transient.corruptions.push_back(
+      {fault::CorruptionSpec::kAllChunks, 1.0, false});
+  const ChunkCorruptor t = corruptor_from_plan(transient);
+  Split a = reference;
+  EXPECT_TRUE(t(0, 0, a));
+  Split b = reference;
+  EXPECT_FALSE(t(0, 1, b));
+  // No corrupt directives: no corruptor at all.
+  EXPECT_FALSE(corruptor_from_plan(fault::FaultPlan{}));
+}
+
+TEST(ChunkIntegrity, SpecificChunkDirectiveHitsOnlyThatChunk) {
+  fault::FaultPlan plan;
+  plan.corruptions.push_back({/*chunk=*/3, /*rate=*/1.0, /*sticky=*/true});
+  const ChunkCorruptor corr = corruptor_from_plan(plan);
+  ASSERT_TRUE(corr);
+  const Split reference = make_split(4, 2);
+  for (std::size_t c = 0; c < 8; ++c) {
+    Split a = reference;
+    EXPECT_EQ(corr(c, 0, a), c == 3);
+  }
+}
+
+}  // namespace
+}  // namespace nessa::data

@@ -254,6 +254,86 @@ TEST(FaultPlan, ValidateRejectsNegativeRate) {
   EXPECT_TRUE(any_error_mentions(errors, "faults[0].rate"));
 }
 
+TEST(FaultPlan, FailRecoverCorruptDirectivesRoundTrip) {
+  std::istringstream in(
+      "seed 7\n"
+      "fail component=ssd0 at_us=100 mttr_us=250\n"
+      "fail component=ssd1.flash_bus at_us=300\n"
+      "recover component=ssd1.flash_bus at_us=900\n"
+      "corrupt chunk=17\n"
+      "corrupt rate=0.01 sticky=0\n");
+  const auto plan = FaultPlan::from_stream(in, "round-trip");
+  EXPECT_TRUE(plan.has_failures());
+  EXPECT_TRUE(plan.has_corruption());
+  EXPECT_FALSE(plan.enabled());  // outages are not request-level faults
+  ASSERT_EQ(plan.failures.size(), 2u);
+  EXPECT_EQ(plan.failures[0].component, "ssd0");
+  EXPECT_EQ(plan.failures[0].at, 100 * util::kMicrosecond);
+  EXPECT_EQ(plan.failures[0].mttr, 250 * util::kMicrosecond);
+  EXPECT_EQ(plan.failures[1].component, "ssd1.flash_bus");
+  EXPECT_EQ(plan.failures[1].mttr, 0);  // permanent until the recover line
+  ASSERT_EQ(plan.recoveries.size(), 1u);
+  EXPECT_EQ(plan.recoveries[0].at, 900 * util::kMicrosecond);
+  ASSERT_EQ(plan.corruptions.size(), 2u);
+  EXPECT_EQ(plan.corruptions[0].chunk, 17u);
+  EXPECT_TRUE(plan.corruptions[0].sticky);
+  EXPECT_EQ(plan.corruptions[1].chunk, CorruptionSpec::kAllChunks);
+  EXPECT_DOUBLE_EQ(plan.corruptions[1].rate, 0.01);
+  EXPECT_FALSE(plan.corruptions[1].sticky);
+  EXPECT_TRUE(plan.validate().empty());
+  // The summary names the outage schedule and the corruption sources.
+  const auto s = plan.summary();
+  EXPECT_NE(s.find("ssd0"), std::string::npos);
+  EXPECT_NE(s.find("corruption"), std::string::npos);
+}
+
+TEST(FaultPlan, DuplicateFailDirectiveIsRejectedAtParse) {
+  std::istringstream in(
+      "fail component=ssd0 at_us=100\n"
+      "fail component=ssd0 at_us=100 mttr_us=50\n");
+  EXPECT_THROW((void)FaultPlan::from_stream(in, "dup"), std::invalid_argument);
+  // Same component at a different time is a legal double outage.
+  std::istringstream ok(
+      "fail component=ssd0 at_us=100 mttr_us=50\n"
+      "fail component=ssd0 at_us=400\n");
+  EXPECT_EQ(FaultPlan::from_stream(ok, "ok").failures.size(), 2u);
+}
+
+TEST(FaultPlan, FailureDirectivesValidateTargetsAndTimes) {
+  FaultPlan plan;
+  plan.failures.push_back({"warp_drive", 100, 0});
+  plan.failures.push_back({"ssd0", 0, -1});
+  plan.corruptions.push_back({CorruptionSpec::kAllChunks, 1.5, true});
+  const auto errors = plan.validate();
+  EXPECT_TRUE(any_error_mentions(errors, "failures[0].component"));
+  EXPECT_TRUE(any_error_mentions(errors, "failures[1].at"));
+  EXPECT_TRUE(any_error_mentions(errors, "failures[1].mttr"));
+  EXPECT_TRUE(any_error_mentions(errors, "corruptions[0].rate"));
+}
+
+TEST(FaultPlan, FailureTargetsAcceptFleetPrefixes) {
+  EXPECT_TRUE(is_failure_target("flash_bus"));
+  EXPECT_TRUE(is_failure_target("ssd3.flash_bus"));
+  EXPECT_TRUE(is_failure_target("ssd3"));
+  EXPECT_FALSE(is_failure_target("warp_drive"));
+  EXPECT_FALSE(is_failure_target("ssd3.warp_drive"));
+}
+
+TEST(FaultPlan, MalformedFailLinesThrow) {
+  std::istringstream no_at("fail component=ssd0\n");
+  EXPECT_THROW((void)FaultPlan::from_stream(no_at, "t"),
+               std::invalid_argument);
+  std::istringstream no_comp("fail at_us=100\n");
+  EXPECT_THROW((void)FaultPlan::from_stream(no_comp, "t"),
+               std::invalid_argument);
+  std::istringstream bad_corrupt("corrupt\n");
+  EXPECT_THROW((void)FaultPlan::from_stream(bad_corrupt, "t"),
+               std::invalid_argument);
+  std::istringstream bad_sticky("corrupt rate=0.5 sticky=2\n");
+  EXPECT_THROW((void)FaultPlan::from_stream(bad_sticky, "t"),
+               std::invalid_argument);
+}
+
 TEST(FaultPlan, SummaryNamesTheScenario) {
   const auto plan = FaultPlan::preset("flaky-p2p");
   const auto s = plan.summary();

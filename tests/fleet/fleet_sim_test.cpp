@@ -54,6 +54,11 @@ void expect_identical(const FleetResult& a, const FleetResult& b) {
     EXPECT_EQ(x.gpu, y.gpu) << "job " << i;
     EXPECT_EQ(x.admitted, y.admitted) << "job " << i;
     EXPECT_EQ(x.completed, y.completed) << "job " << i;
+    EXPECT_EQ(x.migrations, y.migrations) << "job " << i;
+    EXPECT_EQ(x.migrated_from, y.migrated_from) << "job " << i;
+    EXPECT_EQ(x.chunk_corruptions, y.chunk_corruptions) << "job " << i;
+    EXPECT_EQ(x.quarantined_chunks, y.quarantined_chunks) << "job " << i;
+    EXPECT_EQ(x.failed, y.failed) << "job " << i;
   }
 }
 
@@ -277,6 +282,258 @@ TEST(FleetSim, SummaryJsonCarriesTheInvariantFields) {
   EXPECT_NE(json.find("\"tenants\""), std::string::npos);
   EXPECT_NE(json.find("\"components\""), std::string::npos);
   EXPECT_NE(json.find("ssd0.flash_bus"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Failure tolerance: device death, detection, migration, chunk integrity.
+
+/// Every-arrival accounting invariant of a failing fleet: nothing is ever
+/// silently dropped.
+void expect_accounted(const FleetResult& r) {
+  EXPECT_EQ(r.completed + r.failed_permanently + r.rejected,
+            r.admitted + r.rejected);
+  std::uint64_t failed = 0;
+  for (const JobRecord& job : r.jobs) {
+    EXPECT_EQ(job.completed || job.failed || job.rejected, true)
+        << "job neither completed, failed, nor rejected";
+    if (job.failed) ++failed;
+  }
+  EXPECT_EQ(failed, r.failed_permanently);
+}
+
+FleetConfig failing_fleet(std::uint32_t device, util::SimTime at,
+                          util::SimTime mttr = 0) {
+  auto config = small_fleet();
+  config.preempt_quantum_epochs = 1;
+  config.job.fault_plan.failures.push_back(
+      {"ssd" + std::to_string(device), at, mttr});
+  return config;
+}
+
+std::vector<Arrival> three_tenant_stream(std::size_t jobs = 24,
+                                         std::uint64_t seed = 11) {
+  PoissonConfig cfg;
+  cfg.jobs = jobs;
+  cfg.tenants = 3;
+  cfg.rate_per_s = 100.0;
+  cfg.seed = seed;
+  return poisson_arrivals(cfg);
+}
+
+TEST(FleetSim, DeviceDeathMigratesVictimsAndCompletesAllJobs) {
+  // Kill ssd0 permanently mid-run: every job it held (or that was placed
+  // on it inside the detection window) must restart from its last epoch
+  // barrier on the surviving device and finish. A failure may cost work,
+  // never jobs.
+  const auto arrivals = three_tenant_stream(30);
+  const auto config = failing_fleet(0, 10 * util::kSecond);
+  const auto result = run_fleet(config, arrivals);
+  EXPECT_EQ(result.completed, result.admitted);
+  EXPECT_EQ(result.failed_permanently, 0u);
+  EXPECT_GT(result.migrations, 0u);
+  expect_accounted(result);
+  for (const JobRecord& job : result.jobs) {
+    EXPECT_TRUE(job.completed);
+    if (job.finish > 10 * util::kSecond) {
+      EXPECT_NE(job.device, 0u) << "job finished on the dead device";
+    }
+    if (job.migrations > 0) {
+      EXPECT_EQ(job.migrated_from, 0);
+    }
+  }
+  // Migration restarts resume from snapshots beyond the preemption count.
+  EXPECT_GT(result.resumes, result.preemptions);
+  // The health ledger saw the outage.
+  ASSERT_EQ(result.health.size(), config.devices);
+  EXPECT_EQ(result.health[0].failures, 1u);
+  EXPECT_EQ(result.health[0].detections, 1u);
+  EXPECT_EQ(result.health[0].migrations_out, result.migrations);
+  EXPECT_LT(result.health[0].availability, 1.0);
+  EXPECT_GT(result.health[0].mean_detection_latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.health[1].availability, 1.0);
+  // Tenant migration counts roll up to the fleet total.
+  std::uint64_t tenant_migrations = 0;
+  for (const TenantStats& t : result.tenants) tenant_migrations += t.migrations;
+  EXPECT_EQ(tenant_migrations, result.migrations);
+}
+
+TEST(FleetSim, KillEachDeviceAtEveryEpochIsDeterministic) {
+  // The migration analogue of the ckpt kill-point matrix: kill each SSD at
+  // several points across the run (early, mid, late — covering different
+  // epoch barriers of the 3-tenant stream), on two arrival seeds, and
+  // require (a) all admitted jobs complete via migration and (b) the run
+  // is bit-identical across repeats AND across event-queue engines.
+  for (const std::uint64_t seed : {11ULL, 23ULL}) {
+    const auto arrivals = three_tenant_stream(18, seed);
+    for (std::uint32_t device = 0; device < 2; ++device) {
+      for (const util::SimTime at :
+           {2 * util::kSecond, 30 * util::kSecond, 90 * util::kSecond}) {
+        auto config = failing_fleet(device, at);
+        config.engine = sim::QueueKind::kCalendar;
+        const auto calendar = run_fleet(config, arrivals);
+        const auto repeat = run_fleet(config, arrivals);
+        config.engine = sim::QueueKind::kHeap;
+        const auto heap = run_fleet(config, arrivals);
+        EXPECT_EQ(calendar.completed, calendar.admitted)
+            << "seed " << seed << " ssd" << device << " at " << at;
+        EXPECT_EQ(calendar.failed_permanently, 0u);
+        expect_accounted(calendar);
+        expect_identical(calendar, repeat);
+        expect_identical(calendar, heap);
+      }
+    }
+  }
+}
+
+TEST(FleetSim, ShortOutageRecoversWithoutLosingJobs) {
+  // MTTR shorter than the run: the device comes back, is re-learned by the
+  // probe loop, and placement uses it again. Victims parked during the
+  // outage restart; the ledger shows one completed repair.
+  const auto arrivals = three_tenant_stream(30);
+  const auto result =
+      run_fleet(failing_fleet(0, 10 * util::kSecond, 20 * util::kSecond),
+                arrivals);
+  EXPECT_EQ(result.completed, result.admitted);
+  EXPECT_EQ(result.failed_permanently, 0u);
+  expect_accounted(result);
+  ASSERT_EQ(result.health.size(), 2u);
+  EXPECT_EQ(result.health[0].failures, 1u);
+  EXPECT_EQ(result.health[0].recoveries, 1u);
+  EXPECT_DOUBLE_EQ(result.health[0].mttr_s, 20.0);
+  EXPECT_GT(result.health[0].availability, 0.0);
+  EXPECT_LT(result.health[0].availability, 1.0);
+  // Work returned to the recovered device after readmission: any job that
+  // COMPLETED on device 0 after the outage window must have been placed
+  // (or re-placed) there once the probe re-learned it.
+  bool reused = false;
+  for (const JobRecord& job : result.jobs) {
+    if (job.completed && job.device == 0 &&
+        job.finish > 30 * util::kSecond) {
+      reused = true;
+    }
+  }
+  EXPECT_TRUE(reused);
+}
+
+TEST(FleetSim, AllDevicesDeadFailsJobsPermanentlyWithFiniteSummary) {
+  // Kill every device with no recovery: no job can finish, and the
+  // zero-completions summary must still be valid JSON with finite numbers
+  // (no NaN/Inf from the zero-denominator aggregates).
+  auto config = small_fleet();
+  config.preempt_quantum_epochs = 1;
+  config.job.fault_plan.failures.push_back({"ssd0", util::kSecond, 0});
+  config.job.fault_plan.failures.push_back({"ssd1", util::kSecond, 0});
+  const auto result = run_fleet(config, three_tenant_stream(12));
+  EXPECT_EQ(result.completed, 0u);
+  EXPECT_EQ(result.failed_permanently, result.admitted);
+  expect_accounted(result);
+  // Every emitted number must be finite ("tenant" itself contains "nan",
+  // so match the value position).
+  const std::string json = summary_of(result);
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+  EXPECT_EQ(json.find(": -nan"), std::string::npos);
+  EXPECT_EQ(json.find(": inf"), std::string::npos);
+  EXPECT_EQ(json.find(": -inf"), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_jobs_per_s\": 0"), std::string::npos);
+  std::uint64_t tenant_failed = 0;
+  for (const TenantStats& t : result.tenants) tenant_failed += t.failed;
+  EXPECT_EQ(tenant_failed, result.failed_permanently);
+}
+
+TEST(FleetSim, FailureFreePlanMatchesBaselineBitForBit) {
+  // A plan with no failures and no corruption must not perturb the fleet:
+  // placement, timing and every record stay bit-identical to a run with no
+  // plan at all (the failure machinery is fully gated).
+  const auto arrivals = small_stream();
+  auto config = small_fleet();
+  config.preempt_quantum_epochs = 1;
+  const auto baseline = run_fleet(config, arrivals);
+  config.health.failure_domains = 1;  // knobs alone change nothing
+  config.health.probe_interval = util::kSecond;
+  const auto knobbed = run_fleet(config, arrivals);
+  expect_identical(baseline, knobbed);
+  EXPECT_TRUE(baseline.health.empty());
+}
+
+TEST(FleetSim, ChunkCorruptionIsRefetchedThenQuarantinedWithExactLedger) {
+  auto config = small_fleet();
+  config.preempt_quantum_epochs = 1;
+  config.job.workload.chunk_records = 10'000;
+  config.job.fault_plan.seed = 9;
+  config.job.fault_plan.corruptions.push_back(
+      {fault::CorruptionSpec::kAllChunks, 0.2, true});
+  const auto arrivals = three_tenant_stream(24);
+  const auto result = run_fleet(config, arrivals);
+  EXPECT_EQ(result.completed, result.admitted);
+  expect_accounted(result);
+  EXPECT_GT(result.chunk_corruptions, 0u);
+  EXPECT_GT(result.quarantined_chunks, 0u);
+  // Every corrupt fetch either bought a re-fetch or ended in quarantine.
+  EXPECT_EQ(result.chunk_corruptions,
+            result.chunk_refetches + result.quarantined_chunks);
+  // Per-job ledgers sum to the fleet totals.
+  std::uint64_t corruptions = 0;
+  std::uint64_t refetches = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t fetches = 0;
+  for (const JobRecord& job : result.jobs) {
+    corruptions += job.chunk_corruptions;
+    refetches += job.chunk_refetches;
+    quarantined += job.quarantined_chunks;
+    fetches += job.chunk_fetches;
+  }
+  EXPECT_EQ(corruptions, result.chunk_corruptions);
+  EXPECT_EQ(refetches, result.chunk_refetches);
+  EXPECT_EQ(quarantined, result.quarantined_chunks);
+  EXPECT_EQ(fetches, result.chunk_fetches);
+  // Determinism across engines holds under corruption too.
+  auto heap_config = config;
+  heap_config.engine = sim::QueueKind::kHeap;
+  expect_identical(result, run_fleet(heap_config, arrivals));
+  // Sticky corruption is a property of the (job, chunk) pair, so the
+  // quarantine ledger survives preemption round-trips: counters identical
+  // with a different quantum is NOT expected (different placement), but
+  // re-running the same config must reproduce them exactly.
+  const auto repeat = run_fleet(config, arrivals);
+  EXPECT_EQ(repeat.quarantined_chunks, result.quarantined_chunks);
+}
+
+TEST(FleetSim, MigrationRollsBackPartialEpochChunkAccounting) {
+  // A victim killed mid-epoch redoes that epoch's fetches after
+  // migration; the partial-epoch fetches are moved to chunk_fetches_lost,
+  // so completed-work accounting (Σ per-job == fleet total) stays exact.
+  auto config = small_fleet();
+  config.preempt_quantum_epochs = 1;
+  config.job.workload.chunk_records = 10'000;
+  config.job.fault_plan.failures.push_back(
+      {"ssd0", 10 * util::kSecond, 0});
+  const auto result = run_fleet(config, three_tenant_stream(30));
+  EXPECT_EQ(result.completed, result.admitted);
+  const std::size_t chunks_per_epoch =
+      (config.job.workload.pool_records + config.job.workload.chunk_records -
+       1) /
+      config.job.workload.chunk_records;
+  std::uint64_t fetches = 0;
+  for (const JobRecord& job : result.jobs) {
+    // Completed jobs paid exactly their epochs' worth of *kept* fetches.
+    EXPECT_EQ(job.chunk_fetches, job.epochs_done * chunks_per_epoch);
+    fetches += job.chunk_fetches;
+  }
+  EXPECT_EQ(fetches, result.chunk_fetches);
+}
+
+TEST(FleetSim, SummaryJsonCarriesTheFailureTelemetry) {
+  const auto result = run_fleet(failing_fleet(0, 10 * util::kSecond),
+                                three_tenant_stream(18));
+  const std::string json = summary_of(result);
+  EXPECT_NE(json.find("\"migrations\""), std::string::npos);
+  EXPECT_NE(json.find("\"failed_permanently\""), std::string::npos);
+  EXPECT_NE(json.find("\"quarantined_chunks\""), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_jobs_per_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"health\""), std::string::npos);
+  EXPECT_NE(json.find("\"availability\""), std::string::npos);
+  EXPECT_NE(json.find("\"mttr_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_detection_latency_s\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// HealthMonitor: probe-tick detection/readmission, the self-terminating
+// probe loop, and the availability/MTTR arithmetic.
+#include "nessa/fleet/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nessa::fleet {
+namespace {
+
+struct Harness {
+  sim::Simulator sim;
+  std::vector<std::size_t> detected;
+  std::vector<std::size_t> recovered;
+  bool jobs = true;
+  HealthMonitor monitor;
+
+  explicit Harness(HealthConfig config = {}, std::size_t devices = 2)
+      : monitor(
+            sim, config, devices,
+            [this](std::size_t d) { detected.push_back(d); },
+            [this](std::size_t d) { recovered.push_back(d); },
+            [this] { return jobs; }) {}
+};
+
+TEST(HealthMonitor, DetectsDeathAtTheNextProbeTick) {
+  Harness h({.probe_interval = 1000});
+  h.sim.schedule_at(250, [&] { h.monitor.device_failed(1); });
+  h.sim.run();
+  // Probe armed at the failure, tick one interval later.
+  EXPECT_EQ(h.detected, (std::vector<std::size_t>{1}));
+  EXPECT_FALSE(h.monitor.believed_up(1));
+  EXPECT_TRUE(h.monitor.believed_up(0));
+  EXPECT_TRUE(h.monitor.device_down(1));
+  EXPECT_EQ(h.sim.now(), 1250);
+
+  const auto health = h.monitor.finalize(/*makespan=*/2000);
+  EXPECT_EQ(health[1].failures, 1u);
+  EXPECT_EQ(health[1].detections, 1u);
+  // Detection latency is exactly the probe interval here (death at 250,
+  // tick at 1250), in seconds of simulated time.
+  EXPECT_DOUBLE_EQ(health[1].mean_detection_latency_s,
+                   util::to_seconds(1000));
+  // Open outage runs to the makespan: down 250..2000 of 2000.
+  EXPECT_EQ(health[1].downtime, 1750);
+  EXPECT_DOUBLE_EQ(health[1].availability, 1.0 - 1750.0 / 2000.0);
+  EXPECT_DOUBLE_EQ(health[0].availability, 1.0);
+}
+
+TEST(HealthMonitor, OutageShorterThanOneProbeIsNeverDetected) {
+  // The device died and came back between ticks: the controller's belief
+  // never flipped, so neither callback fires — exactly the fleet's
+  // restart-without-migration case.
+  Harness h({.probe_interval = 1000});
+  h.sim.schedule_at(100, [&] { h.monitor.device_failed(0); });
+  h.sim.schedule_at(600, [&] { h.monitor.device_recovered(0); });
+  h.sim.run();
+  EXPECT_TRUE(h.detected.empty());
+  EXPECT_TRUE(h.recovered.empty());
+  const auto health = h.monitor.finalize(5000);
+  EXPECT_EQ(health[0].failures, 1u);
+  EXPECT_EQ(health[0].recoveries, 1u);
+  EXPECT_EQ(health[0].detections, 0u);
+  EXPECT_EQ(health[0].downtime, 500);
+  EXPECT_DOUBLE_EQ(health[0].mttr_s, util::to_seconds(500));
+}
+
+TEST(HealthMonitor, RecoveryIsReadmittedAtTheNextTick) {
+  Harness h({.probe_interval = 1000});
+  h.sim.schedule_at(100, [&] { h.monitor.device_failed(0); });
+  h.sim.schedule_at(3500, [&] { h.monitor.device_recovered(0); });
+  h.sim.run();
+  EXPECT_EQ(h.detected, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(h.recovered, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(h.monitor.believed_up(0));
+  // Detection at 1100; readmission tick at 4500.
+  EXPECT_EQ(h.sim.now(), 4500);
+}
+
+TEST(HealthMonitor, ProbeLoopSelfTerminates) {
+  // Belief matches reality after the detection tick, so the loop must stop
+  // re-arming — a permanently dead fleet drains instead of ticking forever.
+  Harness h({.probe_interval = 1000});
+  h.sim.schedule_at(100, [&] { h.monitor.device_failed(0); });
+  h.sim.run();
+  EXPECT_EQ(h.sim.now(), 1100);  // one tick, not an unbounded stream
+}
+
+TEST(HealthMonitor, NoProbesWhenNoJobsRemain) {
+  Harness h({.probe_interval = 1000});
+  h.jobs = false;
+  h.sim.schedule_at(100, [&] { h.monitor.device_failed(0); });
+  h.sim.run();
+  EXPECT_TRUE(h.detected.empty());
+  EXPECT_EQ(h.sim.now(), 100);
+}
+
+TEST(HealthMonitor, RetireCancelsThePendingTailProbe) {
+  Harness h({.probe_interval = 1000});
+  h.sim.schedule_at(100, [&] { h.monitor.device_failed(0); });
+  h.sim.schedule_at(200, [&] { h.monitor.retire(); });
+  h.sim.run();
+  EXPECT_TRUE(h.detected.empty());
+  EXPECT_EQ(h.sim.now(), 200);  // the armed tick at 1100 was cancelled
+}
+
+TEST(HealthMonitor, MttrAveragesCompletedOutagesOnly) {
+  Harness h({.probe_interval = 100});
+  h.sim.schedule_at(100, [&] { h.monitor.device_failed(0); });
+  h.sim.schedule_at(400, [&] { h.monitor.device_recovered(0); });
+  h.sim.schedule_at(1000, [&] { h.monitor.device_failed(0); });
+  h.sim.schedule_at(1700, [&] { h.monitor.device_recovered(0); });
+  h.sim.schedule_at(2000, [&] { h.monitor.device_failed(0); });  // open
+  h.sim.run();
+  const auto health = h.monitor.finalize(3000);
+  EXPECT_EQ(health[0].failures, 3u);
+  EXPECT_EQ(health[0].recoveries, 2u);
+  // MTTR over the two completed outages (300 + 700) / 2.
+  EXPECT_DOUBLE_EQ(health[0].mttr_s, util::to_seconds(500));
+  // Downtime includes the still-open third outage.
+  EXPECT_EQ(health[0].downtime, 300 + 700 + 1000);
+}
+
+TEST(HealthMonitor, ConfigClampsDegenerateKnobs) {
+  Harness zero({.probe_interval = 0, .failure_domains = 0});
+  EXPECT_GT(zero.monitor.config().probe_interval, 0);
+  EXPECT_EQ(zero.monitor.config().failure_domains, 1u);
+}
+
+}  // namespace
+}  // namespace nessa::fleet

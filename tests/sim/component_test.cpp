@@ -188,6 +188,102 @@ TEST(Component, CompletionCallbackSeesComponentFreeForChaining) {
   EXPECT_EQ(b_done, 100);
 }
 
+TEST(Component, FailStopFailsInFlightAndDrainsQueue) {
+  Simulator sim;
+  Component c(sim, "flash");
+  std::vector<int> completed;
+  // Without a fault hook no fail continuations are stashed, so the drain
+  // falls back to `done` — legacy producers cannot deadlock on an outage.
+  for (int i = 0; i < 3; ++i) {
+    c.submit(100, 10, "read", [&completed, i] { completed.push_back(i); });
+  }
+  sim.schedule_at(150, [&] { c.fail_stop(); });
+  sim.run();
+  // Request 0 finished at 100; the kill at 150 caught request 1 mid-service
+  // (50 of 100 served) and request 2 queued: both drained through their
+  // continuations at the instant of death.
+  EXPECT_EQ(completed, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(c.down());
+  EXPECT_FALSE(c.accepting());
+  EXPECT_FALSE(c.busy());
+  EXPECT_EQ(c.queue_depth(), 0u);
+  const auto& s = c.stats();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.failed, 2u);
+  EXPECT_EQ(s.drained, 2u);
+  EXPECT_EQ(s.bytes, 10u);       // only request 0's transfer finished
+  EXPECT_EQ(s.busy_time, 150);   // partial service of request 1 is real
+  // A dead component bounces every submission.
+  EXPECT_FALSE(c.submit(10, 0, "read"));
+  EXPECT_EQ(c.stats().rejected, 1u);
+}
+
+TEST(Component, FailStopPrefersStashedFailContinuations) {
+  // With a hook installed the per-request `fail` callbacks are stashed, so
+  // a drain runs them — not `done` — exactly like an injected failure.
+  struct Pass final : FaultHook {
+    FaultDecision on_submit(const Component&, SimTime, std::uint64_t) override {
+      return {};
+    }
+    FaultDecision on_service(const Component&, SimTime,
+                             std::uint64_t) override {
+      return {};
+    }
+  };
+  Simulator sim;
+  Component c(sim, "flash");
+  Pass hook;
+  c.set_fault_hook(&hook);
+  int done_runs = 0;
+  std::vector<int> fail_runs;
+  for (int i = 0; i < 2; ++i) {
+    c.submit(
+        100, 0, "read", [&done_runs] { ++done_runs; },
+        [&fail_runs, i] { fail_runs.push_back(i); });
+  }
+  sim.schedule_at(30, [&] { c.fail_stop(); });
+  sim.run();
+  EXPECT_EQ(done_runs, 0);
+  EXPECT_EQ(fail_runs, (std::vector<int>{0, 1}));
+  EXPECT_EQ(c.stats().drained, 2u);
+}
+
+TEST(Component, RestoreAccountsDownTimeAndReleasesWaiters) {
+  Simulator sim;
+  Component c(sim, "flash", /*queue_capacity=*/1);
+  sim.schedule_at(100, [&] { c.fail_stop(); });
+  SimTime waited_until = -1;
+  // Parked during the outage: a dead component has no free slot, so the
+  // waiter must hold until restore() — not fire into a corpse.
+  sim.schedule_at(150, [&] {
+    c.when_accepting([&] {
+      waited_until = sim.now();
+      EXPECT_TRUE(c.submit(10, 0, "read"));
+    });
+  });
+  sim.schedule_at(400, [&] { c.restore(); });
+  sim.run();
+  EXPECT_EQ(waited_until, 400);
+  EXPECT_FALSE(c.down());
+  EXPECT_EQ(c.stats().down_time, 300);
+  EXPECT_EQ(c.stats().completed, 1u);
+}
+
+TEST(Component, FailStopIsIdempotentAndRestoreNoOpWhenUp) {
+  Simulator sim;
+  Component c(sim, "x");
+  c.restore();  // not down: no-op
+  EXPECT_FALSE(c.down());
+  c.submit(10, 0, "p");
+  sim.schedule_at(5, [&] {
+    c.fail_stop();
+    c.fail_stop();  // second call must not double-account
+  });
+  sim.run();
+  EXPECT_EQ(c.stats().drained, 1u);
+  EXPECT_EQ(c.stats().busy_time, 5);
+}
+
 TEST(Component, ResetStatsClearsAccounting) {
   Simulator sim;
   Component c(sim, "x");

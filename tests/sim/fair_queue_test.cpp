@@ -112,6 +112,93 @@ TEST(FairQueue, EmptyFailFallsBackToDone) {
   EXPECT_EQ(q.flow_stats(f).completed, 0u);
 }
 
+TEST(FairQueue, PauseHoldsBacklogAndResumeRedispatches) {
+  Simulator sim;
+  Component c(sim, "dev");
+  FairQueue q(c);
+  const auto f = q.add_flow();
+  std::vector<SimTime> done_at;
+  auto track = [&] { done_at.push_back(sim.now()); };
+  q.submit(f, 100, 0, "req", track);
+  q.submit(f, 100, 0, "req", track);
+  // Pause mid-service: the in-flight request still completes (the device
+  // already holds it), but the second stays parked until resume().
+  sim.schedule_at(50, [&] { q.pause(); });
+  sim.schedule_at(500, [&] { q.resume(); });
+  sim.run();
+  EXPECT_EQ(done_at, (std::vector<SimTime>{100, 600}));
+  EXPECT_TRUE(q.idle());
+  EXPECT_FALSE(q.paused());
+}
+
+TEST(FairQueue, AbortBacklogFailsQueuedItemsNotTheInFlightOne) {
+  Simulator sim;
+  Component c(sim, "dev");
+  FairQueue q(c);
+  const auto a = q.add_flow();
+  const auto b = q.add_flow();
+  SimTime in_flight_done = -1;
+  std::vector<int> aborted;
+  q.submit(a, 100, 0, "req", [&] { in_flight_done = sim.now(); });
+  // Backlogged behind the in-flight request, two flows interleaved. The
+  // fail continuation (or done, when absent) runs at the abort instant in
+  // (flow id, FIFO) order.
+  q.submit(a, 100, 0, "req", {}, [&] { aborted.push_back(10); });
+  q.submit(b, 100, 0, "req", [&] { aborted.push_back(20); });
+  q.submit(a, 100, 0, "req", {}, [&] { aborted.push_back(11); });
+  sim.schedule_at(10, [&] { EXPECT_EQ(q.abort_backlog(), 3u); });
+  sim.run();
+  EXPECT_EQ(aborted, (std::vector<int>{10, 11, 20}));
+  EXPECT_EQ(in_flight_done, 100);  // the component still owned it
+  EXPECT_EQ(q.flow_stats(a).failed, 2u);
+  EXPECT_EQ(q.flow_stats(b).failed, 1u);
+  EXPECT_TRUE(q.idle());
+}
+
+TEST(FairQueue, OutageDrainsInFlightThroughComponentFailStop) {
+  // The fleet's device-death sequence: pause() the queue, fail_stop() the
+  // component, abort_backlog() the rest. The in-flight item fails through
+  // the component drain, the backlog through the queue's own abort, and
+  // nothing is dispatched until resume() after restore(). A pass-through
+  // hook is installed because Component stashes failure continuations only
+  // while one is present — exactly how the fleet wires failing devices.
+  struct Pass final : FaultHook {
+    FaultDecision on_submit(const Component&, SimTime, std::uint64_t) override {
+      return {};
+    }
+    FaultDecision on_service(const Component&, SimTime,
+                             std::uint64_t) override {
+      return {};
+    }
+  };
+  Simulator sim;
+  Component c(sim, "dev");
+  Pass hook;
+  c.set_fault_hook(&hook);
+  FairQueue q(c);
+  const auto f = q.add_flow();
+  std::vector<int> failed;
+  std::vector<SimTime> completed_at;
+  q.submit(f, 100, 0, "req", {}, [&] { failed.push_back(0); });
+  q.submit(f, 100, 0, "req", {}, [&] { failed.push_back(1); });
+  sim.schedule_at(30, [&] {
+    q.pause();
+    c.fail_stop();
+    q.abort_backlog();
+  });
+  sim.schedule_at(200, [&] {
+    c.restore();
+    q.resume();
+    q.submit(f, 50, 0, "req", [&] { completed_at.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(failed, (std::vector<int>{0, 1}));
+  EXPECT_EQ(completed_at, (std::vector<SimTime>{250}));
+  EXPECT_EQ(q.flow_stats(f).failed, 2u);
+  EXPECT_EQ(q.flow_stats(f).completed, 1u);
+  EXPECT_EQ(c.stats().down_time, 170);
+}
+
 TEST(FairQueue, JainIndexDegradesWhenOneFlowHogs) {
   Simulator sim;
   Component c(sim, "dev");

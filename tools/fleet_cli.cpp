@@ -5,6 +5,7 @@
 //         [--arrivals FILE]                                  (trace source)
 //         [--pipeline NAME] [--epochs N]
 //         [--queue-capacity N] [--policy reject|defer] [--quantum N]
+//         [--chunk-records N] [--fault-plan NAME|FILE] [--probe-us N]
 //         [--engine calendar|heap] [--summary PATH] [--metrics PATH]
 //
 // Builds the arrival stream (a seeded Poisson process by default, or a
@@ -39,6 +40,9 @@ struct Options {
   std::size_t queue_capacity = 64;
   std::string policy = "defer";
   std::size_t quantum = 0;
+  std::size_t chunk_records = 0;
+  std::string fault_plan;
+  std::uint64_t probe_us = 0;
   std::string engine = "calendar";
   std::string summary_path;
   std::string metrics_path;
@@ -50,7 +54,9 @@ void print_usage() {
          "             [--jobs N] [--tenants N] [--rate R] [--seed N]\n"
          "             [--arrivals FILE] [--pipeline NAME] [--epochs N]\n"
          "             [--queue-capacity N] [--policy reject|defer]\n"
-         "             [--quantum N] [--engine calendar|heap]\n"
+         "             [--quantum N] [--chunk-records N]\n"
+         "             [--fault-plan NAME|FILE] [--probe-us N]\n"
+         "             [--engine calendar|heap]\n"
          "             [--summary PATH] [--metrics PATH]\n";
 }
 
@@ -94,6 +100,12 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.policy = v;
     } else if (arg == "--quantum" && (v = next("--quantum"))) {
       opt.quantum = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--chunk-records" && (v = next("--chunk-records"))) {
+      opt.chunk_records = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--fault-plan" && (v = next("--fault-plan"))) {
+      opt.fault_plan = v;
+    } else if (arg == "--probe-us" && (v = next("--probe-us"))) {
+      opt.probe_us = static_cast<std::uint64_t>(std::atoll(v));
     } else if (arg == "--engine" && (v = next("--engine"))) {
       opt.engine = v;
     } else if (arg == "--summary" && (v = next("--summary"))) {
@@ -123,6 +135,7 @@ int main(int argc, char** argv) {
   config.jobs_per_device = opt.jobs_per_device;
   config.queue_capacity = opt.queue_capacity;
   config.preempt_quantum_epochs = opt.quantum;
+  config.job.workload.chunk_records = opt.chunk_records;
   config.job.pipeline_epochs = opt.epochs < 2 ? 2 : opt.epochs;
   if (opt.policy == "reject") {
     config.policy = fleet::AdmissionPolicy::kReject;
@@ -145,6 +158,18 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 1;
+  }
+  if (!opt.fault_plan.empty()) {
+    try {
+      config.job.fault_plan = fault::FaultPlan::parse(opt.fault_plan);
+    } catch (const std::exception& e) {
+      std::cerr << "fault plan error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (opt.probe_us > 0) {
+    config.health.probe_interval =
+        static_cast<util::SimTime>(opt.probe_us) * util::kMicrosecond;
   }
 
   std::vector<fleet::Arrival> arrivals;
@@ -181,6 +206,10 @@ int main(int argc, char** argv) {
             << " rejected, " << result.deferred << " deferred, "
             << result.completed << " completed, " << result.preemptions
             << " preemptions, " << result.resumes << " resumes\n"
+            << "failures: " << result.migrations << " migrations, "
+            << result.failed_permanently << " failed permanently, "
+            << result.chunk_corruptions << " corrupt fetches, "
+            << result.quarantined_chunks << " quarantined chunks\n"
             << "latency: p50 " << result.p50_latency_s << " s, p99 "
             << result.p99_latency_s << " s, mean " << result.mean_latency_s
             << " s over " << util::to_seconds(result.makespan)
@@ -214,6 +243,22 @@ int main(int argc, char** argv) {
          util::Table::num(static_cast<double>(c.bytes) / 1e9, 2)});
   }
   components.print(std::cout);
+
+  if (!result.health.empty()) {
+    util::Table health("device health");
+    health.set_header({"device", "failures", "detections", "migrated out",
+                       "availability", "detect (s)", "mttr (s)"});
+    for (const auto& h : result.health) {
+      health.add_row({util::Table::num(static_cast<std::size_t>(h.device)),
+                      util::Table::num(static_cast<std::size_t>(h.failures)),
+                      util::Table::num(h.detections),
+                      util::Table::num(h.migrations_out),
+                      util::Table::num(h.availability, 4),
+                      util::Table::num(h.mean_detection_latency_s, 6),
+                      util::Table::num(h.mttr_s, 6)});
+    }
+    health.print(std::cout);
+  }
 
   if (!opt.summary_path.empty()) {
     std::ofstream out(opt.summary_path);
